@@ -1,0 +1,110 @@
+// Command mlir-opt runs a pass pipeline over a module in the generic
+// textual format — the Ratte-Go stand-in for the production driver:
+//
+//	mlir-opt -p "canonicalize,arith-expand,convert-arith-to-llvm" prog.mlir
+//	mlir-opt -preset ariths -O 1 prog.mlir       # a whole preset pipeline
+//	mlir-opt -preset ariths -O 1 -bugs 5,7 prog.mlir  # with injected bugs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ratte"
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/ir"
+)
+
+func main() {
+	passes := flag.String("p", "", "comma-separated pass list")
+	preset := flag.String("preset", "", "run a whole preset pipeline (ariths | linalggeneric | tensor)")
+	level := flag.Int("O", 0, "optimisation level for -preset (0, 1 or 2)")
+	bugList := flag.String("bugs", "", "comma-separated injected bug ids (1-8)")
+	verifyEach := flag.Bool("verify-each", false, "verify the module after every pass")
+	printAfterAll := flag.Bool("print-after-all", false, "print the IR after every pass (to stderr)")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := ir.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	bugSet, err := parseBugs(*bugList)
+	if err != nil {
+		fatal(err)
+	}
+
+	var names []string
+	switch {
+	case *preset != "":
+		names, err = compiler.PipelineFor(*preset, compiler.OptLevel(*level))
+		if err != nil {
+			fatal(err)
+		}
+	case *passes != "":
+		names = strings.Split(*passes, ",")
+	default:
+		// No passes: verify and echo (like mlir-opt with no flags).
+		if err := ratte.VerifyModule(m); err != nil {
+			fatal(err)
+		}
+		fmt.Print(ir.Print(m))
+		fmt.Println()
+		return
+	}
+
+	pipe, err := compiler.NewPipeline(names...)
+	if err != nil {
+		fatal(err)
+	}
+	opts := &compiler.Options{Bugs: bugSet, VerifyBetweenPasses: *verifyEach}
+	if *printAfterAll {
+		opts.PrintAfterAll = os.Stderr
+	}
+	if err := pipe.Run(m, opts); err != nil {
+		fatal(err)
+	}
+	fmt.Print(ir.Print(m))
+	fmt.Println()
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func parseBugs(list string) (bugs.Set, error) {
+	set := bugs.None()
+	if list == "" {
+		return set, nil
+	}
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad bug id %q", part)
+		}
+		if _, err := bugs.Lookup(bugs.ID(n)); err != nil {
+			return nil, err
+		}
+		set[bugs.ID(n)] = true
+	}
+	return set, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlir-opt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command mlir-reduce shrinks a bug-triggering MLIR program while its
+// failure keeps reproducing — the standalone counterpart of the paper's
+// test-case reduction step that produced Figures 2 and 12.
+//
+// The interestingness predicate is differential: the program (which
+// must be statically valid and UB-free under the reference semantics)
+// must keep being detected by the same oracle when compiled by the
+// selected (bug-injected) compiler build:
+//
+//	mlir-reduce -preset ariths -bugs 7 crash.mlir > reduced.mlir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ratte"
+	"ratte/internal/bugs"
+	"ratte/internal/difftest"
+	"ratte/internal/ir"
+	"ratte/internal/reduce"
+)
+
+func main() {
+	preset := flag.String("preset", "ariths", "pipeline preset used for compilation")
+	bugList := flag.String("bugs", "", "comma-separated injected bug ids the failure depends on")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := ir.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ratte.VerifyModule(m); err != nil {
+		fatal(fmt.Errorf("input must be statically valid: %w", err))
+	}
+
+	bugSet := bugs.None()
+	for _, part := range strings.Split(*bugList, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("bad bug id %q", part))
+		}
+		bugSet[bugs.ID(n)] = true
+	}
+
+	ref, err := ratte.Interpret(m, "main")
+	if err != nil {
+		fatal(fmt.Errorf("input must be UB-free under the reference semantics: %w", err))
+	}
+	orig := difftest.TestModule(m, ref.Output, *preset, bugSet)
+	oracle := orig.Detected()
+	if oracle == difftest.OracleNone {
+		fatal(fmt.Errorf("input does not trigger any oracle under the selected compiler build"))
+	}
+	fmt.Fprintf(os.Stderr, "mlir-reduce: input triggers the %s oracle; reducing…\n", oracle)
+
+	pred := func(c *ir.Module) bool {
+		if err := ratte.VerifyModule(c); err != nil {
+			return false
+		}
+		r, err := ratte.Interpret(c, "main")
+		if err != nil {
+			return false
+		}
+		return difftest.TestModule(c, r.Output, *preset, bugSet).Detected() == oracle
+	}
+	small := reduce.Module(m, pred)
+	fmt.Fprintf(os.Stderr, "mlir-reduce: %d ops -> %d ops\n", m.NumOps(), small.NumOps())
+	fmt.Println(ir.Print(small))
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlir-reduce:", err)
+	os.Exit(1)
+}

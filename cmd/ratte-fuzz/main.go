@@ -1,0 +1,293 @@
+// Command ratte-fuzz drives fuzzing campaigns and regenerates the
+// paper's evaluation artefacts:
+//
+//	ratte-fuzz -experiment=table2    # generator presets: validity rates
+//	ratte-fuzz -experiment=table3    # bug-finding with injected defects
+//	ratte-fuzz -experiment=table4    # MLIRSmith comparison
+//	ratte-fuzz -experiment=throughput  # §4.2 generation-time comparison
+//
+// or ad-hoc campaigns:
+//
+//	ratte-fuzz -preset=ariths -programs=500 -size=30 -bugs=7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ratte"
+	"ratte/internal/bugs"
+	"ratte/internal/difftest"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+	"ratte/internal/mlirsmith"
+	"ratte/internal/reduce"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "table2 | table3 | table4 | throughput | dol")
+	preset := flag.String("preset", "ariths", "generator preset for ad-hoc campaigns")
+	programs := flag.Int("programs", 200, "programs per campaign")
+	size := flag.Int("size", 30, "fragments per program")
+	seed := flag.Int64("seed", 1, "base seed")
+	bugList := flag.String("bugs", "", "comma-separated injected bug ids")
+	reduceFlag := flag.Bool("reduce", false, "reduce the first detection's test case")
+	workers := flag.Int("workers", 1, "parallel campaign workers (ad-hoc mode)")
+	flag.Parse()
+
+	switch *experiment {
+	case "table2":
+		table2(*programs, *size, *seed)
+	case "table3":
+		table3(*programs, *size, *seed)
+	case "table4":
+		table4(*programs, *size, *seed)
+	case "throughput":
+		throughput(*programs, *size, *seed)
+	case "dol":
+		dol(*programs, *size, *seed)
+	case "":
+		adhoc(*preset, *programs, *size, *seed, *bugList, *reduceFlag, *workers)
+	default:
+		fmt.Fprintln(os.Stderr, "ratte-fuzz: unknown experiment", *experiment)
+		os.Exit(1)
+	}
+}
+
+// table2 re-measures the paper's Table 2 claim: every Ratte-generated
+// program (per preset) compiles and is UB-free.
+func table2(programs, size int, seed int64) {
+	fmt.Println("Table 2 — Ratte generators: dialects, target, validity")
+	fmt.Printf("%-14s %-40s %-8s %-10s %-8s\n", "Name", "Dialects", "Target", "Compiled", "UB-Free")
+	dialectsOf := map[string]string{
+		"ariths":        "{arith, scf, func, vector}",
+		"linalggeneric": "{linalg, arith, func, vector}",
+		"tensor":        "{tensor, arith, func, vector}",
+	}
+	for _, preset := range gen.Presets() {
+		compiled, ubFree := 0, 0
+		for i := 0; i < programs; i++ {
+			p, err := gen.Generate(gen.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "generate:", err)
+				os.Exit(1)
+			}
+			cl := difftest.Classify(p.Module, preset)
+			if cl.Compiled {
+				compiled++
+			}
+			if cl.UBFree {
+				ubFree++
+			}
+		}
+		fmt.Printf("%-14s %-40s %-8s %8.2f%% %7.2f%%\n",
+			preset, dialectsOf[preset], "{llvm}",
+			pct(compiled, programs), pct(ubFree, programs))
+	}
+}
+
+// table3 re-runs the bug-finding experiment: one campaign per injected
+// defect, reporting which oracle detected it and after how many
+// programs.
+func table3(programs, size int, seed int64) {
+	fmt.Println("Table 3 — bugs found by differential fuzzing campaigns")
+	fmt.Printf("%-3s %-13s %-11s %-22s %-12s %-8s %-22s %s\n",
+		"#", "Phase", "Symptom", "Pass", "PaperOracle", "Found", "Oracles fired", "Programs")
+	for _, info := range bugs.Table() {
+		res, err := difftest.RunCampaign(difftest.CampaignConfig{
+			Preset:   "ariths",
+			Programs: programs,
+			Size:     size,
+			Seed:     seed + 1000*int64(info.ID),
+			Bugs:     bugs.Only(info.ID),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		found := "no"
+		firstAt := "-"
+		if len(res.Detections) > 0 {
+			found = "yes"
+			firstAt = fmt.Sprintf("first@%d", res.Detections[0].Seed-(seed+1000*int64(info.ID))+1)
+		}
+		var fired []string
+		for o, n := range res.ByOracle {
+			fired = append(fired, fmt.Sprintf("%s×%d", o, n))
+		}
+		fmt.Printf("%-3d %-13s %-11s %-22s %-12s %-8s %-22s %d/%d (%s)\n",
+			int(info.ID), info.Phase, info.Symptom, info.Pass, info.Oracle,
+			found, strings.Join(fired, " "), len(res.Detections), res.Programs, firstAt)
+	}
+}
+
+// table4 re-measures the MLIRSmith comparison.
+func table4(programs, size int, seed int64) {
+	fmt.Println("Table 4 — compileability / UB-freeness of MLIRSmith vs Ratte")
+	fmt.Printf("%-16s %-28s %-10s %-10s\n", "Generator", "Preset", "Compiled", "UB-Free")
+	for _, preset := range []string{"unmod", "ariths", "linalggeneric", "tensor"} {
+		compiled, ubFree := 0, 0
+		for i := 0; i < programs; i++ {
+			m, err := mlirsmith.Generate(mlirsmith.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mlirsmith:", err)
+				os.Exit(1)
+			}
+			cl := difftest.Classify(m, preset)
+			if cl.Compiled {
+				compiled++
+			}
+			if cl.UBFree {
+				ubFree++
+			}
+		}
+		ub := fmt.Sprintf("%.2f%%", pct(ubFree, programs))
+		if preset == "unmod" {
+			ub = "N/A"
+		}
+		fmt.Printf("%-16s %-28s %9.2f%% %10s\n", "MLIRSmith", preset, pct(compiled, programs), ub)
+	}
+	for _, preset := range gen.Presets() {
+		compiled, ubFree := 0, 0
+		for i := 0; i < programs; i++ {
+			p, err := gen.Generate(gen.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "generate:", err)
+				os.Exit(1)
+			}
+			cl := difftest.Classify(p.Module, preset)
+			if cl.Compiled {
+				compiled++
+			}
+			if cl.UBFree {
+				ubFree++
+			}
+		}
+		fmt.Printf("%-16s %-28s %9.2f%% %9.2f%%\n", "Ratte", preset, pct(compiled, programs), pct(ubFree, programs))
+	}
+}
+
+// throughput re-measures §4.2's generation-time comparison: seconds per
+// 1000 programs for Ratte (which interprets during generation) vs the
+// MLIRSmith baseline (which does not).
+func throughput(programs, size int, seed int64) {
+	fmt.Println("§4.2 — generation throughput (normalised to 1000 programs)")
+	fmt.Printf("%-14s %-14s %-14s %-8s\n", "Preset", "Ratte", "MLIRSmith", "Ratio")
+	for _, preset := range gen.Presets() {
+		start := time.Now()
+		for i := 0; i < programs; i++ {
+			if _, err := gen.Generate(gen.Config{Preset: preset, Size: size, Seed: seed + int64(i)}); err != nil {
+				fmt.Fprintln(os.Stderr, "generate:", err)
+				os.Exit(1)
+			}
+		}
+		ratteTime := time.Since(start)
+		start = time.Now()
+		for i := 0; i < programs; i++ {
+			if _, err := mlirsmith.Generate(mlirsmith.Config{Preset: preset, Size: size, Seed: seed + int64(i)}); err != nil {
+				fmt.Fprintln(os.Stderr, "mlirsmith:", err)
+				os.Exit(1)
+			}
+		}
+		smithTime := time.Since(start)
+		norm := func(d time.Duration) string {
+			per1000 := d.Seconds() * 1000 / float64(programs)
+			return fmt.Sprintf("%.2fs/1000", per1000)
+		}
+		fmt.Printf("%-14s %-14s %-14s %6.1fx\n", preset, norm(ratteTime), norm(smithTime),
+			ratteTime.Seconds()/smithTime.Seconds())
+	}
+}
+
+// dol measures the false-positive rate of plain cross-optimisation-
+// level testing (no reference semantics) on a CORRECT compiler: every
+// alarm is a UB-induced false positive (§4.2's usability argument).
+func dol(programs, size int, seed int64) {
+	fmt.Println("§4.2 — DOL-testing false positives on a correct compiler")
+	fmt.Printf("%-12s %-10s %-12s %-16s\n", "Generator", "Compiled", "Alarms", "FP rate")
+	compiled, alarms := 0, 0
+	for i := 0; i < programs; i++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: size, Seed: seed + int64(i)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "generate:", err)
+			os.Exit(1)
+		}
+		c, a := difftest.DOLAlarm(p.Module, "ariths")
+		if c {
+			compiled++
+		}
+		if a {
+			alarms++
+		}
+	}
+	fmt.Printf("%-12s %-10d %-12d %8.2f%%\n", "Ratte", compiled, alarms, pct(alarms, max(compiled, 1)))
+	compiled, alarms = 0, 0
+	for i := 0; i < programs; i++ {
+		m, err := mlirsmith.Generate(mlirsmith.Config{Preset: "ariths", Size: size, Seed: seed + int64(i)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlirsmith:", err)
+			os.Exit(1)
+		}
+		c, a := difftest.DOLAlarm(m, "ariths")
+		if c {
+			compiled++
+		}
+		if a {
+			alarms++
+		}
+	}
+	fmt.Printf("%-12s %-10d %-12d %8.2f%%\n", "MLIRSmith", compiled, alarms, pct(alarms, max(compiled, 1)))
+}
+
+// adhoc runs a plain campaign.
+func adhoc(preset string, programs, size int, seed int64, bugList string, doReduce bool, workers int) {
+	bugSet := bugs.None()
+	for _, part := range strings.Split(bugList, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratte-fuzz: bad bug id", part)
+			os.Exit(1)
+		}
+		bugSet[bugs.ID(n)] = true
+	}
+	res, err := difftest.RunCampaignParallel(difftest.CampaignConfig{
+		Preset:   preset,
+		Programs: programs,
+		Size:     size,
+		Seed:     seed,
+		Bugs:     bugSet,
+	}, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("programs tested: %d\ndetections: %d\n", res.Programs, len(res.Detections))
+	for o, n := range res.ByOracle {
+		fmt.Printf("  %s: %d\n", o, n)
+	}
+	if len(res.Detections) > 0 {
+		d := res.Detections[0]
+		fmt.Printf("first detection: seed %d via %s\n", d.Seed, d.Oracle)
+		if doReduce {
+			pred := func(m *ir.Module) bool {
+				ref, err := ratte.Interpret(m, "main")
+				if err != nil {
+					return false
+				}
+				return difftest.TestModule(m, ref.Output, preset, bugSet).Detected() == d.Oracle
+			}
+			small := reduce.Module(d.Program, pred)
+			fmt.Printf("reduced test case (%d ops -> %d ops):\n%s\n",
+				d.Program.NumOps(), small.NumOps(), ir.Print(small))
+		}
+	}
+}
+
+func pct(n, total int) float64 { return 100 * float64(n) / float64(total) }

@@ -1,0 +1,116 @@
+// Customdialect demonstrates the composability claim of the paper: a
+// brand-new dialect gets executable semantics and static rules in a few
+// dozen lines, WITHOUT modifying any existing dialect — and composes
+// with the stock dialects into a working interpreter.
+//
+// The example defines a toy "stats" dialect with two operations:
+//
+//	stats.sum    — sum of all elements of a tensor
+//	stats.argmax — index of the (first) maximal element
+//
+// Run with:
+//
+//	go run ./examples/customdialect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/verify"
+)
+
+// statsSemantics builds the interpreter kernels for the stats dialect —
+// the analogue of one `Semantics()` function in any stock dialect
+// package.
+func statsSemantics() *interp.Dialect {
+	d := interp.NewDialect("stats")
+
+	d.Register("stats.sum", func(ctx *interp.Context, op *ir.Operation) error {
+		t, err := ctx.GetTensor(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		w, _ := ir.BitWidth(t.Elem)
+		acc := rtval.NewInt(w, 0)
+		for _, e := range t.Elems {
+			acc = acc.Add(e)
+		}
+		return ctx.Define(op.Results[0], acc)
+	})
+
+	d.Register("stats.argmax", func(ctx *interp.Context, op *ir.Operation) error {
+		t, err := ctx.GetTensor(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		if len(t.Elems) == 0 {
+			return &rtval.TrapError{Op: "stats.argmax", Reason: "empty tensor"}
+		}
+		best := 0
+		for i, e := range t.Elems {
+			if e.Signed() > t.Elems[best].Signed() {
+				best = i
+			}
+		}
+		return ctx.Define(op.Results[0], rtval.NewIndex(int64(best)))
+	})
+
+	return d
+}
+
+// statsSpecs builds the static rules — the analogue of `Specs()`.
+func statsSpecs() verify.Registry {
+	tensorIn := func(c *verify.Checker, op *ir.Operation) error {
+		if err := verify.WantOperands(op, 1); err != nil {
+			return err
+		}
+		if _, ok := op.Operands[0].Type.(ir.TensorType); !ok {
+			return verify.Errf(op, "operand must be a tensor")
+		}
+		return verify.WantResults(op, 1)
+	}
+	return verify.Registry{
+		"stats.sum":    {Check: tensorIn},
+		"stats.argmax": {Check: tensorIn},
+	}
+}
+
+const program = `"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[3, 1, 4, 1, 5, 9, 2, 6]> : tensor<8xi64>} : () -> (tensor<8xi64>)
+    %sum = "stats.sum"(%t) : (tensor<8xi64>) -> (i64)
+    %am = "stats.argmax"(%t) : (tensor<8xi64>) -> (index)
+    "vector.print"(%sum) : (i64) -> ()
+    "vector.print"(%am) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+
+func main() {
+	m, err := ir.Parse(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compose the static rules: stock dialects + stats. Merging is the
+	// whole integration step.
+	specs := verify.Merge(dialects.SourceSpecs(), statsSpecs())
+	if err := verify.Module(m, specs); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	fmt.Println("module verifies with the composed rule set")
+
+	// Compose the interpreter: stock kernels + stats kernels.
+	in := interp.New(append(dialects.Source(), statsSemantics())...)
+	res, err := in.Run(m, "main")
+	if err != nil {
+		log.Fatal("interpretation failed: ", err)
+	}
+	fmt.Print(res.Output) // 31 and 5
+	fmt.Println("the stats dialect ran inside the stock interpreter — no existing dialect changed")
+}

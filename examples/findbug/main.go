@@ -1,0 +1,73 @@
+// Findbug re-enacts the paper's Figure 12 discovery end to end: a
+// fuzzing campaign against a compiler with bug 7 injected (the
+// arith-expand floordivsi lowering whose intermediate computes
+// -2^63 / -1), followed by automatic test-case reduction — arriving at
+// a program of the same shape as the paper's reduced figure.
+//
+// Run with:
+//
+//	go run ./examples/findbug
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ratte"
+	"ratte/internal/bugs"
+)
+
+func main() {
+	buggy := ratte.Bugs(bugs.FloorDivSiExpand)
+
+	fmt.Println("fuzzing a compiler with bug 7 (arith-expand floordivsi) injected…")
+	res, err := ratte.RunCampaign(ratte.CampaignConfig{
+		Preset:      "ariths",
+		Programs:    2000,
+		Size:        30,
+		Seed:        7000,
+		Bugs:        buggy,
+		StopAtFirst: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Detections) == 0 {
+		log.Fatalf("no detection in %d programs — raise the budget", res.Programs)
+	}
+	d := res.Detections[0]
+	fmt.Printf("detected after %d programs by the %s oracle (paper: NC for the trapping case)\n",
+		res.Programs, d.Oracle)
+
+	// Reduce while the same oracle keeps firing.
+	pred := func(m *ratte.Module) bool {
+		ref, err := ratte.Interpret(m, "main")
+		if err != nil {
+			return false
+		}
+		return ratte.Test(m, ref.Output, "ariths", buggy).Detected() == d.Oracle
+	}
+	small := ratte.ReduceModule(d.Program, pred)
+	fmt.Printf("reduced from %d to %d operations\n", d.Program.NumOps(), small.NumOps())
+	fmt.Println("=== reduced test case (compare paper Figure 12) ===")
+	fmt.Println(ratte.PrintModule(small))
+
+	ref, err := ratte.Interpret(small, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference semantics say the output should be:\n%s", ref.Output)
+
+	rep := ratte.Test(small, ref.Output, "ariths", buggy)
+	fmt.Println("buggy compiler behaviour per build configuration:")
+	for cfg, lr := range rep.Levels {
+		switch {
+		case lr.CompileErr != nil:
+			fmt.Printf("  %-12s rejected: %v\n", cfg, lr.CompileErr)
+		case lr.RunErr != nil:
+			fmt.Printf("  %-12s crashed: %v\n", cfg, lr.RunErr)
+		default:
+			fmt.Printf("  %-12s printed %q\n", cfg, lr.Output)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Refinterp uses the validated reference semantics as a standalone
+// library interpreter (the paper's §4.3 by-product: "a composable
+// reference implementation … which can help both developers and users
+// of MLIR"): it interprets the paper's two figure programs and explains
+// what each one must compute.
+//
+// Run with:
+//
+//	go run ./examples/refinterp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ratte"
+)
+
+// figure2 is the paper's Figure 2: mulsi_extended(-1, -1) on i1. The
+// low half of the 2-bit product 0b01 is 1 (prints -1 as a signed i1);
+// the high half is 0. The production compiler miscompiled the high
+// half to -1.
+const figure2 = `"builtin.module"() ({
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    %0 = "func.call"() {callee = @one} : () -> (i1)
+    %low, %high = "arith.mulsi_extended"(%0, %n1) : (i1, i1) -> (i1, i1)
+    "vector.print"(%low) : (i1) -> ()
+    "vector.print"(%high) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%n1) : (i1) -> ()
+  }) {sym_name = "one", function_type = () -> (i1)} : () -> ()
+}) : () -> ()`
+
+// figure12 is the paper's Figure 12: (-2^63 + 1) floordiv -1, which a
+// correct compiler must evaluate to 2^63 - 1 (the production lowering
+// produced an undefined value).
+const figure12 = `"builtin.module"() ({
+  "func.func"() ({
+    %cm, %cn1 = "func.call"() {callee = @func1} : () -> (i64, i64)
+    %1 = "arith.floordivsi"(%cm, %cn1) : (i64, i64) -> (i64)
+    "vector.print"(%1) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %cm = "arith.constant"() {value = -9223372036854775807 : i64} : () -> (i64)
+    %cn1 = "arith.constant"() {value = -1 : i64} : () -> (i64)
+    "func.return"(%cm, %cn1) : (i64, i64) -> ()
+  }) {sym_name = "func1", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()`
+
+// divByZero shows the interpreter rejecting UB rather than inventing a
+// value.
+const divByZero = `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %q = "arith.divsi"(%a, %z) : (i64, i64) -> (i64)
+    "vector.print"(%q) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+
+func run(name, src string) {
+	fmt.Printf("--- %s ---\n", name)
+	m, err := ratte.ParseModule(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ratte.VerifyModule(m); err != nil {
+		log.Fatal(err)
+	}
+	res, err := ratte.Interpret(m, "main")
+	switch {
+	case err == nil:
+		fmt.Print(res.Output)
+	case ratte.IsUB(err):
+		fmt.Println("rejected: undefined behaviour —", err)
+	case ratte.IsTrap(err):
+		fmt.Println("rejected: runtime trap —", err)
+	default:
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	run("paper Figure 2 (expected: -1 then 0)", figure2)
+	run("paper Figure 12 (expected: 9223372036854775807)", figure12)
+	run("division by zero (expected: UB rejection)", divByZero)
+}

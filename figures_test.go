@@ -1,0 +1,172 @@
+package ratte_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ratte"
+)
+
+// TestFigure4_UndesirableBehaviours walks the four example failure
+// classes of the paper's Figure 4 and checks each is caught by the
+// right mechanism: the first two statically (verifier), the last two
+// dynamically (reference interpreter).
+func TestFigure4_UndesirableBehaviours(t *testing.T) {
+	wrap := func(body string) string {
+		return `"builtin.module"() ({
+  "func.func"() ({` + body + `
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	}
+
+	t.Run("1_id_reuse_is_compile_error", func(t *testing.T) {
+		m, err := ratte.ParseModule(wrap(`
+    %x = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %x = "arith.constant"() {value = 2 : i64} : () -> (i64)`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ratte.VerifyModule(m); err == nil {
+			t.Error("ID reuse must be a compile error")
+		}
+	})
+
+	t.Run("2_type_mismatch_is_compile_error", func(t *testing.T) {
+		m, err := ratte.ParseModule(wrap(`
+    %0 = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 7 : i32} : () -> (i32)
+    %2 = "arith.addi"(%0, %1) : (i64, i32) -> (i32)`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ratte.VerifyModule(m); err == nil {
+			t.Error("mismatched addi types must be a compile error")
+		}
+	})
+
+	t.Run("3_division_by_zero_is_UB", func(t *testing.T) {
+		m, err := ratte.ParseModule(wrap(`
+    %0 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %n = "arith.divsi"(%1, %0) : (i64, i64) -> (i64)`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ratte.VerifyModule(m); err != nil {
+			t.Fatalf("statically valid program rejected: %v", err)
+		}
+		_, err = ratte.Interpret(m, "main")
+		if err == nil || !ratte.IsUB(err) {
+			t.Errorf("want UB, got %v", err)
+		}
+	})
+
+	t.Run("4_oob_access_is_runtime_error", func(t *testing.T) {
+		m, err := ratte.ParseModule(wrap(`
+    %0 = "arith.constant"() {value = dense<0> : tensor<3x3xi64>} : () -> (tensor<3x3xi64>)
+    %1 = "arith.constant"() {value = 9 : index} : () -> (index)
+    %2 = "tensor.extract"(%0, %1, %1) : (tensor<3x3xi64>, index, index) -> (i64)`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ratte.VerifyModule(m); err != nil {
+			t.Fatalf("statically valid program rejected: %v", err)
+		}
+		_, err = ratte.Interpret(m, "main")
+		if err == nil || !ratte.IsTrap(err) {
+			t.Errorf("want runtime trap, got %v", err)
+		}
+	})
+}
+
+// TestArtifactFlows reproduces the paper artifact's A.5 command-line
+// flows against the real binaries: mlir-quickcheck generates a program
+// plus its expected output, and ref-interpreter reproduces exactly that
+// output.
+func TestArtifactFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"mlir-quickcheck", "ref-interpreter", "mlir-opt", "mlir-reduce"} {
+		cmd := exec.Command(goTool, "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	for _, preset := range []string{"ariths", "linalggeneric", "tensor"} {
+		// A.5.1/A.5.4: generate a program of size 30 and its expected
+		// result.
+		out, err := exec.Command(filepath.Join(bin, "mlir-quickcheck"),
+			"-d="+preset, "-n=30", "-seed=5").Output()
+		if err != nil {
+			t.Fatalf("%s: mlir-quickcheck: %v", preset, err)
+		}
+		text := string(out)
+		marker := "// expected output:\n"
+		idx := strings.Index(text, marker)
+		if idx < 0 {
+			t.Fatalf("%s: no expected-output block:\n%s", preset, text)
+		}
+		program := text[:idx]
+		var expect strings.Builder
+		for _, line := range strings.Split(strings.TrimRight(text[idx+len(marker):], "\n"), "\n") {
+			expect.WriteString(strings.TrimPrefix(line, "// "))
+			expect.WriteByte('\n')
+		}
+
+		// A.5.5: the reference interpreter reproduces the expectation.
+		cmd := exec.Command(filepath.Join(bin, "ref-interpreter"), "-m=main")
+		cmd.Stdin = strings.NewReader(program)
+		ref, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("%s: ref-interpreter: %v", preset, err)
+		}
+		if string(ref) != expect.String() {
+			t.Errorf("%s: interpreter output %q, generator expected %q", preset, ref, expect.String())
+		}
+
+		// A.5.4: the program compiles with the preset pipeline.
+		cmd = exec.Command(filepath.Join(bin, "mlir-opt"), "-preset", preset, "-O", "1")
+		cmd.Stdin = strings.NewReader(program)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("%s: mlir-opt: %v\n%s", preset, err, out)
+		}
+	}
+
+	// A.5.5: the shipped example files interpret to their documented
+	// outputs.
+	for file, want := range map[string]string{
+		"testdata/examples/example1.mlir": "42\n-1\n",
+		"testdata/examples/example2.mlir": "8\n( ( 2, 4 ), ( 6, 8 ) )\n",
+	} {
+		out, err := exec.Command(filepath.Join(bin, "ref-interpreter"), "-f", file).Output()
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if string(out) != want {
+			t.Errorf("%s: output %q, want %q", file, out, want)
+		}
+	}
+
+	// A.5.2-style reduction: mlir-reduce shrinks the bug-7 case while
+	// preserving its oracle.
+	out, err := exec.Command(filepath.Join(bin, "mlir-reduce"),
+		"-preset", "ariths", "-bugs", "7", "testdata/bugs/7.mlir").Output()
+	if err != nil {
+		t.Fatalf("mlir-reduce: %v", err)
+	}
+	if !strings.Contains(string(out), "arith.floordivsi") {
+		t.Errorf("reduced case lost the trigger op:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module ratte
+
+go 1.22

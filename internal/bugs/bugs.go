@@ -1,0 +1,128 @@
+// Package bugs is the registry of the 8 production-MLIR defects the
+// Ratte paper reports (Table 3), re-created from their GitHub-issue
+// root causes as *injectable* faults in Ratte-Go's compiler substrate.
+//
+// A from-scratch substrate has no legacy bug population to mine, so the
+// bug-finding experiment (Table 3) re-creates each paper bug at the
+// same place in the pipeline — the same pass, triggered by the same
+// operation, with the same symptom — and toggles it on for the fuzzing
+// campaign. With every bug disabled the compiler is intended to be
+// correct, which the differential test suite asserts.
+package bugs
+
+import "fmt"
+
+// ID identifies one injectable bug, numbered as in the paper's Table 3.
+type ID int
+
+// The eight bugs of Table 3.
+const (
+	// IndexCastUIFold (bug 1): the canonicalize fold of
+	// arith.index_castui over a constant sign-extends instead of
+	// zero-extending. Miscompile, detected by DT-R. Issue 90238.
+	IndexCastUIFold ID = 1
+
+	// IndexCastChainFold (bug 2): canonicalize folds
+	// index_cast(index_cast(x : index -> iN) : iN -> index) to x,
+	// dropping the intermediate truncation. Miscompile, detected by
+	// DT-R. Issue 90296.
+	IndexCastChainFold ID = 2
+
+	// RemoveDeadValuesCall (bug 3): the remove-dead-values pass rejects
+	// valid modules containing a func.call with an unused result.
+	// Wrong rejection, detected by NC. Issue 82788.
+	RemoveDeadValuesCall ID = 3
+
+	// AdduiExtendedLegalize (bug 4): convert-arith-to-llvm fails to
+	// legalize arith.addui_extended over i1 operands and rejects the
+	// module. Wrong rejection, detected by NC. Issue 84986.
+	AdduiExtendedLegalize ID = 4
+
+	// MulsiExtendedI1Fold (bug 5): canonicalize special-cases i1 in
+	// arith.mulsi_extended, replacing the high result with the low
+	// result ("the high half is the sign of the product") — wrong for
+	// 1-bit integers, where the high half is always 0 (paper Figure 2).
+	// Miscompile, detected by DT-R. Issue 88732.
+	MulsiExtendedI1Fold ID = 5
+
+	// CeilDivSiConvert (bug 6): convert-arith-to-llvm lowers
+	// arith.ceildivsi with the positive-operand-only formula
+	// (a + b - 1) / b. Miscompile, detected by DT-R. Issue 89382.
+	CeilDivSiConvert ID = 6
+
+	// FloorDivSiExpand (bug 7): arith-expand lowers arith.floordivsi
+	// through an unconditionally-computed intermediate
+	// (x - n) / m that evaluates -2^63 / -1 for n = -2^63 + 1, m = -1 —
+	// a signed-division overflow that traps at the llvm level (paper
+	// Figure 12). Lowering miscompile, detected by NC. Issue 83079.
+	FloorDivSiExpand ID = 7
+
+	// CeilDivSiExpand (bug 8): arith-expand lowers arith.ceildivsi as
+	// -floordiv(-a, b); the negation wraps for a = INT_MIN, producing a
+	// wrong (non-trapping) result. Lowering miscompile, detected by
+	// DT-R. Issue 106519.
+	CeilDivSiExpand ID = 8
+)
+
+// Info is one row of the paper's Table 3.
+type Info struct {
+	ID           ID
+	Phase        string // Optimisation, Verifier or Lowering
+	Symptom      string // Miscompile or Rejection
+	Status       string // paper-reported status
+	Pass         string // pass containing the defect
+	Oracle       string // oracle that detected it: NC, DT-O or DT-R
+	DetectedWith string // operation whose generator triggered it
+	Issue        int    // llvm-project GitHub issue number
+}
+
+// Table returns the full Table 3 inventory, in paper order.
+func Table() []Info {
+	return []Info{
+		{IndexCastUIFold, "Optimisation", "Miscompile", "Submitted", "canonicalize", "DT-R", "arith.index_castui", 90238},
+		{IndexCastChainFold, "Optimisation", "Miscompile", "Confirmed", "canonicalize", "DT-R", "arith.index_cast", 90296},
+		{RemoveDeadValuesCall, "Verifier", "Rejection", "Confirmed", "remove-dead-values", "NC", "func.call", 82788},
+		{AdduiExtendedLegalize, "Verifier", "Rejection", "Confirmed", "convert-arith-to-llvm", "NC", "arith.addui_extended", 84986},
+		{MulsiExtendedI1Fold, "Optimisation", "Miscompile", "Fixed", "canonicalize", "DT-R", "arith.mulsi_extended", 88732},
+		{CeilDivSiConvert, "Optimisation", "Miscompile", "Fixed", "convert-arith-to-llvm", "DT-R", "arith.ceildivsi", 89382},
+		{FloorDivSiExpand, "Lowering", "Miscompile", "Fixed", "arith-expand", "NC", "arith.floordivsi", 83079},
+		{CeilDivSiExpand, "Lowering", "Miscompile", "Confirmed", "arith-expand", "DT-R", "arith.ceildivsi", 106519},
+	}
+}
+
+// Lookup returns the Info for id.
+func Lookup(id ID) (Info, error) {
+	for _, info := range Table() {
+		if info.ID == id {
+			return info, nil
+		}
+	}
+	return Info{}, fmt.Errorf("bugs: unknown bug id %d", int(id))
+}
+
+// Set is a selection of enabled bugs.
+type Set map[ID]bool
+
+// None returns an empty selection: the correct compiler.
+func None() Set { return Set{} }
+
+// All returns a selection with every bug enabled.
+func All() Set {
+	s := Set{}
+	for _, info := range Table() {
+		s[info.ID] = true
+	}
+	return s
+}
+
+// Only returns a selection with exactly the given bugs enabled.
+func Only(ids ...ID) Set {
+	s := Set{}
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Enabled reports whether id is enabled (nil Set means none).
+func (s Set) Enabled(id ID) bool { return s != nil && s[id] }

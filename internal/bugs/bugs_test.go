@@ -1,0 +1,76 @@
+package bugs_test
+
+import (
+	"testing"
+
+	"ratte/internal/bugs"
+)
+
+// TestTable5BugRegistry checks the bug inventory against the paper's
+// Table 3 / artifact Table 5 row by row.
+func TestTable5BugRegistry(t *testing.T) {
+	want := []struct {
+		id      bugs.ID
+		pass    string
+		oracle  string
+		issue   int
+		symptom string
+	}{
+		{1, "canonicalize", "DT-R", 90238, "Miscompile"},
+		{2, "canonicalize", "DT-R", 90296, "Miscompile"},
+		{3, "remove-dead-values", "NC", 82788, "Rejection"},
+		{4, "convert-arith-to-llvm", "NC", 84986, "Rejection"},
+		{5, "canonicalize", "DT-R", 88732, "Miscompile"},
+		{6, "convert-arith-to-llvm", "DT-R", 89382, "Miscompile"},
+		{7, "arith-expand", "NC", 83079, "Miscompile"},
+		{8, "arith-expand", "DT-R", 106519, "Miscompile"},
+	}
+	table := bugs.Table()
+	if len(table) != len(want) {
+		t.Fatalf("table has %d rows, want %d", len(table), len(want))
+	}
+	for i, w := range want {
+		got := table[i]
+		if got.ID != w.id || got.Pass != w.pass || got.Oracle != w.oracle ||
+			got.Issue != w.issue || got.Symptom != w.symptom {
+			t.Errorf("row %d = %+v, want %+v", i, got, w)
+		}
+	}
+	// Six of eight are miscompilations; two are wrong rejections.
+	mis := 0
+	for _, info := range table {
+		if info.Symptom == "Miscompile" {
+			mis++
+		}
+	}
+	if mis != 6 {
+		t.Errorf("%d miscompilations, paper reports 6", mis)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	info, err := bugs.Lookup(bugs.FloorDivSiExpand)
+	if err != nil || info.Issue != 83079 {
+		t.Errorf("Lookup(7) = %+v, %v", info, err)
+	}
+	if _, err := bugs.Lookup(99); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestSets(t *testing.T) {
+	if len(bugs.All()) != 8 {
+		t.Error("All should enable 8 bugs")
+	}
+	if len(bugs.None()) != 0 {
+		t.Error("None should be empty")
+	}
+	s := bugs.Only(bugs.MulsiExtendedI1Fold)
+	if !s.Enabled(bugs.MulsiExtendedI1Fold) || s.Enabled(bugs.IndexCastUIFold) {
+		t.Error("Only selection wrong")
+	}
+	var nilSet bugs.Set
+	if nilSet.Enabled(bugs.MulsiExtendedI1Fold) {
+		t.Error("nil set should enable nothing")
+	}
+}

@@ -1,0 +1,251 @@
+package compiler
+
+import (
+	"ratte/internal/bugs"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+)
+
+// runArithExpand is the lowering pass that expands the rounded-division
+// operations (arith.ceildivsi, arith.floordivsi, arith.ceildivui) into
+// basic arith operations, mirroring MLIR's arith-expand. It hosts the
+// paper's two lowering bugs (7 and 8): because this pass runs at every
+// optimisation level, its miscompilations are invisible to
+// cross-optimisation-level differential testing.
+func runArithExpand(m *ir.Module, opts *Options) error {
+	for _, f := range funcsOf(m) {
+		nm := newNamer(f)
+		x := &expander{nm: nm, opts: opts, f: f}
+		for _, r := range f.Regions {
+			for _, b := range r.Blocks {
+				x.block(b, constMap{})
+			}
+		}
+	}
+	return nil
+}
+
+// expander walks blocks carrying constant knowledge: like MLIR's greedy
+// pattern driver, the pass *folds* an op whose operands are all known
+// constants instead of expanding it — which is why constant-fed rounded
+// divisions never reach the (possibly buggy) expansion at any
+// optimisation level.
+type expander struct {
+	nm   *namer
+	opts *Options
+	f    *ir.Operation
+}
+
+func (x *expander) block(b *ir.Block, consts constMap) {
+	var out []*ir.Operation
+	for _, op := range b.Ops {
+		for _, r := range op.Regions {
+			for _, nb := range r.Blocks {
+				x.block(nb, consts)
+			}
+		}
+		switch op.Name {
+		case "arith.floordivsi", "arith.ceildivsi", "arith.ceildivui":
+			if folded, ok := x.tryFold(op, consts); ok {
+				out = append(out, folded...)
+				continue
+			}
+		}
+		switch op.Name {
+		case "arith.floordivsi":
+			out = append(out, expandFloorDivSI(x.nm, op, x.opts)...)
+		case "arith.ceildivsi":
+			out = append(out, expandCeilDivSI(x.nm, op, x.opts)...)
+		case "arith.ceildivui":
+			out = append(out, expandCeilDivUI(x.nm, op)...)
+		default:
+			out = append(out, op)
+			consts.record(op)
+		}
+	}
+	b.Ops = out
+}
+
+// tryFold folds a rounded division over constant operands (declining on
+// UB-carrying inputs, which must stay observable at run time).
+func (x *expander) tryFold(op *ir.Operation, consts constMap) ([]*ir.Operation, bool) {
+	a, aok := consts.lookup(op.Operands[0])
+	bAttr, bok := consts.lookup(op.Operands[1])
+	if !aok || !bok {
+		return nil, false
+	}
+	t := op.Results[0].Type
+	r, ok := foldBinary(op.Name, constVal(a, t), constVal(bAttr, t))
+	if !ok {
+		return nil, false
+	}
+	cst := ir.NewOp("arith.constant")
+	cst.Attrs.Set("value", ir.IntAttr(r.Signed(), t))
+	cst.Results = []ir.Value{op.Results[0]}
+	return []*ir.Operation{cst}, true
+}
+
+// emitter accumulates the replacement sequence for one expanded op.
+type emitter struct {
+	nm  *namer
+	ops []*ir.Operation
+}
+
+func (e *emitter) constant(v int64, t ir.Type) ir.Value {
+	op, res := buildConst(e.nm, v, t)
+	e.ops = append(e.ops, op)
+	return res
+}
+
+func (e *emitter) op1(name string, t ir.Type, operands ...ir.Value) ir.Value {
+	op, res := buildOp1(e.nm, name, t, operands...)
+	e.ops = append(e.ops, op)
+	return res
+}
+
+func (e *emitter) cmpi(pred rtval.CmpPredicate, a, b ir.Value) ir.Value {
+	op := ir.NewOp("arith.cmpi")
+	op.Operands = []ir.Value{a, b}
+	op.Attrs.Set("predicate", ir.IntAttr(int64(pred), ir.I64))
+	res := e.nm.Value(ir.I1)
+	op.Results = []ir.Value{res}
+	e.ops = append(e.ops, op)
+	return res
+}
+
+// bindResult aliases the expansion's final value to the original result
+// ID so downstream uses are untouched.
+func (e *emitter) bindResult(orig ir.Value, val ir.Value) {
+	// An identity-preserving op: orig = val + 0. Canonicalize may fold
+	// it later; keeping an op (rather than rewriting all uses) keeps the
+	// expansion purely local, as pattern rewrites are in MLIR.
+	zero := e.constant(0, orig.Type)
+	op := ir.NewOp("arith.addi")
+	op.Operands = []ir.Value{val, zero}
+	op.Results = []ir.Value{orig}
+	e.ops = append(e.ops, op)
+}
+
+// expandFloorDivSI lowers floordivsi(n, m).
+//
+// Correct expansion (quotient/remainder adjustment):
+//
+//	q = divsi(n, m); r = remsi(n, m)
+//	adjust = (r != 0) && ((r < 0) != (m < 0))
+//	result = adjust ? q - 1 : q
+//
+// Buggy expansion (bug 7, issue 83079): the historical pattern
+//
+//	x  = (m < 0) ? 1 : -1
+//	n1 = x - n            // wraps to -2^63 for n = -2^63 + 1 (m < 0)
+//	q1 = divsi(n1, m)     // -2^63 / -1: signed division overflow
+//	q2 = -1 - q1
+//	result = signsDiffer(n, m) && n != 0 ? q2 : divsi(n, m)
+//
+// whose unconditionally-computed intermediate q1 hits the overflow trap
+// even though the select would not have chosen it (paper Figure 12).
+func expandFloorDivSI(nm *namer, op *ir.Operation, opts *Options) []*ir.Operation {
+	e := &emitter{nm: nm}
+	n, m := op.Operands[0], op.Operands[1]
+	t := op.Results[0].Type
+
+	if opts.Bugs.Enabled(bugs.FloorDivSiExpand) {
+		zero := e.constant(0, t)
+		one := e.constant(1, t)
+		negOne := e.constant(-1, t)
+		mNeg := e.cmpi(rtval.CmpSLT, m, zero)
+		x := e.op1("arith.select", t, mNeg, one, negOne)
+		n1 := e.op1("arith.subi", t, x, n)
+		q1 := e.op1("arith.divsi", t, n1, m)
+		q2 := e.op1("arith.subi", t, negOne, q1)
+		qTrunc := e.op1("arith.divsi", t, n, m)
+		nNeg := e.cmpi(rtval.CmpSLT, n, zero)
+		nPos := e.cmpi(rtval.CmpSGT, n, zero)
+		mPos := e.cmpi(rtval.CmpSGT, m, zero)
+		d1 := e.op1("arith.andi", ir.I1, nNeg, mPos)
+		d2 := e.op1("arith.andi", ir.I1, nPos, mNeg)
+		diff := e.op1("arith.ori", ir.I1, d1, d2)
+		res := e.op1("arith.select", t, diff, q2, qTrunc)
+		e.bindResult(op.Results[0], res)
+		return e.ops
+	}
+
+	zero := e.constant(0, t)
+	one := e.constant(1, t)
+	q := e.op1("arith.divsi", t, n, m)
+	r := e.op1("arith.remsi", t, n, m)
+	rNonZero := e.cmpi(rtval.CmpNE, r, zero)
+	rNeg := e.cmpi(rtval.CmpSLT, r, zero)
+	mNeg := e.cmpi(rtval.CmpSLT, m, zero)
+	signsDiffer := e.op1("arith.xori", ir.I1, rNeg, mNeg)
+	adjust := e.op1("arith.andi", ir.I1, rNonZero, signsDiffer)
+	qm1 := e.op1("arith.subi", t, q, one)
+	res := e.op1("arith.select", t, adjust, qm1, q)
+	e.bindResult(op.Results[0], res)
+	return e.ops
+}
+
+// expandCeilDivSI lowers ceildivsi(n, m).
+//
+// Correct expansion:
+//
+//	q = divsi(n, m); r = remsi(n, m)
+//	adjust = (r != 0) && ((r < 0) == (m < 0))
+//	result = adjust ? q + 1 : q
+//
+// Buggy expansion (bug 8, issue 106519): ceil(n/m) computed as
+// -floordiv(-n, m); the negation wraps for n = INT_MIN, silently
+// producing a wrong value (no trap), so only DT-R can see it.
+func expandCeilDivSI(nm *namer, op *ir.Operation, opts *Options) []*ir.Operation {
+	e := &emitter{nm: nm}
+	n, m := op.Operands[0], op.Operands[1]
+	t := op.Results[0].Type
+
+	if opts.Bugs.Enabled(bugs.CeilDivSiExpand) {
+		zero := e.constant(0, t)
+		one := e.constant(1, t)
+		negN := e.op1("arith.subi", t, zero, n) // wraps at INT_MIN
+		q := e.op1("arith.divsi", t, negN, m)
+		r := e.op1("arith.remsi", t, negN, m)
+		rNonZero := e.cmpi(rtval.CmpNE, r, zero)
+		rNeg := e.cmpi(rtval.CmpSLT, r, zero)
+		mNeg := e.cmpi(rtval.CmpSLT, m, zero)
+		signsDiffer := e.op1("arith.xori", ir.I1, rNeg, mNeg)
+		adjust := e.op1("arith.andi", ir.I1, rNonZero, signsDiffer)
+		qm1 := e.op1("arith.subi", t, q, one)
+		floor := e.op1("arith.select", t, adjust, qm1, q)
+		res := e.op1("arith.subi", t, zero, floor)
+		e.bindResult(op.Results[0], res)
+		return e.ops
+	}
+
+	zero := e.constant(0, t)
+	one := e.constant(1, t)
+	q := e.op1("arith.divsi", t, n, m)
+	r := e.op1("arith.remsi", t, n, m)
+	rNonZero := e.cmpi(rtval.CmpNE, r, zero)
+	rNeg := e.cmpi(rtval.CmpSLT, r, zero)
+	mNeg := e.cmpi(rtval.CmpSLT, m, zero)
+	sameSign := e.cmpi(rtval.CmpEQ, rNeg, mNeg)
+	adjust := e.op1("arith.andi", ir.I1, rNonZero, sameSign)
+	qp1 := e.op1("arith.addi", t, q, one)
+	res := e.op1("arith.select", t, adjust, qp1, q)
+	e.bindResult(op.Results[0], res)
+	return e.ops
+}
+
+// expandCeilDivUI lowers ceildivui(n, m) as n == 0 ? 0 : (n-1)/m + 1.
+func expandCeilDivUI(nm *namer, op *ir.Operation) []*ir.Operation {
+	e := &emitter{nm: nm}
+	n, m := op.Operands[0], op.Operands[1]
+	t := op.Results[0].Type
+	zero := e.constant(0, t)
+	one := e.constant(1, t)
+	nm1 := e.op1("arith.subi", t, n, one)
+	q := e.op1("arith.divui", t, nm1, m)
+	qp1 := e.op1("arith.addi", t, q, one)
+	isZero := e.cmpi(rtval.CmpEQ, n, zero)
+	res := e.op1("arith.select", t, isZero, zero, qp1)
+	e.bindResult(op.Results[0], res)
+	return e.ops
+}

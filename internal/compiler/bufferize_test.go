@@ -1,0 +1,100 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"ratte/internal/compiler"
+	"ratte/internal/ir"
+)
+
+// TestBufferizeInsertShape pins the value-semantics-preserving shape of
+// the tensor.insert bufferisation: a fresh alloc, a full copy of the
+// source buffer, then the store — never an in-place write.
+func TestBufferizeInsertShape(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %c = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %v = "arith.constant"() {value = 9 : i64} : () -> (i64)
+    %t2 = "tensor.insert"(%v, %c, %i0) : (i64, tensor<2xi64>, index) -> (tensor<2xi64>)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("one-shot-bufferize")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	counts := opCounts(m)
+	// The dense constant becomes one alloc + 2 stores; the insert adds
+	// one alloc + one copy + one store.
+	if counts["memref.alloc"] != 2 {
+		t.Errorf("allocs = %d, want 2:\n%s", counts["memref.alloc"], ir.Print(m))
+	}
+	if counts["memref.copy"] != 1 {
+		t.Errorf("copies = %d, want 1 (value semantics!)", counts["memref.copy"])
+	}
+	if counts["memref.store"] != 3 {
+		t.Errorf("stores = %d, want 3", counts["memref.store"])
+	}
+	if counts["tensor.insert"] != 0 {
+		t.Error("tensor.insert survived bufferisation")
+	}
+	// No tensor types may remain anywhere.
+	m.Walk(func(op *ir.Operation) bool {
+		for _, v := range append(op.Operands, op.Results...) {
+			if _, isTensor := v.Type.(ir.TensorType); isTensor {
+				t.Errorf("tensor-typed value %%%s survived bufferisation", v.ID)
+			}
+		}
+		return true
+	})
+}
+
+// TestBufferizeFunctionBoundary: signatures and call sites change
+// tensor to memref consistently.
+func TestBufferizeFunctionBoundary(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[4]> : tensor<1xi64>} : () -> (tensor<1xi64>)
+    %r = "func.call"(%t) {callee = @id} : (tensor<1xi64>) -> (tensor<1xi64>)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%x: tensor<1xi64>):
+    "func.return"(%x) : (tensor<1xi64>) -> ()
+  }) {sym_name = "id", function_type = (tensor<1xi64>) -> (tensor<1xi64>)} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("one-shot-bufferize")
+	if err := pipe.Run(m, &compiler.Options{VerifyBetweenPasses: true}); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := ir.FuncType(m.Func("id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ft.Inputs[0].(ir.MemRefType); !ok {
+		t.Errorf("callee input not bufferised: %s", ft)
+	}
+	if _, ok := ft.Results[0].(ir.MemRefType); !ok {
+		t.Errorf("callee result not bufferised: %s", ft)
+	}
+}
+
+// TestBufferizeRejectsTensorPrint: printing a whole tensor has no
+// lowering; the pass reports it rather than miscompiling.
+func TestBufferizeRejectsTensorPrint(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[4]> : tensor<1xi64>} : () -> (tensor<1xi64>)
+    "vector.print"(%t) : (tensor<1xi64>) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("one-shot-bufferize")
+	if err := pipe.Run(m, &compiler.Options{}); err == nil {
+		t.Error("tensor-typed vector.print must be a pipeline error")
+	}
+}

@@ -1,0 +1,141 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte/internal/compiler"
+	"ratte/internal/ir"
+)
+
+// canonicalized parses, canonicalizes and prints.
+func canonicalized(t *testing.T, src string) (*ir.Module, string) {
+	t.Helper()
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("canonicalize")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return m, ir.Print(m)
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	// x+0, x*1, x^0, x>>0 collapse onto the argument; the ops disappear.
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%x: i64):
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %one = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %a = "arith.addi"(%x, %z) : (i64, i64) -> (i64)
+    %b = "arith.muli"(%a, %one) : (i64, i64) -> (i64)
+    %c = "arith.xori"(%b, %z) : (i64, i64) -> (i64)
+    %d = "arith.shrui"(%c, %z) : (i64, i64) -> (i64)
+    "func.return"(%d) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i64) -> (i64)} : () -> ()
+}) : () -> ()`
+	m, _ := canonicalized(t, src)
+	n := 0
+	m.Walk(func(op *ir.Operation) bool {
+		if op.Dialect() == "arith" {
+			n++
+		}
+		return true
+	})
+	if n != 0 {
+		t.Errorf("%d arith ops survive identity folding:\n%s", n, ir.Print(m))
+	}
+	ret := m.Func("main").Regions[0].Entry().Terminator()
+	if ret.Operands[0].ID != "x" {
+		t.Errorf("return should collapse to %%x, got %%%s", ret.Operands[0].ID)
+	}
+}
+
+func TestCmpiSameOperandFolds(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%x: i64):
+    %eq = "arith.cmpi"(%x, %x) {predicate = 0 : i64} : (i64, i64) -> (i1)
+    %lt = "arith.cmpi"(%x, %x) {predicate = 2 : i64} : (i64, i64) -> (i1)
+    "func.return"(%eq, %lt) : (i1, i1) -> ()
+  }) {sym_name = "main", function_type = (i64) -> (i1, i1)} : () -> ()
+}) : () -> ()`
+	m, text := canonicalized(t, src)
+	if strings.Contains(text, "arith.cmpi") {
+		t.Errorf("cmpi(x, x) should fold:\n%s", text)
+	}
+	// eq folds to true (1... printed -1 as i1), slt to false (0).
+	consts := map[int64]bool{}
+	m.Walk(func(op *ir.Operation) bool {
+		if op.Name == "arith.constant" {
+			v, _ := op.Attrs.IntValueOf("value")
+			consts[v] = true
+		}
+		return true
+	})
+	if !consts[-1] && !consts[1] {
+		t.Errorf("missing true constant: %v", consts)
+	}
+	if !consts[0] {
+		t.Errorf("missing false constant: %v", consts)
+	}
+}
+
+func TestSelectSameBranchesFolds(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%c: i1, %x: i64):
+    %s = "arith.select"(%c, %x, %x) : (i1, i64, i64) -> (i64)
+    "func.return"(%s) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i1, i64) -> (i64)} : () -> ()
+}) : () -> ()`
+	_, text := canonicalized(t, src)
+	if strings.Contains(text, "arith.select") {
+		t.Errorf("select(c, x, x) should fold:\n%s", text)
+	}
+}
+
+func TestFoldingReachesInsideRegions(t *testing.T) {
+	// Constants defined outside fold with uses inside an scf.if region
+	// (Standard scoping).
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%c: i1):
+    %two = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %three = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %r = "scf.if"(%c) ({
+      %p = "arith.muli"(%two, %three) : (i64, i64) -> (i64)
+      "scf.yield"(%p) : (i64) -> ()
+    }, {
+      "scf.yield"(%two) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i1) -> (i64)} : () -> ()
+}) : () -> ()`
+	_, text := canonicalized(t, src)
+	if strings.Contains(text, "arith.muli") {
+		t.Errorf("const muli inside region should fold:\n%s", text)
+	}
+	if !strings.Contains(text, "value = 6 : i64") {
+		t.Errorf("folded constant 6 missing:\n%s", text)
+	}
+}
+
+func TestDCEKeepsSideEffectingOps(t *testing.T) {
+	// vector.print and func.call results unused — print must stay
+	// (side effect), pure ops go.
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %dead = "arith.addi"(%a, %a) : (i64, i64) -> (i64)
+    "vector.print"(%a) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	_, text := canonicalized(t, src)
+	if strings.Contains(text, "arith.addi") {
+		t.Errorf("dead addi survives:\n%s", text)
+	}
+	if !strings.Contains(text, "vector.print") {
+		t.Errorf("print was wrongly removed:\n%s", text)
+	}
+}

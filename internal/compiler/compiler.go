@@ -1,0 +1,232 @@
+// Package compiler is the system under test: a multi-level pass-pipeline
+// compiler over Ratte's IR, structurally mirroring the production MLIR
+// stack the paper fuzzes — a frontend verifier, optimisation passes
+// (canonicalize, cse, remove-dead-values) that do not change the
+// abstraction level, and lowering passes (arith-expand, bufferisation,
+// linalg-to-loops, scf-to-cf, the convert-*-to-llvm family) that take
+// the module down to the executable llvm target dialect.
+//
+// Every pass accepts an Options carrying the set of injected bugs
+// (package bugs); with the empty set the compiler is intended to be
+// correct, and the differential test-suite asserts it is.
+package compiler
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ratte/internal/bugs"
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Bugs selects which injected defects are active.
+	Bugs bugs.Set
+	// VerifyBetweenPasses re-runs the verifier after every pass,
+	// catching passes that produce invalid IR.
+	VerifyBetweenPasses bool
+	// PrintAfterAll, when non-nil, receives the module's textual form
+	// after every pass (the -print-ir-after-all debugging workflow).
+	PrintAfterAll io.Writer
+}
+
+// Pass transforms a module in place.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module, opts *Options) error
+}
+
+// passFunc adapts a function to the Pass interface.
+type passFunc struct {
+	name string
+	run  func(m *ir.Module, opts *Options) error
+}
+
+func (p passFunc) Name() string                          { return p.name }
+func (p passFunc) Run(m *ir.Module, opts *Options) error { return p.run(m, opts) }
+func newPass(name string, run func(*ir.Module, *Options) error) Pass {
+	return passFunc{name: name, run: run}
+}
+
+// PassError reports which pass failed; a PassError from a pipeline is a
+// compile-time rejection of the program.
+type PassError struct {
+	Pass string
+	Err  error
+}
+
+func (e *PassError) Error() string { return "pass " + e.Pass + ": " + e.Err.Error() }
+func (e *PassError) Unwrap() error { return e.Err }
+
+// registry maps pass names (the mlir-opt flag spelling) to constructors.
+var registry = map[string]func() Pass{
+	"canonicalize":            func() Pass { return newPass("canonicalize", runCanonicalize) },
+	"cse":                     func() Pass { return newPass("cse", runCSE) },
+	"remove-dead-values":      func() Pass { return newPass("remove-dead-values", runRemoveDeadValues) },
+	"arith-expand":            func() Pass { return newPass("arith-expand", runArithExpand) },
+	"one-shot-bufferize":      func() Pass { return newPass("one-shot-bufferize", runBufferize) },
+	"convert-linalg-to-loops": func() Pass { return newPass("convert-linalg-to-loops", runLinalgToLoops) },
+	"convert-scf-to-cf":       func() Pass { return newPass("convert-scf-to-cf", runSCFToCF) },
+	"convert-arith-to-llvm":   func() Pass { return newPass("convert-arith-to-llvm", runArithToLLVM) },
+	"convert-vector-to-llvm":  func() Pass { return newPass("convert-vector-to-llvm", runVectorToLLVM) },
+	"convert-func-to-llvm":    func() Pass { return newPass("convert-func-to-llvm", runFuncToLLVM) },
+}
+
+// PassNames returns the registered pass names.
+func PassNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Pipeline is an ordered list of passes.
+type Pipeline struct {
+	passes []Pass
+}
+
+// NewPipeline resolves pass names into a pipeline. Names follow the
+// mlir-opt flag spelling, e.g. "arith-expand".
+func NewPipeline(names ...string) (*Pipeline, error) {
+	p := &Pipeline{}
+	for _, n := range names {
+		mk, ok := registry[strings.TrimPrefix(n, "-")]
+		if !ok {
+			return nil, fmt.Errorf("compiler: unknown pass %q", n)
+		}
+		p.passes = append(p.passes, mk())
+	}
+	return p, nil
+}
+
+// Names returns the pipeline's pass names in order.
+func (p *Pipeline) Names() []string {
+	ns := make([]string, len(p.passes))
+	for i, pass := range p.passes {
+		ns[i] = pass.Name()
+	}
+	return ns
+}
+
+// Run executes the pipeline on a module in place. The input module must
+// already have been verified by the caller (Compile does this).
+func (p *Pipeline) Run(m *ir.Module, opts *Options) error {
+	if opts == nil {
+		opts = &Options{}
+	}
+	for _, pass := range p.passes {
+		if err := pass.Run(m, opts); err != nil {
+			return &PassError{Pass: pass.Name(), Err: err}
+		}
+		if opts.PrintAfterAll != nil {
+			fmt.Fprintf(opts.PrintAfterAll, "// ----- IR after %s -----\n%s\n", pass.Name(), ir.Print(m))
+		}
+		if opts.VerifyBetweenPasses {
+			if err := verify.Module(m, dialects.AllSpecs()); err != nil {
+				return &PassError{Pass: pass.Name(), Err: fmt.Errorf("pass produced invalid IR: %w", err)}
+			}
+		}
+	}
+	return nil
+}
+
+// OptLevel selects how many optimisation passes run before lowering,
+// the axis the DT-O (differential-across-optimisation-levels) oracle
+// varies. Lowering passes run at every level — which is precisely why
+// DT-O cannot see lowering bugs.
+type OptLevel int
+
+// The supported optimisation levels.
+const (
+	O0 OptLevel = 0 // lowering only
+	O1 OptLevel = 1 // canonicalize + cse before lowering
+	O2 OptLevel = 2 // O1 plus remove-dead-values and a second canonicalize
+)
+
+// OptLevels lists all levels, for DT-O sweeps.
+var OptLevels = []OptLevel{O0, O1, O2}
+
+// PipelineFor builds the pass list for a generator preset (paper
+// Table 2 / Appendix A.5.4) at the given optimisation level.
+//
+// Presets: "ariths" programs use {arith, scf, func, vector};
+// "linalggeneric" adds linalg and tensor; "tensor" uses tensor-heavy
+// programs. All pipelines target the executable llvm level.
+func PipelineFor(preset string, level OptLevel) ([]string, error) {
+	return PipelineForConfig(preset, level, false)
+}
+
+// PipelineForConfig additionally selects the lowering strategy:
+// skipExpand omits arith-expand, leaving the rounded divisions to
+// convert-arith-to-llvm's direct conversion patterns — the second
+// lowering path production MLIR offers (and where the paper's bug 6
+// lives). Both strategies run the lowering at every optimisation
+// level, which is why cross-optimisation-level testing (DT-O) cannot
+// observe lowering defects.
+func PipelineForConfig(preset string, level OptLevel, skipExpand bool) ([]string, error) {
+	var opt []string
+	switch level {
+	case O0:
+	case O1:
+		opt = []string{"canonicalize", "cse"}
+	case O2:
+		opt = []string{"canonicalize", "cse", "remove-dead-values", "canonicalize"}
+	default:
+		return nil, fmt.Errorf("compiler: unknown optimisation level %d", int(level))
+	}
+	lowerScalar := []string{"arith-expand", "convert-scf-to-cf", "convert-arith-to-llvm", "convert-vector-to-llvm", "convert-func-to-llvm"}
+	if skipExpand {
+		lowerScalar = lowerScalar[1:]
+	}
+	lowerTensor := append([]string{"one-shot-bufferize", "convert-linalg-to-loops"}, lowerScalar...)
+	switch preset {
+	case "ariths":
+		return append(opt, lowerScalar...), nil
+	case "linalggeneric", "tensor", "all":
+		return append(opt, lowerTensor...), nil
+	}
+	return nil, fmt.Errorf("compiler: unknown preset %q", preset)
+}
+
+// Compiler compiles source-level modules down to the llvm target level,
+// the way the paper's experiments drive mlir-opt.
+type Compiler struct {
+	// Bugs selects the injected defects active in this compiler build.
+	Bugs bugs.Set
+	// Level is the optimisation level.
+	Level OptLevel
+	// SkipArithExpand selects the alternative lowering strategy that
+	// relies on convert-arith-to-llvm's direct division conversions.
+	SkipArithExpand bool
+	// VerifyBetweenPasses enables inter-pass verification.
+	VerifyBetweenPasses bool
+}
+
+// Compile verifies m against the source dialect rules, runs the preset's
+// pipeline at the configured level, and returns the lowered module. The
+// input module is not modified. A returned error is a compile-time
+// rejection (frontend verification failure or pass failure).
+func (c *Compiler) Compile(m *ir.Module, preset string) (*ir.Module, error) {
+	if err := verify.Module(m, dialects.SourceSpecs()); err != nil {
+		return nil, err
+	}
+	names, err := PipelineForConfig(preset, c.Level, c.SkipArithExpand)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := NewPipeline(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := m.Clone()
+	opts := &Options{Bugs: c.Bugs, VerifyBetweenPasses: c.VerifyBetweenPasses}
+	if err := pipe.Run(out, opts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,643 @@
+package compiler_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+)
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+// refOutput runs the reference interpreter.
+func refOutput(t *testing.T, src string) string {
+	t.Helper()
+	res, err := dialects.NewReferenceInterpreter().Run(mustParse(t, src), "main")
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return res.Output
+}
+
+// compileAndRun compiles with the given preset/level/bugs and executes.
+func compileAndRun(t *testing.T, src, preset string, level compiler.OptLevel, bugSet bugs.Set) (string, error) {
+	t.Helper()
+	c := &compiler.Compiler{Bugs: bugSet, Level: level, VerifyBetweenPasses: true}
+	lowered, err := c.Compile(mustParse(t, src), preset)
+	if err != nil {
+		return "", err
+	}
+	res, err := dialects.NewExecutor().Run(lowered, "main")
+	if err != nil {
+		return "", err
+	}
+	return res.Output, nil
+}
+
+// expectAgree asserts that, with no bugs, compiled output at every opt
+// level matches the reference interpreter.
+func expectAgree(t *testing.T, src, preset string) {
+	t.Helper()
+	want := refOutput(t, src)
+	for _, level := range compiler.OptLevels {
+		got, err := compileAndRun(t, src, preset, level, bugs.None())
+		if err != nil {
+			t.Fatalf("O%d: %v", int(level), err)
+		}
+		if got != want {
+			t.Errorf("O%d output %q, reference %q", int(level), got, want)
+		}
+	}
+}
+
+const figure2Src = `"builtin.module"() ({
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    %0 = "func.call"() {callee = @one} : () -> (i1)
+    %low, %high = "arith.mulsi_extended"(%0, %n1) : (i1, i1) -> (i1, i1)
+    "vector.print"(%low) : (i1) -> ()
+    "vector.print"(%high) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%n1) : (i1) -> ()
+  }) {sym_name = "one", function_type = () -> (i1)} : () -> ()
+}) : () -> ()`
+
+const figure12Src = `"builtin.module"() ({
+  "func.func"() ({
+    %cm, %cn1 = "func.call"() {callee = @func1} : () -> (i64, i64)
+    %1 = "arith.floordivsi"(%cm, %cn1) : (i64, i64) -> (i64)
+    "vector.print"(%1) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %cm = "arith.constant"() {value = -9223372036854775807 : i64} : () -> (i64)
+    %cn1 = "arith.constant"() {value = -1 : i64} : () -> (i64)
+    "func.return"(%cm, %cn1) : (i64, i64) -> ()
+  }) {sym_name = "func1", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()`
+
+func TestCorrectCompilerAgreesOnFigure2(t *testing.T) {
+	expectAgree(t, figure2Src, "ariths")
+}
+
+func TestCorrectCompilerAgreesOnFigure12(t *testing.T) {
+	if got := refOutput(t, figure12Src); got != "9223372036854775807\n" {
+		t.Fatalf("reference output %q", got)
+	}
+	expectAgree(t, figure12Src, "ariths")
+}
+
+// Figure 2 / bug 5: with the buggy i1 mulsi_extended canonicalization,
+// optimised builds print -1 for the high half instead of 0 — a
+// DT-R-visible miscompilation that DT-O at O0 misses.
+func TestBug5MulsiExtendedI1(t *testing.T) {
+	want := refOutput(t, figure2Src)
+	buggy := bugs.Only(bugs.MulsiExtendedI1Fold)
+
+	got0, err := compileAndRun(t, figure2Src, "ariths", compiler.O0, buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got0 != want {
+		t.Errorf("bug 5 should not affect O0 (no canonicalize), got %q", got0)
+	}
+
+	got1, err := compileAndRun(t, figure2Src, "ariths", compiler.O1, buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 == want {
+		t.Errorf("bug 5 must miscompile at O1: got reference output %q", got1)
+	}
+	if got1 != "-1\n-1\n" {
+		t.Errorf("bug 5 output %q, expected the paper's -1/-1", got1)
+	}
+}
+
+// Figure 12 / bug 7: the buggy floordivsi expansion computes
+// -2^63 / -1 as an intermediate, trapping at runtime (NC oracle) at
+// EVERY optimisation level — invisible to DT-O.
+func TestBug7FloorDivExpansion(t *testing.T) {
+	buggy := bugs.Only(bugs.FloorDivSiExpand)
+	for _, level := range compiler.OptLevels {
+		_, err := compileAndRun(t, figure12Src, "ariths", level, buggy)
+		if err == nil {
+			t.Fatalf("O%d: bug 7 should trap at runtime", int(level))
+		}
+		if !interp.IsTrap(err) {
+			t.Fatalf("O%d: expected a trap, got %v", int(level), err)
+		}
+	}
+}
+
+// Bug 8: ceildivsi expanded as -floordiv(-a, b) silently wraps for
+// a = INT_MIN; wrong value, no trap, at every level (DT-R only).
+func TestBug8CeilDivExpansion(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i8, i8)
+    %q = "arith.ceildivsi"(%a, %b) : (i8, i8) -> (i8)
+    "vector.print"(%q) : (i8) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = -128 : i8} : () -> (i8)
+    %b = "arith.constant"() {value = 3 : i8} : () -> (i8)
+    "func.return"(%a, %b) : (i8, i8) -> ()
+  }) {sym_name = "c", function_type = () -> (i8, i8)} : () -> ()
+}) : () -> ()`
+	want := refOutput(t, src)
+	if want != "-42\n" {
+		t.Fatalf("reference says %q, want -42", want)
+	}
+	expectAgree(t, src, "ariths")
+
+	for _, level := range compiler.OptLevels {
+		got, err := compileAndRun(t, src, "ariths", level, bugs.Only(bugs.CeilDivSiExpand))
+		if err != nil {
+			t.Fatalf("O%d: %v", int(level), err)
+		}
+		if got == want {
+			t.Errorf("O%d: bug 8 must change the output", int(level))
+		}
+	}
+}
+
+// Bug 6 lives in convert-arith-to-llvm's direct ceildivsi conversion,
+// which is only exercised when arith-expand does not expand first; it
+// uses the positive-only formula.
+func TestBug6CeilDivDirectConversion(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i64, i64)
+    %q = "arith.ceildivsi"(%a, %b) : (i64, i64) -> (i64)
+    "vector.print"(%q) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = -6 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    "func.return"(%a, %b) : (i64, i64) -> ()
+  }) {sym_name = "c", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()`
+	// Run a pipeline without arith-expand so the direct conversion
+	// fires: build it by hand.
+	run := func(bugSet bugs.Set) (string, error) {
+		m := mustParse(t, src)
+		pipe, err := compiler.NewPipeline("convert-scf-to-cf", "convert-arith-to-llvm", "convert-vector-to-llvm", "convert-func-to-llvm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := m.Clone()
+		if err := pipe.Run(out, &compiler.Options{Bugs: bugSet}); err != nil {
+			return "", err
+		}
+		res, err := dialects.NewExecutor().Run(out, "main")
+		if err != nil {
+			return "", err
+		}
+		return res.Output, nil
+	}
+	good, err := run(bugs.None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good != "-3\n" {
+		t.Fatalf("correct direct conversion printed %q, want -3 (ceil(-6/2))", good)
+	}
+	bad, err := run(bugs.Only(bugs.CeilDivSiConvert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a + b - 1)/b = (-6+2-1)/2 = -5/2 = -2: wrong.
+	if bad != "-2\n" {
+		t.Errorf("buggy direct conversion printed %q, want -2", bad)
+	}
+}
+
+// Bug 4: convert-arith-to-llvm rejects addui_extended over i1.
+func TestBug4AdduiExtendedRejection(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i1, i1)
+    %s, %o = "arith.addui_extended"(%a, %b) : (i1, i1) -> (i1, i1)
+    "vector.print"(%s) : (i1) -> ()
+    "vector.print"(%o) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    %b = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%a, %b) : (i1, i1) -> ()
+  }) {sym_name = "c", function_type = () -> (i1, i1)} : () -> ()
+}) : () -> ()`
+	// 1 + 1 on i1: sum 0, carry 1.
+	if want := refOutput(t, src); want != "0\n-1\n" {
+		t.Fatalf("reference output %q", want)
+	}
+	expectAgree(t, src, "ariths")
+
+	_, err := compileAndRun(t, src, "ariths", compiler.O0, bugs.Only(bugs.AdduiExtendedLegalize))
+	if err == nil {
+		t.Fatal("bug 4 must reject the module")
+	}
+	var pe *compiler.PassError
+	if !errors.As(err, &pe) || pe.Pass != "convert-arith-to-llvm" {
+		t.Errorf("rejection should come from convert-arith-to-llvm, got %v", err)
+	}
+}
+
+// Bug 3: remove-dead-values (O2 only) rejects modules with an unused
+// func.call result.
+func TestBug3RemoveDeadValuesRejection(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i64, i64)
+    "vector.print"(%a) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    "func.return"(%a, %b) : (i64, i64) -> ()
+  }) {sym_name = "c", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()`
+	expectAgree(t, src, "ariths")
+
+	_, err := compileAndRun(t, src, "ariths", compiler.O2, bugs.Only(bugs.RemoveDeadValuesCall))
+	if err == nil {
+		t.Fatal("bug 3 must reject the module at O2")
+	}
+	var pe *compiler.PassError
+	if !errors.As(err, &pe) || pe.Pass != "remove-dead-values" {
+		t.Errorf("rejection should come from remove-dead-values, got %v", err)
+	}
+
+	// At O0/O1 the pass does not run, so the bug is invisible.
+	if _, err := compileAndRun(t, src, "ariths", compiler.O1, bugs.Only(bugs.RemoveDeadValuesCall)); err != nil {
+		t.Errorf("bug 3 must not fire at O1: %v", err)
+	}
+}
+
+// Bug 1: the index_castui constant fold sign-extends.
+func TestBug1IndexCastUIFold(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = -1 : i8} : () -> (i8)
+    %i = "arith.index_castui"(%a) : (i8) -> (index)
+    "vector.print"(%i) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	want := refOutput(t, src)
+	if want != "255\n" {
+		t.Fatalf("reference output %q", want)
+	}
+	expectAgree(t, src, "ariths")
+
+	got, err := compileAndRun(t, src, "ariths", compiler.O1, bugs.Only(bugs.IndexCastUIFold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "-1\n" {
+		t.Errorf("bug 1 at O1 printed %q, want -1 (sign-extended fold)", got)
+	}
+	// At O0 there is no canonicalize, so the bug is invisible.
+	got0, err := compileAndRun(t, src, "ariths", compiler.O0, bugs.Only(bugs.IndexCastUIFold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got0 != want {
+		t.Errorf("bug 1 must not fire at O0, got %q", got0)
+	}
+}
+
+// Bug 2: the index_cast chain fold drops the truncation.
+func TestBug2IndexCastChainFold(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %big = "func.call"() {callee = @c} : () -> (index)
+    %n = "arith.index_cast"(%big) : (index) -> (i8)
+    %back = "arith.index_cast"(%n) : (i8) -> (index)
+    "vector.print"(%back) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 300 : index} : () -> (index)
+    "func.return"(%a) : (index) -> ()
+  }) {sym_name = "c", function_type = () -> (index)} : () -> ()
+}) : () -> ()`
+	// 300 -> i8 is 44; back to index is 44.
+	want := refOutput(t, src)
+	if want != "44\n" {
+		t.Fatalf("reference output %q", want)
+	}
+	expectAgree(t, src, "ariths")
+
+	got, err := compileAndRun(t, src, "ariths", compiler.O1, bugs.Only(bugs.IndexCastChainFold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "300\n" {
+		t.Errorf("bug 2 at O1 printed %q, want 300 (dropped truncation)", got)
+	}
+}
+
+func TestScfIfLoweringAgrees(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %c = "func.call"() {callee = @cond} : () -> (i1)
+    %a = "arith.constant"() {value = 11 : i64} : () -> (i64)
+    %r = "scf.if"(%c) ({
+      %x = "arith.muli"(%a, %a) : (i64, i64) -> (i64)
+      "scf.yield"(%x) : (i64) -> ()
+    }, {
+      %y = "arith.addi"(%a, %a) : (i64, i64) -> (i64)
+      "scf.yield"(%y) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "vector.print"(%r) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %t = "arith.constant"() {value = 1 : i1} : () -> (i1)
+    "func.return"(%t) : (i1) -> ()
+  }) {sym_name = "cond", function_type = () -> (i1)} : () -> ()
+}) : () -> ()`
+	if refOutput(t, src) != "121\n" {
+		t.Fatal("reference wrong")
+	}
+	expectAgree(t, src, "ariths")
+}
+
+func TestNestedScfLowering(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %t = "func.call"() {callee = @cond} : () -> (i1)
+    %a = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %r = "scf.if"(%t) ({
+      %inner = "scf.if"(%t) ({
+        %x = "arith.muli"(%a, %a) : (i64, i64) -> (i64)
+        "scf.yield"(%x) : (i64) -> ()
+      }, {
+        "scf.yield"(%a) : (i64) -> ()
+      }) : (i1) -> (i64)
+      %y = "arith.addi"(%inner, %a) : (i64, i64) -> (i64)
+      "scf.yield"(%y) : (i64) -> ()
+    }, {
+      "scf.yield"(%a) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "vector.print"(%r) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %t = "arith.constant"() {value = 1 : i1} : () -> (i1)
+    "func.return"(%t) : (i1) -> ()
+  }) {sym_name = "cond", function_type = () -> (i1)} : () -> ()
+}) : () -> ()`
+	if refOutput(t, src) != "6\n" {
+		t.Fatal("reference wrong")
+	}
+	expectAgree(t, src, "ariths")
+}
+
+func TestTensorPipelineAgrees(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %c = "arith.constant"() {value = dense<[1, 2, 3, 4]> : tensor<2x2xi64>} : () -> (tensor<2x2xi64>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %i1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %v = "arith.constant"() {value = 9 : i64} : () -> (i64)
+    %t2 = "tensor.insert"(%v, %c, %i1, %i0) : (i64, tensor<2x2xi64>, index, index) -> (tensor<2x2xi64>)
+    %e = "tensor.extract"(%t2, %i1, %i0) : (tensor<2x2xi64>, index, index) -> (i64)
+    %old = "tensor.extract"(%c, %i1, %i0) : (tensor<2x2xi64>, index, index) -> (i64)
+    %d = "tensor.dim"(%c, %i1) : (tensor<2x2xi64>, index) -> (index)
+    "vector.print"(%e) : (i64) -> ()
+    "vector.print"(%old) : (i64) -> ()
+    "vector.print"(%d) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	if refOutput(t, src) != "9\n3\n2\n" {
+		t.Fatal("reference wrong")
+	}
+	expectAgree(t, src, "tensor")
+}
+
+func TestLinalgPipelineAgrees(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = dense<[1, 2, 3, 4]> : tensor<2x2xi64>} : () -> (tensor<2x2xi64>)
+    %b = "arith.constant"() {value = dense<[10, 20, 30, 40]> : tensor<2x2xi64>} : () -> (tensor<2x2xi64>)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %init = "tensor.empty"() : () -> (tensor<2x2xi64>)
+    %out = "linalg.fill"(%z, %init) : (i64, tensor<2x2xi64>) -> (tensor<2x2xi64>)
+    %r = "linalg.generic"(%a, %b, %out) ({
+    ^bb0(%x: i64, %y: i64, %acc: i64):
+      %s = "arith.addi"(%x, %y) : (i64, i64) -> (i64)
+      "linalg.yield"(%s) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0, d1) -> (d0, d1)>, affine_map<(d0, d1) -> (d1, d0)>, affine_map<(d0, d1) -> (d0, d1)>],
+      iterator_types = ["parallel", "parallel"],
+      operand_segment_sizes = [2 : i64, 1 : i64]
+    } : (tensor<2x2xi64>, tensor<2x2xi64>, tensor<2x2xi64>) -> (tensor<2x2xi64>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %i1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %e00 = "tensor.extract"(%r, %i0, %i0) : (tensor<2x2xi64>, index, index) -> (i64)
+    %e01 = "tensor.extract"(%r, %i0, %i1) : (tensor<2x2xi64>, index, index) -> (i64)
+    %e10 = "tensor.extract"(%r, %i1, %i0) : (tensor<2x2xi64>, index, index) -> (i64)
+    %e11 = "tensor.extract"(%r, %i1, %i1) : (tensor<2x2xi64>, index, index) -> (i64)
+    "vector.print"(%e00) : (i64) -> ()
+    "vector.print"(%e01) : (i64) -> ()
+    "vector.print"(%e10) : (i64) -> ()
+    "vector.print"(%e11) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	if refOutput(t, src) != "11\n32\n23\n44\n" {
+		t.Fatalf("reference wrong: %q", refOutput(t, src))
+	}
+	expectAgree(t, src, "linalggeneric")
+}
+
+func TestTensorGeneratePipelineAgrees(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %n = "func.call"() {callee = @size} : () -> (index)
+    %g = "tensor.generate"(%n) ({
+    ^bb0(%i: index):
+      %x = "arith.index_cast"(%i) : (index) -> (i64)
+      %two = "arith.constant"() {value = 3 : i64} : () -> (i64)
+      %y = "arith.muli"(%x, %two) : (i64, i64) -> (i64)
+      "tensor.yield"(%y) : (i64) -> ()
+    }) : (index) -> (tensor<?xi64>)
+    %i2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %e = "tensor.extract"(%g, %i2) : (tensor<?xi64>, index) -> (i64)
+    "vector.print"(%e) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %n = "arith.constant"() {value = 4 : index} : () -> (index)
+    "func.return"(%n) : (index) -> ()
+  }) {sym_name = "size", function_type = () -> (index)} : () -> ()
+}) : () -> ()`
+	if refOutput(t, src) != "6\n" {
+		t.Fatal("reference wrong")
+	}
+	expectAgree(t, src, "tensor")
+}
+
+func TestCanonicalizeFoldsConstants(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 6 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %p = "arith.muli"(%a, %b) : (i64, i64) -> (i64)
+    "vector.print"(%p) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, err := compiler.NewPipeline("canonicalize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// After folding + DCE only a constant 42 and the print remain.
+	muls := 0
+	consts := 0
+	m.Walk(func(op *ir.Operation) bool {
+		switch op.Name {
+		case "arith.muli":
+			muls++
+		case "arith.constant":
+			consts++
+		}
+		return true
+	})
+	if muls != 0 {
+		t.Errorf("muli not folded:\n%s", ir.Print(m))
+	}
+	if consts != 1 {
+		t.Errorf("%d constants survive DCE, want 1:\n%s", consts, ir.Print(m))
+	}
+	res, err := dialects.NewReferenceInterpreter().Run(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42\n" {
+		t.Errorf("folded module prints %q", res.Output)
+	}
+}
+
+func TestCanonicalizeDoesNotFoldUB(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %q = "arith.divsi"(%a, %z) : (i64, i64) -> (i64)
+    "vector.print"(%q) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("canonicalize")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	divs := 0
+	m.Walk(func(op *ir.Operation) bool {
+		if op.Name == "arith.divsi" {
+			divs++
+		}
+		return true
+	})
+	if divs != 1 {
+		t.Errorf("division by zero must not be folded away:\n%s", ir.Print(m))
+	}
+}
+
+func TestCSEDeduplicates(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%x: i64):
+    %a = "arith.addi"(%x, %x) : (i64, i64) -> (i64)
+    %b = "arith.addi"(%x, %x) : (i64, i64) -> (i64)
+    %c = "arith.muli"(%a, %b) : (i64, i64) -> (i64)
+    "func.return"(%c) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i64) -> (i64)} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("cse")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	adds := 0
+	m.Walk(func(op *ir.Operation) bool {
+		if op.Name == "arith.addi" {
+			adds++
+		}
+		return true
+	})
+	if adds != 1 {
+		t.Errorf("CSE left %d addi ops, want 1:\n%s", adds, ir.Print(m))
+	}
+}
+
+func TestPipelineForRejectsUnknown(t *testing.T) {
+	if _, err := compiler.PipelineFor("nope", compiler.O0); err == nil {
+		t.Error("unknown preset should error")
+	}
+	if _, err := compiler.NewPipeline("not-a-pass"); err == nil {
+		t.Error("unknown pass should error")
+	}
+}
+
+func TestCompileRejectsInvalidModule(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 7 : i32} : () -> (i32)
+    %s = "arith.addi"(%a, %b) : (i64, i32) -> (i64)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	c := &compiler.Compiler{}
+	if _, err := c.Compile(mustParse(t, src), "ariths"); err == nil {
+		t.Error("invalid module must be rejected by the frontend verifier")
+	}
+}
+
+func TestLoweredModuleHasNoSourceOps(t *testing.T) {
+	c := &compiler.Compiler{Level: compiler.O1}
+	lowered, err := c.Compile(mustParse(t, figure12Src), "ariths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowered.Walk(func(op *ir.Operation) bool {
+		switch op.Dialect() {
+		case "arith", "scf", "func", "vector", "tensor", "linalg":
+			t.Errorf("source op %s survived lowering", op.Name)
+		}
+		return true
+	})
+	if !strings.Contains(ir.Print(lowered), "llvm.func") {
+		t.Error("lowered module should contain llvm.func")
+	}
+}

@@ -1,0 +1,63 @@
+package compiler
+
+import (
+	"ratte/internal/ir"
+)
+
+// runCSE performs common-subexpression elimination: within each block
+// (and, through Standard scoping, from enclosing blocks into nested
+// regions), structurally identical pure operations are deduplicated and
+// later copies' results re-wired to the first instance.
+func runCSE(m *ir.Module, opts *Options) error {
+	for _, f := range funcsOf(m) {
+		e := &cser{f: f}
+		for _, r := range f.Regions {
+			for _, b := range r.Blocks {
+				e.block(b, map[string][]ir.Value{})
+			}
+		}
+	}
+	return nil
+}
+
+type cser struct {
+	f *ir.Operation
+}
+
+func (e *cser) block(b *ir.Block, seen map[string][]ir.Value) {
+	var out []*ir.Operation
+	for _, op := range b.Ops {
+		if isPure(op) {
+			key := opKey(op)
+			if prev, ok := seen[key]; ok {
+				for i, r := range op.Results {
+					e.replaceAllUses(r.ID, prev[i])
+				}
+				continue // drop the duplicate
+			}
+			seen[key] = op.Results
+		}
+		// Nested regions see the enclosing expressions (Standard
+		// scoping); each region gets its own copy of the table so
+		// sibling regions cannot share region-local expressions.
+		for _, r := range op.Regions {
+			for _, nb := range r.Blocks {
+				inner := make(map[string][]ir.Value, len(seen))
+				for k, v := range seen {
+					inner[k] = v
+				}
+				e.block(nb, inner)
+			}
+		}
+		out = append(out, op)
+	}
+	b.Ops = out
+}
+
+func (e *cser) replaceAllUses(id string, repl ir.Value) {
+	for _, r := range e.f.Regions {
+		for _, b := range r.Blocks {
+			replaceUsesInOps(b.Ops, id, repl)
+		}
+	}
+}

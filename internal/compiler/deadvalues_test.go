@@ -1,0 +1,105 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte/internal/compiler"
+	"ratte/internal/ir"
+)
+
+func TestRemoveDeadValuesDropsUncalledFunctions(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %r = "func.call"() {callee = @used} : () -> (i64)
+    "vector.print"(%r) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    "func.return"(%a) : (i64) -> ()
+  }) {sym_name = "used", function_type = () -> (i64)} : () -> ()
+  "func.func"() ({
+    "func.return"() : () -> ()
+  }) {sym_name = "orphan", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("remove-dead-values")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("orphan") != nil {
+		t.Error("uncalled function not removed")
+	}
+	if m.Func("used") == nil || m.Func("main") == nil {
+		t.Error("live functions were removed")
+	}
+}
+
+func TestRemoveDeadValuesDropsDeadChains(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "arith.addi"(%a, %a) : (i64, i64) -> (i64)
+    %c = "arith.muli"(%b, %b) : (i64, i64) -> (i64)
+    "vector.print"(%a) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("remove-dead-values")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	text := ir.Print(m)
+	if strings.Contains(text, "arith.addi") || strings.Contains(text, "arith.muli") {
+		t.Errorf("dead chain survives:\n%s", text)
+	}
+}
+
+// TestCSESiblingRegionIsolation: identical expressions local to the two
+// regions of one scf.if must NOT be merged across regions (neither
+// region dominates the other), while a preceding outer expression is
+// shared into both.
+func TestCSESiblingRegionIsolation(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%c: i1, %x: i64):
+    %outer = "arith.addi"(%x, %x) : (i64, i64) -> (i64)
+    %r = "scf.if"(%c) ({
+      %t1 = "arith.addi"(%x, %x) : (i64, i64) -> (i64)
+      %t2 = "arith.muli"(%x, %x) : (i64, i64) -> (i64)
+      %t3 = "arith.addi"(%t1, %t2) : (i64, i64) -> (i64)
+      "scf.yield"(%t3) : (i64) -> ()
+    }, {
+      %e1 = "arith.muli"(%x, %x) : (i64, i64) -> (i64)
+      "scf.yield"(%e1) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i1, i64) -> (i64)} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("cse")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	adds, muls := 0, 0
+	m.Walk(func(op *ir.Operation) bool {
+		switch op.Name {
+		case "arith.addi":
+			adds++
+		case "arith.muli":
+			muls++
+		}
+		return true
+	})
+	// %t1 dedups onto %outer (outer scope dominates the region); %t3
+	// stays (distinct operands). The two muli live in SIBLING regions
+	// and must both survive.
+	if adds != 2 {
+		t.Errorf("addi count = %d, want 2 (outer + t3):\n%s", adds, ir.Print(m))
+	}
+	if muls != 2 {
+		t.Errorf("muli count = %d, want 2 (one per sibling region):\n%s", muls, ir.Print(m))
+	}
+}

@@ -1,0 +1,276 @@
+package compiler
+
+import (
+	"fmt"
+
+	"ratte/internal/dialects/linalg"
+	"ratte/internal/ir"
+)
+
+// runLinalgToLoops lowers the buffer-form linalg operations (and the
+// bufferised tensor.generate marker) into scf.for loop nests with
+// memref.load/memref.store, mirroring convert-linalg-to-loops. This is
+// how Ratte exercises loop lowerings without generating loops directly
+// (the paper's §1 note: higher-level operations are lowered *into*
+// loops).
+func runLinalgToLoops(m *ir.Module, opts *Options) error {
+	for _, f := range funcsOf(m) {
+		nm := newNamer(f)
+		err := forEachBlock(f, func(b *ir.Block) error {
+			var out []*ir.Operation
+			for _, op := range b.Ops {
+				switch op.Name {
+				case "linalg.generic":
+					ops, err := lowerGenericToLoops(nm, op)
+					if err != nil {
+						return err
+					}
+					out = append(out, ops...)
+				case "linalg.fill":
+					ops, err := lowerFillToLoops(nm, op)
+					if err != nil {
+						return err
+					}
+					out = append(out, ops...)
+				case "ratte.generate_into":
+					ops, err := lowerGenerateToLoops(nm, op)
+					if err != nil {
+						return err
+					}
+					out = append(out, ops...)
+				default:
+					out = append(out, op)
+				}
+			}
+			b.Ops = out
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loopNest builds nDims nested scf.for loops from 0 to the given extent
+// values with step 1, returning the top-level ops and the innermost
+// body block plus the induction variables (outermost first).
+func loopNest(nm *namer, extents []ir.Value) (top []*ir.Operation, innermost *ir.Block, ivs []ir.Value) {
+	zeroOp, zero := buildConst(nm, 0, ir.Index)
+	oneOp, one := buildConst(nm, 1, ir.Index)
+	top = []*ir.Operation{zeroOp, oneOp}
+
+	appendTo := &top
+	for _, ub := range extents {
+		iv := nm.Value(ir.Index)
+		ivs = append(ivs, iv)
+		loop := ir.NewOp("scf.for")
+		loop.Operands = []ir.Value{zero, ub, one}
+		body := &ir.Block{Label: "bb0", Args: []ir.Value{iv}}
+		loop.Regions = []*ir.Region{{Blocks: []*ir.Block{body}}}
+		*appendTo = append(*appendTo, loop)
+		innermost = body
+		appendTo = &body.Ops
+	}
+	if innermost == nil {
+		// Rank-0 nest: a single body executed once; model with a
+		// one-iteration loop for uniformity.
+		iv := nm.Value(ir.Index)
+		ivs = nil
+		loop := ir.NewOp("scf.for")
+		loop.Operands = []ir.Value{zero, one, one}
+		body := &ir.Block{Label: "bb0", Args: []ir.Value{iv}}
+		loop.Regions = []*ir.Region{{Blocks: []*ir.Block{body}}}
+		top = append(top, loop)
+		innermost = body
+	}
+	return top, innermost, ivs
+}
+
+// closeNest appends the scf.yield terminators to every loop body of a
+// nest built by loopNest.
+func closeNest(top []*ir.Operation) {
+	for _, op := range top {
+		if op.Name != "scf.for" {
+			continue
+		}
+		closeLoop(op)
+	}
+}
+
+func closeLoop(loop *ir.Operation) {
+	body := loop.Regions[0].Entry()
+	for _, inner := range body.Ops {
+		if inner.Name == "scf.for" {
+			closeLoop(inner)
+		}
+	}
+	body.Append(ir.NewOp("scf.yield"))
+}
+
+// dimExtents emits memref.dim ops for every dimension of a memref value
+// (static dims included — memref.dim resolves them at runtime; the
+// production lowering folds the static ones, ours leaves that to
+// canonicalize).
+func dimExtents(nm *namer, src ir.Value, out *[]*ir.Operation) []ir.Value {
+	mt := src.Type.(ir.MemRefType)
+	extents := make([]ir.Value, mt.Rank())
+	for i := range extents {
+		cop, cv := buildConst(nm, int64(i), ir.Index)
+		dop, dv := buildOp1(nm, "memref.dim", ir.Index, src, cv)
+		*out = append(*out, cop, dop)
+		extents[i] = dv
+	}
+	return extents
+}
+
+func lowerGenericToLoops(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
+	nIns, nOuts, err := linalg.SegmentSizes(op)
+	if err != nil {
+		return nil, err
+	}
+	maps, err := linalg.IndexingMaps(op)
+	if err != nil {
+		return nil, err
+	}
+	its, err := linalg.IteratorTypes(op)
+	if err != nil {
+		return nil, err
+	}
+	nDims := len(its)
+
+	var prologue []*ir.Operation
+
+	// Derive each domain dim's extent from the first operand whose map
+	// covers it.
+	extents := make([]ir.Value, nDims)
+	for d := 0; d < nDims; d++ {
+		found := false
+		for i, m := range maps {
+			for j, dim := range m.Results {
+				if dim != d {
+					continue
+				}
+				cop, cv := buildConst(nm, int64(j), ir.Index)
+				dop, dv := buildOp1(nm, "memref.dim", ir.Index, op.Operands[i], cv)
+				prologue = append(prologue, cop, dop)
+				extents[d] = dv
+				found = true
+				break
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("linalg.generic: dim d%d not covered by any map", d)
+		}
+	}
+
+	nest, body, ivs := loopNest(nm, extents)
+
+	// Gather region block-argument substitutions: loads of ins and outs.
+	entry := op.Regions[0].Entry()
+	if entry == nil || len(entry.Args) != nIns+nOuts {
+		return nil, fmt.Errorf("linalg.generic region must take %d arguments", nIns+nOuts)
+	}
+	mappedIdx := func(m ir.AffineMapAttr) []ir.Value {
+		idx := make([]ir.Value, len(m.Results))
+		for j, d := range m.Results {
+			idx[j] = ivs[d]
+		}
+		return idx
+	}
+	subst := map[string]ir.Value{}
+	for i := 0; i < nIns+nOuts; i++ {
+		loadOp, loaded := buildOp1(nm, "memref.load", entry.Args[i].Type,
+			append([]ir.Value{op.Operands[i]}, mappedIdx(maps[i])...)...)
+		body.Append(loadOp)
+		subst[entry.Args[i].ID] = loaded
+	}
+
+	// Inline the region body with substituted arguments; linalg.yield
+	// becomes stores into the out buffers.
+	bodyOps := entry.Ops
+	term := bodyOps[len(bodyOps)-1]
+	if term.Name != "linalg.yield" {
+		return nil, fmt.Errorf("linalg.generic region must end in linalg.yield")
+	}
+	inlined := make([]*ir.Operation, 0, len(bodyOps)-1)
+	for _, o := range bodyOps[:len(bodyOps)-1] {
+		inlined = append(inlined, o.Clone())
+	}
+	renameUses(inlined, subst)
+	body.Append(inlined...)
+
+	yields := append([]ir.Value(nil), term.Operands...)
+	renameValues(yields, subst)
+	for k := 0; k < nOuts; k++ {
+		st := ir.NewOp("memref.store")
+		st.Operands = append([]ir.Value{yields[k], op.Operands[nIns+k]}, mappedIdx(maps[nIns+k])...)
+		body.Append(st)
+	}
+
+	closeNest(nest)
+	return append(prologue, nest...), nil
+}
+
+func lowerFillToLoops(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
+	dest := op.Operands[1]
+	if _, ok := dest.Type.(ir.MemRefType); !ok {
+		return nil, fmt.Errorf("linalg.fill survived bufferization in tensor form")
+	}
+	var prologue []*ir.Operation
+	extents := dimExtents(nm, dest, &prologue)
+	nest, body, ivs := loopNest(nm, extents)
+	st := ir.NewOp("memref.store")
+	st.Operands = append([]ir.Value{op.Operands[0], dest}, ivs...)
+	body.Append(st)
+	closeNest(nest)
+	return append(prologue, nest...), nil
+}
+
+func lowerGenerateToLoops(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
+	dest := op.Operands[0]
+	var prologue []*ir.Operation
+	extents := dimExtents(nm, dest, &prologue)
+	nest, body, ivs := loopNest(nm, extents)
+
+	entry := op.Regions[0].Entry()
+	if entry == nil || len(entry.Args) != len(ivs) {
+		return nil, fmt.Errorf("tensor.generate region must take %d index arguments", len(ivs))
+	}
+	subst := map[string]ir.Value{}
+	for i, a := range entry.Args {
+		subst[a.ID] = ivs[i]
+	}
+	bodyOps := entry.Ops
+	term := bodyOps[len(bodyOps)-1]
+	if term.Name != "tensor.yield" {
+		return nil, fmt.Errorf("tensor.generate region must end in tensor.yield")
+	}
+	inlined := make([]*ir.Operation, 0, len(bodyOps)-1)
+	for _, o := range bodyOps[:len(bodyOps)-1] {
+		inlined = append(inlined, o.Clone())
+	}
+	renameUses(inlined, subst)
+	body.Append(inlined...)
+
+	yields := append([]ir.Value(nil), term.Operands...)
+	renameValues(yields, subst)
+	st := ir.NewOp("memref.store")
+	st.Operands = append([]ir.Value{yields[0], dest}, ivs...)
+	body.Append(st)
+
+	closeNest(nest)
+	return append(prologue, nest...), nil
+}
+
+// renameValues applies a substitution to a value slice in place.
+func renameValues(vals []ir.Value, subst map[string]ir.Value) {
+	for i, v := range vals {
+		if r, ok := subst[v.ID]; ok {
+			vals[i] = r
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/ir"
+)
+
+// opCounts tallies op names in a module.
+func opCounts(m *ir.Module) map[string]int {
+	counts := map[string]int{}
+	m.Walk(func(op *ir.Operation) bool {
+		counts[op.Name]++
+		return true
+	})
+	return counts
+}
+
+const floordivSrc = `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%a: i64, %b: i64):
+    %q = "arith.floordivsi"(%a, %b) : (i64, i64) -> (i64)
+    "func.return"(%q) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i64, i64) -> (i64)} : () -> ()
+}) : () -> ()`
+
+// TestArithExpandShape_FloorDiv pins the structure of the correct
+// floordivsi expansion: divsi + remsi + three cmpi + xori + andi + subi
+// + select (plus the result alias and constants) — the
+// quotient/remainder adjustment form.
+func TestArithExpandShape_FloorDiv(t *testing.T) {
+	m, err := ir.Parse(floordivSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, _ := compiler.NewPipeline("arith-expand")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	counts := opCounts(m)
+	if counts["arith.floordivsi"] != 0 {
+		t.Fatal("floordivsi not expanded")
+	}
+	want := map[string]int{
+		"arith.divsi":  1,
+		"arith.remsi":  1,
+		"arith.cmpi":   3,
+		"arith.xori":   1,
+		"arith.andi":   1,
+		"arith.subi":   1,
+		"arith.select": 1,
+	}
+	for op, n := range want {
+		if counts[op] != n {
+			t.Errorf("%s count = %d, want %d\n%s", op, counts[op], n, ir.Print(m))
+		}
+	}
+}
+
+// TestArithExpandShape_Buggy pins the historical buggy expansion's
+// defining feature: it computes TWO divisions — the unconditional
+// (x - n)/m intermediate plus the truncating quotient — where the
+// correct expansion computes one.
+func TestArithExpandShape_Buggy(t *testing.T) {
+	m, err := ir.Parse(floordivSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, _ := compiler.NewPipeline("arith-expand")
+	if err := pipe.Run(m, &compiler.Options{Bugs: bugs.Only(bugs.FloorDivSiExpand)}); err != nil {
+		t.Fatal(err)
+	}
+	counts := opCounts(m)
+	if counts["arith.divsi"] != 2 {
+		t.Errorf("buggy expansion should contain 2 divsi, has %d", counts["arith.divsi"])
+	}
+	if counts["arith.remsi"] != 0 {
+		t.Errorf("buggy expansion should not use remsi, has %d", counts["arith.remsi"])
+	}
+}
+
+// TestArithExpandFoldsConstants: constant-operand rounded divisions are
+// folded (as the greedy rewriter's folders do upstream), never expanded
+// — the property that keeps lowering bugs invisible to DT-O.
+func TestArithExpandFoldsConstants(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = -7 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %q = "arith.floordivsi"(%a, %b) : (i64, i64) -> (i64)
+    "vector.print"(%q) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	for _, bugSet := range []bugs.Set{bugs.None(), bugs.Only(bugs.FloorDivSiExpand)} {
+		m, err := ir.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, _ := compiler.NewPipeline("arith-expand")
+		if err := pipe.Run(m, &compiler.Options{Bugs: bugSet}); err != nil {
+			t.Fatal(err)
+		}
+		counts := opCounts(m)
+		if counts["arith.divsi"] != 0 || counts["arith.floordivsi"] != 0 {
+			t.Errorf("bugs=%v: constant floordiv should fold, got %v", bugSet, counts)
+		}
+	}
+}
+
+// TestArithExpandDoesNotFoldUBConstants: a constant division by zero is
+// NOT folded — the UB must stay observable.
+func TestArithExpandDoesNotFoldUBConstants(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %q = "arith.ceildivsi"(%a, %z) : (i64, i64) -> (i64)
+    "vector.print"(%q) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, _ := compiler.NewPipeline("arith-expand")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	counts := opCounts(m)
+	// Expanded (not folded): the division survives as divsi ops.
+	if counts["arith.divsi"] == 0 {
+		t.Errorf("UB-carrying ceildiv must be expanded, not folded: %v", counts)
+	}
+}
+
+// TestSCFToCFShape pins the block structure of the scf.if lowering:
+// then/else/cont blocks with a cond_br diamond.
+func TestSCFToCFShape(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%c: i1, %a: i64):
+    %r = "scf.if"(%c) ({
+      "scf.yield"(%a) : (i64) -> ()
+    }, {
+      %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+      "scf.yield"(%z) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i1, i64) -> (i64)} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, _ := compiler.NewPipeline("convert-scf-to-cf")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	if got := len(f.Regions[0].Blocks); got != 4 {
+		t.Fatalf("expected 4 blocks (entry/then/else/cont), got %d\n%s", got, ir.Print(m))
+	}
+	counts := opCounts(m)
+	if counts["cf.cond_br"] != 1 || counts["cf.br"] != 2 || counts["scf.if"] != 0 {
+		t.Errorf("diamond shape wrong: %v", counts)
+	}
+}
+
+// TestSCFToCFForShape pins the loop lowering's header/body/cont shape.
+func TestSCFToCFForShape(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%n: index):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    %init = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %r = "scf.for"(%lb, %n, %st, %init) ({
+    ^bb1(%iv: index, %acc: i64):
+      %one = "arith.constant"() {value = 1 : i64} : () -> (i64)
+      %nacc = "arith.addi"(%acc, %one) : (i64, i64) -> (i64)
+      "scf.yield"(%nacc) : (i64) -> ()
+    }) : (index, index, index, i64) -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "main", function_type = (index) -> (i64)} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, _ := compiler.NewPipeline("convert-scf-to-cf")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	if got := len(f.Regions[0].Blocks); got != 4 {
+		t.Fatalf("expected 4 blocks (entry/header/body/cont), got %d", got)
+	}
+	counts := opCounts(m)
+	if counts["cf.cond_br"] != 1 || counts["cf.br"] != 2 || counts["scf.for"] != 0 {
+		t.Errorf("loop shape wrong: %v", counts)
+	}
+}

@@ -1,0 +1,160 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+)
+
+// TestPassPrefixesPreserveSemantics is the strongest pass-correctness
+// property the substrate offers: for generated (UB-free) programs, the
+// module after EVERY prefix of the ariths pipeline — a mixed-dialect
+// module mid-lowering — still executes to the reference output. A pass
+// that corrupts semantics anywhere in the pipeline fails here with the
+// exact prefix identified.
+func TestPassPrefixesPreserveSemantics(t *testing.T) {
+	names, err := compiler.PipelineFor("ariths", compiler.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(200); seed < 212; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for prefix := 0; prefix <= len(names); prefix++ {
+			pipe, err := compiler.NewPipeline(names[:prefix]...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := p.Module.Clone()
+			if err := pipe.Run(m, &compiler.Options{}); err != nil {
+				t.Fatalf("seed %d prefix %v: %v", seed, names[:prefix], err)
+			}
+			res, err := dialects.NewExecutor().Run(m, "main")
+			if err != nil {
+				t.Fatalf("seed %d after %v: execution failed: %v\n%s",
+					seed, names[:prefix], err, ir.Print(m))
+			}
+			if res.Output != p.Expected {
+				t.Fatalf("seed %d after %v: output %q, expected %q\n%s",
+					seed, names[:prefix], res.Output, p.Expected, ir.Print(m))
+			}
+		}
+	}
+}
+
+// TestCanonicalizeIdempotent: a second canonicalize run must be a
+// no-op (the fixpoint property of the greedy rewriter).
+func TestCanonicalizeIdempotent(t *testing.T) {
+	for seed := int64(300); seed < 312; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, _ := compiler.NewPipeline("canonicalize")
+		m := p.Module.Clone()
+		if err := pipe.Run(m, &compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		once := ir.Print(m)
+		if err := pipe.Run(m, &compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if twice := ir.Print(m); twice != once {
+			t.Fatalf("seed %d: canonicalize not idempotent:\n--- once ---\n%s\n--- twice ---\n%s",
+				seed, once, twice)
+		}
+	}
+}
+
+// TestCSEIdempotent: likewise for CSE.
+func TestCSEIdempotent(t *testing.T) {
+	for seed := int64(400); seed < 410; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, _ := compiler.NewPipeline("cse")
+		m := p.Module.Clone()
+		if err := pipe.Run(m, &compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		once := ir.Print(m)
+		if err := pipe.Run(m, &compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if twice := ir.Print(m); twice != once {
+			t.Fatalf("seed %d: cse not idempotent", seed)
+		}
+	}
+}
+
+// TestOptimisationShrinksOrPreserves: canonicalize+cse never grow a
+// generated module (they fold, dedup and DCE).
+func TestOptimisationShrinksOrPreserves(t *testing.T) {
+	for seed := int64(500); seed < 515; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := p.Module.NumOps()
+		pipe, _ := compiler.NewPipeline("canonicalize", "cse", "canonicalize")
+		m := p.Module.Clone()
+		if err := pipe.Run(m, &compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if after := m.NumOps(); after > before {
+			t.Errorf("seed %d: optimisation grew module %d -> %d", seed, before, after)
+		}
+	}
+}
+
+// TestLoweredTensorPipelineMilestones: the tensor/linalg pipelines are
+// checked at their executable milestones (source, post-loops, fully
+// lowered); the bufferised-but-not-yet-looped state is internal-only.
+func TestLoweredTensorPipelineMilestones(t *testing.T) {
+	for _, preset := range []string{"tensor", "linalggeneric"} {
+		names, err := compiler.PipelineFor(preset, compiler.O1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find the index just after convert-linalg-to-loops.
+		loopsAt := -1
+		for i, n := range names {
+			if n == "convert-linalg-to-loops" {
+				loopsAt = i + 1
+			}
+		}
+		if loopsAt < 0 {
+			t.Fatalf("%s pipeline misses convert-linalg-to-loops: %v", preset, names)
+		}
+		for seed := int64(600); seed < 606; seed++ {
+			p, err := gen.Generate(gen.Config{Preset: preset, Size: 20, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, prefix := range [][]string{names[:loopsAt], names} {
+				pipe, err := compiler.NewPipeline(prefix...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := p.Module.Clone()
+				if err := pipe.Run(m, &compiler.Options{}); err != nil {
+					t.Fatalf("%s seed %d after %v: %v", preset, seed, prefix, err)
+				}
+				res, err := dialects.NewExecutor().Run(m, "main")
+				if err != nil {
+					t.Fatalf("%s seed %d after %v: %v", preset, seed, prefix, err)
+				}
+				if res.Output != p.Expected {
+					t.Fatalf("%s seed %d after %v: output %q, expected %q",
+						preset, seed, prefix, res.Output, p.Expected)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ratte/internal/ir"
+)
+
+// namer hands out SSA value IDs that are fresh within one function.
+type namer struct {
+	used map[string]bool
+	n    int
+}
+
+func newNamer(f *ir.Operation) *namer {
+	nm := &namer{used: make(map[string]bool)}
+	f.Walk(func(op *ir.Operation) bool {
+		for _, r := range op.Results {
+			nm.used[r.ID] = true
+		}
+		for _, reg := range op.Regions {
+			for _, b := range reg.Blocks {
+				for _, a := range b.Args {
+					nm.used[a.ID] = true
+				}
+			}
+		}
+		return true
+	})
+	return nm
+}
+
+// Fresh returns an unused SSA id.
+func (nm *namer) Fresh() string {
+	for {
+		id := "v" + strconv.Itoa(nm.n)
+		nm.n++
+		if !nm.used[id] {
+			nm.used[id] = true
+			return id
+		}
+	}
+}
+
+// Value allocates a fresh value of the given type.
+func (nm *namer) Value(t ir.Type) ir.Value { return ir.V(nm.Fresh(), t) }
+
+// blockNamer hands out block labels that are fresh within one function.
+type blockNamer struct {
+	used map[string]bool
+	n    int
+}
+
+func newBlockNamer(f *ir.Operation) *blockNamer {
+	bn := &blockNamer{used: make(map[string]bool)}
+	f.Walk(func(op *ir.Operation) bool {
+		for _, reg := range op.Regions {
+			for _, b := range reg.Blocks {
+				bn.used[b.Label] = true
+			}
+		}
+		return true
+	})
+	return bn
+}
+
+// Fresh returns an unused block label.
+func (bn *blockNamer) Fresh(hint string) string {
+	for {
+		label := hint + strconv.Itoa(bn.n)
+		bn.n++
+		if !bn.used[label] {
+			bn.used[label] = true
+			return label
+		}
+	}
+}
+
+// replaceUsesInOps rewrites every use of the value named old to the
+// replacement value, recursing into nested regions and successor
+// arguments. Generated IDs are unique per function, so shadowing is not
+// a concern.
+func replaceUsesInOps(ops []*ir.Operation, old string, repl ir.Value) {
+	for _, op := range ops {
+		replaceUsesInOp(op, old, repl)
+	}
+}
+
+func replaceUsesInOp(op *ir.Operation, old string, repl ir.Value) {
+	for i, operand := range op.Operands {
+		if operand.ID == old {
+			op.Operands[i] = repl
+		}
+	}
+	for si := range op.Successors {
+		for ai, a := range op.Successors[si].Args {
+			if a.ID == old {
+				op.Successors[si].Args[ai] = repl
+			}
+		}
+	}
+	for _, r := range op.Regions {
+		for _, b := range r.Blocks {
+			replaceUsesInOps(b.Ops, old, repl)
+		}
+	}
+}
+
+// renameUses rewrites uses according to a substitution map (ID -> value),
+// recursing into regions; used when inlining cloned region bodies.
+func renameUses(ops []*ir.Operation, subst map[string]ir.Value) {
+	for _, op := range ops {
+		for i, operand := range op.Operands {
+			if v, ok := subst[operand.ID]; ok {
+				op.Operands[i] = v
+			}
+		}
+		for si := range op.Successors {
+			for ai, a := range op.Successors[si].Args {
+				if v, ok := subst[a.ID]; ok {
+					op.Successors[si].Args[ai] = v
+				}
+			}
+		}
+		for _, r := range op.Regions {
+			for _, b := range r.Blocks {
+				renameUses(b.Ops, subst)
+			}
+		}
+	}
+}
+
+// pureOps lists side-effect-free operations whose unused results may be
+// removed and whose identical instances may be shared (CSE).
+var pureOps = map[string]bool{}
+
+func init() {
+	for _, name := range []string{
+		"arith.constant",
+		"arith.addi", "arith.subi", "arith.muli",
+		"arith.andi", "arith.ori", "arith.xori",
+		"arith.maxsi", "arith.maxui", "arith.minsi", "arith.minui",
+		"arith.cmpi", "arith.select",
+		"arith.addui_extended", "arith.mulsi_extended", "arith.mului_extended",
+		"arith.extsi", "arith.extui", "arith.trunci",
+		"arith.index_cast", "arith.index_castui",
+		// The division family is pure but trapping/UB-carrying: it may
+		// be removed when dead (removing UB is sound) but must not be
+		// speculated. DCE-only purity is what this set encodes.
+		"arith.divsi", "arith.divui", "arith.remsi", "arith.remui",
+		"arith.ceildivsi", "arith.ceildivui", "arith.floordivsi",
+		"arith.shli", "arith.shrsi", "arith.shrui",
+		"tensor.empty", "tensor.extract", "tensor.dim", "tensor.cast",
+		"llvm.mlir.constant",
+	} {
+		pureOps[name] = true
+	}
+}
+
+// isPure reports whether an op is side-effect free.
+func isPure(op *ir.Operation) bool { return pureOps[op.Name] && len(op.Regions) == 0 }
+
+// funcsOf returns the function ops of a module.
+func funcsOf(m *ir.Module) []*ir.Operation { return m.Funcs() }
+
+// forEachBlock applies fn to every block nested anywhere below op,
+// including blocks of nested regions, innermost last.
+func forEachBlock(op *ir.Operation, fn func(b *ir.Block) error) error {
+	for _, r := range op.Regions {
+		for _, b := range r.Blocks {
+			for _, inner := range b.Ops {
+				if err := forEachBlock(inner, fn); err != nil {
+					return err
+				}
+			}
+			if err := fn(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// constInt returns the integer payload of an arith.constant/
+// llvm.mlir.constant defining op, given the defs map maintained by a
+// pass walk.
+type constMap map[string]ir.IntegerAttr
+
+// record notes op's constant result if it is a scalar constant.
+func (cm constMap) record(op *ir.Operation) {
+	if op.Name != "arith.constant" && op.Name != "llvm.mlir.constant" {
+		return
+	}
+	if len(op.Results) != 1 {
+		return
+	}
+	if a, ok := op.Attrs.Get("value").(ir.IntegerAttr); ok {
+		cm[op.Results[0].ID] = a
+	}
+}
+
+// lookup resolves a value to its constant, if known.
+func (cm constMap) lookup(v ir.Value) (ir.IntegerAttr, bool) {
+	a, ok := cm[v.ID]
+	return a, ok
+}
+
+// opKey builds a structural key for CSE: name, operand IDs, attributes
+// and result types.
+func opKey(op *ir.Operation) string {
+	var b strings.Builder
+	b.WriteString(op.Name)
+	for _, o := range op.Operands {
+		b.WriteByte('|')
+		b.WriteString(o.ID)
+	}
+	b.WriteByte('#')
+	b.WriteString(op.Attrs.String())
+	for _, r := range op.Results {
+		b.WriteByte('~')
+		b.WriteString(r.Type.String())
+	}
+	return b.String()
+}
+
+// usedIDs collects every value ID used (as operand or successor arg)
+// anywhere below the given ops, including nested regions.
+func usedIDs(ops []*ir.Operation) map[string]int {
+	uses := make(map[string]int)
+	var walk func(ops []*ir.Operation)
+	walk = func(ops []*ir.Operation) {
+		for _, op := range ops {
+			for _, o := range op.Operands {
+				uses[o.ID]++
+			}
+			for _, s := range op.Successors {
+				for _, a := range s.Args {
+					uses[a.ID]++
+				}
+			}
+			for _, r := range op.Regions {
+				for _, b := range r.Blocks {
+					walk(b.Ops)
+				}
+			}
+		}
+	}
+	walk(ops)
+	return uses
+}
+
+// intAttrOf builds the IntegerAttr for a value of the given scalar type.
+func intAttrOf(v int64, t ir.Type) ir.IntegerAttr { return ir.IntAttr(v, t) }
+
+// buildConst builds an arith.constant op defining value v.
+func buildConst(nm *namer, v int64, t ir.Type) (*ir.Operation, ir.Value) {
+	op := ir.NewOp("arith.constant")
+	op.Attrs.Set("value", intAttrOf(v, t))
+	res := nm.Value(t)
+	op.Results = []ir.Value{res}
+	return op, res
+}
+
+// buildOp1 builds a single-result op.
+func buildOp1(nm *namer, name string, resType ir.Type, operands ...ir.Value) (*ir.Operation, ir.Value) {
+	op := ir.NewOp(name)
+	op.Operands = operands
+	res := nm.Value(resType)
+	op.Results = []ir.Value{res}
+	return op, res
+}
+
+// mustType formats an internal invariant violation.
+func mustType(cond bool, format string, args ...any) error {
+	if cond {
+		return nil
+	}
+	return fmt.Errorf(format, args...)
+}

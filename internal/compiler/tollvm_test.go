@@ -1,0 +1,128 @@
+package compiler_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+)
+
+// runLoweredScalar compiles a two-operand scalar expression through the
+// llvm conversion chain (no arith-expand) and executes it.
+func runLoweredScalar(t *testing.T, opName, ty string, a, b int64) string {
+	t.Helper()
+	src := fmt.Sprintf(`"builtin.module"() ({
+  "func.func"() ({
+    %%a, %%b = "func.call"() {callee = @c} : () -> (%[2]s, %[2]s)
+    %%r = "%[1]s"(%%a, %%b) : (%[2]s, %[2]s) -> (%[2]s)
+    "vector.print"(%%r) : (%[2]s) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %%a = "arith.constant"() {value = %[3]d : %[2]s} : () -> (%[2]s)
+    %%b = "arith.constant"() {value = %[4]d : %[2]s} : () -> (%[2]s)
+    "func.return"(%%a, %%b) : (%[2]s, %[2]s) -> ()
+  }) {sym_name = "c", function_type = () -> (%[2]s, %[2]s)} : () -> ()
+}) : () -> ()`, opName, ty, a, b)
+	m := mustParse(t, src)
+	pipe, err := compiler.NewPipeline("convert-scf-to-cf", "convert-arith-to-llvm", "convert-vector-to-llvm", "convert-func-to-llvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dialects.NewExecutor().Run(m, "main")
+	if err != nil {
+		t.Fatalf("%s: %v", opName, err)
+	}
+	return res.Output
+}
+
+// TestDirectConversionsAgreeWithReference drives each multi-op llvm
+// conversion (min/max via cmp+select, rounded divisions, the extended
+// arithmetic) on hand-picked operands and compares with the reference
+// value.
+func TestDirectConversionsAgreeWithReference(t *testing.T) {
+	cases := []struct {
+		op   string
+		ty   string
+		a, b int64
+		want string
+	}{
+		{"arith.maxsi", "i64", -3, 2, "2\n"},
+		{"arith.minsi", "i64", -3, 2, "-3\n"},
+		{"arith.maxui", "i8", -3, 2, "-3\n"}, // 253 unsigned wins, prints signed
+		{"arith.minui", "i8", -3, 2, "2\n"},
+		{"arith.ceildivsi", "i64", -7, 2, "-3\n"},
+		{"arith.ceildivsi", "i64", 7, 2, "4\n"},
+		{"arith.ceildivsi", "i64", -7, -2, "4\n"},
+		{"arith.floordivsi", "i64", -7, 2, "-4\n"},
+		{"arith.floordivsi", "i64", 7, -2, "-4\n"},
+		{"arith.ceildivui", "i8", 7, 2, "4\n"},
+		{"arith.ceildivui", "i8", 0, 3, "0\n"},
+	}
+	for _, c := range cases {
+		got := runLoweredScalar(t, c.op, c.ty, c.a, c.b)
+		if got != c.want {
+			t.Errorf("%s(%d, %d) lowered to %q, want %q", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestExtendedConversionShapes pins the llvm sequences for the
+// extended-arithmetic conversions: mul/smulh, mul/umulh, add+icmp-ult.
+func TestExtendedConversionShapes(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%a: i8, %b: i8):
+    %lo, %hi = "arith.mulsi_extended"(%a, %b) : (i8, i8) -> (i8, i8)
+    %lo2, %hi2 = "arith.mului_extended"(%a, %b) : (i8, i8) -> (i8, i8)
+    %s, %o = "arith.addui_extended"(%a, %b) : (i8, i8) -> (i8, i1)
+    "func.return"(%hi, %hi2, %o) : (i8, i8, i1) -> ()
+  }) {sym_name = "main", function_type = (i8, i8) -> (i8, i8, i1)} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("convert-arith-to-llvm")
+	if err := pipe.Run(m, &compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	m.Walk(func(op *ir.Operation) bool {
+		counts[op.Name]++
+		return true
+	})
+	if counts["llvm.smulh"] != 1 || counts["llvm.umulh"] != 1 {
+		t.Errorf("high-multiply conversions wrong: %v", counts)
+	}
+	if counts["llvm.icmp"] != 1 {
+		t.Errorf("addui_extended should lower its flag to one icmp: %v", counts)
+	}
+	if counts["llvm.mul"] != 2 {
+		t.Errorf("expected 2 llvm.mul (low halves): %v", counts)
+	}
+	for name := range counts {
+		if name == "arith.mulsi_extended" || name == "arith.mului_extended" || name == "arith.addui_extended" {
+			t.Errorf("%s survived conversion", name)
+		}
+	}
+}
+
+// TestConversionRejectsLeftoverTensorConstant: a dense constant
+// reaching convert-arith-to-llvm (i.e. bufferisation skipped) is a
+// structured pipeline error, not silent miscompilation.
+func TestConversionRejectsLeftoverTensorConstant(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[1]> : tensor<1xi64>} : () -> (tensor<1xi64>)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m := mustParse(t, src)
+	pipe, _ := compiler.NewPipeline("convert-arith-to-llvm")
+	if err := pipe.Run(m, &compiler.Options{}); err == nil {
+		t.Error("dense constant must not silently pass the llvm conversion")
+	}
+}

@@ -1,0 +1,228 @@
+package arith_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ratte/internal/dialects/arith"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+)
+
+// ctxWith builds an evaluation context with the given i64 bindings.
+func ctxWith(t *testing.T, vals map[string]int64) *interp.Context {
+	t.Helper()
+	ctx := interp.NewContext(interp.New(arith.Semantics()))
+	ctx.PushScope(scoped.Standard)
+	for id, v := range vals {
+		if err := ctx.Define(ir.V(id, ir.I64), rtval.NewInt(64, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctx
+}
+
+func evalBinary(t *testing.T, name string, a, b int64) (rtval.Int, error) {
+	t.Helper()
+	ctx := ctxWith(t, map[string]int64{"a": a, "b": b})
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{ir.V("a", ir.I64), ir.V("b", ir.I64)}
+	op.Results = []ir.Value{ir.V("r", ir.I64)}
+	if err := ctx.Eval(op); err != nil {
+		return rtval.Int{}, err
+	}
+	v, _ := ctx.Lookup("r")
+	return v.(rtval.Int), nil
+}
+
+// TestEveryBinaryKernel evaluates each same-type binary op against a
+// hand-computed table.
+func TestEveryBinaryKernel(t *testing.T) {
+	cases := []struct {
+		op      string
+		a, b    int64
+		want    int64
+		wantErr bool
+	}{
+		{"arith.addi", 40, 2, 42, false},
+		{"arith.subi", 40, 2, 38, false},
+		{"arith.muli", -6, 7, -42, false},
+		{"arith.andi", 0b1100, 0b1010, 0b1000, false},
+		{"arith.ori", 0b1100, 0b1010, 0b1110, false},
+		{"arith.xori", 0b1100, 0b1010, 0b0110, false},
+		{"arith.divsi", -7, 2, -3, false},
+		{"arith.divsi", 7, 0, 0, true},
+		{"arith.divui", -1, 2, 9223372036854775807, false}, // 2^64-1 / 2
+		{"arith.remsi", -7, 2, -1, false},
+		{"arith.remui", 7, 3, 1, false},
+		{"arith.remui", 7, 0, 0, true},
+		{"arith.ceildivsi", -7, 2, -3, false},
+		{"arith.ceildivui", 7, 2, 4, false},
+		{"arith.floordivsi", -7, 2, -4, false},
+		{"arith.floordivsi", -9223372036854775808, -1, 0, true},
+		{"arith.shli", 3, 2, 12, false},
+		{"arith.shli", 1, 64, 0, true},
+		{"arith.shrsi", -8, 1, -4, false},
+		{"arith.shrui", -8, 1, 9223372036854775804, false},
+		{"arith.maxsi", -3, 2, 2, false},
+		{"arith.maxui", -3, 2, -3, false}, // -3 is huge unsigned
+		{"arith.minsi", -3, 2, -3, false},
+		{"arith.minui", -3, 2, 2, false},
+	}
+	for _, c := range cases {
+		got, err := evalBinary(t, c.op, c.a, c.b)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s(%d, %d): expected error", c.op, c.a, c.b)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s(%d, %d): %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if got.Signed() != c.want {
+			t.Errorf("%s(%d, %d) = %d, want %d", c.op, c.a, c.b, got.Signed(), c.want)
+		}
+	}
+}
+
+func TestConstantKernelTypes(t *testing.T) {
+	ctx := interp.NewContext(interp.New(arith.Semantics()))
+	ctx.PushScope(scoped.Standard)
+
+	c := ir.NewOp("arith.constant")
+	c.Attrs.Set("value", ir.IntAttr(-9, ir.Index))
+	c.Results = []ir.Value{ir.V("i", ir.Index)}
+	if err := ctx.Eval(c); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := ctx.Lookup("i")
+	if v.(rtval.Int).Signed() != -9 || !v.(rtval.Int).IsIndex() {
+		t.Errorf("index constant = %v", v)
+	}
+
+	d := ir.NewOp("arith.constant")
+	d.Attrs.Set("value", ir.DenseAttr([]int64{1, 2}, ir.TensorOf([]int64{2}, ir.I32)))
+	d.Results = []ir.Value{ir.V("t", ir.TensorOf([]int64{2}, ir.I32))}
+	if err := ctx.Eval(d); err != nil {
+		t.Fatal(err)
+	}
+	tv, _ := ctx.Lookup("t")
+	if tv.(*rtval.Tensor).NumElements() != 2 {
+		t.Errorf("dense constant = %v", tv)
+	}
+
+	bad := ir.NewOp("arith.constant")
+	bad.Results = []ir.Value{ir.V("x", ir.I64)}
+	if err := ctx.Eval(bad); err == nil {
+		t.Error("constant without value attribute must fail")
+	}
+}
+
+func TestCmpiAllPredicates(t *testing.T) {
+	// a = -2 (huge unsigned), b = 3.
+	preds := map[int64]bool{
+		0: false, // eq
+		1: true,  // ne
+		2: true,  // slt
+		3: true,  // sle
+		4: false, // sgt
+		5: false, // sge
+		6: false, // ult
+		7: false, // ule
+		8: true,  // ugt
+		9: true,  // uge
+	}
+	for p, want := range preds {
+		ctx := ctxWith(t, map[string]int64{"a": -2, "b": 3})
+		op := ir.NewOp("arith.cmpi")
+		op.Operands = []ir.Value{ir.V("a", ir.I64), ir.V("b", ir.I64)}
+		op.Attrs.Set("predicate", ir.IntAttr(p, ir.I64))
+		op.Results = []ir.Value{ir.V("r", ir.I1)}
+		if err := ctx.Eval(op); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := ctx.Lookup("r")
+		if v.(rtval.Int).IsTrue() != want {
+			t.Errorf("predicate %d: got %v, want %v", p, v.(rtval.Int).IsTrue(), want)
+		}
+	}
+}
+
+func TestSelectOnUndefCondIsUB(t *testing.T) {
+	ctx := interp.NewContext(interp.New(arith.Semantics()))
+	ctx.PushScope(scoped.Standard)
+	if err := ctx.Define(ir.V("c", ir.I1), rtval.UndefInt(ir.I1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Define(ir.V("a", ir.I64), rtval.NewInt(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	op := ir.NewOp("arith.select")
+	op.Operands = []ir.Value{ir.V("c", ir.I1), ir.V("a", ir.I64), ir.V("a", ir.I64)}
+	op.Results = []ir.Value{ir.V("r", ir.I64)}
+	err := ctx.Eval(op)
+	if err == nil || !interp.IsUB(err) {
+		t.Errorf("select on undef cond should be UB, got %v", err)
+	}
+}
+
+// Property: for every width, the interpreter's addi/subi/muli agree
+// with two's-complement arithmetic computed independently.
+func TestBinaryKernelsMatchTwosComplement(t *testing.T) {
+	in := interp.New(arith.Semantics())
+	f := func(a, b int64, w8 uint8) bool {
+		w := uint(w8%64) + 1
+		tt := ir.I(w)
+		ctx := interp.NewContext(in)
+		ctx.PushScope(scoped.Standard)
+		if err := ctx.Define(ir.V("a", tt), rtval.NewInt(w, a)); err != nil {
+			return false
+		}
+		if err := ctx.Define(ir.V("b", tt), rtval.NewInt(w, b)); err != nil {
+			return false
+		}
+		check := func(name string, want uint64) bool {
+			op := ir.NewOp(name)
+			op.Operands = []ir.Value{ir.V("a", tt), ir.V("b", tt)}
+			op.Results = []ir.Value{ir.V("r_"+name, tt)}
+			if err := ctx.Eval(op); err != nil {
+				return false
+			}
+			v, _ := ctx.Lookup("r_" + name)
+			return v.(rtval.Int).Unsigned() == want
+		}
+		mask := uint64(1)<<w - 1
+		if w == 64 {
+			mask = ^uint64(0)
+		}
+		ua, ub := uint64(a)&mask, uint64(b)&mask
+		return check("arith.addi", (ua+ub)&mask) &&
+			check("arith.subi", (ua-ub)&mask) &&
+			check("arith.muli", (ua*ub)&mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpsInventoryHasKernels(t *testing.T) {
+	d := arith.Semantics()
+	for _, name := range arith.Ops {
+		if _, ok := d.Kernels[name]; !ok {
+			t.Errorf("no kernel for %s", name)
+		}
+	}
+	if len(arith.Ops) != 31 {
+		t.Errorf("arith inventory has %d ops", len(arith.Ops))
+	}
+	specs := arith.Specs()
+	for _, name := range arith.Ops {
+		if _, ok := specs[name]; !ok {
+			t.Errorf("no spec for %s", name)
+		}
+	}
+}

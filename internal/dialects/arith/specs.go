@@ -1,0 +1,231 @@
+package arith
+
+import (
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/verify"
+)
+
+// Specs returns the static verification rules for the arith dialect.
+func Specs() verify.Registry {
+	reg := verify.Registry{}
+
+	reg["arith.constant"] = verify.OpSpec{Check: checkConstant}
+
+	sameTypeBinary := verify.OpSpec{Check: checkSameTypeBinary}
+	for _, name := range []string{
+		"arith.addi", "arith.subi", "arith.muli",
+		"arith.andi", "arith.ori", "arith.xori",
+		"arith.divsi", "arith.divui", "arith.remsi", "arith.remui",
+		"arith.ceildivsi", "arith.ceildivui", "arith.floordivsi",
+		"arith.shli", "arith.shrsi", "arith.shrui",
+		"arith.maxsi", "arith.maxui", "arith.minsi", "arith.minui",
+	} {
+		reg[name] = sameTypeBinary
+	}
+
+	reg["arith.cmpi"] = verify.OpSpec{Check: checkCmpi}
+	reg["arith.select"] = verify.OpSpec{Check: checkSelect}
+
+	extended := verify.OpSpec{Check: checkExtended}
+	reg["arith.addui_extended"] = verify.OpSpec{Check: checkAdduiExtended}
+	reg["arith.mulsi_extended"] = extended
+	reg["arith.mului_extended"] = extended
+
+	reg["arith.extsi"] = verify.OpSpec{Check: checkExt}
+	reg["arith.extui"] = verify.OpSpec{Check: checkExt}
+	reg["arith.trunci"] = verify.OpSpec{Check: checkTrunc}
+	reg["arith.index_cast"] = verify.OpSpec{Check: checkIndexCast}
+	reg["arith.index_castui"] = verify.OpSpec{Check: checkIndexCast}
+
+	return reg
+}
+
+func checkConstant(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 0); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	switch v := op.Attrs.Get("value").(type) {
+	case ir.IntegerAttr:
+		if !ir.TypeEqual(v.Type, op.Results[0].Type) {
+			return verify.Errf(op, "constant attribute type %s does not match result type %s",
+				v.Type, op.Results[0].Type)
+		}
+		if !ir.IsIntegerOrIndex(op.Results[0].Type) {
+			return verify.Errf(op, "integer constant must produce an integer or index value")
+		}
+		w, _ := ir.BitWidth(op.Results[0].Type)
+		if _, isIdx := op.Results[0].Type.(ir.IndexType); !isIdx && w < 64 {
+			// The attribute payload must be in range for the width.
+			if v.Value > int64(rtval.MaxUnsigned(w)) || v.Value < rtval.MinSigned(w) {
+				return verify.Errf(op, "constant %d does not fit in %s", v.Value, op.Results[0].Type)
+			}
+		}
+		return nil
+	case ir.DenseIntAttr:
+		rt, ok := op.Results[0].Type.(ir.TensorType)
+		if !ok {
+			return verify.Errf(op, "dense constant must produce a tensor")
+		}
+		if !ir.TypeEqual(v.Type, rt) {
+			return verify.Errf(op, "dense attribute type %s does not match result type %s", v.Type, rt)
+		}
+		if !rt.HasStaticShape() {
+			return verify.Errf(op, "dense constant requires a static shape")
+		}
+		if !v.Splat && int64(len(v.Values)) != rt.NumElements() {
+			return verify.Errf(op, "dense attribute has %d elements, type requires %d",
+				len(v.Values), rt.NumElements())
+		}
+		return nil
+	}
+	return verify.Errf(op, "constant requires a value attribute")
+}
+
+func checkSameTypeBinary(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 2); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	if err := verify.WantScalarOperands(op); err != nil {
+		return err
+	}
+	return verify.WantAllSameType(op, op.Operands[0], op.Operands[1], op.Results[0])
+}
+
+func checkCmpi(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 2); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	if err := verify.WantScalarOperands(op); err != nil {
+		return err
+	}
+	if err := verify.WantAllSameType(op, op.Operands[0], op.Operands[1]); err != nil {
+		return err
+	}
+	if err := verify.WantType(op, op.Results[0], ir.I1); err != nil {
+		return err
+	}
+	p, ok := op.Attrs.IntValueOf("predicate")
+	if !ok {
+		return verify.Errf(op, "cmpi requires a predicate attribute")
+	}
+	if !rtval.CmpPredicate(p).Valid() {
+		return verify.Errf(op, "invalid cmpi predicate %d", p)
+	}
+	return nil
+}
+
+func checkSelect(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 3); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	if err := verify.WantType(op, op.Operands[0], ir.I1); err != nil {
+		return err
+	}
+	return verify.WantAllSameType(op, op.Operands[1], op.Operands[2], op.Results[0])
+}
+
+func checkExtended(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 2); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 2); err != nil {
+		return err
+	}
+	if err := verify.WantScalarOperands(op); err != nil {
+		return err
+	}
+	return verify.WantAllSameType(op, op.Operands[0], op.Operands[1], op.Results[0], op.Results[1])
+}
+
+func checkAdduiExtended(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 2); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 2); err != nil {
+		return err
+	}
+	if err := verify.WantScalarOperands(op); err != nil {
+		return err
+	}
+	if err := verify.WantAllSameType(op, op.Operands[0], op.Operands[1], op.Results[0]); err != nil {
+		return err
+	}
+	// The second result is the i1 overflow flag.
+	return verify.WantType(op, op.Results[1], ir.I1)
+}
+
+func checkExt(c *verify.Checker, op *ir.Operation) error {
+	from, to, err := checkCastShape(op)
+	if err != nil {
+		return err
+	}
+	fw, err := verify.WantIntegerType(op, from)
+	if err != nil {
+		return err
+	}
+	tw, err := verify.WantIntegerType(op, to)
+	if err != nil {
+		return err
+	}
+	if fw >= tw {
+		return verify.Errf(op, "extension must widen: %s to %s", from, to)
+	}
+	return nil
+}
+
+func checkTrunc(c *verify.Checker, op *ir.Operation) error {
+	from, to, err := checkCastShape(op)
+	if err != nil {
+		return err
+	}
+	fw, err := verify.WantIntegerType(op, from)
+	if err != nil {
+		return err
+	}
+	tw, err := verify.WantIntegerType(op, to)
+	if err != nil {
+		return err
+	}
+	if fw <= tw {
+		return verify.Errf(op, "truncation must narrow: %s to %s", from, to)
+	}
+	return nil
+}
+
+func checkIndexCast(c *verify.Checker, op *ir.Operation) error {
+	from, to, err := checkCastShape(op)
+	if err != nil {
+		return err
+	}
+	_, fromIdx := from.(ir.IndexType)
+	_, toIdx := to.(ir.IndexType)
+	_, fromInt := from.(ir.IntegerType)
+	_, toInt := to.(ir.IntegerType)
+	if (fromIdx && toInt) || (fromInt && toIdx) {
+		return nil
+	}
+	return verify.Errf(op, "index_cast must convert between index and integer, got %s to %s", from, to)
+}
+
+func checkCastShape(op *ir.Operation) (from, to ir.Type, err error) {
+	if err := verify.WantOperands(op, 1); err != nil {
+		return nil, nil, err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return nil, nil, err
+	}
+	return op.Operands[0].Type, op.Results[0].Type, nil
+}

@@ -1,0 +1,86 @@
+package cf_test
+
+import (
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+)
+
+func run(t *testing.T, src string) (*interp.Result, error) {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dialects.NewExecutor().Run(m, "main")
+}
+
+func TestBranchArgumentsFlow(t *testing.T) {
+	src := `"builtin.module"() ({
+  "llvm.func"() ({
+  ^bb0:
+    %a = "llvm.mlir.constant"() {value = 5 : i64} : () -> (i64)
+    %b = "llvm.mlir.constant"() {value = 37 : i64} : () -> (i64)
+    "cf.br"()[^merge(%a : i64, %b : i64)] : () -> ()
+  ^merge(%x: i64, %y: i64):
+    %s = "llvm.add"(%x, %y) : (i64, i64) -> (i64)
+    "llvm.print"(%s) : (i64) -> ()
+    "llvm.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	res, err := run(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestCondBranchSelectsSuccessorArgs(t *testing.T) {
+	mk := func(cond int64) string {
+		return `"builtin.module"() ({
+  "llvm.func"() ({
+  ^bb0:
+    %c = "llvm.mlir.constant"() {value = ` + itoa(cond) + ` : i1} : () -> (i1)
+    %a = "llvm.mlir.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "llvm.mlir.constant"() {value = 2 : i64} : () -> (i64)
+    "cf.cond_br"(%c)[^merge(%a : i64), ^merge(%b : i64)] : (i1) -> ()
+  ^merge(%x: i64):
+    "llvm.print"(%x) : (i64) -> ()
+    "llvm.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	}
+	res, err := run(t, mk(1))
+	if err != nil || res.Output != "1\n" {
+		t.Errorf("true branch: %q %v", res.Output, err)
+	}
+	res, err = run(t, mk(0))
+	if err != nil || res.Output != "2\n" {
+		t.Errorf("false branch: %q %v", res.Output, err)
+	}
+}
+
+func TestMalformedBranchErrors(t *testing.T) {
+	// cf.br with zero successors is rejected at run time (and statically
+	// by the spec — bypassed here by calling the executor directly).
+	src := `"builtin.module"() ({
+  "llvm.func"() ({
+  ^bb0:
+    "cf.br"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	if _, err := run(t, src); err == nil {
+		t.Error("branch without successor should error")
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	return "1"
+}

@@ -1,0 +1,110 @@
+// Package dialects assembles the per-dialect semantics and static rules
+// into the combinations Ratte uses: the source-level reference
+// interpreter, the target-level executor, and the union of everything
+// for mid-pipeline verification.
+//
+// This package is the composition point the paper's modularity story
+// culminates in: adding a dialect means writing one new package with a
+// Semantics() and a Specs() function and listing it here — no existing
+// dialect changes.
+package dialects
+
+import (
+	"ratte/internal/dialects/arith"
+	"ratte/internal/dialects/cf"
+	"ratte/internal/dialects/funcd"
+	"ratte/internal/dialects/linalg"
+	"ratte/internal/dialects/llvm"
+	"ratte/internal/dialects/memref"
+	"ratte/internal/dialects/scf"
+	"ratte/internal/dialects/tensor"
+	"ratte/internal/dialects/vector"
+	"ratte/internal/interp"
+	"ratte/internal/verify"
+)
+
+// Source returns the dialect semantics of the source-level dialects
+// (the ones Ratte's generators emit): arith, func, scf, vector, tensor,
+// linalg.
+func Source() []*interp.Dialect {
+	return []*interp.Dialect{
+		arith.Semantics(),
+		funcd.Semantics(),
+		scf.Semantics(),
+		vector.Semantics(),
+		tensor.Semantics(),
+		linalg.Semantics(),
+	}
+}
+
+// Target returns the dialect semantics of the lowered target level:
+// llvm, cf and memref (plus func/vector for partially-lowered
+// pipelines).
+func Target() []*interp.Dialect {
+	return []*interp.Dialect{
+		llvm.Semantics(),
+		cf.Semantics(),
+		memref.Semantics(),
+	}
+}
+
+// NewReferenceInterpreter builds the reference interpreter over the
+// source dialects — the validated semantics the paper ships as an
+// independent artifact.
+func NewReferenceInterpreter() *interp.Interpreter {
+	return interp.New(Source()...)
+}
+
+// NewExecutor builds the executor for fully- or partially-lowered
+// modules: every dialect is available, so pipelines may stop at any
+// level (this mirrors mlir-cpu-runner accepting mixed modules as long
+// as each op has a registered lowering or runtime implementation).
+func NewExecutor() *interp.Interpreter {
+	all := append(Source(), Target()...)
+	return interp.New(all...)
+}
+
+// SourceSpecs returns the static verification rules of the source
+// dialects — the frontend verifier.
+func SourceSpecs() verify.Registry {
+	return verify.Merge(
+		arith.Specs(),
+		funcd.Specs(),
+		scf.Specs(),
+		vector.Specs(),
+		tensor.Specs(),
+		linalg.Specs(),
+	)
+}
+
+// AllSpecs returns the union of every dialect's rules — the verifier
+// used between passes, where lowered and source ops coexist. It also
+// registers the compiler-internal ratte.generate_into marker (the
+// buffer form of tensor.generate between one-shot-bufferize and
+// convert-linalg-to-loops).
+func AllSpecs() verify.Registry {
+	internal := verify.Registry{
+		"ratte.generate_into": {NumRegions: 1},
+	}
+	return verify.Merge(
+		SourceSpecs(),
+		cf.Specs(),
+		memref.Specs(),
+		llvm.Specs(),
+		internal,
+	)
+}
+
+// SupportedSourceOps returns the names of every source-dialect op with
+// both semantics and static rules — the paper's "43 operations across
+// core dialects" inventory.
+func SupportedSourceOps() []string {
+	var ops []string
+	ops = append(ops, arith.Ops...)
+	ops = append(ops, funcd.Ops...)
+	ops = append(ops, scf.Ops...)
+	ops = append(ops, vector.Ops...)
+	ops = append(ops, tensor.Ops...)
+	ops = append(ops, linalg.Ops...)
+	return ops
+}

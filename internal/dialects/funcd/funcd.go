@@ -1,0 +1,159 @@
+// Package funcd provides the semantics and static rules of the func
+// dialect: function definition, call and return. Function bodies are
+// IsolatedFromAbove regions; per the paper's region embedding, a
+// function value is a stored continuation invoked by the CallFunc
+// effect (interp.Context.CallFunc).
+package funcd
+
+import (
+	"fmt"
+
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/verify"
+)
+
+// Ops lists the func-dialect operations.
+var Ops = []string{"func.func", "func.call", "func.return"}
+
+// Semantics returns the interpreter kernels for the func dialect.
+// func.func itself is handled at module level by interp.Run (AddFunc);
+// a nested func.func is rejected.
+func Semantics() *interp.Dialect {
+	d := interp.NewDialect("func")
+
+	d.Register("func.func", func(ctx *interp.Context, op *ir.Operation) error {
+		return fmt.Errorf("nested functions are not supported")
+	})
+
+	d.Register("func.call", func(ctx *interp.Context, op *ir.Operation) error {
+		callee, ok := op.Attrs.Get("callee").(ir.SymbolRefAttr)
+		if !ok {
+			return fmt.Errorf("call requires a callee symbol attribute")
+		}
+		args := make([]rtval.Value, len(op.Operands))
+		for i, operand := range op.Operands {
+			v, err := ctx.Get(operand)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		results, err := ctx.CallFunc(callee.Name, args)
+		if err != nil {
+			return err
+		}
+		if len(results) != len(op.Results) {
+			return fmt.Errorf("call @%s produced %d results, op declares %d", callee.Name, len(results), len(op.Results))
+		}
+		for i, r := range op.Results {
+			if err := ctx.Define(r, results[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	d.RegisterTerminator("func.return", func(ctx *interp.Context, op *ir.Operation) (interp.TermResult, error) {
+		vals := make([]rtval.Value, len(op.Operands))
+		for i, operand := range op.Operands {
+			v, err := ctx.Get(operand)
+			if err != nil {
+				return interp.TermResult{}, err
+			}
+			vals[i] = v
+		}
+		return interp.TermResult{Exit: &interp.Exit{Kind: interp.ExitReturn, Values: vals}}, nil
+	})
+
+	return d
+}
+
+// Specs returns the static rules for the func dialect.
+func Specs() verify.Registry {
+	return verify.Registry{
+		"func.func": {
+			NumRegions:      1,
+			IsolatedRegions: true,
+			Check:           checkFunc,
+		},
+		"func.call":   {Check: checkCall},
+		"func.return": {Terminator: true, Check: checkReturn},
+	}
+}
+
+func checkFunc(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 0); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 0); err != nil {
+		return err
+	}
+	ft, err := ir.FuncType(op)
+	if err != nil {
+		return verify.Errf(op, "%v", err)
+	}
+	entry := op.Regions[0].Entry()
+	if entry == nil {
+		return verify.Errf(op, "function body must have an entry block")
+	}
+	if len(entry.Args) != len(ft.Inputs) {
+		return verify.Errf(op, "entry block has %d arguments, function type declares %d",
+			len(entry.Args), len(ft.Inputs))
+	}
+	for i, a := range entry.Args {
+		if !ir.TypeEqual(a.Type, ft.Inputs[i]) {
+			return verify.Errf(op, "entry argument %d has type %s, function type declares %s",
+				i, a.Type, ft.Inputs[i])
+		}
+	}
+	return nil
+}
+
+func checkCall(c *verify.Checker, op *ir.Operation) error {
+	callee, ok := op.Attrs.Get("callee").(ir.SymbolRefAttr)
+	if !ok {
+		return verify.Errf(op, "call requires a callee symbol attribute")
+	}
+	ft, ok := c.FuncSignature(callee.Name)
+	if !ok {
+		return verify.Errf(op, "call to undeclared function @%s", callee.Name)
+	}
+	if len(op.Operands) != len(ft.Inputs) {
+		return verify.Errf(op, "call @%s passes %d arguments, function takes %d",
+			callee.Name, len(op.Operands), len(ft.Inputs))
+	}
+	for i, operand := range op.Operands {
+		if !ir.TypeEqual(operand.Type, ft.Inputs[i]) {
+			return verify.Errf(op, "call @%s argument %d has type %s, function takes %s",
+				callee.Name, i, operand.Type, ft.Inputs[i])
+		}
+	}
+	if len(op.Results) != len(ft.Results) {
+		return verify.Errf(op, "call @%s declares %d results, function returns %d",
+			callee.Name, len(op.Results), len(ft.Results))
+	}
+	for i, r := range op.Results {
+		if !ir.TypeEqual(r.Type, ft.Results[i]) {
+			return verify.Errf(op, "call @%s result %d has type %s, function returns %s",
+				callee.Name, i, r.Type, ft.Results[i])
+		}
+	}
+	return nil
+}
+
+func checkReturn(c *verify.Checker, op *ir.Operation) error {
+	want := c.EnclosingFuncResults()
+	if len(op.Operands) != len(want) {
+		return verify.Errf(op, "return has %d operands, enclosing function returns %d",
+			len(op.Operands), len(want))
+	}
+	for i, operand := range op.Operands {
+		if !ir.TypeEqual(operand.Type, want[i]) {
+			return verify.Errf(op, "return operand %d has type %s, function returns %s",
+				i, operand.Type, want[i])
+		}
+	}
+	return verify.WantResults(op, 0)
+}

@@ -1,0 +1,157 @@
+package funcd_test
+
+import (
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/verify"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMutualRecursionBounded(t *testing.T) {
+	// a calls b calls a: the call-depth guard must stop it.
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %r = "func.call"() {callee = @b} : () -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "main", function_type = () -> (i64)} : () -> ()
+  "func.func"() ({
+    %r = "func.call"() {callee = @main} : () -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "b", function_type = () -> (i64)} : () -> ()
+}) : () -> ()`
+	_, err := dialects.NewReferenceInterpreter().Run(parse(t, src), "main")
+	if err == nil {
+		t.Fatal("mutual recursion must be bounded")
+	}
+}
+
+func TestMultiResultCall(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a, %b, %c = "func.call"() {callee = @three} : () -> (i8, i16, index)
+    "vector.print"(%a) : (i8) -> ()
+    "vector.print"(%b) : (i16) -> ()
+    "vector.print"(%c) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i8} : () -> (i8)
+    %b = "arith.constant"() {value = 2 : i16} : () -> (i16)
+    %c = "arith.constant"() {value = 3 : index} : () -> (index)
+    "func.return"(%a, %b, %c) : (i8, i16, index) -> ()
+  }) {sym_name = "three", function_type = () -> (i8, i16, index)} : () -> ()
+}) : () -> ()`
+	res, err := dialects.NewReferenceInterpreter().Run(parse(t, src), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "1\n2\n3\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestArgumentPassing(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %x = "arith.constant"() {value = 5 : i64} : () -> (i64)
+    %y = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %r = "func.call"(%x, %y) {callee = @sub} : (i64, i64) -> (i64)
+    "vector.print"(%r) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%a: i64, %b: i64):
+    %d = "arith.subi"(%a, %b) : (i64, i64) -> (i64)
+    "func.return"(%d) : (i64) -> ()
+  }) {sym_name = "sub", function_type = (i64, i64) -> (i64)} : () -> ()
+}) : () -> ()`
+	res, err := dialects.NewReferenceInterpreter().Run(parse(t, src), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "2\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestTensorArgumentsAndResults(t *testing.T) {
+	// Functions can pass tensors (the lowering pipeline bufferises this
+	// boundary too).
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[4, 5]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %r = "func.call"(%t) {callee = @first} : (tensor<2xi64>) -> (i64)
+    "vector.print"(%r) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%t: tensor<2xi64>):
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %e = "tensor.extract"(%t, %i0) : (tensor<2xi64>, index) -> (i64)
+    "func.return"(%e) : (i64) -> ()
+  }) {sym_name = "first", function_type = (tensor<2xi64>) -> (i64)} : () -> ()
+}) : () -> ()`
+	res, err := dialects.NewReferenceInterpreter().Run(parse(t, src), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "4\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestSpecRejectsEntryBlockMismatch(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%a: i32):
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = (i64) -> ()} : () -> ()
+}) : () -> ()`
+	if err := verify.Module(parse(t, src), dialects.SourceSpecs()); err == nil {
+		t.Error("entry-arg/function-type mismatch must be rejected")
+	}
+}
+
+func TestSpecRejectsResultTypeMismatchOnCall(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %r = "func.call"() {callee = @f} : () -> (i32)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    "func.return"(%a) : (i64) -> ()
+  }) {sym_name = "f", function_type = () -> (i64)} : () -> ()
+}) : () -> ()`
+	if err := verify.Module(parse(t, src), dialects.SourceSpecs()); err == nil {
+		t.Error("call result type mismatch must be rejected")
+	}
+}
+
+func TestReturnedTensorValue(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[7]> : tensor<1xi64>} : () -> (tensor<1xi64>)
+    "func.return"(%t) : (tensor<1xi64>) -> ()
+  }) {sym_name = "main", function_type = () -> (tensor<1xi64>)} : () -> ()
+}) : () -> ()`
+	res, err := dialects.NewReferenceInterpreter().Run(parse(t, src), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, ok := res.Returned[0].(*rtval.Tensor)
+	if !ok || tv.Elems[0].Signed() != 7 {
+		t.Errorf("returned %v", res.Returned)
+	}
+}

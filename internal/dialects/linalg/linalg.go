@@ -1,0 +1,406 @@
+// Package linalg provides the semantics and static rules of the linalg
+// dialect subset the paper supports: linalg.generic with
+// permutation-based indexing maps (every other linalg operation is
+// syntactic sugar over generic), linalg.fill, and linalg.yield.
+//
+// linalg.generic is the paper's flagship "Regions" interaction: the
+// operation repeatedly calls its region — a black box possibly written
+// in other dialects — once per point of the iteration domain, gathering
+// input elements through the indexing maps and scattering the yielded
+// values through the output map. It is also how Ratte exercises *loop*
+// lowerings without generating loops: linalg.generic is lowered into
+// scf.for nests by the compiler under test.
+package linalg
+
+import (
+	"fmt"
+
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+	"ratte/internal/verify"
+)
+
+// Ops lists the linalg-dialect operations.
+var Ops = []string{"linalg.generic", "linalg.fill", "linalg.yield"}
+
+// SegmentSizes reads the operand_segment_sizes attribute splitting an
+// operation's operands into (ins, outs).
+func SegmentSizes(op *ir.Operation) (ins, outs int, err error) {
+	arr, ok := op.Attrs.Get("operand_segment_sizes").(ir.ArrayAttr)
+	if !ok || len(arr.Elems) != 2 {
+		return 0, 0, fmt.Errorf("%s requires operand_segment_sizes = [ins, outs]", op.Name)
+	}
+	a, ok1 := arr.Elems[0].(ir.IntegerAttr)
+	b, ok2 := arr.Elems[1].(ir.IntegerAttr)
+	if !ok1 || !ok2 {
+		return 0, 0, fmt.Errorf("%s: malformed operand_segment_sizes", op.Name)
+	}
+	ins, outs = int(a.Value), int(b.Value)
+	if ins < 0 || outs < 0 || ins+outs != len(op.Operands) {
+		return 0, 0, fmt.Errorf("%s: operand_segment_sizes [%d, %d] does not cover %d operands",
+			op.Name, ins, outs, len(op.Operands))
+	}
+	return ins, outs, nil
+}
+
+// IndexingMaps reads the indexing_maps attribute.
+func IndexingMaps(op *ir.Operation) ([]ir.AffineMapAttr, error) {
+	arr, ok := op.Attrs.Get("indexing_maps").(ir.ArrayAttr)
+	if !ok {
+		return nil, fmt.Errorf("linalg.generic requires an indexing_maps attribute")
+	}
+	maps := make([]ir.AffineMapAttr, len(arr.Elems))
+	for i, e := range arr.Elems {
+		m, ok := e.(ir.AffineMapAttr)
+		if !ok {
+			return nil, fmt.Errorf("indexing_maps[%d] is not an affine map", i)
+		}
+		maps[i] = m
+	}
+	return maps, nil
+}
+
+// IteratorTypes reads the iterator_types attribute.
+func IteratorTypes(op *ir.Operation) ([]string, error) {
+	arr, ok := op.Attrs.Get("iterator_types").(ir.ArrayAttr)
+	if !ok {
+		return nil, fmt.Errorf("linalg.generic requires an iterator_types attribute")
+	}
+	its := make([]string, len(arr.Elems))
+	for i, e := range arr.Elems {
+		s, ok := e.(ir.StringAttr)
+		if !ok {
+			return nil, fmt.Errorf("iterator_types[%d] is not a string", i)
+		}
+		if s.Value != "parallel" && s.Value != "reduction" {
+			return nil, fmt.Errorf("iterator_types[%d] must be parallel or reduction, is %q", i, s.Value)
+		}
+		its[i] = s.Value
+	}
+	return its, nil
+}
+
+// Semantics returns the interpreter kernels for the linalg dialect.
+func Semantics() *interp.Dialect {
+	d := interp.NewDialect("linalg")
+
+	d.Register("linalg.generic", genericKernel)
+
+	d.Register("linalg.fill", func(ctx *interp.Context, op *ir.Operation) error {
+		scalar, err := ctx.GetInt(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		dest, err := ctx.GetTensor(op.Operands[1])
+		if err != nil {
+			return err
+		}
+		return ctx.Define(op.Results[0], rtval.NewTensor(dest.Shape, dest.Elem, scalar))
+	})
+
+	d.RegisterTerminator("linalg.yield", func(ctx *interp.Context, op *ir.Operation) (interp.TermResult, error) {
+		vals := make([]rtval.Value, len(op.Operands))
+		for i, operand := range op.Operands {
+			v, err := ctx.Get(operand)
+			if err != nil {
+				return interp.TermResult{}, err
+			}
+			vals[i] = v
+		}
+		return interp.TermResult{Exit: &interp.Exit{Kind: interp.ExitYield, Values: vals}}, nil
+	})
+
+	return d
+}
+
+func genericKernel(ctx *interp.Context, op *ir.Operation) error {
+	nIns, nOuts, err := SegmentSizes(op)
+	if err != nil {
+		return err
+	}
+	maps, err := IndexingMaps(op)
+	if err != nil {
+		return err
+	}
+	its, err := IteratorTypes(op)
+	if err != nil {
+		return err
+	}
+	if len(maps) != nIns+nOuts {
+		return fmt.Errorf("linalg.generic has %d indexing maps for %d operands", len(maps), nIns+nOuts)
+	}
+
+	operands := make([]*rtval.Tensor, len(op.Operands))
+	for i, o := range op.Operands {
+		t, err := ctx.GetTensor(o)
+		if err != nil {
+			return err
+		}
+		operands[i] = t
+	}
+
+	// Infer the iteration-domain extents from operand shapes through the
+	// (permutation) maps, and check consistency.
+	nDims := len(its)
+	extent := make([]int64, nDims)
+	seen := make([]bool, nDims)
+	for i, m := range maps {
+		if m.NumDims != nDims {
+			return fmt.Errorf("indexing map %d is over %d dims, iterator_types has %d", i, m.NumDims, nDims)
+		}
+		if len(m.Results) != len(operands[i].Shape) {
+			return fmt.Errorf("indexing map %d has %d results for a rank-%d operand", i, len(m.Results), len(operands[i].Shape))
+		}
+		for j, dim := range m.Results {
+			sz := operands[i].Shape[j]
+			if seen[dim] && extent[dim] != sz {
+				return &rtval.TrapError{Op: "linalg.generic", Reason: fmt.Sprintf("dim d%d inferred as both %d and %d", dim, extent[dim], sz)}
+			}
+			extent[dim], seen[dim] = sz, true
+		}
+	}
+	for d := 0; d < nDims; d++ {
+		if !seen[d] {
+			return fmt.Errorf("iteration dim d%d is not constrained by any operand", d)
+		}
+	}
+
+	// Output accumulators start from the outs operands (destination-
+	// passing style).
+	outs := make([]*rtval.Tensor, nOuts)
+	for i := range outs {
+		outs[i] = operands[nIns+i].Clone()
+	}
+
+	// Iterate the domain in row-major order (the order the production
+	// lowering's loop nest uses).
+	point := make([]int64, nDims)
+	total := int64(1)
+	for _, e := range extent {
+		total *= e
+	}
+	for flat := int64(0); flat < total; flat++ {
+		args := make([]rtval.Value, 0, nIns+nOuts)
+		for i := 0; i < nIns; i++ {
+			v, err := operands[i].At(applyMap(maps[i], point))
+			if err != nil {
+				return err
+			}
+			args = append(args, v)
+		}
+		for i := 0; i < nOuts; i++ {
+			v, err := outs[i].At(applyMap(maps[nIns+i], point))
+			if err != nil {
+				return err
+			}
+			args = append(args, v)
+		}
+		exit, err := ctx.RunRegion(op.Regions[0], args, scoped.Standard)
+		if err != nil {
+			return err
+		}
+		if exit.Kind != interp.ExitYield || len(exit.Values) != nOuts {
+			return fmt.Errorf("linalg.generic body must yield %d values", nOuts)
+		}
+		for i := 0; i < nOuts; i++ {
+			elem, ok := exit.Values[i].(rtval.Int)
+			if !ok {
+				return fmt.Errorf("linalg.generic must yield scalars")
+			}
+			idx := applyMap(maps[nIns+i], point)
+			nt, err := outs[i].Insert(idx, elem)
+			if err != nil {
+				return err
+			}
+			outs[i] = nt
+		}
+		// Advance the domain point in row-major order.
+		for i := nDims - 1; i >= 0; i-- {
+			point[i]++
+			if point[i] < extent[i] {
+				break
+			}
+			point[i] = 0
+		}
+	}
+
+	for i, r := range op.Results {
+		if err := ctx.Define(r, outs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyMap(m ir.AffineMapAttr, point []int64) []int64 {
+	idx := make([]int64, len(m.Results))
+	for i, d := range m.Results {
+		idx[i] = point[d]
+	}
+	return idx
+}
+
+// Specs returns the static rules for the linalg dialect.
+func Specs() verify.Registry {
+	return verify.Registry{
+		"linalg.generic": {NumRegions: 1, Check: checkGeneric},
+		"linalg.fill":    {Check: checkFill},
+		"linalg.yield":   {Terminator: true, Check: checkYield},
+	}
+}
+
+// shapedElem returns the element type and shape of a tensor or memref
+// type (linalg ops appear in tensor form before bufferisation and in
+// memref form after).
+func shapedElem(t ir.Type) (ir.Type, []int64, bool) {
+	switch t := t.(type) {
+	case ir.TensorType:
+		return t.Elem, t.Shape, true
+	case ir.MemRefType:
+		return t.Elem, t.Shape, true
+	}
+	return nil, nil, false
+}
+
+func checkGeneric(c *verify.Checker, op *ir.Operation) error {
+	nIns, nOuts, err := SegmentSizes(op)
+	if err != nil {
+		return verify.Errf(op, "%v", err)
+	}
+	if nOuts == 0 {
+		return verify.Errf(op, "linalg.generic requires at least one output")
+	}
+	maps, err := IndexingMaps(op)
+	if err != nil {
+		return verify.Errf(op, "%v", err)
+	}
+	its, err := IteratorTypes(op)
+	if err != nil {
+		return verify.Errf(op, "%v", err)
+	}
+	if len(maps) != nIns+nOuts {
+		return verify.Errf(op, "%d indexing maps for %d operands", len(maps), nIns+nOuts)
+	}
+
+	elemTypes := make([]ir.Type, 0, nIns+nOuts)
+	shapes := make([][]int64, 0, nIns+nOuts)
+	for i, o := range op.Operands {
+		elem, shape, ok := shapedElem(o.Type)
+		if !ok {
+			return verify.Errf(op, "operand %d must be a tensor or memref, is %s", i, o.Type)
+		}
+		elemTypes = append(elemTypes, elem)
+		shapes = append(shapes, shape)
+		m := maps[i]
+		if m.NumDims != len(its) {
+			return verify.Errf(op, "indexing map %d is over %d dims, iterator_types has %d", i, m.NumDims, len(its))
+		}
+		// The paper's supported subset: permutation-based maps.
+		if !m.IsPermutation() {
+			return verify.Errf(op, "indexing map %d is not a permutation (unsupported by the permutation-based subset)", i)
+		}
+		if len(m.Results) != len(shape) {
+			return verify.Errf(op, "indexing map %d has %d results for rank-%d operand", i, len(m.Results), len(shape))
+		}
+	}
+
+	// Static shape consistency through the maps where extents are known.
+	nDims := len(its)
+	extent := make([]int64, nDims)
+	for i := range extent {
+		extent[i] = ir.DynamicSize
+	}
+	for i, m := range maps {
+		for j, dim := range m.Results {
+			sz := shapes[i][j]
+			if sz == ir.DynamicSize {
+				continue
+			}
+			if extent[dim] != ir.DynamicSize && extent[dim] != sz {
+				return verify.Errf(op, "dim d%d statically inferred as both %d and %d", dim, extent[dim], sz)
+			}
+			extent[dim] = sz
+		}
+	}
+
+	// Results mirror the outs operands in tensor form; the memref form
+	// (post-bufferisation, destination-passing) has none.
+	if len(op.Results) != 0 {
+		if len(op.Results) != nOuts {
+			return verify.Errf(op, "linalg.generic declares %d results for %d outputs", len(op.Results), nOuts)
+		}
+		for i, r := range op.Results {
+			if !ir.TypeEqual(r.Type, op.Operands[nIns+i].Type) {
+				return verify.Errf(op, "result %d type %s does not match output operand type %s",
+					i, r.Type, op.Operands[nIns+i].Type)
+			}
+		}
+	}
+
+	// Region: one scalar block argument per operand, element-typed.
+	entry := op.Regions[0].Entry()
+	if entry == nil {
+		return verify.Errf(op, "linalg.generic body is empty")
+	}
+	if len(entry.Args) != nIns+nOuts {
+		return verify.Errf(op, "body must take %d scalar arguments, takes %d", nIns+nOuts, len(entry.Args))
+	}
+	for i, a := range entry.Args {
+		if !ir.TypeEqual(a.Type, elemTypes[i]) {
+			return verify.Errf(op, "body argument %d has type %s, operand element type is %s",
+				i, a.Type, elemTypes[i])
+		}
+	}
+	return nil
+}
+
+func checkFill(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 2); err != nil {
+		return err
+	}
+	elem, _, ok := shapedElem(op.Operands[1].Type)
+	if !ok {
+		return verify.Errf(op, "linalg.fill destination must be a tensor or memref")
+	}
+	if err := verify.WantType(op, op.Operands[0], elem); err != nil {
+		return err
+	}
+	if len(op.Results) == 0 {
+		// Memref (destination-passing) form writes in place.
+		return nil
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	return verify.WantType(op, op.Results[0], op.Operands[1].Type)
+}
+
+func checkYield(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantResults(op, 0); err != nil {
+		return err
+	}
+	parent := c.Parent()
+	if parent == nil || parent.Name != "linalg.generic" {
+		return verify.Errf(op, "linalg.yield must be enclosed by linalg.generic")
+	}
+	nIns, nOuts, err := SegmentSizes(parent)
+	if err != nil {
+		return verify.Errf(op, "%v", err)
+	}
+	if len(op.Operands) != nOuts {
+		return verify.Errf(op, "yield of %d values, linalg.generic has %d outputs", len(op.Operands), nOuts)
+	}
+	for i, operand := range op.Operands {
+		elem, _, ok := shapedElem(parent.Operands[nIns+i].Type)
+		if !ok {
+			return verify.Errf(op, "output operand %d is not shaped", i)
+		}
+		if !ir.TypeEqual(operand.Type, elem) {
+			return verify.Errf(op, "yield operand %d has type %s, output element type is %s",
+				i, operand.Type, elem)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package linalg_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/dialects/linalg"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+func run(t *testing.T, src string) (*interp.Result, error) {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dialects.NewReferenceInterpreter().Run(m, "main")
+}
+
+func wrapMain(body string) string {
+	return `"builtin.module"() ({
+  "func.func"() ({` + body + `
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+}
+
+func TestGenericElementwiseNegate(t *testing.T) {
+	res, err := run(t, wrapMain(`
+    %a = "arith.constant"() {value = dense<[1, -2, 3]> : tensor<3xi64>} : () -> (tensor<3xi64>)
+    %init = "tensor.empty"() : () -> (tensor<3xi64>)
+    %r = "linalg.generic"(%a, %init) ({
+    ^bb0(%x: i64, %o: i64):
+      %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+      %n = "arith.subi"(%z, %x) : (i64, i64) -> (i64)
+      "linalg.yield"(%n) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0) -> (d0)>, affine_map<(d0) -> (d0)>],
+      iterator_types = ["parallel"],
+      operand_segment_sizes = [1 : i64, 1 : i64]
+    } : (tensor<3xi64>, tensor<3xi64>) -> (tensor<3xi64>)
+    "vector.print"(%r) : (tensor<3xi64>) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "( -1, 2, -3 )\n" {
+		t.Errorf("negate = %q", res.Output)
+	}
+}
+
+func TestGenericTransposeViaMaps(t *testing.T) {
+	// out[i][j] = in[j][i]: a transpose expressed purely through the
+	// indexing maps — the permutation subset the paper supports.
+	res, err := run(t, wrapMain(`
+    %a = "arith.constant"() {value = dense<[1, 2, 3, 4, 5, 6]> : tensor<2x3xi64>} : () -> (tensor<2x3xi64>)
+    %init = "tensor.empty"() : () -> (tensor<3x2xi64>)
+    %r = "linalg.generic"(%a, %init) ({
+    ^bb0(%x: i64, %o: i64):
+      "linalg.yield"(%x) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0, d1) -> (d1, d0)>, affine_map<(d0, d1) -> (d0, d1)>],
+      iterator_types = ["parallel", "parallel"],
+      operand_segment_sizes = [1 : i64, 1 : i64]
+    } : (tensor<2x3xi64>, tensor<3x2xi64>) -> (tensor<3x2xi64>)
+    "vector.print"(%r) : (tensor<3x2xi64>) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "( ( 1, 4 ), ( 2, 5 ), ( 3, 6 ) )\n" {
+		t.Errorf("transpose = %q", res.Output)
+	}
+}
+
+func TestGenericOutputFeedsAccumulator(t *testing.T) {
+	// out starts at 100 everywhere and the body adds the input: the
+	// destination-passing semantics of outs operands.
+	res, err := run(t, wrapMain(`
+    %a = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %h = "arith.constant"() {value = 100 : i64} : () -> (i64)
+    %e = "tensor.empty"() : () -> (tensor<2xi64>)
+    %init = "linalg.fill"(%h, %e) : (i64, tensor<2xi64>) -> (tensor<2xi64>)
+    %r = "linalg.generic"(%a, %init) ({
+    ^bb0(%x: i64, %acc: i64):
+      %s = "arith.addi"(%acc, %x) : (i64, i64) -> (i64)
+      "linalg.yield"(%s) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0) -> (d0)>, affine_map<(d0) -> (d0)>],
+      iterator_types = ["parallel"],
+      operand_segment_sizes = [1 : i64, 1 : i64]
+    } : (tensor<2xi64>, tensor<2xi64>) -> (tensor<2xi64>)
+    "vector.print"(%r) : (tensor<2xi64>) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "( 101, 102 )\n" {
+		t.Errorf("accumulate = %q", res.Output)
+	}
+}
+
+func TestShapeMismatchThroughMapsTraps(t *testing.T) {
+	// Two operands claim different extents for the same domain dim at
+	// run time (via a dynamically-shaped operand).
+	src := wrapMain(`
+    %n = "arith.constant"() {value = 2 : index} : () -> (index)
+    %a = "tensor.empty"(%n) : (index) -> (tensor<?xi64>)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %af = "linalg.fill"(%z, %a) : (i64, tensor<?xi64>) -> (tensor<?xi64>)
+    %b = "arith.constant"() {value = dense<[1, 2, 3]> : tensor<3xi64>} : () -> (tensor<3xi64>)
+    %bc = "tensor.cast"(%b) : (tensor<3xi64>) -> (tensor<?xi64>)
+    %init = "tensor.empty"(%n) : (index) -> (tensor<?xi64>)
+    %r = "linalg.generic"(%af, %bc, %init) ({
+    ^bb0(%x: i64, %y: i64, %o: i64):
+      "linalg.yield"(%x) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0) -> (d0)>, affine_map<(d0) -> (d0)>, affine_map<(d0) -> (d0)>],
+      iterator_types = ["parallel"],
+      operand_segment_sizes = [2 : i64, 1 : i64]
+    } : (tensor<?xi64>, tensor<?xi64>, tensor<?xi64>) -> (tensor<?xi64>)`)
+	_, err := run(t, src)
+	if err == nil || !interp.IsTrap(err) {
+		t.Errorf("runtime extent mismatch should trap, got %v", err)
+	}
+}
+
+func TestAttrAccessors(t *testing.T) {
+	op := ir.NewOp("linalg.generic")
+	op.Operands = []ir.Value{ir.V("a", ir.TensorOf([]int64{2}, ir.I64))}
+	op.Attrs.Set("operand_segment_sizes", ir.ArrayAttrOf(ir.IntAttr(0, ir.I64), ir.IntAttr(1, ir.I64)))
+	op.Attrs.Set("indexing_maps", ir.ArrayAttrOf(ir.IdentityMap(1)))
+	op.Attrs.Set("iterator_types", ir.ArrayAttrOf(ir.StrAttr("parallel")))
+
+	ins, outs, err := linalg.SegmentSizes(op)
+	if err != nil || ins != 0 || outs != 1 {
+		t.Errorf("segments = %d, %d, %v", ins, outs, err)
+	}
+	maps, err := linalg.IndexingMaps(op)
+	if err != nil || len(maps) != 1 || !maps[0].IsPermutation() {
+		t.Errorf("maps = %v, %v", maps, err)
+	}
+	its, err := linalg.IteratorTypes(op)
+	if err != nil || its[0] != "parallel" {
+		t.Errorf("iterators = %v, %v", its, err)
+	}
+
+	op.Attrs.Set("operand_segment_sizes", ir.ArrayAttrOf(ir.IntAttr(5, ir.I64), ir.IntAttr(1, ir.I64)))
+	if _, _, err := linalg.SegmentSizes(op); err == nil {
+		t.Error("segments not covering operands must error")
+	}
+	op.Attrs.Set("iterator_types", ir.ArrayAttrOf(ir.StrAttr("diagonal")))
+	if _, err := linalg.IteratorTypes(op); err == nil {
+		t.Error("bad iterator type must error")
+	}
+}
+
+func TestSpecRejectsBodyArgMismatch(t *testing.T) {
+	src := wrapMain(`
+    %a = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %init = "tensor.empty"() : () -> (tensor<2xi64>)
+    %r = "linalg.generic"(%a, %init) ({
+    ^bb0(%x: i32, %o: i64):
+      %c = "arith.constant"() {value = 0 : i64} : () -> (i64)
+      "linalg.yield"(%c) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0) -> (d0)>, affine_map<(d0) -> (d0)>],
+      iterator_types = ["parallel"],
+      operand_segment_sizes = [1 : i64, 1 : i64]
+    } : (tensor<2xi64>, tensor<2xi64>) -> (tensor<2xi64>)`)
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = verify.Module(m, dialects.SourceSpecs())
+	if err == nil || !strings.Contains(err.Error(), "body argument") {
+		t.Errorf("want body-arg rejection, got %v", err)
+	}
+}

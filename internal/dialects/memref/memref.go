@@ -1,0 +1,255 @@
+// Package memref provides the buffer dialect that bufferisation lowers
+// tensors into: allocation, load, store, copy, dim and dealloc over
+// mutable buffers owned by the interpreter context.
+package memref
+
+import (
+	"fmt"
+
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/verify"
+)
+
+// Ops lists the memref-dialect operations.
+var Ops = []string{
+	"memref.alloc", "memref.dealloc", "memref.load", "memref.store",
+	"memref.copy", "memref.dim", "memref.cast",
+}
+
+// Semantics returns the interpreter kernels for the memref dialect.
+func Semantics() *interp.Dialect {
+	d := interp.NewDialect("memref")
+
+	d.Register("memref.alloc", func(ctx *interp.Context, op *ir.Operation) error {
+		mt, ok := op.Results[0].Type.(ir.MemRefType)
+		if !ok {
+			return fmt.Errorf("memref.alloc must produce a memref")
+		}
+		shape := make([]int64, len(mt.Shape))
+		k := 0
+		for i, dim := range mt.Shape {
+			if dim != ir.DynamicSize {
+				shape[i] = dim
+				continue
+			}
+			if k >= len(op.Operands) {
+				return fmt.Errorf("memref.alloc: missing extent for dynamic dim %d", i)
+			}
+			e, err := ctx.GetInt(op.Operands[k])
+			if err != nil {
+				return err
+			}
+			k++
+			if e.Signed() < 0 {
+				return &rtval.TrapError{Op: "memref.alloc", Reason: "negative extent"}
+			}
+			shape[i] = e.Signed()
+		}
+		return ctx.Define(op.Results[0], ctx.AllocBuffer(shape, mt.Elem))
+	})
+
+	d.Register("memref.dealloc", func(ctx *interp.Context, op *ir.Operation) error {
+		m, err := ctx.GetMemRef(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		ctx.FreeBuffer(m)
+		return nil
+	})
+
+	d.Register("memref.load", func(ctx *interp.Context, op *ir.Operation) error {
+		m, err := ctx.GetMemRef(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		idx, err := indexValues(ctx, op.Operands[1:])
+		if err != nil {
+			return err
+		}
+		off, err := m.Offset(idx)
+		if err != nil {
+			return err
+		}
+		buf, err := ctx.Buffer(m)
+		if err != nil {
+			return err
+		}
+		return ctx.Define(op.Results[0], buf[off])
+	})
+
+	d.Register("memref.store", func(ctx *interp.Context, op *ir.Operation) error {
+		v, err := ctx.GetInt(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		m, err := ctx.GetMemRef(op.Operands[1])
+		if err != nil {
+			return err
+		}
+		idx, err := indexValues(ctx, op.Operands[2:])
+		if err != nil {
+			return err
+		}
+		off, err := m.Offset(idx)
+		if err != nil {
+			return err
+		}
+		buf, err := ctx.Buffer(m)
+		if err != nil {
+			return err
+		}
+		buf[off] = v
+		return nil
+	})
+
+	d.Register("memref.copy", func(ctx *interp.Context, op *ir.Operation) error {
+		src, err := ctx.GetMemRef(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		dst, err := ctx.GetMemRef(op.Operands[1])
+		if err != nil {
+			return err
+		}
+		sb, err := ctx.Buffer(src)
+		if err != nil {
+			return err
+		}
+		db, err := ctx.Buffer(dst)
+		if err != nil {
+			return err
+		}
+		if len(sb) != len(db) {
+			return &rtval.TrapError{Op: "memref.copy", Reason: "size mismatch"}
+		}
+		copy(db, sb)
+		return nil
+	})
+
+	d.Register("memref.dim", func(ctx *interp.Context, op *ir.Operation) error {
+		m, err := ctx.GetMemRef(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		d, err := ctx.GetInt(op.Operands[1])
+		if err != nil {
+			return err
+		}
+		n := d.Signed()
+		if n < 0 || n >= int64(len(m.Shape)) {
+			return &rtval.TrapError{Op: "memref.dim", Reason: "dimension out of range"}
+		}
+		return ctx.Define(op.Results[0], rtval.NewIndex(m.Shape[n]))
+	})
+
+	d.Register("memref.cast", func(ctx *interp.Context, op *ir.Operation) error {
+		m, err := ctx.GetMemRef(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		mt, ok := op.Results[0].Type.(ir.MemRefType)
+		if !ok {
+			return fmt.Errorf("memref.cast must produce a memref")
+		}
+		if len(mt.Shape) != len(m.Shape) {
+			return &rtval.TrapError{Op: "memref.cast", Reason: "rank mismatch"}
+		}
+		for i, dim := range mt.Shape {
+			if dim != ir.DynamicSize && dim != m.Shape[i] {
+				return &rtval.TrapError{Op: "memref.cast", Reason: "shape mismatch"}
+			}
+		}
+		return ctx.Define(op.Results[0], m)
+	})
+
+	return d
+}
+
+func indexValues(ctx *interp.Context, operands []ir.Value) ([]int64, error) {
+	idx := make([]int64, len(operands))
+	for i, operand := range operands {
+		v, err := ctx.GetInt(operand)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Defined() {
+			return nil, &rtval.TrapError{Op: "memref", Reason: "indexing with a poison value"}
+		}
+		idx[i] = v.Signed()
+	}
+	return idx, nil
+}
+
+// Specs returns the static rules for the memref dialect.
+func Specs() verify.Registry {
+	return verify.Registry{
+		"memref.alloc": {Check: func(c *verify.Checker, op *ir.Operation) error {
+			mt, ok := op.Results[0].Type.(ir.MemRefType)
+			if err := verify.WantResults(op, 1); err != nil {
+				return err
+			}
+			if !ok {
+				return verify.Errf(op, "result must be a memref")
+			}
+			dyn := 0
+			for _, d := range mt.Shape {
+				if d == ir.DynamicSize {
+					dyn++
+				}
+			}
+			if len(op.Operands) != dyn {
+				return verify.Errf(op, "needs %d extent operands, found %d", dyn, len(op.Operands))
+			}
+			return nil
+		}},
+		"memref.dealloc": {Check: func(c *verify.Checker, op *ir.Operation) error {
+			return verify.WantOperands(op, 1)
+		}},
+		"memref.load": {Check: func(c *verify.Checker, op *ir.Operation) error {
+			mt, ok := op.Operands[0].Type.(ir.MemRefType)
+			if !ok {
+				return verify.Errf(op, "operand must be a memref")
+			}
+			if len(op.Operands)-1 != mt.Rank() {
+				return verify.Errf(op, "needs %d indices, found %d", mt.Rank(), len(op.Operands)-1)
+			}
+			if err := verify.WantResults(op, 1); err != nil {
+				return err
+			}
+			return verify.WantType(op, op.Results[0], mt.Elem)
+		}},
+		"memref.store": {Check: func(c *verify.Checker, op *ir.Operation) error {
+			if len(op.Operands) < 2 {
+				return verify.Errf(op, "needs value and memref operands")
+			}
+			mt, ok := op.Operands[1].Type.(ir.MemRefType)
+			if !ok {
+				return verify.Errf(op, "second operand must be a memref")
+			}
+			if err := verify.WantType(op, op.Operands[0], mt.Elem); err != nil {
+				return err
+			}
+			if len(op.Operands)-2 != mt.Rank() {
+				return verify.Errf(op, "needs %d indices, found %d", mt.Rank(), len(op.Operands)-2)
+			}
+			return verify.WantResults(op, 0)
+		}},
+		"memref.copy": {Check: func(c *verify.Checker, op *ir.Operation) error {
+			return verify.WantOperands(op, 2)
+		}},
+		"memref.dim": {Check: func(c *verify.Checker, op *ir.Operation) error {
+			if err := verify.WantOperands(op, 2); err != nil {
+				return err
+			}
+			return verify.WantResults(op, 1)
+		}},
+		"memref.cast": {Check: func(c *verify.Checker, op *ir.Operation) error {
+			if err := verify.WantOperands(op, 1); err != nil {
+				return err
+			}
+			return verify.WantResults(op, 1)
+		}},
+	}
+}

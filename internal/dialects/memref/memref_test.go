@@ -1,0 +1,102 @@
+package memref_test
+
+import (
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+func run(t *testing.T, src string) (*interp.Result, error) {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dialects.NewExecutor().Run(m, "main")
+}
+
+func wrap(body string) string {
+	return `"builtin.module"() ({
+  "llvm.func"() ({` + body + `
+    "llvm.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+}
+
+func TestDynamicAllocAndDim(t *testing.T) {
+	res, err := run(t, wrap(`
+    %n = "llvm.mlir.constant"() {value = 3 : index} : () -> (index)
+    %buf = "memref.alloc"(%n) : (index) -> (memref<?x2xi64>)
+    %i0 = "llvm.mlir.constant"() {value = 0 : index} : () -> (index)
+    %i1 = "llvm.mlir.constant"() {value = 1 : index} : () -> (index)
+    %d0 = "memref.dim"(%buf, %i0) : (memref<?x2xi64>, index) -> (index)
+    %d1 = "memref.dim"(%buf, %i1) : (memref<?x2xi64>, index) -> (index)
+    "llvm.print"(%d0) : (index) -> ()
+    "llvm.print"(%d1) : (index) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "3\n2\n" {
+		t.Errorf("dims %q", res.Output)
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	res, err := run(t, wrap(`
+    %a = "memref.alloc"() : () -> (memref<2xi64>)
+    %b = "memref.alloc"() : () -> (memref<2xi64>)
+    %v = "llvm.mlir.constant"() {value = 11 : i64} : () -> (i64)
+    %i0 = "llvm.mlir.constant"() {value = 0 : index} : () -> (index)
+    %i1 = "llvm.mlir.constant"() {value = 1 : index} : () -> (index)
+    "memref.store"(%v, %a, %i0) : (i64, memref<2xi64>, index) -> ()
+    "memref.store"(%v, %a, %i1) : (i64, memref<2xi64>, index) -> ()
+    "memref.copy"(%a, %b) : (memref<2xi64>, memref<2xi64>) -> ()
+    %w = "llvm.mlir.constant"() {value = 99 : i64} : () -> (i64)
+    "memref.store"(%w, %a, %i0) : (i64, memref<2xi64>, index) -> ()
+    %r = "memref.load"(%b, %i0) : (memref<2xi64>, index) -> (i64)
+    "llvm.print"(%r) : (i64) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "11\n" {
+		t.Errorf("copy should snapshot contents, got %q", res.Output)
+	}
+}
+
+func TestCopySizeMismatchTraps(t *testing.T) {
+	_, err := run(t, wrap(`
+    %a = "memref.alloc"() : () -> (memref<2xi64>)
+    %b = "memref.alloc"() : () -> (memref<3xi64>)
+    "memref.copy"(%a, %b) : (memref<2xi64>, memref<3xi64>) -> ()`))
+	if err == nil || !interp.IsTrap(err) {
+		t.Errorf("size mismatch should trap, got %v", err)
+	}
+}
+
+func TestCastRuntimeCheck(t *testing.T) {
+	_, err := run(t, wrap(`
+    %n = "llvm.mlir.constant"() {value = 2 : index} : () -> (index)
+    %a = "memref.alloc"(%n) : (index) -> (memref<?xi64>)
+    %b = "memref.cast"(%a) : (memref<?xi64>) -> (memref<3xi64>)`))
+	if err == nil || !interp.IsTrap(err) {
+		t.Errorf("incompatible cast should trap, got %v", err)
+	}
+}
+
+func TestSpecRejectsBadStore(t *testing.T) {
+	src := wrap(`
+    %a = "memref.alloc"() : () -> (memref<2xi64>)
+    %v = "llvm.mlir.constant"() {value = 1 : i32} : () -> (i32)
+    %i0 = "llvm.mlir.constant"() {value = 0 : index} : () -> (index)
+    "memref.store"(%v, %a, %i0) : (i32, memref<2xi64>, index) -> ()`)
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Module(m, dialects.AllSpecs()); err == nil {
+		t.Error("element-type mismatch on store must be rejected")
+	}
+}

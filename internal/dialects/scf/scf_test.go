@@ -1,0 +1,151 @@
+package scf_test
+
+import (
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+func run(t *testing.T, src string) (*interp.Result, error) {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dialects.NewReferenceInterpreter().Run(m, "main")
+}
+
+func wrapMain(body string) string {
+	return `"builtin.module"() ({
+  "func.func"() ({` + body + `
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+}
+
+func TestIfTakesElseBranch(t *testing.T) {
+	res, err := run(t, wrapMain(`
+    %f = "arith.constant"() {value = 0 : i1} : () -> (i1)
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %r = "scf.if"(%f) ({
+      "scf.yield"(%a) : (i64) -> ()
+    }, {
+      "scf.yield"(%b) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "vector.print"(%r) : (i64) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "2\n" {
+		t.Errorf("else branch = %q", res.Output)
+	}
+}
+
+func TestUntakenBranchDoesNotExecute(t *testing.T) {
+	// A division by zero in the non-taken region must not trigger.
+	res, err := run(t, wrapMain(`
+    %tr = "arith.constant"() {value = 1 : i1} : () -> (i1)
+    %a = "arith.constant"() {value = 6 : i64} : () -> (i64)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %r = "scf.if"(%tr) ({
+      "scf.yield"(%a) : (i64) -> ()
+    }, {
+      %q = "arith.divsi"(%a, %z) : (i64, i64) -> (i64)
+      "scf.yield"(%q) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "vector.print"(%r) : (i64) -> ()`))
+	if err != nil {
+		t.Fatalf("non-taken UB leaked: %v", err)
+	}
+	if res.Output != "6\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestIfOnUndefCondIsUB(t *testing.T) {
+	_, err := run(t, wrapMain(`
+    %e = "tensor.empty"() : () -> (tensor<1xi1>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %u = "tensor.extract"(%e, %i0) : (tensor<1xi1>, index) -> (i1)
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %r = "scf.if"(%u) ({
+      "scf.yield"(%a) : (i64) -> ()
+    }, {
+      "scf.yield"(%a) : (i64) -> ()
+    }) : (i1) -> (i64)`))
+	if err == nil || !interp.IsUB(err) {
+		t.Errorf("branch on undef must be UB, got %v", err)
+	}
+}
+
+func TestForZeroTrips(t *testing.T) {
+	res, err := run(t, wrapMain(`
+    %lb = "arith.constant"() {value = 5 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 5 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    %init = "arith.constant"() {value = 42 : i64} : () -> (i64)
+    %r = "scf.for"(%lb, %ub, %st, %init) ({
+    ^bb0(%iv: index, %acc: i64):
+      %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+      "scf.yield"(%z) : (i64) -> ()
+    }) : (index, index, index, i64) -> (i64)
+    "vector.print"(%r) : (i64) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42\n" {
+		t.Errorf("zero-trip loop should pass through init, got %q", res.Output)
+	}
+}
+
+func TestForNonPositiveStepIsUB(t *testing.T) {
+	_, err := run(t, wrapMain(`
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 5 : index} : () -> (index)
+    %st = "arith.constant"() {value = 0 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %st) ({
+    ^bb0(%iv: index):
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()`))
+	if err == nil || !interp.IsUB(err) {
+		t.Errorf("zero step must be UB, got %v", err)
+	}
+}
+
+func TestForSpecChecks(t *testing.T) {
+	// Carried-value type mismatch between init and body arg.
+	src := wrapMain(`
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 5 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    %init = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %r = "scf.for"(%lb, %ub, %st, %init) ({
+    ^bb0(%iv: index, %acc: i32):
+      %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+      "scf.yield"(%z) : (i64) -> ()
+    }) : (index, index, index, i64) -> (i64)`)
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Module(m, dialects.SourceSpecs()); err == nil {
+		t.Error("carried-type mismatch must be rejected")
+	}
+}
+
+func TestYieldOutsideScfRejected(t *testing.T) {
+	src := wrapMain(`
+    %a = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    "scf.yield"(%a) : (i64) -> ()`)
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Module(m, dialects.SourceSpecs()); err == nil {
+		t.Error("scf.yield at function level must be rejected")
+	}
+}

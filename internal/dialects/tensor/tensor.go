@@ -1,0 +1,405 @@
+// Package tensor provides the semantics and static rules of the subset
+// of the tensor dialect the paper supports: empty, extract, insert,
+// dim, cast, generate and yield.
+//
+// Tensors have value semantics. The runtime tracks the *concrete* shape
+// of every tensor — even when the program's syntactic type elides
+// extents with `?` — which is the semantic interface the paper's
+// tensor.cast generator consumes (Figure 11) to avoid runtime
+// cast failures.
+package tensor
+
+import (
+	"fmt"
+
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+	"ratte/internal/verify"
+)
+
+// Ops lists the tensor-dialect operations.
+var Ops = []string{
+	"tensor.empty", "tensor.extract", "tensor.insert",
+	"tensor.dim", "tensor.cast", "tensor.generate", "tensor.yield",
+}
+
+// Semantics returns the interpreter kernels for the tensor dialect.
+func Semantics() *interp.Dialect {
+	d := interp.NewDialect("tensor")
+
+	d.Register("tensor.empty", func(ctx *interp.Context, op *ir.Operation) error {
+		rt, ok := op.Results[0].Type.(ir.TensorType)
+		if !ok {
+			return fmt.Errorf("tensor.empty must produce a tensor")
+		}
+		shape, err := concreteShape(ctx, rt.Shape, op.Operands, "tensor.empty")
+		if err != nil {
+			return err
+		}
+		return ctx.Define(op.Results[0], rtval.EmptyTensor(shape, rt.Elem))
+	})
+
+	d.Register("tensor.extract", func(ctx *interp.Context, op *ir.Operation) error {
+		t, err := ctx.GetTensor(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		idx, err := indexOperands(ctx, op.Operands[1:])
+		if err != nil {
+			return err
+		}
+		v, err := t.At(idx)
+		if err != nil {
+			return err
+		}
+		return ctx.Define(op.Results[0], v)
+	})
+
+	d.Register("tensor.insert", func(ctx *interp.Context, op *ir.Operation) error {
+		scalar, err := ctx.GetInt(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		t, err := ctx.GetTensor(op.Operands[1])
+		if err != nil {
+			return err
+		}
+		idx, err := indexOperands(ctx, op.Operands[2:])
+		if err != nil {
+			return err
+		}
+		nt, err := t.Insert(idx, scalar)
+		if err != nil {
+			return err
+		}
+		return ctx.Define(op.Results[0], nt)
+	})
+
+	d.Register("tensor.dim", func(ctx *interp.Context, op *ir.Operation) error {
+		t, err := ctx.GetTensor(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		d, err := ctx.GetInt(op.Operands[1])
+		if err != nil {
+			return err
+		}
+		n := d.Signed()
+		if n < 0 || n >= int64(len(t.Shape)) {
+			return &rtval.TrapError{Op: "tensor.dim", Reason: fmt.Sprintf("dimension %d out of range for rank %d", n, len(t.Shape))}
+		}
+		return ctx.Define(op.Results[0], rtval.NewIndex(t.Shape[n]))
+	})
+
+	d.Register("tensor.cast", func(ctx *interp.Context, op *ir.Operation) error {
+		t, err := ctx.GetTensor(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		rt, ok := op.Results[0].Type.(ir.TensorType)
+		if !ok {
+			return fmt.Errorf("tensor.cast must produce a tensor")
+		}
+		// Casting does not alter the value, but the concrete shape must
+		// satisfy every static extent of the target type; otherwise the
+		// cast is a runtime error (paper §3.3).
+		if len(rt.Shape) != len(t.Shape) {
+			return &rtval.TrapError{Op: "tensor.cast", Reason: "rank mismatch in cast"}
+		}
+		for i, dim := range rt.Shape {
+			if dim != ir.DynamicSize && dim != t.Shape[i] {
+				return &rtval.TrapError{Op: "tensor.cast", Reason: fmt.Sprintf("runtime shape %v incompatible with target type %s", t.Shape, rt)}
+			}
+		}
+		return ctx.Define(op.Results[0], t)
+	})
+
+	d.Register("tensor.generate", func(ctx *interp.Context, op *ir.Operation) error {
+		rt, ok := op.Results[0].Type.(ir.TensorType)
+		if !ok {
+			return fmt.Errorf("tensor.generate must produce a tensor")
+		}
+		shape, err := concreteShape(ctx, rt.Shape, op.Operands, "tensor.generate")
+		if err != nil {
+			return err
+		}
+		out := rtval.EmptyTensor(shape, rt.Elem)
+		n := out.NumElements()
+		idx := make([]int64, len(shape))
+		for flat := int64(0); flat < n; flat++ {
+			args := make([]rtval.Value, len(shape))
+			for i, x := range idx {
+				args[i] = rtval.NewIndex(x)
+			}
+			exit, err := ctx.RunRegion(op.Regions[0], args, scoped.Standard)
+			if err != nil {
+				return err
+			}
+			if exit.Kind != interp.ExitYield || len(exit.Values) != 1 {
+				return fmt.Errorf("tensor.generate body must yield exactly one element")
+			}
+			elem, ok := exit.Values[0].(rtval.Int)
+			if !ok {
+				return fmt.Errorf("tensor.generate must yield a scalar")
+			}
+			out.Elems[flat] = elem
+			// Advance the multi-index in row-major order.
+			for i := len(idx) - 1; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < shape[i] {
+					break
+				}
+				idx[i] = 0
+			}
+		}
+		return ctx.Define(op.Results[0], out)
+	})
+
+	d.RegisterTerminator("tensor.yield", func(ctx *interp.Context, op *ir.Operation) (interp.TermResult, error) {
+		v, err := ctx.Get(op.Operands[0])
+		if err != nil {
+			return interp.TermResult{}, err
+		}
+		return interp.TermResult{Exit: &interp.Exit{Kind: interp.ExitYield, Values: []rtval.Value{v}}}, nil
+	})
+
+	return d
+}
+
+// concreteShape resolves a syntactic shape with dynamic dims against the
+// operation's extent operands, producing the concrete runtime shape.
+func concreteShape(ctx *interp.Context, shape []int64, extents []ir.Value, opName string) ([]int64, error) {
+	out := make([]int64, len(shape))
+	k := 0
+	for i, d := range shape {
+		if d != ir.DynamicSize {
+			out[i] = d
+			continue
+		}
+		if k >= len(extents) {
+			return nil, fmt.Errorf("%s: missing extent operand for dynamic dim %d", opName, i)
+		}
+		e, err := ctx.GetInt(extents[k])
+		if err != nil {
+			return nil, err
+		}
+		k++
+		if e.Signed() < 0 {
+			return nil, &rtval.TrapError{Op: opName, Reason: fmt.Sprintf("negative extent %d", e.Signed())}
+		}
+		out[i] = e.Signed()
+	}
+	if k != len(extents) {
+		return nil, fmt.Errorf("%s: %d extent operands for %d dynamic dims", opName, len(extents), k)
+	}
+	return out, nil
+}
+
+func indexOperands(ctx *interp.Context, operands []ir.Value) ([]int64, error) {
+	idx := make([]int64, len(operands))
+	for i, operand := range operands {
+		v, err := ctx.GetInt(operand)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Defined() {
+			return nil, &rtval.UBError{Op: "tensor", Reason: "indexing with a value that is not well-defined"}
+		}
+		idx[i] = v.Signed()
+	}
+	return idx, nil
+}
+
+// Specs returns the static rules for the tensor dialect.
+func Specs() verify.Registry {
+	return verify.Registry{
+		"tensor.empty":    {Check: checkEmpty},
+		"tensor.extract":  {Check: checkExtract},
+		"tensor.insert":   {Check: checkInsert},
+		"tensor.dim":      {Check: checkDim},
+		"tensor.cast":     {Check: checkCast},
+		"tensor.generate": {NumRegions: 1, Check: checkGenerate},
+		"tensor.yield":    {Terminator: true, Check: checkYield},
+	}
+}
+
+func resultTensor(op *ir.Operation) (ir.TensorType, error) {
+	if err := verify.WantResults(op, 1); err != nil {
+		return ir.TensorType{}, err
+	}
+	tt, ok := op.Results[0].Type.(ir.TensorType)
+	if !ok {
+		return ir.TensorType{}, verify.Errf(op, "result must be a tensor, is %s", op.Results[0].Type)
+	}
+	return tt, nil
+}
+
+func countDynamic(shape []int64) int {
+	n := 0
+	for _, d := range shape {
+		if d == ir.DynamicSize {
+			n++
+		}
+	}
+	return n
+}
+
+func wantIndexOperands(op *ir.Operation, operands []ir.Value) error {
+	for _, o := range operands {
+		if err := verify.WantType(op, o, ir.Index); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkEmpty(c *verify.Checker, op *ir.Operation) error {
+	tt, err := resultTensor(op)
+	if err != nil {
+		return err
+	}
+	if len(op.Operands) != countDynamic(tt.Shape) {
+		return verify.Errf(op, "tensor.empty needs %d extent operands, found %d",
+			countDynamic(tt.Shape), len(op.Operands))
+	}
+	return wantIndexOperands(op, op.Operands)
+}
+
+func checkExtract(c *verify.Checker, op *ir.Operation) error {
+	if len(op.Operands) < 1 {
+		return verify.Errf(op, "tensor.extract requires a tensor operand")
+	}
+	tt, ok := op.Operands[0].Type.(ir.TensorType)
+	if !ok {
+		return verify.Errf(op, "tensor.extract operand must be a tensor")
+	}
+	if len(op.Operands)-1 != tt.Rank() {
+		return verify.Errf(op, "tensor.extract needs %d indices for rank-%d tensor, found %d",
+			tt.Rank(), tt.Rank(), len(op.Operands)-1)
+	}
+	if err := wantIndexOperands(op, op.Operands[1:]); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	return verify.WantType(op, op.Results[0], tt.Elem)
+}
+
+func checkInsert(c *verify.Checker, op *ir.Operation) error {
+	if len(op.Operands) < 2 {
+		return verify.Errf(op, "tensor.insert requires scalar and tensor operands")
+	}
+	tt, ok := op.Operands[1].Type.(ir.TensorType)
+	if !ok {
+		return verify.Errf(op, "tensor.insert destination must be a tensor")
+	}
+	if err := verify.WantType(op, op.Operands[0], tt.Elem); err != nil {
+		return err
+	}
+	if len(op.Operands)-2 != tt.Rank() {
+		return verify.Errf(op, "tensor.insert needs %d indices for rank-%d tensor, found %d",
+			tt.Rank(), tt.Rank(), len(op.Operands)-2)
+	}
+	if err := wantIndexOperands(op, op.Operands[2:]); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	return verify.WantType(op, op.Results[0], tt)
+}
+
+func checkDim(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 2); err != nil {
+		return err
+	}
+	if _, ok := op.Operands[0].Type.(ir.TensorType); !ok {
+		return verify.Errf(op, "tensor.dim operand must be a tensor")
+	}
+	if err := verify.WantType(op, op.Operands[1], ir.Index); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 1); err != nil {
+		return err
+	}
+	return verify.WantType(op, op.Results[0], ir.Index)
+}
+
+func checkCast(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 1); err != nil {
+		return err
+	}
+	st, ok := op.Operands[0].Type.(ir.TensorType)
+	if !ok {
+		return verify.Errf(op, "tensor.cast operand must be a tensor")
+	}
+	tt, err := resultTensor(op)
+	if err != nil {
+		return err
+	}
+	if !ir.TypeEqual(st.Elem, tt.Elem) {
+		return verify.Errf(op, "tensor.cast cannot change element type (%s to %s)", st.Elem, tt.Elem)
+	}
+	if st.Rank() != tt.Rank() {
+		return verify.Errf(op, "tensor.cast cannot change rank (%d to %d)", st.Rank(), tt.Rank())
+	}
+	for i := range st.Shape {
+		a, b := st.Shape[i], tt.Shape[i]
+		if a != ir.DynamicSize && b != ir.DynamicSize && a != b {
+			return verify.Errf(op, "tensor.cast between provably different extents %d and %d", a, b)
+		}
+	}
+	return nil
+}
+
+func checkGenerate(c *verify.Checker, op *ir.Operation) error {
+	tt, err := resultTensor(op)
+	if err != nil {
+		return err
+	}
+	if len(op.Operands) != countDynamic(tt.Shape) {
+		return verify.Errf(op, "tensor.generate needs %d extent operands, found %d",
+			countDynamic(tt.Shape), len(op.Operands))
+	}
+	if err := wantIndexOperands(op, op.Operands); err != nil {
+		return err
+	}
+	entry := op.Regions[0].Entry()
+	if entry == nil {
+		return verify.Errf(op, "tensor.generate body is empty")
+	}
+	if len(entry.Args) != tt.Rank() {
+		return verify.Errf(op, "tensor.generate body must take %d index arguments, takes %d",
+			tt.Rank(), len(entry.Args))
+	}
+	return wantIndexOperands(op, entry.Args)
+}
+
+func checkYield(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 1); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 0); err != nil {
+		return err
+	}
+	parent := c.Parent()
+	if parent == nil {
+		return verify.Errf(op, "tensor.yield must be enclosed by tensor.generate")
+	}
+	switch parent.Name {
+	case "tensor.generate":
+		tt := parent.Results[0].Type.(ir.TensorType)
+		return verify.WantType(op, op.Operands[0], tt.Elem)
+	case "ratte.generate_into":
+		// The buffer form produced by one-shot-bufferize.
+		mt, ok := parent.Operands[0].Type.(ir.MemRefType)
+		if !ok {
+			return verify.Errf(op, "generate_into destination must be a memref")
+		}
+		return verify.WantType(op, op.Operands[0], mt.Elem)
+	}
+	return verify.Errf(op, "tensor.yield must be enclosed by tensor.generate")
+}

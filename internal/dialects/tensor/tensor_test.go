@@ -1,0 +1,160 @@
+package tensor_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+func run(t *testing.T, src string) (*interp.Result, error) {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dialects.NewReferenceInterpreter().Run(m, "main")
+}
+
+func wrapMain(body string) string {
+	return `"builtin.module"() ({
+  "func.func"() ({` + body + `
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+}
+
+func TestEmptyWithDynamicExtents(t *testing.T) {
+	res, err := run(t, wrapMain(`
+    %n = "arith.constant"() {value = 3 : index} : () -> (index)
+    %t = "tensor.empty"(%n) : (index) -> (tensor<?x2xi64>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %d0 = "tensor.dim"(%t, %i0) : (tensor<?x2xi64>, index) -> (index)
+    %i1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %d1 = "tensor.dim"(%t, %i1) : (tensor<?x2xi64>, index) -> (index)
+    "vector.print"(%d0) : (index) -> ()
+    "vector.print"(%d1) : (index) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "3\n2\n" {
+		t.Errorf("dims = %q", res.Output)
+	}
+}
+
+func TestEmptyNegativeExtentTraps(t *testing.T) {
+	_, err := run(t, wrapMain(`
+    %n = "arith.constant"() {value = -2 : index} : () -> (index)
+    %t = "tensor.empty"(%n) : (index) -> (tensor<?xi64>)`))
+	if err == nil || !interp.IsTrap(err) {
+		t.Errorf("negative extent should trap, got %v", err)
+	}
+}
+
+func TestDimOutOfRangeTraps(t *testing.T) {
+	_, err := run(t, wrapMain(`
+    %c = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %i5 = "arith.constant"() {value = 5 : index} : () -> (index)
+    %d = "tensor.dim"(%c, %i5) : (tensor<2xi64>, index) -> (index)`))
+	if err == nil || !interp.IsTrap(err) {
+		t.Errorf("dim out of range should trap, got %v", err)
+	}
+}
+
+func TestUndefIndexingIsUB(t *testing.T) {
+	// Indexing a tensor with a not-well-defined index value is UB even
+	// when the bits happen to be in bounds.
+	_, err := run(t, wrapMain(`
+    %e = "tensor.empty"() : () -> (tensor<2xi64>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %u = "tensor.extract"(%e, %i0) : (tensor<2xi64>, index) -> (i64)
+    %ui = "arith.index_cast"(%u) : (i64) -> (index)
+    %c = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %x = "tensor.extract"(%c, %ui) : (tensor<2xi64>, index) -> (i64)`))
+	if err == nil || !interp.IsUB(err) {
+		t.Errorf("undef index should be UB, got %v", err)
+	}
+}
+
+func TestGenerateUsesEnclosingValues(t *testing.T) {
+	res, err := run(t, wrapMain(`
+    %k = "arith.constant"() {value = 10 : i64} : () -> (i64)
+    %g = "tensor.generate"() ({
+    ^bb0(%i: index):
+      %x = "arith.index_cast"(%i) : (index) -> (i64)
+      %y = "arith.addi"(%x, %k) : (i64, i64) -> (i64)
+      "tensor.yield"(%y) : (i64) -> ()
+    }) : () -> (tensor<3xi64>)
+    "vector.print"(%g) : (tensor<3xi64>) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "( 10, 11, 12 )\n" {
+		t.Errorf("generate = %q", res.Output)
+	}
+}
+
+func TestInsertDoesNotMutateSource(t *testing.T) {
+	res, err := run(t, wrapMain(`
+    %c = "arith.constant"() {value = dense<[5, 6]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %v = "arith.constant"() {value = 9 : i64} : () -> (i64)
+    %c2 = "tensor.insert"(%v, %c, %i0) : (i64, tensor<2xi64>, index) -> (tensor<2xi64>)
+    "vector.print"(%c) : (tensor<2xi64>) -> ()
+    "vector.print"(%c2) : (tensor<2xi64>) -> ()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "( 5, 6 )\n( 9, 6 )\n" {
+		t.Errorf("insert value semantics broken: %q", res.Output)
+	}
+}
+
+func TestSpecRejectsBadGenerate(t *testing.T) {
+	// Body must take rank-many index args.
+	src := wrapMain(`
+    %g = "tensor.generate"() ({
+    ^bb0(%i: index, %j: index):
+      %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+      "tensor.yield"(%z) : (i64) -> ()
+    }) : () -> (tensor<3xi64>)`)
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Module(m, dialects.SourceSpecs()); err == nil ||
+		!strings.Contains(err.Error(), "index arguments") {
+		t.Errorf("want arg-count rejection, got %v", err)
+	}
+
+	// Yield type must match the element type.
+	src = wrapMain(`
+    %g = "tensor.generate"() ({
+    ^bb0(%i: index):
+      %z = "arith.constant"() {value = 0 : i32} : () -> (i32)
+      "tensor.yield"(%z) : (i32) -> ()
+    }) : () -> (tensor<3xi64>)`)
+	m, err = ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Module(m, dialects.SourceSpecs()); err == nil {
+		t.Error("yield type mismatch must be rejected")
+	}
+}
+
+func TestSpecRejectsBadEmpty(t *testing.T) {
+	src := wrapMain(`
+    %n = "arith.constant"() {value = 3 : index} : () -> (index)
+    %t = "tensor.empty"(%n) : (index) -> (tensor<2x2xi64>)`)
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Module(m, dialects.SourceSpecs()); err == nil {
+		t.Error("extent operand for static shape must be rejected")
+	}
+}

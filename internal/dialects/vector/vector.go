@@ -1,0 +1,51 @@
+// Package vector provides the subset of the vector dialect Ratte needs:
+// vector.print, the observable-output operation used by every test
+// oracle.
+//
+// vector.print accepts values from other dialects (scalars and tensors
+// here), the paper's "parameter interface" interaction: any runtime
+// value that can render itself to a string is printable.
+package vector
+
+import (
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+// Ops lists the vector-dialect operations.
+var Ops = []string{"vector.print"}
+
+// Semantics returns the interpreter kernels for the vector dialect.
+func Semantics() *interp.Dialect {
+	d := interp.NewDialect("vector")
+	d.Register("vector.print", func(ctx *interp.Context, op *ir.Operation) error {
+		v, err := ctx.Get(op.Operands[0])
+		if err != nil {
+			return err
+		}
+		return ctx.Print(v)
+	})
+	return d
+}
+
+// Specs returns the static rules for the vector dialect.
+func Specs() verify.Registry {
+	return verify.Registry{
+		"vector.print": {Check: checkPrint},
+	}
+}
+
+func checkPrint(c *verify.Checker, op *ir.Operation) error {
+	if err := verify.WantOperands(op, 1); err != nil {
+		return err
+	}
+	if err := verify.WantResults(op, 0); err != nil {
+		return err
+	}
+	switch op.Operands[0].Type.(type) {
+	case ir.IntegerType, ir.IndexType, ir.VectorType, ir.TensorType:
+		return nil
+	}
+	return verify.Errf(op, "unprintable operand type %s", op.Operands[0].Type)
+}

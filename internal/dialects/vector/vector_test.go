@@ -1,0 +1,76 @@
+package vector_test
+
+import (
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+func TestPrintFormatsMatchRuntime(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %i1v = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    %i8v = "arith.constant"() {value = -128 : i8} : () -> (i8)
+    %idx = "arith.constant"() {value = 42 : index} : () -> (index)
+    %t = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    "vector.print"(%i1v) : (i1) -> ()
+    "vector.print"(%i8v) : (i8) -> ()
+    "vector.print"(%idx) : (index) -> ()
+    "vector.print"(%t) : (tensor<2xi64>) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dialects.NewReferenceInterpreter().Run(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "-1\n-128\n42\n( 1, 2 )\n"
+	if res.Output != want {
+		t.Errorf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestPrintOfUndefIsUB(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %e = "tensor.empty"() : () -> (tensor<1xi8>)
+    %i0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %u = "tensor.extract"(%e, %i0) : (tensor<1xi8>, index) -> (i8)
+    "vector.print"(%u) : (i8) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dialects.NewReferenceInterpreter().Run(m, "main")
+	if err == nil || !interp.IsUB(err) {
+		t.Errorf("printing undef must be UB, got %v", err)
+	}
+}
+
+func TestSpecRejectsFunctionTypedPrint(t *testing.T) {
+	// A print of a non-printable type is a static error.
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %e = "tensor.empty"() : () -> (tensor<1xi8>)
+    "vector.print"(%e, %e) : (tensor<1xi8>, tensor<1xi8>) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Module(m, dialects.SourceSpecs()); err == nil {
+		t.Error("two-operand print must be rejected")
+	}
+}

@@ -1,0 +1,269 @@
+// Package difftest implements Ratte's test oracles (paper §3.4) and the
+// end-to-end differential-testing harness of the evaluation (§4):
+//
+//   - NC, the non-crash oracle: the compiler must accept a statically
+//     valid program and the compiled program must not crash;
+//   - DT-O, differential testing across optimisation levels;
+//   - DT-R, differential testing against the Ratte reference semantics.
+//
+// A Report captures one program's behaviour across every optimisation
+// level of a (possibly bug-injected) compiler; a Campaign generates and
+// tests programs until a bug is detected, which is how the Table 3
+// experiment re-finds each injected defect.
+package difftest
+
+import (
+	"fmt"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/gen"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+// Oracle identifies which test oracle detected a difference.
+type Oracle string
+
+// The oracles of paper §3.4 / Table 3.
+const (
+	OracleNone Oracle = ""     // nothing detected
+	OracleNC   Oracle = "NC"   // wrong rejection or runtime crash
+	OracleDTO  Oracle = "DT-O" // outputs differ across optimisation levels
+	OracleDTR  Oracle = "DT-R" // output differs from the reference semantics
+)
+
+// BuildConfig is one compiler configuration under test: an optimisation
+// level plus a lowering strategy. The paper applies Ratte to several
+// end-to-end compilations (§4.1); varying the lowering strategy is what
+// reaches both homes of the ceildivsi defects (arith-expand and the
+// direct convert-arith-to-llvm patterns).
+type BuildConfig struct {
+	Level           compiler.OptLevel
+	SkipArithExpand bool
+}
+
+func (c BuildConfig) String() string {
+	s := fmt.Sprintf("O%d", int(c.Level))
+	if c.SkipArithExpand {
+		s += "-noexpand"
+	}
+	return s
+}
+
+// BuildConfigs lists the configurations every program is tested under.
+var BuildConfigs = []BuildConfig{
+	{Level: compiler.O0},
+	{Level: compiler.O1},
+	{Level: compiler.O2},
+	{Level: compiler.O1, SkipArithExpand: true},
+}
+
+// LevelResult is the outcome of compiling and running at one
+// configuration.
+type LevelResult struct {
+	CompileErr error
+	RunErr     error
+	Output     string
+}
+
+// Report is the differential-testing record of one program.
+type Report struct {
+	Preset    string
+	Reference string // expected output per the Ratte semantics
+	Levels    map[BuildConfig]LevelResult
+}
+
+// TestModule compiles and runs a UB-free module under every build
+// configuration of the given (possibly bug-injected) compiler and
+// records the outcomes. reference is the expected output from the
+// Ratte semantics.
+func TestModule(m *ir.Module, reference, preset string, bugSet bugs.Set) *Report {
+	rep := &Report{
+		Preset:    preset,
+		Reference: reference,
+		Levels:    make(map[BuildConfig]LevelResult),
+	}
+	for _, bc := range BuildConfigs {
+		c := &compiler.Compiler{Bugs: bugSet, Level: bc.Level, SkipArithExpand: bc.SkipArithExpand}
+		var lr LevelResult
+		lowered, err := c.Compile(m, preset)
+		if err != nil {
+			lr.CompileErr = err
+		} else {
+			res, err := dialects.NewExecutor().Run(lowered, "main")
+			if err != nil {
+				lr.RunErr = err
+			} else {
+				lr.Output = res.Output
+			}
+		}
+		rep.Levels[bc] = lr
+	}
+	return rep
+}
+
+// NC reports whether the non-crash oracle fires: a compile-time
+// rejection of a valid program, or a runtime crash of a UB-free one.
+func (r *Report) NC() bool {
+	for _, lr := range r.Levels {
+		if lr.CompileErr != nil || lr.RunErr != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// DTO reports whether outputs differ between two optimisation levels
+// that both compiled and ran. Only configurations sharing a lowering
+// strategy are compared — that is what "different optimisation levels"
+// means, and exactly why lowering bugs (applied identically at every
+// level) are invisible to this oracle.
+func (r *Report) DTO() bool {
+	var first *string
+	for _, bc := range BuildConfigs {
+		if bc.SkipArithExpand {
+			continue
+		}
+		lr := r.Levels[bc]
+		if lr.CompileErr != nil || lr.RunErr != nil {
+			continue
+		}
+		out := lr.Output
+		if first == nil {
+			first = &out
+		} else if *first != out {
+			return true
+		}
+	}
+	return false
+}
+
+// DTR reports whether any successful run's output differs from the
+// reference semantics.
+func (r *Report) DTR() bool {
+	for _, lr := range r.Levels {
+		if lr.CompileErr == nil && lr.RunErr == nil && lr.Output != r.Reference {
+			return true
+		}
+	}
+	return false
+}
+
+// Detected returns the strongest-attribution oracle that fired, with
+// the paper's reporting convention: a crash or rejection is reported as
+// NC; otherwise a mismatch against the reference is DT-R; a pure
+// cross-level difference is DT-O.
+func (r *Report) Detected() Oracle {
+	switch {
+	case r.NC():
+		return OracleNC
+	case r.DTR():
+		return OracleDTR
+	case r.DTO():
+		return OracleDTO
+	}
+	return OracleNone
+}
+
+// CampaignConfig drives a fuzzing campaign against one compiler build.
+type CampaignConfig struct {
+	Preset   string
+	Programs int   // max programs to generate
+	Size     int   // fragments per program
+	Seed     int64 // base seed; program i uses Seed+i
+	Bugs     bugs.Set
+	// StopAtFirst stops at the first detection.
+	StopAtFirst bool
+}
+
+// Detection records one detected difference.
+type Detection struct {
+	Seed     int64
+	Oracle   Oracle
+	Program  *ir.Module
+	Expected string
+	Report   *Report
+}
+
+// CampaignResult summarises a campaign.
+type CampaignResult struct {
+	Programs   int
+	Detections []Detection
+	ByOracle   map[Oracle]int
+}
+
+// RunCampaign generates Programs programs with Ratte's semantics-guided
+// generator and differentially tests each one.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	res := &CampaignResult{ByOracle: make(map[Oracle]int)}
+	for i := 0; i < cfg.Programs; i++ {
+		seed := cfg.Seed + int64(i)
+		p, err := gen.Generate(gen.Config{Preset: cfg.Preset, Size: cfg.Size, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("difftest: generation failed: %w", err)
+		}
+		res.Programs++
+		rep := TestModule(p.Module, p.Expected, cfg.Preset, cfg.Bugs)
+		if oracle := rep.Detected(); oracle != OracleNone {
+			res.Detections = append(res.Detections, Detection{
+				Seed:     seed,
+				Oracle:   oracle,
+				Program:  p.Module,
+				Expected: p.Expected,
+				Report:   rep,
+			})
+			res.ByOracle[oracle]++
+			if cfg.StopAtFirst {
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// Classification is the Table 4 measurement of one program.
+type Classification struct {
+	// Compiled: the program passes the frontend verifier and every
+	// pass of the preset's pipeline (at O1, matching the paper's use of
+	// full compilation pipelines; the "unmod" preset only runs
+	// -canonicalize, as the paper's footnote describes).
+	Compiled bool
+	// UBFree: the Ratte reference interpreter evaluates the program to
+	// completion with a deterministic, well-defined output.
+	UBFree bool
+}
+
+// Classify measures a (possibly invalid, possibly UB-carrying) module
+// the way the paper's §4.2 evaluates MLIRSmith output.
+func Classify(m *ir.Module, preset string) Classification {
+	var cl Classification
+	if preset == "unmod" {
+		// No full lowering pipeline exists for arbitrary dialect mixes;
+		// compileability is the verifier plus -canonicalize.
+		if err := verify.Module(m, dialects.SourceSpecs()); err == nil {
+			pipe, _ := compiler.NewPipeline("canonicalize")
+			mm := m.Clone()
+			cl.Compiled = pipe.Run(mm, &compiler.Options{}) == nil
+		}
+	} else {
+		c := &compiler.Compiler{Level: compiler.O1}
+		_, err := c.Compile(m, preset)
+		cl.Compiled = err == nil
+	}
+	if !cl.Compiled {
+		return cl
+	}
+	in := dialects.NewReferenceInterpreter()
+	in.MaxSteps = 2_000_000
+	if _, err := in.Run(m, "main"); err == nil {
+		cl.UBFree = true
+	} else if !interp.IsUB(err) && !interp.IsTrap(err) {
+		// Structural interpretation failure (e.g. unsupported op):
+		// neither compiled-and-meaningful nor UB — count as not UB-free.
+		cl.UBFree = false
+	}
+	return cl
+}

@@ -1,0 +1,44 @@
+package difftest
+
+import (
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+)
+
+// DOLAlarm implements plain different-optimisation-levels testing with
+// NO reference semantics — the technique §4.2 argues MLIRSmith cannot
+// usably feed. The module is compiled by the CORRECT compiler at every
+// optimisation level; the "alarm" is raised when any level crashes or
+// two levels print different outputs. On a correct compiler every alarm
+// is a false positive, caused by undefined behaviour in the input — the
+// cost the paper says "requires costly manual intervention to
+// differentiate between a real bug vs. a UB".
+func DOLAlarm(m *ir.Module, preset string) (compiled, alarm bool) {
+	var first *string
+	for _, level := range compiler.OptLevels {
+		c := &compiler.Compiler{Level: level, Bugs: bugs.None()}
+		lowered, err := c.Compile(m, preset)
+		if err != nil {
+			// Static rejection: the program never enters DOL testing.
+			return false, false
+		}
+		compiled = true
+		in := dialects.NewExecutor()
+		in.MaxSteps = 2_000_000
+		res, err := in.Run(lowered, "main")
+		if err != nil {
+			// A crash at some level: under DOL testing this reads as a
+			// compiler bug — here, a false positive.
+			return true, true
+		}
+		out := res.Output
+		if first == nil {
+			first = &out
+		} else if *first != out {
+			return true, true
+		}
+	}
+	return compiled, false
+}

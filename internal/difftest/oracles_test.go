@@ -1,0 +1,126 @@
+package difftest_test
+
+import (
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/dialects"
+	"ratte/internal/difftest"
+	"ratte/internal/ir"
+)
+
+// TestOptimisationBugVisibleToDTO completes the DT-O story in the
+// positive direction: an *optimisation* bug (bug 5, canonicalize)
+// produces different outputs at O0 (no canonicalize) and O1 — so DT-O
+// alone, without any reference semantics, would have sufficed for it
+// (the paper: optimisation miscompilations "could in principle be
+// detected by applying differential testing over optimisation passes").
+func TestOptimisationBugVisibleToDTO(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    %0 = "func.call"() {callee = @one} : () -> (i1)
+    %low, %high = "arith.mulsi_extended"(%0, %n1) : (i1, i1) -> (i1, i1)
+    "vector.print"(%high) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%n1) : (i1) -> ()
+  }) {sym_name = "one", function_type = () -> (i1)} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dialects.NewReferenceInterpreter().Run(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := difftest.TestModule(m, ref.Output, "ariths", bugs.Only(bugs.MulsiExtendedI1Fold))
+	if !rep.DTO() {
+		t.Errorf("optimisation bug 5 should be DT-O-visible: %+v", rep.Levels)
+	}
+	if !rep.DTR() {
+		t.Error("DT-R should also fire")
+	}
+	if rep.NC() {
+		t.Error("no crash expected")
+	}
+	if rep.Detected() != difftest.OracleDTR {
+		t.Errorf("attribution should prefer DT-R, got %s", rep.Detected())
+	}
+}
+
+// TestWrongRejectionClassifiedNC: bug 4 produces a compile-time
+// rejection, which the report classifies as NC with the failing config
+// identifiable.
+func TestWrongRejectionClassifiedNC(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i1, i1)
+    %s, %o = "arith.addui_extended"(%a, %b) : (i1, i1) -> (i1, i1)
+    "vector.print"(%o) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%a, %a) : (i1, i1) -> ()
+  }) {sym_name = "c", function_type = () -> (i1, i1)} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dialects.NewReferenceInterpreter().Run(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := difftest.TestModule(m, ref.Output, "ariths", bugs.Only(bugs.AdduiExtendedLegalize))
+	if rep.Detected() != difftest.OracleNC {
+		t.Errorf("wrong rejection should be NC, got %s", rep.Detected())
+	}
+	failing := 0
+	for _, lr := range rep.Levels {
+		if lr.CompileErr != nil {
+			failing++
+		}
+	}
+	if failing == 0 {
+		t.Error("no config recorded the rejection")
+	}
+}
+
+// TestReportOnCorrectCompilerIsClean re-checks the baseline on the
+// figure programs specifically.
+func TestReportOnCorrectCompilerIsClean(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 10 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %q = "arith.ceildivsi"(%a, %b) : (i64, i64) -> (i64)
+    "vector.print"(%q) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := dialects.NewReferenceInterpreter().Run(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := difftest.TestModule(m, ref.Output, "ariths", bugs.None())
+	if rep.Detected() != difftest.OracleNone {
+		t.Errorf("correct compiler flagged: %s (%+v)", rep.Detected(), rep.Levels)
+	}
+	for bc, lr := range rep.Levels {
+		if lr.Output != "4\n" {
+			t.Errorf("%s printed %q", bc, lr.Output)
+		}
+	}
+	if len(rep.Levels) != len(difftest.BuildConfigs) {
+		t.Errorf("report covers %d configs, want %d", len(rep.Levels), len(difftest.BuildConfigs))
+	}
+}

@@ -1,0 +1,127 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ratte/internal/gen"
+)
+
+// RunCampaignParallel runs the same campaign as RunCampaign across the
+// given number of worker goroutines — the shape of the paper's
+// overnight runs on an 8-core laptop. Results are deterministic for a
+// given configuration regardless of worker count: each program seed is
+// tested independently and detections are aggregated in seed order.
+//
+// StopAtFirst is treated as a budget hint: workers drain the remaining
+// queue once any detection exists, and the first detection *by seed
+// order* is reported first, so the result is the same one the serial
+// runner would return.
+func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, error) {
+	if workers <= 1 {
+		return RunCampaign(cfg)
+	}
+	if cfg.Programs <= 0 {
+		return &CampaignResult{ByOracle: make(map[Oracle]int)}, nil
+	}
+
+	type outcome struct {
+		idx       int
+		detection *Detection
+		err       error
+	}
+
+	jobs := make(chan int)
+	results := make(chan outcome, workers)
+	var wg sync.WaitGroup
+
+	var stopOnce sync.Once
+	stopped := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				seed := cfg.Seed + int64(i)
+				p, err := generateForCampaign(cfg, seed)
+				if err != nil {
+					results <- outcome{idx: i, err: err}
+					continue
+				}
+				rep := TestModule(p.Module, p.Expected, cfg.Preset, cfg.Bugs)
+				var det *Detection
+				if oracle := rep.Detected(); oracle != OracleNone {
+					det = &Detection{
+						Seed:     seed,
+						Oracle:   oracle,
+						Program:  p.Module,
+						Expected: p.Expected,
+						Report:   rep,
+					}
+					if cfg.StopAtFirst {
+						stopOnce.Do(func() { close(stopped) })
+					}
+				}
+				results <- outcome{idx: i, detection: det}
+			}
+		}()
+	}
+
+	go func() {
+		defer close(jobs)
+		for i := 0; i < cfg.Programs; i++ {
+			if cfg.StopAtFirst {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+			}
+			jobs <- i
+		}
+	}()
+
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var outs []outcome
+	var firstErr error
+	for o := range results {
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		outs = append(outs, o)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("difftest: %w", firstErr)
+	}
+
+	sort.Slice(outs, func(i, j int) bool { return outs[i].idx < outs[j].idx })
+	res := &CampaignResult{ByOracle: make(map[Oracle]int)}
+	res.Programs = len(outs)
+	for _, o := range outs {
+		if o.detection == nil {
+			continue
+		}
+		res.Detections = append(res.Detections, *o.detection)
+		res.ByOracle[o.detection.Oracle]++
+		if cfg.StopAtFirst {
+			// Report exactly the first in-order detection, like the
+			// serial runner.
+			res.Detections = res.Detections[:1]
+			res.ByOracle = map[Oracle]int{o.detection.Oracle: 1}
+			break
+		}
+	}
+	return res, nil
+}
+
+// generateForCampaign isolates generation so the parallel runner shares
+// the serial runner's behaviour exactly.
+func generateForCampaign(cfg CampaignConfig, seed int64) (*gen.Program, error) {
+	return gen.Generate(gen.Config{Preset: cfg.Preset, Size: cfg.Size, Seed: seed})
+}

@@ -1,0 +1,64 @@
+package gen_test
+
+import (
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+// TestAllPresetComposes: the combined "all" preset — derived purely by
+// composing the per-dialect generator sets — keeps every guarantee: its
+// programs verify, interpret to the predicted output, and compile +
+// execute identically at every level.
+func TestAllPresetComposes(t *testing.T) {
+	sawScf, sawLinalg, sawTensor := false, false, false
+	for seed := int64(0); seed < 15; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "all", Size: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Module(p.Module, dialects.SourceSpecs()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := dialects.NewReferenceInterpreter().Run(p.Module, "main")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Output != p.Expected {
+			t.Fatalf("seed %d: output %q, expected %q", seed, res.Output, p.Expected)
+		}
+		p.Module.Walk(func(op *ir.Operation) bool {
+			switch op.Dialect() {
+			case "scf":
+				sawScf = true
+			case "linalg":
+				sawLinalg = true
+			case "tensor":
+				sawTensor = true
+			}
+			return true
+		})
+		for _, level := range compiler.OptLevels {
+			c := &compiler.Compiler{Level: level, Bugs: bugs.None()}
+			lowered, err := c.Compile(p.Module, "all")
+			if err != nil {
+				t.Fatalf("seed %d O%d: %v", seed, int(level), err)
+			}
+			out, err := dialects.NewExecutor().Run(lowered, "main")
+			if err != nil {
+				t.Fatalf("seed %d O%d: %v", seed, int(level), err)
+			}
+			if out.Output != p.Expected {
+				t.Fatalf("seed %d O%d: output %q, expected %q", seed, int(level), out.Output, p.Expected)
+			}
+		}
+	}
+	if !sawScf || !sawLinalg || !sawTensor {
+		t.Errorf("combined corpus missed a dialect: scf=%v linalg=%v tensor=%v", sawScf, sawLinalg, sawTensor)
+	}
+}

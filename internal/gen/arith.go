@@ -1,0 +1,392 @@
+package gen
+
+import (
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+)
+
+// arithOpGens returns the operation generators of the arith dialect.
+// Each generator mirrors the paper's Figure 11 discipline: it asks the
+// store for typing information and fresh IDs, and consults the concrete
+// interpretation to rule out operand choices that would introduce
+// undefined behaviour.
+func arithOpGens() []opGen {
+	gens := []opGen{
+		{"arith.constant", 6, genConstant},
+		{"func.call(helper)", 4, genHelperCall},
+		{"func.call(computed)", 2, genComputedHelperCall},
+		{"arith.cmpi", 4, genCmpi},
+		{"arith.select", 3, genSelect},
+		{"arith.ext/trunc", 4, genIntCast},
+		{"arith.index_cast", 3, genIndexCast},
+		{"arith.extended", 3, genExtended},
+		{"arith.div/rem", 6, genDivRem},
+		{"arith.div(guarded)", 3, genGuardedDiv},
+		{"arith.shift", 3, genShift},
+	}
+	for _, name := range []string{
+		"arith.addi", "arith.subi", "arith.muli",
+		"arith.andi", "arith.ori", "arith.xori",
+		"arith.maxsi", "arith.maxui", "arith.minsi", "arith.minui",
+	} {
+		name := name
+		gens = append(gens, opGen{name, 2, func(g *generator) error {
+			return genBinaryPure(g, name)
+		}})
+	}
+	return gens
+}
+
+func genConstant(g *generator) error {
+	t := g.randScalarType()
+	_, err := g.freshConst(t, g.interestingValue(t))
+	return err
+}
+
+func genHelperCall(g *generator) error {
+	n := 1 + g.r.Intn(3)
+	types := make([]ir.Type, n)
+	vals := make([]int64, n)
+	for i := range types {
+		types[i] = g.randScalarType()
+		vals[i] = g.interestingValue(types[i])
+	}
+	_, err := g.helperCall(types, vals)
+	return err
+}
+
+func genBinaryPure(g *generator, name string) error {
+	t := g.randScalarType()
+	a, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	b, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a, b}
+	op.Results = []ir.Value{g.store.FreshValue(t)}
+	return g.emit(op)
+}
+
+// genDivRem generates one of the division-family operations with a
+// concretely-validated divisor: never zero, and never the MIN/-1
+// signed-overflow pair (the exact constraints of Figure 11).
+func genDivRem(g *generator) error {
+	names := []string{
+		"arith.divsi", "arith.divui", "arith.remsi", "arith.remui",
+		"arith.ceildivsi", "arith.ceildivui", "arith.floordivsi",
+	}
+	name := names[g.r.Intn(len(names))]
+	t := g.randScalarType()
+	w, _ := ir.BitWidth(t)
+
+	signed := name == "arith.divsi" || name == "arith.remsi" ||
+		name == "arith.ceildivsi" || name == "arith.floordivsi"
+
+	// Divisor: defined and non-zero, with -1 over-represented — the
+	// boundary divisor behind several production defects.
+	b, err := g.scalarOperand(t,
+		func(i rtval.Int) bool { return i.Defined() && !i.IsZero() },
+		func() int64 {
+			if g.r.Intn(3) == 0 {
+				return -1
+			}
+			for {
+				v := g.interestingValue(t)
+				if rtOf(v, t).IsZero() {
+					continue
+				}
+				return v
+			}
+		})
+	if err != nil {
+		return err
+	}
+	bRT, _ := g.store.Value(b.ID)
+	bIsMinusOne := bRT.(rtval.Int).Signed() == -1
+
+	// Dividend: when the divisor is -1 and the op is signed, MIN would
+	// overflow; exclude it. MIN and MIN+1 are over-represented — signed
+	// division boundaries are where lowerings go wrong (Figure 12).
+	a, err := g.scalarOperand(t,
+		func(i rtval.Int) bool {
+			if !i.Defined() {
+				return false
+			}
+			if signed && bIsMinusOne && i.Signed() == rtval.MinSigned(w) {
+				return false
+			}
+			return true
+		},
+		func() int64 {
+			if n := g.r.Intn(4); n < 2 {
+				v := rtval.MinSigned(w) + int64(n) // MIN or MIN+1
+				if !(signed && bIsMinusOne && v == rtval.MinSigned(w)) {
+					return v
+				}
+			}
+			for {
+				v := g.interestingValue(t)
+				if signed && bIsMinusOne && rtOf(v, t).Signed() == rtval.MinSigned(w) {
+					continue
+				}
+				return v
+			}
+		})
+	if err != nil {
+		return err
+	}
+
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a, b}
+	op.Results = []ir.Value{g.store.FreshValue(t)}
+	return g.emit(op)
+}
+
+// genGuardedDiv emits the paper's flagship IR-fragment example (§3.3):
+// a division together with the runtime guard that makes it safe. The
+// divisor may be ANY visible value — including zero or -1 — because the
+// fragment rewrites it first:
+//
+//	%isz  = cmpi eq %d, 0
+//	%safe = select %isz, 1, %d        // never zero
+//	%q    = divsi %a, %safe
+//
+// For signed ops the dividend is kept clear of MIN so the -1 divisor
+// cannot overflow. This exercises divisions whose operands no
+// optimisation can prove constant — the hardest path through the
+// division lowerings.
+func genGuardedDiv(g *generator) error {
+	names := []string{"arith.divsi", "arith.divui", "arith.remsi", "arith.remui"}
+	name := names[g.r.Intn(len(names))]
+	t := g.randScalarType()
+	w, _ := ir.BitWidth(t)
+	signed := name == "arith.divsi" || name == "arith.remsi"
+
+	d, err := g.scalarOperand(t,
+		func(i rtval.Int) bool { return i.Defined() },
+		func() int64 { return g.interestingValue(t) })
+	if err != nil {
+		return err
+	}
+	zero, err := g.freshConst(t, 0)
+	if err != nil {
+		return err
+	}
+	one, err := g.freshConst(t, 1)
+	if err != nil {
+		return err
+	}
+	isz := ir.NewOp("arith.cmpi")
+	isz.Operands = []ir.Value{d, zero}
+	isz.Attrs.Set("predicate", ir.IntAttr(0, ir.I64)) // eq
+	isz.Results = []ir.Value{g.store.FreshValue(ir.I1)}
+	if err := g.emit(isz); err != nil {
+		return err
+	}
+	safe := ir.NewOp("arith.select")
+	safe.Operands = []ir.Value{isz.Results[0], one, d}
+	safe.Results = []ir.Value{g.store.FreshValue(t)}
+	if err := g.emit(safe); err != nil {
+		return err
+	}
+
+	a, err := g.scalarOperand(t,
+		func(i rtval.Int) bool {
+			return i.Defined() && (!signed || i.Signed() != rtval.MinSigned(w))
+		},
+		func() int64 {
+			for {
+				v := g.interestingValue(t)
+				if signed && rtOf(v, t).Signed() == rtval.MinSigned(w) {
+					continue
+				}
+				return v
+			}
+		})
+	if err != nil {
+		return err
+	}
+
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a, safe.Results[0]}
+	op.Results = []ir.Value{g.store.FreshValue(t)}
+	return g.emit(op)
+}
+
+// genShift generates a shift whose amount is concretely below the bit
+// width.
+func genShift(g *generator) error {
+	names := []string{"arith.shli", "arith.shrsi", "arith.shrui"}
+	name := names[g.r.Intn(len(names))]
+	t := g.randScalarType()
+	w, _ := ir.BitWidth(t)
+
+	amount, err := g.scalarOperand(t,
+		func(i rtval.Int) bool { return i.Defined() && i.Unsigned() < uint64(w) },
+		func() int64 { return int64(g.r.Intn(int(w))) })
+	if err != nil {
+		return err
+	}
+	a, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a, amount}
+	op.Results = []ir.Value{g.store.FreshValue(t)}
+	return g.emit(op)
+}
+
+func genCmpi(g *generator) error {
+	t := g.randScalarType()
+	a, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	b, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp("arith.cmpi")
+	op.Operands = []ir.Value{a, b}
+	op.Attrs.Set("predicate", ir.IntAttr(int64(g.r.Intn(10)), ir.I64))
+	op.Results = []ir.Value{g.store.FreshValue(ir.I1)}
+	return g.emit(op)
+}
+
+func genSelect(g *generator) error {
+	cond, err := g.anyScalar(ir.I1)
+	if err != nil {
+		return err
+	}
+	t := g.randScalarType()
+	a, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	b, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp("arith.select")
+	op.Operands = []ir.Value{cond, a, b}
+	op.Results = []ir.Value{g.store.FreshValue(t)}
+	return g.emit(op)
+}
+
+// genIntCast generates extsi/extui/trunci with width constraints
+// satisfied by construction.
+func genIntCast(g *generator) error {
+	widths := []uint{1, 8, 16, 32, 64}
+	wi := g.r.Intn(len(widths))
+	wj := g.r.Intn(len(widths))
+	if wi == wj {
+		wj = (wj + 1) % len(widths)
+	}
+	from, to := widths[wi], widths[wj]
+	var name string
+	if from < to {
+		if g.r.Intn(2) == 0 {
+			name = "arith.extsi"
+		} else {
+			name = "arith.extui"
+		}
+	} else {
+		name = "arith.trunci"
+	}
+	a, err := g.anyScalar(ir.I(from))
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a}
+	op.Results = []ir.Value{g.store.FreshValue(ir.I(to))}
+	return g.emit(op)
+}
+
+// genIndexCast converts between index and a random integer width —
+// chains of these are what exposed production bugs 1 and 2. A third of
+// the time it emits a round-trip *fragment* (index -> iN -> index), the
+// multi-op extension shape of the paper's §3.3 that exercises the
+// chain-fold canonicalizations.
+func genIndexCast(g *generator) error {
+	widths := []uint{1, 8, 16, 32, 64}
+	w := widths[g.r.Intn(len(widths))]
+
+	if g.r.Intn(3) == 0 {
+		// Round-trip fragment: %n = index_cast %idx : index -> iN;
+		// %back = index_cast %n : iN -> index. Route the source through
+		// an opaque helper half the time so constant folding cannot
+		// erase the chain before the chain-fold pattern sees it.
+		var idx ir.Value
+		if g.depth == 0 && g.r.Intn(2) == 0 {
+			vals, err := g.helperCall([]ir.Type{ir.Index}, []int64{g.interestingValue(ir.Index)})
+			if err != nil {
+				return err
+			}
+			idx = vals[0]
+		} else {
+			v, err := g.anyScalar(ir.Index)
+			if err != nil {
+				return err
+			}
+			idx = v
+		}
+		down := ir.NewOp("arith.index_cast")
+		down.Operands = []ir.Value{idx}
+		down.Results = []ir.Value{g.store.FreshValue(ir.I(w))}
+		if err := g.emit(down); err != nil {
+			return err
+		}
+		up := ir.NewOp("arith.index_cast")
+		up.Operands = []ir.Value{down.Results[0]}
+		up.Results = []ir.Value{g.store.FreshValue(ir.Index)}
+		return g.emit(up)
+	}
+
+	name := "arith.index_cast"
+	if g.r.Intn(2) == 0 {
+		name = "arith.index_castui"
+	}
+	var from, to ir.Type
+	if g.r.Intn(2) == 0 {
+		from, to = ir.I(w), ir.Index
+	} else {
+		from, to = ir.Index, ir.I(w)
+	}
+	a, err := g.anyScalar(from)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a}
+	op.Results = []ir.Value{g.store.FreshValue(to)}
+	return g.emit(op)
+}
+
+// genExtended generates the extended-arithmetic ops (two results).
+func genExtended(g *generator) error {
+	names := []string{"arith.addui_extended", "arith.mulsi_extended", "arith.mului_extended"}
+	name := names[g.r.Intn(len(names))]
+	t := g.randScalarType()
+	a, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	b, err := g.anyScalar(t)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a, b}
+	if name == "arith.addui_extended" {
+		op.Results = []ir.Value{g.store.FreshValue(t), g.store.FreshValue(ir.I1)}
+	} else {
+		op.Results = []ir.Value{g.store.FreshValue(t), g.store.FreshValue(t)}
+	}
+	return g.emit(op)
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+)
+
+// epilogue appends output-producing code (paper §3.4): vector.print of
+// values the well-definedness analysis has established are safe to
+// observe. Scalars print directly; tensors print through an extraction
+// of a concretely in-bounds, concretely defined element (so the lowered
+// pipelines, which print scalars, handle the same programs). At least
+// one value is always printed so every program is usable with the
+// differential-testing oracle.
+func (g *generator) epilogue() error {
+	printed := 0
+
+	// Defined scalars, shuffled, capped.
+	scalars := g.store.Candidates(func(v ir.Value, rt rtval.Value) bool {
+		i, ok := rt.(rtval.Int)
+		return ok && i.Defined()
+	})
+	g.r.Shuffle(len(scalars), func(i, j int) { scalars[i], scalars[j] = scalars[j], scalars[i] })
+	for _, c := range scalars {
+		if printed >= g.cfg.MaxPrints {
+			break
+		}
+		if err := g.emitPrint(c.Val); err != nil {
+			return err
+		}
+		printed++
+	}
+
+	// One element out of each tensor whose chosen element is defined.
+	tensors := g.store.Candidates(func(v ir.Value, rt rtval.Value) bool {
+		_, ok := rt.(*rtval.Tensor)
+		return ok
+	})
+	for _, c := range tensors {
+		if printed >= g.cfg.MaxPrints+4 {
+			break
+		}
+		t := c.RT.(*rtval.Tensor)
+		if t.NumElements() == 0 {
+			continue
+		}
+		// Find a defined element; sample a few random positions, then
+		// fall back to a scan.
+		pos, ok := g.findDefinedElement(t)
+		if !ok {
+			continue // entirely undefined (e.g. raw tensor.empty)
+		}
+		idx := make([]ir.Value, len(pos))
+		for i, p := range pos {
+			v, err := g.indexConst(p)
+			if err != nil {
+				return err
+			}
+			idx[i] = v
+		}
+		ext := ir.NewOp("tensor.extract")
+		ext.Operands = append([]ir.Value{c.Val}, idx...)
+		ext.Results = []ir.Value{g.store.FreshValue(t.Elem)}
+		if err := g.emit(ext); err != nil {
+			return err
+		}
+		if err := g.emitPrint(ext.Results[0]); err != nil {
+			return err
+		}
+		printed++
+	}
+
+	if printed == 0 {
+		v, err := g.freshConst(ir.I64, 0)
+		if err != nil {
+			return err
+		}
+		return g.emitPrint(v)
+	}
+	return nil
+}
+
+func (g *generator) emitPrint(v ir.Value) error {
+	p := ir.NewOp("vector.print")
+	p.Operands = []ir.Value{v}
+	return g.emit(p)
+}
+
+// findDefinedElement locates a defined element's multi-index.
+func (g *generator) findDefinedElement(t *rtval.Tensor) ([]int64, bool) {
+	n := t.NumElements()
+	// A few random probes first, for variety.
+	for probe := 0; probe < 4; probe++ {
+		flat := int64(g.r.Intn(int(n)))
+		if t.Elems[flat].Defined() {
+			return delinearize(flat, t.Shape), true
+		}
+	}
+	for flat := int64(0); flat < n; flat++ {
+		if t.Elems[flat].Defined() {
+			return delinearize(flat, t.Shape), true
+		}
+	}
+	return nil, false
+}
+
+func delinearize(flat int64, shape []int64) []int64 {
+	pos := make([]int64, len(shape))
+	for i := len(shape) - 1; i >= 0; i-- {
+		pos[i] = flat % shape[i]
+		flat /= shape[i]
+	}
+	return pos
+}

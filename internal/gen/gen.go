@@ -1,0 +1,387 @@
+// Package gen implements Ratte's semantics-guided program generators
+// (paper §3.3): modular, composable fuzzers that construct MLIR
+// programs incrementally, consulting the incremental semantic store
+// after every extension so that the finished program is statically
+// valid and dynamically free of undefined behaviour *by construction*.
+//
+// A generator is structured the way the paper prescribes: an
+// operation-generator instantiates operands and attributes (querying
+// the store for type information, fresh IDs, concrete values,
+// well-definedness and concrete container shapes); region-holding
+// operations call region-generators for their bodies; fragments —
+// possibly several related operations — are appended to the partial
+// program and evaluated in one step.
+//
+// Presets compose per-dialect operation generators into the
+// whole-program fuzzers of the paper's Table 2: "ariths"
+// ({arith, scf, func, vector}), "linalggeneric" ({linalg, arith, func,
+// vector}) and "tensor" ({tensor, arith, func, vector}).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+	"ratte/internal/semantics"
+)
+
+// Config parameterises one program generation.
+type Config struct {
+	// Preset selects the dialect combination: "ariths",
+	// "linalggeneric" or "tensor" (paper Table 2).
+	Preset string
+	// Size is the approximate number of generated fragments in @main
+	// (the -n flag of the paper's mlir-quickcheck).
+	Size int
+	// Seed makes generation reproducible.
+	Seed int64
+	// MaxPrints caps the epilogue's output statements (0 = default 8).
+	MaxPrints int
+}
+
+// Program is a generated test case: the module plus the expected output
+// the incremental interpretation computed during generation — the
+// differential-testing oracle comes for free.
+type Program struct {
+	Module   *ir.Module
+	Expected string
+}
+
+// Presets lists the paper's Table 2 generator presets. The additional
+// "all" preset (every dialect combined) is accepted by Generate but not
+// part of the paper's experiment grid.
+func Presets() []string { return []string{"ariths", "linalggeneric", "tensor"} }
+
+// AllPresets lists every accepted preset, including the combined one.
+func AllPresets() []string { return append(Presets(), "all") }
+
+// Generate builds one program. The returned program verifies against
+// the source dialect rules, compiles, and its execution prints exactly
+// Expected; any failure to do so is a bug in either the generator or
+// the consumer and is reported as an error here only if generation
+// itself becomes inconsistent (which the test suite asserts never
+// happens).
+func Generate(cfg Config) (*Program, error) {
+	pool, err := poolFor(cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 20
+	}
+	if cfg.MaxPrints <= 0 {
+		cfg.MaxPrints = 8
+	}
+	g := &generator{
+		cfg:    cfg,
+		r:      rand.New(rand.NewSource(cfg.Seed)),
+		store:  semantics.NewStore(dialects.NewReferenceInterpreter()),
+		module: ir.NewModule(),
+		pool:   pool,
+	}
+	return g.run()
+}
+
+// opGen is one operation generator: a weighted fragment producer.
+type opGen struct {
+	name   string
+	weight int
+	gen    func(g *generator) error
+}
+
+type generator struct {
+	cfg    Config
+	r      *rand.Rand
+	store  *semantics.Store
+	module *ir.Module
+	pool   []opGen
+
+	block   *ir.Block // current insertion block
+	helperN int
+	depth   int // region-generation nesting depth
+}
+
+func (g *generator) run() (*Program, error) {
+	mainFn := ir.NewOp("func.func")
+	mainFn.Attrs.Set("sym_name", ir.StrAttr("main"))
+	mainFn.Attrs.Set("function_type", ir.TypeAttrOf(ir.FuncOf(nil, nil)))
+	mainFn.Regions = []*ir.Region{ir.NewRegion()}
+	g.module.Body().Append(mainFn)
+	g.block = mainFn.Regions[0].Entry()
+
+	g.store.PushScope(scoped.IsolatedFromAbove)
+
+	total := 0
+	for i := 0; i < g.cfg.Size; i++ {
+		og := g.pickOpGen()
+		if err := og.gen(g); err != nil {
+			return nil, fmt.Errorf("gen: %s: %w", og.name, err)
+		}
+		total++
+	}
+	if err := g.epilogue(); err != nil {
+		return nil, err
+	}
+
+	ret := ir.NewOp("func.return")
+	g.block.Append(ret)
+	g.store.PopScope()
+
+	return &Program{Module: g.module, Expected: g.store.Output()}, nil
+}
+
+// pickOpGen draws one operation generator by weight.
+func (g *generator) pickOpGen() opGen {
+	total := 0
+	for _, og := range g.pool {
+		total += og.weight
+	}
+	n := g.r.Intn(total)
+	for _, og := range g.pool {
+		n -= og.weight
+		if n < 0 {
+			return og
+		}
+	}
+	return g.pool[len(g.pool)-1]
+}
+
+// emit appends an operation to the current block and folds it into the
+// semantic store (generation step (3)+(6) of the paper's Figure 3).
+func (g *generator) emit(op *ir.Operation) error {
+	if err := g.store.Apply(op); err != nil {
+		return fmt.Errorf("extension rejected by semantics: %w", err)
+	}
+	g.block.Append(op)
+	return nil
+}
+
+// scalarTypes is the integer/index domain the arith generators draw
+// from. i1 is included deliberately: several production bugs (Figure 2)
+// hide in 1-bit special cases.
+var scalarTypes = []ir.Type{ir.I1, ir.I8, ir.I16, ir.I32, ir.I64, ir.Index}
+
+func (g *generator) randScalarType() ir.Type {
+	// Weight the common widths a little higher.
+	weighted := []ir.Type{
+		ir.I1, ir.I8, ir.I16,
+		ir.I32, ir.I32,
+		ir.I64, ir.I64, ir.I64,
+		ir.Index, ir.Index,
+	}
+	return weighted[g.r.Intn(len(weighted))]
+}
+
+// interestingValue draws a constant biased toward boundary values —
+// the Csmith/YARPGen lesson that bugs live at MIN/MAX/0/±1.
+func (g *generator) interestingValue(t ir.Type) int64 {
+	w, _ := ir.BitWidth(t)
+	if _, isIdx := t.(ir.IndexType); isIdx {
+		w = 64
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return -1
+	case 3:
+		return rtval.MinSigned(w)
+	case 4:
+		return rtval.MaxSigned(w)
+	case 5:
+		return rtval.MinSigned(w) + 1
+	default:
+		// Small-ish random value.
+		return int64(g.r.Intn(1<<10) - 1<<9)
+	}
+}
+
+// rtOf materialises the runtime value of a constant.
+func rtOf(v int64, t ir.Type) rtval.Int {
+	if _, isIdx := t.(ir.IndexType); isIdx {
+		return rtval.NewIndex(v)
+	}
+	w, _ := ir.BitWidth(t)
+	return rtval.NewInt(w, v)
+}
+
+// freshConst emits an arith.constant of type t and value v.
+func (g *generator) freshConst(t ir.Type, v int64) (ir.Value, error) {
+	op := ir.NewOp("arith.constant")
+	op.Attrs.Set("value", ir.IntAttr(rtOf(v, t).Signed(), t))
+	res := g.store.FreshValue(t)
+	op.Results = []ir.Value{res}
+	return res, g.emit(op)
+}
+
+// scalarOperand returns a visible scalar of type t satisfying pred,
+// creating a constant (directly, or behind an opaque helper call) when
+// none exists or variety demands one. mkConst supplies a valid constant
+// payload when a fresh value is needed.
+func (g *generator) scalarOperand(t ir.Type, pred func(rtval.Int) bool, mkConst func() int64) (ir.Value, error) {
+	cands := g.store.Candidates(func(v ir.Value, rt rtval.Value) bool {
+		i, ok := rt.(rtval.Int)
+		return ok && ir.TypeEqual(v.Type, t) && (pred == nil || pred(i))
+	})
+	// Prefer reuse, but keep injecting fresh values for diversity.
+	if len(cands) > 0 && g.r.Intn(4) != 0 {
+		return cands[g.r.Intn(len(cands))].Val, nil
+	}
+	v := mkConst()
+	if g.r.Intn(3) == 0 && g.depth == 0 {
+		// Route the constant through an opaque helper function so
+		// optimisations cannot fold it (the paper's Figure 2/12 shape).
+		vals, err := g.helperCall([]ir.Type{t}, []int64{v})
+		if err != nil {
+			return ir.Value{}, err
+		}
+		return vals[0], nil
+	}
+	return g.freshConst(t, v)
+}
+
+// anyScalar returns a defined visible scalar of type t (creating one if
+// needed).
+func (g *generator) anyScalar(t ir.Type) (ir.Value, error) {
+	return g.scalarOperand(t, func(i rtval.Int) bool { return i.Defined() },
+		func() int64 { return g.interestingValue(t) })
+}
+
+// helperCall creates a fresh helper function returning the given
+// constants and emits a call to it, returning the call results. Helper
+// bodies are opaque to the (intraprocedural) optimiser, which keeps
+// runtime behaviour live through every pipeline.
+func (g *generator) helperCall(types []ir.Type, vals []int64) ([]ir.Value, error) {
+	name := fmt.Sprintf("helper%d", g.helperN)
+	g.helperN++
+
+	f := ir.NewOp("func.func")
+	f.Attrs.Set("sym_name", ir.StrAttr(name))
+	f.Attrs.Set("function_type", ir.TypeAttrOf(ir.FuncOf(nil, types)))
+	body := &ir.Block{Label: "bb0"}
+	f.Regions = []*ir.Region{{Blocks: []*ir.Block{body}}}
+	ret := ir.NewOp("func.return")
+	for i, t := range types {
+		c := ir.NewOp("arith.constant")
+		c.Attrs.Set("value", ir.IntAttr(rtOf(vals[i], t).Signed(), t))
+		res := ir.V(fmt.Sprintf("c%d", i), t)
+		c.Results = []ir.Value{res}
+		body.Append(c)
+		ret.Operands = append(ret.Operands, res)
+	}
+	body.Append(ret)
+	g.module.Body().Append(f)
+	if err := g.store.AddFunc(f); err != nil {
+		return nil, err
+	}
+
+	call := ir.NewOp("func.call")
+	call.Attrs.Set("callee", ir.SymbolAttr(name))
+	results := make([]ir.Value, len(types))
+	for i, t := range types {
+		results[i] = g.store.FreshValue(t)
+	}
+	call.Results = results
+	if err := g.emit(call); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// indexConst emits an index constant.
+func (g *generator) indexConst(v int64) (ir.Value, error) {
+	return g.freshConst(ir.Index, v)
+}
+
+// genComputedHelperCall creates a helper function WITH parameters whose
+// body computes with total operations only (safe for any arguments),
+// then calls it on visible values. This exercises argument passing,
+// isolated scopes and cross-function optimisation boundaries.
+func genComputedHelperCall(g *generator) error {
+	if g.depth > 0 {
+		return genConstant(g)
+	}
+	nArgs := 1 + g.r.Intn(2)
+	argTypes := make([]ir.Type, nArgs)
+	args := make([]ir.Value, nArgs)
+	argRTs := make([]rtval.Value, nArgs)
+	for i := range argTypes {
+		argTypes[i] = g.randScalarType()
+		a, err := g.anyScalar(argTypes[i])
+		if err != nil {
+			return err
+		}
+		args[i] = a
+		rt, ok := g.store.Value(a.ID)
+		if !ok {
+			return fmt.Errorf("argument %%%s has no concrete value", a.ID)
+		}
+		argRTs[i] = rt
+	}
+
+	name := fmt.Sprintf("helper%d", g.helperN)
+	g.helperN++
+
+	// Generate the body against the live store in an isolated scope,
+	// with the parameters bound to their concrete call-site values (the
+	// helper is called exactly once, so the concrete interpretation is
+	// exact, not a sample).
+	g.store.PushScope(scoped.IsolatedFromAbove)
+	g.depth++
+	savedBlock := g.block
+	body := &ir.Block{Label: "bb0"}
+	g.block = body
+
+	var genErr error
+	params := make([]ir.Value, nArgs)
+	for i, t := range argTypes {
+		params[i] = ir.V(fmt.Sprintf("arg%d", i), t)
+		if err := g.store.BindArg(params[i], argRTs[i]); err != nil {
+			genErr = err
+			break
+		}
+	}
+	body.Args = params
+
+	nOps := 1 + g.r.Intn(3)
+	for i := 0; i < nOps && genErr == nil; i++ {
+		genErr = g.genTotalOp()
+	}
+	var retType ir.Type
+	var retVal ir.Value
+	if genErr == nil {
+		retType = g.randScalarType()
+		retVal, genErr = g.anyScalar(retType)
+	}
+	g.block = savedBlock
+	g.depth--
+	g.store.PopScope()
+	if genErr != nil {
+		return genErr
+	}
+
+	ret := ir.NewOp("func.return")
+	ret.Operands = []ir.Value{retVal}
+	body.Append(ret)
+
+	f := ir.NewOp("func.func")
+	f.Attrs.Set("sym_name", ir.StrAttr(name))
+	f.Attrs.Set("function_type", ir.TypeAttrOf(ir.FuncOf(argTypes, []ir.Type{retType})))
+	f.Regions = []*ir.Region{{Blocks: []*ir.Block{body}}}
+	g.module.Body().Append(f)
+	if err := g.store.AddFunc(f); err != nil {
+		return err
+	}
+
+	call := ir.NewOp("func.call")
+	call.Attrs.Set("callee", ir.SymbolAttr(name))
+	call.Operands = args
+	call.Results = []ir.Value{g.store.FreshValue(retType)}
+	return g.emit(call)
+}

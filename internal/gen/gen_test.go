@@ -1,0 +1,143 @@
+package gen_test
+
+import (
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+// TestGeneratedProgramsAreValidAndUBFree is the generator's core
+// guarantee (paper §4.1: "generators yield compileable programs that
+// are free from undefined behaviours by construction"): every generated
+// program must pass the static verifier, must round-trip through the
+// printer/parser, and the reference interpreter must produce exactly
+// the expected output computed during generation.
+func TestGeneratedProgramsAreValidAndUBFree(t *testing.T) {
+	for _, preset := range gen.Presets() {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			for seed := int64(0); seed < 30; seed++ {
+				p, err := gen.Generate(gen.Config{Preset: preset, Size: 25, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: generate: %v", seed, err)
+				}
+				if err := verify.Module(p.Module, dialects.SourceSpecs()); err != nil {
+					t.Fatalf("seed %d: verify: %v\n%s", seed, err, ir.Print(p.Module))
+				}
+				// Textual round trip.
+				text := ir.Print(p.Module)
+				reparsed, err := ir.Parse(text)
+				if err != nil {
+					t.Fatalf("seed %d: reparse: %v", seed, err)
+				}
+				if ir.Print(reparsed) != text {
+					t.Fatalf("seed %d: print/parse not a fixpoint", seed)
+				}
+				// The reference interpreter agrees with the
+				// generation-time incremental evaluation.
+				res, err := dialects.NewReferenceInterpreter().Run(reparsed, "main")
+				if err != nil {
+					t.Fatalf("seed %d: reference run rejected a generated program: %v\n%s", seed, err, text)
+				}
+				if res.Output != p.Expected {
+					t.Fatalf("seed %d: interpreter output %q, generation-time oracle %q", seed, res.Output, p.Expected)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedProgramsCompileAndAgree: with no injected bugs, every
+// generated program compiles at every optimisation level and the
+// executed output equals the reference output (the soundness of the
+// whole differential setup: zero false positives on a correct
+// compiler).
+func TestGeneratedProgramsCompileAndAgree(t *testing.T) {
+	for _, preset := range gen.Presets() {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			for seed := int64(100); seed < 112; seed++ {
+				p, err := gen.Generate(gen.Config{Preset: preset, Size: 20, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, level := range compiler.OptLevels {
+					c := &compiler.Compiler{Level: level, Bugs: bugs.None(), VerifyBetweenPasses: true}
+					lowered, err := c.Compile(p.Module, preset)
+					if err != nil {
+						t.Fatalf("seed %d O%d: compile: %v\n%s", seed, int(level), err, ir.Print(p.Module))
+					}
+					res, err := dialects.NewExecutor().Run(lowered, "main")
+					if err != nil {
+						t.Fatalf("seed %d O%d: execute: %v\n--- source ---\n%s\n--- lowered ---\n%s",
+							seed, int(level), err, ir.Print(p.Module), ir.Print(lowered))
+					}
+					if res.Output != p.Expected {
+						t.Fatalf("seed %d O%d: output %q, expected %q\n--- source ---\n%s",
+							seed, int(level), res.Output, p.Expected, ir.Print(p.Module))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	for _, preset := range gen.Presets() {
+		a, err := gen.Generate(gen.Config{Preset: preset, Size: 30, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gen.Generate(gen.Config{Preset: preset, Size: 30, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ir.Print(a.Module) != ir.Print(b.Module) || a.Expected != b.Expected {
+			t.Errorf("%s: same seed produced different programs", preset)
+		}
+		c, err := gen.Generate(gen.Config{Preset: preset, Size: 30, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ir.Print(a.Module) == ir.Print(c.Module) {
+			t.Errorf("%s: different seeds produced identical programs", preset)
+		}
+	}
+}
+
+func TestGeneratedProgramsAlwaysPrint(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Expected == "" {
+			t.Errorf("seed %d: no expected output — unusable for differential testing", seed)
+		}
+	}
+}
+
+func TestGenerateRejectsUnknownPreset(t *testing.T) {
+	if _, err := gen.Generate(gen.Config{Preset: "bogus"}); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestGeneratedSizeScales(t *testing.T) {
+	small, err := gen.Generate(gen.Config{Preset: "ariths", Size: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := gen.Generate(gen.Config{Preset: "ariths", Size: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Module.NumOps() <= small.Module.NumOps() {
+		t.Errorf("size 60 produced %d ops, size 5 produced %d", large.Module.NumOps(), small.Module.NumOps())
+	}
+}

@@ -1,0 +1,137 @@
+package gen_test
+
+import (
+	"testing"
+
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+)
+
+// presetDialects pins Table 2: each preset may only emit operations of
+// its declared dialect combination.
+var presetDialects = map[string]map[string]bool{
+	"ariths":        {"arith": true, "scf": true, "func": true, "vector": true, "builtin": true},
+	"linalggeneric": {"linalg": true, "arith": true, "func": true, "vector": true, "tensor": true, "builtin": true},
+	"tensor":        {"tensor": true, "arith": true, "func": true, "vector": true, "linalg": true, "builtin": true},
+}
+
+// Note: the linalg/tensor presets share tensor materialisation ops
+// (tensor.empty / linalg.fill), exactly as the paper's Table 2 pairs
+// linalg with tensors as data.
+
+func TestPresetsRespectDialectCombination(t *testing.T) {
+	for preset, allowed := range presetDialects {
+		for seed := int64(0); seed < 10; seed++ {
+			p, err := gen.Generate(gen.Config{Preset: preset, Size: 30, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Module.Walk(func(op *ir.Operation) bool {
+				if !allowed[op.Dialect()] {
+					t.Errorf("%s seed %d: op %s outside the preset's dialects", preset, seed, op.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestGeneratedProgramsAreLoopFree pins the paper's §1 restriction: the
+// generator emits no looping constructs (scf.for / cf back edges); loop
+// behaviour is exercised via lowering of linalg.generic and
+// tensor.generate instead.
+func TestGeneratedProgramsAreLoopFree(t *testing.T) {
+	for _, preset := range gen.Presets() {
+		for seed := int64(0); seed < 10; seed++ {
+			p, err := gen.Generate(gen.Config{Preset: preset, Size: 30, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Module.Walk(func(op *ir.Operation) bool {
+				if op.Name == "scf.for" || op.Dialect() == "cf" {
+					t.Errorf("%s seed %d: generator emitted loop construct %s", preset, seed, op.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestMainHasNoArguments: generated entry points are self-contained.
+func TestMainHasNoArguments(t *testing.T) {
+	p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 10, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Module.Func("main")
+	if main == nil {
+		t.Fatal("no main")
+	}
+	ft, err := ir.FuncType(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Inputs) != 0 || len(ft.Results) != 0 {
+		t.Errorf("main signature %v", ft)
+	}
+}
+
+// TestHelperFunctionsAreCalled: every generated helper is reachable
+// (the generator never leaves dead functions around).
+func TestHelperFunctionsAreCalled(t *testing.T) {
+	p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 40, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := map[string]bool{}
+	p.Module.Walk(func(op *ir.Operation) bool {
+		if op.Name == "func.call" {
+			if s, ok := op.Attrs.Get("callee").(ir.SymbolRefAttr); ok {
+				called[s.Name] = true
+			}
+		}
+		return true
+	})
+	for _, f := range p.Module.Funcs() {
+		sym := ir.FuncSymbol(f)
+		if sym != "main" && !called[sym] {
+			t.Errorf("helper @%s is never called", sym)
+		}
+	}
+}
+
+// TestExpectedOutputIsNewlineTerminated: oracle comparison relies on
+// line-structured output.
+func TestExpectedOutputIsNewlineTerminated(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "tensor", Size: 15, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Expected == "" || p.Expected[len(p.Expected)-1] != '\n' {
+			t.Errorf("seed %d: expected output %q not newline-terminated", seed, p.Expected)
+		}
+	}
+}
+
+// TestMaxPrintsCap: the epilogue respects the configured output budget
+// (tensor extractions may add a few more lines, bounded separately).
+func TestMaxPrintsCap(t *testing.T) {
+	p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 50, Seed: 3, MaxPrints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prints := 0
+	p.Module.Walk(func(op *ir.Operation) bool {
+		if op.Name == "vector.print" {
+			prints++
+		}
+		return true
+	})
+	if prints > 6 {
+		t.Errorf("MaxPrints=2 produced %d prints", prints)
+	}
+	if prints == 0 {
+		t.Error("no prints at all")
+	}
+}

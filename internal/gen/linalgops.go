@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"ratte/internal/ir"
+	"ratte/internal/scoped"
+)
+
+// genLinalgGeneric builds a linalg.generic over permutation-based
+// indexing maps (the paper's supported subset): a random iteration
+// domain, 1–2 inputs and one output whose shapes are the domain extents
+// permuted through their maps, and a body of total operations. All
+// operands are fully defined, so every element of the result is
+// defined regardless of which elements the body reads.
+func genLinalgGeneric(g *generator) error {
+	if g.depth >= 2 {
+		return genDenseConstant(g)
+	}
+	rank := 1 + g.r.Intn(2)
+	extents := make([]int64, rank)
+	for i := range extents {
+		extents[i] = int64(1 + g.r.Intn(3))
+	}
+	elem := g.randElemType()
+	nIns := 1 + g.r.Intn(2)
+	nOps := nIns + 1 // plus one output
+
+	maps := make([]ir.AffineMapAttr, nOps)
+	operands := make([]ir.Value, nOps)
+	for i := 0; i < nOps; i++ {
+		perm := g.r.Perm(rank)
+		maps[i] = ir.PermutationMap(rank, perm...)
+		shape := make([]int64, rank)
+		for j, d := range perm {
+			shape[j] = extents[d]
+		}
+		// Materialise a fully-defined operand of the permuted shape:
+		// either a dense constant or a filled tensor.
+		var v ir.Value
+		var err error
+		if g.r.Intn(2) == 0 {
+			v, err = g.genDenseConstValue(shape, elem)
+		} else {
+			v, err = g.genFilledTensor(shape, elem)
+		}
+		if err != nil {
+			return err
+		}
+		operands[i] = v
+	}
+
+	// Body: one scalar argument per operand.
+	g.store.PushScope(scoped.Standard)
+	g.depth++
+	savedBlock := g.block
+	body := &ir.Block{Label: "bb0"}
+	g.block = body
+
+	args := make([]ir.Value, nOps)
+	var genErr error
+	for i := range args {
+		args[i] = g.store.FreshValue(elem)
+		if err := g.store.BindArg(args[i], sampleFor(elem)); err != nil {
+			genErr = err
+			break
+		}
+	}
+	body.Args = args
+
+	nBodyOps := 1 + g.r.Intn(3)
+	for i := 0; i < nBodyOps && genErr == nil; i++ {
+		genErr = g.genTotalOp()
+	}
+	var yv ir.Value
+	if genErr == nil {
+		yv, genErr = g.anyScalar(elem)
+	}
+	g.block = savedBlock
+	g.depth--
+	g.store.PopScope()
+	if genErr != nil {
+		return genErr
+	}
+
+	y := ir.NewOp("linalg.yield")
+	y.Operands = []ir.Value{yv}
+	body.Append(y)
+
+	iters := make([]ir.Attribute, rank)
+	for i := range iters {
+		iters[i] = ir.StrAttr("parallel")
+	}
+	mapAttrs := make([]ir.Attribute, nOps)
+	for i, m := range maps {
+		mapAttrs[i] = m
+	}
+
+	op := ir.NewOp("linalg.generic")
+	op.Operands = operands
+	op.Regions = []*ir.Region{{Blocks: []*ir.Block{body}}}
+	op.Attrs.Set("indexing_maps", ir.ArrayAttr{Elems: mapAttrs})
+	op.Attrs.Set("iterator_types", ir.ArrayAttr{Elems: iters})
+	op.Attrs.Set("operand_segment_sizes", ir.ArrayAttrOf(
+		ir.IntAttr(int64(nIns), ir.I64), ir.IntAttr(1, ir.I64)))
+	op.Results = []ir.Value{g.store.FreshValue(operands[nIns].Type)}
+	return g.emit(op)
+}
+
+// genFilledTensor materialises a defined tensor of the exact shape via
+// tensor.empty + linalg.fill.
+func (g *generator) genFilledTensor(shape []int64, elem ir.Type) (ir.Value, error) {
+	empty := ir.NewOp("tensor.empty")
+	tt := ir.TensorOf(shape, elem)
+	ev := g.store.FreshValue(tt)
+	empty.Results = []ir.Value{ev}
+	if err := g.emit(empty); err != nil {
+		return ir.Value{}, err
+	}
+	s, err := g.anyScalar(elem)
+	if err != nil {
+		return ir.Value{}, err
+	}
+	fill := ir.NewOp("linalg.fill")
+	fill.Operands = []ir.Value{s, ev}
+	res := g.store.FreshValue(tt)
+	fill.Results = []ir.Value{res}
+	return res, g.emit(fill)
+}

@@ -1,0 +1,64 @@
+package gen
+
+import "fmt"
+
+// poolFor assembles the fragment-generator pool for a preset by
+// composing the per-dialect generator sets — the paper's point that
+// fuzzers for dialect combinations are cheaply derived from per-dialect
+// fuzzers (Challenge 3).
+func poolFor(preset string) ([]opGen, error) {
+	switch preset {
+	case "ariths":
+		// {arith, scf, func, vector} — Table 2 row 1.
+		pool := arithOpGens()
+		pool = append(pool, opGen{"scf.if", 4, genScfIf})
+		return pool, nil
+
+	case "linalggeneric":
+		// {linalg, arith, func, vector} — Table 2 row 2.
+		pool := arithOpGens()
+		pool = append(pool,
+			opGen{"linalg.generic", 8, genLinalgGeneric},
+			opGen{"linalg.fill", 3, genLinalgFill},
+			opGen{"tensor.empty", 2, genTensorEmpty},
+			opGen{"dense constant", 3, genDenseConstant},
+			opGen{"tensor.extract", 4, genTensorExtract},
+		)
+		return pool, nil
+
+	case "all":
+		// Every dialect combined — the composability dividend the paper
+		// argues for (Challenge 3): derived from the per-dialect
+		// generator sets with no new code.
+		pool := arithOpGens()
+		pool = append(pool,
+			opGen{"scf.if", 4, genScfIf},
+			opGen{"linalg.generic", 5, genLinalgGeneric},
+			opGen{"linalg.fill", 2, genLinalgFill},
+			opGen{"dense constant", 3, genDenseConstant},
+			opGen{"tensor.empty", 2, genTensorEmpty},
+			opGen{"tensor.insert", 3, genTensorInsert},
+			opGen{"tensor.extract", 3, genTensorExtract},
+			opGen{"tensor.dim", 1, genTensorDim},
+			opGen{"tensor.cast", 2, genTensorCast},
+			opGen{"tensor.generate", 3, genTensorGenerate},
+		)
+		return pool, nil
+
+	case "tensor":
+		// {tensor, arith, func, vector} — Table 2 row 3.
+		pool := arithOpGens()
+		pool = append(pool,
+			opGen{"dense constant", 4, genDenseConstant},
+			opGen{"tensor.empty", 3, genTensorEmpty},
+			opGen{"linalg.fill", 3, genLinalgFill},
+			opGen{"tensor.insert", 4, genTensorInsert},
+			opGen{"tensor.extract", 4, genTensorExtract},
+			opGen{"tensor.dim", 2, genTensorDim},
+			opGen{"tensor.cast", 3, genTensorCast},
+			opGen{"tensor.generate", 4, genTensorGenerate},
+		)
+		return pool, nil
+	}
+	return nil, fmt.Errorf("gen: unknown preset %q (want one of %v)", preset, AllPresets())
+}

@@ -1,0 +1,156 @@
+package gen
+
+import (
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+)
+
+// genScfIf generates an scf.if with two region bodies. Both regions
+// are generated under the semantic store (pushed Standard scopes), so
+// operand choices inside them are concretely validated; only the taken
+// region executes at run time, so the non-taken region cannot introduce
+// dynamic UB, but it is still statically valid and plausible.
+func genScfIf(g *generator) error {
+	if g.depth >= 2 {
+		// Keep region nesting bounded; generate a plain op instead.
+		return genBinaryPure(g, "arith.addi")
+	}
+	cond, err := g.anyScalar(ir.I1)
+	if err != nil {
+		return err
+	}
+	// One or two results: multi-result scf.if exercises the multi-value
+	// block-argument plumbing of the cf lowering.
+	types := []ir.Type{g.randScalarType()}
+	if g.r.Intn(3) == 0 {
+		types = append(types, g.randScalarType())
+	}
+
+	thenRegion, err := g.genYieldRegion(types, "scf.yield")
+	if err != nil {
+		return err
+	}
+	elseRegion, err := g.genYieldRegion(types, "scf.yield")
+	if err != nil {
+		return err
+	}
+
+	op := ir.NewOp("scf.if")
+	op.Operands = []ir.Value{cond}
+	op.Regions = []*ir.Region{thenRegion, elseRegion}
+	for _, t := range types {
+		op.Results = append(op.Results, g.store.FreshValue(t))
+	}
+	return g.emit(op)
+}
+
+// genYieldRegion generates a small region body ending in a yield of one
+// value per requested type. The body is generated against the live
+// store in a pushed scope: extensions inside the region see (and are
+// validated against) the enclosing concrete state, then the scope is
+// popped and the region is evaluated as part of its parent operation.
+func (g *generator) genYieldRegion(types []ir.Type, yieldOp string) (*ir.Region, error) {
+	g.store.PushScope(scoped.Standard)
+	g.depth++
+	savedBlock := g.block
+	body := &ir.Block{Label: "bb0"}
+	g.block = body
+
+	defer func() {
+		g.block = savedBlock
+		g.depth--
+		g.store.PopScope()
+	}()
+
+	nOps := 1 + g.r.Intn(3)
+	for i := 0; i < nOps; i++ {
+		og := g.pickRegionOpGen()
+		if err := og.gen(g); err != nil {
+			return nil, err
+		}
+	}
+	y := ir.NewOp(yieldOp)
+	for _, t := range types {
+		yv, err := g.anyScalar(t)
+		if err != nil {
+			return nil, err
+		}
+		y.Operands = append(y.Operands, yv)
+	}
+	body.Append(y)
+	return &ir.Region{Blocks: []*ir.Block{body}}, nil
+}
+
+// regionSafePool lists fragment generators that are safe inside any
+// region: they are either total (no UB for any input) or concretely
+// validated against values visible at generation time.
+func (g *generator) pickRegionOpGen() opGen {
+	pool := []opGen{
+		{"arith.constant", 3, genConstant},
+		{"arith.addi", 2, func(g *generator) error { return genBinaryPure(g, "arith.addi") }},
+		{"arith.muli", 2, func(g *generator) error { return genBinaryPure(g, "arith.muli") }},
+		{"arith.xori", 1, func(g *generator) error { return genBinaryPure(g, "arith.xori") }},
+		{"arith.cmpi", 2, genCmpi},
+		{"arith.select", 2, genSelect},
+		{"arith.ext/trunc", 1, genIntCast},
+		{"arith.div/rem", 2, genDivRem},
+	}
+	total := 0
+	for _, og := range pool {
+		total += og.weight
+	}
+	n := g.r.Intn(total)
+	for _, og := range pool {
+		n -= og.weight
+		if n < 0 {
+			return og
+		}
+	}
+	return pool[0]
+}
+
+// totalOpPool lists generators usable in bodies that run for *every*
+// point of an iteration domain (tensor.generate, linalg.generic): only
+// operations that are UB-free for all possible inputs, since the body's
+// arguments differ per iteration and cannot be concretely pinned.
+func (g *generator) genTotalOp() error {
+	pool := []opGen{
+		{"arith.constant", 2, genConstant},
+		{"arith.addi", 2, func(g *generator) error { return genBinaryPure(g, "arith.addi") }},
+		{"arith.subi", 1, func(g *generator) error { return genBinaryPure(g, "arith.subi") }},
+		{"arith.muli", 2, func(g *generator) error { return genBinaryPure(g, "arith.muli") }},
+		{"arith.andi", 1, func(g *generator) error { return genBinaryPure(g, "arith.andi") }},
+		{"arith.ori", 1, func(g *generator) error { return genBinaryPure(g, "arith.ori") }},
+		{"arith.xori", 1, func(g *generator) error { return genBinaryPure(g, "arith.xori") }},
+		{"arith.minsi", 1, func(g *generator) error { return genBinaryPure(g, "arith.minsi") }},
+		{"arith.maxsi", 1, func(g *generator) error { return genBinaryPure(g, "arith.maxsi") }},
+		{"arith.cmpi", 2, genCmpi},
+		{"arith.select", 2, genSelect},
+		{"arith.ext/trunc", 1, genIntCast},
+		{"arith.index_cast", 1, genIndexCast},
+	}
+	total := 0
+	for _, og := range pool {
+		total += og.weight
+	}
+	n := g.r.Intn(total)
+	for _, og := range pool {
+		n -= og.weight
+		if n < 0 {
+			return og.gen(g)
+		}
+	}
+	return nil
+}
+
+// sampleFor produces a representative concrete value for a region
+// argument of the given type, used to keep the store's concrete
+// interpretation defined while generating iteration bodies.
+func sampleFor(t ir.Type) rtval.Value {
+	if _, isIdx := t.(ir.IndexType); isIdx {
+		return rtval.NewIndex(0)
+	}
+	w, _ := ir.BitWidth(t)
+	return rtval.NewInt(w, 1)
+}

@@ -1,0 +1,278 @@
+package gen
+
+import (
+	"fmt"
+
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+)
+
+// randShape draws a small concrete shape (rank 1–2, extents 1–4).
+func (g *generator) randShape() []int64 {
+	rank := 1 + g.r.Intn(2)
+	shape := make([]int64, rank)
+	for i := range shape {
+		shape[i] = int64(1 + g.r.Intn(4))
+	}
+	return shape
+}
+
+// elemTypes are the element types tensor generators draw from.
+var elemTypes = []ir.Type{ir.I8, ir.I32, ir.I64}
+
+func (g *generator) randElemType() ir.Type { return elemTypes[g.r.Intn(len(elemTypes))] }
+
+// tensorCandidate picks a visible tensor, optionally filtered.
+func (g *generator) tensorCandidate(pred func(v ir.Value, t *rtval.Tensor) bool) (ir.Value, *rtval.Tensor, bool) {
+	cands := g.store.Candidates(func(v ir.Value, rt rtval.Value) bool {
+		t, ok := rt.(*rtval.Tensor)
+		return ok && (pred == nil || pred(v, t))
+	})
+	if len(cands) == 0 {
+		return ir.Value{}, nil, false
+	}
+	c := cands[g.r.Intn(len(cands))]
+	return c.Val, c.RT.(*rtval.Tensor), true
+}
+
+// ensureTensor returns a visible tensor, creating a dense constant if
+// none exists.
+func (g *generator) ensureTensor() (ir.Value, *rtval.Tensor, error) {
+	if v, t, ok := g.tensorCandidate(nil); ok && g.r.Intn(4) != 0 {
+		return v, t, nil
+	}
+	v, err := g.genDenseConstValue(g.randShape(), g.randElemType())
+	if err != nil {
+		return ir.Value{}, nil, err
+	}
+	rt, _ := g.store.Value(v.ID)
+	return v, rt.(*rtval.Tensor), nil
+}
+
+// genDenseConstValue emits a dense-constant tensor and returns it.
+func (g *generator) genDenseConstValue(shape []int64, elem ir.Type) (ir.Value, error) {
+	tt := ir.TensorOf(shape, elem)
+	n := tt.NumElements()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rtOf(g.interestingValue(elem), elem).Signed()
+	}
+	op := ir.NewOp("arith.constant")
+	op.Attrs.Set("value", ir.DenseAttr(vals, tt))
+	res := g.store.FreshValue(tt)
+	op.Results = []ir.Value{res}
+	return res, g.emit(op)
+}
+
+func genDenseConstant(g *generator) error {
+	_, err := g.genDenseConstValue(g.randShape(), g.randElemType())
+	return err
+}
+
+// genTensorEmpty emits tensor.empty, possibly with dynamic dims whose
+// extents come from index constants (keeping the concrete shape known
+// to the store).
+func genTensorEmpty(g *generator) error {
+	shape := g.randShape()
+	elem := g.randElemType()
+	synShape := append([]int64(nil), shape...)
+	var extents []ir.Value
+	for i := range synShape {
+		if g.r.Intn(3) == 0 {
+			ext, err := g.indexConst(shape[i])
+			if err != nil {
+				return err
+			}
+			extents = append(extents, ext)
+			synShape[i] = ir.DynamicSize
+		}
+	}
+	op := ir.NewOp("tensor.empty")
+	op.Operands = extents
+	op.Results = []ir.Value{g.store.FreshValue(ir.TensorOf(synShape, elem))}
+	return g.emit(op)
+}
+
+// genLinalgFill fills a tensor with a defined scalar, producing a fully
+// well-defined tensor (the paper's canonical definedness source).
+func genLinalgFill(g *generator) error {
+	dest, destRT, err := g.ensureTensor()
+	if err != nil {
+		return err
+	}
+	s, err := g.anyScalar(destRT.Elem)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp("linalg.fill")
+	op.Operands = []ir.Value{s, dest}
+	op.Results = []ir.Value{g.store.FreshValue(dest.Type)}
+	return g.emit(op)
+}
+
+// inBoundsIndices emits index constants for a uniformly random
+// in-bounds position of the given concrete shape — the store's concrete
+// shape information is what rules out the out-of-bounds UB of the
+// paper's Figure 4.
+func (g *generator) inBoundsIndices(shape []int64) ([]ir.Value, []int64, error) {
+	vals := make([]ir.Value, len(shape))
+	pos := make([]int64, len(shape))
+	for i, d := range shape {
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("empty dimension %d", i)
+		}
+		pos[i] = int64(g.r.Intn(int(d)))
+		v, err := g.indexConst(pos[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[i] = v
+	}
+	return vals, pos, nil
+}
+
+func genTensorInsert(g *generator) error {
+	dest, destRT, err := g.ensureTensor()
+	if err != nil {
+		return err
+	}
+	if destRT.NumElements() == 0 {
+		return nil
+	}
+	s, err := g.anyScalar(destRT.Elem)
+	if err != nil {
+		return err
+	}
+	idx, _, err := g.inBoundsIndices(destRT.Shape)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp("tensor.insert")
+	op.Operands = append([]ir.Value{s, dest}, idx...)
+	op.Results = []ir.Value{g.store.FreshValue(dest.Type)}
+	return g.emit(op)
+}
+
+func genTensorExtract(g *generator) error {
+	src, srcRT, err := g.ensureTensor()
+	if err != nil {
+		return err
+	}
+	if srcRT.NumElements() == 0 {
+		return nil
+	}
+	idx, _, err := g.inBoundsIndices(srcRT.Shape)
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp("tensor.extract")
+	op.Operands = append([]ir.Value{src}, idx...)
+	op.Results = []ir.Value{g.store.FreshValue(srcRT.Elem)}
+	return g.emit(op)
+}
+
+func genTensorDim(g *generator) error {
+	src, srcRT, err := g.ensureTensor()
+	if err != nil {
+		return err
+	}
+	d, err := g.indexConst(int64(g.r.Intn(len(srcRT.Shape))))
+	if err != nil {
+		return err
+	}
+	op := ir.NewOp("tensor.dim")
+	op.Operands = []ir.Value{src, d}
+	op.Results = []ir.Value{g.store.FreshValue(ir.Index)}
+	return g.emit(op)
+}
+
+// genTensorCast casts between syntactic shapes that are both
+// compatible with the *concrete* shape (paper Figure 11's tensor.cast
+// example): each target dim is either the true runtime extent or `?`,
+// so the cast can never fail at run time.
+func genTensorCast(g *generator) error {
+	src, srcRT, err := g.ensureTensor()
+	if err != nil {
+		return err
+	}
+	target := make([]int64, len(srcRT.Shape))
+	for i, d := range srcRT.Shape {
+		if g.r.Intn(2) == 0 {
+			target[i] = ir.DynamicSize
+		} else {
+			target[i] = d
+		}
+	}
+	op := ir.NewOp("tensor.cast")
+	op.Operands = []ir.Value{src}
+	op.Results = []ir.Value{g.store.FreshValue(ir.TensorOf(target, srcRT.Elem))}
+	return g.emit(op)
+}
+
+// genTensorGenerate builds a tensor.generate whose body is composed of
+// total operations only: the body runs for every index point, so only
+// ops with no input-dependent UB are allowed.
+func genTensorGenerate(g *generator) error {
+	if g.depth >= 2 {
+		return genDenseConstant(g)
+	}
+	shape := g.randShape()
+	elem := g.randElemType()
+	synShape := append([]int64(nil), shape...)
+	var extents []ir.Value
+	for i := range synShape {
+		if g.r.Intn(2) == 0 {
+			ext, err := g.indexConst(shape[i])
+			if err != nil {
+				return err
+			}
+			extents = append(extents, ext)
+			synShape[i] = ir.DynamicSize
+		}
+	}
+
+	g.store.PushScope(scoped.Standard)
+	g.depth++
+	savedBlock := g.block
+	body := &ir.Block{Label: "bb0"}
+	g.block = body
+
+	args := make([]ir.Value, len(shape))
+	for i := range args {
+		args[i] = g.store.FreshValue(ir.Index)
+		if err := g.store.BindArg(args[i], sampleFor(ir.Index)); err != nil {
+			g.block = savedBlock
+			g.depth--
+			g.store.PopScope()
+			return err
+		}
+	}
+	body.Args = args
+
+	var genErr error
+	nOps := 1 + g.r.Intn(3)
+	for i := 0; i < nOps && genErr == nil; i++ {
+		genErr = g.genTotalOp()
+	}
+	var yv ir.Value
+	if genErr == nil {
+		yv, genErr = g.anyScalar(elem)
+	}
+	g.block = savedBlock
+	g.depth--
+	g.store.PopScope()
+	if genErr != nil {
+		return genErr
+	}
+
+	y := ir.NewOp("tensor.yield")
+	y.Operands = []ir.Value{yv}
+	body.Append(y)
+
+	op := ir.NewOp("tensor.generate")
+	op.Operands = extents
+	op.Regions = []*ir.Region{{Blocks: []*ir.Block{body}}}
+	op.Results = []ir.Value{g.store.FreshValue(ir.TensorOf(synShape, elem))}
+	return g.emit(op)
+}

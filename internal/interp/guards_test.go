@@ -1,0 +1,130 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+)
+
+// TestStepLimitGuardsNonTermination: the executor bounds evaluation
+// steps, so a hand-written infinite cf loop terminates with a trap
+// rather than hanging the harness.
+func TestStepLimitGuardsNonTermination(t *testing.T) {
+	src := `"builtin.module"() ({
+  "llvm.func"() ({
+  ^bb0:
+    "cf.br"()[^bb1] : () -> ()
+  ^bb1:
+    "cf.br"()[^bb1] : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := dialects.NewExecutor()
+	in.MaxSteps = 10_000
+	_, err = in.Run(m, "main")
+	if err == nil || !interp.IsTrap(err) {
+		t.Fatalf("infinite loop should hit the step limit, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+// TestTypedAccessorErrors: the context's typed getters reject wrong
+// shapes with useful errors instead of panicking.
+func TestTypedAccessorErrors(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[1]> : tensor<1xi64>} : () -> (tensor<1xi64>)
+    %q = "arith.addi"(%t, %t) : (tensor<1xi64>, tensor<1xi64>) -> (tensor<1xi64>)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The verifier would reject this (addi over tensors); run the
+	// interpreter directly to exercise the dynamic accessor guard.
+	_, err = dialects.NewReferenceInterpreter().Run(m, "main")
+	if err == nil || !strings.Contains(err.Error(), "not a scalar integer") {
+		t.Errorf("want scalar-accessor error, got %v", err)
+	}
+}
+
+// TestUseAtWrongDeclaredType: dynamic type agreement between a use's
+// claimed type and the binding's runtime type is enforced.
+func TestUseAtWrongDeclaredType(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    "vector.print"(%a) : (i32) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dialects.NewReferenceInterpreter().Run(m, "main")
+	if err == nil || !strings.Contains(err.Error(), "used at type") {
+		t.Errorf("want declared-type error, got %v", err)
+	}
+}
+
+// TestMissingKernelIsStructuredError: interpreting an op with no
+// registered semantics reports which op, not a panic.
+func TestMissingKernelIsStructuredError(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    "mystery.op"() : () -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dialects.NewReferenceInterpreter().Run(m, "main")
+	if err == nil || !strings.Contains(err.Error(), "mystery.op") {
+		t.Errorf("want missing-kernel error naming the op, got %v", err)
+	}
+}
+
+// TestEvalErrorClassificationSurvivesWrapping: UB raised deep inside a
+// nested region/call still classifies as UB at the top.
+func TestEvalErrorClassificationSurvivesWrapping(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %r = "func.call"() {callee = @deep} : () -> (i64)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %c = "arith.constant"() {value = 1 : i1} : () -> (i1)
+    %r = "scf.if"(%c) ({
+      %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+      %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+      %q = "arith.divsi"(%a, %z) : (i64, i64) -> (i64)
+      "scf.yield"(%q) : (i64) -> ()
+    }, {
+      %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+      "scf.yield"(%b) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "deep", function_type = () -> (i64)} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dialects.NewReferenceInterpreter().Run(m, "main")
+	if err == nil || !interp.IsUB(err) {
+		t.Errorf("nested UB should classify as UB, got %v", err)
+	}
+}

@@ -1,0 +1,549 @@
+// Package interp is Ratte's composable interpreter framework: the Go
+// analogue of the paper's effects-based embedding (§3.2).
+//
+// Each dialect contributes a set of semantic kernels — one per operation
+// — registered into an Interpreter. This solves the same expression
+// problem the paper solves with algebraic effects: a new dialect's
+// semantics are added without touching any existing dialect, and an
+// interpreter for a dialect combination is obtained by composing the
+// dialects' kernel sets (the paper's handler composition).
+//
+// The Context passed to kernels is the "interpreter effects" layer of
+// the paper's Figure 9: it provides assignment (Define/Get over a scoped
+// environment), the function table (AddFunc/CallFunc), the writer
+// (Print), error signalling (Go errors carrying UB/trap classification)
+// and region execution. Regions are embedded as calls — a kernel
+// receives its attached regions and executes them through
+// Context.RunRegion with argument values, mirroring the paper's
+// embedding of regions as functions from values to effect-ASTs
+// (Table 1).
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+)
+
+// Kernel evaluates one non-terminator operation: reading operands from
+// the context, computing, and defining result bindings.
+type Kernel func(ctx *Context, op *ir.Operation) error
+
+// TermResult is the outcome of a terminator kernel: either an Exit
+// (leave the enclosing region) or a Branch (transfer to another block of
+// the same region).
+type TermResult struct {
+	Exit   *Exit
+	Branch *ir.Successor
+}
+
+// TerminatorKernel evaluates a block terminator.
+type TerminatorKernel func(ctx *Context, op *ir.Operation) (TermResult, error)
+
+// ExitKind classifies how control left a region.
+type ExitKind int
+
+const (
+	// ExitYield terminates a region, producing the region's results
+	// (scf.yield, linalg.yield, tensor.yield).
+	ExitYield ExitKind = iota
+	// ExitReturn terminates the enclosing function (func.return,
+	// llvm.return).
+	ExitReturn
+)
+
+// Exit carries region-leaving control flow and its values.
+type Exit struct {
+	Kind   ExitKind
+	Values []rtval.Value
+}
+
+// Dialect is a bundle of kernels giving semantics to one dialect's
+// operations. Dialects compose: an Interpreter is built from any set of
+// dialects, and op names must not collide.
+type Dialect struct {
+	Name        string
+	Kernels     map[string]Kernel
+	Terminators map[string]TerminatorKernel
+}
+
+// NewDialect creates an empty dialect semantics bundle.
+func NewDialect(name string) *Dialect {
+	return &Dialect{
+		Name:        name,
+		Kernels:     make(map[string]Kernel),
+		Terminators: make(map[string]TerminatorKernel),
+	}
+}
+
+// Register adds a kernel for the fully-qualified op name.
+func (d *Dialect) Register(op string, k Kernel) { d.Kernels[op] = k }
+
+// RegisterTerminator adds a terminator kernel.
+func (d *Dialect) RegisterTerminator(op string, k TerminatorKernel) { d.Terminators[op] = k }
+
+// Interpreter evaluates modules using the composed kernels of its
+// dialects.
+type Interpreter struct {
+	kernels     map[string]Kernel
+	terminators map[string]TerminatorKernel
+
+	// MaxSteps bounds the number of operations evaluated in one Run,
+	// guarding against non-termination in lowered loop code. Zero means
+	// the default (10 million).
+	MaxSteps int
+
+	// MaxCallDepth bounds function-call recursion. Zero means the
+	// default (256).
+	MaxCallDepth int
+}
+
+// New composes an interpreter from dialect semantics. Composing two
+// dialects that define the same operation is a programming error and
+// panics, as the composition would be ambiguous.
+func New(dialects ...*Dialect) *Interpreter {
+	in := &Interpreter{
+		kernels:     make(map[string]Kernel),
+		terminators: make(map[string]TerminatorKernel),
+	}
+	for _, d := range dialects {
+		for name, k := range d.Kernels {
+			if _, dup := in.kernels[name]; dup {
+				panic(fmt.Sprintf("interp: duplicate kernel for %s", name))
+			}
+			in.kernels[name] = k
+		}
+		for name, k := range d.Terminators {
+			if _, dup := in.terminators[name]; dup {
+				panic(fmt.Sprintf("interp: duplicate terminator for %s", name))
+			}
+			in.terminators[name] = k
+		}
+	}
+	return in
+}
+
+// Supports reports whether the interpreter has semantics for op name.
+func (in *Interpreter) Supports(name string) bool {
+	_, k := in.kernels[name]
+	_, t := in.terminators[name]
+	return k || t
+}
+
+// SupportedOps returns the number of operations with registered
+// semantics.
+func (in *Interpreter) SupportedOps() int {
+	return len(in.kernels) + len(in.terminators)
+}
+
+// Result is the outcome of interpreting a module.
+type Result struct {
+	// Output is everything printed (one line per vector.print).
+	Output string
+	// Returned holds the entry function's return values.
+	Returned []rtval.Value
+}
+
+// EvalError wraps an error raised during evaluation with the operation
+// that raised it. Use errors.As with *rtval.UBError or *rtval.TrapError
+// to classify.
+type EvalError struct {
+	OpName string
+	Err    error
+}
+
+func (e *EvalError) Error() string { return e.OpName + ": " + e.Err.Error() }
+func (e *EvalError) Unwrap() error { return e.Err }
+
+// IsUB reports whether err stems from undefined behaviour.
+func IsUB(err error) bool {
+	var ub *rtval.UBError
+	return errors.As(err, &ub)
+}
+
+// IsTrap reports whether err stems from a deterministic runtime trap.
+func IsTrap(err error) bool {
+	var tr *rtval.TrapError
+	return errors.As(err, &tr)
+}
+
+// Run interprets the module, calling the entry function (no arguments).
+// All top-level functions are added to the function table first (the
+// paper's AddFunc effect); the entry function's region is then executed
+// in an isolated scope.
+func (in *Interpreter) Run(m *ir.Module, entry string) (*Result, error) {
+	ctx := NewContext(in)
+	for _, op := range m.Body().Ops {
+		switch op.Name {
+		case "func.func", "llvm.func":
+			if err := ctx.AddFunc(op); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("interp: unsupported top-level operation %s", op.Name)
+		}
+	}
+	vals, err := ctx.CallFunc(entry, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: ctx.Output(), Returned: vals}, nil
+}
+
+// Context is the interpreter-effects layer threaded through kernels:
+// scoped assignment, the function table, the output writer, buffer
+// memory (for lowered code), and execution services for regions and
+// calls.
+type Context struct {
+	in    *Interpreter
+	env   *scoped.Table[rtval.Value]
+	funcs map[string]*ir.Operation
+	out   strings.Builder
+
+	// Buffers backs memref values in lowered programs.
+	buffers    map[int64][]rtval.Int
+	nextBuffer int64
+
+	steps     int
+	callDepth int
+}
+
+// NewContext builds a fresh evaluation context for the interpreter.
+func NewContext(in *Interpreter) *Context {
+	return &Context{
+		in:      in,
+		env:     scoped.New[rtval.Value](),
+		funcs:   make(map[string]*ir.Operation),
+		buffers: make(map[int64][]rtval.Int),
+	}
+}
+
+// Output returns everything printed so far.
+func (ctx *Context) Output() string { return ctx.out.String() }
+
+// Print writes one line of oracle-visible output (the writer effect).
+// Printing a value that is not well-defined is undefined behaviour: the
+// observable output would be non-deterministic.
+func (ctx *Context) Print(v rtval.Value) error {
+	if !v.Defined() {
+		return &rtval.UBError{Op: "vector.print", Reason: "printing a value that is not well-defined"}
+	}
+	ctx.out.WriteString(v.String())
+	ctx.out.WriteByte('\n')
+	return nil
+}
+
+// PrintRaw writes a line without the definedness check; the llvm
+// executor uses it to model printing whatever bits the hardware holds.
+func (ctx *Context) PrintRaw(s string) {
+	ctx.out.WriteString(s)
+	ctx.out.WriteByte('\n')
+}
+
+// Get resolves an operand to its runtime value (the assignment effect's
+// read side). The binding must exist and its runtime type must agree
+// with the operand's claimed type (dynamic dims in the claimed type
+// match any concrete extent).
+func (ctx *Context) Get(v ir.Value) (rtval.Value, error) {
+	val, ok := ctx.env.Lookup(v.ID)
+	if !ok {
+		return nil, fmt.Errorf("interp: use of undefined value %%%s", v.ID)
+	}
+	if !typeCompatible(v.Type, val.Type()) {
+		return nil, fmt.Errorf("interp: value %%%s has runtime type %s but is used at type %s",
+			v.ID, val.Type(), v.Type)
+	}
+	return val, nil
+}
+
+// GetInt resolves an operand that must be a scalar integer or index.
+func (ctx *Context) GetInt(v ir.Value) (rtval.Int, error) {
+	val, err := ctx.Get(v)
+	if err != nil {
+		return rtval.Int{}, err
+	}
+	i, ok := val.(rtval.Int)
+	if !ok {
+		return rtval.Int{}, fmt.Errorf("interp: value %%%s is not a scalar integer", v.ID)
+	}
+	return i, nil
+}
+
+// GetTensor resolves an operand that must be a tensor.
+func (ctx *Context) GetTensor(v ir.Value) (*rtval.Tensor, error) {
+	val, err := ctx.Get(v)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := val.(*rtval.Tensor)
+	if !ok {
+		return nil, fmt.Errorf("interp: value %%%s is not a tensor", v.ID)
+	}
+	return t, nil
+}
+
+// GetMemRef resolves an operand that must be a memref.
+func (ctx *Context) GetMemRef(v ir.Value) (rtval.MemRef, error) {
+	val, err := ctx.Get(v)
+	if err != nil {
+		return rtval.MemRef{}, err
+	}
+	m, ok := val.(rtval.MemRef)
+	if !ok {
+		return rtval.MemRef{}, fmt.Errorf("interp: value %%%s is not a memref", v.ID)
+	}
+	return m, nil
+}
+
+// Define binds a result value (the assignment effect's write side).
+// Rebinding an existing identifier in the same scope is permitted:
+// static SSA uniqueness is the verifier's job, and lowered loop code
+// legitimately re-executes defining operations on back edges.
+func (ctx *Context) Define(v ir.Value, val rtval.Value) error {
+	if !typeCompatible(v.Type, val.Type()) {
+		return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+			v.ID, val.Type(), v.Type)
+	}
+	ctx.env.Bind(v.ID, val)
+	return nil
+}
+
+// AddFunc registers a function in the function table (paper Fig. 8).
+func (ctx *Context) AddFunc(f *ir.Operation) error {
+	name := ir.FuncSymbol(f)
+	if name == "" {
+		return fmt.Errorf("interp: function without sym_name")
+	}
+	if _, dup := ctx.funcs[name]; dup {
+		return fmt.Errorf("interp: duplicate function @%s", name)
+	}
+	ctx.funcs[name] = f
+	return nil
+}
+
+// Func looks up a registered function.
+func (ctx *Context) Func(name string) (*ir.Operation, bool) {
+	f, ok := ctx.funcs[name]
+	return f, ok
+}
+
+// CallFunc invokes a registered function with arguments (paper Fig. 8's
+// CallFunc effect): the function body runs in an IsolatedFromAbove
+// scope and must leave via ExitReturn.
+func (ctx *Context) CallFunc(name string, args []rtval.Value) ([]rtval.Value, error) {
+	f, ok := ctx.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("interp: call to unknown function @%s", name)
+	}
+	ft, err := ir.FuncType(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(ft.Inputs) {
+		return nil, fmt.Errorf("interp: call @%s with %d args, want %d", name, len(args), len(ft.Inputs))
+	}
+	maxDepth := ctx.in.MaxCallDepth
+	if maxDepth == 0 {
+		maxDepth = 256
+	}
+	if ctx.callDepth >= maxDepth {
+		return nil, &rtval.TrapError{Op: "func.call", Reason: "call depth exceeded (runaway recursion)"}
+	}
+	ctx.callDepth++
+	defer func() { ctx.callDepth-- }()
+
+	exit, err := ctx.RunRegion(f.Regions[0], args, scoped.IsolatedFromAbove)
+	if err != nil {
+		return nil, err
+	}
+	if exit == nil || exit.Kind != ExitReturn {
+		return nil, fmt.Errorf("interp: function @%s did not return", name)
+	}
+	if len(exit.Values) != len(ft.Results) {
+		return nil, fmt.Errorf("interp: function @%s returned %d values, want %d", name, len(exit.Values), len(ft.Results))
+	}
+	return exit.Values, nil
+}
+
+// RunRegion executes a region: the entry block receives args as its
+// block arguments; blocks execute until a terminator exits the region
+// or branches to a sibling block. The region body runs in a fresh scope
+// of the given kind (Standard regions see enclosing bindings;
+// IsolatedFromAbove regions do not).
+func (ctx *Context) RunRegion(r *ir.Region, args []rtval.Value, kind scoped.ScopeType) (*Exit, error) {
+	block := r.Entry()
+	if block == nil {
+		return nil, fmt.Errorf("interp: region has no blocks")
+	}
+	ctx.env.Push(kind)
+	defer ctx.env.Pop()
+
+	for {
+		if len(block.Args) != len(args) {
+			return nil, fmt.Errorf("interp: block ^%s expects %d arguments, got %d", block.Label, len(block.Args), len(args))
+		}
+		// Bind block arguments into the region scope; branching back to
+		// a block simply re-binds them.
+		for i, a := range block.Args {
+			if err := ctx.Define(a, args[i]); err != nil {
+				return nil, err
+			}
+		}
+		exit, next, nextArgs, err := ctx.runBlockOps(block)
+		if err != nil {
+			return nil, err
+		}
+		if exit != nil {
+			return exit, nil
+		}
+		nb := r.Block(next)
+		if nb == nil {
+			return nil, fmt.Errorf("interp: branch to unknown block ^%s", next)
+		}
+		block, args = nb, nextArgs
+	}
+}
+
+func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextArgs []rtval.Value, err error) {
+	for _, op := range block.Ops {
+		if err := ctx.step(); err != nil {
+			return nil, "", nil, err
+		}
+		if tk, ok := ctx.in.terminators[op.Name]; ok {
+			res, err := tk(ctx, op)
+			if err != nil {
+				return nil, "", nil, &EvalError{OpName: op.Name, Err: err}
+			}
+			switch {
+			case res.Exit != nil:
+				return res.Exit, "", nil, nil
+			case res.Branch != nil:
+				args := make([]rtval.Value, len(res.Branch.Args))
+				for i, a := range res.Branch.Args {
+					v, err := ctx.Get(a)
+					if err != nil {
+						return nil, "", nil, &EvalError{OpName: op.Name, Err: err}
+					}
+					args[i] = v
+				}
+				return nil, res.Branch.Block, args, nil
+			default:
+				return nil, "", nil, fmt.Errorf("interp: terminator %s produced no control flow", op.Name)
+			}
+		}
+		k, ok := ctx.in.kernels[op.Name]
+		if !ok {
+			return nil, "", nil, fmt.Errorf("interp: no semantics registered for %s", op.Name)
+		}
+		if err := k(ctx, op); err != nil {
+			return nil, "", nil, &EvalError{OpName: op.Name, Err: err}
+		}
+	}
+	return nil, "", nil, fmt.Errorf("interp: block ^%s ended without a terminator", block.Label)
+}
+
+func (ctx *Context) step() error {
+	max := ctx.in.MaxSteps
+	if max == 0 {
+		max = 10_000_000
+	}
+	ctx.steps++
+	if ctx.steps > max {
+		return &rtval.TrapError{Op: "interp", Reason: "step limit exceeded (non-terminating program?)"}
+	}
+	return nil
+}
+
+// Eval evaluates a single non-terminator operation against the current
+// environment. This is the incremental-semantics entry point (paper
+// Definition 3.3): Ratte's generator calls Eval once per appended
+// extension, keeping the concrete state of the partial program current.
+func (ctx *Context) Eval(op *ir.Operation) error {
+	if err := ctx.step(); err != nil {
+		return err
+	}
+	k, ok := ctx.in.kernels[op.Name]
+	if !ok {
+		return fmt.Errorf("interp: no semantics registered for %s", op.Name)
+	}
+	if err := k(ctx, op); err != nil {
+		return &EvalError{OpName: op.Name, Err: err}
+	}
+	return nil
+}
+
+// PushScope opens a new environment scope; generators use this to track
+// region-local values while constructing region bodies.
+func (ctx *Context) PushScope(kind scoped.ScopeType) { ctx.env.Push(kind) }
+
+// PopScope closes the innermost environment scope.
+func (ctx *Context) PopScope() { ctx.env.Pop() }
+
+// Lookup resolves a value ID to its runtime value through the visible
+// scopes.
+func (ctx *Context) Lookup(id string) (rtval.Value, bool) { return ctx.env.Lookup(id) }
+
+// VisibleIDs returns the IDs visible from the innermost scope.
+func (ctx *Context) VisibleIDs() []string { return ctx.env.VisibleKeys() }
+
+// AllocBuffer allocates backing storage for a memref of the given shape
+// and element type, with every cell initialised to undef.
+func (ctx *Context) AllocBuffer(shape []int64, elem ir.Type) rtval.MemRef {
+	m := rtval.MemRef{Handle: ctx.nextBuffer, Shape: append([]int64(nil), shape...), Elem: elem}
+	ctx.nextBuffer++
+	buf := make([]rtval.Int, m.NumElements())
+	for i := range buf {
+		buf[i] = rtval.UndefInt(elem)
+	}
+	ctx.buffers[m.Handle] = buf
+	return m
+}
+
+// Buffer returns the backing storage of a memref.
+func (ctx *Context) Buffer(m rtval.MemRef) ([]rtval.Int, error) {
+	buf, ok := ctx.buffers[m.Handle]
+	if !ok {
+		return nil, &rtval.TrapError{Op: "memref", Reason: "use of deallocated or unknown buffer"}
+	}
+	return buf, nil
+}
+
+// FreeBuffer releases a buffer (memref.dealloc).
+func (ctx *Context) FreeBuffer(m rtval.MemRef) {
+	delete(ctx.buffers, m.Handle)
+}
+
+// typeCompatible reports whether a runtime type satisfies a declared
+// (possibly dynamically-shaped) type.
+func typeCompatible(declared, runtime ir.Type) bool {
+	if ir.TypeEqual(declared, runtime) {
+		return true
+	}
+	dt, ok1 := declared.(ir.TensorType)
+	rt, ok2 := runtime.(ir.TensorType)
+	if ok1 && ok2 {
+		return shapeCompatible(dt.Shape, rt.Shape) && ir.TypeEqual(dt.Elem, rt.Elem)
+	}
+	dm, ok1 := declared.(ir.MemRefType)
+	rm, ok2 := runtime.(ir.MemRefType)
+	if ok1 && ok2 {
+		return shapeCompatible(dm.Shape, rm.Shape) && ir.TypeEqual(dm.Elem, rm.Elem)
+	}
+	return false
+}
+
+func shapeCompatible(declared, runtime []int64) bool {
+	if len(declared) != len(runtime) {
+		return false
+	}
+	for i := range declared {
+		if declared[i] != ir.DynamicSize && declared[i] != runtime[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package ir
+
+import "testing"
+
+// Component micro-benchmarks: parser and printer throughput on the
+// Figure 2 module (the hot path of every campaign's textual round
+// trips).
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(figure2Program)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(figure2Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrint(b *testing.B) {
+	m, err := Parse(figure2Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Print(m)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	m, err := Parse(figure2Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Clone()
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	m, err := Parse(figure2Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		m.Walk(func(*Operation) bool { n++; return true })
+	}
+}

@@ -1,0 +1,58 @@
+package ir
+
+import "testing"
+
+// FuzzParse is a native Go fuzz target for the generic-format parser:
+// it must never panic, and anything it accepts must print and re-parse
+// to a fixpoint. Run with `go test -fuzz=FuzzParse ./internal/ir`; in
+// normal test runs the seed corpus is exercised.
+func FuzzParse(f *testing.F) {
+	f.Add(figure2Program)
+	f.Add(`"builtin.module"() ({
+  "func.func"() ({
+    %0 = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`)
+	f.Add(`"op"() : () -> ()`)
+	f.Add(``)
+	f.Add(`%0 = "x"() : () -> (tensor<?x3xvector<2xi8>>)`)
+	f.Add(`"x"() {m = affine_map<(d0) -> (d0)>, u} : () -> ()`)
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Print(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted input re-prints unparseably: %v\ninput: %q\nprinted: %q", err, src, text)
+		}
+		if Print(m2) != text {
+			t.Fatalf("print/parse not a fixpoint for %q", src)
+		}
+	})
+}
+
+// FuzzParseType likewise for the type grammar.
+func FuzzParseType(f *testing.F) {
+	for _, seed := range []string{
+		"i1", "i64", "index", "tensor<3x?xi8>", "memref<2x2xindex>",
+		"(i64, index) -> (tensor<1xi1>)", "vector<4xi32>", "none",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ty, err := ParseType(src)
+		if err != nil {
+			return
+		}
+		back, err := ParseType(ty.String())
+		if err != nil {
+			t.Fatalf("accepted type re-prints unparseably: %v (%q -> %q)", err, src, ty.String())
+		}
+		if !TypeEqual(ty, back) {
+			t.Fatalf("type round trip changed %q", src)
+		}
+	})
+}

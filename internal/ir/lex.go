@@ -1,0 +1,231 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the generic format.
+type tokKind int
+
+const (
+	tokEOF      tokKind = iota
+	tokIdent            // bare identifier: func, i64, dense, affine_map, unit …
+	tokInt              // integer literal, possibly negative
+	tokString           // quoted string literal (unquoted payload)
+	tokValueID          // %id
+	tokBlockID          // ^id
+	tokSymbol           // @id
+	tokLParen           // (
+	tokRParen           // )
+	tokLBrace           // {
+	tokRBrace           // }
+	tokLBracket         // [
+	tokRBracket         // ]
+	tokLess             // <
+	tokGreater          // >
+	tokComma            // ,
+	tokColon            // :
+	tokEquals           // =
+	tokArrow            // ->
+	tokQuestion         // ?
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenises src, returning the token stream or a lexical error.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start, line}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start, line}, nil
+	case c == '{':
+		l.pos++
+		return token{tokLBrace, "{", start, line}, nil
+	case c == '}':
+		l.pos++
+		return token{tokRBrace, "}", start, line}, nil
+	case c == '[':
+		l.pos++
+		return token{tokLBracket, "[", start, line}, nil
+	case c == ']':
+		l.pos++
+		return token{tokRBracket, "]", start, line}, nil
+	case c == '<':
+		l.pos++
+		return token{tokLess, "<", start, line}, nil
+	case c == '>':
+		l.pos++
+		return token{tokGreater, ">", start, line}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start, line}, nil
+	case c == ':':
+		l.pos++
+		return token{tokColon, ":", start, line}, nil
+	case c == '=':
+		l.pos++
+		return token{tokEquals, "=", start, line}, nil
+	case c == '?':
+		l.pos++
+		return token{tokQuestion, "?", start, line}, nil
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{tokArrow, "->", start, line}, nil
+		}
+		l.pos++
+		digits := l.lexWhile(isDigit)
+		if digits == "" {
+			return token{}, l.errf("unexpected '-'")
+		}
+		return token{tokInt, "-" + digits, start, line}, nil
+	case c == '%':
+		l.pos++
+		id := l.lexWhile(isIdentChar)
+		if id == "" {
+			return token{}, l.errf("empty value id after %%")
+		}
+		return token{tokValueID, id, start, line}, nil
+	case c == '^':
+		l.pos++
+		id := l.lexWhile(isIdentChar)
+		if id == "" {
+			return token{}, l.errf("empty block label after ^")
+		}
+		return token{tokBlockID, id, start, line}, nil
+	case c == '@':
+		l.pos++
+		id := l.lexWhile(isIdentChar)
+		if id == "" {
+			return token{}, l.errf("empty symbol name after @")
+		}
+		return token{tokSymbol, id, start, line}, nil
+	case c == '"':
+		s, err := l.lexString()
+		if err != nil {
+			return token{}, err
+		}
+		return token{tokString, s, start, line}, nil
+	case isDigit(c):
+		digits := l.lexWhile(isDigit)
+		return token{tokInt, digits, start, line}, nil
+	case isIdentStart(c):
+		id := l.lexWhile(isIdentChar)
+		return token{tokIdent, id, start, line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", rune(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexWhile(pred func(byte) bool) string {
+	start := l.pos
+	for l.pos < len(l.src) && pred(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return b.String(), nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return "", l.errf("unterminated escape in string")
+			}
+			l.pos++
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(e)
+			default:
+				return "", l.errf("unsupported escape \\%c", e)
+			}
+			l.pos++
+		case '\n':
+			return "", l.errf("newline in string literal")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", l.errf("unterminated string literal")
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		isDigit(c) || unicode.IsLetter(rune(c))
+}

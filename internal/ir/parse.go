@@ -1,0 +1,524 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a module in the generic textual format (the format emitted
+// by Print, and by `mlir-opt -mlir-print-op-generic`). The result is a
+// structurally complete module; static validity is checked separately by
+// the verifier.
+func Parse(src string) (m *Module, err error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseError)
+			if !ok {
+				panic(r)
+			}
+			m, err = nil, pe.err
+		}
+	}()
+	op := p.operation()
+	p.expect(tokEOF)
+	if op.Name != "builtin.module" {
+		// Wrap a bare top-level op (e.g. a single func) in a module for
+		// convenience, mirroring mlir-opt's implicit module behaviour.
+		wrapped := NewModule()
+		wrapped.Body().Append(op)
+		return wrapped, nil
+	}
+	if len(op.Regions) != 1 {
+		return nil, fmt.Errorf("ir: builtin.module must have exactly one region")
+	}
+	return &Module{Op: op}, nil
+}
+
+// ParseType parses a single type from its textual form.
+func ParseType(src string) (t Type, err error) {
+	toks, lerr := lex(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{src: src, toks: toks}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseError)
+			if !ok {
+				panic(r)
+			}
+			t, err = nil, pe.err
+		}
+	}()
+	ty := p.parseType()
+	p.expect(tokEOF)
+	return ty, nil
+}
+
+type parseError struct{ err error }
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) fail(format string, args ...any) {
+	tok := p.peek()
+	panic(parseError{fmt.Errorf("ir: line %d (near %q): %s",
+		tok.line, tok.text, fmt.Sprintf(format, args...))})
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) at(k tokKind) bool { return p.toks[p.i].kind == k }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) token {
+	if !p.at(k) {
+		p.fail("expected token kind %d", k)
+	}
+	return p.advance()
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// operation := (results `=`)? string-literal `(` operands `)`
+//
+//	successors? regions? attr-dict? `:` function-type
+func (p *parser) operation() *Operation {
+	var resultIDs []string
+	if p.at(tokValueID) {
+		// Could be results of this op; results are followed by '='.
+		save := p.i
+		for p.at(tokValueID) {
+			resultIDs = append(resultIDs, p.advance().text)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		if !p.accept(tokEquals) {
+			p.i = save
+			p.fail("expected '=' after result list")
+		}
+	}
+
+	name := p.expect(tokString).text
+	op := NewOp(name)
+
+	p.expect(tokLParen)
+	var operandIDs []string
+	for !p.at(tokRParen) {
+		operandIDs = append(operandIDs, p.expect(tokValueID).text)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	p.expect(tokRParen)
+
+	if p.accept(tokLBracket) {
+		for !p.at(tokRBracket) {
+			op.Successors = append(op.Successors, p.successor())
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		p.expect(tokRBracket)
+	}
+
+	if p.at(tokLParen) && p.lookaheadRegion() {
+		p.expect(tokLParen)
+		for !p.at(tokRParen) {
+			op.Regions = append(op.Regions, p.region())
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		p.expect(tokRParen)
+	}
+
+	if p.at(tokLBrace) {
+		op.Attrs = p.attrDict()
+	}
+
+	p.expect(tokColon)
+	ft := p.parseFunctionType()
+	if len(ft.Inputs) != len(operandIDs) {
+		p.fail("operation %s: %d operands but %d operand types", name, len(operandIDs), len(ft.Inputs))
+	}
+	if len(ft.Results) != len(resultIDs) {
+		p.fail("operation %s: %d results but %d result types", name, len(resultIDs), len(ft.Results))
+	}
+	for i, id := range operandIDs {
+		op.Operands = append(op.Operands, V(id, ft.Inputs[i]))
+	}
+	for i, id := range resultIDs {
+		op.Results = append(op.Results, V(id, ft.Results[i]))
+	}
+	return op
+}
+
+// lookaheadRegion distinguishes the `(`-introduced region list from the
+// trailing `: (…) -> (…)` function type: a region list starts with `({`.
+func (p *parser) lookaheadRegion() bool {
+	return p.toks[p.i].kind == tokLParen && p.toks[p.i+1].kind == tokLBrace
+}
+
+// successor := ^id (`(` %id `:` type, … `)`)?
+func (p *parser) successor() Successor {
+	s := Successor{Block: p.expect(tokBlockID).text}
+	if p.accept(tokLParen) {
+		for !p.at(tokRParen) {
+			id := p.expect(tokValueID).text
+			p.expect(tokColon)
+			t := p.parseType()
+			s.Args = append(s.Args, V(id, t))
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		p.expect(tokRParen)
+	}
+	return s
+}
+
+// region := `{` block+ `}`; a block label may be omitted for an argumentless
+// entry block, in which case the operations belong to an implicit ^bb0.
+func (p *parser) region() *Region {
+	p.expect(tokLBrace)
+	r := &Region{}
+	if !p.at(tokBlockID) && !p.at(tokRBrace) {
+		// Implicit entry block without label.
+		b := &Block{Label: "bb0"}
+		for !p.at(tokRBrace) && !p.at(tokBlockID) {
+			b.Append(p.operation())
+		}
+		r.Blocks = append(r.Blocks, b)
+	}
+	for p.at(tokBlockID) {
+		r.Blocks = append(r.Blocks, p.blockBody())
+	}
+	p.expect(tokRBrace)
+	return r
+}
+
+// blockBody := ^label block-args? `:` operation*
+func (p *parser) blockBody() *Block {
+	b := &Block{Label: p.expect(tokBlockID).text}
+	if p.accept(tokLParen) {
+		for !p.at(tokRParen) {
+			id := p.expect(tokValueID).text
+			p.expect(tokColon)
+			t := p.parseType()
+			b.Args = append(b.Args, V(id, t))
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		p.expect(tokRParen)
+	}
+	p.expect(tokColon)
+	for !p.at(tokRBrace) && !p.at(tokBlockID) {
+		b.Append(p.operation())
+	}
+	return b
+}
+
+// attrDict := `{` (id (`=` attr-value)?)* `}`
+func (p *parser) attrDict() *Attrs {
+	p.expect(tokLBrace)
+	attrs := NewAttrs()
+	for !p.at(tokRBrace) {
+		key := p.expect(tokIdent).text
+		if p.accept(tokEquals) {
+			attrs.Set(key, p.attrValue())
+		} else {
+			attrs.Set(key, UnitAttr{})
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	p.expect(tokRBrace)
+	return attrs
+}
+
+func (p *parser) attrValue() Attribute {
+	switch tok := p.peek(); tok.kind {
+	case tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			p.fail("integer literal out of range: %s", tok.text)
+		}
+		var t Type = I64
+		if p.accept(tokColon) {
+			t = p.parseType()
+		}
+		return IntegerAttr{Value: v, Type: t}
+	case tokString:
+		p.advance()
+		return StringAttr{Value: tok.text}
+	case tokSymbol:
+		p.advance()
+		return SymbolRefAttr{Name: tok.text}
+	case tokLBracket:
+		p.advance()
+		var arr ArrayAttr
+		for !p.at(tokRBracket) {
+			arr.Elems = append(arr.Elems, p.attrValue())
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		p.expect(tokRBracket)
+		return arr
+	case tokIdent:
+		switch tok.text {
+		case "unit":
+			p.advance()
+			return UnitAttr{}
+		case "dense":
+			return p.denseAttr()
+		case "affine_map":
+			return p.affineMapAttr()
+		default:
+			// A bare type used as an attribute value, e.g.
+			// `function_type = (i64) -> (i64)`.
+			return TypeAttr{Type: p.parseType()}
+		}
+	case tokLParen:
+		return TypeAttr{Type: p.parseType()}
+	}
+	p.fail("expected attribute value")
+	return nil
+}
+
+// denseAttr := `dense` `<` (int | `[` int, … `]`) `>` `:` tensor-type
+func (p *parser) denseAttr() Attribute {
+	p.expect(tokIdent) // dense
+	p.expect(tokLess)
+	var a DenseIntAttr
+	if p.accept(tokLBracket) {
+		for !p.at(tokRBracket) {
+			a.Values = append(a.Values, p.intLit())
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		p.expect(tokRBracket)
+	} else {
+		a.Splat = true
+		a.Values = []int64{p.intLit()}
+	}
+	p.expect(tokGreater)
+	p.expect(tokColon)
+	t := p.parseType()
+	tt, ok := t.(TensorType)
+	if !ok {
+		p.fail("dense attribute requires a tensor type, got %s", t)
+	}
+	a.Type = tt
+	return a
+}
+
+// affineMapAttr := `affine_map` `<` `(` d0, … `)` `->` `(` d…, … `)` `>`
+func (p *parser) affineMapAttr() Attribute {
+	p.expect(tokIdent) // affine_map
+	p.expect(tokLess)
+	p.expect(tokLParen)
+	dims := map[string]int{}
+	n := 0
+	for !p.at(tokRParen) {
+		name := p.expect(tokIdent).text
+		dims[name] = n
+		n++
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	p.expect(tokRParen)
+	p.expect(tokArrow)
+	p.expect(tokLParen)
+	var results []int
+	for !p.at(tokRParen) {
+		name := p.expect(tokIdent).text
+		d, ok := dims[name]
+		if !ok {
+			p.fail("affine_map result %s is not a declared dim", name)
+		}
+		results = append(results, d)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	p.expect(tokRParen)
+	p.expect(tokGreater)
+	return AffineMapAttr{NumDims: n, Results: results}
+}
+
+func (p *parser) intLit() int64 {
+	tok := p.expect(tokInt)
+	v, err := strconv.ParseInt(tok.text, 10, 64)
+	if err != nil {
+		p.fail("integer literal out of range: %s", tok.text)
+	}
+	return v
+}
+
+// parseType parses a type, including shaped and function types.
+func (p *parser) parseType() Type {
+	switch tok := p.peek(); tok.kind {
+	case tokIdent:
+		switch {
+		case tok.text == "index":
+			p.advance()
+			return Index
+		case tok.text == "none":
+			p.advance()
+			return NoneType{}
+		case tok.text == "tensor":
+			p.advance()
+			shape, elem := p.shapedBody()
+			return TensorType{Shape: shape, Elem: elem}
+		case tok.text == "memref":
+			p.advance()
+			shape, elem := p.shapedBody()
+			return MemRefType{Shape: shape, Elem: elem}
+		case tok.text == "vector":
+			p.advance()
+			shape, elem := p.shapedBody()
+			return VectorType{Shape: shape, Elem: elem}
+		case len(tok.text) > 1 && tok.text[0] == 'i' && allDigits(tok.text[1:]):
+			p.advance()
+			w, err := strconv.ParseUint(tok.text[1:], 10, 32)
+			if err != nil || w == 0 || w > 64 {
+				p.fail("unsupported integer width in %s", tok.text)
+			}
+			return I(uint(w))
+		}
+		p.fail("unknown type %q", tok.text)
+	case tokLParen:
+		return p.parseFunctionTypeAsType()
+	}
+	p.fail("expected type")
+	return nil
+}
+
+// shapedBody parses `<` dims `x` elem-type `>` using raw source scanning
+// for the dimension list, since `3x3xi64` does not tokenise cleanly.
+func (p *parser) shapedBody() (shape []int64, elem Type) {
+	lt := p.expect(tokLess)
+	// Scan the raw source from just after '<' to the matching '>'.
+	start := lt.pos + 1
+	depth := 1
+	j := start
+	for j < len(p.src) && depth > 0 {
+		switch p.src[j] {
+		case '<':
+			depth++
+		case '>':
+			if j > 0 && p.src[j-1] == '-' {
+				// part of '->'
+			} else {
+				depth--
+			}
+		}
+		j++
+	}
+	if depth != 0 {
+		p.fail("unterminated shaped type")
+	}
+	body := p.src[start : j-1]
+	// Resynchronise the token stream to the first token at or past j.
+	for p.toks[p.i].kind != tokEOF && p.toks[p.i].pos < j {
+		p.i++
+	}
+
+	rest := body
+	for {
+		k := 0
+		for k < len(rest) && (isDigit(rest[k]) || rest[k] == '?') {
+			k++
+		}
+		if k == 0 || k >= len(rest) || rest[k] != 'x' {
+			break
+		}
+		dim := rest[:k]
+		if dim == "?" {
+			shape = append(shape, DynamicSize)
+		} else {
+			d, err := strconv.ParseInt(dim, 10, 64)
+			if err != nil {
+				p.fail("bad dimension %q", dim)
+			}
+			shape = append(shape, d)
+		}
+		rest = rest[k+1:]
+	}
+	et, err := ParseType(strings.TrimSpace(rest))
+	if err != nil {
+		p.fail("bad element type %q: %v", rest, err)
+	}
+	return shape, et
+}
+
+// parseFunctionType parses `(` types `)` `->` (type | `(` types `)`).
+func (p *parser) parseFunctionType() FunctionType {
+	p.expect(tokLParen)
+	var ins []Type
+	for !p.at(tokRParen) {
+		ins = append(ins, p.parseType())
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	p.expect(tokRParen)
+	p.expect(tokArrow)
+	var outs []Type
+	if p.accept(tokLParen) {
+		for !p.at(tokRParen) {
+			outs = append(outs, p.parseType())
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		p.expect(tokRParen)
+	} else {
+		outs = append(outs, p.parseType())
+	}
+	return FunctionType{Inputs: ins, Results: outs}
+}
+
+func (p *parser) parseFunctionTypeAsType() Type {
+	ft := p.parseFunctionType()
+	return ft
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,318 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const figure2Program = `
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0:
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    %0 = "func.call"() {callee = @one} : () -> (i1)
+    %low, %high = "arith.mulsi_extended"(%0, %n1) : (i1, i1) -> (i1, i1)
+    "vector.print"(%low) : (i1) -> ()
+    "vector.print"(%high) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0:
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%n1) : (i1) -> ()
+  }) {sym_name = "one", function_type = () -> (i1)} : () -> ()
+}) : () -> ()
+`
+
+func TestParseFigure2(t *testing.T) {
+	m, err := Parse(figure2Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := m.Funcs()
+	if len(funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(funcs))
+	}
+	if FuncSymbol(funcs[0]) != "main" || FuncSymbol(funcs[1]) != "one" {
+		t.Errorf("unexpected symbols %q %q", FuncSymbol(funcs[0]), FuncSymbol(funcs[1]))
+	}
+	main := m.Func("main")
+	if main == nil {
+		t.Fatal("Func(main) not found")
+	}
+	body := main.Regions[0].Entry()
+	if len(body.Ops) != 6 {
+		t.Fatalf("main has %d ops, want 6", len(body.Ops))
+	}
+	mul := body.Ops[2]
+	if mul.Name != "arith.mulsi_extended" {
+		t.Fatalf("op 2 is %s", mul.Name)
+	}
+	if len(mul.Results) != 2 || mul.Results[0].ID != "low" || mul.Results[1].ID != "high" {
+		t.Errorf("mulsi_extended results wrong: %v", mul.Results)
+	}
+	if !TypeEqual(mul.Results[0].Type, I1) {
+		t.Errorf("result type %v, want i1", mul.Results[0].Type)
+	}
+	ft, err := FuncType(m.Func("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Results) != 1 || !TypeEqual(ft.Results[0], I1) {
+		t.Errorf("one: function type %v", ft)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m, err := Parse(figure2Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := Print(m)
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text1)
+	}
+	text2 := Print(m2)
+	if text1 != text2 {
+		t.Errorf("print/parse not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	src := `"builtin.module"() ({
+  "test.op"() {
+    i = 42 : i32,
+    neg = -7 : index,
+    s = "hello\nworld",
+    sym = @callee,
+    arr = [1 : i64, 2 : i64],
+    d = dense<[1, -2, 3]> : tensor<3xi64>,
+    splat = dense<0> : tensor<2x2xi32>,
+    map = affine_map<(d0, d1) -> (d1, d0)>,
+    flag
+  } : () -> ()
+}) : () -> ()`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := m.Body().Ops[0]
+	if v, ok := op.Attrs.IntValueOf("i"); !ok || v != 42 {
+		t.Errorf("i = %d, %v", v, ok)
+	}
+	if v, ok := op.Attrs.IntValueOf("neg"); !ok || v != -7 {
+		t.Errorf("neg = %d, %v", v, ok)
+	}
+	na := op.Attrs.Get("neg").(IntegerAttr)
+	if !TypeEqual(na.Type, Index) {
+		t.Errorf("neg type %v", na.Type)
+	}
+	if s, ok := op.Attrs.StringValueOf("s"); !ok || s != "hello\nworld" {
+		t.Errorf("s = %q", s)
+	}
+	if sym, ok := op.Attrs.Get("sym").(SymbolRefAttr); !ok || sym.Name != "callee" {
+		t.Errorf("sym = %v", op.Attrs.Get("sym"))
+	}
+	arr, ok := op.Attrs.Get("arr").(ArrayAttr)
+	if !ok || len(arr.Elems) != 2 {
+		t.Fatalf("arr = %v", op.Attrs.Get("arr"))
+	}
+	d, ok := op.Attrs.Get("d").(DenseIntAttr)
+	if !ok || len(d.Values) != 3 || d.Values[1] != -2 || d.Splat {
+		t.Fatalf("d = %v", op.Attrs.Get("d"))
+	}
+	sp, ok := op.Attrs.Get("splat").(DenseIntAttr)
+	if !ok || !sp.Splat || sp.Values[0] != 0 {
+		t.Fatalf("splat = %v", op.Attrs.Get("splat"))
+	}
+	am, ok := op.Attrs.Get("map").(AffineMapAttr)
+	if !ok || am.NumDims != 2 || am.Results[0] != 1 || am.Results[1] != 0 {
+		t.Fatalf("map = %v", op.Attrs.Get("map"))
+	}
+	if !am.IsPermutation() {
+		t.Error("map should be a permutation")
+	}
+	if _, ok := op.Attrs.Get("flag").(UnitAttr); !ok {
+		t.Errorf("flag = %v", op.Attrs.Get("flag"))
+	}
+
+	// Round trip the whole thing.
+	m2, err := Parse(Print(m))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, Print(m))
+	}
+	if Print(m) != Print(m2) {
+		t.Errorf("attr round trip mismatch:\n%s\nvs\n%s", Print(m), Print(m2))
+	}
+}
+
+func TestParseSuccessorsAndBlocks(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%arg0: i1):
+    "cf.cond_br"(%arg0)[^bb1(%arg0 : i1), ^bb2] : (i1) -> ()
+  ^bb1(%x: i1):
+    "func.return"(%x) : (i1) -> ()
+  ^bb2:
+    %f = "arith.constant"() {value = 0 : i1} : () -> (i1)
+    "func.return"(%f) : (i1) -> ()
+  }) {sym_name = "f", function_type = (i1) -> (i1)} : () -> ()
+}) : () -> ()`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("f")
+	r := f.Regions[0]
+	if len(r.Blocks) != 3 {
+		t.Fatalf("got %d blocks", len(r.Blocks))
+	}
+	br := r.Blocks[0].Terminator()
+	if len(br.Successors) != 2 {
+		t.Fatalf("got %d successors", len(br.Successors))
+	}
+	if br.Successors[0].Block != "bb1" || len(br.Successors[0].Args) != 1 {
+		t.Errorf("successor 0 = %+v", br.Successors[0])
+	}
+	if br.Successors[1].Block != "bb2" || len(br.Successors[1].Args) != 0 {
+		t.Errorf("successor 1 = %+v", br.Successors[1])
+	}
+	if r.Block("bb1").Args[0].ID != "x" {
+		t.Errorf("bb1 args = %v", r.Block("bb1").Args)
+	}
+	// Round trip.
+	m2, err := Parse(Print(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Print(m) != Print(m2) {
+		t.Error("successor round trip mismatch")
+	}
+}
+
+func TestParseImplicitEntryBlock(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("main") == nil {
+		t.Fatal("missing main")
+	}
+	if got := m.Func("main").Regions[0].Entry().Label; got != "bb0" {
+		t.Errorf("entry label %q", got)
+	}
+}
+
+func TestParseBareTopLevelFuncWrapped(t *testing.T) {
+	src := `"func.func"() ({
+  ^bb0:
+    "func.return"() : () -> ()
+}) {sym_name = "main", function_type = () -> ()} : () -> ()`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("main") == nil {
+		t.Error("bare func should be wrapped into a module")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`"op"`,
+		`"op"() : () -> (`,
+		`%a = "op"() : () -> ()`,                 // result count mismatch
+		`"op"(%a) : () -> ()`,                    // operand count mismatch
+		`"op"() : () -> () trailing`,             // trailing tokens
+		`"op"() {k = } : () -> ()`,               // missing attr value
+		`"op"() {k = dense<1> : i64} : () -> ()`, // dense needs tensor type
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `// leading comment
+"builtin.module"() ({
+  // a comment inside
+  "func.func"() ({
+    "func.return"() : () -> () // trailing comment
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleCloneIsDeep(t *testing.T) {
+	m, err := Parse(figure2Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.Func("main").Regions[0].Entry().Ops[0].Attrs.Set("value", IntAttr(5, I1))
+	orig := m.Func("main").Regions[0].Entry().Ops[0]
+	if v, _ := orig.Attrs.IntValueOf("value"); v != -1 {
+		t.Error("clone mutation leaked into original")
+	}
+	c.Body().Ops = c.Body().Ops[:1]
+	if len(m.Body().Ops) != 2 {
+		t.Error("clone block mutation leaked into original")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	m, err := Parse(figure2Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	m.Walk(func(op *Operation) bool {
+		names = append(names, op.Name)
+		return true
+	})
+	want := strings.Join([]string{
+		"builtin.module",
+		"func.func",
+		"arith.constant", "func.call", "arith.mulsi_extended",
+		"vector.print", "vector.print", "func.return",
+		"func.func",
+		"arith.constant", "func.return",
+	}, ",")
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("walk order:\n got %s\nwant %s", got, want)
+	}
+	if m.NumOps() != 10 {
+		t.Errorf("NumOps = %d, want 10", m.NumOps())
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	f, b := BuildFunc("add", []Type{I64, I64}, []Type{I64})
+	args := FuncArgs(f)
+	sum := b.Op1("arith.addi", []Value{args[0], args[1]}, I64)
+	ret := NewOp("func.return")
+	ret.Operands = []Value{sum}
+	b.Insert(ret)
+
+	m := NewModule()
+	m.Body().Append(f)
+	if _, err := Parse(Print(m)); err != nil {
+		t.Fatalf("built module does not parse: %v\n%s", err, Print(m))
+	}
+	if sum.ID != "0" {
+		t.Errorf("first fresh id = %q, want 0", sum.ID)
+	}
+	if b.NextID() != 1 {
+		t.Errorf("NextID = %d", b.NextID())
+	}
+}

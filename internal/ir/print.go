@@ -1,0 +1,153 @@
+package ir
+
+import (
+	"strings"
+)
+
+// Print renders a module in the generic textual format of the paper's
+// Figure 1 grammar:
+//
+//	"builtin.module"() ({
+//	  "func.func"() ({
+//	  ^bb0:
+//	    %0 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+//	    ...
+//	  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+//	}) {} : () -> ()
+//
+// The output of Print parses back to an equal module via Parse.
+func Print(m *Module) string {
+	var p printer
+	p.op(m.Op, 0)
+	return p.b.String()
+}
+
+// PrintOp renders a single operation (and its regions) in generic form.
+func PrintOp(op *Operation) string {
+	var p printer
+	p.op(op, 0)
+	return p.b.String()
+}
+
+type printer struct {
+	b strings.Builder
+}
+
+func (p *printer) indent(n int) {
+	for i := 0; i < n; i++ {
+		p.b.WriteString("  ")
+	}
+}
+
+func (p *printer) op(o *Operation, depth int) {
+	p.indent(depth)
+	if len(o.Results) > 0 {
+		for i, r := range o.Results {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(r.String())
+		}
+		p.b.WriteString(" = ")
+	}
+	p.b.WriteByte('"')
+	p.b.WriteString(o.Name)
+	p.b.WriteString(`"(`)
+	for i, a := range o.Operands {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(a.String())
+	}
+	p.b.WriteByte(')')
+
+	if len(o.Successors) > 0 {
+		p.b.WriteByte('[')
+		for i, s := range o.Successors {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteByte('^')
+			p.b.WriteString(s.Block)
+			if len(s.Args) > 0 {
+				p.b.WriteByte('(')
+				for j, a := range s.Args {
+					if j > 0 {
+						p.b.WriteString(", ")
+					}
+					p.b.WriteString(a.String())
+					p.b.WriteString(" : ")
+					p.b.WriteString(a.Type.String())
+				}
+				p.b.WriteByte(')')
+			}
+		}
+		p.b.WriteByte(']')
+	}
+
+	if len(o.Regions) > 0 {
+		p.b.WriteString(" (")
+		for i, r := range o.Regions {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.region(r, depth)
+		}
+		p.b.WriteByte(')')
+	}
+
+	if o.Attrs.Len() > 0 {
+		p.b.WriteByte(' ')
+		p.b.WriteString(o.Attrs.String())
+	}
+
+	p.b.WriteString(" : (")
+	for i, a := range o.Operands {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(a.Type.String())
+	}
+	p.b.WriteString(") -> (")
+	for i, r := range o.Results {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(r.Type.String())
+	}
+	p.b.WriteByte(')')
+}
+
+func (p *printer) region(r *Region, depth int) {
+	p.b.WriteString("{\n")
+	for _, blk := range r.Blocks {
+		p.block(blk, depth+1)
+	}
+	p.indent(depth)
+	p.b.WriteByte('}')
+}
+
+func (p *printer) block(b *Block, depth int) {
+	// The entry block's label may be omitted in MLIR when it has no
+	// arguments; we always print labels for parse simplicity.
+	p.indent(depth)
+	p.b.WriteByte('^')
+	p.b.WriteString(b.Label)
+	if len(b.Args) > 0 {
+		p.b.WriteByte('(')
+		for i, a := range b.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(a.String())
+			p.b.WriteString(": ")
+			p.b.WriteString(a.Type.String())
+		}
+		p.b.WriteByte(')')
+	}
+	p.b.WriteString(":\n")
+	for _, op := range b.Ops {
+		p.op(op, depth+1)
+		p.b.WriteByte('\n')
+	}
+}

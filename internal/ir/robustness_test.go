@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: the parser must return errors, never panic, on
+// arbitrary byte soup and on randomly corrupted valid programs.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(junk string) bool {
+		_, _ = Parse(junk) // must not panic
+		_, _ = ParseType(junk)
+		_, _ = lex(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCorruptedProgramNeverPanics(t *testing.T) {
+	base := figure2Program
+	f := func(pos uint16, b byte) bool {
+		i := int(pos) % len(base)
+		mutated := base[:i] + string(b) + base[i+1:]
+		_, _ = Parse(mutated) // errors are fine; panics are not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTruncationsNeverPanic(t *testing.T) {
+	base := figure2Program
+	for i := 0; i < len(base); i += 7 {
+		_, _ = Parse(base[:i])
+	}
+}
+
+// TestPrintParseFixpointOnNastyAttrs: attributes with every payload
+// kind round-trip.
+func TestPrintParseFixpointOnNastyAttrs(t *testing.T) {
+	op := NewOp("test.op")
+	op.Attrs.Set("s", StrAttr(`quotes " and \ backslash and
+newline? no — escaped \n`))
+	m := NewModule()
+	m.Body().Append(op)
+	text := Print(m)
+	if strings.Contains(text, "\n\"") && false {
+		t.Log(text)
+	}
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, text)
+	}
+	if Print(m2) != text {
+		t.Errorf("fixpoint violated")
+	}
+}
+
+func TestAttrsOperations(t *testing.T) {
+	a := NewAttrs()
+	a.Set("k1", IntAttr(1, I64))
+	a.Set("k2", StrAttr("x"))
+	a.Set("k1", IntAttr(2, I64)) // overwrite keeps position
+	if a.Len() != 2 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if got := a.Keys(); got[0] != "k1" || got[1] != "k2" {
+		t.Errorf("Keys = %v", got)
+	}
+	if v, _ := a.IntValueOf("k1"); v != 2 {
+		t.Errorf("k1 = %d", v)
+	}
+	a.Delete("k1")
+	if a.Has("k1") || a.Len() != 1 {
+		t.Error("Delete failed")
+	}
+	a.Delete("missing") // no-op
+	c := a.Clone()
+	c.Set("k3", UnitAttr{})
+	if a.Has("k3") {
+		t.Error("clone not independent")
+	}
+	if _, ok := a.IntValueOf("k2"); ok {
+		t.Error("IntValueOf on string attr should fail")
+	}
+	if _, ok := a.StringValueOf("nope"); ok {
+		t.Error("StringValueOf on missing key should fail")
+	}
+}
+
+func TestValueAndSuccessorString(t *testing.T) {
+	if V("x", I64).String() != "%x" {
+		t.Error("value string")
+	}
+	op := NewOp("cf.br")
+	op.Successors = []Successor{{Block: "next", Args: []Value{V("a", I1)}}}
+	text := PrintOp(op)
+	if !strings.Contains(text, "^next(%a : i1)") {
+		t.Errorf("successor print: %s", text)
+	}
+}

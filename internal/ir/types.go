@@ -1,0 +1,245 @@
+// Package ir defines the core intermediate-representation data structures
+// used throughout Ratte: types, attributes, values, operations, regions,
+// blocks and modules, together with a printer and parser for the generic
+// textual format (the grammar of Figure 1 in the Ratte paper, which is in
+// one-to-one correspondence with MLIR's "generic IR format").
+//
+// The representation is deliberately string-ID based: a Value is a pair of
+// an SSA identifier and a type, exactly as the paper's Table 1 embeds MLIR
+// values. Use-def relationships are resolved through scoped symbol tables
+// by the verifier, interpreter and passes rather than by pointers, which
+// keeps cloning, printing, parsing and test-case reduction straightforward.
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DynamicSize marks a dimension whose extent is not statically known
+// (printed as "?" in shaped types such as tensor<?xi64>).
+const DynamicSize int64 = -1
+
+// Type is the interface implemented by all IR types.
+//
+// Types are immutable value objects; two types are interchangeable exactly
+// when their canonical printed forms are equal (see Equal).
+type Type interface {
+	// String returns the canonical textual form of the type, e.g. "i64",
+	// "index", "tensor<3x?xi32>", "(i64, i64) -> i64".
+	String() string
+
+	isType()
+}
+
+// TypeEqual reports whether two types are structurally identical. A nil
+// type is only equal to nil.
+func TypeEqual(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}
+
+// IntegerType is a signless two's-complement integer type iN with
+// 1 <= N <= 64, e.g. i1, i8, i32, i64.
+type IntegerType struct {
+	Width uint
+}
+
+// I returns the integer type with the given bit width.
+func I(width uint) IntegerType { return IntegerType{Width: width} }
+
+// Convenience singletons for the common integer widths.
+var (
+	I1  = I(1)
+	I8  = I(8)
+	I16 = I(16)
+	I32 = I(32)
+	I64 = I(64)
+)
+
+func (t IntegerType) String() string { return "i" + strconv.FormatUint(uint64(t.Width), 10) }
+func (IntegerType) isType()          {}
+
+// IndexType is MLIR's platform-sized integer used for sizes and subscripts.
+// Ratte models index as a 64-bit two's-complement integer, matching the
+// behaviour of mlir-cpu-runner on 64-bit hosts.
+type IndexType struct{}
+
+// Index is the canonical index type value.
+var Index = IndexType{}
+
+func (IndexType) String() string { return "index" }
+func (IndexType) isType()        {}
+
+// TensorType is a ranked tensor type. A dimension equal to DynamicSize is
+// dynamic ("?"). Elem is the element type.
+type TensorType struct {
+	Shape []int64
+	Elem  Type
+}
+
+// TensorOf builds a ranked tensor type from a shape and element type.
+func TensorOf(shape []int64, elem Type) TensorType {
+	return TensorType{Shape: append([]int64(nil), shape...), Elem: elem}
+}
+
+func (t TensorType) String() string { return "tensor<" + shapeString(t.Shape, t.Elem) + ">" }
+func (TensorType) isType()          {}
+
+// Rank returns the number of dimensions.
+func (t TensorType) Rank() int { return len(t.Shape) }
+
+// HasStaticShape reports whether every dimension is statically known.
+func (t TensorType) HasStaticShape() bool {
+	for _, d := range t.Shape {
+		if d == DynamicSize {
+			return false
+		}
+	}
+	return true
+}
+
+// NumElements returns the product of the static dimensions. It must only
+// be called when HasStaticShape is true.
+func (t TensorType) NumElements() int64 {
+	n := int64(1)
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// MemRefType is a ranked buffer type, the bufferised counterpart of
+// TensorType produced by the one-shot-bufferize pass.
+type MemRefType struct {
+	Shape []int64
+	Elem  Type
+}
+
+// MemRefOf builds a ranked memref type from a shape and element type.
+func MemRefOf(shape []int64, elem Type) MemRefType {
+	return MemRefType{Shape: append([]int64(nil), shape...), Elem: elem}
+}
+
+func (t MemRefType) String() string { return "memref<" + shapeString(t.Shape, t.Elem) + ">" }
+func (MemRefType) isType()          {}
+
+// Rank returns the number of dimensions.
+func (t MemRefType) Rank() int { return len(t.Shape) }
+
+// HasStaticShape reports whether every dimension is statically known.
+func (t MemRefType) HasStaticShape() bool {
+	for _, d := range t.Shape {
+		if d == DynamicSize {
+			return false
+		}
+	}
+	return true
+}
+
+// NumElements returns the product of the static dimensions. It must only
+// be called when HasStaticShape is true.
+func (t MemRefType) NumElements() int64 {
+	n := int64(1)
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// VectorType is a fixed-shape vector type, e.g. vector<4xi32>. Ratte only
+// needs it for completeness of the vector dialect surface; the fuzzers in
+// the paper print scalars.
+type VectorType struct {
+	Shape []int64
+	Elem  Type
+}
+
+// VectorOf builds a vector type from a shape and element type.
+func VectorOf(shape []int64, elem Type) VectorType {
+	return VectorType{Shape: append([]int64(nil), shape...), Elem: elem}
+}
+
+func (t VectorType) String() string { return "vector<" + shapeString(t.Shape, t.Elem) + ">" }
+func (VectorType) isType()          {}
+
+// FunctionType is the type of functions: a list of inputs and results.
+type FunctionType struct {
+	Inputs  []Type
+	Results []Type
+}
+
+// FuncOf builds a function type.
+func FuncOf(inputs, results []Type) FunctionType {
+	return FunctionType{
+		Inputs:  append([]Type(nil), inputs...),
+		Results: append([]Type(nil), results...),
+	}
+}
+
+func (t FunctionType) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, in := range t.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(in.String())
+	}
+	b.WriteString(") -> (")
+	for i, out := range t.Results {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(out.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+func (FunctionType) isType() {}
+
+// NoneType is the unit type; it appears only in corners of the surface
+// syntax and is included for parser completeness.
+type NoneType struct{}
+
+func (NoneType) String() string { return "none" }
+func (NoneType) isType()        {}
+
+// IsIntegerOrIndex reports whether t is an integer or index type — the
+// scalar domain over which the arith dialect operates.
+func IsIntegerOrIndex(t Type) bool {
+	switch t.(type) {
+	case IntegerType, IndexType:
+		return true
+	}
+	return false
+}
+
+// BitWidth returns the runtime bit width of an integer or index type
+// (index is modelled as 64 bits). ok is false for other types.
+func BitWidth(t Type) (width uint, ok bool) {
+	switch t := t.(type) {
+	case IntegerType:
+		return t.Width, true
+	case IndexType:
+		return 64, true
+	}
+	return 0, false
+}
+
+func shapeString(shape []int64, elem Type) string {
+	var b strings.Builder
+	for _, d := range shape {
+		if d == DynamicSize {
+			b.WriteByte('?')
+		} else {
+			fmt.Fprintf(&b, "%d", d)
+		}
+		b.WriteByte('x')
+	}
+	b.WriteString(elem.String())
+	return b.String()
+}

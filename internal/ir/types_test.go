@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{I1, "i1"},
+		{I8, "i8"},
+		{I16, "i16"},
+		{I32, "i32"},
+		{I64, "i64"},
+		{I(17), "i17"},
+		{Index, "index"},
+		{NoneType{}, "none"},
+		{TensorOf([]int64{3, 3}, I64), "tensor<3x3xi64>"},
+		{TensorOf([]int64{DynamicSize, 4}, I32), "tensor<?x4xi32>"},
+		{TensorOf(nil, I1), "tensor<i1>"},
+		{MemRefOf([]int64{2}, Index), "memref<2xindex>"},
+		{VectorOf([]int64{4}, I32), "vector<4xi32>"},
+		{FuncOf(nil, nil), "() -> ()"},
+		{FuncOf([]Type{I64, I64}, []Type{I1}), "(i64, i64) -> (i1)"},
+		{TensorOf([]int64{2}, TensorOf([]int64{3}, I8)), "tensor<2xtensor<3xi8>>"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !TypeEqual(I64, I(64)) {
+		t.Error("i64 should equal i64")
+	}
+	if TypeEqual(I64, I32) {
+		t.Error("i64 should not equal i32")
+	}
+	if TypeEqual(I64, Index) {
+		t.Error("i64 should not equal index")
+	}
+	if !TypeEqual(nil, nil) {
+		t.Error("nil should equal nil")
+	}
+	if TypeEqual(I64, nil) || TypeEqual(nil, I64) {
+		t.Error("nil should not equal i64")
+	}
+	a := TensorOf([]int64{3, DynamicSize}, I64)
+	b := TensorOf([]int64{3, DynamicSize}, I64)
+	if !TypeEqual(a, b) {
+		t.Error("structurally equal tensors should be equal")
+	}
+	if TypeEqual(a, TensorOf([]int64{3, 4}, I64)) {
+		t.Error("dynamic and static dims should differ")
+	}
+}
+
+func TestTensorTypeQueries(t *testing.T) {
+	tt := TensorOf([]int64{3, 4}, I64)
+	if tt.Rank() != 2 {
+		t.Errorf("Rank = %d, want 2", tt.Rank())
+	}
+	if !tt.HasStaticShape() {
+		t.Error("static tensor should have static shape")
+	}
+	if got := tt.NumElements(); got != 12 {
+		t.Errorf("NumElements = %d, want 12", got)
+	}
+	dyn := TensorOf([]int64{DynamicSize, 4}, I64)
+	if dyn.HasStaticShape() {
+		t.Error("dynamic tensor should not have static shape")
+	}
+	mr := MemRefOf([]int64{5, 2}, I32)
+	if mr.NumElements() != 10 || !mr.HasStaticShape() || mr.Rank() != 2 {
+		t.Error("memref shape queries wrong")
+	}
+}
+
+func TestBitWidth(t *testing.T) {
+	if w, ok := BitWidth(I(13)); !ok || w != 13 {
+		t.Errorf("BitWidth(i13) = %d,%v", w, ok)
+	}
+	if w, ok := BitWidth(Index); !ok || w != 64 {
+		t.Errorf("BitWidth(index) = %d,%v", w, ok)
+	}
+	if _, ok := BitWidth(TensorOf(nil, I1)); ok {
+		t.Error("tensor should have no bit width")
+	}
+	if !IsIntegerOrIndex(I1) || !IsIntegerOrIndex(Index) {
+		t.Error("i1 and index are integer-or-index")
+	}
+	if IsIntegerOrIndex(TensorOf(nil, I1)) {
+		t.Error("tensor is not integer-or-index")
+	}
+}
+
+func TestTypeRoundTripProperty(t *testing.T) {
+	// Types constructed from arbitrary widths and shapes must round-trip
+	// through the parser.
+	f := func(width uint8, d0, d1 int8) bool {
+		w := uint(width%64) + 1
+		shape := []int64{int64(d0%8) + 8, int64(d1%8) + 8}
+		for _, ty := range []Type{
+			I(w),
+			Index,
+			TensorOf(shape, I(w)),
+			MemRefOf(shape, Index),
+			VectorOf(shape[:1], I(w)),
+			FuncOf([]Type{I(w), Index}, []Type{TensorOf(shape, I(w))}),
+		} {
+			parsed, err := ParseType(ty.String())
+			if err != nil {
+				t.Logf("parse %q: %v", ty.String(), err)
+				return false
+			}
+			if !TypeEqual(parsed, ty) {
+				t.Logf("round trip %q -> %q", ty.String(), parsed.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	for _, src := range []string{
+		"i0", "i65", "i", "floop", "tensor<", "tensor<3x>", "i64 i64", "",
+	} {
+		if ty, err := ParseType(src); err == nil {
+			t.Errorf("ParseType(%q) = %v, want error", src, ty)
+		}
+	}
+}
+
+func TestParseDynamicShapes(t *testing.T) {
+	ty, err := ParseType("tensor<?x?xi64>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := ty.(TensorType)
+	if tt.Shape[0] != DynamicSize || tt.Shape[1] != DynamicSize {
+		t.Errorf("got shape %v", tt.Shape)
+	}
+	if tt.HasStaticShape() {
+		t.Error("should be dynamic")
+	}
+}

@@ -1,0 +1,269 @@
+// Package mutate implements semantics-preserving program mutations —
+// the metamorphic-testing direction the paper's Related Work singles
+// out as future work for MLIR ("semantics-preserving mutations can be
+// applied to an existing program to obtain a set of equivalent
+// programs … such a technique also has the potential to find
+// miscompilations").
+//
+// Like Ratte's generators and interpreters, the rules are per-dialect
+// and composable: each Rule rewrites one operation locally and
+// guarantees the module's observable behaviour is unchanged, so any
+// output difference between a compiled mutant and the compiled original
+// is a compiler bug — a second, reference-free oracle on top of DT-R.
+package mutate
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"ratte/internal/ir"
+)
+
+// Rule is one semantics-preserving rewrite. Apply attempts to rewrite
+// the operation at ops[idx] (inserting helper operations as needed) and
+// reports whether it fired.
+type Rule struct {
+	Name string
+	// applies reports whether the rule can rewrite this op.
+	applies func(op *ir.Operation) bool
+	// apply performs the rewrite, returning replacement ops for the
+	// single op (the op itself plus any inserted neighbours).
+	apply func(mu *mutator, op *ir.Operation) []*ir.Operation
+}
+
+// Rules returns the built-in semantics-preserving rules.
+func Rules() []Rule {
+	return []Rule{
+		{
+			// x  ⇒  x' ; x = x' + 0
+			Name:    "add-zero",
+			applies: hasScalarResult,
+			apply: func(mu *mutator, op *ir.Operation) []*ir.Operation {
+				return mu.wrapResult(op, func(orig, res ir.Value) []*ir.Operation {
+					zero, zv := mu.constant(0, orig.Type)
+					add := ir.NewOp("arith.addi")
+					add.Operands = []ir.Value{orig, zv}
+					add.Results = []ir.Value{res}
+					return []*ir.Operation{zero, add}
+				})
+			},
+		},
+		{
+			// x  ⇒  x' ; x = x' * 1
+			Name:    "mul-one",
+			applies: hasScalarResult,
+			apply: func(mu *mutator, op *ir.Operation) []*ir.Operation {
+				return mu.wrapResult(op, func(orig, res ir.Value) []*ir.Operation {
+					one, ov := mu.constant(1, orig.Type)
+					mul := ir.NewOp("arith.muli")
+					mul.Operands = []ir.Value{orig, ov}
+					mul.Results = []ir.Value{res}
+					return []*ir.Operation{one, mul}
+				})
+			},
+		},
+		{
+			// x  ⇒  x' ; x = (x' ^ c) ^ c
+			Name:    "double-xor",
+			applies: hasScalarResult,
+			apply: func(mu *mutator, op *ir.Operation) []*ir.Operation {
+				return mu.wrapResult(op, func(orig, res ir.Value) []*ir.Operation {
+					c, cv := mu.constant(int64(mu.r.Intn(256))-128, orig.Type)
+					x1 := ir.NewOp("arith.xori")
+					x1.Operands = []ir.Value{orig, cv}
+					mid := mu.fresh(orig.Type)
+					x1.Results = []ir.Value{mid}
+					x2 := ir.NewOp("arith.xori")
+					x2.Operands = []ir.Value{mid, cv}
+					x2.Results = []ir.Value{res}
+					return []*ir.Operation{c, x1, x2}
+				})
+			},
+		},
+		{
+			// x  ⇒  x' ; x = select(true, x', x')
+			Name:    "select-true",
+			applies: hasScalarResult,
+			apply: func(mu *mutator, op *ir.Operation) []*ir.Operation {
+				return mu.wrapResult(op, func(orig, res ir.Value) []*ir.Operation {
+					tr, tv := mu.constant(1, ir.I1)
+					sel := ir.NewOp("arith.select")
+					sel.Operands = []ir.Value{tv, orig, orig}
+					sel.Results = []ir.Value{res}
+					return []*ir.Operation{tr, sel}
+				})
+			},
+		},
+		{
+			// a ⊕ b  ⇒  b ⊕ a for commutative ⊕
+			Name: "swap-commutative",
+			applies: func(op *ir.Operation) bool {
+				switch op.Name {
+				case "arith.addi", "arith.muli", "arith.andi", "arith.ori", "arith.xori",
+					"arith.maxsi", "arith.maxui", "arith.minsi", "arith.minui":
+					return len(op.Operands) == 2
+				}
+				return false
+			},
+			apply: func(mu *mutator, op *ir.Operation) []*ir.Operation {
+				op.Operands[0], op.Operands[1] = op.Operands[1], op.Operands[0]
+				return []*ir.Operation{op}
+			},
+		},
+		{
+			// cmpi p a, b  ⇒  cmpi swap(p) b, a
+			Name: "flip-comparison",
+			applies: func(op *ir.Operation) bool {
+				return op.Name == "arith.cmpi" && len(op.Operands) == 2
+			},
+			apply: func(mu *mutator, op *ir.Operation) []*ir.Operation {
+				p, _ := op.Attrs.IntValueOf("predicate")
+				// eq/ne are symmetric; the orderings swap lt<->gt.
+				swapped := map[int64]int64{0: 0, 1: 1, 2: 4, 3: 5, 4: 2, 5: 3, 6: 8, 7: 9, 8: 6, 9: 7}
+				op.Attrs.Set("predicate", ir.IntAttr(swapped[p], ir.I64))
+				op.Operands[0], op.Operands[1] = op.Operands[1], op.Operands[0]
+				return []*ir.Operation{op}
+			},
+		},
+	}
+}
+
+func hasScalarResult(op *ir.Operation) bool {
+	if len(op.Regions) > 0 || len(op.Results) == 0 {
+		return false
+	}
+	// Wrap only ops whose first result is a non-i1 integer/index scalar
+	// (i1 + muli/xori constants stay trivially correct too, so allow i1
+	// as well).
+	return ir.IsIntegerOrIndex(op.Results[0].Type)
+}
+
+// Mutate applies up to n random semantics-preserving mutations to a
+// clone of m, returning the mutant and the names of the rules applied.
+// The input module is not modified.
+func Mutate(m *ir.Module, seed int64, n int) (*ir.Module, []string) {
+	out := m.Clone()
+	mu := &mutator{r: rand.New(rand.NewSource(seed))}
+	rules := Rules()
+
+	var applied []string
+	for i := 0; i < n; i++ {
+		if name, ok := mu.applyOnce(out, rules); ok {
+			applied = append(applied, name)
+		}
+	}
+	return out, applied
+}
+
+type mutator struct {
+	r    *rand.Rand
+	used map[string]bool
+}
+
+// applyOnce picks a random function, block, op and applicable rule.
+func (mu *mutator) applyOnce(m *ir.Module, rules []Rule) (string, bool) {
+	funcs := m.Funcs()
+	if len(funcs) == 0 {
+		return "", false
+	}
+	f := funcs[mu.r.Intn(len(funcs))]
+	mu.collectUsed(f)
+
+	var blocks []*ir.Block
+	f.Walk(func(op *ir.Operation) bool {
+		for _, r := range op.Regions {
+			blocks = append(blocks, r.Blocks...)
+		}
+		return true
+	})
+	if len(blocks) == 0 {
+		return "", false
+	}
+	b := blocks[mu.r.Intn(len(blocks))]
+	if len(b.Ops) == 0 {
+		return "", false
+	}
+	oi := mu.r.Intn(len(b.Ops))
+	op := b.Ops[oi]
+
+	// Try rules in a random rotation.
+	start := mu.r.Intn(len(rules))
+	for k := 0; k < len(rules); k++ {
+		rule := rules[(start+k)%len(rules)]
+		if !rule.applies(op) {
+			continue
+		}
+		repl := rule.apply(mu, op)
+		b.Ops = append(b.Ops[:oi:oi], append(repl, b.Ops[oi+1:]...)...)
+		return rule.Name, true
+	}
+	return "", false
+}
+
+// wrapResult renames op's first result to a fresh ID and returns op
+// followed by build(origValue, publicResult) ops, where publicResult
+// keeps the original ID so every existing use is untouched.
+func (mu *mutator) wrapResult(op *ir.Operation, build func(orig, res ir.Value) []*ir.Operation) []*ir.Operation {
+	public := op.Results[0]
+	orig := mu.fresh(public.Type)
+	op.Results[0] = orig
+	return append([]*ir.Operation{op}, build(orig, public)...)
+}
+
+func (mu *mutator) constant(v int64, t ir.Type) (*ir.Operation, ir.Value) {
+	c := ir.NewOp("arith.constant")
+	// Clamp to the width to keep the verifier's range check happy.
+	if w, ok := ir.BitWidth(t); ok && w < 64 {
+		mask := int64(1)<<w - 1
+		v &= mask
+		if v >= int64(1)<<(w-1) {
+			v -= int64(1) << w
+		}
+	}
+	c.Attrs.Set("value", ir.IntAttr(v, t))
+	res := mu.fresh(t)
+	c.Results = []ir.Value{res}
+	return c, res
+}
+
+func (mu *mutator) fresh(t ir.Type) ir.Value {
+	for i := 0; ; i++ {
+		id := "m" + strconv.Itoa(len(mu.used)) + "_" + strconv.Itoa(i)
+		if !mu.used[id] {
+			mu.used[id] = true
+			return ir.V(id, t)
+		}
+	}
+}
+
+func (mu *mutator) collectUsed(f *ir.Operation) {
+	mu.used = make(map[string]bool)
+	f.Walk(func(op *ir.Operation) bool {
+		for _, r := range op.Results {
+			mu.used[r.ID] = true
+		}
+		for _, reg := range op.Regions {
+			for _, b := range reg.Blocks {
+				for _, a := range b.Args {
+					mu.used[a.ID] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// Equivalent checks the metamorphic relation for a pair of modules
+// under an execution function: equal outputs (or equal failure).
+func Equivalent(run func(*ir.Module) (string, error), a, b *ir.Module) (bool, error) {
+	oa, ea := run(a)
+	ob, eb := run(b)
+	if (ea == nil) != (eb == nil) {
+		return false, fmt.Errorf("one of the pair failed: %v vs %v", ea, eb)
+	}
+	if ea != nil {
+		return true, nil // both rejected identically enough
+	}
+	return oa == ob, nil
+}

@@ -1,0 +1,214 @@
+package mutate_test
+
+import (
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+	"ratte/internal/mutate"
+	"ratte/internal/verify"
+)
+
+// TestMutantsPreserveSemantics is the metamorphic core property: a
+// mutant verifies, and both the reference interpreter and the (correct)
+// compiled pipeline produce the original's output.
+func TestMutantsPreserveSemantics(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutant, applied := mutate.Mutate(p.Module, seed*31+1, 6)
+		if len(applied) == 0 {
+			t.Fatalf("seed %d: no mutation applied", seed)
+		}
+		if err := verify.Module(mutant, dialects.SourceSpecs()); err != nil {
+			t.Fatalf("seed %d (%v): mutant fails verification: %v\n%s",
+				seed, applied, err, ir.Print(mutant))
+		}
+		res, err := dialects.NewReferenceInterpreter().Run(mutant, "main")
+		if err != nil {
+			t.Fatalf("seed %d (%v): mutant does not interpret: %v", seed, applied, err)
+		}
+		if res.Output != p.Expected {
+			t.Fatalf("seed %d (%v): mutant output %q, original %q\n%s",
+				seed, applied, res.Output, p.Expected, ir.Print(mutant))
+		}
+		// Compiled equivalence (correct compiler, O1).
+		c := &compiler.Compiler{Level: compiler.O1}
+		lowered, err := c.Compile(mutant, "ariths")
+		if err != nil {
+			t.Fatalf("seed %d (%v): mutant does not compile: %v", seed, applied, err)
+		}
+		out, err := dialects.NewExecutor().Run(lowered, "main")
+		if err != nil {
+			t.Fatalf("seed %d (%v): mutant does not execute: %v", seed, applied, err)
+		}
+		if out.Output != p.Expected {
+			t.Fatalf("seed %d (%v): compiled mutant output %q, original %q",
+				seed, applied, out.Output, p.Expected)
+		}
+	}
+}
+
+// TestMutantsOfTensorProgramsPreserveSemantics extends the metamorphic
+// property to the tensor/linalg presets, whose mutants flow through the
+// bufferising pipeline (mutations may land inside linalg.generic and
+// tensor.generate bodies).
+func TestMutantsOfTensorProgramsPreserveSemantics(t *testing.T) {
+	for _, preset := range []string{"tensor", "linalggeneric"} {
+		for seed := int64(0); seed < 8; seed++ {
+			p, err := gen.Generate(gen.Config{Preset: preset, Size: 18, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutant, applied := mutate.Mutate(p.Module, seed*7+3, 5)
+			if len(applied) == 0 {
+				continue
+			}
+			if err := verify.Module(mutant, dialects.SourceSpecs()); err != nil {
+				t.Fatalf("%s seed %d (%v): mutant fails verification: %v", preset, seed, applied, err)
+			}
+			res, err := dialects.NewReferenceInterpreter().Run(mutant, "main")
+			if err != nil {
+				t.Fatalf("%s seed %d (%v): %v", preset, seed, applied, err)
+			}
+			if res.Output != p.Expected {
+				t.Fatalf("%s seed %d (%v): mutant output %q, original %q",
+					preset, seed, applied, res.Output, p.Expected)
+			}
+			c := &compiler.Compiler{Level: compiler.O1}
+			lowered, err := c.Compile(mutant, preset)
+			if err != nil {
+				t.Fatalf("%s seed %d (%v): compile: %v", preset, seed, applied, err)
+			}
+			out, err := dialects.NewExecutor().Run(lowered, "main")
+			if err != nil {
+				t.Fatalf("%s seed %d (%v): execute: %v", preset, seed, applied, err)
+			}
+			if out.Output != p.Expected {
+				t.Fatalf("%s seed %d (%v): compiled mutant output %q, original %q",
+					preset, seed, applied, out.Output, p.Expected)
+			}
+		}
+	}
+}
+
+// TestMutationChangesModule: mutations are real rewrites, not no-ops.
+func TestMutationChangesModule(t *testing.T) {
+	p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutant, applied := mutate.Mutate(p.Module, 77, 4)
+	if len(applied) == 0 {
+		t.Fatal("no mutation applied")
+	}
+	if ir.Print(mutant) == ir.Print(p.Module) {
+		t.Errorf("mutations %v left the module textually unchanged", applied)
+	}
+	// And the original is untouched.
+	if got := p.Module.NumOps(); got == mutant.NumOps() && ir.Print(p.Module) == ir.Print(mutant) {
+		t.Error("input mutated in place")
+	}
+}
+
+// TestMetamorphicOracleSeesInjectedBug: the reference-free metamorphic
+// oracle — compile original and mutant, compare outputs — can expose a
+// miscompilation when a mutation perturbs the syntactic shape the buggy
+// pattern matches. Bug 2's chain fold (index_cast(index_cast(x)) ⇒ x)
+// is broken by a double-xor wrap between the two casts: xori pairs
+// survive canonicalize (unlike +0/*1, which identity folds restore), so
+// the mutant compiles correctly while the original is miscompiled.
+func TestMetamorphicOracleSeesInjectedBug(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %big = "func.call"() {callee = @c} : () -> (index)
+    %n = "arith.index_cast"(%big) : (index) -> (i8)
+    %back = "arith.index_cast"(%n) : (i8) -> (index)
+    "vector.print"(%back) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 300 : index} : () -> (index)
+    "func.return"(%a) : (index) -> ()
+  }) {sym_name = "c", function_type = () -> (index)} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mod *ir.Module) (string, error) {
+		c := &compiler.Compiler{Level: compiler.O1, Bugs: bugs.Only(bugs.IndexCastChainFold)}
+		lowered, err := c.Compile(mod, "ariths")
+		if err != nil {
+			return "", err
+		}
+		res, err := dialects.NewExecutor().Run(lowered, "main")
+		if err != nil {
+			return "", err
+		}
+		return res.Output, nil
+	}
+
+	// Sanity: the original IS miscompiled (prints 300 instead of 44).
+	if out, err := run(m); err != nil || out != "300\n" {
+		t.Fatalf("bug 2 not firing on the original: %q %v", out, err)
+	}
+
+	// Find a mutation seed whose mutant breaks the buggy fold's pattern.
+	for seed := int64(0); seed < 60; seed++ {
+		mutant, applied := mutate.Mutate(m, seed, 3)
+		if len(applied) == 0 {
+			continue
+		}
+		eq, err := mutate.Equivalent(run, m, mutant)
+		if err != nil {
+			continue
+		}
+		if !eq {
+			return // the metamorphic oracle fired
+		}
+	}
+	t.Error("no mutation exposed bug 2 through the metamorphic oracle")
+}
+
+// TestEquivalentHelper covers the relation checker.
+func TestEquivalentHelper(t *testing.T) {
+	ok := func(*ir.Module) (string, error) { return "x", nil }
+	eq, err := mutate.Equivalent(ok, nil, nil)
+	if err != nil || !eq {
+		t.Errorf("identical runs should be equivalent: %v %v", eq, err)
+	}
+	i := 0
+	alternating := func(*ir.Module) (string, error) {
+		i++
+		if i == 1 {
+			return "a", nil
+		}
+		return "b", nil
+	}
+	eq, err = mutate.Equivalent(alternating, nil, nil)
+	if err != nil || eq {
+		t.Errorf("diverging runs should not be equivalent: %v %v", eq, err)
+	}
+}
+
+// TestRulesInventory sanity-checks the rule set.
+func TestRulesInventory(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range mutate.Rules() {
+		if names[r.Name] {
+			t.Errorf("duplicate rule %s", r.Name)
+		}
+		names[r.Name] = true
+	}
+	for _, want := range []string{"add-zero", "mul-one", "double-xor", "select-true", "swap-commutative", "flip-comparison"} {
+		if !names[want] {
+			t.Errorf("missing rule %s", want)
+		}
+	}
+}

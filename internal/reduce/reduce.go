@@ -1,0 +1,185 @@
+// Package reduce implements a delta-debugging test-case reducer for
+// bug-triggering modules: it repeatedly removes operations (and whole
+// helper functions) while an interestingness predicate — typically
+// "this oracle still fires" — keeps holding. The paper's reduced test
+// cases (Figures 2 and 12, and the per-bug "Detected With" isolation of
+// Table 3) are products of this step.
+package reduce
+
+import (
+	"ratte/internal/ir"
+)
+
+// Predicate reports whether a candidate module is still interesting
+// (e.g. still triggers the miscompilation). It must be deterministic.
+type Predicate func(m *ir.Module) bool
+
+// Module shrinks m while pred keeps holding, returning the smallest
+// module found. The input module is not modified. pred(m) must be true
+// on entry; otherwise m is returned unchanged.
+func Module(m *ir.Module, pred Predicate) *ir.Module {
+	if !pred(m) {
+		return m
+	}
+	cur := m.Clone()
+	for {
+		shrunk := false
+		if next, ok := tryRemoveOps(cur, pred); ok {
+			cur, shrunk = next, true
+		}
+		if next, ok := tryRemoveFuncs(cur, pred); ok {
+			cur, shrunk = next, true
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// tryRemoveOps attempts to delete individual operations whose results
+// are unused, scanning from the end (later ops are more likely dead
+// once their consumers are gone). Print ops have no results and are
+// always structurally removable.
+func tryRemoveOps(m *ir.Module, pred Predicate) (*ir.Module, bool) {
+	removedAny := false
+	cur := m
+	for {
+		removed := false
+		for _, f := range cur.Funcs() {
+			uses := usedIDs(f)
+			blocks := allBlocks(f)
+			for bi, b := range blocks {
+				for i := len(b.Ops) - 1; i >= 0; i-- {
+					op := b.Ops[i]
+					if isTerminator(op) {
+						continue
+					}
+					if anyResultUsed(op, uses) {
+						continue
+					}
+					cand := cur.Clone()
+					deleteOpAt(cand, ir.FuncSymbol(f), bi, i)
+					if pred(cand) {
+						cur = cand
+						removed, removedAny = true, true
+						break
+					}
+				}
+				if removed {
+					break
+				}
+			}
+			if removed {
+				break
+			}
+		}
+		if !removed {
+			return cur, removedAny
+		}
+	}
+}
+
+// tryRemoveFuncs attempts to delete whole uncalled functions (except
+// main).
+func tryRemoveFuncs(m *ir.Module, pred Predicate) (*ir.Module, bool) {
+	removedAny := false
+	cur := m
+	for {
+		removed := false
+		for i, op := range cur.Body().Ops {
+			if op.Name != "func.func" || ir.FuncSymbol(op) == "main" {
+				continue
+			}
+			if isCalled(cur, ir.FuncSymbol(op)) {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Body().Ops = append(cand.Body().Ops[:i:i], cand.Body().Ops[i+1:]...)
+			if pred(cand) {
+				cur = cand
+				removed, removedAny = true, true
+				break
+			}
+		}
+		if !removed {
+			return cur, removedAny
+		}
+	}
+}
+
+func isCalled(m *ir.Module, sym string) bool {
+	called := false
+	m.Walk(func(op *ir.Operation) bool {
+		if op.Name == "func.call" || op.Name == "llvm.call" {
+			if s, ok := op.Attrs.Get("callee").(ir.SymbolRefAttr); ok && s.Name == sym {
+				called = true
+				return false
+			}
+		}
+		return true
+	})
+	return called
+}
+
+// deleteOpAt removes the op at position opIdx of the blockIdx-th block
+// (in walk order) of the named function inside the clone. Clone
+// preserves structure, so walk-order indices identify blocks stably.
+func deleteOpAt(cand *ir.Module, funcSym string, blockIdx, opIdx int) {
+	f := cand.Func(funcSym)
+	if f == nil {
+		return
+	}
+	blocks := allBlocks(f)
+	if blockIdx >= len(blocks) {
+		return
+	}
+	b := blocks[blockIdx]
+	if opIdx >= len(b.Ops) {
+		return
+	}
+	b.Ops = append(b.Ops[:opIdx:opIdx], b.Ops[opIdx+1:]...)
+}
+
+func allBlocks(f *ir.Operation) []*ir.Block {
+	var bs []*ir.Block
+	f.Walk(func(op *ir.Operation) bool {
+		for _, r := range op.Regions {
+			bs = append(bs, r.Blocks...)
+		}
+		return true
+	})
+	return bs
+}
+
+var terminators = map[string]bool{
+	"func.return": true, "scf.yield": true, "linalg.yield": true,
+	"tensor.yield": true, "cf.br": true, "cf.cond_br": true,
+	"llvm.return": true,
+}
+
+func isTerminator(op *ir.Operation) bool { return terminators[op.Name] }
+
+func usedIDs(f *ir.Operation) map[string]int {
+	uses := make(map[string]int)
+	f.Walk(func(op *ir.Operation) bool {
+		for _, o := range op.Operands {
+			uses[o.ID]++
+		}
+		for _, s := range op.Successors {
+			for _, a := range s.Args {
+				uses[a.ID]++
+			}
+		}
+		return true
+	})
+	return uses
+}
+
+func anyResultUsed(op *ir.Operation, uses map[string]int) bool {
+	for _, r := range op.Results {
+		if uses[r.ID] > 0 {
+			return true
+		}
+	}
+	return false
+}

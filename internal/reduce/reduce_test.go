@@ -1,0 +1,108 @@
+package reduce_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/dialects"
+	"ratte/internal/difftest"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+	"ratte/internal/reduce"
+	"ratte/internal/verify"
+)
+
+func TestReduceRemovesDeadCode(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %dead1 = "arith.addi"(%a, %b) : (i64, i64) -> (i64)
+    %dead2 = "arith.muli"(%a, %a) : (i64, i64) -> (i64)
+    "vector.print"(%a) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    "func.return"() : () -> ()
+  }) {sym_name = "unused", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.NumOps()
+	// Interesting = "still prints 1".
+	pred := func(c *ir.Module) bool {
+		res, err := dialects.NewReferenceInterpreter().Run(c, "main")
+		return err == nil && res.Output == "1\n"
+	}
+	small := reduce.Module(m, pred)
+	if got := small.NumOps(); got >= m.NumOps() {
+		t.Errorf("no reduction: %d ops vs %d", got, m.NumOps())
+	}
+	if strings.Contains(ir.Print(small), "dead") {
+		t.Errorf("dead ops survive:\n%s", ir.Print(small))
+	}
+	if small.Func("unused") != nil {
+		t.Error("uncalled function survives")
+	}
+	if !pred(small) {
+		t.Error("reduced module no longer interesting")
+	}
+	// The original module must be untouched.
+	if m.NumOps() != before {
+		t.Errorf("input module mutated: %d ops, was %d", m.NumOps(), before)
+	}
+}
+
+func TestReduceKeepsPredicate(t *testing.T) {
+	// End-to-end: reduce a generated bug-triggering program while the
+	// bug keeps reproducing; the result must still verify and still
+	// trigger the same oracle.
+	res, err := difftest.RunCampaign(difftest.CampaignConfig{
+		Preset:      "ariths",
+		Programs:    300,
+		Size:        30,
+		Seed:        5000,
+		Bugs:        bugs.Only(bugs.MulsiExtendedI1Fold),
+		StopAtFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) == 0 {
+		t.Skip("bug 5 not hit within the budget — covered by difftest tests")
+	}
+	d := res.Detections[0]
+	pred := func(c *ir.Module) bool {
+		if err := verify.Module(c, dialects.SourceSpecs()); err != nil {
+			return false
+		}
+		ref, err := dialects.NewReferenceInterpreter().Run(c, "main")
+		if err != nil {
+			return false
+		}
+		rep := difftest.TestModule(c, ref.Output, "ariths", bugs.Only(bugs.MulsiExtendedI1Fold))
+		return rep.Detected() == d.Oracle
+	}
+	small := reduce.Module(d.Program, pred)
+	if small.NumOps() > d.Program.NumOps() {
+		t.Error("reduction grew the module")
+	}
+	if !pred(small) {
+		t.Fatalf("reduced module no longer triggers the bug:\n%s", ir.Print(small))
+	}
+	t.Logf("reduced %d ops to %d", d.Program.NumOps(), small.NumOps())
+}
+
+func TestReduceUninterestingInputUnchanged(t *testing.T) {
+	p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := reduce.Module(p.Module, func(*ir.Module) bool { return false })
+	if out != p.Module {
+		t.Error("uninteresting module should be returned unchanged")
+	}
+}

@@ -1,0 +1,47 @@
+package rtval
+
+import (
+	"testing"
+
+	"ratte/internal/ir"
+)
+
+// Component micro-benchmarks for the value domain — these operations
+// run once per interpreted instruction, so they are the floor of
+// interpreter throughput.
+func BenchmarkIntArithmetic(b *testing.B) {
+	x, y := NewInt(64, 123456789), NewInt(64, -987654321)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y).Mul(y).Sub(x).Xor(y)
+	}
+}
+
+func BenchmarkIntDivision(b *testing.B) {
+	x, y := NewInt(64, 123456789), NewInt(64, -97)
+	for i := 0; i < b.N; i++ {
+		if _, err := x.FloorDivS(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulExtended(b *testing.B) {
+	x, y := NewInt(64, -123456789), NewInt(64, 987654321)
+	for i := 0; i < b.N; i++ {
+		_, _ = x.MulSIExtended(y)
+	}
+}
+
+func BenchmarkTensorInsert(b *testing.B) {
+	t := NewTensor([]int64{4, 4}, ir.I64, NewInt(64, 0))
+	v := NewInt(64, 7)
+	idx := []int64{2, 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nt, err := t.Insert(idx, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = nt
+	}
+}

@@ -1,0 +1,399 @@
+package rtval
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"ratte/internal/ir"
+)
+
+func TestNewIntMasksToWidth(t *testing.T) {
+	if got := NewInt(8, 300).Unsigned(); got != 300&0xff {
+		t.Errorf("NewInt(8, 300) = %d", got)
+	}
+	if got := NewInt(1, -1).Unsigned(); got != 1 {
+		t.Errorf("NewInt(1, -1) bits = %d", got)
+	}
+	if got := NewInt(1, -1).Signed(); got != -1 {
+		t.Errorf("NewInt(1, -1) signed = %d", got)
+	}
+	if got := NewInt(64, -5).Signed(); got != -5 {
+		t.Errorf("NewInt(64, -5) = %d", got)
+	}
+	if got := NewIndex(-9).Signed(); got != -9 {
+		t.Errorf("NewIndex(-9) = %d", got)
+	}
+}
+
+func TestIntTypes(t *testing.T) {
+	if !ir.TypeEqual(NewInt(32, 1).Type(), ir.I32) {
+		t.Error("i32 type")
+	}
+	if !ir.TypeEqual(NewIndex(1).Type(), ir.Index) {
+		t.Error("index type")
+	}
+	if NewIndex(1).Equal(NewInt(64, 1)) {
+		t.Error("index and i64 must not compare equal")
+	}
+	u := UndefInt(ir.I8)
+	if u.Defined() {
+		t.Error("undef should not be defined")
+	}
+	if u.String() != "undef" {
+		t.Errorf("undef prints %q", u.String())
+	}
+	if !ir.TypeEqual(u.Type(), ir.I8) {
+		t.Error("undef keeps its type")
+	}
+}
+
+// Figure 2 of the paper: (-1) * (-1) on i1. The full signed product of
+// -1 and -1 is +1 = 0b01, so low must be 1 (i.e. -1 as i1) and high 0.
+func TestFigure2MulsiExtendedI1(t *testing.T) {
+	n1 := NewInt(1, -1)
+	low, high := n1.MulSIExtended(n1)
+	if low.Signed() != -1 { // bit pattern 1 on i1 prints as -1... see below
+		t.Errorf("low = %d, want bit 1 (signed -1)", low.Signed())
+	}
+	if low.Unsigned() != 1 {
+		t.Errorf("low bits = %d, want 1", low.Unsigned())
+	}
+	if high.Unsigned() != 0 {
+		t.Errorf("high bits = %d, want 0 — the production bug made this 1", high.Unsigned())
+	}
+}
+
+func TestMulExtendedAgainstBigInt(t *testing.T) {
+	widths := []uint{1, 7, 8, 16, 32, 33, 48, 64}
+	f := func(a, b int64, wi uint8) bool {
+		w := widths[int(wi)%len(widths)]
+		x, y := NewInt(w, a), NewInt(w, b)
+
+		// Signed oracle via big.Int.
+		bx, by := big.NewInt(x.Signed()), big.NewInt(y.Signed())
+		prod := new(big.Int).Mul(bx, by)
+		twoW := new(big.Int).Lsh(big.NewInt(1), w)
+		lo := new(big.Int).Mod(prod, twoW)
+		hi := new(big.Int).Rsh(prod, w)
+		hi.Mod(hi, twoW)
+		low, high := x.MulSIExtended(y)
+		if low.Unsigned() != lo.Uint64() || high.Unsigned() != hi.Uint64() {
+			t.Logf("signed w=%d a=%d b=%d: got (%d,%d) want (%d,%d)",
+				w, x.Signed(), y.Signed(), low.Unsigned(), high.Unsigned(), lo.Uint64(), hi.Uint64())
+			return false
+		}
+
+		// Unsigned oracle.
+		ux := new(big.Int).SetUint64(x.Unsigned())
+		uy := new(big.Int).SetUint64(y.Unsigned())
+		uprod := new(big.Int).Mul(ux, uy)
+		ulo := new(big.Int).Mod(uprod, twoW)
+		uhi := new(big.Int).Rsh(uprod, w)
+		uhi.Mod(uhi, twoW)
+		ulow, uhigh := x.MulUIExtended(y)
+		if ulow.Unsigned() != ulo.Uint64() || uhigh.Unsigned() != uhi.Uint64() {
+			t.Logf("unsigned w=%d a=%d b=%d: got (%d,%d) want (%d,%d)",
+				w, x.Unsigned(), y.Unsigned(), ulow.Unsigned(), uhigh.Unsigned(), ulo.Uint64(), uhi.Uint64())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddUIExtended(t *testing.T) {
+	cases := []struct {
+		w        uint
+		a, b     int64
+		sum      uint64
+		overflow bool
+	}{
+		{8, 200, 100, 44, true},
+		{8, 100, 100, 200, false},
+		{1, 1, 1, 0, true},
+		{64, -1, 1, 0, true},
+		{64, 5, 7, 12, false},
+	}
+	for _, c := range cases {
+		s, o := NewInt(c.w, c.a).AddUIExtended(NewInt(c.w, c.b))
+		if s.Unsigned() != c.sum || o.IsTrue() != c.overflow {
+			t.Errorf("addui_extended i%d %d+%d = (%d,%v), want (%d,%v)",
+				c.w, c.a, c.b, s.Unsigned(), o.IsTrue(), c.sum, c.overflow)
+		}
+	}
+}
+
+func TestDivisionUB(t *testing.T) {
+	var ub *UBError
+	if _, err := NewInt(64, 1).DivS(NewInt(64, 0)); !errors.As(err, &ub) {
+		t.Error("divsi by zero should be UB")
+	}
+	min := NewInt(64, MinSigned(64))
+	if _, err := min.DivS(NewInt(64, -1)); !errors.As(err, &ub) {
+		t.Error("divsi MIN/-1 should be UB")
+	}
+	if _, err := NewInt(8, MinSigned(8)).DivS(NewInt(8, -1)); !errors.As(err, &ub) {
+		t.Error("divsi i8 MIN/-1 should be UB")
+	}
+	if _, err := NewInt(64, 1).DivU(NewInt(64, 0)); !errors.As(err, &ub) {
+		t.Error("divui by zero should be UB")
+	}
+	if _, err := NewInt(64, 1).RemS(NewInt(64, 0)); !errors.As(err, &ub) {
+		t.Error("remsi by zero should be UB")
+	}
+	if _, err := min.RemS(NewInt(64, -1)); !errors.As(err, &ub) {
+		t.Error("remsi MIN%-1 should be UB")
+	}
+	if _, err := NewInt(64, 1).RemU(NewInt(64, 0)); !errors.As(err, &ub) {
+		t.Error("remui by zero should be UB")
+	}
+	if _, err := NewInt(64, 1).CeilDivS(NewInt(64, 0)); !errors.As(err, &ub) {
+		t.Error("ceildivsi by zero should be UB")
+	}
+	if _, err := NewInt(64, 1).FloorDivS(NewInt(64, 0)); !errors.As(err, &ub) {
+		t.Error("floordivsi by zero should be UB")
+	}
+	if _, err := NewInt(64, 1).CeilDivU(NewInt(64, 0)); !errors.As(err, &ub) {
+		t.Error("ceildivui by zero should be UB")
+	}
+	if _, err := min.CeilDivS(NewInt(64, -1)); !errors.As(err, &ub) {
+		t.Error("ceildivsi MIN/-1 should be UB")
+	}
+	if _, err := min.FloorDivS(NewInt(64, -1)); !errors.As(err, &ub) {
+		t.Error("floordivsi MIN/-1 should be UB")
+	}
+}
+
+// Figure 12 of the paper: (-2^63 + 1) / -1 is fine (no overflow) and
+// must floor-divide to 2^63 - 1.
+func TestFigure12FloorDiv(t *testing.T) {
+	a := NewInt(64, MinSigned(64)+1)
+	b := NewInt(64, -1)
+	q, err := a.FloorDivS(b)
+	if err != nil {
+		t.Fatalf("unexpected UB: %v", err)
+	}
+	if q.Signed() != MaxSigned(64) {
+		t.Errorf("got %d, want %d", q.Signed(), MaxSigned(64))
+	}
+}
+
+func TestRoundingDivisions(t *testing.T) {
+	cases := []struct {
+		a, b               int64
+		ceil, floor, trunc int64
+	}{
+		{7, 2, 4, 3, 3},
+		{-7, 2, -3, -4, -3},
+		{7, -2, -3, -4, -3},
+		{-7, -2, 4, 3, 3},
+		{6, 3, 2, 2, 2},
+		{-6, 3, -2, -2, -2},
+	}
+	for _, c := range cases {
+		x, y := NewInt(64, c.a), NewInt(64, c.b)
+		if got, _ := x.CeilDivS(y); got.Signed() != c.ceil {
+			t.Errorf("ceildiv %d/%d = %d, want %d", c.a, c.b, got.Signed(), c.ceil)
+		}
+		if got, _ := x.FloorDivS(y); got.Signed() != c.floor {
+			t.Errorf("floordiv %d/%d = %d, want %d", c.a, c.b, got.Signed(), c.floor)
+		}
+		if got, _ := x.DivS(y); got.Signed() != c.trunc {
+			t.Errorf("divsi %d/%d = %d, want %d", c.a, c.b, got.Signed(), c.trunc)
+		}
+	}
+	if got, _ := NewInt(8, 7).CeilDivU(NewInt(8, 2)); got.Unsigned() != 4 {
+		t.Errorf("ceildivui 7/2 = %d", got.Unsigned())
+	}
+}
+
+func TestFloorCeilDivAgreeWithBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 || (a == MinSigned(64) && b == -1) {
+			return true
+		}
+		x, y := NewInt(64, a), NewInt(64, b)
+		fl, _ := x.FloorDivS(y)
+		ce, _ := x.CeilDivS(y)
+		var q big.Int
+		var r big.Int
+		q.DivMod(big.NewInt(a), big.NewInt(b), &r) // Euclidean
+		// Convert Euclidean to floor: big.Int.Div is Euclidean; floor
+		// differs when remainder != 0 and b < 0.
+		floor := new(big.Int).Set(&q)
+		if r.Sign() != 0 && b < 0 {
+			floor.Sub(floor, big.NewInt(1))
+		}
+		ceil := new(big.Int).Add(floor, big.NewInt(0))
+		if r.Sign() != 0 {
+			ceil.Add(floor, big.NewInt(1))
+		}
+		return fl.Signed() == floor.Int64() && ce.Signed() == ceil.Int64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftUB(t *testing.T) {
+	var ub *UBError
+	if _, err := NewInt(8, 1).ShL(NewInt(8, 8)); !errors.As(err, &ub) {
+		t.Error("shli past width should be UB")
+	}
+	if _, err := NewInt(8, 1).ShRU(NewInt(8, 9)); !errors.As(err, &ub) {
+		t.Error("shrui past width should be UB")
+	}
+	if _, err := NewInt(8, 1).ShRS(NewInt(8, 200)); !errors.As(err, &ub) {
+		t.Error("shrsi past width should be UB (unsigned amount)")
+	}
+	if got, _ := NewInt(8, 1).ShL(NewInt(8, 7)); got.Unsigned() != 128 {
+		t.Errorf("1<<7 = %d", got.Unsigned())
+	}
+	if got, _ := NewInt(8, -128).ShRS(NewInt(8, 7)); got.Signed() != -1 {
+		t.Errorf("-128>>s7 = %d", got.Signed())
+	}
+	if got, _ := NewInt(8, -128).ShRU(NewInt(8, 7)); got.Unsigned() != 1 {
+		t.Errorf("-128>>u7 = %d", got.Unsigned())
+	}
+}
+
+func TestCmpPredicates(t *testing.T) {
+	a, b := NewInt(8, -1), NewInt(8, 1)
+	cases := []struct {
+		p    CmpPredicate
+		want bool
+	}{
+		{CmpEQ, false}, {CmpNE, true},
+		{CmpSLT, true}, {CmpSLE, true}, {CmpSGT, false}, {CmpSGE, false},
+		// -1 is 255 unsigned.
+		{CmpULT, false}, {CmpULE, false}, {CmpUGT, true}, {CmpUGE, true},
+	}
+	for _, c := range cases {
+		got, err := a.Cmp(c.p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.IsTrue() != c.want {
+			t.Errorf("cmpi %s -1, 1 = %v, want %v", c.p, got.IsTrue(), c.want)
+		}
+	}
+	if _, err := a.Cmp(CmpPredicate(42), b); err == nil {
+		t.Error("invalid predicate should error")
+	}
+	if CmpPredicate(42).Valid() {
+		t.Error("42 is not a valid predicate")
+	}
+}
+
+func TestExtTruncCasts(t *testing.T) {
+	if got := NewInt(8, -1).ExtS(32).Signed(); got != -1 {
+		t.Errorf("extsi(-1:i8):i32 = %d", got)
+	}
+	if got := NewInt(8, -1).ExtU(32).Signed(); got != 255 {
+		t.Errorf("extui(-1:i8):i32 = %d", got)
+	}
+	if got := NewInt(32, 0x1ff).Trunc(8).Unsigned(); got != 0xff {
+		t.Errorf("trunci = %d", got)
+	}
+	if got := NewInt(8, -1).IndexCast(ir.Index).Signed(); got != -1 {
+		t.Errorf("index_cast(-1:i8) = %d", got)
+	}
+	if got := NewInt(8, -1).IndexCastU(ir.Index).Signed(); got != 255 {
+		t.Errorf("index_castui(-1:i8) = %d", got)
+	}
+	if got := NewIndex(-1).IndexCast(ir.I8).Unsigned(); got != 0xff {
+		t.Errorf("index_cast(-1:index):i8 = %d", got)
+	}
+	if got := NewIndex(3).IndexCast(ir.I32).Type(); !ir.TypeEqual(got, ir.I32) {
+		t.Errorf("index_cast result type = %v", got)
+	}
+}
+
+func TestSelectAndMinMax(t *testing.T) {
+	a, b := NewInt(8, -5), NewInt(8, 10)
+	if got := Bool(true).Select(a, b); !got.Equal(a) {
+		t.Error("select true")
+	}
+	if got := Bool(false).Select(a, b); !got.Equal(b) {
+		t.Error("select false")
+	}
+	if got := a.MinS(b); got.Signed() != -5 {
+		t.Errorf("minsi = %d", got.Signed())
+	}
+	if got := a.MaxS(b); got.Signed() != 10 {
+		t.Errorf("maxsi = %d", got.Signed())
+	}
+	// -5 is 251 unsigned.
+	if got := a.MinU(b); got.Unsigned() != 10 {
+		t.Errorf("minui = %d", got.Unsigned())
+	}
+	if got := a.MaxU(b); got.Unsigned() != 251 {
+		t.Errorf("maxui = %d", got.Unsigned())
+	}
+}
+
+func TestUndefPropagation(t *testing.T) {
+	u := UndefInt(ir.I8)
+	d := NewInt(8, 3)
+	if u.Add(d).Defined() || d.Add(u).Defined() {
+		t.Error("add must propagate undef")
+	}
+	if d.Add(d).Defined() != true {
+		t.Error("defined + defined is defined")
+	}
+	q, err := u.DivS(d)
+	if err != nil || q.Defined() {
+		t.Error("undef/3 is defined-error-free but undef")
+	}
+	if got, _ := u.Cmp(CmpEQ, d); got.Defined() {
+		t.Error("cmp must propagate undef")
+	}
+	lo, hi := u.MulSIExtended(d)
+	if lo.Defined() || hi.Defined() {
+		t.Error("mulsi_extended must propagate undef")
+	}
+	if u.ExtS(16).Defined() || u.Trunc(4).Defined() || u.IndexCast(ir.Index).Defined() {
+		t.Error("casts must propagate undef")
+	}
+}
+
+func TestWrapArithmetic(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := NewInt(8, a), NewInt(8, b)
+		sum := x.Add(y)
+		if sum.Unsigned() != uint64(uint8(uint64(a)+uint64(b))) {
+			return false
+		}
+		diff := x.Sub(y)
+		if diff.Unsigned() != uint64(uint8(uint64(a)-uint64(b))) {
+			return false
+		}
+		prod := x.Mul(y)
+		if prod.Unsigned() != uint64(uint8(uint64(a)*uint64(b))) {
+			return false
+		}
+		if !x.Neg().Equal(NewInt(8, 0).Sub(x)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxConstants(t *testing.T) {
+	if MinSigned(8) != -128 || MaxSigned(8) != 127 || MaxUnsigned(8) != 255 {
+		t.Error("i8 bounds wrong")
+	}
+	if MinSigned(1) != -1 || MaxSigned(1) != 0 || MaxUnsigned(1) != 1 {
+		t.Error("i1 bounds wrong")
+	}
+	if MinSigned(64) != -9223372036854775808 || MaxSigned(64) != 9223372036854775807 {
+		t.Error("i64 bounds wrong")
+	}
+}

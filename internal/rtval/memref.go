@@ -1,0 +1,52 @@
+package rtval
+
+import (
+	"fmt"
+
+	"ratte/internal/ir"
+)
+
+// MemRef is a reference to a mutable buffer owned by an interpreter
+// context. MemRefs appear only in lowered (bufferised) programs; the
+// reference semantics of the source dialects are tensor-based.
+type MemRef struct {
+	Handle int64
+	Shape  []int64
+	Elem   ir.Type
+}
+
+// Type returns the concrete memref type.
+func (m MemRef) Type() ir.Type { return ir.MemRefOf(m.Shape, m.Elem) }
+
+// Defined reports true: the reference itself is always defined (its
+// contents carry their own definedness).
+func (m MemRef) Defined() bool { return true }
+
+func (m MemRef) String() string { return fmt.Sprintf("memref@%d", m.Handle) }
+
+// NumElements returns the number of elements in the buffer.
+func (m MemRef) NumElements() int64 {
+	n := int64(1)
+	for _, d := range m.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Offset converts a multi-dimensional index to a row-major offset,
+// trapping when out of bounds.
+func (m MemRef) Offset(idx []int64) (int64, error) {
+	if len(idx) != len(m.Shape) {
+		return 0, &TrapError{Op: "memref", Reason: fmt.Sprintf("rank mismatch: %d indices into rank-%d memref", len(idx), len(m.Shape))}
+	}
+	off := int64(0)
+	for i, x := range idx {
+		if x < 0 || x >= m.Shape[i] {
+			return 0, &TrapError{Op: "memref", Reason: fmt.Sprintf("index %d out of bounds for dim %d of size %d", x, i, m.Shape[i])}
+		}
+		off = off*m.Shape[i] + x
+	}
+	return off, nil
+}
+
+var _ Value = MemRef{}

@@ -1,0 +1,224 @@
+package rtval
+
+import (
+	"fmt"
+	"strings"
+
+	"ratte/internal/ir"
+)
+
+// Value is the interface of all runtime values flowing through the
+// reference interpreter: scalar Ints and Tensors.
+type Value interface {
+	// Type returns the IR type of the value. For tensors this is the
+	// *concrete* type: every dimension is static, even when the program
+	// text used a dynamically-sized tensor type (the paper's distinction
+	// between syntactical and concrete types, §3.3).
+	Type() ir.Type
+
+	// Defined reports whether the value is fully well-defined (for
+	// tensors: every element).
+	Defined() bool
+
+	// String renders the value for oracle comparison.
+	String() string
+}
+
+var (
+	_ Value = Int{}
+	_ Value = (*Tensor)(nil)
+)
+
+// Equal compares two runtime values for oracle purposes.
+func Equal(a, b Value) bool {
+	switch x := a.(type) {
+	case Int:
+		y, ok := b.(Int)
+		return ok && x.Equal(y)
+	case *Tensor:
+		y, ok := b.(*Tensor)
+		return ok && x.Equal(y)
+	}
+	return false
+}
+
+// Tensor is a ranked tensor value with a concrete (fully static) shape,
+// row-major element storage, and per-element definedness so that
+// tensor.empty results can flow through a program without poisoning
+// everything they touch (the paper's well-definedness analysis, §3.4).
+type Tensor struct {
+	Shape []int64
+	Elem  ir.Type // scalar element type
+	Elems []Int   // len == product(Shape)
+}
+
+// NewTensor builds a tensor with all elements initialised to fill.
+func NewTensor(shape []int64, elem ir.Type, fill Int) *Tensor {
+	t := &Tensor{
+		Shape: append([]int64(nil), shape...),
+		Elem:  elem,
+	}
+	n := t.NumElements()
+	t.Elems = make([]Int, n)
+	for i := range t.Elems {
+		t.Elems[i] = fill
+	}
+	return t
+}
+
+// EmptyTensor builds a tensor whose elements are all undef, as produced
+// by tensor.empty.
+func EmptyTensor(shape []int64, elem ir.Type) *Tensor {
+	return NewTensor(shape, elem, UndefInt(elem))
+}
+
+// NumElements returns the number of elements.
+func (t *Tensor) NumElements() int64 {
+	n := int64(1)
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Type returns the concrete tensor type (all dims static).
+func (t *Tensor) Type() ir.Type { return ir.TensorOf(t.Shape, t.Elem) }
+
+// Defined reports whether every element is well-defined.
+func (t *Tensor) Defined() bool {
+	for _, e := range t.Elems {
+		if !e.Defined() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy (tensors have value semantics in MLIR; ops
+// like tensor.insert produce a new tensor).
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{
+		Shape: append([]int64(nil), t.Shape...),
+		Elem:  t.Elem,
+		Elems: append([]Int(nil), t.Elems...),
+	}
+}
+
+// Equal reports whether two tensors have identical shape, element type
+// and elements.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) || !ir.TypeEqual(t.Elem, o.Elem) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	for i := range t.Elems {
+		if !t.Elems[i].Equal(o.Elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Offset converts a multi-dimensional index to a row-major offset,
+// reporting a trap for out-of-bounds access.
+func (t *Tensor) Offset(idx []int64) (int64, error) {
+	if len(idx) != len(t.Shape) {
+		return 0, &TrapError{Op: "tensor", Reason: fmt.Sprintf("rank mismatch: %d indices into rank-%d tensor", len(idx), len(t.Shape))}
+	}
+	off := int64(0)
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			return 0, &TrapError{Op: "tensor", Reason: fmt.Sprintf("index %d out of bounds for dim %d of size %d", x, i, t.Shape[i])}
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off, nil
+}
+
+// At returns the element at the multi-dimensional index.
+func (t *Tensor) At(idx []int64) (Int, error) {
+	off, err := t.Offset(idx)
+	if err != nil {
+		return Int{}, err
+	}
+	return t.Elems[off], nil
+}
+
+// Insert returns a copy of t with the element at idx replaced by v.
+func (t *Tensor) Insert(idx []int64, v Int) (*Tensor, error) {
+	off, err := t.Offset(idx)
+	if err != nil {
+		return nil, err
+	}
+	c := t.Clone()
+	c.Elems[off] = v
+	return c, nil
+}
+
+// String renders the tensor as vector.print renders memrefs/vectors:
+// nested parenthesised rows, e.g. "( ( 1, 2 ), ( 3, 4 ) )".
+func (t *Tensor) String() string {
+	var b strings.Builder
+	var rec func(dim int, off int64, stride int64)
+	rec = func(dim int, off int64, stride int64) {
+		if dim == len(t.Shape) {
+			b.WriteString(t.Elems[off].String())
+			return
+		}
+		inner := stride / t.Shape[dim]
+		b.WriteString("( ")
+		for i := int64(0); i < t.Shape[dim]; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			rec(dim+1, off+i*inner, inner)
+		}
+		b.WriteString(" )")
+	}
+	if len(t.Shape) == 0 {
+		if len(t.Elems) == 0 {
+			return "( )"
+		}
+		return t.Elems[0].String()
+	}
+	rec(0, 0, t.NumElements())
+	return b.String()
+}
+
+// FromAttr materialises a tensor from a dense attribute.
+func FromAttr(a ir.DenseIntAttr) (*Tensor, error) {
+	tt := a.Type
+	if !tt.HasStaticShape() {
+		return nil, fmt.Errorf("rtval: dense attribute with dynamic shape %s", tt)
+	}
+	w, ok := ir.BitWidth(tt.Elem)
+	if !ok {
+		return nil, fmt.Errorf("rtval: unsupported dense element type %s", tt.Elem)
+	}
+	_, isIdx := tt.Elem.(ir.IndexType)
+	mk := func(v int64) Int {
+		if isIdx {
+			return NewIndex(v)
+		}
+		return NewInt(w, v)
+	}
+	t := EmptyTensor(tt.Shape, tt.Elem)
+	n := t.NumElements()
+	if a.Splat {
+		for i := range t.Elems {
+			t.Elems[i] = mk(a.Values[0])
+		}
+		return t, nil
+	}
+	if int64(len(a.Values)) != n {
+		return nil, fmt.Errorf("rtval: dense attribute has %d values for %d elements", len(a.Values), n)
+	}
+	for i, v := range a.Values {
+		t.Elems[i] = mk(v)
+	}
+	return t, nil
+}

@@ -1,0 +1,148 @@
+package rtval
+
+import (
+	"errors"
+	"testing"
+
+	"ratte/internal/ir"
+)
+
+func TestTensorBasics(t *testing.T) {
+	fill := NewInt(64, 7)
+	tn := NewTensor([]int64{2, 3}, ir.I64, fill)
+	if tn.NumElements() != 6 {
+		t.Fatalf("NumElements = %d", tn.NumElements())
+	}
+	if !ir.TypeEqual(tn.Type(), ir.TensorOf([]int64{2, 3}, ir.I64)) {
+		t.Errorf("type %v", tn.Type())
+	}
+	if !tn.Defined() {
+		t.Error("filled tensor should be defined")
+	}
+	v, err := tn.At([]int64{1, 2})
+	if err != nil || v.Signed() != 7 {
+		t.Errorf("At = %v, %v", v, err)
+	}
+}
+
+func TestTensorOutOfBounds(t *testing.T) {
+	tn := NewTensor([]int64{2, 3}, ir.I64, NewInt(64, 0))
+	var trap *TrapError
+	if _, err := tn.At([]int64{2, 0}); !errors.As(err, &trap) {
+		t.Error("row OOB should trap")
+	}
+	if _, err := tn.At([]int64{0, 3}); !errors.As(err, &trap) {
+		t.Error("col OOB should trap")
+	}
+	if _, err := tn.At([]int64{-1, 0}); !errors.As(err, &trap) {
+		t.Error("negative index should trap")
+	}
+	if _, err := tn.At([]int64{0}); !errors.As(err, &trap) {
+		t.Error("rank mismatch should trap")
+	}
+}
+
+func TestTensorInsertIsValueSemantics(t *testing.T) {
+	tn := NewTensor([]int64{2, 2}, ir.I32, NewInt(32, 0))
+	tn2, err := tn.Insert([]int64{0, 1}, NewInt(32, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tn.At([]int64{0, 1}); v.Signed() != 0 {
+		t.Error("insert mutated the original tensor")
+	}
+	if v, _ := tn2.At([]int64{0, 1}); v.Signed() != 9 {
+		t.Error("insert did not update the copy")
+	}
+}
+
+func TestEmptyTensorDefinedness(t *testing.T) {
+	tn := EmptyTensor([]int64{2}, ir.I64)
+	if tn.Defined() {
+		t.Error("tensor.empty result must be undef")
+	}
+	filled, err := tn.Insert([]int64{0}, NewInt(64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled.Defined() {
+		t.Error("partially-initialised tensor is still not fully defined")
+	}
+	filled, err = filled.Insert([]int64{1}, NewInt(64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filled.Defined() {
+		t.Error("fully-initialised tensor should be defined")
+	}
+}
+
+func TestTensorString(t *testing.T) {
+	tn := NewTensor([]int64{2, 2}, ir.I64, NewInt(64, 0))
+	tn, _ = tn.Insert([]int64{0, 0}, NewInt(64, 1))
+	tn, _ = tn.Insert([]int64{0, 1}, NewInt(64, 2))
+	tn, _ = tn.Insert([]int64{1, 0}, NewInt(64, 3))
+	tn, _ = tn.Insert([]int64{1, 1}, NewInt(64, 4))
+	want := "( ( 1, 2 ), ( 3, 4 ) )"
+	if got := tn.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	scalar := NewTensor(nil, ir.I64, NewInt(64, 5))
+	if got := scalar.String(); got != "5" {
+		t.Errorf("rank-0 String = %q", got)
+	}
+}
+
+func TestTensorEqual(t *testing.T) {
+	a := NewTensor([]int64{2}, ir.I64, NewInt(64, 1))
+	b := NewTensor([]int64{2}, ir.I64, NewInt(64, 1))
+	if !a.Equal(b) {
+		t.Error("equal tensors")
+	}
+	c, _ := b.Insert([]int64{0}, NewInt(64, 2))
+	if a.Equal(c) {
+		t.Error("different elements")
+	}
+	d := NewTensor([]int64{2, 1}, ir.I64, NewInt(64, 1))
+	if a.Equal(d) {
+		t.Error("different shapes")
+	}
+	e := NewTensor([]int64{2}, ir.I32, NewInt(32, 1))
+	if a.Equal(e) {
+		t.Error("different element types")
+	}
+	if !Equal(a, b) || Equal(a, NewInt(64, 1)) {
+		t.Error("Equal dispatch wrong")
+	}
+	if !Equal(NewInt(8, 3), NewInt(8, 3)) || Equal(NewInt(8, 3), NewInt(8, 4)) {
+		t.Error("Equal on ints wrong")
+	}
+}
+
+func TestFromAttr(t *testing.T) {
+	a := ir.DenseAttr([]int64{1, 2, 3, 4}, ir.TensorOf([]int64{2, 2}, ir.I64))
+	tn, err := FromAttr(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tn.At([]int64{1, 0}); v.Signed() != 3 {
+		t.Errorf("element (1,0) = %d", v.Signed())
+	}
+
+	sp, err := FromAttr(ir.SplatAttr(-1, ir.TensorOf([]int64{3}, ir.I8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if v, _ := sp.At([]int64{i}); v.Signed() != -1 {
+			t.Errorf("splat element %d = %d", i, v.Signed())
+		}
+	}
+
+	if _, err := FromAttr(ir.DenseAttr([]int64{1}, ir.TensorOf([]int64{2}, ir.I64))); err == nil {
+		t.Error("count mismatch should error")
+	}
+	if _, err := FromAttr(ir.DenseAttr([]int64{1}, ir.TensorOf([]int64{ir.DynamicSize}, ir.I64))); err == nil {
+		t.Error("dynamic shape should error")
+	}
+}

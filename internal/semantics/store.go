@@ -1,0 +1,181 @@
+// Package semantics implements the incremental semantic store Ratte's
+// generators consult while constructing programs (paper §3.1–§3.3).
+//
+// The store is a tuple of independently-updatable incremental states —
+// exactly the shape of Definition 3.3, S(P') = f(S(P), e):
+//
+//   - the dialect-agnostic *type table* (Figure 6, left): which SSA
+//     values are visible in the current scope and at which syntactic
+//     types;
+//   - the dialect-agnostic *fresh-ID source* (Figure 6, right);
+//   - the *concrete interpretation*: the runtime value of every visible
+//     SSA value, obtained by evaluating each appended operation with
+//     the reference kernels the moment it is generated. Concrete values
+//     subsume the paper's well-definedness analysis (§3.4) and concrete
+//     container-shape tracking (§3.3): both are fields of the runtime
+//     value.
+//
+// Apply is the only mutation on a generated prefix: it evaluates one
+// extension operation and updates every sub-state, so the cost of
+// keeping the semantics current is proportional to the extension, never
+// to the whole prefix.
+package semantics
+
+import (
+	"fmt"
+	"strconv"
+
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+)
+
+// Store carries the semantic state of a partially-generated program.
+type Store struct {
+	ctx   *interp.Context
+	types *scoped.Table[ir.Value]
+	fresh int
+}
+
+// NewStore builds a store whose concrete interpretation uses the given
+// interpreter's kernels (normally the composed reference interpreter of
+// the dialects being fuzzed).
+func NewStore(in *interp.Interpreter) *Store {
+	return &Store{
+		ctx:   interp.NewContext(in),
+		types: scoped.New[ir.Value](),
+	}
+}
+
+// Context exposes the underlying evaluation context (for output
+// retrieval and function registration).
+func (s *Store) Context() *interp.Context { return s.ctx }
+
+// FreshID hands out the next free SSA identifier — the incremental
+// next-ID semantics of Figure 6.
+func (s *Store) FreshID() string {
+	id := strconv.Itoa(s.fresh)
+	s.fresh++
+	return id
+}
+
+// FreshValue allocates a fresh value of the given type.
+func (s *Store) FreshValue(t ir.Type) ir.Value { return ir.V(s.FreshID(), t) }
+
+// PushScope/PopScope track region nesting during generation.
+func (s *Store) PushScope(kind scoped.ScopeType) {
+	s.ctx.PushScope(kind)
+	s.types.Push(kind)
+}
+
+// PopScope leaves the innermost scope.
+func (s *Store) PopScope() {
+	s.ctx.PopScope()
+	s.types.Pop()
+}
+
+// BindArg introduces a block argument with a concrete sample value
+// (used when generating region bodies whose arguments are supplied by
+// the enclosing operation at run time).
+func (s *Store) BindArg(v ir.Value, sample rtval.Value) error {
+	if err := s.ctx.Define(v, sample); err != nil {
+		return err
+	}
+	return s.types.Define(v.ID, v)
+}
+
+// AddFunc registers a helper function so that generated func.call
+// operations can be evaluated during generation.
+func (s *Store) AddFunc(f *ir.Operation) error { return s.ctx.AddFunc(f) }
+
+// Apply evaluates one extension operation and folds its results into
+// every sub-state. An error means the extension would introduce
+// undefined behaviour or a trap — the generator must never produce one,
+// so callers treat it as a generator defect.
+func (s *Store) Apply(op *ir.Operation) error {
+	if err := s.ctx.Eval(op); err != nil {
+		return err
+	}
+	for _, r := range op.Results {
+		if err := s.types.Define(r.ID, r); err != nil {
+			return fmt.Errorf("semantics: %w", err)
+		}
+	}
+	return nil
+}
+
+// Value returns the concrete runtime value of a visible SSA value.
+func (s *Store) Value(id string) (rtval.Value, bool) { return s.ctx.Lookup(id) }
+
+// Candidate is a visible SSA value paired with its concrete value.
+type Candidate struct {
+	Val ir.Value
+	RT  rtval.Value
+}
+
+// Candidates returns every visible value satisfying pred. The order is
+// deterministic (sorted by ID) so generation is reproducible.
+func (s *Store) Candidates(pred func(v ir.Value, rt rtval.Value) bool) []Candidate {
+	ids := s.types.VisibleKeys()
+	sortStrings(ids)
+	var out []Candidate
+	for _, id := range ids {
+		v, ok := s.types.Lookup(id)
+		if !ok {
+			continue
+		}
+		rt, ok := s.ctx.Lookup(id)
+		if !ok {
+			continue
+		}
+		if pred == nil || pred(v, rt) {
+			out = append(out, Candidate{Val: v, RT: rt})
+		}
+	}
+	return out
+}
+
+// ScalarsOfType returns visible integer/index values of exactly type t.
+func (s *Store) ScalarsOfType(t ir.Type) []Candidate {
+	return s.Candidates(func(v ir.Value, rt rtval.Value) bool {
+		return ir.TypeEqual(v.Type, t)
+	})
+}
+
+// Tensors returns the visible tensor values.
+func (s *Store) Tensors() []Candidate {
+	return s.Candidates(func(v ir.Value, rt rtval.Value) bool {
+		_, ok := rt.(*rtval.Tensor)
+		return ok
+	})
+}
+
+// Output returns everything printed by evaluated vector.print ops: the
+// expected output of the generated program (the generation-time oracle).
+func (s *Store) Output() string { return s.ctx.Output() }
+
+func sortStrings(ss []string) {
+	// Insertion sort: candidate lists are small and this avoids pulling
+	// in sort for a hot path… no — clarity wins; use a simple shell of
+	// the stdlib. (Kept tiny and allocation-free.)
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && less(ss[j], ss[j-1]); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// less orders IDs numerically when both are numeric, lexically
+// otherwise, so %2 < %10.
+func less(a, b string) bool {
+	na, ea := strconv.Atoi(a)
+	nb, eb := strconv.Atoi(b)
+	if ea == nil && eb == nil {
+		return na < nb
+	}
+	if (ea == nil) != (eb == nil) {
+		return ea == nil
+	}
+	return a < b
+}

@@ -1,0 +1,192 @@
+package semantics_test
+
+import (
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+	"ratte/internal/semantics"
+)
+
+func newStore() *semantics.Store {
+	return semantics.NewStore(dialects.NewReferenceInterpreter())
+}
+
+func constOp(id string, v int64, t ir.Type) *ir.Operation {
+	op := ir.NewOp("arith.constant")
+	op.Attrs.Set("value", ir.IntAttr(v, t))
+	op.Results = []ir.Value{ir.V(id, t)}
+	return op
+}
+
+func binOp(name, id string, t ir.Type, a, b ir.Value) *ir.Operation {
+	op := ir.NewOp(name)
+	op.Operands = []ir.Value{a, b}
+	op.Results = []ir.Value{ir.V(id, t)}
+	return op
+}
+
+// TestFigure6IncrementalSemantics replays the paper's Figure 6: the two
+// dialect-agnostic incremental semantics — the value-type table and the
+// next-fresh-ID tracker — evolve step by step as extensions are applied.
+func TestFigure6IncrementalSemantics(t *testing.T) {
+	s := newStore()
+	s.PushScope(scoped.IsolatedFromAbove)
+
+	// Fresh-ID semantics: 0, 1, 2, … independent of anything else.
+	if id := s.FreshID(); id != "0" {
+		t.Fatalf("first fresh id %q", id)
+	}
+	if id := s.FreshID(); id != "1" {
+		t.Fatalf("second fresh id %q", id)
+	}
+
+	// Type semantics: applying an extension records its result types.
+	if err := s.Apply(constOp("0", 7, ir.I64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(constOp("1", 3, ir.I32)); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]string{}
+	for _, c := range s.Candidates(nil) {
+		types[c.Val.ID] = c.Val.Type.String()
+	}
+	if types["0"] != "i64" || types["1"] != "i32" {
+		t.Errorf("type table %v", types)
+	}
+
+	// Incremental update: one more extension extends — not recomputes —
+	// the state.
+	v2 := ir.V(s.FreshID(), ir.I64)
+	if err := s.Apply(binOp("arith.addi", v2.ID, ir.I64, ir.V("0", ir.I64), ir.V("0", ir.I64))); err != nil {
+		t.Fatal(err)
+	}
+	rt, ok := s.Value(v2.ID)
+	if !ok {
+		t.Fatal("value missing after Apply")
+	}
+	if got := rt.(rtval.Int).Signed(); got != 14 {
+		t.Errorf("concrete interpretation says %d, want 14", got)
+	}
+}
+
+// TestConcreteInterpretationGuidesChoices demonstrates Figure 11's
+// discipline: the store knows which visible values are safe divisors.
+func TestConcreteInterpretationGuidesChoices(t *testing.T) {
+	s := newStore()
+	s.PushScope(scoped.IsolatedFromAbove)
+	if err := s.Apply(constOp("z", 0, ir.I64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(constOp("nz", 5, ir.I64)); err != nil {
+		t.Fatal(err)
+	}
+	safe := s.Candidates(func(v ir.Value, rt rtval.Value) bool {
+		i, ok := rt.(rtval.Int)
+		return ok && i.Defined() && !i.IsZero()
+	})
+	if len(safe) != 1 || safe[0].Val.ID != "nz" {
+		t.Errorf("safe divisors = %v", safe)
+	}
+}
+
+// TestApplyRejectsUB: an extension that would introduce UB is rejected
+// by the incremental evaluation — the generator can never emit one
+// unnoticed.
+func TestApplyRejectsUB(t *testing.T) {
+	s := newStore()
+	s.PushScope(scoped.IsolatedFromAbove)
+	if err := s.Apply(constOp("a", 1, ir.I64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(constOp("z", 0, ir.I64)); err != nil {
+		t.Fatal(err)
+	}
+	div := binOp("arith.divsi", "q", ir.I64, ir.V("a", ir.I64), ir.V("z", ir.I64))
+	if err := s.Apply(div); err == nil {
+		t.Fatal("division by zero must be rejected by Apply")
+	}
+}
+
+// TestScopeDiscipline: region-scoped values vanish on PopScope;
+// enclosing values stay visible through Standard scopes and are hidden
+// by IsolatedFromAbove.
+func TestScopeDiscipline(t *testing.T) {
+	s := newStore()
+	s.PushScope(scoped.IsolatedFromAbove)
+	if err := s.Apply(constOp("outer", 1, ir.I64)); err != nil {
+		t.Fatal(err)
+	}
+
+	s.PushScope(scoped.Standard)
+	if err := s.Apply(constOp("inner", 2, ir.I64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Value("outer"); !ok {
+		t.Error("standard scope must see enclosing values")
+	}
+	s.PopScope()
+	if _, ok := s.Value("inner"); ok {
+		t.Error("region-local value escaped its scope")
+	}
+
+	s.PushScope(scoped.IsolatedFromAbove)
+	if _, ok := s.Value("outer"); ok {
+		t.Error("isolated scope must not see enclosing values")
+	}
+	s.PopScope()
+}
+
+// TestBindArg samples region arguments.
+func TestBindArg(t *testing.T) {
+	s := newStore()
+	s.PushScope(scoped.Standard)
+	arg := ir.V("arg0", ir.Index)
+	if err := s.BindArg(arg, rtval.NewIndex(3)); err != nil {
+		t.Fatal(err)
+	}
+	rt, ok := s.Value("arg0")
+	if !ok || rt.(rtval.Int).Signed() != 3 {
+		t.Errorf("bound arg = %v, %v", rt, ok)
+	}
+}
+
+// TestOutputAccumulates: evaluated prints become the expected output.
+func TestOutputAccumulates(t *testing.T) {
+	s := newStore()
+	s.PushScope(scoped.IsolatedFromAbove)
+	if err := s.Apply(constOp("a", -5, ir.I8)); err != nil {
+		t.Fatal(err)
+	}
+	p := ir.NewOp("vector.print")
+	p.Operands = []ir.Value{ir.V("a", ir.I8)}
+	if err := s.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Output() != "-5\n" {
+		t.Errorf("output %q", s.Output())
+	}
+}
+
+// TestCandidatesDeterministic: candidate enumeration is sorted, so
+// generation is reproducible.
+func TestCandidatesDeterministic(t *testing.T) {
+	s := newStore()
+	s.PushScope(scoped.Standard)
+	for _, id := range []string{"2", "10", "1"} {
+		if err := s.Apply(constOp(id, 1, ir.I64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Candidates(nil)
+	if len(c) != 3 || c[0].Val.ID != "1" || c[1].Val.ID != "2" || c[2].Val.ID != "10" {
+		ids := []string{}
+		for _, x := range c {
+			ids = append(ids, x.Val.ID)
+		}
+		t.Errorf("candidate order %v, want numeric [1 2 10]", ids)
+	}
+}

@@ -1,0 +1,61 @@
+package verify
+
+import (
+	"ratte/internal/ir"
+)
+
+// WantOperands checks the operand count.
+func WantOperands(op *ir.Operation, n int) error {
+	if len(op.Operands) != n {
+		return Errf(op, "expected %d operands, found %d", n, len(op.Operands))
+	}
+	return nil
+}
+
+// WantResults checks the result count.
+func WantResults(op *ir.Operation, n int) error {
+	if len(op.Results) != n {
+		return Errf(op, "expected %d results, found %d", n, len(op.Results))
+	}
+	return nil
+}
+
+// WantScalarOperands checks that every operand is an integer or index
+// type (the arith scalar domain).
+func WantScalarOperands(op *ir.Operation) error {
+	for _, o := range op.Operands {
+		if !ir.IsIntegerOrIndex(o.Type) {
+			return Errf(op, "operand %%%s must have integer or index type, has %s", o.ID, o.Type)
+		}
+	}
+	return nil
+}
+
+// WantAllSameType checks that the listed values share one type.
+func WantAllSameType(op *ir.Operation, vals ...ir.Value) error {
+	for i := 1; i < len(vals); i++ {
+		if !ir.TypeEqual(vals[0].Type, vals[i].Type) {
+			return Errf(op, "type mismatch: %%%s is %s but %%%s is %s",
+				vals[0].ID, vals[0].Type, vals[i].ID, vals[i].Type)
+		}
+	}
+	return nil
+}
+
+// WantType checks that v has exactly type t.
+func WantType(op *ir.Operation, v ir.Value, t ir.Type) error {
+	if !ir.TypeEqual(v.Type, t) {
+		return Errf(op, "%%%s must have type %s, has %s", v.ID, t, v.Type)
+	}
+	return nil
+}
+
+// WantIntegerType checks that t is a (non-index) integer type and
+// returns its width.
+func WantIntegerType(op *ir.Operation, t ir.Type) (uint, error) {
+	it, ok := t.(ir.IntegerType)
+	if !ok {
+		return 0, Errf(op, "expected an integer type, found %s", t)
+	}
+	return it.Width, nil
+}

@@ -1,0 +1,73 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuccessorArgTypeMismatch(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%c: i1):
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    "cf.cond_br"(%c)[^bb1(%a : i32), ^bb2] : (i1) -> ()
+  ^bb1(%x: i32):
+    "func.return"() : () -> ()
+  ^bb2:
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = (i1) -> ()} : () -> ()
+}) : () -> ()`
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "forwarded at type") {
+		t.Errorf("want successor-type error, got %v", err)
+	}
+}
+
+func TestSuccessorUndefinedValue(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%c: i1):
+    "cf.cond_br"(%c)[^bb1(%ghost : i64), ^bb2] : (i1) -> ()
+  ^bb1(%x: i64):
+    "func.return"() : () -> ()
+  ^bb2:
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = (i1) -> ()} : () -> ()
+}) : () -> ()`
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "undefined value") {
+		t.Errorf("want undefined-value error, got %v", err)
+	}
+}
+
+func TestDuplicateBlockLabels(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0:
+    "func.return"() : () -> ()
+  ^bb0:
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "duplicate block label") {
+		t.Errorf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestWrongRegionCount(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %c = "arith.constant"() {value = 1 : i1} : () -> (i1)
+    %r = "scf.if"(%c) ({
+      %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+      "scf.yield"(%a) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "regions") {
+		t.Errorf("want region-count error, got %v", err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package verify implements Ratte's static verifier for IR modules: the
+// checks a production MLIR verifier performs before passes run.
+//
+// Like the interpreter, the verifier is composable: each dialect
+// registers an OpSpec per operation (operand/result/attribute rules plus
+// structural properties), and a Registry for a dialect combination is
+// the union of the dialects' specs. The driver enforces the
+// dialect-agnostic rules itself: SSA identifier uniqueness within a
+// scope, definition-before-use, declared-type consistency, terminator
+// placement, and function-symbol coherence — the first two classes of
+// undesirable behaviour of the paper's Figure 4.
+//
+// One deliberate simplification relative to production MLIR: values are
+// scoped per *region*, not per dominance relation, so a use in a later
+// block of the same region may see a definition from an earlier block
+// without a dominance proof. Ratte's generators emit single-block
+// regions and its lowering passes only create blocks whose uses follow
+// their definitions, so the relaxation is unobservable in this
+// pipeline; it is noted here for anyone feeding hand-written IR.
+package verify
+
+import (
+	"fmt"
+
+	"ratte/internal/ir"
+	"ratte/internal/scoped"
+)
+
+// OpCheck validates one operation's dialect-specific static rules.
+type OpCheck func(c *Checker, op *ir.Operation) error
+
+// OpSpec describes the static structure of one operation.
+type OpSpec struct {
+	// Check performs dialect-specific validation; may be nil.
+	Check OpCheck
+	// Terminator marks ops that must appear only in block-final
+	// position (and are the only ops allowed there).
+	Terminator bool
+	// IsolatedRegions marks ops whose attached regions cannot see
+	// enclosing SSA values (func.func and friends).
+	IsolatedRegions bool
+	// NumRegions is the required number of attached regions.
+	NumRegions int
+}
+
+// Registry maps fully-qualified op names to their specs.
+type Registry map[string]OpSpec
+
+// Merge combines registries, panicking on duplicates (two dialects must
+// not claim the same op).
+func Merge(regs ...Registry) Registry {
+	out := make(Registry)
+	for _, r := range regs {
+		for name, spec := range r {
+			if _, dup := out[name]; dup {
+				panic(fmt.Sprintf("verify: duplicate op spec for %s", name))
+			}
+			out[name] = spec
+		}
+	}
+	return out
+}
+
+// Error is a verification failure, carrying the offending operation
+// name. A module failing verification corresponds to the compiler
+// frontend rejecting the program.
+type Error struct {
+	OpName string
+	Reason string
+}
+
+func (e *Error) Error() string {
+	if e.OpName == "" {
+		return "verify: " + e.Reason
+	}
+	return "verify: " + e.OpName + ": " + e.Reason
+}
+
+// Errf builds a verification error for op.
+func Errf(op *ir.Operation, format string, args ...any) error {
+	name := ""
+	if op != nil {
+		name = op.Name
+	}
+	return &Error{OpName: name, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Checker carries verification state through the walk.
+type Checker struct {
+	reg   Registry
+	env   *scoped.Table[ir.Type]
+	funcs map[string]ir.FunctionType
+
+	// parents is the stack of region-holding operations enclosing the
+	// current position; the innermost is last.
+	parents []*ir.Operation
+	// funcResults is the result signature of the innermost enclosing
+	// function, for checking func.return.
+	funcResults []ir.Type
+}
+
+// FuncSignature returns the declared type of the function named sym.
+func (c *Checker) FuncSignature(sym string) (ir.FunctionType, bool) {
+	ft, ok := c.funcs[sym]
+	return ft, ok
+}
+
+// EnclosingFuncResults returns the result types of the innermost
+// function.
+func (c *Checker) EnclosingFuncResults() []ir.Type { return c.funcResults }
+
+// Parent returns the innermost enclosing region-holding operation
+// (nil at top level).
+func (c *Checker) Parent() *ir.Operation {
+	if len(c.parents) == 0 {
+		return nil
+	}
+	return c.parents[len(c.parents)-1]
+}
+
+// Module verifies a whole module against the registry.
+func Module(m *ir.Module, reg Registry) error {
+	c := &Checker{
+		reg:   reg,
+		env:   scoped.New[ir.Type](),
+		funcs: make(map[string]ir.FunctionType),
+	}
+	// Pass 1: collect function symbols so forward calls resolve.
+	for _, op := range m.Body().Ops {
+		if op.Name != "func.func" && op.Name != "llvm.func" {
+			return Errf(op, "only functions may appear at module top level")
+		}
+		sym := ir.FuncSymbol(op)
+		if sym == "" {
+			return Errf(op, "function requires a sym_name attribute")
+		}
+		ft, err := ir.FuncType(op)
+		if err != nil {
+			return Errf(op, "%v", err)
+		}
+		if _, dup := c.funcs[sym]; dup {
+			return Errf(op, "duplicate function symbol @%s", sym)
+		}
+		c.funcs[sym] = ft
+	}
+	// Pass 2: verify each function.
+	for _, op := range m.Body().Ops {
+		if err := c.checkOp(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkOp(op *ir.Operation) error {
+	spec, known := c.reg[op.Name]
+	if !known {
+		return Errf(op, "unknown operation (no registered dialect spec)")
+	}
+
+	// Operands: visible and used at their defining type.
+	for _, operand := range op.Operands {
+		defType, ok := c.env.Lookup(operand.ID)
+		if !ok {
+			return Errf(op, "use of undefined value %%%s", operand.ID)
+		}
+		if !ir.TypeEqual(defType, operand.Type) {
+			return Errf(op, "value %%%s has type %s but is used at type %s",
+				operand.ID, defType, operand.Type)
+		}
+	}
+	// Successor arguments are uses too.
+	for _, s := range op.Successors {
+		for _, a := range s.Args {
+			defType, ok := c.env.Lookup(a.ID)
+			if !ok {
+				return Errf(op, "use of undefined value %%%s in successor ^%s", a.ID, s.Block)
+			}
+			if !ir.TypeEqual(defType, a.Type) {
+				return Errf(op, "successor value %%%s has type %s but is forwarded at type %s",
+					a.ID, defType, a.Type)
+			}
+		}
+	}
+
+	// Results: fresh IDs in the current scope.
+	for _, r := range op.Results {
+		if err := c.env.Define(r.ID, r.Type); err != nil {
+			return Errf(op, "result %%%s redefines an existing value in this scope", r.ID)
+		}
+	}
+
+	if spec.NumRegions != len(op.Regions) {
+		return Errf(op, "expected %d regions, found %d", spec.NumRegions, len(op.Regions))
+	}
+
+	if spec.Check != nil {
+		if err := spec.Check(c, op); err != nil {
+			return err
+		}
+	}
+
+	// Regions.
+	if len(op.Regions) > 0 {
+		kind := scoped.Standard
+		if spec.IsolatedRegions {
+			kind = scoped.IsolatedFromAbove
+		}
+		savedResults := c.funcResults
+		if op.Name == "func.func" || op.Name == "llvm.func" {
+			ft, err := ir.FuncType(op)
+			if err != nil {
+				return Errf(op, "%v", err)
+			}
+			c.funcResults = ft.Results
+		}
+		c.parents = append(c.parents, op)
+		for _, r := range op.Regions {
+			if err := c.checkRegion(r, kind); err != nil {
+				return err
+			}
+		}
+		c.parents = c.parents[:len(c.parents)-1]
+		c.funcResults = savedResults
+	}
+	return nil
+}
+
+func (c *Checker) checkRegion(r *ir.Region, kind scoped.ScopeType) error {
+	if len(r.Blocks) == 0 {
+		return &Error{Reason: "region must have at least one block"}
+	}
+	c.env.Push(kind)
+	defer c.env.Pop()
+
+	labels := make(map[string]bool)
+	for _, b := range r.Blocks {
+		if labels[b.Label] {
+			return &Error{Reason: fmt.Sprintf("duplicate block label ^%s", b.Label)}
+		}
+		labels[b.Label] = true
+	}
+
+	for _, b := range r.Blocks {
+		for _, a := range b.Args {
+			if err := c.env.Define(a.ID, a.Type); err != nil {
+				return &Error{Reason: fmt.Sprintf("block argument %%%s redefines an existing value", a.ID)}
+			}
+		}
+		if len(b.Ops) == 0 {
+			return &Error{Reason: fmt.Sprintf("block ^%s is empty (missing terminator)", b.Label)}
+		}
+		for i, op := range b.Ops {
+			spec, known := c.reg[op.Name]
+			if !known {
+				return Errf(op, "unknown operation (no registered dialect spec)")
+			}
+			last := i == len(b.Ops)-1
+			if last && !spec.Terminator {
+				return Errf(op, "block ^%s must end with a terminator", b.Label)
+			}
+			if !last && spec.Terminator {
+				return Errf(op, "terminator in non-final position of block ^%s", b.Label)
+			}
+			// Successor labels must exist within this region.
+			for _, s := range op.Successors {
+				if !labels[s.Block] {
+					return Errf(op, "branch to unknown block ^%s", s.Block)
+				}
+			}
+			if err := c.checkOp(op); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return verify.Module(m, dialects.AllSpecs())
+}
+
+func wrapMain(body string) string {
+	return `"builtin.module"() ({
+  "func.func"() ({` + body + `
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+}
+
+func TestAcceptsValidProgram(t *testing.T) {
+	src := wrapMain(`
+    %a = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %s = "arith.addi"(%a, %b) : (i64, i64) -> (i64)
+    "vector.print"(%s) : (i64) -> ()`)
+	if err := check(t, src); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+// Figure 4, case 1: reuse of an SSA ID within a scope.
+func TestRejectsIDReuse(t *testing.T) {
+	src := wrapMain(`
+    %x = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %x = "arith.constant"() {value = 4 : i64} : () -> (i64)`)
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "redefines") {
+		t.Errorf("want redefinition error, got %v", err)
+	}
+}
+
+// Figure 4, case 2: mismatched operand types.
+func TestRejectsTypeMismatch(t *testing.T) {
+	src := wrapMain(`
+    %0 = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 7 : i32} : () -> (i32)
+    %2 = "arith.addi"(%0, %1) : (i64, i32) -> (i32)`)
+	err := check(t, src)
+	if err == nil {
+		t.Fatal("mixed-width addi must be rejected")
+	}
+}
+
+func TestRejectsUseAtWrongType(t *testing.T) {
+	// %0 is defined as i64 but used claiming i32.
+	src := wrapMain(`
+    %0 = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 7 : i32} : () -> (i32)
+    %2 = "arith.addi"(%0, %1) : (i32, i32) -> (i32)`)
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "used at type") {
+		t.Errorf("want used-at-type error, got %v", err)
+	}
+}
+
+func TestRejectsUseOfUndefinedValue(t *testing.T) {
+	src := wrapMain(`
+    %1 = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %2 = "arith.addi"(%1, %ghost) : (i64, i64) -> (i64)`)
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "undefined value") {
+		t.Errorf("want undefined-value error, got %v", err)
+	}
+}
+
+func TestRejectsUnknownOp(t *testing.T) {
+	src := wrapMain(`
+    "mystery.op"() : () -> ()`)
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Errorf("want unknown-op error, got %v", err)
+	}
+}
+
+func TestRejectsMissingTerminator(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 3 : i64} : () -> (i64)
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("want terminator error, got %v", err)
+	}
+}
+
+func TestRejectsMidBlockTerminator(t *testing.T) {
+	src := wrapMain(`
+    "func.return"() : () -> ()
+    %a = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    "vector.print"(%a) : (i64) -> ()`)
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "non-final") {
+		t.Errorf("want non-final terminator error, got %v", err)
+	}
+}
+
+func TestRejectsBadReturnArity(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> (i64)} : () -> ()
+}) : () -> ()`
+	err := check(t, src)
+	if err == nil {
+		t.Error("return arity mismatch must be rejected")
+	}
+}
+
+func TestCallSignatureChecks(t *testing.T) {
+	good := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %r = "func.call"(%a) {callee = @f} : (i64) -> (i64)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%x: i64):
+    "func.return"(%x) : (i64) -> ()
+  }) {sym_name = "f", function_type = (i64) -> (i64)} : () -> ()
+}) : () -> ()`
+	if err := check(t, good); err != nil {
+		t.Errorf("valid call rejected: %v", err)
+	}
+
+	for name, bad := range map[string]string{
+		"unknown_callee": `%r = "func.call"() {callee = @ghost} : () -> (i64)`,
+		"wrong_arity":    `%r = "func.call"() {callee = @f} : () -> (i64)`,
+	} {
+		src := `"builtin.module"() ({
+  "func.func"() ({
+    ` + bad + `
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%x: i64):
+    "func.return"(%x) : (i64) -> ()
+  }) {sym_name = "f", function_type = (i64) -> (i64)} : () -> ()
+}) : () -> ()`
+		if err := check(t, src); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+}
+
+func TestRejectsDuplicateFunctions(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), "duplicate function") {
+		t.Errorf("want duplicate-function error, got %v", err)
+	}
+}
+
+func TestIsolatedFromAboveEnforced(t *testing.T) {
+	// A nested func.func cannot appear, but isolation is also checked
+	// through the generic scope machinery: a linalg.generic region CAN
+	// see enclosing values (Standard), which must be accepted.
+	src := wrapMain(`
+    %k = "arith.constant"() {value = 5 : i64} : () -> (i64)
+    %a = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %init = "tensor.empty"() : () -> (tensor<2xi64>)
+    %r = "linalg.generic"(%a, %init) ({
+    ^bb0(%x: i64, %o: i64):
+      %s = "arith.addi"(%x, %k) : (i64, i64) -> (i64)
+      "linalg.yield"(%s) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0) -> (d0)>, affine_map<(d0) -> (d0)>],
+      iterator_types = ["parallel"],
+      operand_segment_sizes = [1 : i64, 1 : i64]
+    } : (tensor<2xi64>, tensor<2xi64>) -> (tensor<2xi64>)`)
+	if err := check(t, src); err != nil {
+		t.Errorf("standard region must see enclosing values: %v", err)
+	}
+}
+
+func TestRejectsEscapeFromIsolatedRegion(t *testing.T) {
+	// A function body referencing a value of another function's scope.
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %secret = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    "func.return"() : () -> ()
+  }) {sym_name = "a", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    "vector.print"(%secret) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	if err := check(t, src); err == nil {
+		t.Error("cross-function value use must be rejected")
+	}
+}
+
+func TestLinalgChecks(t *testing.T) {
+	base := func(maps, iters, segs string) string {
+		return wrapMain(`
+    %a = "arith.constant"() {value = dense<[1, 2, 3, 4]> : tensor<2x2xi64>} : () -> (tensor<2x2xi64>)
+    %init = "tensor.empty"() : () -> (tensor<2x2xi64>)
+    %r = "linalg.generic"(%a, %init) ({
+    ^bb0(%x: i64, %o: i64):
+      "linalg.yield"(%x) : (i64) -> ()
+    }) {
+      indexing_maps = ` + maps + `,
+      iterator_types = ` + iters + `,
+      operand_segment_sizes = ` + segs + `
+    } : (tensor<2x2xi64>, tensor<2x2xi64>) -> (tensor<2x2xi64>)`)
+	}
+	valid := base(
+		`[affine_map<(d0, d1) -> (d0, d1)>, affine_map<(d0, d1) -> (d1, d0)>]`,
+		`["parallel", "parallel"]`, `[1 : i64, 1 : i64]`)
+	if err := check(t, valid); err != nil {
+		t.Errorf("valid generic rejected: %v", err)
+	}
+
+	nonPerm := base(
+		`[affine_map<(d0, d1) -> (d0, d0)>, affine_map<(d0, d1) -> (d0, d1)>]`,
+		`["parallel", "parallel"]`, `[1 : i64, 1 : i64]`)
+	if err := check(t, nonPerm); err == nil {
+		t.Error("non-permutation map must be rejected")
+	}
+
+	badIter := base(
+		`[affine_map<(d0, d1) -> (d0, d1)>, affine_map<(d0, d1) -> (d0, d1)>]`,
+		`["parallel", "spiral"]`, `[1 : i64, 1 : i64]`)
+	if err := check(t, badIter); err == nil {
+		t.Error("bad iterator type must be rejected")
+	}
+
+	badSegs := base(
+		`[affine_map<(d0, d1) -> (d0, d1)>, affine_map<(d0, d1) -> (d0, d1)>]`,
+		`["parallel", "parallel"]`, `[2 : i64, 1 : i64]`)
+	if err := check(t, badSegs); err == nil {
+		t.Error("bad segment sizes must be rejected")
+	}
+}
+
+func TestTensorChecks(t *testing.T) {
+	// Wrong index count.
+	src := wrapMain(`
+    %c = "arith.constant"() {value = dense<[1, 2, 3, 4]> : tensor<2x2xi64>} : () -> (tensor<2x2xi64>)
+    %i = "arith.constant"() {value = 0 : index} : () -> (index)
+    %e = "tensor.extract"(%c, %i) : (tensor<2x2xi64>, index) -> (i64)`)
+	if err := check(t, src); err == nil {
+		t.Error("under-indexed extract must be rejected")
+	}
+
+	// Provably-incompatible cast.
+	src = wrapMain(`
+    %c = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %x = "tensor.cast"(%c) : (tensor<2xi64>) -> (tensor<3xi64>)`)
+	if err := check(t, src); err == nil {
+		t.Error("statically-incompatible cast must be rejected")
+	}
+
+	// Element type change.
+	src = wrapMain(`
+    %c = "arith.constant"() {value = dense<[1, 2]> : tensor<2xi64>} : () -> (tensor<2xi64>)
+    %x = "tensor.cast"(%c) : (tensor<2xi64>) -> (tensor<2xi32>)`)
+	if err := check(t, src); err == nil {
+		t.Error("element-type-changing cast must be rejected")
+	}
+}
+
+func TestArithAttrChecks(t *testing.T) {
+	// Constant out of range for width.
+	src := wrapMain(`
+    %c = "arith.constant"() {value = 300 : i8} : () -> (i8)`)
+	if err := check(t, src); err == nil {
+		t.Error("out-of-range constant must be rejected")
+	}
+
+	// Invalid cmpi predicate.
+	src = wrapMain(`
+    %a = "arith.constant"() {value = 1 : i8} : () -> (i8)
+    %c = "arith.cmpi"(%a, %a) {predicate = 99 : i64} : (i8, i8) -> (i1)`)
+	if err := check(t, src); err == nil {
+		t.Error("invalid predicate must be rejected")
+	}
+
+	// Narrowing "extension".
+	src = wrapMain(`
+    %a = "arith.constant"() {value = 1 : i32} : () -> (i32)
+    %b = "arith.extsi"(%a) : (i32) -> (i8)`)
+	if err := check(t, src); err == nil {
+		t.Error("narrowing extsi must be rejected")
+	}
+
+	// index_cast between two integers.
+	src = wrapMain(`
+    %a = "arith.constant"() {value = 1 : i32} : () -> (i32)
+    %b = "arith.index_cast"(%a) : (i32) -> (i64)`)
+	if err := check(t, src); err == nil {
+		t.Error("integer-to-integer index_cast must be rejected")
+	}
+}
+
+func TestScfChecks(t *testing.T) {
+	// Yield type mismatch with scf.if result.
+	src := wrapMain(`
+    %c = "arith.constant"() {value = 1 : i1} : () -> (i1)
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 1 : i32} : () -> (i32)
+    %r = "scf.if"(%c) ({
+      "scf.yield"(%a) : (i64) -> ()
+    }, {
+      "scf.yield"(%b) : (i32) -> ()
+    }) : (i1) -> (i64)`)
+	if err := check(t, src); err == nil {
+		t.Error("yield type mismatch must be rejected")
+	}
+
+	// Non-i1 condition.
+	src = wrapMain(`
+    %c = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %r = "scf.if"(%c) ({
+      %x = "arith.constant"() {value = 1 : i64} : () -> (i64)
+      "scf.yield"(%x) : (i64) -> ()
+    }, {
+      %y = "arith.constant"() {value = 2 : i64} : () -> (i64)
+      "scf.yield"(%y) : (i64) -> ()
+    }) : (i64) -> (i64)`)
+	if err := check(t, src); err == nil {
+		t.Error("non-i1 scf.if condition must be rejected")
+	}
+}
+
+func TestCfChecks(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%c: i1):
+    "cf.cond_br"(%c)[^bb1, ^bb2] : (i1) -> ()
+  ^bb1:
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    "func.return"(%a) : (i64) -> ()
+  ^bb2:
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    "func.return"(%b) : (i64) -> ()
+  }) {sym_name = "main", function_type = (i1) -> (i64)} : () -> ()
+}) : () -> ()`
+	if err := check(t, src); err != nil {
+		t.Errorf("valid cf rejected: %v", err)
+	}
+
+	bad := strings.Replace(src, "^bb2]", "^nowhere]", 1)
+	if err := check(t, bad); err == nil {
+		t.Error("branch to unknown block must be rejected")
+	}
+}
+
+func TestRejectsNonFuncTopLevel(t *testing.T) {
+	src := `"builtin.module"() ({
+  %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+}) : () -> ()`
+	if err := check(t, src); err == nil {
+		t.Error("top-level non-function op must be rejected")
+	}
+}

@@ -1,0 +1,190 @@
+// Package ratte is the public API of Ratte-Go, a from-scratch Go
+// reproduction of "Ratte: Fuzzing for Miscompilations in Multi-Level
+// Compilers Using Composable Semantics" (ASPLOS 2025).
+//
+// Ratte couples two artefacts that validate each other (the paper's
+// "harmonious cycle"):
+//
+//   - composable reference interpreters for MLIR-style dialects
+//     (arith, func, scf, vector, tensor, linalg), assembled from
+//     per-dialect semantic kernels; and
+//   - semantics-guided program generators whose every extension is
+//     evaluated incrementally, so generated programs are statically
+//     valid and dynamically free of undefined behaviour by
+//     construction.
+//
+// Those programs drive differential testing of a multi-level compiler
+// (this module ships one, structurally mirroring the production MLIR
+// pipeline, complete with the paper's eight re-injectable bugs), which
+// is how miscompilations — not just crashes — become detectable.
+//
+// Typical use:
+//
+//	p, _ := ratte.Generate(ratte.GenConfig{Preset: "ariths", Size: 30, Seed: 1})
+//	fmt.Print(ratte.PrintModule(p.Module))   // the program
+//	fmt.Print(p.Expected)                    // its expected output
+//
+//	rep := ratte.Test(p.Module, p.Expected, "ariths", ratte.AllBugs())
+//	if oracle := rep.Detected(); oracle != ratte.OracleNone {
+//		fmt.Println("found a compiler bug via", oracle)
+//	}
+package ratte
+
+import (
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/difftest"
+	"ratte/internal/gen"
+	"ratte/internal/interp"
+	"ratte/internal/ir"
+	"ratte/internal/mlirsmith"
+	"ratte/internal/mutate"
+	"ratte/internal/reduce"
+	"ratte/internal/verify"
+)
+
+// Core IR types.
+type (
+	// Module is an IR module (a tree of operations, regions and blocks).
+	Module = ir.Module
+	// Operation is a single IR operation.
+	Operation = ir.Operation
+)
+
+// Generation.
+type (
+	// GenConfig parameterises the semantics-guided generator.
+	GenConfig = gen.Config
+	// Program is a generated test case with its expected output.
+	Program = gen.Program
+	// SmithConfig parameterises the MLIRSmith baseline generator.
+	SmithConfig = mlirsmith.Config
+)
+
+// Differential testing.
+type (
+	// Report is one program's differential-testing record.
+	Report = difftest.Report
+	// Oracle names the oracle that detected a difference.
+	Oracle = difftest.Oracle
+	// CampaignConfig drives a fuzzing campaign.
+	CampaignConfig = difftest.CampaignConfig
+	// CampaignResult summarises a campaign.
+	CampaignResult = difftest.CampaignResult
+	// BugSet selects injected compiler defects.
+	BugSet = bugs.Set
+	// BugID identifies one of the paper's Table 3 defects.
+	BugID = bugs.ID
+	// OptLevel is a compiler optimisation level (O0/O1/O2).
+	OptLevel = compiler.OptLevel
+)
+
+// The oracles of the paper's §3.4.
+const (
+	OracleNone = difftest.OracleNone
+	OracleNC   = difftest.OracleNC
+	OracleDTO  = difftest.OracleDTO
+	OracleDTR  = difftest.OracleDTR
+)
+
+// ParseModule parses the generic textual format.
+func ParseModule(src string) (*Module, error) { return ir.Parse(src) }
+
+// PrintModule renders a module in the generic textual format.
+func PrintModule(m *Module) string { return ir.Print(m) }
+
+// VerifyModule checks a module against the source-dialect static rules
+// (the frontend verifier).
+func VerifyModule(m *Module) error {
+	return verify.Module(m, dialects.SourceSpecs())
+}
+
+// InterpResult is the outcome of reference interpretation.
+type InterpResult = interp.Result
+
+// Interpret runs the composable reference interpreter on a module,
+// calling the entry function. It returns an error for statically broken
+// modules, undefined behaviour or runtime traps (use IsUB/IsTrap to
+// classify).
+func Interpret(m *Module, entry string) (*InterpResult, error) {
+	return dialects.NewReferenceInterpreter().Run(m, entry)
+}
+
+// IsUB reports whether an interpretation error stems from undefined
+// behaviour.
+func IsUB(err error) bool { return interp.IsUB(err) }
+
+// IsTrap reports whether an interpretation error is a deterministic
+// runtime trap.
+func IsTrap(err error) bool { return interp.IsTrap(err) }
+
+// Generate builds one statically-valid, UB-free program with the
+// semantics-guided generator.
+func Generate(cfg GenConfig) (*Program, error) { return gen.Generate(cfg) }
+
+// GeneratePresets lists the generator presets (paper Table 2).
+func GeneratePresets() []string { return gen.Presets() }
+
+// GenerateSmith builds one program with the MLIRSmith-style baseline —
+// syntactically valid only.
+func GenerateSmith(cfg SmithConfig) (*Module, error) { return mlirsmith.Generate(cfg) }
+
+// Compile lowers a module to the executable llvm level with the given
+// preset pipeline, optimisation level and injected bugs (nil for the
+// correct compiler).
+func Compile(m *Module, preset string, level OptLevel, bugSet BugSet) (*Module, error) {
+	c := &compiler.Compiler{Level: level, Bugs: bugSet}
+	return c.Compile(m, preset)
+}
+
+// Execute runs a lowered module under the target-level executor (the
+// mlir-cpu-runner stand-in).
+func Execute(m *Module, entry string) (*InterpResult, error) {
+	return dialects.NewExecutor().Run(m, entry)
+}
+
+// Test differentially tests one UB-free module across every build
+// configuration of a (possibly bug-injected) compiler.
+func Test(m *Module, expected, preset string, bugSet BugSet) *Report {
+	return difftest.TestModule(m, expected, preset, bugSet)
+}
+
+// RunCampaign generates and differentially tests programs.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return difftest.RunCampaign(cfg)
+}
+
+// RunCampaignParallel is RunCampaign across worker goroutines, with
+// results deterministic regardless of worker count.
+func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, error) {
+	return difftest.RunCampaignParallel(cfg, workers)
+}
+
+// ReduceModule shrinks a module while pred keeps holding.
+func ReduceModule(m *Module, pred func(*Module) bool) *Module {
+	return reduce.Module(m, pred)
+}
+
+// Mutate applies up to n semantics-preserving mutations to a clone of m
+// (metamorphic testing: a compiled mutant must behave like the compiled
+// original). Returns the mutant and the rule names applied.
+func Mutate(m *Module, seed int64, n int) (*Module, []string) {
+	return mutate.Mutate(m, seed, n)
+}
+
+// NoBugs returns the correct-compiler selection.
+func NoBugs() BugSet { return bugs.None() }
+
+// AllBugs returns every Table 3 defect enabled.
+func AllBugs() BugSet { return bugs.All() }
+
+// Bugs returns a selection with exactly the given defects enabled.
+func Bugs(ids ...BugID) BugSet { return bugs.Only(ids...) }
+
+// BugTable returns the paper's Table 3 inventory.
+func BugTable() []bugs.Info { return bugs.Table() }
+
+// SupportedOps returns the source-dialect operation inventory (the
+// paper's 43 operations across core dialects).
+func SupportedOps() []string { return dialects.SupportedSourceOps() }

@@ -1,0 +1,111 @@
+package ratte_test
+
+import (
+	"strings"
+	"testing"
+
+	"ratte"
+	"ratte/internal/compiler"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := ratte.Generate(ratte.GenConfig{Preset: "ariths", Size: 12, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ratte.VerifyModule(p.Module); err != nil {
+		t.Fatal(err)
+	}
+
+	text := ratte.PrintModule(p.Module)
+	reparsed, err := ratte.ParseModule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ratte.Interpret(reparsed, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != p.Expected {
+		t.Fatalf("output %q, expected %q", res.Output, p.Expected)
+	}
+
+	lowered, err := ratte.Compile(p.Module, "ariths", compiler.O1, ratte.NoBugs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ratte.Execute(lowered, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output != p.Expected {
+		t.Fatalf("executed output %q, expected %q", out.Output, p.Expected)
+	}
+
+	rep := ratte.Test(p.Module, p.Expected, "ariths", ratte.NoBugs())
+	if oracle := rep.Detected(); oracle != ratte.OracleNone {
+		t.Fatalf("correct compiler flagged by %s", oracle)
+	}
+}
+
+func TestFacadeBugHelpers(t *testing.T) {
+	if len(ratte.BugTable()) != 8 {
+		t.Errorf("bug table has %d rows, want 8", len(ratte.BugTable()))
+	}
+	all := ratte.AllBugs()
+	if len(all) != 8 {
+		t.Errorf("AllBugs has %d entries", len(all))
+	}
+	none := ratte.NoBugs()
+	if len(none) != 0 {
+		t.Errorf("NoBugs has %d entries", len(none))
+	}
+	only := ratte.Bugs(5, 7)
+	if !only.Enabled(5) || !only.Enabled(7) || only.Enabled(3) {
+		t.Error("Bugs selection wrong")
+	}
+	if n := len(ratte.SupportedOps()); n < 43 {
+		t.Errorf("only %d supported ops, paper lists 43", n)
+	}
+}
+
+func TestFacadeUBClassification(t *testing.T) {
+	src := `"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %z = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %q = "arith.divui"(%a, %z) : (i64, i64) -> (i64)
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()`
+	m, err := ratte.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ratte.Interpret(m, "main")
+	if err == nil || !ratte.IsUB(err) {
+		t.Fatalf("expected UB, got %v", err)
+	}
+	if ratte.IsTrap(err) {
+		t.Error("UB misclassified as trap")
+	}
+	if !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestFacadeReduce(t *testing.T) {
+	p, err := ratte.Generate(ratte.GenConfig{Preset: "ariths", Size: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := ratte.ReduceModule(p.Module, func(m *ratte.Module) bool {
+		// Interesting = still interprets successfully.
+		_, err := ratte.Interpret(m, "main")
+		return err == nil
+	})
+	if small.NumOps() > p.Module.NumOps() {
+		t.Error("reduction grew the module")
+	}
+}

@@ -1,0 +1,11 @@
+// Bug 1 (issue 90238): canonicalize folds arith.index_castui over a
+// constant with sign extension instead of zero extension.
+// Expected output: 255. Buggy output at O1+: -1. Oracle: DT-R.
+"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = -1 : i8} : () -> (i8)
+    %i = "arith.index_castui"(%a) : (i8) -> (index)
+    "vector.print"(%i) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()

@@ -1,0 +1,17 @@
+// Bug 2 (issue 90296): canonicalize folds the chain
+// index_cast(index_cast(x : index -> i8) : i8 -> index) to x, dropping
+// the truncation. Expected output: 44 (300 mod 256). Buggy: 300.
+// Oracle: DT-R.
+"builtin.module"() ({
+  "func.func"() ({
+    %big = "func.call"() {callee = @c} : () -> (index)
+    %n = "arith.index_cast"(%big) : (index) -> (i8)
+    %back = "arith.index_cast"(%n) : (i8) -> (index)
+    "vector.print"(%back) : (index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 300 : index} : () -> (index)
+    "func.return"(%a) : (index) -> ()
+  }) {sym_name = "c", function_type = () -> (index)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,15 @@
+// Bug 3 (issue 82788): remove-dead-values wrongly rejects a valid
+// module containing a func.call with an unused result.
+// Symptom: compile-time rejection at O2. Oracle: NC.
+"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @pair} : () -> (i64, i64)
+    "vector.print"(%a) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    "func.return"(%a, %b) : (i64, i64) -> ()
+  }) {sym_name = "pair", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()

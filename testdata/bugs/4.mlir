@@ -1,0 +1,16 @@
+// Bug 4 (issue 84986): convert-arith-to-llvm fails to legalize
+// arith.addui_extended over i1 operands and rejects the module.
+// Symptom: compile-time rejection. Oracle: NC.
+"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i1, i1)
+    %s, %o = "arith.addui_extended"(%a, %b) : (i1, i1) -> (i1, i1)
+    "vector.print"(%s) : (i1) -> ()
+    "vector.print"(%o) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%a, %a) : (i1, i1) -> ()
+  }) {sym_name = "c", function_type = () -> (i1, i1)} : () -> ()
+}) : () -> ()

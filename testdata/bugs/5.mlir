@@ -1,0 +1,18 @@
+// Bug 5 (issue 88732, paper Figure 2): canonicalize's i1 special case
+// for arith.mulsi_extended replaces the high result with the low
+// result. -1 x -1 on i1 has low = 1 (prints -1) and high = 0; the bug
+// makes high print -1. Oracle: DT-R.
+"builtin.module"() ({
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    %0 = "func.call"() {callee = @one} : () -> (i1)
+    %low, %high = "arith.mulsi_extended"(%0, %n1) : (i1, i1) -> (i1, i1)
+    "vector.print"(%low) : (i1) -> ()
+    "vector.print"(%high) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+    "func.return"(%n1) : (i1) -> ()
+  }) {sym_name = "one", function_type = () -> (i1)} : () -> ()
+}) : () -> ()

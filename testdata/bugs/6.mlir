@@ -1,0 +1,17 @@
+// Bug 6 (issue 89382): convert-arith-to-llvm's direct ceildivsi
+// conversion uses the positive-only formula (a + b - 1) / b.
+// ceil(-6 / 2) = -3; the buggy conversion computes -2. Exercised by the
+// lowering strategy without arith-expand. Oracle: DT-R.
+"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i64, i64)
+    %q = "arith.ceildivsi"(%a, %b) : (i64, i64) -> (i64)
+    "vector.print"(%q) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = -6 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    "func.return"(%a, %b) : (i64, i64) -> ()
+  }) {sym_name = "c", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,17 @@
+// Bug 7 (issue 83079, paper Figure 12): the arith-expand floordivsi
+// expansion computes the intermediate (x - n) / m unconditionally; for
+// n = -2^63 + 1, m = -1 that divides -2^63 by -1, which traps at the
+// llvm level. Expected output: 9223372036854775807. Oracle: NC.
+"builtin.module"() ({
+  "func.func"() ({
+    %cm, %cn1 = "func.call"() {callee = @func1} : () -> (i64, i64)
+    %1 = "arith.floordivsi"(%cm, %cn1) : (i64, i64) -> (i64)
+    "vector.print"(%1) : (i64) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %cm = "arith.constant"() {value = -9223372036854775807 : i64} : () -> (i64)
+    %cn1 = "arith.constant"() {value = -1 : i64} : () -> (i64)
+    "func.return"(%cm, %cn1) : (i64, i64) -> ()
+  }) {sym_name = "func1", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,17 @@
+// Bug 8 (issue 106519): the arith-expand ceildivsi expansion computes
+// -floordiv(-a, b); the negation wraps at a = INT_MIN, silently
+// producing a wrong value. ceil(-128 / 3) on i8 = -42; the buggy
+// expansion computes 43. Oracle: DT-R.
+"builtin.module"() ({
+  "func.func"() ({
+    %a, %b = "func.call"() {callee = @c} : () -> (i8, i8)
+    %q = "arith.ceildivsi"(%a, %b) : (i8, i8) -> (i8)
+    "vector.print"(%q) : (i8) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+  "func.func"() ({
+    %a = "arith.constant"() {value = -128 : i8} : () -> (i8)
+    %b = "arith.constant"() {value = 3 : i8} : () -> (i8)
+    "func.return"(%a, %b) : (i8, i8) -> ()
+  }) {sym_name = "c", function_type = () -> (i8, i8)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,18 @@
+// A small arith/scf program: prints max(6*7, 40) and the comparison bit.
+"builtin.module"() ({
+  "func.func"() ({
+    %a = "arith.constant"() {value = 6 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 7 : i64} : () -> (i64)
+    %p = "arith.muli"(%a, %b) : (i64, i64) -> (i64)
+    %forty = "arith.constant"() {value = 40 : i64} : () -> (i64)
+    %c = "arith.cmpi"(%p, %forty) {predicate = 4 : i64} : (i64, i64) -> (i1)
+    %m = "scf.if"(%c) ({
+      "scf.yield"(%p) : (i64) -> ()
+    }, {
+      "scf.yield"(%forty) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "vector.print"(%m) : (i64) -> ()
+    "vector.print"(%c) : (i1) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()

@@ -1,0 +1,23 @@
+// A tensor/linalg program: doubles a 2x2 tensor elementwise and prints
+// one element plus the whole result.
+"builtin.module"() ({
+  "func.func"() ({
+    %t = "arith.constant"() {value = dense<[1, 2, 3, 4]> : tensor<2x2xi64>} : () -> (tensor<2x2xi64>)
+    %init = "tensor.empty"() : () -> (tensor<2x2xi64>)
+    %r = "linalg.generic"(%t, %init) ({
+    ^bb0(%x: i64, %o: i64):
+      %two = "arith.constant"() {value = 2 : i64} : () -> (i64)
+      %d = "arith.muli"(%x, %two) : (i64, i64) -> (i64)
+      "linalg.yield"(%d) : (i64) -> ()
+    }) {
+      indexing_maps = [affine_map<(d0, d1) -> (d0, d1)>, affine_map<(d0, d1) -> (d0, d1)>],
+      iterator_types = ["parallel", "parallel"],
+      operand_segment_sizes = [1 : i64, 1 : i64]
+    } : (tensor<2x2xi64>, tensor<2x2xi64>) -> (tensor<2x2xi64>)
+    %i1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %e = "tensor.extract"(%r, %i1, %i1) : (tensor<2x2xi64>, index, index) -> (i64)
+    "vector.print"(%e) : (i64) -> ()
+    "vector.print"(%r) : (tensor<2x2xi64>) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()
