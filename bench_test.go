@@ -9,7 +9,11 @@
 package ratte_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"ratte"
 	"ratte/internal/bugs"
@@ -271,6 +275,107 @@ func BenchmarkAblation_RejectionSampling(b *testing.B) {
 		}
 		b.ReportMetric(1, "attempts/valid")
 	})
+}
+
+// BenchmarkCampaignSerial measures the end-to-end campaign engine:
+// generate one program, compile it under every build configuration
+// (sharing the common lowering prefix), execute, and compare against
+// the reference output. ns/op is the per-program campaign cost;
+// programs/sec is the fuzzing throughput a single worker sustains.
+func BenchmarkCampaignSerial(b *testing.B) {
+	start := time.Now()
+	res, err := difftest.RunCampaign(difftest.CampaignConfig{
+		Preset:   "ariths",
+		Programs: b.N,
+		Size:     30,
+		Seed:     1,
+		Bugs:     bugs.None(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Programs != b.N {
+		b.Fatalf("campaign tested %d programs, want %d", res.Programs, b.N)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "programs/sec")
+}
+
+// BenchmarkCampaignParallel measures the pipelined parallel campaign
+// engine at 8 workers over the same workload as BenchmarkCampaignSerial.
+// On multi-core hosts programs/sec scales with cores; on a single core
+// it stays within a few percent of serial (pipelining overhead only).
+func BenchmarkCampaignParallel(b *testing.B) {
+	start := time.Now()
+	res, err := difftest.RunCampaignParallel(difftest.CampaignConfig{
+		Preset:   "ariths",
+		Programs: b.N,
+		Size:     30,
+		Seed:     1,
+		Bugs:     bugs.None(),
+	}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Programs != b.N {
+		b.Fatalf("campaign tested %d programs, want %d", res.Programs, b.N)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "programs/sec")
+}
+
+// TestEmitCampaignBench regenerates BENCH_campaign.json, the
+// machine-readable record of campaign-engine throughput. It is skipped
+// unless RATTE_BENCH_JSON=1, because a timing run has no place in the
+// ordinary test suite:
+//
+//	RATTE_BENCH_JSON=1 go test -run TestEmitCampaignBench -v .
+func TestEmitCampaignBench(t *testing.T) {
+	if os.Getenv("RATTE_BENCH_JSON") != "1" {
+		t.Skip("set RATTE_BENCH_JSON=1 to regenerate BENCH_campaign.json")
+	}
+	const programs = 300
+	run := func(workers int) (nsPerProgram float64, programsPerSec float64) {
+		start := time.Now()
+		res, err := difftest.RunCampaignParallel(difftest.CampaignConfig{
+			Preset:   "ariths",
+			Programs: programs,
+			Size:     30,
+			Seed:     1,
+			Bugs:     bugs.None(),
+		}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Programs != programs {
+			t.Fatalf("campaign tested %d programs, want %d", res.Programs, programs)
+		}
+		elapsed := time.Since(start)
+		return float64(elapsed.Nanoseconds()) / programs, programs / elapsed.Seconds()
+	}
+	serialNs, serialPS := run(1)
+	parNs, parPS := run(8)
+	record := map[string]any{
+		"benchmark": "campaign",
+		"preset":    "ariths",
+		"size":      30,
+		"programs":  programs,
+		"cpus":      runtime.NumCPU(),
+		"serial": map[string]any{
+			"workers": 1, "ns_per_program": serialNs, "programs_per_sec": serialPS,
+		},
+		"parallel": map[string]any{
+			"workers": 8, "ns_per_program": parNs, "programs_per_sec": parPS,
+		},
+		"speedup": parPS / serialPS,
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_campaign.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serial: %.0f ns/program (%.1f programs/sec); parallel x8: %.0f ns/program (%.1f programs/sec)",
+		serialNs, serialPS, parNs, parPS)
 }
 
 // BenchmarkCompilePipeline measures full preset pipelines (the cost of

@@ -5,10 +5,18 @@
 //	ratte-fuzz -experiment=table3    # bug-finding with injected defects
 //	ratte-fuzz -experiment=table4    # MLIRSmith comparison
 //	ratte-fuzz -experiment=throughput  # §4.2 generation-time comparison
+//	ratte-fuzz -experiment=dol       # §4.2 DOL false-positive study
 //
 // or ad-hoc campaigns:
 //
 //	ratte-fuzz -preset=ariths -programs=500 -size=30 -bugs=7
+//
+// Every mode honours -workers=N: experiment subcommands spread their
+// per-program work (generation, classification, campaigns) across N
+// goroutines and ad-hoc campaigns run on the pipelined parallel
+// campaign engine. Results are deterministic for a given seed
+// regardless of worker count — workers change only the wall-clock time,
+// mirroring the paper's overnight runs on an 8-core laptop.
 package main
 
 import (
@@ -17,6 +25,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ratte"
@@ -36,20 +46,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	bugList := flag.String("bugs", "", "comma-separated injected bug ids")
 	reduceFlag := flag.Bool("reduce", false, "reduce the first detection's test case")
-	workers := flag.Int("workers", 1, "parallel campaign workers (ad-hoc mode)")
+	workers := flag.Int("workers", 1, "parallel workers (all modes)")
 	flag.Parse()
 
 	switch *experiment {
 	case "table2":
-		table2(*programs, *size, *seed)
+		table2(*programs, *size, *seed, *workers)
 	case "table3":
-		table3(*programs, *size, *seed)
+		table3(*programs, *size, *seed, *workers)
 	case "table4":
-		table4(*programs, *size, *seed)
+		table4(*programs, *size, *seed, *workers)
 	case "throughput":
-		throughput(*programs, *size, *seed)
+		throughput(*programs, *size, *seed, *workers)
 	case "dol":
-		dol(*programs, *size, *seed)
+		dol(*programs, *size, *seed, *workers)
 	case "":
 		adhoc(*preset, *programs, *size, *seed, *bugList, *reduceFlag, *workers)
 	default:
@@ -58,9 +68,66 @@ func main() {
 	}
 }
 
+// parallelMap evaluates fn(0..n-1) across the given number of worker
+// goroutines and returns the results indexed by i — deterministic
+// output order regardless of scheduling. workers <= 1 degenerates to a
+// plain loop.
+func parallelMap[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// classification is one program's Classify outcome (or a generation
+// failure) from a parallel sweep.
+type classification struct {
+	cl  difftest.Classification
+	err error
+}
+
+func tallyClassifications(cls []classification, what string) (compiled, ubFree int) {
+	for _, c := range cls {
+		if c.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", what, c.err)
+			os.Exit(1)
+		}
+		if c.cl.Compiled {
+			compiled++
+		}
+		if c.cl.UBFree {
+			ubFree++
+		}
+	}
+	return compiled, ubFree
+}
+
 // table2 re-measures the paper's Table 2 claim: every Ratte-generated
 // program (per preset) compiles and is UB-free.
-func table2(programs, size int, seed int64) {
+func table2(programs, size int, seed int64, workers int) {
 	fmt.Println("Table 2 — Ratte generators: dialects, target, validity")
 	fmt.Printf("%-14s %-40s %-8s %-10s %-8s\n", "Name", "Dialects", "Target", "Compiled", "UB-Free")
 	dialectsOf := map[string]string{
@@ -69,21 +136,14 @@ func table2(programs, size int, seed int64) {
 		"tensor":        "{tensor, arith, func, vector}",
 	}
 	for _, preset := range gen.Presets() {
-		compiled, ubFree := 0, 0
-		for i := 0; i < programs; i++ {
+		cls := parallelMap(programs, workers, func(i int) classification {
 			p, err := gen.Generate(gen.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "generate:", err)
-				os.Exit(1)
+				return classification{err: err}
 			}
-			cl := difftest.Classify(p.Module, preset)
-			if cl.Compiled {
-				compiled++
-			}
-			if cl.UBFree {
-				ubFree++
-			}
-		}
+			return classification{cl: difftest.Classify(p.Module, preset)}
+		})
+		compiled, ubFree := tallyClassifications(cls, "generate")
 		fmt.Printf("%-14s %-40s %-8s %8.2f%% %7.2f%%\n",
 			preset, dialectsOf[preset], "{llvm}",
 			pct(compiled, programs), pct(ubFree, programs))
@@ -93,18 +153,18 @@ func table2(programs, size int, seed int64) {
 // table3 re-runs the bug-finding experiment: one campaign per injected
 // defect, reporting which oracle detected it and after how many
 // programs.
-func table3(programs, size int, seed int64) {
+func table3(programs, size int, seed int64, workers int) {
 	fmt.Println("Table 3 — bugs found by differential fuzzing campaigns")
 	fmt.Printf("%-3s %-13s %-11s %-22s %-12s %-8s %-22s %s\n",
 		"#", "Phase", "Symptom", "Pass", "PaperOracle", "Found", "Oracles fired", "Programs")
 	for _, info := range bugs.Table() {
-		res, err := difftest.RunCampaign(difftest.CampaignConfig{
+		res, err := difftest.RunCampaignParallel(difftest.CampaignConfig{
 			Preset:   "ariths",
 			Programs: programs,
 			Size:     size,
 			Seed:     seed + 1000*int64(info.ID),
 			Bugs:     bugs.Only(info.ID),
-		})
+		}, workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
 			os.Exit(1)
@@ -126,25 +186,18 @@ func table3(programs, size int, seed int64) {
 }
 
 // table4 re-measures the MLIRSmith comparison.
-func table4(programs, size int, seed int64) {
+func table4(programs, size int, seed int64, workers int) {
 	fmt.Println("Table 4 — compileability / UB-freeness of MLIRSmith vs Ratte")
 	fmt.Printf("%-16s %-28s %-10s %-10s\n", "Generator", "Preset", "Compiled", "UB-Free")
 	for _, preset := range []string{"unmod", "ariths", "linalggeneric", "tensor"} {
-		compiled, ubFree := 0, 0
-		for i := 0; i < programs; i++ {
+		cls := parallelMap(programs, workers, func(i int) classification {
 			m, err := mlirsmith.Generate(mlirsmith.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mlirsmith:", err)
-				os.Exit(1)
+				return classification{err: err}
 			}
-			cl := difftest.Classify(m, preset)
-			if cl.Compiled {
-				compiled++
-			}
-			if cl.UBFree {
-				ubFree++
-			}
-		}
+			return classification{cl: difftest.Classify(m, preset)}
+		})
+		compiled, ubFree := tallyClassifications(cls, "mlirsmith")
 		ub := fmt.Sprintf("%.2f%%", pct(ubFree, programs))
 		if preset == "unmod" {
 			ub = "N/A"
@@ -152,21 +205,14 @@ func table4(programs, size int, seed int64) {
 		fmt.Printf("%-16s %-28s %9.2f%% %10s\n", "MLIRSmith", preset, pct(compiled, programs), ub)
 	}
 	for _, preset := range gen.Presets() {
-		compiled, ubFree := 0, 0
-		for i := 0; i < programs; i++ {
+		cls := parallelMap(programs, workers, func(i int) classification {
 			p, err := gen.Generate(gen.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "generate:", err)
-				os.Exit(1)
+				return classification{err: err}
 			}
-			cl := difftest.Classify(p.Module, preset)
-			if cl.Compiled {
-				compiled++
-			}
-			if cl.UBFree {
-				ubFree++
-			}
-		}
+			return classification{cl: difftest.Classify(p.Module, preset)}
+		})
+		compiled, ubFree := tallyClassifications(cls, "generate")
 		fmt.Printf("%-16s %-28s %9.2f%% %9.2f%%\n", "Ratte", preset, pct(compiled, programs), pct(ubFree, programs))
 	}
 }
@@ -174,26 +220,34 @@ func table4(programs, size int, seed int64) {
 // throughput re-measures §4.2's generation-time comparison: seconds per
 // 1000 programs for Ratte (which interprets during generation) vs the
 // MLIRSmith baseline (which does not).
-func throughput(programs, size int, seed int64) {
+func throughput(programs, size int, seed int64, workers int) {
 	fmt.Println("§4.2 — generation throughput (normalised to 1000 programs)")
 	fmt.Printf("%-14s %-14s %-14s %-8s\n", "Preset", "Ratte", "MLIRSmith", "Ratio")
 	for _, preset := range gen.Presets() {
 		start := time.Now()
-		for i := 0; i < programs; i++ {
-			if _, err := gen.Generate(gen.Config{Preset: preset, Size: size, Seed: seed + int64(i)}); err != nil {
+		errs := parallelMap(programs, workers, func(i int) error {
+			_, err := gen.Generate(gen.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
+			return err
+		})
+		ratteTime := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "generate:", err)
 				os.Exit(1)
 			}
 		}
-		ratteTime := time.Since(start)
 		start = time.Now()
-		for i := 0; i < programs; i++ {
-			if _, err := mlirsmith.Generate(mlirsmith.Config{Preset: preset, Size: size, Seed: seed + int64(i)}); err != nil {
+		errs = parallelMap(programs, workers, func(i int) error {
+			_, err := mlirsmith.Generate(mlirsmith.Config{Preset: preset, Size: size, Seed: seed + int64(i)})
+			return err
+		})
+		smithTime := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "mlirsmith:", err)
 				os.Exit(1)
 			}
 		}
-		smithTime := time.Since(start)
 		norm := func(d time.Duration) string {
 			per1000 := d.Seconds() * 1000 / float64(programs)
 			return fmt.Sprintf("%.2fs/1000", per1000)
@@ -206,40 +260,47 @@ func throughput(programs, size int, seed int64) {
 // dol measures the false-positive rate of plain cross-optimisation-
 // level testing (no reference semantics) on a CORRECT compiler: every
 // alarm is a UB-induced false positive (§4.2's usability argument).
-func dol(programs, size int, seed int64) {
+func dol(programs, size int, seed int64, workers int) {
 	fmt.Println("§4.2 — DOL-testing false positives on a correct compiler")
 	fmt.Printf("%-12s %-10s %-12s %-16s\n", "Generator", "Compiled", "Alarms", "FP rate")
-	compiled, alarms := 0, 0
-	for i := 0; i < programs; i++ {
+	type dolResult struct {
+		compiled, alarm bool
+		err             error
+	}
+	tally := func(rs []dolResult, what string) (compiled, alarms int) {
+		for _, r := range rs {
+			if r.err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", what, r.err)
+				os.Exit(1)
+			}
+			if r.compiled {
+				compiled++
+			}
+			if r.alarm {
+				alarms++
+			}
+		}
+		return compiled, alarms
+	}
+	rs := parallelMap(programs, workers, func(i int) dolResult {
 		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: size, Seed: seed + int64(i)})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "generate:", err)
-			os.Exit(1)
+			return dolResult{err: err}
 		}
 		c, a := difftest.DOLAlarm(p.Module, "ariths")
-		if c {
-			compiled++
-		}
-		if a {
-			alarms++
-		}
-	}
+		return dolResult{compiled: c, alarm: a}
+	})
+	compiled, alarms := tally(rs, "generate")
 	fmt.Printf("%-12s %-10d %-12d %8.2f%%\n", "Ratte", compiled, alarms, pct(alarms, max(compiled, 1)))
-	compiled, alarms = 0, 0
-	for i := 0; i < programs; i++ {
+	rs = parallelMap(programs, workers, func(i int) dolResult {
 		m, err := mlirsmith.Generate(mlirsmith.Config{Preset: "ariths", Size: size, Seed: seed + int64(i)})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mlirsmith:", err)
-			os.Exit(1)
+			return dolResult{err: err}
 		}
 		c, a := difftest.DOLAlarm(m, "ariths")
-		if c {
-			compiled++
-		}
-		if a {
-			alarms++
-		}
-	}
+		return dolResult{compiled: c, alarm: a}
+	})
+	compiled, alarms = tally(rs, "mlirsmith")
 	fmt.Printf("%-12s %-10d %-12d %8.2f%%\n", "MLIRSmith", compiled, alarms, pct(alarms, max(compiled, 1)))
 }
 

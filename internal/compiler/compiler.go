@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"ratte/internal/bugs"
 	"ratte/internal/dialects"
@@ -120,16 +121,25 @@ func (p *Pipeline) Run(m *ir.Module, opts *Options) error {
 		opts = &Options{}
 	}
 	for _, pass := range p.passes {
-		if err := pass.Run(m, opts); err != nil {
-			return &PassError{Pass: pass.Name(), Err: err}
+		if err := runPass(pass, m, opts); err != nil {
+			return err
 		}
-		if opts.PrintAfterAll != nil {
-			fmt.Fprintf(opts.PrintAfterAll, "// ----- IR after %s -----\n%s\n", pass.Name(), ir.Print(m))
-		}
-		if opts.VerifyBetweenPasses {
-			if err := verify.Module(m, dialects.AllSpecs()); err != nil {
-				return &PassError{Pass: pass.Name(), Err: fmt.Errorf("pass produced invalid IR: %w", err)}
-			}
+	}
+	return nil
+}
+
+// runPass executes one pass with the pipeline's error wrapping and the
+// PrintAfterAll / VerifyBetweenPasses debugging hooks.
+func runPass(pass Pass, m *ir.Module, opts *Options) error {
+	if err := pass.Run(m, opts); err != nil {
+		return &PassError{Pass: pass.Name(), Err: err}
+	}
+	if opts.PrintAfterAll != nil {
+		fmt.Fprintf(opts.PrintAfterAll, "// ----- IR after %s -----\n%s\n", pass.Name(), ir.Print(m))
+	}
+	if opts.VerifyBetweenPasses {
+		if err := verify.Module(m, dialects.AllSpecs()); err != nil {
+			return &PassError{Pass: pass.Name(), Err: fmt.Errorf("pass produced invalid IR: %w", err)}
 		}
 	}
 	return nil
@@ -193,6 +203,156 @@ func PipelineForConfig(preset string, level OptLevel, skipExpand bool) ([]string
 	return nil, fmt.Errorf("compiler: unknown preset %q", preset)
 }
 
+// Config identifies one build configuration under differential test: an
+// optimisation level plus a lowering strategy. The paper applies Ratte
+// to several end-to-end compilations (§4.1); varying the lowering
+// strategy is what reaches both homes of the ceildivsi defects
+// (arith-expand and the direct convert-arith-to-llvm patterns).
+type Config struct {
+	Level           OptLevel
+	SkipArithExpand bool
+}
+
+func (c Config) String() string {
+	s := fmt.Sprintf("O%d", int(c.Level))
+	if c.SkipArithExpand {
+		s += "-noexpand"
+	}
+	return s
+}
+
+// pipelineKey indexes the memoized pipeline cache.
+type pipelineKey struct {
+	preset     string
+	level      OptLevel
+	skipExpand bool
+}
+
+var pipelineCache sync.Map // pipelineKey -> *Pipeline
+
+// CachedPipeline returns the shared Pipeline for (preset, level,
+// skipExpand), building it on first use. Pipelines hold only stateless
+// pass functions, so one instance is safe to run from any number of
+// goroutines; callers must not mutate the returned pipeline.
+func CachedPipeline(preset string, level OptLevel, skipExpand bool) (*Pipeline, error) {
+	key := pipelineKey{preset, level, skipExpand}
+	if p, ok := pipelineCache.Load(key); ok {
+		return p.(*Pipeline), nil
+	}
+	names, err := PipelineForConfig(preset, level, skipExpand)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := NewPipeline(names...)
+	if err != nil {
+		return nil, err
+	}
+	p, _ := pipelineCache.LoadOrStore(key, pipe)
+	return p.(*Pipeline), nil
+}
+
+// ConfigResult is one configuration's outcome under CompileConfigs:
+// either the lowered module or a compile-time rejection.
+type ConfigResult struct {
+	Module *ir.Module
+	Err    error
+}
+
+// CompileConfigs compiles m under every given configuration of one
+// (possibly bug-injected) compiler build, producing exactly the modules
+// (or rejections) that per-configuration Compiler.Compile calls would,
+// but sharing the work the configurations have in common:
+//
+//   - the frontend verification of m runs once, not once per config;
+//   - the configurations' pass lists are arranged into a prefix tree
+//     and each shared prefix (e.g. O1's canonicalize+cse, which is also
+//     how O2 and O1-noexpand begin) runs once, with one module Clone
+//     per divergence point instead of one full pipeline per config.
+//
+// Passes are deterministic module transforms (injected bugs included),
+// so running a shared prefix once and forking is observationally
+// identical to recompiling from scratch — which the difftest
+// determinism suite asserts. The input module is not modified.
+func CompileConfigs(m *ir.Module, preset string, bugSet bugs.Set, configs []Config) []ConfigResult {
+	results := make([]ConfigResult, len(configs))
+	if err := verify.Module(m, dialects.SourceSpecs()); err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
+	type job struct {
+		idx    int
+		passes []string
+	}
+	jobs := make([]job, 0, len(configs))
+	for i, c := range configs {
+		names, err := PipelineForConfig(preset, c.Level, c.SkipArithExpand)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		jobs = append(jobs, job{idx: i, passes: names})
+	}
+	opts := &Options{Bugs: bugSet}
+
+	// compileShared runs the jobs' remaining passes over the prefix
+	// tree. owned marks modules this call may mutate freely; the
+	// caller's module is not owned, so every fork from it clones first.
+	var compileShared func(m *ir.Module, jobs []job, depth int, owned bool)
+	compileShared = func(m *ir.Module, jobs []job, depth int, owned bool) {
+		var done []job
+		var order []string
+		groups := make(map[string][]job)
+		for _, j := range jobs {
+			if depth == len(j.passes) {
+				done = append(done, j)
+				continue
+			}
+			name := j.passes[depth]
+			if _, ok := groups[name]; !ok {
+				order = append(order, name)
+			}
+			groups[name] = append(groups[name], j)
+		}
+		if len(done) > 0 {
+			dm := m
+			if !owned || len(order) > 0 {
+				dm = m.Clone()
+			}
+			results[done[0].idx].Module = dm
+			for _, j := range done[1:] {
+				// Distinct configs with identical pipelines still get
+				// independent modules, matching per-config Compile.
+				results[j.idx].Module = dm.Clone()
+			}
+		}
+		for i, name := range order {
+			g := groups[name]
+			gm := m
+			if !(owned && i == len(order)-1) {
+				gm = m.Clone()
+			}
+			mk, ok := registry[name]
+			if !ok {
+				for _, j := range g {
+					results[j.idx].Err = fmt.Errorf("compiler: unknown pass %q", name)
+				}
+				continue
+			}
+			if err := runPass(mk(), gm, opts); err != nil {
+				for _, j := range g {
+					results[j.idx].Err = err
+				}
+				continue
+			}
+			compileShared(gm, g, depth+1, true)
+		}
+	}
+	compileShared(m, jobs, 0, false)
+	return results
+}
+
 // Compiler compiles source-level modules down to the llvm target level,
 // the way the paper's experiments drive mlir-opt.
 type Compiler struct {
@@ -215,11 +375,7 @@ func (c *Compiler) Compile(m *ir.Module, preset string) (*ir.Module, error) {
 	if err := verify.Module(m, dialects.SourceSpecs()); err != nil {
 		return nil, err
 	}
-	names, err := PipelineForConfig(preset, c.Level, c.SkipArithExpand)
-	if err != nil {
-		return nil, err
-	}
-	pipe, err := NewPipeline(names...)
+	pipe, err := CachedPipeline(preset, c.Level, c.SkipArithExpand)
 	if err != nil {
 		return nil, err
 	}

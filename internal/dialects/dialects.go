@@ -10,6 +10,8 @@
 package dialects
 
 import (
+	"sync"
+
 	"ratte/internal/dialects/arith"
 	"ratte/internal/dialects/cf"
 	"ratte/internal/dialects/funcd"
@@ -23,76 +25,125 @@ import (
 	"ratte/internal/verify"
 )
 
+// Every composition below is immutable once built — dialect kernel
+// bundles, composed interpreter registries and verifier spec registries
+// are constructed exactly once (sync.OnceValue) and shared by all
+// callers from then on. This is what makes interpreters and verifier
+// runs cheap enough for the campaign hot loop: TestModule instantiates
+// interpreters per configuration and the generator one per program, and
+// none of those instantiations rebuilds a kernel or spec table.
+
+var (
+	sourceDialects = sync.OnceValue(func() []*interp.Dialect {
+		return []*interp.Dialect{
+			arith.Semantics(),
+			funcd.Semantics(),
+			scf.Semantics(),
+			vector.Semantics(),
+			tensor.Semantics(),
+			linalg.Semantics(),
+		}
+	})
+	targetDialects = sync.OnceValue(func() []*interp.Dialect {
+		return []*interp.Dialect{
+			llvm.Semantics(),
+			cf.Semantics(),
+			memref.Semantics(),
+		}
+	})
+	sourceRegistry = sync.OnceValue(func() *interp.Registry {
+		return interp.NewRegistry(sourceDialects()...)
+	})
+	executorRegistry = sync.OnceValue(func() *interp.Registry {
+		all := append(append([]*interp.Dialect{}, sourceDialects()...), targetDialects()...)
+		return interp.NewRegistry(all...)
+	})
+	sourceSpecs = sync.OnceValue(func() verify.Registry {
+		return verify.Merge(
+			arith.Specs(),
+			funcd.Specs(),
+			scf.Specs(),
+			vector.Specs(),
+			tensor.Specs(),
+			linalg.Specs(),
+		)
+	})
+	allSpecs = sync.OnceValue(func() verify.Registry {
+		internal := verify.Registry{
+			"ratte.generate_into": {NumRegions: 1},
+		}
+		return verify.Merge(
+			sourceSpecs(),
+			cf.Specs(),
+			memref.Specs(),
+			llvm.Specs(),
+			internal,
+		)
+	})
+)
+
 // Source returns the dialect semantics of the source-level dialects
 // (the ones Ratte's generators emit): arith, func, scf, vector, tensor,
-// linalg.
+// linalg. The slice is the caller's to extend (customdialect-style
+// compositions append to it); the *interp.Dialect bundles themselves
+// are shared and must not be mutated.
 func Source() []*interp.Dialect {
-	return []*interp.Dialect{
-		arith.Semantics(),
-		funcd.Semantics(),
-		scf.Semantics(),
-		vector.Semantics(),
-		tensor.Semantics(),
-		linalg.Semantics(),
-	}
+	cached := sourceDialects()
+	return append(make([]*interp.Dialect, 0, len(cached)), cached...)
 }
 
 // Target returns the dialect semantics of the lowered target level:
 // llvm, cf and memref (plus func/vector for partially-lowered
-// pipelines).
+// pipelines). The slice is a copy; the bundles are shared and must not
+// be mutated.
 func Target() []*interp.Dialect {
-	return []*interp.Dialect{
-		llvm.Semantics(),
-		cf.Semantics(),
-		memref.Semantics(),
-	}
+	cached := targetDialects()
+	return append(make([]*interp.Dialect, 0, len(cached)), cached...)
 }
+
+// SourceRegistry returns the composed, shared kernel registry of the
+// source dialects. Interpreters over it are cheap to instantiate and
+// safe to use from concurrent workers (one interpreter per worker).
+func SourceRegistry() *interp.Registry { return sourceRegistry() }
+
+// ExecutorRegistry returns the composed, shared kernel registry of
+// every dialect (source + target levels).
+func ExecutorRegistry() *interp.Registry { return executorRegistry() }
 
 // NewReferenceInterpreter builds the reference interpreter over the
 // source dialects — the validated semantics the paper ships as an
-// independent artifact.
+// independent artifact. The underlying kernel registry is memoized, so
+// this is cheap to call per program or per worker.
 func NewReferenceInterpreter() *interp.Interpreter {
-	return interp.New(Source()...)
+	return sourceRegistry().NewInterpreter()
 }
 
 // NewExecutor builds the executor for fully- or partially-lowered
 // modules: every dialect is available, so pipelines may stop at any
 // level (this mirrors mlir-cpu-runner accepting mixed modules as long
-// as each op has a registered lowering or runtime implementation).
+// as each op has a registered lowering or runtime implementation). The
+// underlying kernel registry is memoized, so this is cheap to call per
+// run.
 func NewExecutor() *interp.Interpreter {
-	all := append(Source(), Target()...)
-	return interp.New(all...)
+	return executorRegistry().NewInterpreter()
 }
 
 // SourceSpecs returns the static verification rules of the source
-// dialects — the frontend verifier.
+// dialects — the frontend verifier. The registry is memoized and
+// shared: callers must treat it as read-only (verify.Merge copies, so
+// composing over it is fine).
 func SourceSpecs() verify.Registry {
-	return verify.Merge(
-		arith.Specs(),
-		funcd.Specs(),
-		scf.Specs(),
-		vector.Specs(),
-		tensor.Specs(),
-		linalg.Specs(),
-	)
+	return sourceSpecs()
 }
 
 // AllSpecs returns the union of every dialect's rules — the verifier
 // used between passes, where lowered and source ops coexist. It also
 // registers the compiler-internal ratte.generate_into marker (the
 // buffer form of tensor.generate between one-shot-bufferize and
-// convert-linalg-to-loops).
+// convert-linalg-to-loops). The registry is memoized and shared:
+// callers must treat it as read-only.
 func AllSpecs() verify.Registry {
-	internal := verify.Registry{
-		"ratte.generate_into": {NumRegions: 1},
-	}
-	return verify.Merge(
-		SourceSpecs(),
-		cf.Specs(),
-		memref.Specs(),
-		llvm.Specs(),
-		internal,
-	)
+	return allSpecs()
 }
 
 // SupportedSourceOps returns the names of every source-dialect op with

@@ -40,18 +40,7 @@ const (
 // end-to-end compilations (§4.1); varying the lowering strategy is what
 // reaches both homes of the ceildivsi defects (arith-expand and the
 // direct convert-arith-to-llvm patterns).
-type BuildConfig struct {
-	Level           compiler.OptLevel
-	SkipArithExpand bool
-}
-
-func (c BuildConfig) String() string {
-	s := fmt.Sprintf("O%d", int(c.Level))
-	if c.SkipArithExpand {
-		s += "-noexpand"
-	}
-	return s
-}
+type BuildConfig = compiler.Config
 
 // BuildConfigs lists the configurations every program is tested under.
 var BuildConfigs = []BuildConfig{
@@ -80,20 +69,30 @@ type Report struct {
 // configuration of the given (possibly bug-injected) compiler and
 // records the outcomes. reference is the expected output from the
 // Ratte semantics.
+//
+// This is the campaign hot loop, so the work the configurations share
+// is done once: the module is verified a single time and the common
+// pass-pipeline prefix across BuildConfigs is compiled once and forked
+// at each divergence point (compiler.CompileConfigs); the executor is
+// instantiated over the memoized dialect registry. The outcome per
+// configuration is identical to compiling each from scratch.
 func TestModule(m *ir.Module, reference, preset string, bugSet bugs.Set) *Report {
+	return testModuleConfigs(m, reference, preset, bugSet, BuildConfigs)
+}
+
+func testModuleConfigs(m *ir.Module, reference, preset string, bugSet bugs.Set, configs []BuildConfig) *Report {
 	rep := &Report{
 		Preset:    preset,
 		Reference: reference,
-		Levels:    make(map[BuildConfig]LevelResult),
+		Levels:    make(map[BuildConfig]LevelResult, len(configs)),
 	}
-	for _, bc := range BuildConfigs {
-		c := &compiler.Compiler{Bugs: bugSet, Level: bc.Level, SkipArithExpand: bc.SkipArithExpand}
+	outs := compiler.CompileConfigs(m, preset, bugSet, configs)
+	for i, bc := range configs {
 		var lr LevelResult
-		lowered, err := c.Compile(m, preset)
-		if err != nil {
-			lr.CompileErr = err
+		if outs[i].Err != nil {
+			lr.CompileErr = outs[i].Err
 		} else {
-			res, err := dialects.NewExecutor().Run(lowered, "main")
+			res, err := dialects.NewExecutor().Run(outs[i].Module, "main")
 			if err != nil {
 				lr.RunErr = err
 			} else {

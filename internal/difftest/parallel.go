@@ -1,23 +1,32 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"ratte/internal/gen"
 )
 
-// RunCampaignParallel runs the same campaign as RunCampaign across the
-// given number of worker goroutines — the shape of the paper's
-// overnight runs on an 8-core laptop. Results are deterministic for a
-// given configuration regardless of worker count: each program seed is
-// tested independently and detections are aggregated in seed order.
+// RunCampaignParallel runs the same campaign as RunCampaign across a
+// persistent pool of worker goroutines — the shape of the paper's
+// overnight runs on an 8-core laptop.
 //
-// StopAtFirst is treated as a budget hint: workers drain the remaining
-// queue once any detection exists, and the first detection *by seed
-// order* is reported first, so the result is the same one the serial
-// runner would return.
+// The engine is a two-stage pipeline over bounded channels: a
+// generation stage produces programs from seeds while a testing stage
+// differentially tests them, so generation of seed i+k overlaps with
+// compilation and execution of seed i. `workers` bounds the total
+// goroutines across both stages; the bounded hand-off channel throttles
+// whichever stage is faster.
+//
+// Results are byte-identical to the serial runner for any worker count:
+// outcomes are re-sequenced into seed order by the collector, which
+// replays exactly the serial loop — counting a program before
+// inspecting it, recording detections in seed order, and, under
+// StopAtFirst, stopping at the first in-order detection (at which point
+// the whole pipeline is cancelled promptly via a context). A generation
+// failure is reported exactly as the serial runner reports it: the
+// first failure in seed order wins, and later outcomes are discarded.
 func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, error) {
 	if workers <= 1 {
 		return RunCampaign(cfg)
@@ -26,96 +35,141 @@ func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, erro
 		return &CampaignResult{ByOracle: make(map[Oracle]int)}, nil
 	}
 
+	type generated struct {
+		idx  int
+		prog *gen.Program
+		err  error
+	}
 	type outcome struct {
 		idx       int
 		detection *Detection
 		err       error
 	}
 
-	jobs := make(chan int)
-	results := make(chan outcome, workers)
-	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 
-	var stopOnce sync.Once
-	stopped := make(chan struct{})
+	// Stage sizing: generation and testing are both CPU-bound; testing
+	// (4 compilations + up to 4 executions) is the heavier stage, so it
+	// gets at least half the pool.
+	genWorkers := workers / 2
+	if genWorkers == 0 {
+		genWorkers = 1
+	}
+	testWorkers := workers - genWorkers
+	if testWorkers == 0 {
+		testWorkers = 1
+	}
 
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+	seeds := make(chan int)
+	programs := make(chan generated, workers) // bounded pipeline hand-off
+	outcomes := make(chan outcome, workers)
+
+	// Seed feeder.
+	go func() {
+		defer close(seeds)
+		for i := 0; i < cfg.Programs; i++ {
+			select {
+			case seeds <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Generation stage.
+	var genWG sync.WaitGroup
+	for w := 0; w < genWorkers; w++ {
+		genWG.Add(1)
 		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				seed := cfg.Seed + int64(i)
-				p, err := generateForCampaign(cfg, seed)
-				if err != nil {
-					results <- outcome{idx: i, err: err}
-					continue
+			defer genWG.Done()
+			for i := range seeds {
+				p, err := generateForCampaign(cfg, cfg.Seed+int64(i))
+				select {
+				case programs <- generated{idx: i, prog: p, err: err}:
+				case <-ctx.Done():
+					return
 				}
-				rep := TestModule(p.Module, p.Expected, cfg.Preset, cfg.Bugs)
-				var det *Detection
-				if oracle := rep.Detected(); oracle != OracleNone {
-					det = &Detection{
-						Seed:     seed,
-						Oracle:   oracle,
-						Program:  p.Module,
-						Expected: p.Expected,
-						Report:   rep,
-					}
-					if cfg.StopAtFirst {
-						stopOnce.Do(func() { close(stopped) })
-					}
-				}
-				results <- outcome{idx: i, detection: det}
 			}
 		}()
 	}
-
 	go func() {
-		defer close(jobs)
-		for i := 0; i < cfg.Programs; i++ {
-			if cfg.StopAtFirst {
+		genWG.Wait()
+		close(programs)
+	}()
+
+	// Testing stage.
+	var testWG sync.WaitGroup
+	for w := 0; w < testWorkers; w++ {
+		testWG.Add(1)
+		go func() {
+			defer testWG.Done()
+			for g := range programs {
+				o := outcome{idx: g.idx, err: g.err}
+				if g.err == nil {
+					rep := TestModule(g.prog.Module, g.prog.Expected, cfg.Preset, cfg.Bugs)
+					if oracle := rep.Detected(); oracle != OracleNone {
+						o.detection = &Detection{
+							Seed:     cfg.Seed + int64(g.idx),
+							Oracle:   oracle,
+							Program:  g.prog.Module,
+							Expected: g.prog.Expected,
+							Report:   rep,
+						}
+					}
+				}
 				select {
-				case <-stopped:
+				case outcomes <- o:
+				case <-ctx.Done():
 					return
-				default:
 				}
 			}
-			jobs <- i
-		}
-	}()
-
+		}()
+	}
 	go func() {
-		wg.Wait()
-		close(results)
+		testWG.Wait()
+		close(outcomes)
 	}()
 
-	var outs []outcome
+	// Collector: re-sequence outcomes into seed order and replay the
+	// serial loop over them.
+	res := &CampaignResult{ByOracle: make(map[Oracle]int)}
+	pending := make(map[int]outcome)
+	next := 0
 	var firstErr error
-	for o := range results {
-		if o.err != nil && firstErr == nil {
-			firstErr = o.err
+	done := false
+	for o := range outcomes {
+		if done {
+			continue // drain so the stages can exit
 		}
-		outs = append(outs, o)
+		pending[o.idx] = o
+		for !done {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if cur.err != nil {
+				firstErr = cur.err
+				done = true
+				break
+			}
+			res.Programs++
+			if cur.detection != nil {
+				res.Detections = append(res.Detections, *cur.detection)
+				res.ByOracle[cur.detection.Oracle]++
+				if cfg.StopAtFirst {
+					done = true
+				}
+			}
+		}
+		if done {
+			cancel()
+		}
 	}
 	if firstErr != nil {
-		return nil, fmt.Errorf("difftest: %w", firstErr)
-	}
-
-	sort.Slice(outs, func(i, j int) bool { return outs[i].idx < outs[j].idx })
-	res := &CampaignResult{ByOracle: make(map[Oracle]int)}
-	res.Programs = len(outs)
-	for _, o := range outs {
-		if o.detection == nil {
-			continue
-		}
-		res.Detections = append(res.Detections, *o.detection)
-		res.ByOracle[o.detection.Oracle]++
-		if cfg.StopAtFirst {
-			// Report exactly the first in-order detection, like the
-			// serial runner.
-			res.Detections = res.Detections[:1]
-			res.ByOracle = map[Oracle]int{o.detection.Oracle: 1}
-			break
-		}
+		return nil, fmt.Errorf("difftest: generation failed: %w", firstErr)
 	}
 	return res, nil
 }

@@ -86,11 +86,72 @@ func (d *Dialect) Register(op string, k Kernel) { d.Kernels[op] = k }
 // RegisterTerminator adds a terminator kernel.
 func (d *Dialect) RegisterTerminator(op string, k TerminatorKernel) { d.Terminators[op] = k }
 
-// Interpreter evaluates modules using the composed kernels of its
-// dialects.
-type Interpreter struct {
+// Registry is the composed, immutable kernel table of a dialect
+// combination — the expensive part of building an interpreter. A
+// Registry is built once (composing the dialects' kernel sets, the
+// paper's handler composition) and may then be shared freely: it is
+// never mutated after construction, so any number of goroutines can
+// instantiate Interpreters over it concurrently at the cost of one
+// small allocation each.
+type Registry struct {
 	kernels     map[string]Kernel
 	terminators map[string]TerminatorKernel
+}
+
+// NewRegistry composes the kernel tables of the given dialects.
+// Composing two dialects that define the same operation is a
+// programming error and panics, as the composition would be ambiguous.
+func NewRegistry(dialects ...*Dialect) *Registry {
+	r := &Registry{
+		kernels:     make(map[string]Kernel),
+		terminators: make(map[string]TerminatorKernel),
+	}
+	for _, d := range dialects {
+		for name, k := range d.Kernels {
+			if _, dup := r.kernels[name]; dup {
+				panic(fmt.Sprintf("interp: duplicate kernel for %s", name))
+			}
+			r.kernels[name] = k
+		}
+		for name, k := range d.Terminators {
+			if _, dup := r.terminators[name]; dup {
+				panic(fmt.Sprintf("interp: duplicate terminator for %s", name))
+			}
+			r.terminators[name] = k
+		}
+	}
+	return r
+}
+
+// Supports reports whether the registry has semantics for op name.
+func (r *Registry) Supports(name string) bool {
+	_, k := r.kernels[name]
+	_, t := r.terminators[name]
+	return k || t
+}
+
+// SupportedOps returns the number of operations with registered
+// semantics.
+func (r *Registry) SupportedOps() int {
+	return len(r.kernels) + len(r.terminators)
+}
+
+// NewInterpreter instantiates an interpreter over the shared registry.
+// The instance is cheap (per-instance limits only; the kernel tables
+// are shared), so callers may create one per evaluation — or per
+// worker goroutine — without rebuilding any composition.
+func (r *Registry) NewInterpreter() *Interpreter {
+	return &Interpreter{registry: r}
+}
+
+// Interpreter evaluates modules using the composed kernels of its
+// dialects. The kernel tables live in a shared immutable Registry;
+// the Interpreter itself only carries per-instance evaluation limits,
+// so instances are cheap to create. An Interpreter (via its Contexts)
+// must not be used from multiple goroutines at once, but distinct
+// Interpreters over the same Registry may run concurrently.
+type Interpreter struct {
+	registry *Registry
 
 	// MaxSteps bounds the number of operations evaluated in one Run,
 	// guarding against non-termination in lowered loop code. Zero means
@@ -102,42 +163,22 @@ type Interpreter struct {
 	MaxCallDepth int
 }
 
-// New composes an interpreter from dialect semantics. Composing two
-// dialects that define the same operation is a programming error and
-// panics, as the composition would be ambiguous.
+// New composes an interpreter from dialect semantics, building a fresh
+// Registry. Callers instantiating interpreters repeatedly over the same
+// dialect combination should build one Registry and use NewInterpreter.
 func New(dialects ...*Dialect) *Interpreter {
-	in := &Interpreter{
-		kernels:     make(map[string]Kernel),
-		terminators: make(map[string]TerminatorKernel),
-	}
-	for _, d := range dialects {
-		for name, k := range d.Kernels {
-			if _, dup := in.kernels[name]; dup {
-				panic(fmt.Sprintf("interp: duplicate kernel for %s", name))
-			}
-			in.kernels[name] = k
-		}
-		for name, k := range d.Terminators {
-			if _, dup := in.terminators[name]; dup {
-				panic(fmt.Sprintf("interp: duplicate terminator for %s", name))
-			}
-			in.terminators[name] = k
-		}
-	}
-	return in
+	return NewRegistry(dialects...).NewInterpreter()
 }
 
 // Supports reports whether the interpreter has semantics for op name.
 func (in *Interpreter) Supports(name string) bool {
-	_, k := in.kernels[name]
-	_, t := in.terminators[name]
-	return k || t
+	return in.registry.Supports(name)
 }
 
 // SupportedOps returns the number of operations with registered
 // semantics.
 func (in *Interpreter) SupportedOps() int {
-	return len(in.kernels) + len(in.terminators)
+	return in.registry.SupportedOps()
 }
 
 // Result is the outcome of interpreting a module.
@@ -413,7 +454,7 @@ func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextA
 		if err := ctx.step(); err != nil {
 			return nil, "", nil, err
 		}
-		if tk, ok := ctx.in.terminators[op.Name]; ok {
+		if tk, ok := ctx.in.registry.terminators[op.Name]; ok {
 			res, err := tk(ctx, op)
 			if err != nil {
 				return nil, "", nil, &EvalError{OpName: op.Name, Err: err}
@@ -435,7 +476,7 @@ func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextA
 				return nil, "", nil, fmt.Errorf("interp: terminator %s produced no control flow", op.Name)
 			}
 		}
-		k, ok := ctx.in.kernels[op.Name]
+		k, ok := ctx.in.registry.kernels[op.Name]
 		if !ok {
 			return nil, "", nil, fmt.Errorf("interp: no semantics registered for %s", op.Name)
 		}
@@ -466,7 +507,7 @@ func (ctx *Context) Eval(op *ir.Operation) error {
 	if err := ctx.step(); err != nil {
 		return err
 	}
-	k, ok := ctx.in.kernels[op.Name]
+	k, ok := ctx.in.registry.kernels[op.Name]
 	if !ok {
 		return fmt.Errorf("interp: no semantics registered for %s", op.Name)
 	}

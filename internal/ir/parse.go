@@ -414,7 +414,7 @@ func (p *parser) parseType() Type {
 			if err != nil || w == 0 || w > 64 {
 				p.fail("unsupported integer width in %s", tok.text)
 			}
-			return I(uint(w))
+			return IntType(uint(w))
 		}
 		p.fail("unknown type %q", tok.text)
 	case tokLParen:

@@ -1,8 +1,26 @@
 package ir
 
 import (
-	"strings"
+	"bytes"
+	"sync"
 )
+
+// printerPool recycles print buffers across calls: modules are printed
+// constantly on the fuzzing hot path (reports, reduction predicates,
+// determinism checks), and reusing the grown buffer leaves one final
+// string copy as the only allocation that scales with module size.
+var printerPool = sync.Pool{
+	New: func() any { return &printer{} },
+}
+
+func renderToString(render func(p *printer)) string {
+	p := printerPool.Get().(*printer)
+	p.b.Reset()
+	render(p)
+	s := p.b.String() // copies out of the pooled buffer
+	printerPool.Put(p)
+	return s
+}
 
 // Print renders a module in the generic textual format of the paper's
 // Figure 1 grammar:
@@ -17,20 +35,16 @@ import (
 //
 // The output of Print parses back to an equal module via Parse.
 func Print(m *Module) string {
-	var p printer
-	p.op(m.Op, 0)
-	return p.b.String()
+	return renderToString(func(p *printer) { p.op(m.Op, 0) })
 }
 
 // PrintOp renders a single operation (and its regions) in generic form.
 func PrintOp(op *Operation) string {
-	var p printer
-	p.op(op, 0)
-	return p.b.String()
+	return renderToString(func(p *printer) { p.op(op, 0) })
 }
 
 type printer struct {
-	b strings.Builder
+	b bytes.Buffer
 }
 
 func (p *printer) indent(n int) {

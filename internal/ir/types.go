@@ -35,11 +35,64 @@ type Type interface {
 
 // TypeEqual reports whether two types are structurally identical. A nil
 // type is only equal to nil.
+//
+// This sits on the interpreter's per-operand hot path (every Get/Define
+// checks the declared type), so it compares structurally rather than
+// through the canonical printed forms — the two notions coincide, which
+// TestTypeEqualMatchesStringEquality pins down.
 func TypeEqual(a, b Type) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
 	}
+	switch at := a.(type) {
+	case IntegerType:
+		bt, ok := b.(IntegerType)
+		return ok && at.Width == bt.Width
+	case IndexType:
+		_, ok := b.(IndexType)
+		return ok
+	case TensorType:
+		bt, ok := b.(TensorType)
+		return ok && shapeEqual(at.Shape, bt.Shape) && TypeEqual(at.Elem, bt.Elem)
+	case MemRefType:
+		bt, ok := b.(MemRefType)
+		return ok && shapeEqual(at.Shape, bt.Shape) && TypeEqual(at.Elem, bt.Elem)
+	case VectorType:
+		bt, ok := b.(VectorType)
+		return ok && shapeEqual(at.Shape, bt.Shape) && TypeEqual(at.Elem, bt.Elem)
+	case FunctionType:
+		bt, ok := b.(FunctionType)
+		return ok && typesEqual(at.Inputs, bt.Inputs) && typesEqual(at.Results, bt.Results)
+	case NoneType:
+		_, ok := b.(NoneType)
+		return ok
+	}
+	// Types from outside this package: fall back to canonical text.
 	return a.String() == b.String()
+}
+
+func shapeEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func typesEqual(a, b []Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !TypeEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // IntegerType is a signless two's-complement integer type iN with
@@ -60,8 +113,57 @@ var (
 	I64 = I(64)
 )
 
-func (t IntegerType) String() string { return "i" + strconv.FormatUint(uint64(t.Width), 10) }
-func (IntegerType) isType()          {}
+// Pre-boxed Type values of the hot scalar types. Storing a value type
+// into the Type interface normally boxes it; reusing these interned
+// values keeps the parser, the generators and the semantic kernels from
+// re-boxing i1/i8/i16/i32/i64/index on every construction. IntType
+// hands them out behind the I constructor's contract.
+var (
+	typeI1    Type = I1
+	typeI8    Type = I8
+	typeI16   Type = I16
+	typeI32   Type = I32
+	typeI64   Type = I64
+	TypeIndex Type = Index
+)
+
+// IntType returns i<width> as an interface value, interned for the
+// common widths. It is the allocation-free counterpart of I for code
+// that stores the result into a Type.
+func IntType(width uint) Type {
+	switch width {
+	case 1:
+		return typeI1
+	case 8:
+		return typeI8
+	case 16:
+		return typeI16
+	case 32:
+		return typeI32
+	case 64:
+		return typeI64
+	}
+	return IntegerType{Width: width}
+}
+
+func (t IntegerType) String() string {
+	// The common widths dominate every hot path (printing, hashing,
+	// legacy equality); hand out constants instead of formatting.
+	switch t.Width {
+	case 1:
+		return "i1"
+	case 8:
+		return "i8"
+	case 16:
+		return "i16"
+	case 32:
+		return "i32"
+	case 64:
+		return "i64"
+	}
+	return "i" + strconv.FormatUint(uint64(t.Width), 10)
+}
+func (IntegerType) isType() {}
 
 // IndexType is MLIR's platform-sized integer used for sizes and subscripts.
 // Ratte models index as a 64-bit two's-complement integer, matching the

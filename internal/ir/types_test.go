@@ -60,6 +60,36 @@ func TestTypeEqual(t *testing.T) {
 	}
 }
 
+// TestTypeEqualMatchesStringEquality pins down the invariant the
+// structural fast path of TypeEqual relies on: two types are equal
+// exactly when their canonical printed forms are equal.
+func TestTypeEqualMatchesStringEquality(t *testing.T) {
+	types := []Type{
+		I1, I8, I16, I32, I64, I(17), IntType(17), IntType(64),
+		Index, TypeIndex, NoneType{},
+		TensorOf([]int64{3, 3}, I64),
+		TensorOf([]int64{3, DynamicSize}, I64),
+		TensorOf([]int64{3, 3}, I32),
+		TensorOf(nil, I1),
+		MemRefOf([]int64{3, 3}, I64),
+		MemRefOf([]int64{2}, Index),
+		VectorOf([]int64{4}, I32),
+		VectorOf([]int64{4, 2}, I32),
+		FuncOf(nil, nil),
+		FuncOf([]Type{I64, I64}, []Type{I1}),
+		FuncOf([]Type{I64}, []Type{I1, I1}),
+		TensorOf([]int64{2}, TensorOf([]int64{3}, I8)),
+	}
+	for _, a := range types {
+		for _, b := range types {
+			want := a.String() == b.String()
+			if got := TypeEqual(a, b); got != want {
+				t.Errorf("TypeEqual(%s, %s) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
 func TestTensorTypeQueries(t *testing.T) {
 	tt := TensorOf([]int64{3, 4}, I64)
 	if tt.Rank() != 2 {
