@@ -7,11 +7,24 @@
 // the pair can be fed straight into a differential-testing harness:
 //
 //	mlir-quickcheck -d=ariths -n=30 -seed=7
+//
+// With -check the command instead drives the conformance harness
+// (internal/conformance): it runs property oracles over a deterministic
+// seed schedule, auto-shrinks any counterexample and can persist it
+// into a regression corpus. The same engine drives CI smoke runs and
+// long local campaigns:
+//
+//	mlir-quickcheck -check list                         # available oracles
+//	mlir-quickcheck -check round-trip/ariths -trials 50
+//	mlir-quickcheck -check all -trials 5 -seed 1        # CI smoke shape
+//	mlir-quickcheck -check all -corpus testdata/regressions
+//	mlir-quickcheck -check replay -corpus testdata/regressions
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,35 +32,134 @@ import (
 )
 
 func main() {
-	preset := flag.String("d", "ariths", "generator preset: ariths | linalggeneric | tensor")
-	size := flag.Int("n", 30, "approximate number of generated fragments")
-	seed := flag.Int64("seed", 0, "generation seed")
-	smith := flag.Bool("smith", false, "use the MLIRSmith-style baseline generator instead")
-	expected := flag.Bool("expected", true, "append the expected output as comments")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command; main only binds it to the process. Output
+// is deterministic for a fixed flag set (the golden-output test pins
+// that), which is what makes -check usable as a CI gate.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlir-quickcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	preset := fs.String("d", "ariths", "generator preset: ariths | linalggeneric | tensor | all")
+	size := fs.Int("n", 30, "approximate number of generated fragments")
+	seed := fs.Int64("seed", 0, "generation seed (with -check: base of the trial seed schedule)")
+	smith := fs.Bool("smith", false, "use the MLIRSmith-style baseline generator instead")
+	expected := fs.Bool("expected", true, "append the expected output as comments")
+	check := fs.String("check", "", "conformance mode: an oracle name, 'all', 'list' or 'replay'")
+	trials := fs.Int("trials", 25, "trials per oracle (with -check)")
+	corpus := fs.String("corpus", "", "regression corpus directory: counterexamples are persisted there (with -check), and -check replay re-runs it")
+	noShrink := fs.Bool("no-shrink", false, "disable counterexample minimization (with -check)")
+	stopAtFirst := fs.Bool("stop-at-first", false, "stop an oracle's run at its first counterexample (with -check)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *check != "" {
+		return runCheck(checkConfig{
+			mode:        *check,
+			trials:      *trials,
+			seed:        *seed,
+			corpus:      *corpus,
+			noShrink:    *noShrink,
+			stopAtFirst: *stopAtFirst,
+		}, stdout, stderr)
+	}
 
 	if *smith {
 		m, err := ratte.GenerateSmith(ratte.SmithConfig{Preset: *preset, Size: *size, Seed: *seed})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mlir-quickcheck:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mlir-quickcheck:", err)
+			return 1
 		}
-		fmt.Print(ratte.PrintModule(m))
-		fmt.Println()
-		return
+		fmt.Fprint(stdout, ratte.PrintModule(m))
+		fmt.Fprintln(stdout)
+		return 0
 	}
 
 	p, err := ratte.Generate(ratte.GenConfig{Preset: *preset, Size: *size, Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlir-quickcheck:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mlir-quickcheck:", err)
+		return 1
 	}
-	fmt.Print(ratte.PrintModule(p.Module))
-	fmt.Println()
+	fmt.Fprint(stdout, ratte.PrintModule(p.Module))
+	fmt.Fprintln(stdout)
 	if *expected {
-		fmt.Println("// expected output:")
+		fmt.Fprintln(stdout, "// expected output:")
 		for _, line := range strings.Split(strings.TrimRight(p.Expected, "\n"), "\n") {
-			fmt.Printf("// %s\n", line)
+			fmt.Fprintf(stdout, "// %s\n", line)
 		}
 	}
+	return 0
+}
+
+type checkConfig struct {
+	mode        string
+	trials      int
+	seed        int64
+	corpus      string
+	noShrink    bool
+	stopAtFirst bool
+}
+
+// runCheck executes the -check conformance mode.
+func runCheck(cc checkConfig, stdout, stderr io.Writer) int {
+	switch cc.mode {
+	case "list":
+		for _, name := range ratte.ConformanceOracleNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+
+	case "replay":
+		if cc.corpus == "" {
+			fmt.Fprintln(stderr, "mlir-quickcheck: -check replay needs -corpus <dir>")
+			return 2
+		}
+		rs, errs := ratte.ReplayRegressions(cc.corpus)
+		for _, err := range errs {
+			fmt.Fprintln(stdout, "FAIL", err)
+		}
+		if len(errs) > 0 {
+			fmt.Fprintf(stdout, "FAIL corpus %s: %d of %d regressions violated\n", cc.corpus, len(errs), len(rs))
+			return 1
+		}
+		fmt.Fprintf(stdout, "ok   corpus %s: %d regressions replayed\n", cc.corpus, len(rs))
+		return 0
+	}
+
+	var oracles []ratte.ConformanceOracle
+	if cc.mode == "all" {
+		oracles = ratte.ConformanceOracles()
+	} else {
+		o, err := ratte.LookupConformanceOracle(cc.mode)
+		if err != nil {
+			fmt.Fprintln(stderr, "mlir-quickcheck:", err)
+			return 2
+		}
+		oracles = []ratte.ConformanceOracle{o}
+	}
+
+	failed := 0
+	for _, o := range oracles {
+		res, err := ratte.RunConformance(o, ratte.ConformanceConfig{
+			Trials:      cc.trials,
+			Seed:        cc.seed,
+			NoShrink:    cc.noShrink,
+			CorpusDir:   cc.corpus,
+			StopAtFirst: cc.stopAtFirst,
+			Log:         stdout,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "mlir-quickcheck:", err)
+			return 1
+		}
+		failed += len(res.Failures)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "FAIL %d counterexamples across %d oracles\n", failed, len(oracles))
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok   %d oracles, %d trials each\n", len(oracles), cc.trials)
+	return 0
 }

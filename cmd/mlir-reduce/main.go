@@ -26,20 +26,30 @@ import (
 )
 
 func main() {
-	preset := flag.String("preset", "ariths", "pipeline preset used for compilation")
-	bugList := flag.String("bugs", "", "comma-separated injected bug ids the failure depends on")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	src, err := readInput(flag.Arg(0))
+// run is the whole command; main only binds it to the process (the
+// end-to-end test drives run directly).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlir-reduce", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	preset := fs.String("preset", "ariths", "pipeline preset used for compilation")
+	bugList := fs.String("bugs", "", "comma-separated injected bug ids the failure depends on")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := readInput(fs.Arg(0), stdin)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	m, err := ir.Parse(src)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	if err := ratte.VerifyModule(m); err != nil {
-		fatal(fmt.Errorf("input must be statically valid: %w", err))
+		return fatal(stderr, fmt.Errorf("input must be statically valid: %w", err))
 	}
 
 	bugSet := bugs.None()
@@ -49,21 +59,21 @@ func main() {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil {
-			fatal(fmt.Errorf("bad bug id %q", part))
+			return fatal(stderr, fmt.Errorf("bad bug id %q", part))
 		}
 		bugSet[bugs.ID(n)] = true
 	}
 
 	ref, err := ratte.Interpret(m, "main")
 	if err != nil {
-		fatal(fmt.Errorf("input must be UB-free under the reference semantics: %w", err))
+		return fatal(stderr, fmt.Errorf("input must be UB-free under the reference semantics: %w", err))
 	}
 	orig := difftest.TestModule(m, ref.Output, *preset, bugSet)
 	oracle := orig.Detected()
 	if oracle == difftest.OracleNone {
-		fatal(fmt.Errorf("input does not trigger any oracle under the selected compiler build"))
+		return fatal(stderr, fmt.Errorf("input does not trigger any oracle under the selected compiler build"))
 	}
-	fmt.Fprintf(os.Stderr, "mlir-reduce: input triggers the %s oracle; reducing…\n", oracle)
+	fmt.Fprintf(stderr, "mlir-reduce: input triggers the %s oracle; reducing…\n", oracle)
 
 	pred := func(c *ir.Module) bool {
 		if err := ratte.VerifyModule(c); err != nil {
@@ -76,20 +86,21 @@ func main() {
 		return difftest.TestModule(c, r.Output, *preset, bugSet).Detected() == oracle
 	}
 	small := reduce.Module(m, pred)
-	fmt.Fprintf(os.Stderr, "mlir-reduce: %d ops -> %d ops\n", m.NumOps(), small.NumOps())
-	fmt.Println(ir.Print(small))
+	fmt.Fprintf(stderr, "mlir-reduce: %d ops -> %d ops\n", m.NumOps(), small.NumOps())
+	fmt.Fprintln(stdout, ir.Print(small))
+	return 0
 }
 
-func readInput(path string) (string, error) {
+func readInput(path string, stdin io.Reader) (string, error) {
 	if path == "" || path == "-" {
-		b, err := io.ReadAll(os.Stdin)
+		b, err := io.ReadAll(stdin)
 		return string(b), err
 	}
 	b, err := os.ReadFile(path)
 	return string(b), err
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mlir-reduce:", err)
-	os.Exit(1)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "mlir-reduce:", err)
+	return 1
 }

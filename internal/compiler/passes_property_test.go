@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ratte/internal/compiler"
+	"ratte/internal/conformance"
 	"ratte/internal/dialects"
 	"ratte/internal/gen"
 	"ratte/internal/ir"
@@ -11,39 +12,39 @@ import (
 
 // TestPassPrefixesPreserveSemantics is the strongest pass-correctness
 // property the substrate offers: for generated (UB-free) programs, the
-// module after EVERY prefix of the ariths pipeline — a mixed-dialect
-// module mid-lowering — still executes to the reference output. A pass
-// that corrupts semantics anywhere in the pipeline fails here with the
-// exact prefix identified.
+// module after EVERY executable prefix of the pipeline — a
+// mixed-dialect module mid-lowering — still executes to the reference
+// output. A pass that corrupts semantics anywhere in the pipeline fails
+// here with the exact prefix identified, auto-shrunk by the conformance
+// harness to a minimal trigger.
+//
+// Where the pre-harness version of this test covered ariths at O2 only,
+// the conformance oracle family covers every preset × optimisation
+// level, plus the alternative (no arith-expand) lowering strategy.
 func TestPassPrefixesPreserveSemantics(t *testing.T) {
-	names, err := compiler.PipelineFor("ariths", compiler.O2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for seed := int64(200); seed < 212; seed++ {
-		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 25, Seed: seed})
-		if err != nil {
-			t.Fatal(err)
+	var oracles []conformance.Oracle
+	for _, preset := range gen.AllPresets() {
+		for _, level := range compiler.OptLevels {
+			oracles = append(oracles, conformance.NewPrefixEquivalence(preset, level, false))
 		}
-		for prefix := 0; prefix <= len(names); prefix++ {
-			pipe, err := compiler.NewPipeline(names[:prefix]...)
+	}
+	// The second lowering strategy (direct convert-arith-to-llvm
+	// division patterns, no arith-expand) for the scalar preset.
+	for _, level := range compiler.OptLevels {
+		oracles = append(oracles, conformance.NewPrefixEquivalence("ariths", level, true))
+	}
+	for _, o := range oracles {
+		o := o
+		t.Run(o.Name(), func(t *testing.T) {
+			res, err := conformance.Run(o, conformance.Config{Trials: 6, Seed: 200})
 			if err != nil {
 				t.Fatal(err)
 			}
-			m := p.Module.Clone()
-			if err := pipe.Run(m, &compiler.Options{}); err != nil {
-				t.Fatalf("seed %d prefix %v: %v", seed, names[:prefix], err)
+			for _, ce := range res.Failures {
+				t.Errorf("seed %d (shrunk %d -> %d ops): %s\n%s",
+					ce.Seed, ce.OrigOps, ce.MinOps, ce.Detail, ir.Print(ce.Module))
 			}
-			res, err := dialects.NewExecutor().Run(m, "main")
-			if err != nil {
-				t.Fatalf("seed %d after %v: execution failed: %v\n%s",
-					seed, names[:prefix], err, ir.Print(m))
-			}
-			if res.Output != p.Expected {
-				t.Fatalf("seed %d after %v: output %q, expected %q\n%s",
-					seed, names[:prefix], res.Output, p.Expected, ir.Print(m))
-			}
-		}
+		})
 	}
 }
 

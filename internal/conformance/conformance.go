@@ -1,0 +1,179 @@
+// Package conformance is Ratte-Go's property-testing engine: the
+// QuickCheck-style find→minimize→regress loop that keeps the
+// substrate's own oracles trustworthy. The paper's value proposition —
+// composable semantics turn "does the compiler crash?" into "does the
+// compiler *miscompile*?" — only pays off if the reference machinery
+// (printer, parser, verifier, interpreter, pass pipelines, campaign
+// engines) is itself correct, so its strongest invariants live here as
+// reusable Oracle implementations rather than one-off test loops.
+//
+// An Oracle generates (or takes) a module and checks one property; the
+// Run engine drives trials over a deterministic seed schedule, and on
+// failure auto-shrinks the module with internal/reduce against the
+// still-failing predicate, then persists the minimized counterexample
+// (plus seed/oracle metadata) into a regression corpus that ordinary
+// `go test` replays forever after (see corpus.go).
+package conformance
+
+import (
+	"fmt"
+	"io"
+
+	"ratte/internal/ir"
+	"ratte/internal/reduce"
+)
+
+// Failure is one property violation, as reported by an Oracle's Check.
+type Failure struct {
+	// Detail describes what went wrong, in one line.
+	Detail string
+	// Fired is the differential-testing oracle that fired, for
+	// difftest-backed properties (empty otherwise).
+	Fired string
+}
+
+// Oracle is one conformance property over modules.
+//
+// Generate produces the module for a trial seed — typically with the
+// semantics-guided generator, so the module is statically valid and
+// UB-free by construction. Module-free oracles (e.g. the campaign
+// agreement property) return a nil module.
+//
+// Check reports a non-nil Failure iff the property does not hold on m.
+// Check must be deterministic and self-contained (recomputing any
+// reference data from m itself), because the shrinker re-invokes it on
+// arbitrary sub-modules of the original counterexample; candidates
+// outside the property's domain (statically invalid or UB-carrying
+// modules) must check clean, which steers the shrinker back inside the
+// domain.
+type Oracle interface {
+	Name() string
+	Generate(seed int64) (*ir.Module, error)
+	Check(m *ir.Module, seed int64) *Failure
+}
+
+// Counterexample is a structured, minimized property violation.
+type Counterexample struct {
+	Oracle string     // Oracle.Name()
+	Seed   int64      // trial seed that produced it
+	Detail string     // Failure.Detail (from the minimized module)
+	Fired  string     // Failure.Fired (from the minimized module)
+	Module *ir.Module // minimized failing module; nil for module-free oracles
+
+	OrigOps     int    // op count before shrinking
+	MinOps      int    // op count after shrinking
+	ShrinkSteps int    // accepted reduction steps
+	File        string // corpus file it was persisted to ("" if not persisted)
+}
+
+// Config drives one conformance run.
+type Config struct {
+	// Trials is the number of generate+check trials; trial i uses seed
+	// Seed+i, so a run is fully determined by (oracle, Trials, Seed).
+	Trials int
+	// Seed is the base of the seed schedule.
+	Seed int64
+	// NoShrink disables auto-minimization of failing modules.
+	NoShrink bool
+	// CorpusDir, when non-empty, receives one regression file per
+	// counterexample (see WriteRegression for the format).
+	CorpusDir string
+	// StopAtFirst stops the run at the first counterexample.
+	StopAtFirst bool
+	// Log, when non-nil, receives deterministic progress lines.
+	Log io.Writer
+}
+
+// Result summarises one conformance run.
+type Result struct {
+	Oracle   string
+	Trials   int // trials actually executed
+	Failures []*Counterexample
+}
+
+// Ok reports whether the property held on every trial.
+func (r *Result) Ok() bool { return len(r.Failures) == 0 }
+
+// Run drives cfg.Trials trials of one oracle. A Generate error aborts
+// the run (the generator, not the property, is broken); a Check failure
+// becomes a Counterexample — shrunk and persisted per cfg — and the run
+// continues unless cfg.StopAtFirst. Runs are deterministic: a fixed
+// (oracle, Trials, Seed) always yields the same Result and, with
+// cfg.Log set, byte-identical output.
+func Run(o Oracle, cfg Config) (*Result, error) {
+	res := &Result{Oracle: o.Name()}
+	for i := 0; i < cfg.Trials; i++ {
+		seed := cfg.Seed + int64(i)
+		m, err := o.Generate(seed)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: %s: generate(seed %d): %w", o.Name(), seed, err)
+		}
+		res.Trials++
+		f := o.Check(m, seed)
+		if f == nil {
+			continue
+		}
+		ce := &Counterexample{
+			Oracle: o.Name(),
+			Seed:   seed,
+			Detail: f.Detail,
+			Fired:  f.Fired,
+			Module: m,
+		}
+		if m != nil {
+			ce.OrigOps = m.NumOps()
+			ce.MinOps = ce.OrigOps
+			if !cfg.NoShrink {
+				shrink(o, ce)
+			}
+		}
+		if cfg.CorpusDir != "" && ce.Module != nil {
+			file, err := WriteRegression(cfg.CorpusDir, regressionOf(o, ce))
+			if err != nil {
+				return nil, fmt.Errorf("conformance: persisting counterexample: %w", err)
+			}
+			ce.File = file
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "FAIL %s seed=%d ops=%d->%d %s\n",
+				ce.Oracle, ce.Seed, ce.OrigOps, ce.MinOps, ce.Detail)
+		}
+		res.Failures = append(res.Failures, ce)
+		if cfg.StopAtFirst {
+			break
+		}
+	}
+	if cfg.Log != nil {
+		status := "ok  "
+		if !res.Ok() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(cfg.Log, "%s %s: %d trials, %d counterexamples\n",
+			status, res.Oracle, res.Trials, len(res.Failures))
+	}
+	return res, nil
+}
+
+// Minimize shrinks a module that fails o's property with the
+// delta-debugging reducer against "the oracle still fails", returning
+// the minimized module and the number of accepted reduction steps. The
+// input module is not modified; if it does not fail the property it is
+// returned unchanged with zero steps.
+func Minimize(o Oracle, m *ir.Module, seed int64) (*ir.Module, int) {
+	pred := func(c *ir.Module) bool { return o.Check(c, seed) != nil }
+	steps := 0
+	min := reduce.ModuleTrace(m, pred, func(step int, _ *ir.Module) { steps = step })
+	return min, steps
+}
+
+// shrink minimizes ce.Module, refreshing the failure detail from the
+// minimized module (the message that matters is the small one).
+func shrink(o Oracle, ce *Counterexample) {
+	min, steps := Minimize(o, ce.Module, ce.Seed)
+	ce.Module = min
+	ce.MinOps = min.NumOps()
+	ce.ShrinkSteps = steps
+	if f := o.Check(min, ce.Seed); f != nil {
+		ce.Detail, ce.Fired = f.Detail, f.Fired
+	}
+}

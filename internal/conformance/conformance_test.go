@@ -1,0 +1,211 @@
+package conformance_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/conformance"
+	"ratte/internal/ir"
+)
+
+// TestBrokenPassCaughtShrunkPersisted is the harness's acceptance
+// property: against a deliberately broken pass — here canonicalize with
+// the paper's bug 5 (the i1 mulsi_extended special case) temporarily
+// injected — the difftest oracle catches the miscompilation, the engine
+// auto-shrinks the program to a handful of ops with the trigger
+// operation still present, persists it with full metadata, and the
+// resulting corpus replays green.
+func TestBrokenPassCaughtShrunkPersisted(t *testing.T) {
+	dir := t.TempDir()
+	o := conformance.NewDifftest("ariths", bugs.Only(bugs.MulsiExtendedI1Fold))
+	res, err := conformance.Run(o, conformance.Config{
+		Trials:      6,
+		Seed:        20, // seed 23 is a known trigger; the schedule reaches it
+		CorpusDir:   dir,
+		StopAtFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("want 1 counterexample, got %d", len(res.Failures))
+	}
+	ce := res.Failures[0]
+	if ce.Fired != "DT-R" {
+		t.Errorf("bug 5 should fire DT-R, fired %q", ce.Fired)
+	}
+	if ce.MinOps >= ce.OrigOps {
+		t.Errorf("shrinking did not shrink: %d -> %d ops", ce.OrigOps, ce.MinOps)
+	}
+	if ce.MinOps > 15 {
+		t.Errorf("counterexample not minimal enough: %d ops", ce.MinOps)
+	}
+	if ce.ShrinkSteps == 0 {
+		t.Error("no shrink steps recorded")
+	}
+	if !strings.Contains(ir.Print(ce.Module), "arith.mulsi_extended") {
+		t.Errorf("minimized module lost the trigger op:\n%s", ir.Print(ce.Module))
+	}
+	if ce.File == "" {
+		t.Fatal("counterexample was not persisted")
+	}
+	if _, err := os.Stat(ce.File); err != nil {
+		t.Fatal(err)
+	}
+
+	// The persisted corpus replays green: property holds on the correct
+	// build, and the reproducer still fires against the buggy one.
+	rs, errs := conformance.ReplayCorpus(dir)
+	if len(errs) > 0 {
+		t.Fatalf("replay violations: %v", errs)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("want 1 corpus entry, got %d", len(rs))
+	}
+	r := rs[0]
+	if r.Oracle != "difftest/ariths" || r.Seed != ce.Seed || r.Fires != "DT-R" {
+		t.Errorf("metadata round-trip: %+v", r)
+	}
+	if len(r.Bugs) != 1 || r.Bugs[0] != bugs.MulsiExtendedI1Fold {
+		t.Errorf("injected bugs not recorded: %v", r.Bugs)
+	}
+	if ir.Print(r.Module) != ir.Print(ce.Module) {
+		t.Error("stored module differs from the minimized counterexample")
+	}
+}
+
+// TestRunDeterministic: a fixed (oracle, Trials, Seed) yields
+// byte-identical logs and identical minimized counterexamples across
+// runs — the property that lets -check gate CI.
+func TestRunDeterministic(t *testing.T) {
+	o := conformance.NewDifftest("ariths", bugs.Only(bugs.MulsiExtendedI1Fold))
+	var logs [2]bytes.Buffer
+	var mods [2]string
+	for i := 0; i < 2; i++ {
+		res, err := conformance.Run(o, conformance.Config{
+			Trials: 5, Seed: 20, StopAtFirst: true, Log: &logs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Failures) != 1 {
+			t.Fatalf("run %d: want 1 counterexample, got %d", i, len(res.Failures))
+		}
+		mods[i] = ir.Print(res.Failures[0].Module)
+	}
+	if logs[0].String() != logs[1].String() {
+		t.Errorf("logs differ:\n--- run 0 ---\n%s--- run 1 ---\n%s", logs[0].String(), logs[1].String())
+	}
+	if mods[0] != mods[1] {
+		t.Error("minimized counterexamples differ across runs")
+	}
+}
+
+// TestStandardOraclesHoldOnCorrectSubstrate: the full battery, a couple
+// of trials each, must be failure-free — the substrate's conformance
+// smoke run.
+func TestStandardOraclesHoldOnCorrectSubstrate(t *testing.T) {
+	for _, o := range conformance.StandardOracles() {
+		o := o
+		t.Run(o.Name(), func(t *testing.T) {
+			res, err := conformance.Run(o, conformance.Config{Trials: 3, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ce := range res.Failures {
+				t.Errorf("seed %d: %s\n%s", ce.Seed, ce.Detail, printIfAny(ce.Module))
+			}
+		})
+	}
+}
+
+func printIfAny(m *ir.Module) string {
+	if m == nil {
+		return "(module-free oracle)"
+	}
+	return ir.Print(m)
+}
+
+// TestLookupInvertsNames: every standard oracle's name must round-trip
+// through the registry — that is what lets a regression file name its
+// property and be re-checked later.
+func TestLookupInvertsNames(t *testing.T) {
+	for _, o := range conformance.StandardOracles() {
+		got, err := conformance.Lookup(o.Name())
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", o.Name(), err)
+			continue
+		}
+		if got.Name() != o.Name() {
+			t.Errorf("Lookup(%q).Name() = %q", o.Name(), got.Name())
+		}
+	}
+	// The noexpand lowering-strategy variant is addressable too.
+	o, err := conformance.Lookup("prefix-equivalence/ariths/O1-noexpand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "prefix-equivalence/ariths/O1-noexpand" {
+		t.Errorf("noexpand variant: %q", o.Name())
+	}
+	for _, bad := range []string{"", "round-trip", "round-trip/nope", "nope/ariths", "prefix-equivalence/ariths/O7"} {
+		if _, err := conformance.Lookup(bad); err == nil {
+			t.Errorf("Lookup(%q) should fail", bad)
+		}
+	}
+}
+
+// TestCorpusRoundTrip pins the regression file format: write, read
+// back, all metadata and the module intact; non-regression files are
+// rejected.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := conformance.NewDifftest("ariths", bugs.Only(bugs.IndexCastUIFold))
+	m, err := o.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &conformance.Regression{
+		Oracle: "difftest/ariths",
+		Seed:   7,
+		Bugs:   []bugs.ID{bugs.IndexCastUIFold},
+		Fires:  "DT-R",
+		Detail: "multi\nline detail",
+		Module: m,
+	}
+	path, err := conformance.WriteRegression(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "difftest-ariths-b1-seed7.mlir" {
+		t.Errorf("canonical file name: got %s", filepath.Base(path))
+	}
+	out, err := conformance.ReadRegression(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Oracle != in.Oracle || out.Seed != in.Seed || out.Fires != in.Fires {
+		t.Errorf("metadata: %+v", out)
+	}
+	if out.Detail != "multi line detail" {
+		t.Errorf("detail not flattened to one line: %q", out.Detail)
+	}
+	if len(out.Bugs) != 1 || out.Bugs[0] != bugs.IndexCastUIFold {
+		t.Errorf("bugs: %v", out.Bugs)
+	}
+	if ir.Print(out.Module) != ir.Print(m) {
+		t.Error("module round-trip differs")
+	}
+
+	plain := filepath.Join(dir, "plain.mlir")
+	if err := os.WriteFile(plain, []byte(ir.Print(m)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conformance.ReadRegression(plain); err == nil {
+		t.Error("plain .mlir accepted as a regression file")
+	}
+}

@@ -1,0 +1,245 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ratte/internal/bugs"
+	"ratte/internal/difftest"
+	"ratte/internal/ir"
+)
+
+// A Regression is one persisted, minimized counterexample: the module
+// plus enough metadata (oracle name, trial seed, injected bugs and the
+// difftest oracle that fired) for the corpus replayer to re-check it
+// from scratch. On disk it is an ordinary .mlir file with a comment
+// header:
+//
+//	// ratte-regression v1
+//	// oracle: difftest/ariths
+//	// seed: 42
+//	// bugs: 5            (optional: the injected defects it depends on)
+//	// fires: DT-R        (optional: the oracle those defects trip)
+//	// detail: ...        (optional, informational)
+//	"builtin.module"() ({ ... }) : () -> ()
+type Regression struct {
+	Oracle string
+	Seed   int64
+	Bugs   []bugs.ID
+	Fires  string
+	Detail string
+	Module *ir.Module
+	File   string // path it was read from or written to
+}
+
+const regressionMagic = "// ratte-regression v1"
+
+// regressionOf converts an engine counterexample into its persistable
+// form, pulling the injected bug set off the oracle when it carries one.
+func regressionOf(o Oracle, ce *Counterexample) *Regression {
+	r := &Regression{
+		Oracle: ce.Oracle,
+		Seed:   ce.Seed,
+		Fires:  ce.Fired,
+		Detail: ce.Detail,
+		Module: ce.Module,
+	}
+	if bc, ok := o.(BugCarrier); ok {
+		for id := range bc.InjectedBugs() {
+			r.Bugs = append(r.Bugs, id)
+		}
+		sort.Slice(r.Bugs, func(i, j int) bool { return r.Bugs[i] < r.Bugs[j] })
+	}
+	return r
+}
+
+// FileName returns the regression's canonical corpus file name, derived
+// from its identity (oracle, bugs, seed) so that regenerating the same
+// counterexample overwrites rather than duplicates.
+func (r *Regression) FileName() string {
+	name := strings.ReplaceAll(r.Oracle, "/", "-")
+	if len(r.Bugs) > 0 {
+		parts := make([]string, len(r.Bugs))
+		for i, id := range r.Bugs {
+			parts[i] = strconv.Itoa(int(id))
+		}
+		name += "-b" + strings.Join(parts, "_")
+	}
+	return fmt.Sprintf("%s-seed%d.mlir", name, r.Seed)
+}
+
+// WriteRegression persists r under dir (creating it as needed) and
+// returns the file path written.
+func WriteRegression(dir string, r *Regression) (string, error) {
+	if r.Module == nil {
+		return "", fmt.Errorf("conformance: regression for %s has no module", r.Oracle)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(regressionMagic + "\n")
+	fmt.Fprintf(&b, "// oracle: %s\n", r.Oracle)
+	fmt.Fprintf(&b, "// seed: %d\n", r.Seed)
+	if len(r.Bugs) > 0 {
+		parts := make([]string, len(r.Bugs))
+		for i, id := range r.Bugs {
+			parts[i] = strconv.Itoa(int(id))
+		}
+		fmt.Fprintf(&b, "// bugs: %s\n", strings.Join(parts, ","))
+	}
+	if r.Fires != "" {
+		fmt.Fprintf(&b, "// fires: %s\n", r.Fires)
+	}
+	if r.Detail != "" {
+		fmt.Fprintf(&b, "// detail: %s\n", strings.ReplaceAll(r.Detail, "\n", " "))
+	}
+	b.WriteString(ir.Print(r.Module))
+	path := filepath.Join(dir, r.FileName())
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	r.File = path
+	return path, nil
+}
+
+// ReadRegression parses one corpus file.
+func ReadRegression(path string) (*Regression, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	src := string(data)
+	if !strings.HasPrefix(src, regressionMagic) {
+		return nil, fmt.Errorf("%s: not a ratte-regression file", path)
+	}
+	r := &Regression{File: path}
+	for _, line := range strings.Split(src, "\n") {
+		if !strings.HasPrefix(line, "// ") {
+			break // header ends at the first non-comment line
+		}
+		key, val, ok := strings.Cut(strings.TrimPrefix(line, "// "), ": ")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "oracle":
+			r.Oracle = val
+		case "seed":
+			r.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad seed %q", path, val)
+			}
+		case "bugs":
+			for _, part := range strings.Split(val, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad bug id %q", path, part)
+				}
+				r.Bugs = append(r.Bugs, bugs.ID(n))
+			}
+		case "fires":
+			r.Fires = val
+		case "detail":
+			r.Detail = val
+		}
+	}
+	if r.Oracle == "" {
+		return nil, fmt.Errorf("%s: missing oracle header", path)
+	}
+	m, err := ir.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: module does not parse: %w", path, err)
+	}
+	r.Module = m
+	return r, nil
+}
+
+// ReadCorpus loads every regression under dir, in stable (sorted file
+// name) order. A missing directory is an empty corpus, not an error.
+func ReadCorpus(dir string) ([]*Regression, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rs []*Regression
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mlir") {
+			continue
+		}
+		r, err := ReadRegression(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, r)
+	}
+	return rs, nil
+}
+
+// Replay re-checks one regression and returns an error describing any
+// violation:
+//
+//   - the named property must hold on the stored module under the
+//     correct (bug-free) substrate — a once-fixed failure must stay
+//     fixed; and
+//   - when the regression records injected bugs, the stored module must
+//     still trip the recorded difftest oracle against a build with
+//     exactly those defects — a reproducer must not go stale.
+func Replay(r *Regression) error {
+	o, err := Lookup(r.Oracle)
+	if err != nil {
+		return fmt.Errorf("%s: %w", r.File, err)
+	}
+	if f := o.Check(r.Module, r.Seed); f != nil {
+		return fmt.Errorf("%s: property %s violated again: %s", r.File, r.Oracle, f.Detail)
+	}
+	if len(r.Bugs) == 0 {
+		return nil
+	}
+	preset := presetOf(r.Oracle)
+	ref, ok := reference(r.Module)
+	if !ok {
+		return fmt.Errorf("%s: stored module is no longer valid and UB-free", r.File)
+	}
+	rep := difftest.TestModule(r.Module, ref, preset, bugs.Only(r.Bugs...))
+	fired := rep.Detected()
+	if fired == difftest.OracleNone {
+		return fmt.Errorf("%s: reproducer went stale: bugs %v no longer detected", r.File, r.Bugs)
+	}
+	if r.Fires != "" && string(fired) != r.Fires {
+		return fmt.Errorf("%s: bugs %v now detected by %s, recorded %s", r.File, r.Bugs, fired, r.Fires)
+	}
+	return nil
+}
+
+// ReplayCorpus replays every regression under dir, returning the loaded
+// corpus and the per-file violations (empty when all green).
+func ReplayCorpus(dir string) ([]*Regression, []error) {
+	rs, err := ReadCorpus(dir)
+	if err != nil {
+		return nil, []error{err}
+	}
+	var errs []error
+	for _, r := range rs {
+		if err := Replay(r); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return rs, errs
+}
+
+// presetOf extracts the preset segment of an oracle name ("" if none).
+func presetOf(oracle string) string {
+	parts := strings.Split(oracle, "/")
+	if len(parts) < 2 {
+		return ""
+	}
+	return parts[1]
+}

@@ -1,0 +1,117 @@
+package conformance_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/conformance"
+	"ratte/internal/ir"
+)
+
+// corpusDir is the committed regression corpus, shared repo-wide (the
+// README documents its layout).
+const corpusDir = "../../testdata/regressions"
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"regenerate testdata/regressions/ entries seeded from the internal/bugs table")
+
+// TestRegressionCorpusReplaysGreen is the corpus replayer: every
+// committed regression, re-checked from scratch in ordinary `go test`.
+// Each entry asserts both directions — the property holds against the
+// correct substrate, and entries recording injected bugs still trip the
+// recorded oracle against that buggy build.
+func TestRegressionCorpusReplaysGreen(t *testing.T) {
+	rs, err := conformance.ReadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) < len(bugs.Table()) {
+		t.Fatalf("corpus has %d entries, want at least the %d seeded bug reproducers", len(rs), len(bugs.Table()))
+	}
+	for _, r := range rs {
+		r := r
+		t.Run(filepath.Base(r.File), func(t *testing.T) {
+			if err := conformance.Replay(r); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSeededCorpusMatchesBugTable pins the seeded part of the corpus to
+// its source of truth: for every Table 3 defect, the reduced reproducer
+// in testdata/bugs/ is re-shrunk by the harness against the difftest
+// oracle with (exactly) that bug injected, and the resulting regression
+// file must match the committed one byte for byte. Run with
+// -update-corpus to regenerate after an intentional change.
+func TestSeededCorpusMatchesBugTable(t *testing.T) {
+	for _, info := range bugs.Table() {
+		info := info
+		t.Run(fmt.Sprintf("bug%d", int(info.ID)), func(t *testing.T) {
+			r := seededRegression(t, info)
+			if *updateCorpus {
+				path, err := conformance.WriteRegression(corpusDir, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			tmp := t.TempDir()
+			path, err := conformance.WriteRegression(tmp, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(corpusDir, r.FileName()))
+			if err != nil {
+				t.Fatalf("committed corpus entry missing (run `go test ./internal/conformance -run SeededCorpus -update-corpus`): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("committed %s is stale (run with -update-corpus):\n--- committed ---\n%s--- regenerated ---\n%s",
+					r.FileName(), got, want)
+			}
+		})
+	}
+}
+
+// seededRegression builds the corpus entry for one Table 3 bug from its
+// reduced test case in testdata/bugs/.
+func seededRegression(t *testing.T, info bugs.Info) *conformance.Regression {
+	t.Helper()
+	src, err := os.ReadFile(fmt.Sprintf("../../testdata/bugs/%d.mlir", int(info.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := conformance.NewDifftest("ariths", bugs.Only(info.ID))
+	f := o.Check(m, 0)
+	if f == nil {
+		t.Fatalf("bug %d reproducer does not fail the difftest oracle", int(info.ID))
+	}
+	min, _ := conformance.Minimize(o, m, 0)
+	if fm := o.Check(min, 0); fm != nil {
+		f = fm
+	}
+	if f.Fired != info.Oracle {
+		t.Fatalf("bug %d fired %s, Table 3 says %s", int(info.ID), f.Fired, info.Oracle)
+	}
+	return &conformance.Regression{
+		Oracle: "difftest/ariths",
+		Seed:   0,
+		Bugs:   []bugs.ID{info.ID},
+		Fires:  f.Fired,
+		Detail: f.Detail,
+		Module: min,
+	}
+}

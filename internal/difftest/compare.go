@@ -1,0 +1,56 @@
+package difftest
+
+import (
+	"fmt"
+
+	"ratte/internal/ir"
+)
+
+// DiffResults compares two campaign results field by field and returns
+// a human-readable description of the first difference, or "" when the
+// results are observationally identical. It compares exactly what the
+// cross-engine determinism suite compares: program counts, detections
+// in order (seed, oracle, expected output, program text and the full
+// per-configuration reports) and the per-oracle tallies. The
+// serial-vs-parallel agreement oracle of internal/conformance is built
+// on this.
+func DiffResults(a, b *CampaignResult) string {
+	if a.Programs != b.Programs {
+		return fmt.Sprintf("programs: %d vs %d", a.Programs, b.Programs)
+	}
+	if len(a.Detections) != len(b.Detections) {
+		return fmt.Sprintf("detections: %d vs %d", len(a.Detections), len(b.Detections))
+	}
+	for i := range a.Detections {
+		da, db := a.Detections[i], b.Detections[i]
+		if da.Seed != db.Seed {
+			return fmt.Sprintf("detection %d: seed %d vs %d", i, da.Seed, db.Seed)
+		}
+		if da.Oracle != db.Oracle {
+			return fmt.Sprintf("detection %d: oracle %s vs %s", i, da.Oracle, db.Oracle)
+		}
+		if da.Expected != db.Expected {
+			return fmt.Sprintf("detection %d: expected output differs", i)
+		}
+		if ir.Print(da.Program) != ir.Print(db.Program) {
+			return fmt.Sprintf("detection %d: program text differs", i)
+		}
+		for _, bc := range BuildConfigs {
+			la, lb := da.Report.Levels[bc], db.Report.Levels[bc]
+			if la.Output != lb.Output ||
+				(la.CompileErr == nil) != (lb.CompileErr == nil) ||
+				(la.RunErr == nil) != (lb.RunErr == nil) {
+				return fmt.Sprintf("detection %d: report for %s differs", i, bc)
+			}
+		}
+	}
+	if len(a.ByOracle) != len(b.ByOracle) {
+		return fmt.Sprintf("byOracle: %v vs %v", a.ByOracle, b.ByOracle)
+	}
+	for o, n := range a.ByOracle {
+		if b.ByOracle[o] != n {
+			return fmt.Sprintf("oracle %s: %d vs %d detections", o, n, b.ByOracle[o])
+		}
+	}
+	return ""
+}

@@ -14,20 +14,43 @@ import (
 // (e.g. still triggers the miscompilation). It must be deterministic.
 type Predicate func(m *ir.Module) bool
 
+// TraceFunc observes one accepted reduction step: step counts from 1,
+// and m is the (smaller) module the predicate just accepted. The module
+// is live reducer state — observe it (print, count ops), don't mutate.
+type TraceFunc func(step int, m *ir.Module)
+
 // Module shrinks m while pred keeps holding, returning the smallest
 // module found. The input module is not modified. pred(m) must be true
 // on entry; otherwise m is returned unchanged.
 func Module(m *ir.Module, pred Predicate) *ir.Module {
+	return ModuleTrace(m, pred, nil)
+}
+
+// ModuleTrace is Module with a step observer: trace (if non-nil) is
+// called after every accepted removal, so callers can assert or log
+// that the predicate held at each intermediate stage of the reduction.
+func ModuleTrace(m *ir.Module, pred Predicate, trace TraceFunc) *ir.Module {
 	if !pred(m) {
 		return m
+	}
+	step := 0
+	observed := func(cand *ir.Module) bool {
+		if !pred(cand) {
+			return false
+		}
+		step++
+		if trace != nil {
+			trace(step, cand)
+		}
+		return true
 	}
 	cur := m.Clone()
 	for {
 		shrunk := false
-		if next, ok := tryRemoveOps(cur, pred); ok {
+		if next, ok := tryRemoveOps(cur, observed); ok {
 			cur, shrunk = next, true
 		}
-		if next, ok := tryRemoveFuncs(cur, pred); ok {
+		if next, ok := tryRemoveFuncs(cur, observed); ok {
 			cur, shrunk = next, true
 		}
 		if !shrunk {

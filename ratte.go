@@ -33,6 +33,7 @@ package ratte
 import (
 	"ratte/internal/bugs"
 	"ratte/internal/compiler"
+	"ratte/internal/conformance"
 	"ratte/internal/dialects"
 	"ratte/internal/difftest"
 	"ratte/internal/gen"
@@ -171,6 +172,53 @@ func ReduceModule(m *Module, pred func(*Module) bool) *Module {
 // original). Returns the mutant and the rule names applied.
 func Mutate(m *Module, seed int64, n int) (*Module, []string) {
 	return mutate.Mutate(m, seed, n)
+}
+
+// Conformance: the property-testing harness that keeps the substrate's
+// own oracles trustworthy (find → minimize → regress).
+type (
+	// ConformanceOracle is one property over modules: generate (or
+	// take) a module, check the property, report a structured
+	// counterexample.
+	ConformanceOracle = conformance.Oracle
+	// ConformanceConfig drives a conformance run (trial count, seed
+	// schedule, shrinking, corpus persistence).
+	ConformanceConfig = conformance.Config
+	// ConformanceResult summarises a conformance run.
+	ConformanceResult = conformance.Result
+	// Counterexample is a minimized property violation.
+	Counterexample = conformance.Counterexample
+	// Regression is a persisted counterexample in the replayable
+	// corpus under testdata/regressions/.
+	Regression = conformance.Regression
+)
+
+// ConformanceOracles returns the standard oracle battery: print/parse
+// round-trip, verifier idempotence, per-pass-prefix semantic
+// equivalence (every preset × optimisation level), metamorphic mutation
+// equivalence, correct-build differential testing and serial-vs-
+// parallel campaign agreement.
+func ConformanceOracles() []ConformanceOracle { return conformance.StandardOracles() }
+
+// ConformanceOracleNames lists the standard oracles' names, sorted.
+func ConformanceOracleNames() []string { return conformance.OracleNames() }
+
+// LookupConformanceOracle reconstructs an oracle from its name (e.g.
+// "prefix-equivalence/tensor/O2").
+func LookupConformanceOracle(name string) (ConformanceOracle, error) {
+	return conformance.Lookup(name)
+}
+
+// RunConformance drives one oracle over a deterministic seed schedule,
+// auto-shrinking and (optionally) persisting counterexamples.
+func RunConformance(o ConformanceOracle, cfg ConformanceConfig) (*ConformanceResult, error) {
+	return conformance.Run(o, cfg)
+}
+
+// ReplayRegressions re-checks every stored regression under dir,
+// returning the corpus and any violations.
+func ReplayRegressions(dir string) ([]*Regression, []error) {
+	return conformance.ReplayCorpus(dir)
 }
 
 // NoBugs returns the correct-compiler selection.

@@ -1,0 +1,16 @@
+// ratte-regression v1
+// oracle: difftest/ariths
+// seed: 0
+// bugs: 1
+// fires: DT-R
+// detail: DT-R fired under build configs [O0:ok O1:wrong-output O2:wrong-output O1-noexpand:wrong-output]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %a = "arith.constant"() {value = -1 : i8} : () -> (i8)
+        %i = "arith.index_castui"(%a) : (i8) -> (index)
+        "vector.print"(%i) : (index) -> ()
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+}) : () -> ()

@@ -1,0 +1,22 @@
+// ratte-regression v1
+// oracle: difftest/ariths
+// seed: 0
+// bugs: 2
+// fires: DT-R
+// detail: DT-R fired under build configs [O0:ok O1:wrong-output O2:wrong-output O1-noexpand:wrong-output]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %big = "func.call"() {callee = @c} : () -> (index)
+        %n = "arith.index_cast"(%big) : (index) -> (i8)
+        %back = "arith.index_cast"(%n) : (i8) -> (index)
+        "vector.print"(%back) : (index) -> ()
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+    "func.func"() ({
+      ^bb0:
+        %a = "arith.constant"() {value = 300 : index} : () -> (index)
+        "func.return"(%a) : (index) -> ()
+    }) {sym_name = "c", function_type = () -> (index)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,20 @@
+// ratte-regression v1
+// oracle: difftest/ariths
+// seed: 0
+// bugs: 3
+// fires: NC
+// detail: NC fired under build configs [O0:ok O1:ok O2:reject O1-noexpand:ok]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %a, %b = "func.call"() {callee = @pair} : () -> (i64, i64)
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+    "func.func"() ({
+      ^bb0:
+        %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+        %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+        "func.return"(%a, %b) : (i64, i64) -> ()
+    }) {sym_name = "pair", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,20 @@
+// ratte-regression v1
+// oracle: difftest/ariths
+// seed: 0
+// bugs: 4
+// fires: NC
+// detail: NC fired under build configs [O0:reject O1:ok O2:ok O1-noexpand:ok]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %a, %b = "func.call"() {callee = @c} : () -> (i1, i1)
+        %s, %o = "arith.addui_extended"(%a, %b) : (i1, i1) -> (i1, i1)
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+    "func.func"() ({
+      ^bb0:
+        %a = "arith.constant"() {value = -1 : i1} : () -> (i1)
+        "func.return"(%a, %a) : (i1, i1) -> ()
+    }) {sym_name = "c", function_type = () -> (i1, i1)} : () -> ()
+}) : () -> ()

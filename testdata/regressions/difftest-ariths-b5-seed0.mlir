@@ -1,0 +1,22 @@
+// ratte-regression v1
+// oracle: difftest/ariths
+// seed: 0
+// bugs: 5
+// fires: DT-R
+// detail: DT-R fired under build configs [O0:ok O1:wrong-output O2:wrong-output O1-noexpand:wrong-output]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+        %0 = "func.call"() {callee = @one} : () -> (i1)
+        %low, %high = "arith.mulsi_extended"(%0, %n1) : (i1, i1) -> (i1, i1)
+        "vector.print"(%high) : (i1) -> ()
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+    "func.func"() ({
+      ^bb0:
+        %n1 = "arith.constant"() {value = -1 : i1} : () -> (i1)
+        "func.return"(%n1) : (i1) -> ()
+    }) {sym_name = "one", function_type = () -> (i1)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,21 @@
+// ratte-regression v1
+// oracle: difftest/ariths
+// seed: 0
+// bugs: 7
+// fires: NC
+// detail: NC fired under build configs [O0:crash O1:ok O2:ok O1-noexpand:ok]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %cm, %cn1 = "func.call"() {callee = @func1} : () -> (i64, i64)
+        %1 = "arith.floordivsi"(%cm, %cn1) : (i64, i64) -> (i64)
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+    "func.func"() ({
+      ^bb0:
+        %cm = "arith.constant"() {value = -9223372036854775807 : i64} : () -> (i64)
+        %cn1 = "arith.constant"() {value = -1 : i64} : () -> (i64)
+        "func.return"(%cm, %cn1) : (i64, i64) -> ()
+    }) {sym_name = "func1", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()

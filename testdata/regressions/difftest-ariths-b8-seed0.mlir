@@ -1,0 +1,22 @@
+// ratte-regression v1
+// oracle: difftest/ariths
+// seed: 0
+// bugs: 8
+// fires: DT-R
+// detail: DT-R fired under build configs [O0:wrong-output O1:wrong-output O2:wrong-output O1-noexpand:ok]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %a, %b = "func.call"() {callee = @c} : () -> (i8, i8)
+        %q = "arith.ceildivsi"(%a, %b) : (i8, i8) -> (i8)
+        "vector.print"(%q) : (i8) -> ()
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+    "func.func"() ({
+      ^bb0:
+        %a = "arith.constant"() {value = -128 : i8} : () -> (i8)
+        %b = "arith.constant"() {value = 3 : i8} : () -> (i8)
+        "func.return"(%a, %b) : (i8, i8) -> ()
+    }) {sym_name = "c", function_type = () -> (i8, i8)} : () -> ()
+}) : () -> ()
