@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"ratte"
+	"ratte/internal/profiling"
 )
 
 func main() {
@@ -51,9 +52,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	corpus := fs.String("corpus", "", "regression corpus directory: counterexamples are persisted there (with -check), and -check replay re-runs it")
 	noShrink := fs.Bool("no-shrink", false, "disable counterexample minimization (with -check)")
 	stopAtFirst := fs.Bool("stop-at-first", false, "stop an oracle's run at its first counterexample (with -check)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on clean shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "mlir-quickcheck:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(stderr, "mlir-quickcheck:", err)
+		}
+	}()
 
 	if *check != "" {
 		return runCheck(checkConfig{

@@ -35,6 +35,7 @@ import (
 	"ratte/internal/gen"
 	"ratte/internal/ir"
 	"ratte/internal/mlirsmith"
+	"ratte/internal/profiling"
 	"ratte/internal/reduce"
 )
 
@@ -47,7 +48,15 @@ func main() {
 	bugList := flag.String("bugs", "", "comma-separated injected bug ids")
 	reduceFlag := flag.Bool("reduce", false, "reduce the first detection's test case")
 	workers := flag.Int("workers", 1, "parallel workers (all modes)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean shutdown")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
+		os.Exit(1)
+	}
 
 	switch *experiment {
 	case "table2":
@@ -64,6 +73,12 @@ func main() {
 		adhoc(*preset, *programs, *size, *seed, *bugList, *reduceFlag, *workers)
 	default:
 		fmt.Fprintln(os.Stderr, "ratte-fuzz: unknown experiment", *experiment)
+		os.Exit(1)
+	}
+	// Error paths above os.Exit directly and deliberately drop the
+	// profile; a truncated profile of a failed run only misleads.
+	if err := stopProfiling(); err != nil {
+		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
 		os.Exit(1)
 	}
 }

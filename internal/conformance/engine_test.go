@@ -1,0 +1,55 @@
+package conformance_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ratte/internal/conformance"
+	"ratte/internal/gen"
+)
+
+// TestEngineAgreementCorpus replays the committed regression corpus
+// through the compiled-vs-tree-walking agreement check: every persisted
+// counterexample — whatever oracle originally produced it — must
+// execute byte-identically under both engines. The corpus skews toward
+// modules that once broke something, which makes it a better agreement
+// workload than fresh random programs alone.
+func TestEngineAgreementCorpus(t *testing.T) {
+	rs, err := conformance.ReadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("empty regression corpus")
+	}
+	for _, r := range rs {
+		r := r
+		t.Run(filepath.Base(r.File), func(t *testing.T) {
+			if f := conformance.CheckEngineAgreement(r.Module, "corpus"); f != nil {
+				t.Error(f.Detail)
+			}
+		})
+	}
+}
+
+// TestEngineAgreementTrials smoke-tests the oracle end to end on fresh
+// programs: a few seeds per preset, each checked at source level and
+// after every build configuration's lowering.
+func TestEngineAgreementTrials(t *testing.T) {
+	for _, preset := range gen.AllPresets() {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			t.Parallel()
+			o := conformance.NewEngineAgreement(preset)
+			for seed := int64(0); seed < 3; seed++ {
+				m, err := o.Generate(seed)
+				if err != nil {
+					t.Fatalf("seed %d: generate: %v", seed, err)
+				}
+				if f := o.Check(m, seed); f != nil {
+					t.Errorf("seed %d: %s", seed, f.Detail)
+				}
+			}
+		})
+	}
+}

@@ -19,12 +19,13 @@ import (
 // with its parameters by "/" — e.g. "round-trip/ariths",
 // "prefix-equivalence/tensor/O2" — and Lookup inverts that spelling.
 const (
-	FamilyRoundTrip      = "round-trip"
-	FamilyVerifierIdem   = "verifier-idempotent"
-	FamilyPrefixEquiv    = "prefix-equivalence"
-	FamilyMutationEquiv  = "mutation-equivalence"
-	FamilyCampaignAgree  = "campaign-agreement"
-	FamilyDifftest       = "difftest"
+	FamilyRoundTrip     = "round-trip"
+	FamilyVerifierIdem  = "verifier-idempotent"
+	FamilyPrefixEquiv   = "prefix-equivalence"
+	FamilyMutationEquiv = "mutation-equivalence"
+	FamilyCampaignAgree = "campaign-agreement"
+	FamilyDifftest      = "difftest"
+	// FamilyEngineAgree is declared in engine.go.
 )
 
 // BugCarrier is implemented by oracles that check against a deliberately
@@ -361,6 +362,7 @@ func StandardOracles() []Oracle {
 		}
 		os = append(os,
 			NewMutationEquivalence(preset),
+			NewEngineAgreement(preset),
 			NewDifftest(preset, bugs.None()),
 			NewCampaignAgreement(preset),
 		)
@@ -399,6 +401,8 @@ func Lookup(name string) (Oracle, error) {
 		return NewMutationEquivalence(preset), nil
 	case FamilyCampaignAgree:
 		return NewCampaignAgreement(preset), nil
+	case FamilyEngineAgree:
+		return NewEngineAgreement(preset), nil
 	case FamilyDifftest:
 		return NewDifftest(preset, bugs.None()), nil
 	case FamilyPrefixEquiv:

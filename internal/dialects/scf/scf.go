@@ -79,10 +79,13 @@ func Semantics() *interp.Dialect {
 			}
 			carried[i] = v
 		}
+		// One args buffer for the whole loop: RunRegion copies the
+		// values into the body's bindings, so refilling it per
+		// iteration is safe and keeps the hot loop allocation-free.
+		args := make([]rtval.Value, 1+len(carried))
 		for iv := lb.Signed(); iv < ub.Signed(); iv += step.Signed() {
-			args := make([]rtval.Value, 0, 1+len(carried))
-			args = append(args, rtval.NewIndex(iv))
-			args = append(args, carried...)
+			args[0] = rtval.NewIndex(iv)
+			copy(args[1:], carried)
 			exit, err := ctx.RunRegion(op.Regions[0], args, scoped.Standard)
 			if err != nil {
 				return err

@@ -1,0 +1,370 @@
+// Execution of compiled programs. The loop here is the tree walker's
+// Run/RunRegion/runBlockOps with every string-keyed lookup replaced by
+// the indices Compile resolved: kernels come out of the compiledOp,
+// operands out of frame slots, branch targets out of block indices.
+// Error strings, wrapping, and the order checks fire in are replicated
+// exactly — byte-identical Results are part of the engine's contract
+// and are enforced by the interp-engine-agreement conformance oracle.
+package interp
+
+import (
+	"fmt"
+
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+	"ratte/internal/scoped"
+)
+
+// RunProgram executes a compiled program, calling the entry function
+// with no arguments — the compiled counterpart of Interpreter.Run. The
+// interpreter's limits (MaxSteps, MaxCallDepth) apply per call.
+func (in *Interpreter) RunProgram(p *CompiledProgram, entry string) (*Result, error) {
+	if p.setupErr != nil {
+		return nil, p.setupErr
+	}
+	ctx := acquireContext(in, p)
+	vals, err := ctx.callCompiled(entry, nil)
+	if err != nil {
+		releaseContext(ctx)
+		return nil, err
+	}
+	res := &Result{Output: string(ctx.out), Returned: vals}
+	releaseContext(ctx)
+	return res, nil
+}
+
+// callCompiled is CallFunc for compiled mode: same checks, same error
+// strings, same order — but the function body runs over a pooled frame
+// instead of a pushed IsolatedFromAbove scope.
+func (ctx *Context) callCompiled(name string, args []rtval.Value) ([]rtval.Value, error) {
+	cf, ok := ctx.prog.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("interp: call to unknown function @%s", name)
+	}
+	if cf.ftErr != nil {
+		return nil, cf.ftErr
+	}
+	if len(args) != len(cf.ft.Inputs) {
+		return nil, fmt.Errorf("interp: call @%s with %d args, want %d", name, len(args), len(cf.ft.Inputs))
+	}
+	if ctx.callDepth >= ctx.maxCallDepth {
+		return nil, &rtval.TrapError{Op: "func.call", Reason: "call depth exceeded (runaway recursion)"}
+	}
+	ctx.callDepth++
+
+	oldFn, oldFrame, oldCur := ctx.fn, ctx.frame, ctx.cur
+	oldIso, oldStack := ctx.isoFloor, len(ctx.regionStack)
+	fp := cf.frames.get()
+	ctx.fn, ctx.frame, ctx.cur, ctx.isoFloor = cf, *fp, nil, 0
+
+	exit, err := ctx.execRegion(cf.body, args, scoped.IsolatedFromAbove)
+
+	cf.frames.put(fp)
+	ctx.fn, ctx.frame, ctx.cur = oldFn, oldFrame, oldCur
+	ctx.isoFloor, ctx.regionStack = oldIso, ctx.regionStack[:oldStack]
+	ctx.callDepth--
+
+	if err != nil {
+		return nil, err
+	}
+	if exit == nil || exit.Kind != ExitReturn {
+		return nil, fmt.Errorf("interp: function @%s did not return", name)
+	}
+	if len(exit.Values) != len(cf.ft.Results) {
+		return nil, fmt.Errorf("interp: function @%s returned %d values, want %d", name, len(exit.Values), len(cf.ft.Results))
+	}
+	return exit.Values, nil
+}
+
+// execRegion is RunRegion for compiled mode. Entering a region clears
+// the slots it owns — the compiled equivalent of pushing a fresh scope:
+// every local binding starts undefined, including on loop re-entry.
+// Entering IsolatedFromAbove raises the depth floor so reads resolved
+// to outer slots report "use of undefined value", matching what the
+// scoped table's barrier would make Lookup do.
+func (ctx *Context) execRegion(cr *compiledRegion, args []rtval.Value, kind scoped.ScopeType) (*Exit, error) {
+	if cr == nil || len(cr.blocks) == 0 {
+		return nil, fmt.Errorf("interp: region has no blocks")
+	}
+	oldIso := ctx.isoFloor
+	if kind == scoped.IsolatedFromAbove {
+		ctx.isoFloor = cr.depth
+	}
+	ctx.regionStack = append(ctx.regionStack, cr)
+	clear(ctx.frame[cr.slotLo:cr.slotHi])
+
+	exit, err := ctx.execBlocks(cr, args)
+
+	ctx.regionStack = ctx.regionStack[:len(ctx.regionStack)-1]
+	ctx.isoFloor = oldIso
+	return exit, err
+}
+
+// execBlocks runs the region's blocks from the entry block until an
+// exit, mirroring RunRegion's loop over runBlockOps.
+func (ctx *Context) execBlocks(cr *compiledRegion, args []rtval.Value) (*Exit, error) {
+	block := &cr.blocks[0]
+	frame := ctx.frame
+blocks:
+	for {
+		if len(block.args) != len(args) {
+			return nil, fmt.Errorf("interp: block ^%s expects %d arguments, got %d", block.label, len(block.args), len(args))
+		}
+		for i := range block.args {
+			ab := &block.args[i]
+			if ab.check && !typeCompatible(ab.typ, args[i].Type()) {
+				return nil, fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+					ab.id, args[i].Type(), ab.typ)
+			}
+			frame[ab.slot] = args[i]
+		}
+		for oi := range block.ops {
+			cop := &block.ops[oi]
+			if ctx.stepsLeft <= 0 {
+				return nil, &rtval.TrapError{Op: "interp", Reason: "step limit exceeded (non-terminating program?)"}
+			}
+			ctx.stepsLeft--
+			if cop.term != nil {
+				ctx.cur = cop
+				res, err := cop.term(ctx, cop.op)
+				if err != nil {
+					return nil, &EvalError{OpName: cop.op.Name, Err: err}
+				}
+				switch {
+				case res.Exit != nil:
+					return res.Exit, nil
+				case res.Branch != nil:
+					cs := cop.matchSucc(res.Branch)
+					if cs == nil {
+						// The kernel returned a successor that is not one
+						// of the op's own: resolve it dynamically the way
+						// the tree walker would.
+						nargs, err := ctx.dynamicBranchArgs(cop, res.Branch)
+						if err != nil {
+							return nil, err
+						}
+						nb := cr.findBlock(res.Branch.Block)
+						if nb == nil {
+							return nil, fmt.Errorf("interp: branch to unknown block ^%s", res.Branch.Block)
+						}
+						block, args = nb, nargs
+						continue blocks
+					}
+					if cap(ctx.branchArgs) < len(cs.args) {
+						ctx.branchArgs = make([]rtval.Value, len(cs.args))
+					}
+					// The scratch is safe to reuse across branches: its
+					// values are copied into frame slots at the top of the
+					// next iteration, before any op can branch again.
+					nargs := ctx.branchArgs[:len(cs.args)]
+					for i := range cs.args {
+						v, err := ctx.readMeta(&cs.args[i])
+						if err != nil {
+							return nil, &EvalError{OpName: cop.op.Name, Err: err}
+						}
+						nargs[i] = v
+					}
+					if cs.blockIdx < 0 {
+						return nil, fmt.Errorf("interp: branch to unknown block ^%s", cs.succ.Block)
+					}
+					block, args = &cr.blocks[cs.blockIdx], nargs
+					continue blocks
+				default:
+					return nil, fmt.Errorf("interp: terminator %s produced no control flow", cop.op.Name)
+				}
+			}
+			if cop.fail != nil {
+				return nil, cop.fail
+			}
+			ctx.cur = cop
+			if err := cop.kernel(ctx, cop.op); err != nil {
+				return nil, &EvalError{OpName: cop.op.Name, Err: err}
+			}
+		}
+		return nil, fmt.Errorf("interp: block ^%s ended without a terminator", block.label)
+	}
+}
+
+// matchSucc maps the successor pointer a terminator kernel returned
+// back to its compiled record. Kernels return &op.Successors[i], so
+// pointer identity resolves in one or two compares.
+func (cop *compiledOp) matchSucc(s *ir.Successor) *compiledSucc {
+	for j := range cop.succs {
+		if cop.succs[j].succ == s {
+			return &cop.succs[j]
+		}
+	}
+	return nil
+}
+
+// findBlock resolves a block label like Region.Block (first match).
+func (cr *compiledRegion) findBlock(label string) *compiledBlock {
+	for i := range cr.blocks {
+		if cr.blocks[i].label == label {
+			return &cr.blocks[i]
+		}
+	}
+	return nil
+}
+
+// dynamicBranchArgs evaluates a fabricated successor's arguments
+// through the general Get path (EvalError-wrapped like the tree
+// walker's branch-argument reads).
+func (ctx *Context) dynamicBranchArgs(cop *compiledOp, s *ir.Successor) ([]rtval.Value, error) {
+	args := make([]rtval.Value, len(s.Args))
+	for i, a := range s.Args {
+		v, err := ctx.Get(a)
+		if err != nil {
+			return nil, &EvalError{OpName: cop.op.Name, Err: err}
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+// getCompiled is Get for compiled mode: find the operand's metadata on
+// the current op (ids share backing storage with the kernel's ir.Value,
+// so the compare hits the pointer fast path), then read its slot.
+func (ctx *Context) getCompiled(v ir.Value) (rtval.Value, error) {
+	if cur := ctx.cur; cur != nil {
+		for i := range cur.operands {
+			m := &cur.operands[i]
+			if m.id == v.ID {
+				if cur.ambig && !ir.TypeEqual(m.typ, v.Type) {
+					continue
+				}
+				return ctx.readMeta(m)
+			}
+		}
+	}
+	return ctx.getSlow(v)
+}
+
+// readMeta reads one resolved use from the frame, emulating the tree
+// walker's Lookup+typeCompatible: a slot below the isolation floor or
+// never written this entry is "use of undefined value"; an unwritten
+// inner slot falls through its shadow chain to outer bindings.
+func (ctx *Context) readMeta(m *operandMeta) (rtval.Value, error) {
+	if m.slot < 0 || m.depth < ctx.isoFloor {
+		return nil, fmt.Errorf("interp: use of undefined value %%%s", m.id)
+	}
+	val := ctx.frame[m.slot]
+	if val == nil {
+		for _, alt := range m.alts {
+			if alt.Depth < ctx.isoFloor {
+				break
+			}
+			if w := ctx.frame[alt.Slot]; w != nil {
+				val = w
+				break
+			}
+		}
+		if val == nil {
+			return nil, fmt.Errorf("interp: use of undefined value %%%s", m.id)
+		}
+	}
+	if m.check && !typeCompatible(m.typ, val.Type()) {
+		return nil, fmt.Errorf("interp: value %%%s has runtime type %s but is used at type %s",
+			m.id, val.Type(), m.typ)
+	}
+	return val, nil
+}
+
+// getSlow handles reads of values that are not operands of the current
+// op — nothing in-tree does this, but the contract must hold for any
+// kernel: emulate the dynamic scoped lookup over the live region stack.
+func (ctx *Context) getSlow(v ir.Value) (rtval.Value, error) {
+	val, ok := ctx.lookupCompiled(v.ID)
+	if !ok {
+		return nil, fmt.Errorf("interp: use of undefined value %%%s", v.ID)
+	}
+	if !typeCompatible(v.Type, val.Type()) {
+		return nil, fmt.Errorf("interp: value %%%s has runtime type %s but is used at type %s",
+			v.ID, val.Type(), v.Type)
+	}
+	return val, nil
+}
+
+// lookupCompiled emulates Table.Lookup over the live region stack:
+// innermost-out, skipping unwritten slots, stopping at the isolation
+// floor, with spilled (fabricated) bindings as the outermost layer.
+// Each region is scanned linearly over its compiled blocks — this is
+// the slow path nothing in-tree reaches, and dropping the per-region
+// id map it used to consult pays off on every Compile.
+func (ctx *Context) lookupCompiled(id string) (rtval.Value, bool) {
+	for i := len(ctx.regionStack) - 1; i >= 0; i-- {
+		cr := ctx.regionStack[i]
+		if cr.depth < ctx.isoFloor {
+			break
+		}
+		if slot, ok := cr.slotOf(id); ok {
+			if v := ctx.frame[slot]; v != nil {
+				return v, true
+			}
+		}
+	}
+	if ctx.spill != nil {
+		if v, ok := ctx.spill[id]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// slotOf finds the slot a region-owned id was allocated. Any textual
+// occurrence gives the right answer: the slot table dedups ids within
+// a region, so every bind site of one id shares one slot.
+func (cr *compiledRegion) slotOf(id string) (int, bool) {
+	for bi := range cr.blocks {
+		cb := &cr.blocks[bi]
+		for i := range cb.args {
+			if cb.args[i].id == id {
+				return cb.args[i].slot, true
+			}
+		}
+		for oi := range cb.ops {
+			results := cb.ops[oi].results
+			for i := range results {
+				if results[i].id == id {
+					return results[i].slot, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// defineCompiled is Define for compiled mode: results resolve to their
+// pre-assigned slots; the write-side type check always runs (it is what
+// lets read-side checks hoist).
+func (ctx *Context) defineCompiled(v ir.Value, val rtval.Value) error {
+	if cur := ctx.cur; cur != nil {
+		for i := range cur.results {
+			m := &cur.results[i]
+			if m.id == v.ID {
+				if !typeCompatible(m.typ, val.Type()) {
+					return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+						m.id, val.Type(), m.typ)
+				}
+				ctx.frame[m.slot] = val
+				return nil
+			}
+		}
+	}
+	return ctx.defineSlow(v, val)
+}
+
+// defineSlow accepts bindings for values that are not results of the
+// current op (again: nothing in-tree, but the contract must hold). They
+// go to a spill map so later reads can still find them.
+func (ctx *Context) defineSlow(v ir.Value, val rtval.Value) error {
+	if !typeCompatible(v.Type, val.Type()) {
+		return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+			v.ID, val.Type(), v.Type)
+	}
+	if ctx.spill == nil {
+		ctx.spill = make(map[string]rtval.Value)
+	}
+	ctx.spill[v.ID] = val
+	return nil
+}

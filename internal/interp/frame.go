@@ -1,0 +1,201 @@
+// Frames, pooling and the program cache: the allocation side of the
+// compiled engine. A Frame is the flat []rtval.Value a compiled
+// function executes over — one slot per binding the function can ever
+// create, indexed by the slots Compile assigned. Frames are recycled
+// per function (they are all the same size for a given function), and
+// whole Contexts are recycled per RunProgram, so a steady-state
+// compiled run allocates almost nothing beyond what kernels allocate
+// for values.
+package interp
+
+import (
+	"sync"
+
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+)
+
+// framePool recycles frames of one compiled function. Frames are
+// returned cleared, so Get hands out an all-nil frame ("everything
+// undefined") either way.
+type framePool struct {
+	pool sync.Pool
+}
+
+func (fp *framePool) init(numSlots int) {
+	fp.pool.New = func() any {
+		f := make([]rtval.Value, numSlots)
+		return &f
+	}
+}
+
+func (fp *framePool) get() *[]rtval.Value {
+	return fp.pool.Get().(*[]rtval.Value)
+}
+
+func (fp *framePool) put(f *[]rtval.Value) {
+	clear(*f)
+	fp.pool.Put(f)
+}
+
+// ctxPool recycles whole evaluation contexts across RunProgram calls.
+var ctxPool = sync.Pool{New: func() any { return new(Context) }}
+
+// acquireContext readies a pooled context for one compiled run.
+func acquireContext(in *Interpreter, p *CompiledProgram) *Context {
+	ctx := ctxPool.Get().(*Context)
+	ctx.in = in
+	ctx.prog = p
+	if ctx.buffers == nil {
+		ctx.buffers = make(map[int64][]rtval.Int)
+	}
+	ctx.initLimits(in)
+	return ctx
+}
+
+// releaseContext scrubs a context and returns it to the pool. The
+// output bytes keep their capacity — that buffer regrowth is one of
+// the tree walker's per-run costs the pool exists to shed.
+func releaseContext(ctx *Context) {
+	ctx.in = nil
+	ctx.prog = nil
+	ctx.fn = nil
+	ctx.frame = nil
+	ctx.cur = nil
+	ctx.regionStack = ctx.regionStack[:0]
+	ctx.isoFloor = 0
+	ctx.out = ctx.out[:0]
+	clear(ctx.buffers)
+	ctx.nextBuffer = 0
+	if ctx.spill != nil {
+		clear(ctx.spill)
+	}
+	ctx.stepsLeft = 0
+	ctx.maxCallDepth = 0
+	ctx.callDepth = 0
+	ctxPool.Put(ctx)
+}
+
+// ProgramCache memoizes Compile results across runs. The difftest
+// harness runs every generated program once per build configuration
+// plus once under the reference semantics, and the conformance corpus
+// replays modules repeatedly — each of those re-executions reuses the
+// compiled artifact instead of re-walking the module.
+//
+// Keys pair the exact registry pointer with the module's printed form:
+// registries are immutable and shared (package dialects memoizes them),
+// and the printed text is the module's identity — structurally
+// identical modules hit the same entry even when rebuilt at different
+// addresses, which is exactly what the campaign's shared-prefix
+// compilation produces. The cache is safe for concurrent use.
+//
+// Printing a module costs about as much as compiling it, and a fuzzing
+// campaign runs every module once or twice — a cache that printed and
+// retained each of those would be pure overhead, in both the printing
+// work and the GC cost of every retained entry (an entry pins its whole
+// module). A fingerprint admission counter fixes the economics: the
+// first two sightings of a module's structural hash compile directly,
+// paying neither the printed key nor the retention; only the third
+// sighting — the point at which caching breaks even — takes the
+// text-keyed path and earns a cache entry. Soundness is unaffected
+// because the text stays the true key — a hash collision merely sends
+// an unrelated module down the (correct, slower) printed path.
+type ProgramCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[programKey]*CompiledProgram
+	seen    map[seenKey]uint8
+	hits    uint64
+	misses  uint64
+}
+
+type programKey struct {
+	registry *Registry
+	text     string
+}
+
+// seenKey records one sighted module fingerprint per registry.
+type seenKey struct {
+	registry *Registry
+	fp       uint64
+}
+
+// DefaultProgramCacheSize bounds a cache built with NewProgramCache(0).
+const DefaultProgramCacheSize = 512
+
+// NewProgramCache builds a cache holding at most max programs
+// (DefaultProgramCacheSize if max <= 0). Eviction is arbitrary: the
+// cache is a throughput device, not a correctness one.
+func NewProgramCache(max int) *ProgramCache {
+	if max <= 0 {
+		max = DefaultProgramCacheSize
+	}
+	return &ProgramCache{
+		max:     max,
+		entries: make(map[programKey]*CompiledProgram),
+		seen:    make(map[seenKey]uint8),
+	}
+}
+
+// cacheAdmitAfter is how many sightings of a fingerprint compile
+// directly before the text-keyed cache path takes over.
+const cacheAdmitAfter = 2
+
+// Get returns the compiled form of m over r, compiling on miss. A
+// module whose fingerprint has few sightings compiles directly — no
+// printed key, no cache insertion (campaign modules, run once per
+// build configuration, never earn either). From the third sighting on,
+// the module is printed (outside the lock) to form the exact key, and
+// Compile also runs outside the lock, so concurrent misses may compile
+// the same module twice; one result wins, both are valid.
+func (c *ProgramCache) Get(r *Registry, m *ir.Module) *CompiledProgram {
+	sk := seenKey{registry: r, fp: ir.Fingerprint(m)}
+	c.mu.Lock()
+	if n := c.seen[sk]; n < cacheAdmitAfter {
+		// Bound the sighting set the blunt way: it is an admission
+		// heuristic, so forgetting everything just re-classifies a few
+		// repeats as first sightings.
+		if n == 0 && len(c.seen) >= c.max*8 {
+			clear(c.seen)
+		}
+		c.seen[sk] = n + 1
+		c.misses++
+		c.mu.Unlock()
+		return Compile(r, m)
+	}
+	c.mu.Unlock()
+
+	key := programKey{registry: r, text: ir.Print(m)}
+	c.mu.Lock()
+	if p, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return p
+	}
+	c.mu.Unlock()
+
+	p := Compile(r, m)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[key]; ok {
+		c.hits++
+		return prev
+	}
+	c.misses++
+	if len(c.entries) >= c.max {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = p
+	return p
+}
+
+// Stats reports cache hits, misses and current size.
+func (c *ProgramCache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -22,7 +22,6 @@ package interp
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"ratte/internal/ir"
 	"ratte/internal/rtval"
@@ -161,6 +160,17 @@ type Interpreter struct {
 	// MaxCallDepth bounds function-call recursion. Zero means the
 	// default (256).
 	MaxCallDepth int
+
+	// Compiled selects the compiled execution engine for Run: the
+	// module is compiled (per-op closures, slot-indexed frames; see
+	// compile.go) and executed, instead of tree-walked. Results are
+	// byte-identical either way — the engines differ only in cost.
+	Compiled bool
+
+	// Cache, when non-nil with Compiled set, memoizes compiled
+	// programs across Run calls (the difftest harness runs the same
+	// module once per build configuration).
+	Cache *ProgramCache
 }
 
 // New composes an interpreter from dialect semantics, building a fresh
@@ -215,8 +225,24 @@ func IsTrap(err error) bool {
 // Run interprets the module, calling the entry function (no arguments).
 // All top-level functions are added to the function table first (the
 // paper's AddFunc effect); the entry function's region is then executed
-// in an isolated scope.
+// in an isolated scope. With Compiled set, the module is compiled
+// (through Cache, if one is attached) and executed by the compiled
+// engine instead — same Result, either way. The engine tiers: a module
+// that cannot repay its compilation (straight-line code, where every op
+// executes at most once) is tree-walked even with Compiled set, because
+// walking an op costs less than compiling it. Callers that want
+// unconditional compilation (benchmarks, the engine-agreement oracle)
+// use Compile and RunProgram directly.
 func (in *Interpreter) Run(m *ir.Module, entry string) (*Result, error) {
+	if in.Compiled && compilationPays(m) {
+		var p *CompiledProgram
+		if in.Cache != nil {
+			p = in.Cache.Get(in.registry, m)
+		} else {
+			p = Compile(in.registry, m)
+		}
+		return in.RunProgram(p, entry)
+	}
 	ctx := NewContext(in)
 	for _, op := range m.Body().Ops {
 		switch op.Name {
@@ -243,28 +269,59 @@ type Context struct {
 	in    *Interpreter
 	env   *scoped.Table[rtval.Value]
 	funcs map[string]*ir.Operation
-	out   strings.Builder
+	out   []byte
 
 	// Buffers backs memref values in lowered programs.
 	buffers    map[int64][]rtval.Int
 	nextBuffer int64
 
-	steps     int
-	callDepth int
+	// Evaluation limits, resolved from the Interpreter once at context
+	// construction so the hot loop pays a single counter compare.
+	stepsLeft    int
+	maxCallDepth int
+	callDepth    int
+
+	// Compiled-mode state (see compile.go / exec.go). prog non-nil
+	// means this context executes a CompiledProgram: Get/Define resolve
+	// through frame slots, RunRegion/CallFunc run compiled bodies.
+	prog        *CompiledProgram
+	fn          *compiledFunc
+	frame       []rtval.Value
+	cur         *compiledOp
+	regionStack []*compiledRegion
+	isoFloor    int
+	branchArgs  []rtval.Value
+	spill       map[string]rtval.Value
 }
 
 // NewContext builds a fresh evaluation context for the interpreter.
 func NewContext(in *Interpreter) *Context {
-	return &Context{
+	ctx := &Context{
 		in:      in,
 		env:     scoped.New[rtval.Value](),
 		funcs:   make(map[string]*ir.Operation),
 		buffers: make(map[int64][]rtval.Int),
 	}
+	ctx.initLimits(in)
+	return ctx
+}
+
+// initLimits resolves the interpreter's evaluation limits (applying the
+// zero-means-default rule) once, so step() and CallFunc check plain
+// counters instead of re-deriving the defaults per operation.
+func (ctx *Context) initLimits(in *Interpreter) {
+	ctx.stepsLeft = in.MaxSteps
+	if ctx.stepsLeft == 0 {
+		ctx.stepsLeft = 10_000_000
+	}
+	ctx.maxCallDepth = in.MaxCallDepth
+	if ctx.maxCallDepth == 0 {
+		ctx.maxCallDepth = 256
+	}
 }
 
 // Output returns everything printed so far.
-func (ctx *Context) Output() string { return ctx.out.String() }
+func (ctx *Context) Output() string { return string(ctx.out) }
 
 // Print writes one line of oracle-visible output (the writer effect).
 // Printing a value that is not well-defined is undefined behaviour: the
@@ -273,16 +330,16 @@ func (ctx *Context) Print(v rtval.Value) error {
 	if !v.Defined() {
 		return &rtval.UBError{Op: "vector.print", Reason: "printing a value that is not well-defined"}
 	}
-	ctx.out.WriteString(v.String())
-	ctx.out.WriteByte('\n')
+	ctx.out = append(ctx.out, v.String()...)
+	ctx.out = append(ctx.out, '\n')
 	return nil
 }
 
 // PrintRaw writes a line without the definedness check; the llvm
 // executor uses it to model printing whatever bits the hardware holds.
 func (ctx *Context) PrintRaw(s string) {
-	ctx.out.WriteString(s)
-	ctx.out.WriteByte('\n')
+	ctx.out = append(ctx.out, s...)
+	ctx.out = append(ctx.out, '\n')
 }
 
 // Get resolves an operand to its runtime value (the assignment effect's
@@ -290,6 +347,9 @@ func (ctx *Context) PrintRaw(s string) {
 // with the operand's claimed type (dynamic dims in the claimed type
 // match any concrete extent).
 func (ctx *Context) Get(v ir.Value) (rtval.Value, error) {
+	if ctx.prog != nil {
+		return ctx.getCompiled(v)
+	}
 	val, ok := ctx.env.Lookup(v.ID)
 	if !ok {
 		return nil, fmt.Errorf("interp: use of undefined value %%%s", v.ID)
@@ -345,6 +405,9 @@ func (ctx *Context) GetMemRef(v ir.Value) (rtval.MemRef, error) {
 // static SSA uniqueness is the verifier's job, and lowered loop code
 // legitimately re-executes defining operations on back edges.
 func (ctx *Context) Define(v ir.Value, val rtval.Value) error {
+	if ctx.prog != nil {
+		return ctx.defineCompiled(v, val)
+	}
 	if !typeCompatible(v.Type, val.Type()) {
 		return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
 			v.ID, val.Type(), v.Type)
@@ -376,6 +439,9 @@ func (ctx *Context) Func(name string) (*ir.Operation, bool) {
 // CallFunc effect): the function body runs in an IsolatedFromAbove
 // scope and must leave via ExitReturn.
 func (ctx *Context) CallFunc(name string, args []rtval.Value) ([]rtval.Value, error) {
+	if ctx.prog != nil {
+		return ctx.callCompiled(name, args)
+	}
 	f, ok := ctx.funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("interp: call to unknown function @%s", name)
@@ -387,11 +453,7 @@ func (ctx *Context) CallFunc(name string, args []rtval.Value) ([]rtval.Value, er
 	if len(args) != len(ft.Inputs) {
 		return nil, fmt.Errorf("interp: call @%s with %d args, want %d", name, len(args), len(ft.Inputs))
 	}
-	maxDepth := ctx.in.MaxCallDepth
-	if maxDepth == 0 {
-		maxDepth = 256
-	}
-	if ctx.callDepth >= maxDepth {
+	if ctx.callDepth >= ctx.maxCallDepth {
 		return nil, &rtval.TrapError{Op: "func.call", Reason: "call depth exceeded (runaway recursion)"}
 	}
 	ctx.callDepth++
@@ -416,6 +478,18 @@ func (ctx *Context) CallFunc(name string, args []rtval.Value) ([]rtval.Value, er
 // of the given kind (Standard regions see enclosing bindings;
 // IsolatedFromAbove regions do not).
 func (ctx *Context) RunRegion(r *ir.Region, args []rtval.Value, kind scoped.ScopeType) (*Exit, error) {
+	if ctx.prog != nil {
+		cr := ctx.prog.regions[r]
+		if cr == nil {
+			return nil, fmt.Errorf("interp: region has no blocks")
+		}
+		// The kernel resumes after this region returns and may read
+		// more of its operands; restore its op as the current one.
+		cur := ctx.cur
+		exit, err := ctx.execRegion(cr, args, kind)
+		ctx.cur = cur
+		return exit, err
+	}
 	block := r.Entry()
 	if block == nil {
 		return nil, fmt.Errorf("interp: region has no blocks")
@@ -488,14 +562,10 @@ func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextA
 }
 
 func (ctx *Context) step() error {
-	max := ctx.in.MaxSteps
-	if max == 0 {
-		max = 10_000_000
-	}
-	ctx.steps++
-	if ctx.steps > max {
+	if ctx.stepsLeft <= 0 {
 		return &rtval.TrapError{Op: "interp", Reason: "step limit exceeded (non-terminating program?)"}
 	}
+	ctx.stepsLeft--
 	return nil
 }
 
@@ -526,7 +596,12 @@ func (ctx *Context) PopScope() { ctx.env.Pop() }
 
 // Lookup resolves a value ID to its runtime value through the visible
 // scopes.
-func (ctx *Context) Lookup(id string) (rtval.Value, bool) { return ctx.env.Lookup(id) }
+func (ctx *Context) Lookup(id string) (rtval.Value, bool) {
+	if ctx.prog != nil {
+		return ctx.lookupCompiled(id)
+	}
+	return ctx.env.Lookup(id)
+}
 
 // VisibleIDs returns the IDs visible from the innermost scope.
 func (ctx *Context) VisibleIDs() []string { return ctx.env.VisibleKeys() }

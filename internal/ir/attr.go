@@ -259,6 +259,18 @@ func (a *Attrs) Len() int {
 	return len(a.keys)
 }
 
+// Each calls f for every attribute in insertion order. Unlike Keys it
+// does not copy — the iteration the hot paths (printing, fingerprinting)
+// use.
+func (a *Attrs) Each(f func(key string, val Attribute)) {
+	if a == nil {
+		return
+	}
+	for _, k := range a.keys {
+		f(k, a.vals[k])
+	}
+}
+
 // Keys returns the attribute names in insertion order.
 func (a *Attrs) Keys() []string {
 	if a == nil {

@@ -1,0 +1,54 @@
+// Package profiling wires runtime/pprof into the command-line tools.
+// Fuzzing throughput is the product's headline number, and the campaign
+// engine's hot paths (generation, compilation, the execution engine)
+// are tuned against profiles of exactly these binaries — so the
+// -cpuprofile/-memprofile flags live here once rather than per command.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// to memPath (when non-empty). Profiles are written only on a clean
+// shutdown: callers run stop at the end of a successful run, and an
+// early os.Exit simply loses the profile, matching `go test` behavior.
+// Stop is safe to call exactly once; with both paths empty it is a
+// no-op.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
