@@ -20,18 +20,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ratte"
 	"ratte/internal/bugs"
 	"ratte/internal/difftest"
+	"ratte/internal/faultinject"
 	"ratte/internal/gen"
 	"ratte/internal/ir"
 	"ratte/internal/mlirsmith"
@@ -48,6 +53,12 @@ func main() {
 	bugList := flag.String("bugs", "", "comma-separated injected bug ids")
 	reduceFlag := flag.Bool("reduce", false, "reduce the first detection's test case")
 	workers := flag.Int("workers", 1, "parallel workers (all modes)")
+	journal := flag.String("journal", "", "append campaign verdicts to this JSONL file (ad-hoc campaigns)")
+	resume := flag.Bool("resume", false, "resume the campaign recorded in -journal, skipping verdicted seeds")
+	timeout := flag.Duration("timeout-per-program", 0, "wall-clock budget per program (0 = unbounded)")
+	faultRate := flag.Float64("fault-rate", 0, "deterministic fault-injection rate in [0,1] (robustness testing)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the injected-fault schedule")
+	retries := flag.Int("retries", 2, "max retries for transiently failing programs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean shutdown")
 	flag.Parse()
@@ -70,7 +81,12 @@ func main() {
 	case "dol":
 		dol(*programs, *size, *seed, *workers)
 	case "":
-		adhoc(*preset, *programs, *size, *seed, *bugList, *reduceFlag, *workers)
+		adhoc(adhocOptions{
+			preset: *preset, programs: *programs, size: *size, seed: *seed,
+			bugList: *bugList, doReduce: *reduceFlag, workers: *workers,
+			journal: *journal, resume: *resume, timeout: *timeout,
+			faultRate: *faultRate, faultSeed: *faultSeed, retries: *retries,
+		})
 	default:
 		fmt.Fprintln(os.Stderr, "ratte-fuzz: unknown experiment", *experiment)
 		os.Exit(1)
@@ -319,50 +335,137 @@ func dol(programs, size int, seed int64, workers int) {
 	fmt.Printf("%-12s %-10d %-12d %8.2f%%\n", "MLIRSmith", compiled, alarms, pct(alarms, max(compiled, 1)))
 }
 
-// adhoc runs a plain campaign.
-func adhoc(preset string, programs, size int, seed int64, bugList string, doReduce bool, workers int) {
+// adhocOptions is the flag bundle of a plain campaign.
+type adhocOptions struct {
+	preset    string
+	programs  int
+	size      int
+	seed      int64
+	bugList   string
+	doReduce  bool
+	workers   int
+	journal   string
+	resume    bool
+	timeout   time.Duration
+	faultRate float64
+	faultSeed int64
+	retries   int
+}
+
+// adhoc runs a plain campaign: fault-isolated, optionally journaled and
+// resumable, interruptible by SIGINT/SIGTERM with a graceful drain.
+func adhoc(o adhocOptions) {
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
+		os.Exit(1)
+	}
 	bugSet := bugs.None()
-	for _, part := range strings.Split(bugList, ",") {
+	for _, part := range strings.Split(o.bugList, ",") {
 		if part = strings.TrimSpace(part); part == "" {
 			continue
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ratte-fuzz: bad bug id", part)
-			os.Exit(1)
+			fatal(fmt.Errorf("bad bug id %q", part))
 		}
 		bugSet[bugs.ID(n)] = true
 	}
-	res, err := difftest.RunCampaignParallel(difftest.CampaignConfig{
-		Preset:   preset,
-		Programs: programs,
-		Size:     size,
-		Seed:     seed,
-		Bugs:     bugSet,
-	}, workers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
-		os.Exit(1)
+
+	cfg := difftest.CampaignConfig{
+		Preset:     o.preset,
+		Programs:   o.programs,
+		Size:       o.size,
+		Seed:       o.seed,
+		Bugs:       bugSet,
+		Timeout:    o.timeout,
+		MaxRetries: o.retries,
 	}
-	fmt.Printf("programs tested: %d\ndetections: %d\n", res.Programs, len(res.Detections))
-	for o, n := range res.ByOracle {
-		fmt.Printf("  %s: %d\n", o, n)
-	}
-	if len(res.Detections) > 0 {
-		d := res.Detections[0]
-		fmt.Printf("first detection: seed %d via %s\n", d.Seed, d.Oracle)
-		if doReduce {
-			pred := func(m *ir.Module) bool {
-				ref, err := ratte.Interpret(m, "main")
-				if err != nil {
-					return false
-				}
-				return difftest.TestModule(m, ref.Output, preset, bugSet).Detected() == d.Oracle
-			}
-			small := reduce.Module(d.Program, pred)
-			fmt.Printf("reduced test case (%d ops -> %d ops):\n%s\n",
-				d.Program.NumOps(), small.NumOps(), ir.Print(small))
+	if o.faultRate > 0 {
+		cfg.Faults = &faultinject.Spec{
+			Seed: o.faultSeed,
+			Rate: o.faultRate,
+			Kinds: []faultinject.Kind{
+				faultinject.KindError, faultinject.KindPanic, faultinject.KindDelay,
+			},
 		}
+	}
+
+	var journal *difftest.Journal
+	if o.resume && o.journal == "" {
+		fatal(errors.New("-resume needs -journal"))
+	}
+	if o.journal != "" {
+		var err error
+		if o.resume {
+			var resumed map[int64]difftest.Verdict
+			journal, resumed, err = difftest.OpenJournalForResume(o.journal, cfg)
+			if err == nil {
+				cfg.Resumed = resumed
+				fmt.Printf("resuming: %d of %d seeds already verdicted\n", len(resumed), o.programs)
+			}
+		} else {
+			journal, err = difftest.CreateJournal(o.journal, cfg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Journal = journal
+	}
+	closeJournal := func() {
+		if journal == nil {
+			return
+		}
+		if err := journal.Close(); err != nil {
+			fatal(err)
+		}
+		journal = nil
+	}
+
+	// SIGINT/SIGTERM cancel the campaign context: both engines drain the
+	// in-flight seeds, every completed verdict is already journaled, and
+	// the partial report below tells the user how far the run got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := difftest.RunCampaignParallelCtx(ctx, cfg, o.workers)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		closeJournal()
+		fatal(err)
+	}
+	closeJournal()
+
+	fmt.Print(difftest.ReportText(res))
+	if interrupted {
+		fmt.Println("interrupted: partial results above")
+		if o.journal != "" {
+			fmt.Printf("journal flushed; continue with: -resume -journal=%s\n", o.journal)
+		}
+		os.Exit(130)
+	}
+
+	if len(res.Detections) > 0 && o.doReduce {
+		d := res.Detections[0]
+		prog := d.Program
+		if prog == nil {
+			// A resumed detection carries only (seed, oracle): the
+			// program is regenerated from its seed.
+			p, err := gen.Generate(gen.Config{Preset: o.preset, Size: o.size, Seed: d.Seed})
+			if err != nil {
+				fatal(err)
+			}
+			prog = p.Module
+		}
+		pred := func(m *ir.Module) bool {
+			ref, err := ratte.Interpret(m, "main")
+			if err != nil {
+				return false
+			}
+			return difftest.TestModule(m, ref.Output, o.preset, bugSet).Detected() == d.Oracle
+		}
+		small := reduce.Module(prog, pred)
+		fmt.Printf("reduced test case (%d ops -> %d ops):\n%s\n",
+			prog.NumOps(), small.NumOps(), ir.Print(small))
 	}
 }
 

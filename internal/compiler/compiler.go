@@ -12,6 +12,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -19,6 +20,7 @@ import (
 
 	"ratte/internal/bugs"
 	"ratte/internal/dialects"
+	"ratte/internal/faultinject"
 	"ratte/internal/ir"
 	"ratte/internal/verify"
 )
@@ -33,6 +35,19 @@ type Options struct {
 	// PrintAfterAll, when non-nil, receives the module's textual form
 	// after every pass (the -print-ir-after-all debugging workflow).
 	PrintAfterAll io.Writer
+	// Ctx, when non-nil, is checked between passes: a cancelled or
+	// expired context stops the pipeline with an error wrapping
+	// Ctx.Err(), which is how the campaign engine enforces per-program
+	// wall-clock budgets over compilation.
+	Ctx context.Context
+	// Faults, when non-nil, is the deterministic fault-injection layer
+	// (sites compiler/pass and compiler/registry); production
+	// compilations leave it nil and pay only a nil check.
+	Faults *faultinject.Injector
+	// SkipVerify omits the frontend verification in CompileConfigsOpts
+	// for callers that have already verified the module (the campaign
+	// engine verifies in its own guarded stage).
+	SkipVerify bool
 }
 
 // Pass transforms a module in place.
@@ -129,8 +144,21 @@ func (p *Pipeline) Run(m *ir.Module, opts *Options) error {
 }
 
 // runPass executes one pass with the pipeline's error wrapping and the
-// PrintAfterAll / VerifyBetweenPasses debugging hooks.
+// PrintAfterAll / VerifyBetweenPasses debugging hooks. The context
+// check between passes is the pipeline's cooperative cancellation
+// point: a pass runs to completion, but an expired per-program budget
+// stops the pipeline before the next one starts.
 func runPass(pass Pass, m *ir.Module, opts *Options) error {
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return &PassError{Pass: pass.Name(), Err: fmt.Errorf("compiler: cancelled: %w", err)}
+		}
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Point(faultinject.SiteCompilerPass); err != nil {
+			return &PassError{Pass: pass.Name(), Err: err}
+		}
+	}
 	if err := pass.Run(m, opts); err != nil {
 		return &PassError{Pass: pass.Name(), Err: err}
 	}
@@ -274,12 +302,25 @@ type ConfigResult struct {
 // identical to recompiling from scratch — which the difftest
 // determinism suite asserts. The input module is not modified.
 func CompileConfigs(m *ir.Module, preset string, bugSet bugs.Set, configs []Config) []ConfigResult {
+	return CompileConfigsOpts(m, preset, &Options{Bugs: bugSet}, configs)
+}
+
+// CompileConfigsOpts is CompileConfigs with full Options control: the
+// campaign engine uses it to thread its per-program context deadline
+// and fault injector through every pass, and to skip the frontend
+// verification it has already run in its own guarded stage.
+func CompileConfigsOpts(m *ir.Module, preset string, opts *Options, configs []Config) []ConfigResult {
+	if opts == nil {
+		opts = &Options{}
+	}
 	results := make([]ConfigResult, len(configs))
-	if err := verify.Module(m, dialects.SourceSpecs()); err != nil {
-		for i := range results {
-			results[i].Err = err
+	if !opts.SkipVerify {
+		if err := verify.Module(m, dialects.SourceSpecs()); err != nil {
+			for i := range results {
+				results[i].Err = err
+			}
+			return results
 		}
-		return results
 	}
 	type job struct {
 		idx    int
@@ -294,7 +335,6 @@ func CompileConfigs(m *ir.Module, preset string, bugSet bugs.Set, configs []Conf
 		}
 		jobs = append(jobs, job{idx: i, passes: names})
 	}
-	opts := &Options{Bugs: bugSet}
 
 	// compileShared runs the jobs' remaining passes over the prefix
 	// tree. owned marks modules this call may mutate freely; the
@@ -332,6 +372,14 @@ func CompileConfigs(m *ir.Module, preset string, bugSet bugs.Set, configs []Conf
 			gm := m
 			if !(owned && i == len(order)-1) {
 				gm = m.Clone()
+			}
+			if opts.Faults != nil {
+				if err := opts.Faults.Point(faultinject.SiteCompilerRegistry); err != nil {
+					for _, j := range g {
+						results[j.idx].Err = &PassError{Pass: name, Err: err}
+					}
+					continue
+				}
 			}
 			mk, ok := registry[name]
 			if !ok {

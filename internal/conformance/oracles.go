@@ -365,6 +365,7 @@ func StandardOracles() []Oracle {
 			NewEngineAgreement(preset),
 			NewDifftest(preset, bugs.None()),
 			NewCampaignAgreement(preset),
+			NewFaultTolerance(preset),
 		)
 	}
 	return os
@@ -401,6 +402,8 @@ func Lookup(name string) (Oracle, error) {
 		return NewMutationEquivalence(preset), nil
 	case FamilyCampaignAgree:
 		return NewCampaignAgreement(preset), nil
+	case FamilyFaultTolerance:
+		return NewFaultTolerance(preset), nil
 	case FamilyEngineAgree:
 		return NewEngineAgreement(preset), nil
 	case FamilyDifftest:

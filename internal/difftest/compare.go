@@ -52,5 +52,59 @@ func DiffResults(a, b *CampaignResult) string {
 			return fmt.Sprintf("oracle %s: %d vs %d detections", o, n, b.ByOracle[o])
 		}
 	}
+	return DiffVerdicts(a.Verdicts, b.Verdicts)
+}
+
+// DiffVerdicts compares two verdict sequences field by field and
+// returns a description of the first difference, or "" when they are
+// identical. Panic stacks are excluded — they record goroutine and
+// engine specifics that legitimately differ between byte-identical
+// runs — but everything else, down to attempt counts and fault tallies,
+// must match. This is the equality the resume and fault-tolerance
+// guarantees are stated in.
+func DiffVerdicts(a, b []Verdict) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("verdicts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		va, vb := a[i], b[i]
+		if va.Seed != vb.Seed {
+			return fmt.Sprintf("verdict %d: seed %d vs %d", i, va.Seed, vb.Seed)
+		}
+		if va.Kind != vb.Kind {
+			return fmt.Sprintf("verdict %d (seed %d): kind %s vs %s", i, va.Seed, va.Kind, vb.Kind)
+		}
+		if va.Oracle != vb.Oracle {
+			return fmt.Sprintf("verdict %d (seed %d): oracle %s vs %s", i, va.Seed, va.Oracle, vb.Oracle)
+		}
+		if va.Attempts != vb.Attempts {
+			return fmt.Sprintf("verdict %d (seed %d): attempts %d vs %d", i, va.Seed, va.Attempts, vb.Attempts)
+		}
+		if va.Faults != vb.Faults {
+			return fmt.Sprintf("verdict %d (seed %d): faults %d vs %d", i, va.Seed, va.Faults, vb.Faults)
+		}
+		if va.Quarantined != vb.Quarantined {
+			return fmt.Sprintf("verdict %d (seed %d): quarantined %v vs %v", i, va.Seed, va.Quarantined, vb.Quarantined)
+		}
+		fa, fb := va.Failure, vb.Failure
+		if (fa == nil) != (fb == nil) {
+			return fmt.Sprintf("verdict %d (seed %d): failure presence differs", i, va.Seed)
+		}
+		if fa == nil {
+			continue
+		}
+		if fa.Stage != fb.Stage {
+			return fmt.Sprintf("verdict %d (seed %d): failure stage %s vs %s", i, va.Seed, fa.Stage, fb.Stage)
+		}
+		if fa.Reason != fb.Reason {
+			return fmt.Sprintf("verdict %d (seed %d): failure reason differs", i, va.Seed)
+		}
+		if fa.Module != fb.Module {
+			return fmt.Sprintf("verdict %d (seed %d): failure module differs", i, va.Seed)
+		}
+		if fa.Injected != fb.Injected {
+			return fmt.Sprintf("verdict %d (seed %d): failure injected %v vs %v", i, va.Seed, fa.Injected, fb.Injected)
+		}
+	}
 	return ""
 }

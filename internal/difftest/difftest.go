@@ -13,12 +13,14 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ratte/internal/bugs"
 	"ratte/internal/compiler"
 	"ratte/internal/dialects"
-	"ratte/internal/gen"
+	"ratte/internal/faultinject"
 	"ratte/internal/interp"
 	"ratte/internal/ir"
 	"ratte/internal/verify"
@@ -176,6 +178,30 @@ type CampaignConfig struct {
 	Bugs     bugs.Set
 	// StopAtFirst stops at the first detection.
 	StopAtFirst bool
+
+	// Timeout is the per-program wall-clock budget across the verify,
+	// compile and interpret stages (0 = unbounded). An expired budget
+	// is recorded as a VerdictTimeout, not a crash or detection.
+	Timeout time.Duration
+	// MaxRetries bounds re-attempts of a seed whose failure was
+	// transient — injected faults and fault-era timeouts (0 = no
+	// retries). Deterministic failures are never retried.
+	MaxRetries int
+	// RetryBackoff is the base delay between attempts, doubled per
+	// retry (0 = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// Faults, when non-nil, enables deterministic fault injection:
+	// each program seed derives its own injector via Faults.ForSeed,
+	// so a campaign's fault schedule depends only on (Faults, seed) —
+	// never on worker count or scheduling.
+	Faults *faultinject.Spec
+	// Journal, when non-nil, receives every verdict in seed order as
+	// the campaign progresses (see CreateJournal / OpenJournalForResume).
+	Journal *Journal
+	// Resumed maps seeds to verdicts recovered from a prior journal;
+	// those seeds are replayed from the record instead of re-run, which
+	// is how a resumed campaign reproduces the identical final report.
+	Resumed map[int64]Verdict
 }
 
 // Detection records one detected difference.
@@ -192,32 +218,87 @@ type CampaignResult struct {
 	Programs   int
 	Detections []Detection
 	ByOracle   map[Oracle]int
+
+	// Verdicts records every seed's final outcome, in seed order —
+	// the in-memory mirror of the campaign journal.
+	Verdicts []Verdict
+	// StageFailures and Timeouts tally the contained failures.
+	StageFailures int
+	Timeouts      int
+	// Quarantined lists the seeds that never produced a testable
+	// attempt, in seed order.
+	Quarantined []int64
+}
+
+func newCampaignResult() *CampaignResult {
+	return &CampaignResult{ByOracle: make(map[Oracle]int)}
+}
+
+// record folds one verdict (and its detection, if any) into the
+// result, replaying exactly the serial loop's accounting. It reports
+// whether the verdict is a detection (the StopAtFirst trigger).
+func (res *CampaignResult) record(v Verdict, det *Detection) bool {
+	res.Programs++
+	res.Verdicts = append(res.Verdicts, v)
+	switch v.Kind {
+	case VerdictStageFailure:
+		res.StageFailures++
+	case VerdictTimeout:
+		res.Timeouts++
+	}
+	if v.Quarantined {
+		res.Quarantined = append(res.Quarantined, v.Seed)
+	}
+	if v.Kind != VerdictDetection {
+		return false
+	}
+	if det == nil {
+		det = resumedDetection(v)
+	}
+	res.Detections = append(res.Detections, *det)
+	res.ByOracle[v.Oracle]++
+	return true
 }
 
 // RunCampaign generates Programs programs with Ratte's semantics-guided
 // generator and differentially tests each one.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
-	res := &CampaignResult{ByOracle: make(map[Oracle]int)}
+	return RunCampaignCtx(context.Background(), cfg)
+}
+
+// RunCampaignCtx is RunCampaign under a caller context: cancelling ctx
+// (a signal handler, a test deadline) stops the campaign after the
+// in-flight seed and returns the partial result together with
+// ctx.Err(), with every completed verdict already journaled — the
+// partial run is resumable via CampaignConfig.Resumed.
+func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	res := newCampaignResult()
 	for i := 0; i < cfg.Programs; i++ {
-		seed := cfg.Seed + int64(i)
-		p, err := gen.Generate(gen.Config{Preset: cfg.Preset, Size: cfg.Size, Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("difftest: generation failed: %w", err)
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
-		res.Programs++
-		rep := TestModule(p.Module, p.Expected, cfg.Preset, cfg.Bugs)
-		if oracle := rep.Detected(); oracle != OracleNone {
-			res.Detections = append(res.Detections, Detection{
-				Seed:     seed,
-				Oracle:   oracle,
-				Program:  p.Module,
-				Expected: p.Expected,
-				Report:   rep,
-			})
-			res.ByOracle[oracle]++
-			if cfg.StopAtFirst {
+		seed := cfg.Seed + int64(i)
+		if v, ok := cfg.Resumed[seed]; ok {
+			if res.record(v, nil) && cfg.StopAtFirst {
 				return res, nil
 			}
+			continue
+		}
+		out := runSeed(ctx, &cfg, seed)
+		if out.genErr != nil {
+			return nil, fmt.Errorf("difftest: generation failed: %w", out.genErr)
+		}
+		if out.aborted {
+			return res, ctx.Err()
+		}
+		isDetection := res.record(out.verdict, out.detection)
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Append(out.verdict); err != nil {
+				return res, fmt.Errorf("difftest: journal: %w", err)
+			}
+		}
+		if isDetection && cfg.StopAtFirst {
+			return res, nil
 		}
 	}
 	return res, nil

@@ -11,42 +11,50 @@ import (
 // RunCampaignParallel runs the same campaign as RunCampaign across a
 // persistent pool of worker goroutines — the shape of the paper's
 // overnight runs on an 8-core laptop.
+func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, error) {
+	return RunCampaignParallelCtx(context.Background(), cfg, workers)
+}
+
+// RunCampaignParallelCtx is the parallel engine under a caller context.
 //
 // The engine is a two-stage pipeline over bounded channels: a
 // generation stage produces programs from seeds while a testing stage
-// differentially tests them, so generation of seed i+k overlaps with
-// compilation and execution of seed i. `workers` bounds the total
-// goroutines across both stages; the bounded hand-off channel throttles
-// whichever stage is faster.
+// runs the fault-isolated per-seed pipeline (testSeed) on them, so
+// generation of seed i+k overlaps with compilation and execution of
+// seed i. `workers` bounds the total goroutines across both stages; the
+// bounded hand-off channel throttles whichever stage is faster.
 //
 // Results are byte-identical to the serial runner for any worker count:
 // outcomes are re-sequenced into seed order by the collector, which
-// replays exactly the serial loop — counting a program before
-// inspecting it, recording detections in seed order, and, under
-// StopAtFirst, stopping at the first in-order detection (at which point
-// the whole pipeline is cancelled promptly via a context). A generation
-// failure is reported exactly as the serial runner reports it: the
-// first failure in seed order wins, and later outcomes are discarded.
-func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, error) {
+// replays exactly the serial loop — recording each verdict (and
+// journaling it) in seed order, splicing resumed verdicts in at their
+// positions, and, under StopAtFirst, stopping at the first in-order
+// detection (at which point the whole pipeline is cancelled promptly
+// via a context). A generation failure is reported exactly as the
+// serial runner reports it: the first failure in seed order wins, and
+// later outcomes are discarded. Cancelling the caller's ctx drains the
+// pipeline and returns the partial, already-journaled result with
+// ctx.Err().
+func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers int) (*CampaignResult, error) {
 	if workers <= 1 {
-		return RunCampaign(cfg)
+		return RunCampaignCtx(parent, cfg)
 	}
 	if cfg.Programs <= 0 {
-		return &CampaignResult{ByOracle: make(map[Oracle]int)}, nil
+		return newCampaignResult(), nil
 	}
 
 	type generated struct {
 		idx  int
 		prog *gen.Program
+		sf   *StageFailure
 		err  error
 	}
 	type outcome struct {
-		idx       int
-		detection *Detection
-		err       error
+		idx int
+		out seedOutcome
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	// Stage sizing: generation and testing are both CPU-bound; testing
@@ -65,10 +73,14 @@ func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, erro
 	programs := make(chan generated, workers) // bounded pipeline hand-off
 	outcomes := make(chan outcome, workers)
 
-	// Seed feeder.
+	// Seed feeder. Resumed seeds never enter the pipeline — the
+	// collector splices their recorded verdicts in at their positions.
 	go func() {
 		defer close(seeds)
 		for i := 0; i < cfg.Programs; i++ {
+			if _, ok := cfg.Resumed[cfg.Seed+int64(i)]; ok {
+				continue
+			}
 			select {
 			case seeds <- i:
 			case <-ctx.Done():
@@ -77,16 +89,16 @@ func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, erro
 		}
 	}()
 
-	// Generation stage.
+	// Generation stage, panic-contained per seed.
 	var genWG sync.WaitGroup
 	for w := 0; w < genWorkers; w++ {
 		genWG.Add(1)
 		go func() {
 			defer genWG.Done()
 			for i := range seeds {
-				p, err := generateForCampaign(cfg, cfg.Seed+int64(i))
+				p, sf, err := generateStage(&cfg, cfg.Seed+int64(i))
 				select {
-				case programs <- generated{idx: i, prog: p, err: err}:
+				case programs <- generated{idx: i, prog: p, sf: sf, err: err}:
 				case <-ctx.Done():
 					return
 				}
@@ -98,28 +110,28 @@ func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, erro
 		close(programs)
 	}()
 
-	// Testing stage.
+	// Testing stage: the same per-seed pipeline the serial engine runs.
 	var testWG sync.WaitGroup
 	for w := 0; w < testWorkers; w++ {
 		testWG.Add(1)
 		go func() {
 			defer testWG.Done()
 			for g := range programs {
-				o := outcome{idx: g.idx, err: g.err}
-				if g.err == nil {
-					rep := TestModule(g.prog.Module, g.prog.Expected, cfg.Preset, cfg.Bugs)
-					if oracle := rep.Detected(); oracle != OracleNone {
-						o.detection = &Detection{
-							Seed:     cfg.Seed + int64(g.idx),
-							Oracle:   oracle,
-							Program:  g.prog.Module,
-							Expected: g.prog.Expected,
-							Report:   rep,
-						}
-					}
+				seed := cfg.Seed + int64(g.idx)
+				var out seedOutcome
+				switch {
+				case g.err != nil:
+					out = seedOutcome{genErr: g.err}
+				case g.sf != nil:
+					out = seedOutcome{verdict: Verdict{
+						Seed: seed, Kind: VerdictStageFailure, Failure: g.sf,
+						Attempts: 1, Quarantined: true,
+					}}
+				default:
+					out = testSeed(ctx, &cfg, seed, g.prog)
 				}
 				select {
-				case outcomes <- o:
+				case outcomes <- outcome{idx: g.idx, out: out}:
 				case <-ctx.Done():
 					return
 				}
@@ -132,50 +144,81 @@ func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, erro
 	}()
 
 	// Collector: re-sequence outcomes into seed order and replay the
-	// serial loop over them.
-	res := &CampaignResult{ByOracle: make(map[Oracle]int)}
-	pending := make(map[int]outcome)
+	// serial loop over them — including journaling, which therefore
+	// happens strictly in seed order here too.
+	res := newCampaignResult()
+	pending := make(map[int]seedOutcome)
 	next := 0
-	var firstErr error
+	var firstErr error   // first in-seed-order generation failure
+	var journalErr error // first journal write failure
 	done := false
+	complete := false // every seed verdicted, or StopAtFirst fired
+
+	advance := func() {
+		for !done && next < cfg.Programs {
+			seed := cfg.Seed + int64(next)
+			if v, ok := cfg.Resumed[seed]; ok {
+				next++
+				if res.record(v, nil) && cfg.StopAtFirst {
+					done, complete = true, true
+				}
+				continue
+			}
+			cur, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			if cur.genErr != nil {
+				firstErr = cur.genErr
+				done = true
+				return
+			}
+			if cur.aborted {
+				done = true
+				return
+			}
+			isDetection := res.record(cur.verdict, cur.detection)
+			if cfg.Journal != nil {
+				if err := cfg.Journal.Append(cur.verdict); err != nil {
+					journalErr = err
+					done = true
+					return
+				}
+			}
+			if isDetection && cfg.StopAtFirst {
+				done, complete = true, true
+				return
+			}
+		}
+		if next == cfg.Programs {
+			complete = true
+		}
+	}
+
+	advance() // a resumed prefix (or fully resumed run) needs no outcomes
+	if done || complete {
+		cancel()
+	}
 	for o := range outcomes {
 		if done {
 			continue // drain so the stages can exit
 		}
-		pending[o.idx] = o
-		for !done {
-			cur, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			next++
-			if cur.err != nil {
-				firstErr = cur.err
-				done = true
-				break
-			}
-			res.Programs++
-			if cur.detection != nil {
-				res.Detections = append(res.Detections, *cur.detection)
-				res.ByOracle[cur.detection.Oracle]++
-				if cfg.StopAtFirst {
-					done = true
-				}
-			}
-		}
-		if done {
+		pending[o.idx] = o.out
+		advance()
+		if done || complete {
 			cancel()
 		}
 	}
-	if firstErr != nil {
+
+	switch {
+	case firstErr != nil:
 		return nil, fmt.Errorf("difftest: generation failed: %w", firstErr)
+	case journalErr != nil:
+		return res, fmt.Errorf("difftest: journal: %w", journalErr)
+	case !complete && parent.Err() != nil:
+		return res, parent.Err()
 	}
 	return res, nil
-}
-
-// generateForCampaign isolates generation so the parallel runner shares
-// the serial runner's behaviour exactly.
-func generateForCampaign(cfg CampaignConfig, seed int64) (*gen.Program, error) {
-	return gen.Generate(gen.Config{Preset: cfg.Preset, Size: cfg.Size, Seed: seed})
 }

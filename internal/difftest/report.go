@@ -1,0 +1,40 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReportText renders a campaign result as the canonical human-readable
+// summary. The rendering is deterministic (oracle tallies are sorted,
+// robustness lines appear only when non-zero), which is what lets a
+// resumed campaign prove it reproduced the original run: same verdicts,
+// same report text, byte for byte.
+func ReportText(res *CampaignResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "programs tested: %d\n", res.Programs)
+	fmt.Fprintf(&b, "detections: %d\n", len(res.Detections))
+	oracles := make([]string, 0, len(res.ByOracle))
+	for o := range res.ByOracle {
+		oracles = append(oracles, string(o))
+	}
+	sort.Strings(oracles)
+	for _, o := range oracles {
+		fmt.Fprintf(&b, "  %s: %d\n", o, res.ByOracle[Oracle(o)])
+	}
+	if res.StageFailures > 0 {
+		fmt.Fprintf(&b, "stage failures: %d\n", res.StageFailures)
+	}
+	if res.Timeouts > 0 {
+		fmt.Fprintf(&b, "timeouts: %d\n", res.Timeouts)
+	}
+	if len(res.Quarantined) > 0 {
+		fmt.Fprintf(&b, "quarantined seeds: %d\n", len(res.Quarantined))
+	}
+	if len(res.Detections) > 0 {
+		d := res.Detections[0]
+		fmt.Fprintf(&b, "first detection: seed %d via %s\n", d.Seed, d.Oracle)
+	}
+	return b.String()
+}

@@ -1,0 +1,268 @@
+// The fault-isolated per-seed pipeline: generate → verify → compile →
+// interpret → compare, each stage guarded against panics, the whole
+// attempt bounded by a per-program wall-clock budget, with bounded
+// retry for transient (injected) failures. Both campaign engines run
+// seeds through this file, which is what makes their verdicts
+// byte-identical: everything here depends only on (config, seed).
+package difftest
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/faultinject"
+	"ratte/internal/gen"
+	"ratte/internal/verify"
+)
+
+// DefaultRetryBackoff is the base delay between attempts of a seed
+// that failed transiently (doubled per retry) when CampaignConfig
+// leaves RetryBackoff zero.
+const DefaultRetryBackoff = time.Millisecond
+
+// seedOutcome is everything one seed's pipeline produced.
+type seedOutcome struct {
+	verdict   Verdict
+	detection *Detection
+	// genErr is a non-panic generation failure; it aborts the whole
+	// campaign exactly as it always has (a broken generator is a bug
+	// in the fuzzer, not in the compiler under test).
+	genErr error
+	// aborted means the campaign context was cancelled mid-seed; the
+	// seed has no verdict and the engine should drain and stop.
+	aborted bool
+}
+
+// runSeed executes the full per-seed pipeline. It is the one entry
+// point both engines share.
+func runSeed(ctx context.Context, cfg *CampaignConfig, seed int64) seedOutcome {
+	prog, sf, err := generateStage(cfg, seed)
+	if err != nil {
+		return seedOutcome{genErr: err}
+	}
+	if sf != nil {
+		return seedOutcome{verdict: Verdict{
+			Seed: seed, Kind: VerdictStageFailure, Failure: sf,
+			Attempts: 1, Quarantined: true,
+		}}
+	}
+	return testSeed(ctx, cfg, seed, prog)
+}
+
+// generateStage produces the seed's program with panic containment.
+// Generation runs outside the per-program budget and the fault
+// injector: the generator is our own deterministic code, and a
+// contained panic here is a generator bug worth a verdict of its own.
+func generateStage(cfg *CampaignConfig, seed int64) (p *gen.Program, sf *StageFailure, err error) {
+	sf = guard(StageGenerate, seed, nil, func() {
+		p, err = gen.Generate(gen.Config{Preset: cfg.Preset, Size: cfg.Size, Seed: seed})
+	})
+	if sf != nil {
+		p, err = nil, nil
+	}
+	return p, sf, err
+}
+
+// attemptResult is one attempt's outcome, before retry accounting.
+type attemptResult struct {
+	verdict   Verdict
+	detection *Detection
+	// transient marks failures worth retrying: injected faults, and
+	// timeouts that an injected delay plausibly caused.
+	transient bool
+	aborted   bool
+}
+
+// testSeed differentially tests one generated program, retrying
+// transient failures up to cfg.MaxRetries with exponential backoff and
+// quarantining seeds that never produce a clean attempt. One injector
+// serves all attempts, so retries see fresh fault decisions (site
+// occurrence counters advance) — the model of a transient failure.
+func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program) seedOutcome {
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(cfg.Faults.ForSeed(seed))
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	for attempt := 1; ; attempt++ {
+		out := testOnce(ctx, cfg, seed, prog, inj)
+		if out.aborted {
+			return seedOutcome{aborted: true}
+		}
+		if !out.transient || attempt > cfg.MaxRetries {
+			v := out.verdict
+			v.Attempts = attempt
+			v.Faults = inj.Hits()
+			if v.Kind == VerdictStageFailure || v.Kind == VerdictTimeout {
+				v.Quarantined = true
+			}
+			return seedOutcome{verdict: v, detection: out.detection}
+		}
+		time.Sleep(backoff << (attempt - 1))
+	}
+}
+
+// testOnce is one guarded, deadline-bounded attempt: the verify,
+// compile, interpret and compare stages of TestModule, each under
+// panic containment, with the per-program context threaded through the
+// compiler's pass pipeline and both execution engines.
+func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program, inj *faultinject.Injector) attemptResult {
+	hitsBefore := inj.Hits()
+	pctx := ctx
+	cancel := func() {}
+	if cfg.Timeout > 0 {
+		pctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+	}
+	defer cancel()
+
+	m := prog.Module
+	fail := func(sf *StageFailure) attemptResult {
+		if ctx.Err() != nil && !sf.Injected {
+			return attemptResult{aborted: true}
+		}
+		return attemptResult{
+			verdict:   Verdict{Seed: seed, Kind: VerdictStageFailure, Failure: sf},
+			transient: sf.Injected,
+		}
+	}
+
+	// Verify stage. A verification error is not a stage failure: it is
+	// the wrong-rejection half of the NC oracle, recorded per config
+	// exactly as CompileConfigs reports it.
+	var verr error
+	if sf := guard(StageVerify, seed, m, func() {
+		verr = verify.Module(m, dialects.SourceSpecs())
+	}); sf != nil {
+		return fail(sf)
+	}
+
+	rep := &Report{
+		Preset:    cfg.Preset,
+		Reference: prog.Expected,
+		Levels:    make(map[BuildConfig]LevelResult, len(BuildConfigs)),
+	}
+	if verr != nil {
+		for _, bc := range BuildConfigs {
+			rep.Levels[bc] = LevelResult{CompileErr: verr}
+		}
+	} else {
+		// Compile stage: the shared-prefix compilation of TestModule,
+		// minus the verification already done above.
+		opts := &compiler.Options{Bugs: cfg.Bugs, Ctx: pctx, Faults: inj, SkipVerify: true}
+		var outs []compiler.ConfigResult
+		if sf := guard(StageCompile, seed, m, func() {
+			outs = compiler.CompileConfigsOpts(m, cfg.Preset, opts, BuildConfigs)
+		}); sf != nil {
+			return fail(sf)
+		}
+		// Interpret stage: run each successfully compiled config.
+		if sf := guard(StageInterpret, seed, m, func() {
+			for i, bc := range BuildConfigs {
+				var lr LevelResult
+				if outs[i].Err != nil {
+					lr.CompileErr = outs[i].Err
+				} else {
+					ex := dialects.NewExecutor()
+					ex.Ctx = pctx
+					ex.Faults = inj
+					res, err := ex.Run(outs[i].Module, "main")
+					if err != nil {
+						lr.RunErr = err
+					} else {
+						lr.Output = res.Output
+					}
+				}
+				rep.Levels[bc] = lr
+			}
+		}); sf != nil {
+			return fail(sf)
+		}
+	}
+
+	// Classification sweep: injected errors and expired budgets landed
+	// in the per-config results as CompileErr/RunErr; they must become
+	// stage-failure/timeout verdicts, not masquerade as NC detections.
+	var injectedErr error
+	var injectedStage Stage
+	timedOut := false
+	for _, bc := range BuildConfigs {
+		lr := rep.Levels[bc]
+		if e := lr.CompileErr; e != nil {
+			if faultinject.IsInjected(e) && injectedErr == nil {
+				injectedErr, injectedStage = e, StageCompile
+			}
+			if errors.Is(e, context.DeadlineExceeded) || errors.Is(e, context.Canceled) {
+				timedOut = true
+			}
+		}
+		if e := lr.RunErr; e != nil {
+			if faultinject.IsInjected(e) && injectedErr == nil {
+				injectedErr, injectedStage = e, StageInterpret
+			}
+			if errors.Is(e, context.DeadlineExceeded) || errors.Is(e, context.Canceled) {
+				timedOut = true
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		// The campaign itself was cancelled (signal, StopAtFirst):
+		// whatever this attempt observed is an artifact of shutdown.
+		return attemptResult{aborted: true}
+	}
+	if injectedErr != nil {
+		return attemptResult{
+			verdict: Verdict{Seed: seed, Kind: VerdictStageFailure, Failure: &StageFailure{
+				Stage:    injectedStage,
+				Seed:     seed,
+				Reason:   injectedErr.Error(),
+				Module:   safePrint(m),
+				Injected: true,
+			}},
+			transient: true,
+		}
+	}
+	if timedOut {
+		return attemptResult{
+			verdict: Verdict{Seed: seed, Kind: VerdictTimeout},
+			// A timeout during a fault-injected attempt (delays!) is
+			// worth retrying; a clean program that blows its budget
+			// will blow it again.
+			transient: inj.Hits() > hitsBefore,
+		}
+	}
+
+	// Compare stage.
+	var oracle Oracle
+	if sf := guard(StageCompare, seed, m, func() {
+		oracle = rep.Detected()
+	}); sf != nil {
+		return fail(sf)
+	}
+	if oracle == OracleNone {
+		return attemptResult{verdict: Verdict{Seed: seed, Kind: VerdictOK}}
+	}
+	return attemptResult{
+		verdict: Verdict{Seed: seed, Kind: VerdictDetection, Oracle: oracle},
+		detection: &Detection{
+			Seed:     seed,
+			Oracle:   oracle,
+			Program:  m,
+			Expected: prog.Expected,
+			Report:   rep,
+		},
+	}
+}
+
+// resumedDetection reconstructs the Detection entry for a seed whose
+// verdict was replayed from a journal. The program and report are not
+// journaled — they are regenerable from the seed — so only the fields
+// the final report uses are populated.
+func resumedDetection(v Verdict) *Detection {
+	return &Detection{Seed: v.Seed, Oracle: v.Oracle}
+}

@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// collect drives n Point calls at site and records what fired.
+func collect(in *Injector, site string, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !IsInjectedPanic(r) {
+						panic(r)
+					}
+					out = append(out, fmt.Sprintf("%d:panic", i))
+				}
+			}()
+			if err := in.Point(site); err != nil {
+				out = append(out, fmt.Sprintf("%d:error", i))
+			}
+		}()
+	}
+	return out
+}
+
+func TestDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, Rate: 0.3, Delay: time.Microsecond}
+	a := collect(New(spec), SiteInterpDispatch, 200)
+	b := collect(New(spec), SiteInterpDispatch, 200)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same spec, different faults:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 200 points fired nothing")
+	}
+	c := collect(New(Spec{Seed: 43, Rate: 0.3, Delay: time.Microsecond}), SiteInterpDispatch, 200)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestNilAndZeroRateInjectNothing(t *testing.T) {
+	var nilInj *Injector
+	if err := nilInj.Point(SiteCompilerPass); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if nilInj.Hits() != 0 || nilInj.Fired() != nil {
+		t.Fatal("nil injector reported hits")
+	}
+	in := New(Spec{Seed: 1, Rate: 0})
+	if got := collect(in, SiteCompilerPass, 100); len(got) != 0 {
+		t.Fatalf("zero-rate injector fired: %v", got)
+	}
+}
+
+func TestSiteAddressing(t *testing.T) {
+	spec := Spec{Seed: 7, Rate: 1, Kinds: []Kind{KindError}, Sites: []string{"compiler"}}
+	in := New(spec)
+	if err := in.Point(SiteInterpDispatch); err != nil {
+		t.Fatalf("interp site fired under compiler-only filter: %v", err)
+	}
+	if err := in.Point(SiteCompilerPass); err == nil {
+		t.Fatal("compiler site did not fire under rate 1")
+	}
+	if err := in.Point(SiteCompilerRegistry); err == nil {
+		t.Fatal("prefix filter should match compiler/registry")
+	}
+	if in.Hits() != 2 {
+		t.Fatalf("hits = %d, want 2", in.Hits())
+	}
+}
+
+func TestKindsRestriction(t *testing.T) {
+	in := New(Spec{Seed: 3, Rate: 1, Kinds: []Kind{KindError}})
+	for i := 0; i < 50; i++ {
+		err := in.Point(SiteInterpRegistry)
+		if err == nil {
+			t.Fatal("rate-1 error-only injector returned nil")
+		}
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("injected error has wrong type: %T", err)
+		}
+		if !IsInjected(err) {
+			t.Fatal("IsInjected does not recognise its own error")
+		}
+		if !IsInjected(fmt.Errorf("wrapped: %w", err)) {
+			t.Fatal("IsInjected fails through wrapping")
+		}
+	}
+}
+
+func TestMaxFaultsBudget(t *testing.T) {
+	in := New(Spec{Seed: 5, Rate: 1, Kinds: []Kind{KindError}, MaxFaults: 1})
+	if err := in.Point(SiteCompilerPass); err == nil {
+		t.Fatal("first point should fire")
+	}
+	for i := 0; i < 20; i++ {
+		if err := in.Point(SiteCompilerPass); err != nil {
+			t.Fatalf("budget of 1 exceeded at call %d: %v", i, err)
+		}
+	}
+	if in.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", in.Hits())
+	}
+}
+
+func TestForSeedDerivation(t *testing.T) {
+	base := Spec{Seed: 9, Rate: 0.5}
+	a := base.ForSeed(100)
+	b := base.ForSeed(100)
+	c := base.ForSeed(101)
+	if a.Seed != b.Seed {
+		t.Fatal("ForSeed not deterministic")
+	}
+	if a.Seed == c.Seed {
+		t.Fatal("distinct program seeds derived identical injector seeds")
+	}
+	if a.Rate != base.Rate {
+		t.Fatal("ForSeed dropped the rate")
+	}
+}
+
+func TestFiredRecords(t *testing.T) {
+	in := New(Spec{Seed: 11, Rate: 1, Kinds: []Kind{KindDelay}, Delay: time.Microsecond})
+	for i := 0; i < 3; i++ {
+		if err := in.Point(SiteInterpDispatch); err != nil {
+			t.Fatalf("delay fault returned error: %v", err)
+		}
+	}
+	fired := in.Fired()
+	if len(fired) != 3 {
+		t.Fatalf("fired = %d records, want 3", len(fired))
+	}
+	for i, f := range fired {
+		if f.Kind != KindDelay || f.Site != SiteInterpDispatch || f.N != int64(i) {
+			t.Fatalf("fired[%d] = %+v", i, f)
+		}
+	}
+}

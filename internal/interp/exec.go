@@ -10,6 +10,7 @@ package interp
 import (
 	"fmt"
 
+	"ratte/internal/faultinject"
 	"ratte/internal/ir"
 	"ratte/internal/rtval"
 	"ratte/internal/scoped"
@@ -37,6 +38,11 @@ func (in *Interpreter) RunProgram(p *CompiledProgram, entry string) (*Result, er
 // strings, same order — but the function body runs over a pooled frame
 // instead of a pushed IsolatedFromAbove scope.
 func (ctx *Context) callCompiled(name string, args []rtval.Value) ([]rtval.Value, error) {
+	if ctx.faults != nil {
+		if err := ctx.faults.Point(faultinject.SiteInterpRegistry); err != nil {
+			return nil, err
+		}
+	}
 	cf, ok := ctx.prog.funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("interp: call to unknown function @%s", name)
@@ -124,6 +130,16 @@ blocks:
 				return nil, &rtval.TrapError{Op: "interp", Reason: "step limit exceeded (non-terminating program?)"}
 			}
 			ctx.stepsLeft--
+			if ctx.cancel != nil {
+				if err := ctx.checkCancel(); err != nil {
+					return nil, err
+				}
+			}
+			if ctx.faults != nil {
+				if err := ctx.faults.Point(faultinject.SiteInterpDispatch); err != nil {
+					return nil, &EvalError{OpName: cop.op.Name, Err: err}
+				}
+			}
 			if cop.term != nil {
 				ctx.cur = cop
 				res, err := cop.term(ctx, cop.op)

@@ -73,6 +73,9 @@ func releaseContext(ctx *Context) {
 	ctx.stepsLeft = 0
 	ctx.maxCallDepth = 0
 	ctx.callDepth = 0
+	ctx.cancel = nil
+	ctx.cancelCheckLeft = 0
+	ctx.faults = nil
 	ctxPool.Put(ctx)
 }
 

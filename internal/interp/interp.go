@@ -20,9 +20,11 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"ratte/internal/faultinject"
 	"ratte/internal/ir"
 	"ratte/internal/rtval"
 	"ratte/internal/scoped"
@@ -171,7 +173,24 @@ type Interpreter struct {
 	// programs across Run calls (the difftest harness runs the same
 	// module once per build configuration).
 	Cache *ProgramCache
+
+	// Ctx, when non-nil, is checked cooperatively during evaluation
+	// (every cancelCheckInterval steps and at every function call);
+	// when it is cancelled or its deadline passes, the run stops with
+	// an error wrapping Ctx.Err(). This is the watchdog hook the
+	// campaign engine uses to bound each program's wall-clock cost.
+	Ctx context.Context
+
+	// Faults, when non-nil, is the deterministic fault-injection layer
+	// (sites interp/dispatch and interp/registry). Production runs
+	// leave it nil and pay one nil check per dispatched operation.
+	Faults *faultinject.Injector
 }
+
+// cancelCheckInterval is how many evaluated operations pass between
+// two looks at Ctx.Err(): frequent enough that a per-program deadline
+// lands within microseconds, rare enough to stay off the profile.
+const cancelCheckInterval = 1024
 
 // New composes an interpreter from dialect semantics, building a fresh
 // Registry. Callers instantiating interpreters repeatedly over the same
@@ -281,6 +300,12 @@ type Context struct {
 	maxCallDepth int
 	callDepth    int
 
+	// Watchdog and fault-injection state, resolved from the
+	// Interpreter at context construction.
+	cancel          context.Context
+	cancelCheckLeft int
+	faults          *faultinject.Injector
+
 	// Compiled-mode state (see compile.go / exec.go). prog non-nil
 	// means this context executes a CompiledProgram: Get/Define resolve
 	// through frame slots, RunRegion/CallFunc run compiled bodies.
@@ -318,6 +343,23 @@ func (ctx *Context) initLimits(in *Interpreter) {
 	if ctx.maxCallDepth == 0 {
 		ctx.maxCallDepth = 256
 	}
+	ctx.cancel = in.Ctx
+	ctx.cancelCheckLeft = 1 // check on the first step: expired budgets fail fast
+	ctx.faults = in.Faults
+}
+
+// checkCancel is the cooperative cancellation look: cheap countdown,
+// occasional Ctx.Err(). Callers gate on ctx.cancel != nil.
+func (ctx *Context) checkCancel() error {
+	ctx.cancelCheckLeft--
+	if ctx.cancelCheckLeft > 0 {
+		return nil
+	}
+	ctx.cancelCheckLeft = cancelCheckInterval
+	if err := ctx.cancel.Err(); err != nil {
+		return fmt.Errorf("interp: cancelled: %w", err)
+	}
+	return nil
 }
 
 // Output returns everything printed so far.
@@ -442,6 +484,11 @@ func (ctx *Context) CallFunc(name string, args []rtval.Value) ([]rtval.Value, er
 	if ctx.prog != nil {
 		return ctx.callCompiled(name, args)
 	}
+	if ctx.faults != nil {
+		if err := ctx.faults.Point(faultinject.SiteInterpRegistry); err != nil {
+			return nil, err
+		}
+	}
 	f, ok := ctx.funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("interp: call to unknown function @%s", name)
@@ -528,6 +575,11 @@ func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextA
 		if err := ctx.step(); err != nil {
 			return nil, "", nil, err
 		}
+		if ctx.faults != nil {
+			if err := ctx.faults.Point(faultinject.SiteInterpDispatch); err != nil {
+				return nil, "", nil, &EvalError{OpName: op.Name, Err: err}
+			}
+		}
 		if tk, ok := ctx.in.registry.terminators[op.Name]; ok {
 			res, err := tk(ctx, op)
 			if err != nil {
@@ -566,6 +618,9 @@ func (ctx *Context) step() error {
 		return &rtval.TrapError{Op: "interp", Reason: "step limit exceeded (non-terminating program?)"}
 	}
 	ctx.stepsLeft--
+	if ctx.cancel != nil {
+		return ctx.checkCancel()
+	}
 	return nil
 }
 

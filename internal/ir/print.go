@@ -15,11 +15,14 @@ var printerPool = sync.Pool{
 
 func renderToString(render func(p *printer)) string {
 	p := printerPool.Get().(*printer)
+	// Returned via defer so a panicking kernel mid-render (contained
+	// upstream by the campaign's stage isolation) cannot leak the
+	// buffer out of the pool; Reset on the way in handles whatever
+	// partial state the panic left behind.
+	defer printerPool.Put(p)
 	p.b.Reset()
 	render(p)
-	s := p.b.String() // copies out of the pooled buffer
-	printerPool.Put(p)
-	return s
+	return p.b.String() // copies out of the pooled buffer
 }
 
 // Print renders a module in the generic textual format of the paper's

@@ -31,11 +31,14 @@
 package ratte
 
 import (
+	"context"
+
 	"ratte/internal/bugs"
 	"ratte/internal/compiler"
 	"ratte/internal/conformance"
 	"ratte/internal/dialects"
 	"ratte/internal/difftest"
+	"ratte/internal/faultinject"
 	"ratte/internal/gen"
 	"ratte/internal/interp"
 	"ratte/internal/ir"
@@ -73,6 +76,12 @@ type (
 	CampaignConfig = difftest.CampaignConfig
 	// CampaignResult summarises a campaign.
 	CampaignResult = difftest.CampaignResult
+	// Verdict is one seed's final, journaled campaign outcome.
+	Verdict = difftest.Verdict
+	// FaultSpec configures deterministic fault injection for a campaign.
+	FaultSpec = faultinject.Spec
+	// Journal is an append-only campaign verdict log (see CreateJournal).
+	Journal = difftest.Journal
 	// BugSet selects injected compiler defects.
 	BugSet = bugs.Set
 	// BugID identifies one of the paper's Table 3 defects.
@@ -161,6 +170,34 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 func RunCampaignParallel(cfg CampaignConfig, workers int) (*CampaignResult, error) {
 	return difftest.RunCampaignParallel(cfg, workers)
 }
+
+// RunCampaignCtx is RunCampaign under a caller context: cancellation
+// stops the campaign after the in-flight seed and returns the partial,
+// journaled result with ctx.Err().
+func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	return difftest.RunCampaignCtx(ctx, cfg)
+}
+
+// RunCampaignParallelCtx is RunCampaignParallel under a caller context.
+func RunCampaignParallelCtx(ctx context.Context, cfg CampaignConfig, workers int) (*CampaignResult, error) {
+	return difftest.RunCampaignParallelCtx(ctx, cfg, workers)
+}
+
+// CreateJournal starts a fresh campaign journal at path.
+func CreateJournal(path string, cfg CampaignConfig) (*Journal, error) {
+	return difftest.CreateJournal(path, cfg)
+}
+
+// OpenJournalForResume reads a campaign journal (recovering a torn
+// final line) and returns it reopened for appending together with the
+// recorded verdicts for CampaignConfig.Resumed.
+func OpenJournalForResume(path string, cfg CampaignConfig) (*Journal, map[int64]Verdict, error) {
+	return difftest.OpenJournalForResume(path, cfg)
+}
+
+// CampaignReport renders a campaign result as the canonical
+// deterministic text summary.
+func CampaignReport(res *CampaignResult) string { return difftest.ReportText(res) }
 
 // ReduceModule shrinks a module while pred keeps holding.
 func ReduceModule(m *Module, pred func(*Module) bool) *Module {
