@@ -333,15 +333,19 @@ func TestEmitCampaignBench(t *testing.T) {
 		t.Skip("set RATTE_BENCH_JSON=1 to regenerate BENCH_campaign.json")
 	}
 	const programs = 300
-	run := func(workers int) (nsPerProgram float64, programsPerSec float64) {
-		start := time.Now()
-		res, err := difftest.RunCampaignParallel(difftest.CampaignConfig{
+	run := func(workers int, withTelemetry bool) (nsPerProgram float64, programsPerSec float64) {
+		cfg := difftest.CampaignConfig{
 			Preset:   "ariths",
 			Programs: programs,
 			Size:     30,
 			Seed:     1,
 			Bugs:     bugs.None(),
-		}, workers)
+		}
+		if withTelemetry {
+			cfg.Telemetry = difftest.NewCampaignTelemetry(nil)
+		}
+		start := time.Now()
+		res, err := difftest.RunCampaignParallel(cfg, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -351,8 +355,14 @@ func TestEmitCampaignBench(t *testing.T) {
 		elapsed := time.Since(start)
 		return float64(elapsed.Nanoseconds()) / programs, programs / elapsed.Seconds()
 	}
-	serialNs, serialPS := run(1)
-	parNs, parPS := run(8)
+	run(1, false) // warm the memoized registries and pipelines
+	serialNs, serialPS := run(1, false)
+	parNs, parPS := run(8, false)
+	// Telemetry overhead: same serial workload, fully instrumented.
+	// The observability contract caps this at ~2% — spans are
+	// per-stage, counters per-verdict, both single atomic updates.
+	telNs, telPS := run(1, true)
+	overheadPct := (telNs - serialNs) / serialNs * 100
 	record := map[string]any{
 		"benchmark": "campaign",
 		"preset":    "ariths",
@@ -366,6 +376,10 @@ func TestEmitCampaignBench(t *testing.T) {
 			"workers": 8, "ns_per_program": parNs, "programs_per_sec": parPS,
 		},
 		"speedup": parPS / serialPS,
+		"telemetry": map[string]any{
+			"workers": 1, "ns_per_program": telNs, "programs_per_sec": telPS,
+			"overhead_pct_vs_serial": overheadPct,
+		},
 	}
 	data, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
@@ -374,8 +388,8 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := os.WriteFile("BENCH_campaign.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("serial: %.0f ns/program (%.1f programs/sec); parallel x8: %.0f ns/program (%.1f programs/sec)",
-		serialNs, serialPS, parNs, parPS)
+	t.Logf("serial: %.0f ns/program (%.1f programs/sec); parallel x8: %.0f ns/program (%.1f programs/sec); telemetry overhead: %.2f%%",
+		serialNs, serialPS, parNs, parPS, overheadPct)
 }
 
 // BenchmarkCompilePipeline measures full preset pipelines (the cost of

@@ -30,6 +30,7 @@ import (
 
 	"ratte"
 	"ratte/internal/profiling"
+	"ratte/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stopAtFirst := fs.Bool("stop-at-first", false, "stop an oracle's run at its first counterexample (with -check)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on clean shutdown")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,6 +70,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mlir-quickcheck:", err)
 		}
 	}()
+
+	if *metricsAddr != "" {
+		// Long -check campaigns are the use case: the process-wide
+		// default registry picks up the shared program/pipeline cache
+		// gauges so a live scrape shows cache effectiveness mid-run.
+		profiling.EnableContention(0, 0)
+		reg := telemetry.Default()
+		telemetry.RegisterProcessMetrics(reg)
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "mlir-quickcheck:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+	}
 
 	if *check != "" {
 		return runCheck(checkConfig{

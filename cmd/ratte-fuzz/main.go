@@ -42,6 +42,7 @@ import (
 	"ratte/internal/mlirsmith"
 	"ratte/internal/profiling"
 	"ratte/internal/reduce"
+	"ratte/internal/telemetry"
 )
 
 func main() {
@@ -61,9 +62,17 @@ func main() {
 	retries := flag.Int("retries", 2, "max retries for transiently failing programs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean shutdown")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on clean shutdown")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on clean shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (ad-hoc campaigns)")
+	metricsDump := flag.String("metrics-dump", "", "write the final Prometheus metrics payload to this file (ad-hoc campaigns)")
+	progress := flag.Duration("progress", 0, "print a one-line campaign status to stderr at this interval (ad-hoc campaigns)")
 	flag.Parse()
 
-	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProfiling, err := profiling.StartProfiles(profiling.Options{
+		CPUPath: *cpuprofile, MemPath: *memprofile,
+		BlockPath: *blockprofile, MutexPath: *mutexprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
 		os.Exit(1)
@@ -86,6 +95,7 @@ func main() {
 			bugList: *bugList, doReduce: *reduceFlag, workers: *workers,
 			journal: *journal, resume: *resume, timeout: *timeout,
 			faultRate: *faultRate, faultSeed: *faultSeed, retries: *retries,
+			metricsAddr: *metricsAddr, metricsDump: *metricsDump, progress: *progress,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "ratte-fuzz: unknown experiment", *experiment)
@@ -350,6 +360,10 @@ type adhocOptions struct {
 	faultRate float64
 	faultSeed int64
 	retries   int
+
+	metricsAddr string
+	metricsDump string
+	progress    time.Duration
 }
 
 // adhoc runs a plain campaign: fault-isolated, optionally journaled and
@@ -421,13 +435,53 @@ func adhoc(o adhocOptions) {
 		journal = nil
 	}
 
+	// Telemetry is created only when some observer wants it — the
+	// campaign's results are byte-identical either way, so the flags
+	// only decide whether the run pays for instrument updates.
+	var tel *difftest.CampaignTelemetry
+	if o.metricsAddr != "" || o.metricsDump != "" || o.progress > 0 {
+		tel = difftest.NewCampaignTelemetry(nil)
+		telemetry.RegisterProcessMetrics(tel.Registry)
+		cfg.Telemetry = tel
+	}
+	var metricsSrv *telemetry.Server
+	if o.metricsAddr != "" {
+		// Live pprof contention endpoints need the samplers on.
+		profiling.EnableContention(0, 0)
+		var err error
+		metricsSrv, err = telemetry.Serve(o.metricsAddr, tel.Registry)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/vars, /debug/pprof on http://%s\n", metricsSrv.Addr())
+	}
+	if o.progress > 0 {
+		ticker := time.NewTicker(o.progress)
+		progressDone := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					if line := tel.ProgressLine(); line != "" {
+						fmt.Fprintln(os.Stderr, line)
+					}
+				case <-progressDone:
+					return
+				}
+			}
+		}()
+		defer func() { ticker.Stop(); close(progressDone) }()
+	}
+
 	// SIGINT/SIGTERM cancel the campaign context: both engines drain the
 	// in-flight seeds, every completed verdict is already journaled, and
 	// the partial report below tells the user how far the run got.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	start := time.Now()
 	res, err := difftest.RunCampaignParallelCtx(ctx, cfg, o.workers)
+	elapsed := time.Since(start)
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		closeJournal()
@@ -435,7 +489,34 @@ func adhoc(o adhocOptions) {
 	}
 	closeJournal()
 
+	// The wrap-up runs on the interrupted path too: a drained SIGINT
+	// exit reports its throughput and flushes its metrics like a clean
+	// one — the whole point of the graceful drain.
+	finish := func() {
+		verdicted := len(res.Verdicts)
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(verdicted) / elapsed.Seconds()
+		}
+		// Runtime stats go to stderr: stdout stays byte-identical across
+		// workers/telemetry settings (the CLI determinism check diffs it).
+		fmt.Fprintf(os.Stderr, "elapsed: %s (%d programs, %.1f/sec)\n",
+			elapsed.Round(time.Millisecond), verdicted, rate)
+		if tel != nil {
+			fmt.Fprint(os.Stderr, tel.ReportSection())
+		}
+		if o.metricsDump != "" {
+			if err := os.WriteFile(o.metricsDump, []byte(tel.Registry.PrometheusText()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+	}
+
 	fmt.Print(difftest.ReportText(res))
+	finish()
 	if interrupted {
 		fmt.Println("interrupted: partial results above")
 		if o.journal != "" {

@@ -17,6 +17,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ratte/internal/bugs"
 	"ratte/internal/dialects"
@@ -256,7 +257,15 @@ type pipelineKey struct {
 	skipExpand bool
 }
 
-var pipelineCache sync.Map // pipelineKey -> *Pipeline
+var (
+	pipelineCache sync.Map // pipelineKey -> *Pipeline
+
+	// Pipeline-cache accounting, exported through PipelineCacheStats
+	// so telemetry (and tests) can see memoization working without
+	// reaching into the sync.Map.
+	pipelineCacheHits   atomic.Uint64
+	pipelineCacheMisses atomic.Uint64
+)
 
 // CachedPipeline returns the shared Pipeline for (preset, level,
 // skipExpand), building it on first use. Pipelines hold only stateless
@@ -265,6 +274,7 @@ var pipelineCache sync.Map // pipelineKey -> *Pipeline
 func CachedPipeline(preset string, level OptLevel, skipExpand bool) (*Pipeline, error) {
 	key := pipelineKey{preset, level, skipExpand}
 	if p, ok := pipelineCache.Load(key); ok {
+		pipelineCacheHits.Add(1)
 		return p.(*Pipeline), nil
 	}
 	names, err := PipelineForConfig(preset, level, skipExpand)
@@ -275,8 +285,25 @@ func CachedPipeline(preset string, level OptLevel, skipExpand bool) (*Pipeline, 
 	if err != nil {
 		return nil, err
 	}
-	p, _ := pipelineCache.LoadOrStore(key, pipe)
+	pipelineCacheMisses.Add(1)
+	p, loaded := pipelineCache.LoadOrStore(key, pipe)
+	if loaded {
+		// Another goroutine built it first; the build above was wasted
+		// work but the lookup still resolved from the cache.
+		pipelineCacheHits.Add(1)
+	}
 	return p.(*Pipeline), nil
+}
+
+// PipelineCacheStats reports the memoized pipeline cache's hit/miss
+// counters and current size. Safe for concurrent use; the size walk
+// takes the sync.Map's usual weakly-consistent snapshot.
+func PipelineCacheStats() (hits, misses uint64, size int) {
+	pipelineCache.Range(func(_, _ any) bool {
+		size++
+		return true
+	})
+	return pipelineCacheHits.Load(), pipelineCacheMisses.Load(), size
 }
 
 // ConfigResult is one configuration's outcome under CompileConfigs:

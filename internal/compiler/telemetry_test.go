@@ -1,0 +1,41 @@
+package compiler
+
+import "testing"
+
+// TestPipelineCacheStats checks that the memoized pass-pipeline cache's
+// hit/miss accounting is visible through the accessor. The cache is
+// process-global, so the test asserts deltas, not absolutes.
+func TestPipelineCacheStats(t *testing.T) {
+	h0, m0, _ := PipelineCacheStats()
+
+	// First use of this key either misses (fresh) or hits (another test
+	// already built it); every later use must hit.
+	if _, err := CachedPipeline("ariths", O2, false); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1, s1 := PipelineCacheStats()
+	if (h1-h0)+(m1-m0) != 1 {
+		t.Fatalf("first lookup recorded %d hits + %d misses, want exactly 1 event", h1-h0, m1-m0)
+	}
+	if s1 == 0 {
+		t.Fatal("cache size 0 after a build")
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := CachedPipeline("ariths", O2, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2, m2, _ := PipelineCacheStats()
+	if h2-h1 != 3 {
+		t.Errorf("repeat lookups recorded %d hits, want 3", h2-h1)
+	}
+	if m2 != m1 {
+		t.Errorf("repeat lookups recorded %d extra misses", m2-m1)
+	}
+
+	// A bad preset fails without polluting the accounting with a hit.
+	if _, err := CachedPipeline("no-such-preset", O0, false); err == nil {
+		t.Fatal("bad preset built a pipeline")
+	}
+}

@@ -157,6 +157,16 @@ func NewExecutor() *interp.Interpreter {
 	return in
 }
 
+// SourceProgramCache returns the shared compiled-program cache of the
+// source-level registry (the reference interpreter's). Exposed so
+// telemetry can export its hit/miss/eviction counters and so the
+// admission-policy tests can observe caching decisions.
+func SourceProgramCache() *interp.ProgramCache { return sourceProgramCache() }
+
+// ExecutorProgramCache returns the shared compiled-program cache of
+// the full executor registry (the campaign hot loop's).
+func ExecutorProgramCache() *interp.ProgramCache { return executorProgramCache() }
+
 // NewTreeWalkingExecutor builds the executor without the compiled
 // engine. The conformance harness uses it as the independent side of
 // the interp-engine-agreement oracle; it is also the escape hatch if a

@@ -202,6 +202,13 @@ type CampaignConfig struct {
 	// those seeds are replayed from the record instead of re-run, which
 	// is how a resumed campaign reproduces the identical final report.
 	Resumed map[int64]Verdict
+	// Telemetry, when non-nil, receives stage spans, verdict counters,
+	// generator coverage and cache/journal gauges as the campaign runs
+	// (see NewCampaignTelemetry). Telemetry observes and never steers:
+	// verdicts and reports are byte-identical with it on or off, and a
+	// nil Telemetry keeps every instrumentation point at a bare nil
+	// check.
+	Telemetry *CampaignTelemetry
 }
 
 // Detection records one detected difference.
@@ -272,6 +279,8 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 // ctx.Err(), with every completed verdict already journaled — the
 // partial run is resumable via CampaignConfig.Resumed.
 func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	cfg.Telemetry.begin(cfg.Programs)
+	cfg.Telemetry.attachJournal(cfg.Journal)
 	res := newCampaignResult()
 	for i := 0; i < cfg.Programs; i++ {
 		if err := ctx.Err(); err != nil {
@@ -279,7 +288,9 @@ func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, e
 		}
 		seed := cfg.Seed + int64(i)
 		if v, ok := cfg.Resumed[seed]; ok {
-			if res.record(v, nil) && cfg.StopAtFirst {
+			isDetection := res.record(v, nil)
+			cfg.Telemetry.onVerdict(v)
+			if isDetection && cfg.StopAtFirst {
 				return res, nil
 			}
 			continue
@@ -292,8 +303,12 @@ func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, e
 			return res, ctx.Err()
 		}
 		isDetection := res.record(out.verdict, out.detection)
+		cfg.Telemetry.onVerdict(out.verdict)
 		if cfg.Journal != nil {
-			if err := cfg.Journal.Append(out.verdict); err != nil {
+			t0 := cfg.Telemetry.stageStart()
+			err := cfg.Journal.Append(out.verdict)
+			cfg.Telemetry.journalDone(t0)
+			if err != nil {
 				return res, fmt.Errorf("difftest: journal: %w", err)
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 )
 
 // journalVersion guards the on-disk format.
@@ -74,6 +75,10 @@ func headerMatches(a, b journalHeader) bool {
 type Journal struct {
 	f    *os.File
 	path string
+	// I/O accounting, atomic because telemetry's export-time gauges
+	// read them from scrape goroutines while the campaign appends.
+	lines atomic.Int64
+	bytes atomic.Int64
 }
 
 // CreateJournal starts a fresh journal at path, truncating any
@@ -208,7 +213,15 @@ func (j *Journal) writeLine(line []byte) error {
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	j.lines.Add(1)
+	j.bytes.Add(int64(len(buf)))
 	return nil
+}
+
+// Written reports the lines (header included) and bytes this handle
+// has appended. Safe for concurrent use.
+func (j *Journal) Written() (lines, bytes int64) {
+	return j.lines.Load(), j.bytes.Load()
 }
 
 // Path returns the journal's file path.

@@ -42,6 +42,8 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 	if cfg.Programs <= 0 {
 		return newCampaignResult(), nil
 	}
+	cfg.Telemetry.begin(cfg.Programs)
+	cfg.Telemetry.attachJournal(cfg.Journal)
 
 	type generated struct {
 		idx  int
@@ -159,7 +161,9 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 			seed := cfg.Seed + int64(next)
 			if v, ok := cfg.Resumed[seed]; ok {
 				next++
-				if res.record(v, nil) && cfg.StopAtFirst {
+				isDetection := res.record(v, nil)
+				cfg.Telemetry.onVerdict(v)
+				if isDetection && cfg.StopAtFirst {
 					done, complete = true, true
 				}
 				continue
@@ -180,8 +184,12 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 				return
 			}
 			isDetection := res.record(cur.verdict, cur.detection)
+			cfg.Telemetry.onVerdict(cur.verdict)
 			if cfg.Journal != nil {
-				if err := cfg.Journal.Append(cur.verdict); err != nil {
+				t0 := cfg.Telemetry.stageStart()
+				err := cfg.Journal.Append(cur.verdict)
+				cfg.Telemetry.journalDone(t0)
+				if err != nil {
 					journalErr = err
 					done = true
 					return

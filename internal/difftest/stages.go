@@ -57,13 +57,31 @@ func runSeed(ctx context.Context, cfg *CampaignConfig, seed int64) seedOutcome {
 // injector: the generator is our own deterministic code, and a
 // contained panic here is a generator bug worth a verdict of its own.
 func generateStage(cfg *CampaignConfig, seed int64) (p *gen.Program, sf *StageFailure, err error) {
+	t0 := cfg.Telemetry.stageStart()
 	sf = guard(StageGenerate, seed, nil, func() {
-		p, err = gen.Generate(gen.Config{Preset: cfg.Preset, Size: cfg.Size, Seed: seed})
+		p, err = gen.Generate(gen.Config{
+			Preset: cfg.Preset, Size: cfg.Size, Seed: seed,
+			Metrics: cfg.Telemetry.genMetrics(),
+		})
 	})
 	if sf != nil {
 		p, err = nil, nil
 	}
+	cfg.Telemetry.stageDone(seed, StageGenerate, t0, spanOutcome(sf, err))
 	return p, sf, err
+}
+
+// spanOutcome classifies a stage execution for its span record.
+func spanOutcome(sf *StageFailure, err error) string {
+	switch {
+	case sf != nil && sf.Injected:
+		return "injected"
+	case sf != nil:
+		return "panic"
+	case err != nil:
+		return "error"
+	}
+	return "ok"
 }
 
 // attemptResult is one attempt's outcome, before retry accounting.
@@ -85,6 +103,9 @@ func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 	var inj *faultinject.Injector
 	if cfg.Faults != nil {
 		inj = faultinject.New(cfg.Faults.ForSeed(seed))
+		if cfg.Telemetry != nil {
+			inj.SetObserver(cfg.Telemetry.onFault)
+		}
 	}
 	backoff := cfg.RetryBackoff
 	if backoff <= 0 {
@@ -136,11 +157,14 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 	// the wrong-rejection half of the NC oracle, recorded per config
 	// exactly as CompileConfigs reports it.
 	var verr error
+	t0 := cfg.Telemetry.stageStart()
 	if sf := guard(StageVerify, seed, m, func() {
 		verr = verify.Module(m, dialects.SourceSpecs())
 	}); sf != nil {
+		cfg.Telemetry.stageDone(seed, StageVerify, t0, spanOutcome(sf, nil))
 		return fail(sf)
 	}
+	cfg.Telemetry.stageDone(seed, StageVerify, t0, spanOutcome(nil, verr))
 
 	rep := &Report{
 		Preset:    cfg.Preset,
@@ -156,12 +180,16 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 		// minus the verification already done above.
 		opts := &compiler.Options{Bugs: cfg.Bugs, Ctx: pctx, Faults: inj, SkipVerify: true}
 		var outs []compiler.ConfigResult
+		tc := cfg.Telemetry.stageStart()
 		if sf := guard(StageCompile, seed, m, func() {
 			outs = compiler.CompileConfigsOpts(m, cfg.Preset, opts, BuildConfigs)
 		}); sf != nil {
+			cfg.Telemetry.stageDone(seed, StageCompile, tc, spanOutcome(sf, nil))
 			return fail(sf)
 		}
+		cfg.Telemetry.stageDone(seed, StageCompile, tc, "ok")
 		// Interpret stage: run each successfully compiled config.
+		ti := cfg.Telemetry.stageStart()
 		if sf := guard(StageInterpret, seed, m, func() {
 			for i, bc := range BuildConfigs {
 				var lr LevelResult
@@ -171,6 +199,7 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 					ex := dialects.NewExecutor()
 					ex.Ctx = pctx
 					ex.Faults = inj
+					ex.Metrics = cfg.Telemetry.interpMetrics()
 					res, err := ex.Run(outs[i].Module, "main")
 					if err != nil {
 						lr.RunErr = err
@@ -181,8 +210,10 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 				rep.Levels[bc] = lr
 			}
 		}); sf != nil {
+			cfg.Telemetry.stageDone(seed, StageInterpret, ti, spanOutcome(sf, nil))
 			return fail(sf)
 		}
+		cfg.Telemetry.stageDone(seed, StageInterpret, ti, "ok")
 	}
 
 	// Classification sweep: injected errors and expired budgets landed
@@ -239,11 +270,14 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 
 	// Compare stage.
 	var oracle Oracle
+	tcmp := cfg.Telemetry.stageStart()
 	if sf := guard(StageCompare, seed, m, func() {
 		oracle = rep.Detected()
 	}); sf != nil {
+		cfg.Telemetry.stageDone(seed, StageCompare, tcmp, spanOutcome(sf, nil))
 		return fail(sf)
 	}
+	cfg.Telemetry.stageDone(seed, StageCompare, tcmp, "ok")
 	if oracle == OracleNone {
 		return attemptResult{verdict: Verdict{Seed: seed, Kind: VerdictOK}}
 	}

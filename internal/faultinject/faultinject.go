@@ -145,11 +145,12 @@ func IsInjectedPanic(v any) bool {
 // one per program attempt and threads it through that attempt's
 // single-goroutine pipeline.
 type Injector struct {
-	spec   Spec
-	delay  time.Duration
-	counts map[string]int64
-	hits   int
-	fired  []Fault
+	spec     Spec
+	delay    time.Duration
+	counts   map[string]int64
+	hits     int
+	fired    []Fault
+	observer func(Fault)
 }
 
 // Fault records one fault that fired.
@@ -185,6 +186,17 @@ func (in *Injector) Fired() []Fault {
 	return in.fired
 }
 
+// SetObserver installs a callback invoked as each fault fires (before
+// the fault is applied, so it runs even for panics). Observation must
+// not influence the work under test — the campaign's telemetry layer
+// uses it to count faults by site and kind. A nil receiver is a no-op;
+// fn may be nil to clear.
+func (in *Injector) SetObserver(fn func(Fault)) {
+	if in != nil {
+		in.observer = fn
+	}
+}
+
 // Point is a fault point: it decides deterministically whether this
 // occurrence of site faults, and if so applies the fault — panicking
 // for KindPanic, sleeping for KindDelay (then returning nil), or
@@ -209,6 +221,9 @@ func (in *Injector) Point(site string) error {
 	kind := in.pickKind(h)
 	in.hits++
 	in.fired = append(in.fired, Fault{Site: site, N: n, Kind: kind})
+	if in.observer != nil {
+		in.observer(Fault{Site: site, N: n, Kind: kind})
+	}
 	switch kind {
 	case KindPanic:
 		panic(&Panic{Site: site, N: n})

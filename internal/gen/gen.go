@@ -21,12 +21,14 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"ratte/internal/dialects"
 	"ratte/internal/ir"
 	"ratte/internal/rtval"
 	"ratte/internal/scoped"
 	"ratte/internal/semantics"
+	"ratte/internal/telemetry"
 )
 
 // Config parameterises one program generation.
@@ -41,6 +43,45 @@ type Config struct {
 	Seed int64
 	// MaxPrints caps the epilogue's output statements (0 = default 8).
 	MaxPrints int
+	// Metrics, when non-nil, receives generator telemetry: one count
+	// per emitted operation, keyed by op and by dialect — the output-
+	// coverage distribution the paper's evaluation reports. Counting
+	// never influences generation; nil disables it entirely.
+	Metrics *Metrics
+}
+
+// Metrics is the generator's telemetry bundle. Any field may be nil.
+type Metrics struct {
+	// Programs counts completed generations.
+	Programs *telemetry.Counter
+	// Ops counts emitted operations by full op name ("arith.addi").
+	Ops *telemetry.CounterVec
+	// Dialects counts emitted operations by dialect prefix ("arith").
+	Dialects *telemetry.CounterVec
+}
+
+// NewMetrics builds generator metrics registered under the standard
+// series names. A nil registry yields nil (telemetry disabled).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Programs: reg.Counter("ratte_gen_programs_total", "programs generated"),
+		Ops:      reg.CounterVec("ratte_gen_ops_total", "op", "operations emitted by op name"),
+		Dialects: reg.CounterVec("ratte_gen_dialect_ops_total", "dialect", "operations emitted by dialect"),
+	}
+}
+
+// noteOp records one emitted operation.
+func (m *Metrics) noteOp(name string) {
+	if m == nil {
+		return
+	}
+	m.Ops.Inc(name)
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		m.Dialects.Inc(name[:i])
+	}
 }
 
 // Program is a generated test case: the module plus the expected output
@@ -131,6 +172,9 @@ func (g *generator) run() (*Program, error) {
 	g.block.Append(ret)
 	g.store.PopScope()
 
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.Programs.Inc()
+	}
 	return &Program{Module: g.module, Expected: g.store.Output()}, nil
 }
 
@@ -157,6 +201,7 @@ func (g *generator) emit(op *ir.Operation) error {
 		return fmt.Errorf("extension rejected by semantics: %w", err)
 	}
 	g.block.Append(op)
+	g.cfg.Metrics.noteOp(op.Name)
 	return nil
 }
 

@@ -24,12 +24,14 @@ func (in *Interpreter) RunProgram(p *CompiledProgram, entry string) (*Result, er
 		return nil, p.setupErr
 	}
 	ctx := acquireContext(in, p)
+	stepsBefore := ctx.stepsLeft
 	vals, err := ctx.callCompiled(entry, nil)
 	if err != nil {
 		releaseContext(ctx)
 		return nil, err
 	}
 	res := &Result{Output: string(ctx.out), Returned: vals}
+	in.Metrics.noteRun(stepsBefore-ctx.stepsLeft, true)
 	releaseContext(ctx)
 	return res, nil
 }

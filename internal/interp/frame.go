@@ -10,6 +10,8 @@ package interp
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ratte/internal/ir"
 	"ratte/internal/rtval"
@@ -110,6 +112,13 @@ type ProgramCache struct {
 	seen    map[seenKey]uint8
 	hits    uint64
 	misses  uint64
+	// Always-on accounting beyond hit/miss: evictions, and the time
+	// spent inside Compile on the miss paths. Timing only ever brackets
+	// a compilation — a heavyweight, off-hot-path event — so keeping it
+	// unconditional costs nothing measurable and lets telemetry export
+	// cache behaviour without touching the run path.
+	evictions    uint64
+	compileNanos atomic.Int64
 }
 
 type programKey struct {
@@ -164,7 +173,7 @@ func (c *ProgramCache) Get(r *Registry, m *ir.Module) *CompiledProgram {
 		c.seen[sk] = n + 1
 		c.misses++
 		c.mu.Unlock()
-		return Compile(r, m)
+		return c.timedCompile(r, m)
 	}
 	c.mu.Unlock()
 
@@ -177,7 +186,7 @@ func (c *ProgramCache) Get(r *Registry, m *ir.Module) *CompiledProgram {
 	}
 	c.mu.Unlock()
 
-	p := Compile(r, m)
+	p := c.timedCompile(r, m)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -189,10 +198,19 @@ func (c *ProgramCache) Get(r *Registry, m *ir.Module) *CompiledProgram {
 	if len(c.entries) >= c.max {
 		for k := range c.entries {
 			delete(c.entries, k)
+			c.evictions++
 			break
 		}
 	}
 	c.entries[key] = p
+	return p
+}
+
+// timedCompile is Compile with the cache's compile-time accounting.
+func (c *ProgramCache) timedCompile(r *Registry, m *ir.Module) *CompiledProgram {
+	start := time.Now()
+	p := Compile(r, m)
+	c.compileNanos.Add(int64(time.Since(start)))
 	return p
 }
 
@@ -201,4 +219,30 @@ func (c *ProgramCache) Stats() (hits, misses uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.entries)
+}
+
+// CacheStats is the full accounting snapshot of a ProgramCache.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+	// CompileTime is the cumulative wall-clock spent inside Compile on
+	// the cache's miss paths (admission-gated direct compiles included).
+	CompileTime time.Duration
+}
+
+// StatsDetail returns the cache's full counters — the accessor the
+// telemetry exporter and the admission-policy tests read. Safe for
+// concurrent use.
+func (c *ProgramCache) StatsDetail() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Size:        len(c.entries),
+		CompileTime: time.Duration(c.compileNanos.Load()),
+	}
 }

@@ -185,6 +185,12 @@ type Interpreter struct {
 	// (sites interp/dispatch and interp/registry). Production runs
 	// leave it nil and pay one nil check per dispatched operation.
 	Faults *faultinject.Injector
+
+	// Metrics, when non-nil, receives per-run execution counters
+	// (runs, steps, engine choice). Reporting happens once per Run —
+	// never per operation — so it is off the dispatch hot path; nil
+	// costs one check per Run.
+	Metrics *Metrics
 }
 
 // cancelCheckInterval is how many evaluated operations pass between
@@ -273,10 +279,12 @@ func (in *Interpreter) Run(m *ir.Module, entry string) (*Result, error) {
 			return nil, fmt.Errorf("interp: unsupported top-level operation %s", op.Name)
 		}
 	}
+	stepsBefore := ctx.stepsLeft
 	vals, err := ctx.CallFunc(entry, nil)
 	if err != nil {
 		return nil, err
 	}
+	in.Metrics.noteRun(stepsBefore-ctx.stepsLeft, false)
 	return &Result{Output: ctx.Output(), Returned: vals}, nil
 }
 

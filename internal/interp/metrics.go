@@ -1,0 +1,73 @@
+// Execution telemetry: optional counters an Interpreter feeds as it
+// runs. The instrumentation points are per-run, never per-op — a run
+// increments a run counter and adds the steps it consumed, both single
+// atomic adds — so an enabled registry costs the same allocations as a
+// disabled one on the interpret hot path (the alloc guard in
+// telemetry_test.go pins both at equal).
+package interp
+
+import (
+	"ratte/internal/telemetry"
+)
+
+// Metrics is the set of execution counters an Interpreter reports
+// into. Any field may be nil (nil instruments are no-ops), and a nil
+// *Metrics disables reporting entirely — the interpreter then pays one
+// nil check per Run.
+type Metrics struct {
+	// Runs counts completed evaluations (tree-walked or compiled).
+	Runs *telemetry.Counter
+	// CompiledRuns counts the subset executed by the compiled engine.
+	CompiledRuns *telemetry.Counter
+	// Steps accumulates operations evaluated across all runs.
+	Steps *telemetry.Counter
+}
+
+// NewMetrics builds interpreter metrics registered under the standard
+// series names. A nil registry yields nil (reporting disabled).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Runs:         reg.Counter("ratte_interp_runs_total", "completed module evaluations"),
+		CompiledRuns: reg.Counter("ratte_interp_compiled_runs_total", "evaluations executed by the compiled engine"),
+		Steps:        reg.Counter("ratte_interp_steps_total", "operations evaluated"),
+	}
+}
+
+// noteRun records one completed evaluation that consumed the given
+// number of steps.
+func (m *Metrics) noteRun(steps int, compiled bool) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	if compiled {
+		m.CompiledRuns.Inc()
+	}
+	if steps > 0 {
+		m.Steps.Add(uint64(steps))
+	}
+}
+
+// RegisterProgramCacheMetrics exposes a program cache's counters as
+// callback gauges under the given cache label ("source", "executor").
+// Zero hot-path cost: the cache's own always-on counters are read at
+// export time. Nil registry or cache is a no-op.
+func RegisterProgramCacheMetrics(reg *telemetry.Registry, label string, c *ProgramCache) {
+	if reg == nil || c == nil {
+		return
+	}
+	l := `cache="` + label + `"`
+	reg.GaugeFuncWith("ratte_interp_program_cache_hits", l, "program cache hits",
+		func() int64 { return int64(c.StatsDetail().Hits) })
+	reg.GaugeFuncWith("ratte_interp_program_cache_misses", l, "program cache misses",
+		func() int64 { return int64(c.StatsDetail().Misses) })
+	reg.GaugeFuncWith("ratte_interp_program_cache_evictions", l, "program cache evictions",
+		func() int64 { return int64(c.StatsDetail().Evictions) })
+	reg.GaugeFuncWith("ratte_interp_program_cache_size", l, "cached compiled programs",
+		func() int64 { return int64(c.StatsDetail().Size) })
+	reg.GaugeFuncWith("ratte_interp_program_cache_compile_ns", l, "nanoseconds spent compiling on cache misses",
+		func() int64 { return c.StatsDetail().CompileTime.Nanoseconds() })
+}

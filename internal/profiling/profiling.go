@@ -12,6 +12,49 @@ import (
 	"runtime/pprof"
 )
 
+// Options selects which profiles a run collects. Empty paths disable
+// the corresponding profile.
+type Options struct {
+	CPUPath   string // CPU profile, sampled for the whole run
+	MemPath   string // heap profile, written at clean shutdown
+	BlockPath string // goroutine blocking profile, written at shutdown
+	MutexPath string // mutex contention profile, written at shutdown
+
+	// BlockRate and MutexFraction tune the runtime's contention
+	// samplers when the corresponding path is set (or when the live
+	// /debug/pprof endpoints should have data). Zero means the
+	// defaults below.
+	BlockRate     int
+	MutexFraction int
+}
+
+// Sampling defaults: block profiling records every event >=1µs rather
+// than every event (rate 1 is measurably slow under heavy channel
+// traffic), and mutex profiling samples 1 in 5 contended acquisitions.
+const (
+	DefaultBlockRate     = 1000 // nanoseconds, runtime.SetBlockProfileRate
+	DefaultMutexFraction = 5    // runtime.SetMutexProfileFraction
+)
+
+// EnableContention turns on the runtime's block and mutex samplers so
+// contention profiles — written at shutdown or scraped live from
+// /debug/pprof/{block,mutex} — have data. Zero arguments select the
+// package defaults; negative arguments leave the sampler untouched.
+func EnableContention(blockRate, mutexFraction int) {
+	if blockRate == 0 {
+		blockRate = DefaultBlockRate
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+	if mutexFraction == 0 {
+		mutexFraction = DefaultMutexFraction
+	}
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+}
+
 // Start begins CPU profiling (when cpuPath is non-empty) and returns a
 // stop function that finishes the CPU profile and writes a heap profile
 // to memPath (when non-empty). Profiles are written only on a clean
@@ -20,9 +63,17 @@ import (
 // Stop is safe to call exactly once; with both paths empty it is a
 // no-op.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
+	return StartProfiles(Options{CPUPath: cpuPath, MemPath: memPath})
+}
+
+// StartProfiles is Start generalised to the full profile set. Block
+// and mutex sampling are enabled up front when their paths are set (a
+// profile enabled at shutdown would be empty) and the profiles are
+// written by the returned stop function.
+func StartProfiles(o Options) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if o.CPUPath != "" {
+		cpuFile, err = os.Create(o.CPUPath)
 		if err != nil {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
@@ -31,6 +82,16 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
 	}
+	if o.BlockPath != "" || o.MutexPath != "" {
+		block, mutex := -1, -1
+		if o.BlockPath != "" {
+			block = o.BlockRate
+		}
+		if o.MutexPath != "" {
+			mutex = o.MutexFraction
+		}
+		EnableContention(block, mutex)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -38,17 +99,39 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("profiling: %w", err)
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return fmt.Errorf("profiling: %w", err)
-			}
-			defer f.Close()
+		if o.MemPath != "" {
 			runtime.GC() // settle the heap so the profile shows live objects
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("profiling: %w", err)
+			if err := writeProfile("heap", o.MemPath); err != nil {
+				return err
+			}
+		}
+		if o.BlockPath != "" {
+			if err := writeProfile("block", o.BlockPath); err != nil {
+				return err
+			}
+		}
+		if o.MutexPath != "" {
+			if err := writeProfile("mutex", o.MutexPath); err != nil {
+				return err
 			}
 		}
 		return nil
 	}, nil
+}
+
+// writeProfile dumps one named runtime profile to path.
+func writeProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("profiling: no %s profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
 }

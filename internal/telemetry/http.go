@@ -1,0 +1,91 @@
+// Live introspection: the -metrics-addr HTTP endpoint. One small mux
+// serves the Prometheus text format at /metrics, a JSON snapshot at
+// /debug/vars, and the standard pprof handler suite (profile, heap,
+// goroutine, block, mutex, trace, ...) under /debug/pprof/ — the
+// block and mutex profiles are populated when the caller enables
+// their runtime sampling (see internal/profiling.EnableContention).
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (host:port; port 0
+// picks a free port) over the given registry, and returns once the
+// listener is bound. Process metrics (goroutines, heap, GC) are
+// registered on the registry as callback gauges.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	RegisterProcessMetrics(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// RegisterProcessMetrics registers process-level callback gauges
+// (goroutine count, heap bytes, GC cycles) on the registry.
+// Registration is idempotent; a nil registry is a no-op.
+func RegisterProcessMetrics(reg *Registry) {
+	reg.GaugeFunc("ratte_process_goroutines", "current goroutine count",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("ratte_process_heap_alloc_bytes", "bytes of allocated heap objects",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("ratte_process_gc_cycles", "completed GC cycles",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.NumGC)
+		})
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ratte_test_total", "a counter").Add(3)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "ratte_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	// Serve registers process gauges on the registry.
+	if !strings.Contains(body, "ratte_process_goroutines") {
+		t.Error("/metrics missing process metrics")
+	}
+
+	body, ctype = get("/debug/vars")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/debug/vars content type %q", ctype)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars invalid JSON: %v", err)
+	}
+	if vars["ratte_test_total"].(float64) != 3 {
+		t.Errorf("/debug/vars counter = %v", vars["ratte_test_total"])
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+	body, _ = get("/debug/pprof/goroutine?debug=1")
+	if !strings.Contains(body, "goroutine profile") {
+		t.Errorf("goroutine profile malformed:\n%.200s", body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:0", NewRegistry()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"ratte/internal/mlirsmith"
 	"ratte/internal/mutate"
 	"ratte/internal/reduce"
+	"ratte/internal/telemetry"
 	"ratte/internal/verify"
 )
 
@@ -256,6 +257,34 @@ func RunConformance(o ConformanceOracle, cfg ConformanceConfig) (*ConformanceRes
 // returning the corpus and any violations.
 func ReplayRegressions(dir string) ([]*Regression, []error) {
 	return conformance.ReplayCorpus(dir)
+}
+
+// Observability: the campaign telemetry layer (metrics registry, stage
+// tracing, live introspection). Attaching telemetry never changes a
+// campaign's results — reports are byte-identical with it on or off.
+type (
+	// CampaignTelemetry instruments one campaign; attach it via
+	// CampaignConfig.Telemetry and export via its Registry.
+	CampaignTelemetry = difftest.CampaignTelemetry
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// renders them as Prometheus text or a JSON snapshot.
+	MetricsRegistry = telemetry.Registry
+)
+
+// NewCampaignTelemetry builds the campaign instrument bundle on reg (a
+// fresh private registry when reg is nil).
+func NewCampaignTelemetry(reg *MetricsRegistry) *CampaignTelemetry {
+	return difftest.NewCampaignTelemetry(reg)
+}
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// ServeMetrics starts an HTTP introspection endpoint (Prometheus
+// /metrics, JSON /debug/vars, the pprof suite) on addr over reg; close
+// the returned server when done.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*telemetry.Server, error) {
+	return telemetry.Serve(addr, reg)
 }
 
 // NoBugs returns the correct-compiler selection.
