@@ -56,6 +56,8 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel workers (all modes)")
 	journal := flag.String("journal", "", "append campaign verdicts to this JSONL file (ad-hoc campaigns)")
 	resume := flag.Bool("resume", false, "resume the campaign recorded in -journal, skipping verdicted seeds")
+	family := flag.Int("family", 0, "mutation-family size: test each generated program plus N-1 constant-mutated variants (ad-hoc campaigns)")
+	batched := flag.Bool("batched", false, "share verification, compilation and interpreter compilation across each mutation family")
 	timeout := flag.Duration("timeout-per-program", 0, "wall-clock budget per program (0 = unbounded)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic fault-injection rate in [0,1] (robustness testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the injected-fault schedule")
@@ -94,6 +96,7 @@ func main() {
 			preset: *preset, programs: *programs, size: *size, seed: *seed,
 			bugList: *bugList, doReduce: *reduceFlag, workers: *workers,
 			journal: *journal, resume: *resume, timeout: *timeout,
+			family: *family, batched: *batched,
 			faultRate: *faultRate, faultSeed: *faultSeed, retries: *retries,
 			metricsAddr: *metricsAddr, metricsDump: *metricsDump, progress: *progress,
 		})
@@ -360,6 +363,8 @@ type adhocOptions struct {
 	faultRate float64
 	faultSeed int64
 	retries   int
+	family    int
+	batched   bool
 
 	metricsAddr string
 	metricsDump string
@@ -393,6 +398,8 @@ func adhoc(o adhocOptions) {
 		Bugs:       bugSet,
 		Timeout:    o.timeout,
 		MaxRetries: o.retries,
+		FamilySize: o.family,
+		Batched:    o.batched,
 	}
 	if o.faultRate > 0 {
 		cfg.Faults = &faultinject.Spec{

@@ -91,23 +91,35 @@ func (a engineOutcome) diff(b engineOutcome) string {
 const engineMaxSteps = 2_000_000
 
 // CheckEngineAgreement runs one module under the tree walker and the
-// compiled engine (both over the full executor registry, so any
-// lowering level is accepted) and reports their first disagreement;
+// compiled engine — the latter twice, with superinstruction fusion
+// disabled and enabled — (all over the full executor registry, so any
+// lowering level is accepted) and reports the first disagreement;
 // stage labels the module's position in the pipeline for the report.
-// Exported for the regression-corpus replayer, which re-checks the
-// agreement over every persisted counterexample.
+// The three-way check is what pins fusion as a pure execution
+// strategy: fused and unfused compiled programs must be byte-identical
+// to each other AND to the walker, including error text and UB/trap
+// classification. Exported for the regression-corpus replayer, which
+// re-checks the agreement over every persisted counterexample.
 func CheckEngineAgreement(m *ir.Module, stage string) *Failure {
 	tree := dialects.NewTreeWalkingExecutor()
 	tree.MaxSteps = engineMaxSteps
 	treeOut := outcomeOf(tree.Run(m, "main"))
 
-	compiled := dialects.NewTreeWalkingExecutor()
-	compiled.MaxSteps = engineMaxSteps
-	prog := interp.Compile(dialects.ExecutorRegistry(), m)
-	compOut := outcomeOf(compiled.RunProgram(prog, "main"))
+	unfused := dialects.NewTreeWalkingExecutor()
+	unfused.MaxSteps = engineMaxSteps
+	uprog := interp.CompileWith(dialects.ExecutorRegistry(), m, interp.CompileOptions{DisableFusion: true})
+	unfusedOut := outcomeOf(unfused.RunProgram(uprog, "main"))
 
-	if d := treeOut.diff(compOut); d != "" {
-		return &Failure{Detail: fmt.Sprintf("engines disagree at %s: %s", stage, d)}
+	fused := dialects.NewTreeWalkingExecutor()
+	fused.MaxSteps = engineMaxSteps
+	fprog := interp.Compile(dialects.ExecutorRegistry(), m)
+	fusedOut := outcomeOf(fused.RunProgram(fprog, "main"))
+
+	if d := treeOut.diff(unfusedOut); d != "" {
+		return &Failure{Detail: fmt.Sprintf("engines disagree at %s (fusion off): %s", stage, d)}
+	}
+	if d := treeOut.diff(fusedOut); d != "" {
+		return &Failure{Detail: fmt.Sprintf("engines disagree at %s (fusion on): %s", stage, d)}
 	}
 	return nil
 }

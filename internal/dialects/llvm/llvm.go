@@ -110,14 +110,19 @@ func Semantics() *interp.Dialect {
 		}
 		switch t := op.Results[0].Type.(type) {
 		case ir.IntegerType:
-			return ctx.Define(op.Results[0], rtval.NewInt(t.Width, v.Value))
+			return ctx.Define(op.Results[0], rtval.Box(rtval.NewInt(t.Width, v.Value)))
 		case ir.IndexType:
-			return ctx.Define(op.Results[0], rtval.NewIndex(v.Value))
+			return ctx.Define(op.Results[0], rtval.Box(rtval.NewIndex(v.Value)))
 		default:
 			return fmt.Errorf("llvm.mlir.constant with unsupported type %s", t)
 		}
 	})
+	d.RegisterFusable("llvm.mlir.constant", interp.FuseSpec{Kind: interp.FuseConst, Const: constValue})
 
+	// Executor arithmetic fuses too: lowered modules are where the
+	// campaign spends most of its execution budget. The fuse spec shares
+	// the kernel's semantic closure, so poison and trap modelling is
+	// identical either way.
 	bin := func(name string, f func(a, b rtval.Int) (rtval.Int, error)) {
 		d.Register(name, func(ctx *interp.Context, op *ir.Operation) error {
 			a, err := ctx.GetInt(op.Operands[0])
@@ -132,8 +137,9 @@ func Semantics() *interp.Dialect {
 			if err != nil {
 				return err
 			}
-			return ctx.Define(op.Results[0], r)
+			return ctx.Define(op.Results[0], rtval.Box(r))
 		})
+		d.RegisterFusable(name, interp.FuseSpec{Kind: interp.FuseBinErr, Err: f})
 	}
 
 	bin("llvm.add", func(a, b rtval.Int) (rtval.Int, error) { return a.Add(b), nil })
@@ -233,8 +239,9 @@ func Semantics() *interp.Dialect {
 		if err != nil {
 			return err
 		}
-		return ctx.Define(op.Results[0], r)
+		return ctx.Define(op.Results[0], rtval.Box(r))
 	})
+	d.RegisterFusable("llvm.icmp", interp.FuseSpec{Kind: interp.FuseCmp, Cmp: bindIcmp})
 
 	d.Register("llvm.select", func(ctx *interp.Context, op *ir.Operation) error {
 		cond, err := ctx.GetInt(op.Operands[0])
@@ -250,10 +257,11 @@ func Semantics() *interp.Dialect {
 			return err
 		}
 		if !cond.Defined() {
-			return ctx.Define(op.Results[0], poisonLike(t))
+			return ctx.Define(op.Results[0], rtval.Box(poisonLike(t)))
 		}
-		return ctx.Define(op.Results[0], cond.Select(t, f))
+		return ctx.Define(op.Results[0], rtval.Box(cond.Select(t, f)))
 	})
+	d.RegisterFusable("llvm.select", interp.FuseSpec{Kind: interp.FuseSelect, Sel: fusedSelect})
 
 	cast := func(name string, f func(a rtval.Int, to ir.Type) rtval.Int) {
 		d.Register(name, func(ctx *interp.Context, op *ir.Operation) error {
@@ -261,8 +269,9 @@ func Semantics() *interp.Dialect {
 			if err != nil {
 				return err
 			}
-			return ctx.Define(op.Results[0], f(a, op.Results[0].Type))
+			return ctx.Define(op.Results[0], rtval.Box(f(a, op.Results[0].Type)))
 		})
+		d.RegisterFusable(name, interp.FuseSpec{Kind: interp.FuseCast, Cast: f})
 	}
 	cast("llvm.trunc", func(a rtval.Int, to ir.Type) rtval.Int {
 		w, _ := ir.BitWidth(to)
@@ -307,6 +316,43 @@ func poisonLike(a rtval.Int) rtval.Int {
 		return rtval.UndefInt(ir.Index)
 	}
 	return rtval.UndefInt(ir.I(a.Width()))
+}
+
+// constValue extracts a scalar llvm.mlir.constant at compile time; a
+// malformed constant declines so the kernel raises its exact error.
+func constValue(op *ir.Operation) (rtval.Int, bool) {
+	v, ok := op.Attrs.Get("value").(ir.IntegerAttr)
+	if !ok {
+		return rtval.Int{}, false
+	}
+	switch t := op.Results[0].Type.(type) {
+	case ir.IntegerType:
+		return rtval.NewInt(t.Width, v.Value), true
+	case ir.IndexType:
+		return rtval.NewIndex(v.Value), true
+	}
+	return rtval.Int{}, false
+}
+
+// bindIcmp binds llvm.icmp's predicate at compile time; missing
+// predicates decline (the kernel reports the error).
+func bindIcmp(op *ir.Operation) (func(a, b rtval.Int) (rtval.Int, error), bool) {
+	p, ok := op.Attrs.IntValueOf("predicate")
+	if !ok {
+		return nil, false
+	}
+	pred := rtval.CmpPredicate(p)
+	return func(a, b rtval.Int) (rtval.Int, error) { return a.Cmp(pred, b) }, true
+}
+
+// fusedSelect is llvm.select over already-read operands: an undefined
+// condition yields poison of the true branch's shape (hardware select
+// semantics), never an error.
+func fusedSelect(cond, t, f rtval.Int) (rtval.Int, error) {
+	if !cond.Defined() {
+		return poisonLike(t), nil
+	}
+	return cond.Select(t, f), nil
 }
 
 // Specs returns the static rules for the llvm dialect. The target-level

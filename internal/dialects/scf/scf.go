@@ -84,7 +84,7 @@ func Semantics() *interp.Dialect {
 		// iteration is safe and keeps the hot loop allocation-free.
 		args := make([]rtval.Value, 1+len(carried))
 		for iv := lb.Signed(); iv < ub.Signed(); iv += step.Signed() {
-			args[0] = rtval.NewIndex(iv)
+			args[0] = rtval.Box(rtval.NewIndex(iv))
 			copy(args[1:], carried)
 			exit, err := ctx.RunRegion(op.Regions[0], args, scoped.Standard)
 			if err != nil {
@@ -107,16 +107,28 @@ func Semantics() *interp.Dialect {
 	})
 
 	d.RegisterTerminator("scf.yield", func(ctx *interp.Context, op *ir.Operation) (interp.TermResult, error) {
-		vals := make([]rtval.Value, len(op.Operands))
+		// The per-depth reusable Exit keeps structured loops
+		// allocation-free: scf.if and scf.for both consume the yielded
+		// values before re-running any region at this depth.
+		ex := ctx.YieldExit(len(op.Operands))
 		for i, operand := range op.Operands {
 			v, err := ctx.Get(operand)
 			if err != nil {
 				return interp.TermResult{}, err
 			}
-			vals[i] = v
+			ex.Values[i] = v
 		}
-		return interp.TermResult{Exit: &interp.Exit{Kind: interp.ExitYield, Values: vals}}, nil
+		return interp.TermResult{Exit: ex}, nil
 	})
+	d.RegisterFusable("scf.yield", interp.FuseSpec{Kind: interp.FuseYield})
+	// scf.for follows the engine's counted-loop protocol; the closure
+	// is the kernel's exact step validation.
+	d.RegisterFusable("scf.for", interp.FuseSpec{Kind: interp.FuseFor, StepCheck: func(step rtval.Int) error {
+		if step.Signed() <= 0 {
+			return &rtval.UBError{Op: "scf.for", Reason: "loop step must be positive"}
+		}
+		return nil
+	}})
 
 	return d
 }

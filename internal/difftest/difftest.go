@@ -202,6 +202,24 @@ type CampaignConfig struct {
 	// those seeds are replayed from the record instead of re-run, which
 	// is how a resumed campaign reproduces the identical final report.
 	Resumed map[int64]Verdict
+	// FamilySize, when greater than 1, partitions the campaign's seed
+	// space into mutation families of FamilySize consecutive seeds:
+	// each family generates one base program from its first seed,
+	// hoists main's scalar constants into entry arguments, and tests
+	// every member on its own argument vector (member 0 replays the
+	// original constants; later members mutate them deterministically
+	// from their seeds). Family mode requires fault-free, unbounded
+	// attempts: with Faults or Timeout configured it is ignored and
+	// the classic per-seed campaign runs.
+	FamilySize int
+	// Batched selects the shared-work execution strategy for family
+	// mode: one verify, one pass-pipeline compilation per build
+	// configuration and one interp.Compile per compiled configuration
+	// for the whole family, with members run through RunProgramArgs.
+	// Batched is purely an execution strategy — verdicts, journals and
+	// ReportText are byte-identical with it on or off — and has no
+	// effect outside family mode.
+	Batched bool
 	// Telemetry, when non-nil, receives stage spans, verdict counters,
 	// generator coverage and cache/journal gauges as the campaign runs
 	// (see NewCampaignTelemetry). Telemetry observes and never steers:
@@ -229,9 +247,11 @@ type CampaignResult struct {
 	// Verdicts records every seed's final outcome, in seed order —
 	// the in-memory mirror of the campaign journal.
 	Verdicts []Verdict
-	// StageFailures and Timeouts tally the contained failures.
+	// StageFailures and Timeouts tally the contained failures; Skipped
+	// tallies family members with no defined reference behaviour.
 	StageFailures int
 	Timeouts      int
+	Skipped       int
 	// Quarantined lists the seeds that never produced a testable
 	// attempt, in seed order.
 	Quarantined []int64
@@ -252,6 +272,8 @@ func (res *CampaignResult) record(v Verdict, det *Detection) bool {
 		res.StageFailures++
 	case VerdictTimeout:
 		res.Timeouts++
+	case VerdictSkipped:
+		res.Skipped++
 	}
 	if v.Quarantined {
 		res.Quarantined = append(res.Quarantined, v.Seed)
@@ -281,6 +303,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	cfg.Telemetry.begin(cfg.Programs)
 	cfg.Telemetry.attachJournal(cfg.Journal)
+	if familyActive(&cfg) {
+		return runCampaignFamilies(ctx, cfg)
+	}
 	res := newCampaignResult()
 	for i := 0; i < cfg.Programs; i++ {
 		if err := ctx.Err(); err != nil {

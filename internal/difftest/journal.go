@@ -32,6 +32,12 @@ type journalHeader struct {
 	Bugs      []int   `json:"bugs,omitempty"`
 	FaultSeed int64   `json:"fault_seed,omitempty"`
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Family is the mutation-family size when family mode is active
+	// (zero otherwise): family structure changes which program a seed
+	// tests, so a journal recorded with one family size must not be
+	// resumed under another. The Batched flag is deliberately absent —
+	// it never changes verdicts.
+	Family int `json:"family,omitempty"`
 }
 
 func headerFor(cfg *CampaignConfig) journalHeader {
@@ -51,13 +57,16 @@ func headerFor(cfg *CampaignConfig) journalHeader {
 		h.FaultSeed = cfg.Faults.Seed
 		h.FaultRate = cfg.Faults.Rate
 	}
+	if familyActive(cfg) {
+		h.Family = cfg.FamilySize
+	}
 	return h
 }
 
 func headerMatches(a, b journalHeader) bool {
 	if a.Version != b.Version || a.Preset != b.Preset || a.Size != b.Size ||
 		a.Seed != b.Seed || a.FaultSeed != b.FaultSeed || a.FaultRate != b.FaultRate ||
-		len(a.Bugs) != len(b.Bugs) {
+		a.Family != b.Family || len(a.Bugs) != len(b.Bugs) {
 		return false
 	}
 	for i := range a.Bugs {

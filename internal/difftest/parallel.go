@@ -59,6 +59,29 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	// Family mode changes the unit of pipeline work from one seed to
+	// one family: the feeder emits family-base indices, the generation
+	// stage produces base programs, and the testing stage fans each
+	// family back out into per-member outcomes. The collector is
+	// unchanged — it re-sequences member outcomes exactly as it
+	// re-sequences seed outcomes.
+	fam := familyActive(&cfg)
+	famCount := func(base int) int {
+		count := cfg.FamilySize
+		if base+count > cfg.Programs {
+			count = cfg.Programs - base
+		}
+		return count
+	}
+	famResumed := func(base int) bool {
+		for j := 0; j < famCount(base); j++ {
+			if _, ok := cfg.Resumed[cfg.Seed+int64(base+j)]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+
 	// Stage sizing: generation and testing are both CPU-bound; testing
 	// (4 compilations + up to 4 executions) is the heavier stage, so it
 	// gets at least half the pool.
@@ -79,6 +102,19 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 	// collector splices their recorded verdicts in at their positions.
 	go func() {
 		defer close(seeds)
+		if fam {
+			for base := 0; base < cfg.Programs; base += cfg.FamilySize {
+				if famResumed(base) {
+					continue
+				}
+				select {
+				case seeds <- base:
+				case <-ctx.Done():
+					return
+				}
+			}
+			return
+		}
 		for i := 0; i < cfg.Programs; i++ {
 			if _, ok := cfg.Resumed[cfg.Seed+int64(i)]; ok {
 				continue
@@ -120,6 +156,32 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 			defer testWG.Done()
 			for g := range programs {
 				seed := cfg.Seed + int64(g.idx)
+				if fam {
+					count := famCount(g.idx)
+					var outs []seedOutcome
+					switch {
+					case g.err != nil:
+						outs = make([]seedOutcome, count)
+						for j := range outs {
+							outs[j] = seedOutcome{genErr: g.err}
+						}
+					case g.sf != nil:
+						outs = familyFailure(seed, count, g.sf)
+					default:
+						outs = runFamily(ctx, &cfg, seed, count, g.prog)
+					}
+					for j := range outs {
+						if _, ok := cfg.Resumed[seed+int64(j)]; ok {
+							continue
+						}
+						select {
+						case outcomes <- outcome{idx: g.idx + j, out: outs[j]}:
+						case <-ctx.Done():
+							return
+						}
+					}
+					continue
+				}
 				var out seedOutcome
 				switch {
 				case g.err != nil:

@@ -29,6 +29,9 @@ func ReportText(res *CampaignResult) string {
 	if res.Timeouts > 0 {
 		fmt.Fprintf(&b, "timeouts: %d\n", res.Timeouts)
 	}
+	if res.Skipped > 0 {
+		fmt.Fprintf(&b, "skipped members: %d\n", res.Skipped)
+	}
 	if len(res.Quarantined) > 0 {
 		fmt.Fprintf(&b, "quarantined seeds: %d\n", len(res.Quarantined))
 	}

@@ -17,9 +17,12 @@ import (
 // Stage names one step of the per-seed pipeline.
 type Stage string
 
-// The per-seed stages, in execution order.
+// The per-seed stages, in execution order. StageReference only exists
+// in family mode, where the expected output is computed per member
+// instead of arriving with the generated program.
 const (
 	StageGenerate  Stage = "generate"
+	StageReference Stage = "reference"
 	StageVerify    Stage = "verify"
 	StageCompile   Stage = "compile"
 	StageInterpret Stage = "interpret"
@@ -62,6 +65,10 @@ const (
 	VerdictStageFailure VerdictKind = "stage-failure"
 	// VerdictTimeout: the per-program wall-clock budget expired.
 	VerdictTimeout VerdictKind = "timeout"
+	// VerdictSkipped: a mutation-family member whose reference run had
+	// no defined output (mutated constants reached UB, a trap, or the
+	// step budget) — there is nothing to differentially test against.
+	VerdictSkipped VerdictKind = "skipped"
 )
 
 // Verdict is one seed's final, journaled outcome.

@@ -54,6 +54,7 @@ import (
 // (each run gets its own Context and Frame).
 type CompiledProgram struct {
 	registry *Registry
+	opts     CompileOptions
 	// setupErr replays, at RunProgram time, the error the tree walker's
 	// Run would raise while building the function table (unsupported
 	// top-level op, missing sym_name, duplicate function).
@@ -62,6 +63,10 @@ type CompiledProgram struct {
 	// regions maps every region in the module to its compiled form, for
 	// the RunRegion dispatch (kernels hand us *ir.Region pointers).
 	regions map[*ir.Region]*compiledRegion
+	// Fusion accounting (see fuse.go): maxRegs sizes the per-context
+	// register file; stats records the fusion decisions for telemetry.
+	maxRegs int
+	stats   FusionStats
 }
 
 // Registry returns the registry the program was compiled against.
@@ -94,10 +99,14 @@ type compiledRegion struct {
 }
 
 // compiledBlock is one block: arg binding records plus compiled ops.
+// fblock, when set, is the block's fully-fused form (every op fusable,
+// terminator included — see fuse.go); the generic loop enters it
+// instead of dispatching ops.
 type compiledBlock struct {
-	label string
-	args  []argBind
-	ops   []compiledOp
+	label  string
+	args   []argBind
+	ops    []compiledOp
+	fblock *fusedBlock
 }
 
 // argBind binds one incoming value to a block argument's slot; check
@@ -153,6 +162,14 @@ type compiledOp struct {
 	results  []operandMeta
 	regions  []*compiledRegion
 	succs    []compiledSucc
+	// fused, when set, replaces this op and the next fuseSkip ops of
+	// its block with one superinstruction (see fuse.go). The original
+	// records stay in place so slotOf and successor resolution are
+	// unaffected; only the dispatch loop consults fused. ffor, when
+	// set, replaces this op's kernel with the native fused loop.
+	fused    *fusedRun
+	fuseSkip int
+	ffor     *fusedFor
 }
 
 // compilationPays reports whether compiling the module can recoup its
@@ -206,14 +223,30 @@ func regionPays(r *ir.Region) bool {
 	return false
 }
 
+// CompileOptions tunes compilation. The zero value is the default
+// configuration (fusion enabled).
+type CompileOptions struct {
+	// DisableFusion turns superinstruction fusion off, compiling every
+	// op to its own dispatch record. The engine-agreement oracle uses
+	// it to pin fused and unfused execution byte-identical.
+	DisableFusion bool
+}
+
 // Compile walks the module once and builds its compiled form over the
-// given registry. Compile never fails: structural errors the tree
-// walker would raise at run time (unsupported top-level ops, missing
-// kernels, unknown branch targets) are captured and replayed with
-// identical messages when — and only when — execution would reach them.
+// given registry, with default options. Compile never fails: structural
+// errors the tree walker would raise at run time (unsupported top-level
+// ops, missing kernels, unknown branch targets) are captured and
+// replayed with identical messages when — and only when — execution
+// would reach them.
 func Compile(r *Registry, m *ir.Module) *CompiledProgram {
+	return CompileWith(r, m, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(r *Registry, m *ir.Module, opts CompileOptions) *CompiledProgram {
 	p := &CompiledProgram{
 		registry: r,
+		opts:     opts,
 		funcs:    make(map[string]*compiledFunc),
 		regions:  make(map[*ir.Region]*compiledRegion),
 	}
@@ -385,6 +418,11 @@ func (p *CompiledProgram) compileFunc(f *ir.Operation, name string) *compiledFun
 	cf.numSlots = st.NumSlots()
 	cf.frames.init(cf.numSlots)
 	hoistChecks(cf.body, w)
+	// Fusion runs last: it consumes the final operand metas (checks
+	// hoisted) and the full slot count for its read analysis.
+	if !p.opts.DisableFusion {
+		p.fuseFunc(cf)
+	}
 	return cf
 }
 
@@ -455,6 +493,7 @@ func (p *CompiledProgram) compileRegion(r *ir.Region, st *scoped.SlotTable, w *s
 
 func (p *CompiledProgram) compileOp(cop *compiledOp, op *ir.Operation, st *scoped.SlotTable, w *slotWriters, a *compileArena) {
 	cop.op = op
+	p.stats.TotalOps++
 	if tk, ok := p.registry.terminators[op.Name]; ok {
 		cop.term = tk
 	} else if k, ok := p.registry.kernels[op.Name]; ok {

@@ -20,18 +20,25 @@ import (
 // with no arguments — the compiled counterpart of Interpreter.Run. The
 // interpreter's limits (MaxSteps, MaxCallDepth) apply per call.
 func (in *Interpreter) RunProgram(p *CompiledProgram, entry string) (*Result, error) {
+	return in.RunProgramArgs(p, entry, nil)
+}
+
+// RunProgramArgs is RunProgram with entry-function arguments: the
+// batched-campaign hot path, where one compile is amortised over a
+// whole mutation family of per-seed inputs.
+func (in *Interpreter) RunProgramArgs(p *CompiledProgram, entry string, args []rtval.Value) (*Result, error) {
 	if p.setupErr != nil {
 		return nil, p.setupErr
 	}
 	ctx := acquireContext(in, p)
 	stepsBefore := ctx.stepsLeft
-	vals, err := ctx.callCompiled(entry, nil)
+	vals, err := ctx.callCompiled(entry, args)
 	if err != nil {
 		releaseContext(ctx)
 		return nil, err
 	}
 	res := &Result{Output: string(ctx.out), Returned: vals}
-	in.Metrics.noteRun(stepsBefore-ctx.stepsLeft, true)
+	in.Metrics.noteRun(stepsBefore-ctx.stepsLeft, ctx.fusedSteps, true)
 	releaseContext(ctx)
 	return res, nil
 }
@@ -115,6 +122,24 @@ func (ctx *Context) execBlocks(cr *compiledRegion, args []rtval.Value) (*Exit, e
 	frame := ctx.frame
 blocks:
 	for {
+		if fb := block.fblock; fb != nil {
+			// Fully-fused block: the fused-CFG machine binds arguments,
+			// runs the ops and the terminator, and follows in-cluster
+			// branches itself. handled=false (an argument was not a
+			// scalar Int — unreachable in-tree) falls through to the
+			// generic path below, before any side effect.
+			exit, nb, nargs, handled, err := ctx.execFusedCFG(cr, fb, args)
+			if handled {
+				if err != nil {
+					return nil, err
+				}
+				if exit != nil {
+					return exit, nil
+				}
+				block, args = nb, nargs
+				continue blocks
+			}
+		}
 		if len(block.args) != len(args) {
 			return nil, fmt.Errorf("interp: block ^%s expects %d arguments, got %d", block.label, len(block.args), len(args))
 		}
@@ -126,8 +151,17 @@ blocks:
 			}
 			frame[ab.slot] = args[i]
 		}
-		for oi := range block.ops {
+		for oi := 0; oi < len(block.ops); oi++ {
 			cop := &block.ops[oi]
+			if cop.fused != nil {
+				// One dispatch for the whole superinstruction; execFused
+				// does the per-op step/cancel/fault bookkeeping itself.
+				if err := ctx.execFused(cop.fused); err != nil {
+					return nil, err
+				}
+				oi += cop.fuseSkip
+				continue
+			}
 			if ctx.stepsLeft <= 0 {
 				return nil, &rtval.TrapError{Op: "interp", Reason: "step limit exceeded (non-terminating program?)"}
 			}
@@ -195,6 +229,14 @@ blocks:
 				return nil, cop.fail
 			}
 			ctx.cur = cop
+			if cop.ffor != nil {
+				// Natively-fused loop: replaces the kernel, errors wrapped
+				// exactly as the kernel's would be.
+				if err := ctx.execFusedFor(cop.ffor); err != nil {
+					return nil, &EvalError{OpName: cop.op.Name, Err: err}
+				}
+				continue
+			}
 			if err := cop.kernel(ctx, cop.op); err != nil {
 				return nil, &EvalError{OpName: cop.op.Name, Err: err}
 			}

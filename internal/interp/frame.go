@@ -78,6 +78,14 @@ func releaseContext(ctx *Context) {
 	ctx.cancel = nil
 	ctx.cancelCheckLeft = 0
 	ctx.faults = nil
+	// regs and argScratch keep their capacity (rtval.Int holds no
+	// pointers, so stale entries retain nothing); fusedSteps resets per
+	// acquisition. Yield scratch keeps its records but drops the values
+	// they reference.
+	ctx.fusedSteps = 0
+	for _, ex := range ctx.yieldScratch {
+		clear(ex.Values[:cap(ex.Values)])
+	}
 	ctxPool.Put(ctx)
 }
 

@@ -1,0 +1,1204 @@
+// Superinstruction fusion: the compiled engine's third tier. Compile
+// (compile.go) already removed per-op map lookups and scoped-table
+// walks; what remains on the hot path is one dynamic kernel dispatch
+// per op and one interface boxing per SSA value written back to the
+// frame. Fusion removes both for straight-line scalar code, at two
+// granularities:
+//
+//   - Run fusion: a maximal run of fusable ops inside a block becomes
+//     one fused micro-program executed over a register file of unboxed
+//     rtval.Int locals.
+//   - Block fusion: a block whose every op is fusable — terminator
+//     included (the cf.br / cf.cond_br / scf.yield shapes) — executes
+//     entirely in registers, and a branch to another fused block of
+//     the same region transfers its arguments register-to-register.
+//     Loop-carried values in lowered loops then never touch the frame:
+//     zero boxing per iteration.
+//
+// A value some read outside the fused code can observe is still stored
+// to its frame slot (through rtval.Box, so small values do not allocate
+// either); store elision is decided function-wide — a slot skips its
+// stores only when every textual read of it, anywhere in the function,
+// is register-bound.
+//
+// Byte-identical semantics are preserved at fused-op granularity:
+// every fused instruction (terminators included) still decrements the
+// step budget, polls the cooperative-cancel watchdog, hits the
+// fault-injection dispatch site, replicates the kernel's operand-read
+// order and error strings (including the write-side Define check), and
+// wraps errors in EvalError exactly like the dispatch loop. Ops whose
+// kernels would reject them at run time (malformed arity, missing
+// attributes, non-scalar shapes) are simply not fused, so the original
+// kernel reproduces the original diagnostics. The
+// interp-engine-agreement conformance oracle pins fused-on vs
+// fused-off equality end to end.
+//
+// Which ops are fusable is dialect knowledge, not engine knowledge: a
+// dialect registers a FuseSpec alongside each kernel (the same
+// composability discipline the paper uses for semantics), and the
+// fusion pass trusts only those registrations. A registry composed
+// without fuse specs compiles exactly as before.
+package interp
+
+import (
+	"fmt"
+
+	"ratte/internal/faultinject"
+	"ratte/internal/ir"
+	"ratte/internal/rtval"
+)
+
+// FuseKind classifies the structural shape of a fusable operation —
+// how many operands it reads (in kernel order), how many results it
+// defines, and which FuseSpec closure evaluates it.
+type FuseKind int
+
+const (
+	// FuseNone marks an op that must stay on its kernel.
+	FuseNone FuseKind = iota
+	// FuseConst is a nullary constant; FuseSpec.Const extracts the
+	// value at compile time (returning false keeps the kernel).
+	FuseConst
+	// FuseBinPure is a two-operand, one-result op that cannot fail
+	// (FuseSpec.Pure).
+	FuseBinPure
+	// FuseBinErr is a two-operand, one-result op whose evaluation can
+	// raise UB or a trap (FuseSpec.Err).
+	FuseBinErr
+	// FuseCmp is a two-operand, one-result op parameterised by an
+	// attribute; FuseSpec.Cmp binds the attribute at compile time.
+	FuseCmp
+	// FuseSelect is a three-operand, one-result conditional choice
+	// (FuseSpec.Sel). Only scalar-typed operands fuse.
+	FuseSelect
+	// FuseCast is a one-operand, one-result conversion to the declared
+	// result type (FuseSpec.Cast).
+	FuseCast
+	// FuseExtended is a two-operand, two-result op (FuseSpec.Ext).
+	FuseExtended
+	// FuseBr is an unconditional single-successor branch terminator
+	// (the cf.br shape): pure control transfer, no closure.
+	FuseBr
+	// FuseCondBr is a two-successor branch terminator choosing on one
+	// scalar operand (the cf.cond_br shape); FuseSpec.CondBr evaluates
+	// the choice.
+	FuseCondBr
+	// FuseYield is a region-yield terminator (the scf.yield shape): its
+	// operands, in order, become the region's ExitYield values.
+	FuseYield
+	// FuseFor is a counted loop following the scf.for protocol
+	// (operands lb, ub, step, carried inits; one single-block body
+	// region taking the induction variable plus the carried values;
+	// one result per carried value). When the body block fused with a
+	// FuseYield terminator, the engine runs the whole loop natively:
+	// carried values stay in registers across iterations, never boxed.
+	// FuseSpec.StepCheck validates the step like the kernel would.
+	FuseFor
+)
+
+// FuseSpec declares that an op's kernel is equivalent to one of the
+// fused evaluation shapes. Exactly the closure matching Kind is used.
+// The contract: for every input on which the kernel succeeds or fails,
+// the closure must produce the same result values or the same error —
+// fusion changes dispatch and storage, never semantics.
+type FuseSpec struct {
+	Kind FuseKind
+	// Pure evaluates a FuseBinPure op.
+	Pure func(a, b rtval.Int) rtval.Int
+	// Err evaluates a FuseBinErr op.
+	Err func(a, b rtval.Int) (rtval.Int, error)
+	// Cast evaluates a FuseCast op against the declared result type.
+	Cast func(a rtval.Int, to ir.Type) rtval.Int
+	// Ext evaluates a FuseExtended op, returning both results in
+	// definition order.
+	Ext func(a, b rtval.Int) (rtval.Int, rtval.Int)
+	// Sel evaluates a FuseSelect op after all three operands are read.
+	Sel func(cond, t, f rtval.Int) (rtval.Int, error)
+	// Const extracts a FuseConst op's value at compile time; returning
+	// false leaves the op unfused (the kernel then reports whatever it
+	// reports).
+	Const func(op *ir.Operation) (rtval.Int, bool)
+	// Cmp binds a FuseCmp op's attribute at compile time; returning
+	// false leaves the op unfused.
+	Cmp func(op *ir.Operation) (func(a, b rtval.Int) (rtval.Int, error), bool)
+	// CondBr picks the successor index (0 or 1) for a FuseCondBr op,
+	// or fails exactly like the terminator kernel would.
+	CondBr func(cond rtval.Int) (int, error)
+	// StepCheck validates a FuseFor op's loop step, failing exactly
+	// like the kernel would.
+	StepCheck func(step rtval.Int) error
+}
+
+// Runtime instruction kinds (the compile-time FuseKind collapses: cmp
+// becomes a bound binErr closure).
+const (
+	fiConst uint8 = iota
+	fiBinPure
+	fiBinErr
+	fiSelect
+	fiCast
+	fiExtended
+)
+
+// Fused terminator kinds.
+const (
+	ftBr uint8 = iota
+	ftCondBr
+	ftYield
+)
+
+// fusedSrc is one operand of a fused instruction: a register written
+// earlier under the same register state (reg >= 0), or a frame read
+// through the op's resolved operand metadata with full readMeta
+// semantics.
+type fusedSrc struct {
+	reg  int32
+	meta *operandMeta
+}
+
+// fusedInstr is one constituent op of a fused run or block: its
+// evaluation closure, operand sources, and result destinations.
+// Results always land in a register; store marks the subset that must
+// also be written back to the frame (any value some read outside the
+// fused code can observe).
+type fusedInstr struct {
+	op   *ir.Operation
+	kind uint8
+
+	pure  func(a, b rtval.Int) rtval.Int
+	errf  func(a, b rtval.Int) (rtval.Int, error)
+	castf func(a rtval.Int, to ir.Type) rtval.Int
+	extf  func(a, b rtval.Int) (rtval.Int, rtval.Int)
+	self  func(cond, t, f rtval.Int) (rtval.Int, error)
+	cval  rtval.Int
+
+	a, b, c fusedSrc
+
+	res, res2     *operandMeta
+	dst, dst2     int32
+	store, store2 bool
+}
+
+// fusedRun is one superinstruction inside an otherwise unfused block:
+// a maximal run of fusable ops executed back to back with
+// intermediates in registers.
+type fusedRun struct {
+	instrs []fusedInstr
+	nregs  int
+}
+
+// fusedEdge is one successor of a fused block's terminator. A non-nil
+// target keeps execution inside the fused CFG, transferring arguments
+// register-to-register; a nil target leaves it — arguments are boxed
+// and handed back to the generic block loop.
+type fusedEdge struct {
+	target *fusedBlock
+	cs     *compiledSucc
+	args   []fusedSrc
+}
+
+// fusedBlock is one fully-fused block: its arguments live in
+// registers, its ops are fused instructions, and its terminator is
+// evaluated by the engine per the dialect's registered shape.
+type fusedBlock struct {
+	cb *compiledBlock
+	// argRegs assigns one register per block argument; argStore marks
+	// the arguments whose frame slots stay observable.
+	argRegs  []int32
+	argStore []bool
+	instrs   []fusedInstr
+
+	termOp   *ir.Operation
+	termKind uint8
+	cond     fusedSrc // ftCondBr: the choice operand
+	condBr   func(cond rtval.Int) (int, error)
+	yields   []fusedSrc  // ftYield: exit values, in order
+	succs    []fusedEdge // ftBr: one edge; ftCondBr: two
+
+	nregs int
+}
+
+// fusedFor is one natively-executed counted loop (the FuseFor shape):
+// the op's resolved operand/result metadata plus its fused body block.
+// Carried values live in the body's argument registers across
+// iterations — the only boxing left is the final result defines.
+type fusedFor struct {
+	cop       *compiledOp
+	body      *fusedBlock
+	region    *compiledRegion
+	stepCheck func(step rtval.Int) error
+	lb, ub, step fusedSrc
+	inits        []fusedSrc
+}
+
+// FusionStats summarises the fusion decisions recorded on a
+// CompiledProgram: how many ops were compiled, how many of them landed
+// inside fused units, and how many units were formed.
+type FusionStats struct {
+	TotalOps int
+	FusedOps int
+	// Runs counts fused units: straight-line runs plus whole blocks.
+	Runs int
+	// Blocks counts the subset of units that are whole fused blocks
+	// (terminator included).
+	Blocks int
+}
+
+// Rate returns the fraction of compiled ops inside fused units.
+func (s FusionStats) Rate() float64 {
+	if s.TotalOps == 0 {
+		return 0
+	}
+	return float64(s.FusedOps) / float64(s.TotalOps)
+}
+
+// FusionStats reports the program's fusion decisions for telemetry.
+func (p *CompiledProgram) FusionStats() FusionStats { return p.stats }
+
+// fuseState is the per-function pass state: the function-wide read
+// census (how many textual frame reads target each slot, and which
+// slots appear in some shadow chain — a read through a chain can
+// observe an outer slot only while an inner one is unwritten, so
+// chained slots always keep their stores), the register-bound read
+// census accumulated while building fused units, and the units
+// awaiting their final store-flag assignment.
+type fuseState struct {
+	reads     []int32
+	altRef    []bool
+	regReads  []int32
+	mustStore []bool
+	runs      []*fusedRun
+	fblocks   []*fusedBlock
+}
+
+func (st *fuseState) scanMeta(m *operandMeta) {
+	if m.slot >= 0 && m.slot < len(st.reads) {
+		st.reads[m.slot]++
+	}
+	for _, alt := range m.alts {
+		if alt.Slot >= 0 && alt.Slot < len(st.altRef) {
+			st.altRef[alt.Slot] = true
+		}
+	}
+}
+
+func (st *fuseState) scanRegion(cr *compiledRegion) {
+	if cr == nil {
+		return
+	}
+	for bi := range cr.blocks {
+		cb := &cr.blocks[bi]
+		for oi := range cb.ops {
+			cop := &cb.ops[oi]
+			for i := range cop.operands {
+				st.scanMeta(&cop.operands[i])
+			}
+			for si := range cop.succs {
+				for i := range cop.succs[si].args {
+					st.scanMeta(&cop.succs[si].args[i])
+				}
+			}
+			for _, sub := range cop.regions {
+				st.scanRegion(sub)
+			}
+		}
+	}
+}
+
+// elidableSlot reports whether a fused writer may skip the slot's
+// frame store: every textual read of the slot, function-wide, is
+// register-bound, no shadow chain can observe it, and no in-unit read
+// forced materialisation. Elided slots stay nil in the frame — which
+// is exactly what any read that counted as register-bound will never
+// see, because it reads the register.
+func (st *fuseState) elidableSlot(slot int) bool {
+	if slot < 0 || slot >= len(st.reads) {
+		return false
+	}
+	if st.mustStore[slot] || st.altRef[slot] {
+		return false
+	}
+	return st.reads[slot] == st.regReads[slot]
+}
+
+// fuseFunc runs the fusion pass over one compiled function. It must
+// run after hoistChecks: operand metas are final by then.
+func (p *CompiledProgram) fuseFunc(cf *compiledFunc) {
+	if cf.body == nil {
+		return
+	}
+	st := &fuseState{
+		reads:     make([]int32, cf.numSlots),
+		altRef:    make([]bool, cf.numSlots),
+		regReads:  make([]int32, cf.numSlots),
+		mustStore: make([]bool, cf.numSlots),
+	}
+	st.scanRegion(cf.body)
+	p.fuseRegion(cf.body, st)
+
+	// Store elision is decided only now, when every register binding in
+	// the function has been counted.
+	for _, run := range st.runs {
+		setStores(run.instrs, st)
+	}
+	for _, fb := range st.fblocks {
+		setStores(fb.instrs, st)
+		for i := range fb.cb.args {
+			fb.argStore[i] = !st.elidableSlot(fb.cb.args[i].slot)
+		}
+	}
+}
+
+func setStores(instrs []fusedInstr, st *fuseState) {
+	for k := range instrs {
+		ins := &instrs[k]
+		ins.store = !st.elidableSlot(ins.res.slot)
+		if ins.res2 != nil {
+			ins.store2 = !st.elidableSlot(ins.res2.slot)
+		}
+	}
+}
+
+func (p *CompiledProgram) fuseRegion(cr *compiledRegion, st *fuseState) {
+	if cr == nil {
+		return
+	}
+	// Sub-regions fuse first: loop fusion (tryFuseFor) needs to see
+	// the body region's fused form.
+	for bi := range cr.blocks {
+		cb := &cr.blocks[bi]
+		for oi := range cb.ops {
+			for _, sub := range cb.ops[oi].regions {
+				p.fuseRegion(sub, st)
+			}
+		}
+	}
+	// Then build every fully-fused block of this region, then link
+	// their edges (a branch transfers in registers only when its target
+	// fused too), then run-fuse the remaining blocks and attach loop
+	// fusion to region ops living in them.
+	for bi := range cr.blocks {
+		cb := &cr.blocks[bi]
+		if fb := p.tryFuseWholeBlock(cb, st); fb != nil {
+			cb.fblock = fb
+			st.fblocks = append(st.fblocks, fb)
+		}
+	}
+	for bi := range cr.blocks {
+		if fb := cr.blocks[bi].fblock; fb != nil {
+			p.linkEdges(cr, fb)
+		}
+	}
+	for bi := range cr.blocks {
+		cb := &cr.blocks[bi]
+		if cb.fblock == nil {
+			p.fuseBlock(cb, st)
+			for oi := range cb.ops {
+				p.tryFuseFor(&cb.ops[oi])
+			}
+		}
+	}
+}
+
+// tryFuseFor attaches native loop execution to an op following the
+// FuseFor protocol whose single-block body fused with a yield
+// terminator. Every structural property the kernel checks (or panics
+// on) at run time is verified here; a mismatch declines so the kernel
+// reproduces the behaviour.
+func (p *CompiledProgram) tryFuseFor(cop *compiledOp) {
+	if cop.kernel == nil || cop.term != nil || cop.fail != nil {
+		return
+	}
+	op := cop.op
+	spec, ok := p.registry.fusable[op.Name]
+	if !ok || spec.Kind != FuseFor || spec.StepCheck == nil {
+		return
+	}
+	if len(cop.regions) != 1 || len(op.Successors) != 0 || len(op.Operands) < 3 {
+		return
+	}
+	n := len(op.Operands) - 3
+	if len(op.Results) != n {
+		return
+	}
+	// Bounds and carried values live in Int registers; results are
+	// boxed back — all must be scalar.
+	for _, v := range op.Operands {
+		if !scalarType(v.Type) {
+			return
+		}
+	}
+	for _, v := range op.Results {
+		if !scalarType(v.Type) {
+			return
+		}
+	}
+	cr := cop.regions[0]
+	if cr == nil || len(cr.blocks) != 1 {
+		return
+	}
+	fb := cr.blocks[0].fblock
+	if fb == nil || fb.termKind != ftYield {
+		return
+	}
+	if len(fb.cb.args) != 1+n || len(fb.yields) != n {
+		return
+	}
+	ff := &fusedFor{cop: cop, body: fb, region: cr, stepCheck: spec.StepCheck}
+	ff.lb = fusedSrc{reg: -1, meta: &cop.operands[0]}
+	ff.ub = fusedSrc{reg: -1, meta: &cop.operands[1]}
+	ff.step = fusedSrc{reg: -1, meta: &cop.operands[2]}
+	ff.inits = make([]fusedSrc, n)
+	for i := 0; i < n; i++ {
+		ff.inits[i] = fusedSrc{reg: -1, meta: &cop.operands[3+i]}
+	}
+	cop.ffor = ff
+	p.stats.FusedOps++
+}
+
+// fuseCand is one op's compile-time fusion decision: its runtime kind
+// plus the bound evaluation closure.
+type fuseCand struct {
+	kind  uint8
+	pure  func(a, b rtval.Int) rtval.Int
+	errf  func(a, b rtval.Int) (rtval.Int, error)
+	castf func(a rtval.Int, to ir.Type) rtval.Int
+	extf  func(a, b rtval.Int) (rtval.Int, rtval.Int)
+	self  func(cond, t, f rtval.Int) (rtval.Int, error)
+	cval  rtval.Int
+}
+
+func scalarType(t ir.Type) bool {
+	switch t.(type) {
+	case ir.IntegerType, ir.IndexType:
+		return true
+	}
+	return false
+}
+
+// fuseCandidate decides whether one compiled non-terminator op can
+// join a fused unit. Anything the kernel would reject (or panic on) at
+// run time is left unfused so the kernel path reproduces the exact
+// behaviour.
+func (p *CompiledProgram) fuseCandidate(cop *compiledOp) (fuseCand, bool) {
+	var c fuseCand
+	if cop.kernel == nil || cop.term != nil || cop.fail != nil {
+		return c, false
+	}
+	op := cop.op
+	if len(op.Regions) != 0 || len(op.Successors) != 0 {
+		return c, false
+	}
+	spec, ok := p.registry.fusable[op.Name]
+	if !ok {
+		return c, false
+	}
+	switch spec.Kind {
+	case FuseConst:
+		if len(op.Results) != 1 || spec.Const == nil {
+			return c, false
+		}
+		v, ok := spec.Const(op)
+		if !ok {
+			return c, false
+		}
+		c.kind, c.cval = fiConst, v
+		return c, true
+	case FuseBinPure:
+		if len(op.Operands) != 2 || len(op.Results) != 1 || spec.Pure == nil {
+			return c, false
+		}
+		c.kind, c.pure = fiBinPure, spec.Pure
+		return c, true
+	case FuseBinErr:
+		if len(op.Operands) != 2 || len(op.Results) != 1 || spec.Err == nil {
+			return c, false
+		}
+		c.kind, c.errf = fiBinErr, spec.Err
+		return c, true
+	case FuseCmp:
+		if len(op.Operands) != 2 || len(op.Results) != 1 || spec.Cmp == nil {
+			return c, false
+		}
+		f, ok := spec.Cmp(op)
+		if !ok {
+			return c, false
+		}
+		c.kind, c.errf = fiBinErr, f
+		return c, true
+	case FuseSelect:
+		if len(op.Operands) != 3 || len(op.Results) != 1 || spec.Sel == nil {
+			return c, false
+		}
+		// The fused reader materialises operands as unboxed Ints; only
+		// scalar declared types guarantee that (select over tensors
+		// stays on the kernel).
+		if !scalarType(op.Operands[1].Type) || !scalarType(op.Operands[2].Type) {
+			return c, false
+		}
+		c.kind, c.self = fiSelect, spec.Sel
+		return c, true
+	case FuseCast:
+		if len(op.Operands) != 1 || len(op.Results) != 1 || spec.Cast == nil {
+			return c, false
+		}
+		// Cast closures build a value of the declared result type;
+		// non-scalar targets stay on the kernel (index_cast panics on
+		// them, and the compiled engine must keep doing so).
+		if !scalarType(op.Results[0].Type) {
+			return c, false
+		}
+		c.kind, c.castf = fiCast, spec.Cast
+		return c, true
+	case FuseExtended:
+		if len(op.Operands) != 2 || len(op.Results) != 2 || spec.Ext == nil {
+			return c, false
+		}
+		c.kind, c.extf = fiExtended, spec.Ext
+		return c, true
+	}
+	return c, false
+}
+
+// binder tracks, while lowering one fused unit, which slots currently
+// have a register holding their value (and at what declared type), and
+// allocates result registers.
+type binder struct {
+	st      *fuseState
+	nreg    int32
+	lastReg map[int]int32   // slot -> register of latest in-unit writer
+	lastTyp map[int]ir.Type // slot -> that writer's declared type
+}
+
+func newBinder(st *fuseState) *binder {
+	return &binder{st: st, lastReg: make(map[int]int32), lastTyp: make(map[int]ir.Type)}
+}
+
+// bind resolves one read: against the unit's register state when the
+// slot's latest in-unit writer declared a TypeEqual type, else against
+// the frame (with full readMeta semantics at run time).
+func (b *binder) bind(m *operandMeta) fusedSrc {
+	if m.slot >= 0 {
+		if reg, ok := b.lastReg[m.slot]; ok {
+			if ir.TypeEqual(b.lastTyp[m.slot], m.typ) {
+				b.st.regReads[m.slot]++
+				return fusedSrc{reg: reg}
+			}
+			// An in-unit read at a diverging declared type must go
+			// through readMeta (its check may fire), so the write has
+			// to be materialised in the frame.
+			b.st.mustStore[m.slot] = true
+		}
+	}
+	return fusedSrc{reg: -1, meta: m}
+}
+
+// define allocates the register a result (or block argument) lands in.
+func (b *binder) define(slot int, typ ir.Type) int32 {
+	reg := b.nreg
+	b.nreg++
+	b.lastReg[slot] = reg
+	b.lastTyp[slot] = typ
+	return reg
+}
+
+// lowerInstr fills one fusedInstr from a compiled op and its fusion
+// decision, binding operands before allocating result registers (a
+// self-referencing read sees the previous binding).
+func (b *binder) lowerInstr(ins *fusedInstr, cop *compiledOp, cand *fuseCand) {
+	ins.op = cop.op
+	ins.kind = cand.kind
+	ins.pure, ins.errf, ins.castf, ins.extf, ins.self = cand.pure, cand.errf, cand.castf, cand.extf, cand.self
+	ins.cval = cand.cval
+	switch cand.kind {
+	case fiConst:
+		// no operands
+	case fiBinPure, fiBinErr, fiExtended:
+		ins.a = b.bind(&cop.operands[0])
+		ins.b = b.bind(&cop.operands[1])
+	case fiSelect:
+		ins.a = b.bind(&cop.operands[0])
+		ins.b = b.bind(&cop.operands[1])
+		ins.c = b.bind(&cop.operands[2])
+	case fiCast:
+		ins.a = b.bind(&cop.operands[0])
+	}
+	ins.res = &cop.results[0]
+	ins.dst = b.define(ins.res.slot, ins.res.typ)
+	if cand.kind == fiExtended {
+		ins.res2 = &cop.results[1]
+		ins.dst2 = b.define(ins.res2.slot, ins.res2.typ)
+	}
+}
+
+// tryFuseWholeBlock builds a fusedBlock when every op of the block is
+// fusable, terminator included, and every block argument is scalar
+// (arguments live in Int registers). Edges are linked later
+// (linkEdges), once all blocks of the region have decided.
+func (p *CompiledProgram) tryFuseWholeBlock(cb *compiledBlock, st *fuseState) *fusedBlock {
+	if len(cb.ops) == 0 {
+		return nil
+	}
+	for i := range cb.args {
+		if !scalarType(cb.args[i].typ) {
+			return nil
+		}
+	}
+	last := &cb.ops[len(cb.ops)-1]
+	if last.term == nil || last.fail != nil {
+		return nil
+	}
+	spec, ok := p.registry.fusable[last.op.Name]
+	if !ok {
+		return nil
+	}
+	var termKind uint8
+	switch spec.Kind {
+	case FuseBr:
+		// The cf.br kernel rejects any other successor count; leave
+		// malformed ops on it.
+		if len(last.op.Successors) != 1 {
+			return nil
+		}
+		termKind = ftBr
+	case FuseCondBr:
+		if len(last.op.Successors) != 2 || len(last.op.Operands) != 1 || spec.CondBr == nil {
+			return nil
+		}
+		termKind = ftCondBr
+	case FuseYield:
+		if len(last.op.Successors) != 0 {
+			return nil
+		}
+		// Yield values are materialised from registers or scalar frame
+		// reads; non-scalar yields stay on the kernel.
+		for _, v := range last.op.Operands {
+			if !scalarType(v.Type) {
+				return nil
+			}
+		}
+		termKind = ftYield
+	default:
+		return nil
+	}
+	cands := make([]fuseCand, len(cb.ops)-1)
+	for i := 0; i < len(cb.ops)-1; i++ {
+		c, ok := p.fuseCandidate(&cb.ops[i])
+		if !ok {
+			return nil
+		}
+		cands[i] = c
+	}
+
+	fb := &fusedBlock{cb: cb, termOp: last.op, termKind: termKind}
+	b := newBinder(st)
+	fb.argRegs = make([]int32, len(cb.args))
+	fb.argStore = make([]bool, len(cb.args))
+	for i := range cb.args {
+		fb.argRegs[i] = b.define(cb.args[i].slot, cb.args[i].typ)
+	}
+	fb.instrs = make([]fusedInstr, len(cb.ops)-1)
+	for i := 0; i < len(cb.ops)-1; i++ {
+		b.lowerInstr(&fb.instrs[i], &cb.ops[i], &cands[i])
+	}
+	switch termKind {
+	case ftCondBr:
+		fb.cond = b.bind(&last.operands[0])
+		fb.condBr = spec.CondBr
+	case ftYield:
+		fb.yields = make([]fusedSrc, len(last.operands))
+		for i := range last.operands {
+			fb.yields[i] = b.bind(&last.operands[i])
+		}
+	}
+	if termKind != ftYield {
+		fb.succs = make([]fusedEdge, len(last.succs))
+		for si := range last.succs {
+			cs := &last.succs[si]
+			args := make([]fusedSrc, len(cs.args))
+			for i := range cs.args {
+				args[i] = b.bind(&cs.args[i])
+			}
+			fb.succs[si] = fusedEdge{cs: cs, args: args}
+		}
+	}
+	fb.nregs = int(b.nreg)
+	if fb.nregs > p.maxRegs {
+		p.maxRegs = fb.nregs
+	}
+	p.stats.FusedOps += len(cb.ops)
+	p.stats.Runs++
+	p.stats.Blocks++
+	return fb
+}
+
+// linkEdges decides, per successor of a fused block, whether the
+// branch stays inside the fused CFG. It may only when the target block
+// fused too, the argument count matches its parameters (a mismatch
+// must surface the generic loop's error), and every frame-sourced
+// argument is scalar (register transfer materialises unboxed Ints).
+func (p *CompiledProgram) linkEdges(cr *compiledRegion, fb *fusedBlock) {
+	for si := range fb.succs {
+		e := &fb.succs[si]
+		if e.cs.blockIdx < 0 {
+			continue
+		}
+		target := cr.blocks[e.cs.blockIdx].fblock
+		if target == nil || len(e.args) != len(target.cb.args) {
+			continue
+		}
+		scalarOK := true
+		for i := range e.args {
+			if e.args[i].reg < 0 && !scalarType(e.args[i].meta.typ) {
+				scalarOK = false
+				break
+			}
+		}
+		if scalarOK {
+			e.target = target
+		}
+	}
+}
+
+// fuseBlock finds maximal runs of fusable ops inside an otherwise
+// unfused block and installs a fusedRun on each run's first op. Runs
+// of one op keep normal dispatch — a one-instruction superinstruction
+// saves nothing.
+func (p *CompiledProgram) fuseBlock(cb *compiledBlock, st *fuseState) {
+	var cands []fuseCand
+	i := 0
+	for i < len(cb.ops) {
+		c, ok := p.fuseCandidate(&cb.ops[i])
+		if !ok {
+			i++
+			continue
+		}
+		cands = append(cands[:0], c)
+		j := i + 1
+		for j < len(cb.ops) {
+			c, ok := p.fuseCandidate(&cb.ops[j])
+			if !ok {
+				break
+			}
+			cands = append(cands, c)
+			j++
+		}
+		if j-i >= 2 {
+			p.buildRun(cb, i, j, cands, st)
+		}
+		i = j
+	}
+}
+
+// buildRun lowers ops [lo, hi) of the block into one fused run.
+func (p *CompiledProgram) buildRun(cb *compiledBlock, lo, hi int, cands []fuseCand, st *fuseState) {
+	run := &fusedRun{instrs: make([]fusedInstr, hi-lo)}
+	b := newBinder(st)
+	for k := lo; k < hi; k++ {
+		b.lowerInstr(&run.instrs[k-lo], &cb.ops[k], &cands[k-lo])
+	}
+	run.nregs = int(b.nreg)
+	if run.nregs > p.maxRegs {
+		p.maxRegs = run.nregs
+	}
+	cb.ops[lo].fused = run
+	cb.ops[lo].fuseSkip = hi - lo - 1
+	st.runs = append(st.runs, run)
+	p.stats.FusedOps += hi - lo
+	p.stats.Runs++
+}
+
+// execFused executes one fused run, accounting executed instructions
+// into the context's fused-step counter.
+func (ctx *Context) execFused(fr *fusedRun) error {
+	regs := ctx.growRegs(fr.nregs)
+	n, err := ctx.execInstrs(fr.instrs, regs)
+	ctx.fusedSteps += n
+	return err
+}
+
+// growRegs returns the context's register file with capacity for at
+// least n registers (rtval.Int holds no pointers, so stale entries
+// retain nothing across reuses).
+func (ctx *Context) growRegs(n int) []rtval.Int {
+	if cap(ctx.regs) < n {
+		ctx.regs = make([]rtval.Int, n)
+	}
+	return ctx.regs[:cap(ctx.regs)]
+}
+
+// intScratch returns the context's reusable unboxed-argument buffer,
+// used for block-argument transfer inside fused CFGs. Safe to reuse
+// per transfer: values are committed to the target's registers (and
+// observable frame slots) before the next transfer overwrites it.
+func (ctx *Context) intScratch(n int) []rtval.Int {
+	if cap(ctx.argScratch) < n {
+		ctx.argScratch = make([]rtval.Int, n)
+	}
+	return ctx.argScratch[:n]
+}
+
+// fusedInt reads one fused operand that must be a scalar: a register,
+// or a frame slot with the exact readMeta + GetInt semantics of the
+// kernel path.
+func (ctx *Context) fusedInt(regs []rtval.Int, s *fusedSrc) (rtval.Int, error) {
+	if s.reg >= 0 {
+		return regs[s.reg], nil
+	}
+	v, err := ctx.readMeta(s.meta)
+	if err != nil {
+		return rtval.Int{}, err
+	}
+	i, ok := v.(rtval.Int)
+	if !ok {
+		return rtval.Int{}, fmt.Errorf("interp: value %%%s is not a scalar integer", s.meta.id)
+	}
+	return i, nil
+}
+
+// fusedValue reads one fused operand as a boxed value (yield values
+// and out-of-cluster branch arguments, where the kernel path uses the
+// untyped Get): registers box through the intern table, frame sources
+// keep readMeta's exact semantics.
+func (ctx *Context) fusedValue(regs []rtval.Int, s *fusedSrc) (rtval.Value, error) {
+	if s.reg >= 0 {
+		return rtval.Box(regs[s.reg]), nil
+	}
+	return ctx.readMeta(s.meta)
+}
+
+// fusedDefine commits one result: the write-side type check always
+// runs (same message as defineCompiled — it is what lets read checks
+// hoist), the register always receives the unboxed value, and only
+// observable slots pay the (interned) boxing of a frame store.
+func (ctx *Context) fusedDefine(regs []rtval.Int, m *operandMeta, dst int32, store bool, r rtval.Int) error {
+	if !typeCompatible(m.typ, r.Type()) {
+		return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+			m.id, r.Type(), m.typ)
+	}
+	regs[dst] = r
+	if store {
+		ctx.frame[m.slot] = rtval.Box(r)
+	}
+	return nil
+}
+
+// fusedTick is the per-instruction bookkeeping every fused op pays,
+// identical to the dispatch loop's: step budget, cancel poll, fault
+// point (wrapped under the op's name like a kernel error would be).
+func (ctx *Context) fusedTick(op *ir.Operation) error {
+	if ctx.stepsLeft <= 0 {
+		return &rtval.TrapError{Op: "interp", Reason: "step limit exceeded (non-terminating program?)"}
+	}
+	ctx.stepsLeft--
+	if ctx.cancel != nil {
+		if err := ctx.checkCancel(); err != nil {
+			return err
+		}
+	}
+	if ctx.faults != nil {
+		if err := ctx.faults.Point(faultinject.SiteInterpDispatch); err != nil {
+			return &EvalError{OpName: op.Name, Err: err}
+		}
+	}
+	return nil
+}
+
+// execInstrs is the fused dispatch loop over one instruction slice,
+// returning how many instructions were charged to the step budget.
+// Every error is wrapped exactly as the dispatch loop would wrap the
+// kernel's error.
+func (ctx *Context) execInstrs(instrs []fusedInstr, regs []rtval.Int) (int, error) {
+	steps := 0
+	for ii := range instrs {
+		ins := &instrs[ii]
+		if err := ctx.fusedTick(ins.op); err != nil {
+			return steps, err
+		}
+		steps++
+		var r, r2 rtval.Int
+		switch ins.kind {
+		case fiConst:
+			r = ins.cval
+		case fiBinPure:
+			a, err := ctx.fusedInt(regs, &ins.a)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			b, err := ctx.fusedInt(regs, &ins.b)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			r = ins.pure(a, b)
+		case fiBinErr:
+			a, err := ctx.fusedInt(regs, &ins.a)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			b, err := ctx.fusedInt(regs, &ins.b)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			r, err = ins.errf(a, b)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+		case fiSelect:
+			cond, err := ctx.fusedInt(regs, &ins.a)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			t, err := ctx.fusedInt(regs, &ins.b)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			f, err := ctx.fusedInt(regs, &ins.c)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			r, err = ins.self(cond, t, f)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+		case fiCast:
+			a, err := ctx.fusedInt(regs, &ins.a)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			r = ins.castf(a, ins.res.typ)
+		case fiExtended:
+			a, err := ctx.fusedInt(regs, &ins.a)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			b, err := ctx.fusedInt(regs, &ins.b)
+			if err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+			r, r2 = ins.extf(a, b)
+		}
+		if err := ctx.fusedDefine(regs, ins.res, ins.dst, ins.store, r); err != nil {
+			return steps, &EvalError{OpName: ins.op.Name, Err: err}
+		}
+		if ins.res2 != nil {
+			if err := ctx.fusedDefine(regs, ins.res2, ins.dst2, ins.store2, r2); err != nil {
+				return steps, &EvalError{OpName: ins.op.Name, Err: err}
+			}
+		}
+	}
+	return steps, nil
+}
+
+// execFusedFor runs one natively-fused counted loop. It mirrors the
+// scf.for kernel step for step — bound reads in kernel order, the
+// dialect's step check, carried-value reads, per-iteration region slot
+// clearing and block-argument defines, per-op bookkeeping inside the
+// body, result defines after the loop — but keeps the induction
+// variable and every carried value in registers across iterations.
+// Errors are returned exactly as the kernel would return them; the
+// dispatch loop wraps them under the loop op's name, as it would wrap
+// the kernel's.
+func (ctx *Context) execFusedFor(ff *fusedFor) error {
+	lb, err := ctx.fusedInt(nil, &ff.lb)
+	if err != nil {
+		return err
+	}
+	ub, err := ctx.fusedInt(nil, &ff.ub)
+	if err != nil {
+		return err
+	}
+	step, err := ctx.fusedInt(nil, &ff.step)
+	if err != nil {
+		return err
+	}
+	if err := ff.stepCheck(step); err != nil {
+		return err
+	}
+	n := len(ff.inits)
+	vals := ctx.intScratch(n)
+	for i := range ff.inits {
+		v, err := ctx.fusedInt(nil, &ff.inits[i])
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+
+	fb := ff.body
+	regs := ctx.growRegs(fb.nregs)
+	for iv := lb.Signed(); iv < ub.Signed(); iv += step.Signed() {
+		// Region re-entry: every local binding starts undefined, exactly
+		// like execRegion's wholesale clear.
+		clear(ctx.frame[ff.region.slotLo:ff.region.slotHi])
+
+		ivv := rtval.NewIndex(iv)
+		ab := &fb.cb.args[0]
+		if ab.check && !typeCompatible(ab.typ, ivv.Type()) {
+			return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+				ab.id, ivv.Type(), ab.typ)
+		}
+		regs[fb.argRegs[0]] = ivv
+		if fb.argStore[0] {
+			ctx.frame[ab.slot] = rtval.Box(ivv)
+		}
+		for i := 0; i < n; i++ {
+			ab := &fb.cb.args[1+i]
+			if ab.check && !typeCompatible(ab.typ, vals[i].Type()) {
+				return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+					ab.id, vals[i].Type(), ab.typ)
+			}
+			regs[fb.argRegs[1+i]] = vals[i]
+			if fb.argStore[1+i] {
+				ctx.frame[ab.slot] = rtval.Box(vals[i])
+			}
+		}
+
+		nsteps, err := ctx.execInstrs(fb.instrs, regs)
+		ctx.fusedSteps += nsteps
+		if err != nil {
+			return err
+		}
+		if err := ctx.fusedTick(fb.termOp); err != nil {
+			return err
+		}
+		ctx.fusedSteps++
+		for i := range fb.yields {
+			v, err := ctx.fusedInt(regs, &fb.yields[i])
+			if err != nil {
+				// The yield kernel's read error surfaces wrapped under the
+				// yield op, then under the loop op — replicate the inner
+				// wrap here (the dispatch loop adds the outer one).
+				return &EvalError{OpName: fb.termOp.Name, Err: err}
+			}
+			vals[i] = v
+		}
+	}
+
+	for i := range ff.cop.results {
+		m := &ff.cop.results[i]
+		if !typeCompatible(m.typ, vals[i].Type()) {
+			return fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+				m.id, vals[i].Type(), m.typ)
+		}
+		ctx.frame[m.slot] = rtval.Box(vals[i])
+	}
+	return nil
+}
+
+// execFusedCFG runs the fused-CFG machine starting at fb with the
+// generic loop's boxed arguments. It returns handled=false — before
+// any side effect — if an argument is not a scalar Int (the generic
+// path then executes the block unfused; a fused block's checked scalar
+// parameters make that unreachable in-tree, but the fallback keeps the
+// contract unconditional). Otherwise it runs fused blocks,
+// transferring registers across in-cluster edges, until the region
+// yields (exit), control leaves the cluster (next block + boxed args),
+// or an error surfaces — each exactly as the generic loop would have
+// produced it.
+func (ctx *Context) execFusedCFG(cr *compiledRegion, fb *fusedBlock, args []rtval.Value) (exit *Exit, next *compiledBlock, nextArgs []rtval.Value, handled bool, err error) {
+	if len(fb.cb.args) != len(args) {
+		return nil, nil, nil, true, fmt.Errorf("interp: block ^%s expects %d arguments, got %d", fb.cb.label, len(fb.cb.args), len(args))
+	}
+	ints := ctx.intScratch(len(args))
+	for i, v := range args {
+		iv, ok := v.(rtval.Int)
+		if !ok {
+			return nil, nil, nil, false, nil
+		}
+		ints[i] = iv
+	}
+	regs := ctx.growRegs(fb.nregs)
+	for {
+		// Commit block arguments: per-argument check in order (first
+		// failure wins, like the generic loop), registers always, frame
+		// only where observable.
+		for i := range fb.cb.args {
+			ab := &fb.cb.args[i]
+			if ab.check && !typeCompatible(ab.typ, ints[i].Type()) {
+				return nil, nil, nil, true, fmt.Errorf("interp: defining %%%s: runtime type %s does not satisfy declared type %s",
+					ab.id, ints[i].Type(), ab.typ)
+			}
+			regs[fb.argRegs[i]] = ints[i]
+			if fb.argStore[i] {
+				ctx.frame[ab.slot] = rtval.Box(ints[i])
+			}
+		}
+
+		n, err := ctx.execInstrs(fb.instrs, regs)
+		ctx.fusedSteps += n
+		if err != nil {
+			return nil, nil, nil, true, err
+		}
+
+		// Terminator: same per-op bookkeeping as any dispatched op,
+		// then the fused control transfer.
+		if err := ctx.fusedTick(fb.termOp); err != nil {
+			return nil, nil, nil, true, err
+		}
+		ctx.fusedSteps++
+
+		var edge *fusedEdge
+		switch fb.termKind {
+		case ftYield:
+			ex := ctx.yieldExit(len(fb.yields))
+			for i := range fb.yields {
+				v, err := ctx.fusedValue(regs, &fb.yields[i])
+				if err != nil {
+					return nil, nil, nil, true, &EvalError{OpName: fb.termOp.Name, Err: err}
+				}
+				ex.Values[i] = v
+			}
+			return ex, nil, nil, true, nil
+		case ftBr:
+			edge = &fb.succs[0]
+		case ftCondBr:
+			cond, err := ctx.fusedInt(regs, &fb.cond)
+			if err != nil {
+				return nil, nil, nil, true, &EvalError{OpName: fb.termOp.Name, Err: err}
+			}
+			idx, err := fb.condBr(cond)
+			if err != nil {
+				return nil, nil, nil, true, &EvalError{OpName: fb.termOp.Name, Err: err}
+			}
+			edge = &fb.succs[idx]
+		}
+
+		if t := edge.target; t != nil {
+			// Register-to-register transfer: read every argument first
+			// (sources may live in the very registers the target's
+			// parameters are about to overwrite), then loop.
+			ints = ctx.intScratch(len(edge.args))
+			for i := range edge.args {
+				iv, err := ctx.fusedInt(regs, &edge.args[i])
+				if err != nil {
+					return nil, nil, nil, true, &EvalError{OpName: fb.termOp.Name, Err: err}
+				}
+				ints[i] = iv
+			}
+			fb = t
+			regs = ctx.growRegs(fb.nregs)
+			continue
+		}
+
+		// Leaving the cluster: box the arguments into the branch
+		// scratch and hand control back to the generic loop (which
+		// copies them into the target's frame slots before any further
+		// branch can reuse the scratch).
+		cs := edge.cs
+		if cap(ctx.branchArgs) < len(edge.args) {
+			ctx.branchArgs = make([]rtval.Value, len(edge.args))
+		}
+		out := ctx.branchArgs[:len(edge.args)]
+		for i := range edge.args {
+			v, err := ctx.fusedValue(regs, &edge.args[i])
+			if err != nil {
+				return nil, nil, nil, true, &EvalError{OpName: fb.termOp.Name, Err: err}
+			}
+			out[i] = v
+		}
+		if cs.blockIdx < 0 {
+			return nil, nil, nil, true, fmt.Errorf("interp: branch to unknown block ^%s", cs.succ.Block)
+		}
+		return nil, &cr.blocks[cs.blockIdx], out, true, nil
+	}
+}

@@ -70,6 +70,11 @@ type Dialect struct {
 	Name        string
 	Kernels     map[string]Kernel
 	Terminators map[string]TerminatorKernel
+	// Fusable declares, per op, that the kernel is equivalent to one of
+	// the fused evaluation shapes (see fuse.go). Fusion is dialect
+	// knowledge registered alongside the kernel — the compiled engine
+	// fuses only ops whose owning dialect vouched for them.
+	Fusable map[string]FuseSpec
 }
 
 // NewDialect creates an empty dialect semantics bundle.
@@ -78,6 +83,7 @@ func NewDialect(name string) *Dialect {
 		Name:        name,
 		Kernels:     make(map[string]Kernel),
 		Terminators: make(map[string]TerminatorKernel),
+		Fusable:     make(map[string]FuseSpec),
 	}
 }
 
@@ -86,6 +92,11 @@ func (d *Dialect) Register(op string, k Kernel) { d.Kernels[op] = k }
 
 // RegisterTerminator adds a terminator kernel.
 func (d *Dialect) RegisterTerminator(op string, k TerminatorKernel) { d.Terminators[op] = k }
+
+// RegisterFusable declares the op's kernel fusable under the given
+// spec. The op must also have a kernel registered — fusion refines
+// dispatch, it does not replace semantics.
+func (d *Dialect) RegisterFusable(op string, spec FuseSpec) { d.Fusable[op] = spec }
 
 // Registry is the composed, immutable kernel table of a dialect
 // combination — the expensive part of building an interpreter. A
@@ -97,6 +108,7 @@ func (d *Dialect) RegisterTerminator(op string, k TerminatorKernel) { d.Terminat
 type Registry struct {
 	kernels     map[string]Kernel
 	terminators map[string]TerminatorKernel
+	fusable     map[string]FuseSpec
 }
 
 // NewRegistry composes the kernel tables of the given dialects.
@@ -106,6 +118,7 @@ func NewRegistry(dialects ...*Dialect) *Registry {
 	r := &Registry{
 		kernels:     make(map[string]Kernel),
 		terminators: make(map[string]TerminatorKernel),
+		fusable:     make(map[string]FuseSpec),
 	}
 	for _, d := range dialects {
 		for name, k := range d.Kernels {
@@ -119,6 +132,11 @@ func NewRegistry(dialects ...*Dialect) *Registry {
 				panic(fmt.Sprintf("interp: duplicate terminator for %s", name))
 			}
 			r.terminators[name] = k
+		}
+		// Fuse specs cannot collide: the kernel dup check above already
+		// rejects two dialects defining the same op.
+		for name, spec := range d.Fusable {
+			r.fusable[name] = spec
 		}
 	}
 	return r
@@ -259,6 +277,13 @@ func IsTrap(err error) bool {
 // unconditional compilation (benchmarks, the engine-agreement oracle)
 // use Compile and RunProgram directly.
 func (in *Interpreter) Run(m *ir.Module, entry string) (*Result, error) {
+	return in.RunArgs(m, entry, nil)
+}
+
+// RunArgs is Run with entry-function arguments — the batched-campaign
+// entry point, where one module runs many times under different inputs.
+// Tiering is identical to Run.
+func (in *Interpreter) RunArgs(m *ir.Module, entry string, args []rtval.Value) (*Result, error) {
 	if in.Compiled && compilationPays(m) {
 		var p *CompiledProgram
 		if in.Cache != nil {
@@ -266,7 +291,7 @@ func (in *Interpreter) Run(m *ir.Module, entry string) (*Result, error) {
 		} else {
 			p = Compile(in.registry, m)
 		}
-		return in.RunProgram(p, entry)
+		return in.RunProgramArgs(p, entry, args)
 	}
 	ctx := NewContext(in)
 	for _, op := range m.Body().Ops {
@@ -280,11 +305,11 @@ func (in *Interpreter) Run(m *ir.Module, entry string) (*Result, error) {
 		}
 	}
 	stepsBefore := ctx.stepsLeft
-	vals, err := ctx.CallFunc(entry, nil)
+	vals, err := ctx.CallFunc(entry, args)
 	if err != nil {
 		return nil, err
 	}
-	in.Metrics.noteRun(stepsBefore-ctx.stepsLeft, false)
+	in.Metrics.noteRun(stepsBefore-ctx.stepsLeft, 0, false)
 	return &Result{Output: ctx.Output(), Returned: vals}, nil
 }
 
@@ -325,6 +350,20 @@ type Context struct {
 	isoFloor    int
 	branchArgs  []rtval.Value
 	spill       map[string]rtval.Value
+
+	// Fused-execution state (see fuse.go): the register file holding
+	// unboxed intermediates, the unboxed block-argument transfer
+	// buffer, and the count of steps that ran fused this evaluation
+	// (reported once per run through Metrics).
+	regs       []rtval.Int
+	argScratch []rtval.Int
+	fusedSteps int
+
+	// Per-depth reusable ExitYield records (YieldExit) and the tree
+	// walker's branch-argument scratch — both exist to keep region
+	// loops allocation-free.
+	yieldScratch   []*Exit
+	treeBranchArgs []rtval.Value
 }
 
 // NewContext builds a fresh evaluation context for the interpreter.
@@ -354,6 +393,7 @@ func (ctx *Context) initLimits(in *Interpreter) {
 	ctx.cancel = in.Ctx
 	ctx.cancelCheckLeft = 1 // check on the first step: expired budgets fail fast
 	ctx.faults = in.Faults
+	ctx.fusedSteps = 0
 }
 
 // checkCancel is the cooperative cancellation look: cheap countdown,
@@ -534,7 +574,21 @@ func (ctx *Context) CallFunc(name string, args []rtval.Value) ([]rtval.Value, er
 // IsolatedFromAbove regions do not).
 func (ctx *Context) RunRegion(r *ir.Region, args []rtval.Value, kind scoped.ScopeType) (*Exit, error) {
 	if ctx.prog != nil {
-		cr := ctx.prog.regions[r]
+		// The region is almost always one of the current op's own (a
+		// loop body on every iteration): a pointer scan over those
+		// beats the program-wide map lookup.
+		var cr *compiledRegion
+		if cur := ctx.cur; cur != nil {
+			for _, c := range cur.regions {
+				if c.region == r {
+					cr = c
+					break
+				}
+			}
+		}
+		if cr == nil {
+			cr = ctx.prog.regions[r]
+		}
 		if cr == nil {
 			return nil, fmt.Errorf("interp: region has no blocks")
 		}
@@ -578,6 +632,40 @@ func (ctx *Context) RunRegion(r *ir.Region, args []rtval.Value, kind scoped.Scop
 	}
 }
 
+// YieldExit returns a reusable ExitYield record sized for n values,
+// scoped to the current region depth. Yield kernels use it to avoid
+// allocating an Exit (and its values slice) per region execution — the
+// dominant per-iteration cost of structured loops. Reuse is sound
+// because a yield's Exit is consumed by the region-running kernel
+// before that kernel re-runs any region at the same depth, and regions
+// at different depths get distinct records.
+func (ctx *Context) YieldExit(n int) *Exit {
+	d := len(ctx.regionStack)
+	if ctx.prog == nil {
+		d = ctx.env.Depth()
+	}
+	return ctx.yieldExitAt(d, n)
+}
+
+// yieldExit is YieldExit for the fused-CFG machine (always compiled
+// mode).
+func (ctx *Context) yieldExit(n int) *Exit {
+	return ctx.yieldExitAt(len(ctx.regionStack), n)
+}
+
+func (ctx *Context) yieldExitAt(d, n int) *Exit {
+	for len(ctx.yieldScratch) <= d {
+		ctx.yieldScratch = append(ctx.yieldScratch, new(Exit))
+	}
+	ex := ctx.yieldScratch[d]
+	ex.Kind = ExitYield
+	if cap(ex.Values) < n {
+		ex.Values = make([]rtval.Value, n)
+	}
+	ex.Values = ex.Values[:n]
+	return ex
+}
+
 func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextArgs []rtval.Value, err error) {
 	for _, op := range block.Ops {
 		if err := ctx.step(); err != nil {
@@ -597,7 +685,13 @@ func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextA
 			case res.Exit != nil:
 				return res.Exit, "", nil, nil
 			case res.Branch != nil:
-				args := make([]rtval.Value, len(res.Branch.Args))
+				// The scratch is safe to reuse across branches: RunRegion
+				// defines the values into the target block's bindings
+				// before any op can branch again.
+				if cap(ctx.treeBranchArgs) < len(res.Branch.Args) {
+					ctx.treeBranchArgs = make([]rtval.Value, len(res.Branch.Args))
+				}
+				args := ctx.treeBranchArgs[:len(res.Branch.Args)]
 				for i, a := range res.Branch.Args {
 					v, err := ctx.Get(a)
 					if err != nil {

@@ -21,6 +21,9 @@ type Metrics struct {
 	CompiledRuns *telemetry.Counter
 	// Steps accumulates operations evaluated across all runs.
 	Steps *telemetry.Counter
+	// FusedSteps accumulates the subset of Steps executed inside fused
+	// superinstruction runs (see fuse.go) — the fusion rate observable.
+	FusedSteps *telemetry.Counter
 }
 
 // NewMetrics builds interpreter metrics registered under the standard
@@ -33,12 +36,13 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		Runs:         reg.Counter("ratte_interp_runs_total", "completed module evaluations"),
 		CompiledRuns: reg.Counter("ratte_interp_compiled_runs_total", "evaluations executed by the compiled engine"),
 		Steps:        reg.Counter("ratte_interp_steps_total", "operations evaluated"),
+		FusedSteps:   reg.Counter("ratte_interp_fused_steps_total", "operations evaluated inside fused superinstructions"),
 	}
 }
 
 // noteRun records one completed evaluation that consumed the given
-// number of steps.
-func (m *Metrics) noteRun(steps int, compiled bool) {
+// number of steps, fusedSteps of which ran inside fused runs.
+func (m *Metrics) noteRun(steps, fusedSteps int, compiled bool) {
 	if m == nil {
 		return
 	}
@@ -48,6 +52,9 @@ func (m *Metrics) noteRun(steps int, compiled bool) {
 	}
 	if steps > 0 {
 		m.Steps.Add(uint64(steps))
+	}
+	if fusedSteps > 0 {
+		m.FusedSteps.Add(uint64(fusedSteps))
 	}
 }
 

@@ -1,0 +1,106 @@
+package rtval
+
+import (
+	"testing"
+
+	"ratte/internal/ir"
+)
+
+// TestBoxIdentity checks that Box is observationally a plain interface
+// conversion over the whole interned range and beyond its edges.
+func TestBoxIdentity(t *testing.T) {
+	widths := []uint{1, 8, 16, 32, 64}
+	values := []int64{internMin - 1, internMin, -1, 0, 1, 2, 100, 2000, internMax, internMax + 1, 1 << 40}
+	for _, w := range widths {
+		for _, v := range values {
+			x := NewInt(w, v)
+			b := Box(x)
+			got, ok := b.(Int)
+			if !ok {
+				t.Fatalf("Box(NewInt(%d, %d)) is not an Int", w, v)
+			}
+			if !got.Equal(x) {
+				t.Fatalf("Box(NewInt(%d, %d)) = %v, want %v", w, v, got, x)
+			}
+			if !ir.TypeEqual(b.Type(), x.Type()) {
+				t.Fatalf("Box(NewInt(%d, %d)) type = %v, want %v", w, v, b.Type(), x.Type())
+			}
+		}
+	}
+	for _, v := range values {
+		x := NewIndex(v)
+		got, ok := Box(x).(Int)
+		if !ok || !got.Equal(x) {
+			t.Fatalf("Box(NewIndex(%d)) = %v, want %v", v, got, x)
+		}
+	}
+}
+
+// TestBoxUndef checks that undef values never intern (they would
+// otherwise alias definedness across unrelated uses).
+func TestBoxUndef(t *testing.T) {
+	u := UndefInt(ir.I32)
+	b := Box(u)
+	if got := b.(Int); got.Defined() {
+		t.Fatalf("Box(undef) returned a defined value")
+	}
+}
+
+// TestBoxBool checks the i1 results comparisons produce hit the table:
+// Bool(true) has bit pattern 1, whose signed reading at width 1 is -1.
+func TestBoxBool(t *testing.T) {
+	for _, v := range []bool{false, true} {
+		x := Bool(v)
+		got := Box(x).(Int)
+		if !got.Equal(x) {
+			t.Fatalf("Box(Bool(%v)) = %v, want %v", v, got, x)
+		}
+	}
+}
+
+// TestBoxInterningAllocs pins the no-allocation guarantee for the
+// interned range — the regression guard the interning layer exists for.
+func TestBoxInterningAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		x    Int
+	}{
+		{"i1_true", Bool(true)},
+		{"i1_false", Bool(false)},
+		{"i32_small", NewInt(32, 42)},
+		{"i64_small", NewInt(64, 1999)},
+		{"i64_neg", NewInt(64, -100)},
+		{"index_counter", NewIndex(2000)},
+	}
+	for _, tc := range cases {
+		x := tc.x
+		var sink Value
+		allocs := testing.AllocsPerRun(100, func() {
+			sink = Box(x)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Box allocates %.1f/op, want 0", tc.name, allocs)
+		}
+		_ = sink
+	}
+}
+
+func BenchmarkBoxInterned(b *testing.B) {
+	x := NewIndex(100)
+	var sink Value
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = Box(x)
+	}
+	_ = sink
+}
+
+func BenchmarkBoxUninterned(b *testing.B) {
+	x := NewInt(64, 1<<40)
+	var sink Value
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = Box(x)
+	}
+	_ = sink
+}
