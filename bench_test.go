@@ -17,6 +17,7 @@ import (
 
 	"ratte"
 	"ratte/internal/bugs"
+	"ratte/internal/compiler"
 	"ratte/internal/difftest"
 	"ratte/internal/gen"
 	"ratte/internal/mlirsmith"
@@ -380,6 +381,85 @@ func TestEmitCampaignBench(t *testing.T) {
 		elapsed := time.Since(start)
 		return float64(elapsed.Nanoseconds()) / programs, programs / elapsed.Seconds()
 	}
+	// Pipeline-fuzz compile sharing: one program compiled under N
+	// sampled legal plans through the shared prefix tree, against the
+	// naive baseline of N independent compiles (one full
+	// verify+pipeline run per plan). The ratio is the prefix-sharing
+	// payoff the -fuzz-pipelines campaign banks on every program.
+	runPlans := func(nPlans int) (sharedNs, naiveNs float64) {
+		plans, err := compiler.SamplePlans("ariths", nPlans, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const planProgs = 60
+		mods := make([]*ratte.Module, planProgs)
+		for i := range mods {
+			p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 30, Seed: int64(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mods[i] = p.Module
+		}
+		check := func(outs []compiler.ConfigResult) {
+			for _, out := range outs {
+				if out.Err != nil {
+					t.Fatal(out.Err)
+				}
+			}
+		}
+		// Best-of-N timing: single-shot wall-clock measurements of a
+		// ~100ms workload are dominated by scheduler noise; the minimum
+		// over a few alternating repetitions is the standard low-noise
+		// estimate and is fair to both sides.
+		const reps = 5
+		best := func(d, prev time.Duration) time.Duration {
+			if prev == 0 || d < prev {
+				return d
+			}
+			return prev
+		}
+		var shared, naive time.Duration
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			for _, m := range mods {
+				check(compiler.CompilePlans(m, plans, nil))
+			}
+			shared = best(time.Since(start), shared)
+			start = time.Now()
+			for _, m := range mods {
+				for _, p := range plans {
+					check(compiler.CompilePlans(m, []compiler.Plan{p}, nil))
+				}
+			}
+			naive = best(time.Since(start), naive)
+		}
+		return float64(shared.Nanoseconds()) / planProgs, float64(naive.Nanoseconds()) / planProgs
+	}
+	// Plan-mode campaign throughput at the default -fuzz-pipelines=16.
+	runPlanCampaign := func(workers int) (nsPerProgram float64, programsPerSec float64) {
+		plans, err := compiler.SamplePlans("ariths", 16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := difftest.CampaignConfig{
+			Preset:   "ariths",
+			Programs: programs,
+			Size:     30,
+			Seed:     1,
+			Bugs:     bugs.None(),
+			Plans:    plans,
+		}
+		start := time.Now()
+		res, err := difftest.RunCampaignParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Programs != programs {
+			t.Fatalf("plan campaign tested %d programs, want %d", res.Programs, programs)
+		}
+		elapsed := time.Since(start)
+		return float64(elapsed.Nanoseconds()) / programs, programs / elapsed.Seconds()
+	}
 	run(1, false) // warm the memoized registries and pipelines
 	serialNs, serialPS := run(1, false)
 	// Worker sweep: on a multi-core host programs/sec scales with
@@ -405,6 +485,8 @@ func TestEmitCampaignBench(t *testing.T) {
 	overheadPct := (telNs - serialNs) / serialNs * 100
 	unbNs, unbPS := runFamily(1, false)
 	batNs, batPS := runFamily(1, true)
+	sharedNs, naiveNs := runPlans(16)
+	planNs, planPS := runPlanCampaign(1)
 	record := map[string]any{
 		"benchmark": "campaign",
 		"preset":    "ariths",
@@ -428,6 +510,15 @@ func TestEmitCampaignBench(t *testing.T) {
 			"unbatched":   map[string]any{"ns_per_program": unbNs, "programs_per_sec": unbPS},
 			"batched":     map[string]any{"ns_per_program": batNs, "programs_per_sec": batPS},
 			"batched_speedup_vs_unbatched": batPS / unbPS,
+		},
+		"pipeline_fuzz": map[string]any{
+			"plans":                   16,
+			"shared_compile":          map[string]any{"ns_per_program": sharedNs},
+			"naive_compile":           map[string]any{"ns_per_program": naiveNs},
+			"shared_speedup_vs_naive": naiveNs / sharedNs,
+			"campaign": map[string]any{
+				"workers": 1, "ns_per_program": planNs, "programs_per_sec": planPS,
+			},
 		},
 	}
 	data, err := json.MarshalIndent(record, "", "  ")

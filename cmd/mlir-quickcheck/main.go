@@ -163,13 +163,20 @@ func runCheck(cc checkConfig, stdout, stderr io.Writer) int {
 	var oracles []ratte.ConformanceOracle
 	if cc.mode == "all" {
 		oracles = ratte.ConformanceOracles()
+	} else if o, err := ratte.LookupConformanceOracle(cc.mode); err == nil {
+		oracles = []ratte.ConformanceOracle{o}
 	} else {
-		o, err := ratte.LookupConformanceOracle(cc.mode)
-		if err != nil {
+		// A bare family name (e.g. "plan-equivalence") selects every
+		// standard oracle of that family across the presets.
+		for _, o := range ratte.ConformanceOracles() {
+			if strings.HasPrefix(o.Name(), cc.mode+"/") {
+				oracles = append(oracles, o)
+			}
+		}
+		if len(oracles) == 0 {
 			fmt.Fprintln(stderr, "mlir-quickcheck:", err)
 			return 2
 		}
-		oracles = []ratte.ConformanceOracle{o}
 	}
 
 	failed := 0

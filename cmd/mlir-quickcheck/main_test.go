@@ -107,12 +107,31 @@ func TestCheckModeDeterministic(t *testing.T) {
 	}
 }
 
+// TestCheckModeFamilyExpansion: a bare family name runs that family's
+// oracle for every preset — the spelling CI uses to gate the plan
+// fuzzer without enumerating presets.
+func TestCheckModeFamilyExpansion(t *testing.T) {
+	out := runOK(t, "-check", "plan-legality", "-trials", "2", "-seed", "1")
+	if !strings.Contains(out, "ok   4 oracles") {
+		t.Errorf("family name did not expand across presets:\n%s", out)
+	}
+	for _, preset := range []string{"ariths", "linalggeneric", "tensor", "all"} {
+		if !strings.Contains(out, "plan-legality/"+preset) {
+			t.Errorf("missing %s run:\n%s", preset, out)
+		}
+	}
+}
+
 // TestCheckModeFlagErrors: bad oracle names and a corpus-less replay
 // are usage errors (exit 2), not crashes.
 func TestCheckModeFlagErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-check", "no-such-oracle/ariths"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown oracle: want exit 2, got %d", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-check", "no-such-family"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown family: want exit 2, got %d", code)
 	}
 	stderr.Reset()
 	if code := run([]string{"-check", "replay"}, &stdout, &stderr); code != 2 {

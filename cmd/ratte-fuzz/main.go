@@ -11,6 +11,11 @@
 //
 //	ratte-fuzz -preset=ariths -programs=500 -size=30 -bugs=7
 //
+// or phase-ordering campaigns, which test every program under N
+// sampled legal pass plans instead of the fixed build configurations:
+//
+//	ratte-fuzz -fuzz-pipelines=16 -plan-seed=1 -programs=500
+//
 // Every mode honours -workers=N: experiment subcommands spread their
 // per-program work (generation, classification, campaigns) across N
 // goroutines and ad-hoc campaigns run on the pipelined parallel
@@ -35,6 +40,7 @@ import (
 
 	"ratte"
 	"ratte/internal/bugs"
+	"ratte/internal/compiler"
 	"ratte/internal/difftest"
 	"ratte/internal/faultinject"
 	"ratte/internal/gen"
@@ -57,6 +63,8 @@ func main() {
 	journal := flag.String("journal", "", "append campaign verdicts to this JSONL file (ad-hoc campaigns)")
 	resume := flag.Bool("resume", false, "resume the campaign recorded in -journal, skipping verdicted seeds")
 	family := flag.Int("family", 0, "mutation-family size: test each generated program plus N-1 constant-mutated variants (ad-hoc campaigns)")
+	fuzzPipelines := flag.Int("fuzz-pipelines", 0, "phase-ordering mode: test each program under N sampled legal pass plans instead of the fixed build configurations (ad-hoc campaigns)")
+	planSeed := flag.Int64("plan-seed", 1, "seed of the sampled plan set (with -fuzz-pipelines)")
 	batched := flag.Bool("batched", false, "share verification, compilation and interpreter compilation across each mutation family")
 	timeout := flag.Duration("timeout-per-program", 0, "wall-clock budget per program (0 = unbounded)")
 	faultRate := flag.Float64("fault-rate", 0, "deterministic fault-injection rate in [0,1] (robustness testing)")
@@ -97,6 +105,7 @@ func main() {
 			bugList: *bugList, doReduce: *reduceFlag, workers: *workers,
 			journal: *journal, resume: *resume, timeout: *timeout,
 			family: *family, batched: *batched,
+			fuzzPipelines: *fuzzPipelines, planSeed: *planSeed,
 			faultRate: *faultRate, faultSeed: *faultSeed, retries: *retries,
 			metricsAddr: *metricsAddr, metricsDump: *metricsDump, progress: *progress,
 		})
@@ -366,6 +375,9 @@ type adhocOptions struct {
 	family    int
 	batched   bool
 
+	fuzzPipelines int
+	planSeed      int64
+
 	metricsAddr string
 	metricsDump string
 	progress    time.Duration
@@ -400,6 +412,16 @@ func adhoc(o adhocOptions) {
 		MaxRetries: o.retries,
 		FamilySize: o.family,
 		Batched:    o.batched,
+	}
+	if o.fuzzPipelines > 0 {
+		if o.family > 0 {
+			fatal(errors.New("-fuzz-pipelines and -family are mutually exclusive"))
+		}
+		plans, err := compiler.SamplePlans(o.preset, o.fuzzPipelines, o.planSeed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Plans = plans
 	}
 	if o.faultRate > 0 {
 		cfg.Faults = &faultinject.Spec{
@@ -536,13 +558,42 @@ func adhoc(o adhocOptions) {
 		d := res.Detections[0]
 		prog := d.Program
 		if prog == nil {
-			// A resumed detection carries only (seed, oracle): the
+			// A resumed detection carries only (seed, oracle, plan): the
 			// program is regenerated from its seed.
 			p, err := gen.Generate(gen.Config{Preset: o.preset, Size: o.size, Seed: d.Seed})
 			if err != nil {
 				fatal(err)
 			}
 			prog = p.Module
+		}
+		if len(cfg.Plans) > 0 {
+			// Plan-mode finding: a (program, plan) pair, reduced on both
+			// axes. The detection names its plan by key; resolve it in the
+			// sampled set.
+			var plan compiler.Plan
+			found := false
+			for _, p := range cfg.Plans {
+				if p.Key() == d.Plan {
+					plan, found = p, true
+					break
+				}
+			}
+			if !found {
+				fatal(fmt.Errorf("detection plan %s not in the sampled set", d.Plan))
+			}
+			pred := func(m *ir.Module, p compiler.Plan) bool {
+				ref, err := ratte.Interpret(m, "main")
+				if err != nil {
+					return false
+				}
+				rep := difftest.TestModulePlans(m, ref.Output, []compiler.Plan{p}, bugSet)
+				fired, _ := rep.Detected()
+				return fired == d.Oracle
+			}
+			small, smallPlan := reduce.ProgramPlan(prog, plan, pred)
+			fmt.Printf("reduced test case (%d ops -> %d ops, plan %d -> %d passes):\n", prog.NumOps(), small.NumOps(), len(plan.Passes), len(smallPlan.Passes))
+			fmt.Printf("// plan: %s\n%s\n", strings.Join(smallPlan.Passes, ","), ir.Print(small))
+			return
 		}
 		pred := func(m *ir.Module) bool {
 			ref, err := ratte.Interpret(m, "main")

@@ -349,28 +349,45 @@ func CompileConfigsOpts(m *ir.Module, preset string, opts *Options, configs []Co
 			return results
 		}
 	}
-	type job struct {
-		idx    int
-		passes []string
-	}
-	jobs := make([]job, 0, len(configs))
+	jobs := make([]treeJob, 0, len(configs))
 	for i, c := range configs {
 		names, err := PipelineForConfig(preset, c.Level, c.SkipArithExpand)
 		if err != nil {
 			results[i].Err = err
 			continue
 		}
-		jobs = append(jobs, job{idx: i, passes: names})
+		jobs = append(jobs, treeJob{idx: i, passes: names})
 	}
+	compileTree(m, jobs, opts, results)
+	return results
+}
 
-	// compileShared runs the jobs' remaining passes over the prefix
-	// tree. owned marks modules this call may mutate freely; the
-	// caller's module is not owned, so every fork from it clones first.
-	var compileShared func(m *ir.Module, jobs []job, depth int, owned bool)
-	compileShared = func(m *ir.Module, jobs []job, depth int, owned bool) {
-		var done []job
+// treeJob pairs one result slot with its full pass list; compileTree
+// shares work across jobs by arranging the lists into a prefix tree.
+type treeJob struct {
+	idx    int
+	passes []string
+}
+
+// compileTree runs every job's pass list over m and writes each job's
+// lowered module (or first pass failure) into results[job.idx]. Jobs
+// are arranged into a prefix tree: each shared prefix runs once, with
+// one module Clone per divergence point instead of one full pipeline
+// per job. Passes are deterministic module transforms (injected bugs
+// included), so forking at divergence points is observationally
+// identical to recompiling each job from scratch. m is not modified.
+//
+// This is the sharing core behind both CompileConfigsOpts (the four
+// fixed build configurations) and CompilePlansOpts (N sampled plans).
+func compileTree(m *ir.Module, jobs []treeJob, opts *Options, results []ConfigResult) {
+	// rec runs the jobs' remaining passes over the prefix tree. owned
+	// marks modules this call may mutate freely; the caller's module is
+	// not owned, so every fork from it clones first.
+	var rec func(m *ir.Module, jobs []treeJob, depth int, owned bool)
+	rec = func(m *ir.Module, jobs []treeJob, depth int, owned bool) {
+		var done []treeJob
 		var order []string
-		groups := make(map[string][]job)
+		groups := make(map[string][]treeJob)
 		for _, j := range jobs {
 			if depth == len(j.passes) {
 				done = append(done, j)
@@ -389,8 +406,8 @@ func CompileConfigsOpts(m *ir.Module, preset string, opts *Options, configs []Co
 			}
 			results[done[0].idx].Module = dm
 			for _, j := range done[1:] {
-				// Distinct configs with identical pipelines still get
-				// independent modules, matching per-config Compile.
+				// Distinct jobs with identical pipelines still get
+				// independent modules, matching per-job compilation.
 				results[j.idx].Module = dm.Clone()
 			}
 		}
@@ -421,11 +438,10 @@ func CompileConfigsOpts(m *ir.Module, preset string, opts *Options, configs []Co
 				}
 				continue
 			}
-			compileShared(gm, g, depth+1, true)
+			rec(gm, g, depth+1, true)
 		}
 	}
-	compileShared(m, jobs, 0, false)
-	return results
+	rec(m, jobs, 0, false)
 }
 
 // Compiler compiles source-level modules down to the llvm target level,

@@ -1,0 +1,491 @@
+// Plan fuzzing: sampling random *legal* pass pipelines (ROADMAP item
+// 2, the axis Graal's CompilationPlanFuzzing exercises). The four fixed
+// build configurations only ever run four phase orders; phase-ordering
+// miscompiles live in the orders nobody wrote down. This file declares
+// each pass's scheduling constraints in a metadata registry (the
+// machine-checkable form of "scf must be lowered to cf before the llvm
+// conversions"), samples seeded random plans that satisfy them —
+// a minimal mandatory-stage skeleton with optional passes inserted at
+// legal points — and validates any plan against the same rules, so the
+// checker doubles as a standalone pipeline lint.
+//
+// Sampled plans compile through the same prefix-tree sharing core as
+// the fixed configurations (compileTree): plans sharing a prefix
+// compile once to the divergence point, which is what keeps per-plan
+// cost sublinear in the plan count.
+package compiler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"ratte/internal/bugs"
+	"ratte/internal/dialects"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+// PassMeta declares one pass's scheduling constraints — the
+// pre/postcondition model ValidatePlan checks and SamplePlans respects.
+type PassMeta struct {
+	// Name is the pass's registry name (mlir-opt flag spelling).
+	Name string
+	// Mandatory marks lowering-skeleton stages: they appear exactly
+	// once in every legal plan for a preset whose skeleton contains
+	// them, and never in plans for other presets.
+	Mandatory bool
+	// TensorOnly restricts the pass to tensor-bearing presets (its
+	// input ops do not exist in scalar programs).
+	TensorOnly bool
+	// Requires lists passes that must have run before any occurrence
+	// of this one. A requirement only binds when the required pass is
+	// part of the preset's skeleton: arith-expand must follow
+	// convert-linalg-to-loops where linalg lowering exists at all, and
+	// is unconstrained by it in scalar plans.
+	Requires []string
+	// InvalidatedBy lists passes after which this one may no longer
+	// appear: its input ops have been converted away (arith-expand
+	// after convert-arith-to-llvm has no arith ops left to expand, and
+	// the bug-6 direct conversion has already committed).
+	InvalidatedBy []string
+	// FuseWith names a mandatory stage that must immediately follow
+	// this one. one-shot-bufferize fuses with convert-linalg-to-loops:
+	// the half-bufferized module between them is internal state no
+	// other pass is specified over.
+	FuseWith string
+	// MaxOccur bounds how many times an optional pass may appear in
+	// one plan (0 means once). Mandatory stages always appear exactly
+	// once.
+	MaxOccur int
+	// Idempotent marks passes for which immediately repeated runs are
+	// no-ops. The plan shrinker collapses adjacent duplicates of
+	// idempotent passes first; the sampler deliberately generates them
+	// to test the claim.
+	Idempotent bool
+}
+
+// planMeta is the pass-metadata registry: every registered pass's
+// scheduling constraints. The skeleton order (PlanSkeleton) is encoded
+// here as a Requires chain, so ValidatePlan needs no second source of
+// ordering truth.
+var planMeta = map[string]PassMeta{
+	"canonicalize": {
+		Name: "canonicalize", MaxOccur: 3, Idempotent: true,
+	},
+	"cse": {
+		Name: "cse", MaxOccur: 2, Idempotent: true,
+	},
+	"remove-dead-values": {
+		Name: "remove-dead-values", MaxOccur: 2, Idempotent: true,
+	},
+	"arith-expand": {
+		Name: "arith-expand", MaxOccur: 2, Idempotent: true,
+		Requires:      []string{"convert-linalg-to-loops"},
+		InvalidatedBy: []string{"convert-arith-to-llvm"},
+	},
+	"one-shot-bufferize": {
+		Name: "one-shot-bufferize", Mandatory: true, TensorOnly: true,
+		FuseWith: "convert-linalg-to-loops",
+	},
+	"convert-linalg-to-loops": {
+		Name: "convert-linalg-to-loops", Mandatory: true, TensorOnly: true,
+		Requires: []string{"one-shot-bufferize"},
+	},
+	"convert-scf-to-cf": {
+		Name: "convert-scf-to-cf", Mandatory: true,
+		// linalg lowering *produces* scf loops; where it exists it must
+		// come first.
+		Requires: []string{"convert-linalg-to-loops"},
+	},
+	"convert-arith-to-llvm": {
+		Name: "convert-arith-to-llvm", Mandatory: true,
+		Requires: []string{"convert-scf-to-cf"},
+	},
+	"convert-vector-to-llvm": {
+		Name: "convert-vector-to-llvm", Mandatory: true,
+		Requires: []string{"convert-arith-to-llvm"},
+	},
+	"convert-func-to-llvm": {
+		Name: "convert-func-to-llvm", Mandatory: true,
+		Requires: []string{"convert-vector-to-llvm"},
+	},
+}
+
+// PassMetadata returns the scheduling constraints declared for a pass.
+func PassMetadata(name string) (PassMeta, bool) {
+	m, ok := planMeta[name]
+	return m, ok
+}
+
+// PlanSkeleton returns the preset's mandatory lowering skeleton: the
+// minimal legal plan, in its one legal order. Every legal plan is this
+// skeleton with optional passes inserted at legal points.
+func PlanSkeleton(preset string) ([]string, error) {
+	scalar := []string{"convert-scf-to-cf", "convert-arith-to-llvm", "convert-vector-to-llvm", "convert-func-to-llvm"}
+	switch preset {
+	case "ariths":
+		return scalar, nil
+	case "linalggeneric", "tensor", "all":
+		return append([]string{"one-shot-bufferize", "convert-linalg-to-loops"}, scalar...), nil
+	}
+	return nil, fmt.Errorf("compiler: unknown preset %q", preset)
+}
+
+// OptionalPasses returns the passes SamplePlans may insert into a
+// preset's skeleton, in the fixed order the sampler draws them.
+func OptionalPasses(preset string) []string {
+	return []string{"arith-expand", "canonicalize", "cse", "remove-dead-values"}
+}
+
+// Plan is one compilation plan under test: an ordered pass list for a
+// preset. The zero Plan is invalid; build plans with SamplePlans or
+// assemble them by hand and check with ValidatePlan.
+type Plan struct {
+	Preset string   `json:"preset"`
+	Passes []string `json:"passes"`
+}
+
+// Fingerprint returns the plan's 64-bit FNV-1a identity over the
+// preset and the exact pass sequence. Two plans are the same plan iff
+// their fingerprints match.
+func (p Plan) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.Preset))
+	h.Write([]byte{0})
+	for _, name := range p.Passes {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Name is the plan's short display name. It is deliberately NOT unique
+// — many sampled plans share a length — which is why everything that
+// must distinguish plans keys by Key, never by Name.
+func (p Plan) Name() string { return fmt.Sprintf("plan-%dp", len(p.Passes)) }
+
+// Key is the plan's unique identity: the display name plus the
+// fingerprint. Verdict tagging, journal resume and report dedup all
+// key by this.
+func (p Plan) Key() string { return fmt.Sprintf("%s|%016x", p.Name(), p.Fingerprint()) }
+
+// String renders the full pass sequence, mlir-opt style.
+func (p Plan) String() string {
+	return p.Preset + ":" + strings.Join(p.Passes, ",")
+}
+
+// ValidatePlan checks a plan against the pass-metadata registry and
+// returns the first violated constraint, or nil for a legal plan. It
+// is the sampler's own acceptance test and a standalone lint for
+// hand-written pipelines.
+func ValidatePlan(p Plan) error {
+	skel, err := PlanSkeleton(p.Preset)
+	if err != nil {
+		return err
+	}
+	inSkel := make(map[string]bool, len(skel))
+	for _, s := range skel {
+		inSkel[s] = true
+	}
+	count := make(map[string]int)
+	seen := make(map[string]bool)
+	for i, name := range p.Passes {
+		meta, ok := planMeta[name]
+		if !ok {
+			return fmt.Errorf("plan: unknown pass %q at position %d", name, i)
+		}
+		count[name]++
+		if meta.Mandatory {
+			if !inSkel[name] {
+				return fmt.Errorf("plan: pass %q is not part of the %s lowering skeleton", name, p.Preset)
+			}
+			if count[name] > 1 {
+				return fmt.Errorf("plan: mandatory stage %q appears more than once", name)
+			}
+		} else {
+			max := meta.MaxOccur
+			if max <= 0 {
+				max = 1
+			}
+			if count[name] > max {
+				return fmt.Errorf("plan: pass %q appears more than %d times", name, max)
+			}
+			if meta.TensorOnly && !inSkel["one-shot-bufferize"] {
+				return fmt.Errorf("plan: pass %q requires a tensor preset", name)
+			}
+		}
+		for _, r := range meta.Requires {
+			if inSkel[r] && !seen[r] {
+				return fmt.Errorf("plan: pass %q at position %d requires %q to have run first", name, i, r)
+			}
+		}
+		for _, inv := range meta.InvalidatedBy {
+			if seen[inv] {
+				return fmt.Errorf("plan: pass %q at position %d is illegal after %q", name, i, inv)
+			}
+		}
+		if meta.FuseWith != "" {
+			if i+1 >= len(p.Passes) || p.Passes[i+1] != meta.FuseWith {
+				return fmt.Errorf("plan: %q must be immediately followed by %q", name, meta.FuseWith)
+			}
+		}
+		seen[name] = true
+	}
+	for _, s := range skel {
+		if count[s] == 0 {
+			return fmt.Errorf("plan: mandatory stage %q is missing", s)
+		}
+	}
+	return nil
+}
+
+// maxSampleRetries bounds the resampling attempts per plan slot before
+// SamplePlans concedes the (astronomically large) plan space is
+// exhausted for the requested count.
+const maxSampleRetries = 64
+
+// SamplePlans draws n distinct legal plans for a preset from the
+// seeded generator. The result depends only on (preset, n, seed) —
+// never on scheduling — and every plan passes ValidatePlan. Plan 0 is
+// always the bare mandatory skeleton, so the minimal plan (and with
+// it the no-arith-expand direct-lowering path) is in every sampled
+// set; later plans are random insertions of optional passes at legal
+// points, deduplicated by fingerprint.
+func SamplePlans(preset string, n int, seed int64) ([]Plan, error) {
+	skel, err := PlanSkeleton(preset)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plans := make([]Plan, 0, n)
+	seen := make(map[uint64]bool, n)
+	add := func(p Plan) bool {
+		fp := p.Fingerprint()
+		if seen[fp] {
+			return false
+		}
+		seen[fp] = true
+		plans = append(plans, p)
+		return true
+	}
+	add(Plan{Preset: preset, Passes: append([]string(nil), skel...)})
+	for len(plans) < n {
+		ok := false
+		for attempt := 0; attempt < maxSampleRetries; attempt++ {
+			if add(samplePlan(preset, skel, rng)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("compiler: plan space for preset %q exhausted at %d distinct plans", preset, len(plans))
+		}
+	}
+	return plans, nil
+}
+
+// occurProbs decays the chance of each further occurrence of one
+// optional pass: most plans carry zero or one of each, a few carry
+// stacked duplicates that exercise the idempotence claims.
+var occurProbs = []float64{0.45, 0.2, 0.1}
+
+// samplePlan draws one random legal plan: for each optional pass, a
+// decaying number of occurrences, each dropped into a legal gap of the
+// skeleton; same-gap contents are shuffled. Gap choice is weighted
+// toward later positions (gap g has weight (g+1)²): real pipelines
+// schedule cleanup passes after lowering stages rather than before
+// anything has run, and later insertion points also deepen the shared
+// prefixes CompilePlans compiles once.
+func samplePlan(preset string, skel []string, rng *rand.Rand) Plan {
+	// Gap g inserts before skel[g]; gap len(skel) appends. A gap
+	// directly inside a fused pair is never legal.
+	fusedGap := make(map[int]bool)
+	index := make(map[string]int, len(skel))
+	for i, s := range skel {
+		index[s] = i
+		if planMeta[s].FuseWith != "" {
+			fusedGap[i+1] = true
+		}
+	}
+	gaps := make([][]string, len(skel)+1)
+	for _, name := range OptionalPasses(preset) {
+		meta := planMeta[name]
+		lo, hi := 0, len(skel) // legal gap window [lo, hi]
+		for _, r := range meta.Requires {
+			if j, ok := index[r]; ok && j+1 > lo {
+				lo = j + 1
+			}
+		}
+		for _, inv := range meta.InvalidatedBy {
+			if j, ok := index[inv]; ok && j < hi {
+				hi = j
+			}
+		}
+		var legal []int
+		for g := lo; g <= hi; g++ {
+			if !fusedGap[g] {
+				legal = append(legal, g)
+			}
+		}
+		if len(legal) == 0 {
+			continue
+		}
+		max := meta.MaxOccur
+		if max <= 0 {
+			max = 1
+		}
+		for k := 0; k < max; k++ {
+			p := occurProbs[len(occurProbs)-1]
+			if k < len(occurProbs) {
+				p = occurProbs[k]
+			}
+			if rng.Float64() >= p {
+				break
+			}
+			g := pickGap(legal, rng)
+			gaps[g] = append(gaps[g], name)
+		}
+	}
+	passes := make([]string, 0, len(skel)+4)
+	for g := 0; g <= len(skel); g++ {
+		rng.Shuffle(len(gaps[g]), func(i, j int) { gaps[g][i], gaps[g][j] = gaps[g][j], gaps[g][i] })
+		passes = append(passes, gaps[g]...)
+		if g < len(skel) {
+			passes = append(passes, skel[g])
+		}
+	}
+	return Plan{Preset: preset, Passes: passes}
+}
+
+// pickGap draws one gap from the legal set with weight (g+1)² on gap
+// g: later insertion points are strongly preferred, earliest-gap
+// insertions rare but never impossible.
+func pickGap(legal []int, rng *rand.Rand) int {
+	total := 0
+	for _, g := range legal {
+		total += (g + 1) * (g + 1)
+	}
+	r := rng.Intn(total)
+	for _, g := range legal {
+		r -= (g + 1) * (g + 1)
+		if r < 0 {
+			return g
+		}
+	}
+	return legal[len(legal)-1]
+}
+
+// ShrinkPlan minimizes a plan while keep stays true: first collapse
+// adjacent duplicates of idempotent passes, then greedily drop
+// optional occurrences one at a time until no single removal keeps the
+// property. Mandatory stages are never touched, so every candidate —
+// and therefore the result — is legal by construction. keep is only
+// called on candidates strictly smaller than the current plan.
+func ShrinkPlan(p Plan, keep func(Plan) bool) Plan {
+	cur := Plan{Preset: p.Preset, Passes: append([]string(nil), p.Passes...)}
+	without := func(base Plan, i int) Plan {
+		passes := make([]string, 0, len(base.Passes)-1)
+		passes = append(passes, base.Passes[:i]...)
+		passes = append(passes, base.Passes[i+1:]...)
+		return Plan{Preset: base.Preset, Passes: passes}
+	}
+	// Fast path: collapse each run of an idempotent pass to length one.
+	collapsed := Plan{Preset: cur.Preset}
+	for i, name := range cur.Passes {
+		if i > 0 && name == cur.Passes[i-1] && planMeta[name].Idempotent {
+			continue
+		}
+		collapsed.Passes = append(collapsed.Passes, name)
+	}
+	if len(collapsed.Passes) < len(cur.Passes) && keep(collapsed) {
+		cur = collapsed
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Passes); i++ {
+			if planMeta[cur.Passes[i]].Mandatory {
+				continue
+			}
+			if cand := without(cur, i); keep(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// PlanTreeNodes counts the distinct prefix-tree nodes the plan set
+// compiles through: the number of pass executions CompilePlans
+// performs. It is at most the sum of the plans' lengths (no sharing)
+// and the gap between the two is exactly the work prefix sharing
+// saves.
+func PlanTreeNodes(plans []Plan) int {
+	nodes := make(map[string]bool)
+	var prefix strings.Builder
+	for _, p := range plans {
+		prefix.Reset()
+		for _, name := range p.Passes {
+			prefix.WriteString(name)
+			prefix.WriteByte(0)
+			nodes[prefix.String()] = true
+		}
+	}
+	return len(nodes)
+}
+
+// PlanSetFingerprint identifies an ordered plan set: the FNV-1a hash
+// over the plans' fingerprints in order. Campaign journals record it
+// so a resume under a different plan set is rejected instead of
+// silently reinterpreting verdicts.
+func PlanSetFingerprint(plans []Plan) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range plans {
+		fp := p.Fingerprint()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(fp >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// CompilePlans compiles m under every given plan of one (possibly
+// bug-injected) compiler build through the shared prefix tree — the
+// plan-set analogue of CompileConfigs. The input module is not
+// modified.
+func CompilePlans(m *ir.Module, plans []Plan, bugSet bugs.Set) []ConfigResult {
+	return CompilePlansOpts(m, &Options{Bugs: bugSet}, plans)
+}
+
+// CompilePlansOpts is CompilePlans with full Options control: the
+// campaign engine uses it to thread its per-program context deadline
+// and fault injector through every pass, and to skip the frontend
+// verification it has already run in its own guarded stage.
+func CompilePlansOpts(m *ir.Module, opts *Options, plans []Plan) []ConfigResult {
+	if opts == nil {
+		opts = &Options{}
+	}
+	results := make([]ConfigResult, len(plans))
+	if !opts.SkipVerify {
+		if err := verify.Module(m, dialects.SourceSpecs()); err != nil {
+			for i := range results {
+				results[i].Err = err
+			}
+			return results
+		}
+	}
+	jobs := make([]treeJob, len(plans))
+	for i, p := range plans {
+		jobs[i] = treeJob{idx: i, passes: p.Passes}
+	}
+	compileTree(m, jobs, opts, results)
+	return results
+}

@@ -1,0 +1,311 @@
+package compiler_test
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+)
+
+func mustSamplePlans(t *testing.T, preset string, n int, seed int64) []compiler.Plan {
+	t.Helper()
+	plans, err := compiler.SamplePlans(preset, n, seed)
+	if err != nil {
+		t.Fatalf("SamplePlans(%s, %d, %d): %v", preset, n, seed, err)
+	}
+	if len(plans) != n {
+		t.Fatalf("SamplePlans(%s, %d, %d): %d plans", preset, n, seed, len(plans))
+	}
+	return plans
+}
+
+func TestSamplePlansDeterministic(t *testing.T) {
+	for _, preset := range []string{"ariths", "linalggeneric"} {
+		a := mustSamplePlans(t, preset, 32, 7)
+		b := mustSamplePlans(t, preset, 32, 7)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different plan sets", preset)
+		}
+		c := mustSamplePlans(t, preset, 32, 8)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical plan sets", preset)
+		}
+		if compiler.PlanSetFingerprint(a) != compiler.PlanSetFingerprint(b) {
+			t.Errorf("%s: set fingerprint not deterministic", preset)
+		}
+		if compiler.PlanSetFingerprint(a) == compiler.PlanSetFingerprint(c) {
+			t.Errorf("%s: distinct sets share a fingerprint", preset)
+		}
+	}
+}
+
+func TestSamplePlansLegalAndSkeletonOrdered(t *testing.T) {
+	for _, preset := range []string{"ariths", "linalggeneric", "tensor", "all"} {
+		skel, err := compiler.PlanSkeleton(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 20; seed++ {
+			for _, p := range mustSamplePlans(t, preset, 16, seed) {
+				if err := compiler.ValidatePlan(p); err != nil {
+					t.Fatalf("%s seed %d: sampled illegal plan %v: %v", preset, seed, p.Passes, err)
+				}
+				// Mandatory stages present exactly once, in skeleton order.
+				var got []string
+				for _, name := range p.Passes {
+					meta, ok := compiler.PassMetadata(name)
+					if !ok {
+						t.Fatalf("unregistered pass %q", name)
+					}
+					if meta.Mandatory {
+						got = append(got, name)
+					}
+				}
+				if !reflect.DeepEqual(got, skel) {
+					t.Fatalf("%s seed %d: mandatory stages %v, want %v", preset, seed, got, skel)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplePlansFirstIsSkeleton(t *testing.T) {
+	plans := mustSamplePlans(t, "ariths", 4, 99)
+	skel, _ := compiler.PlanSkeleton("ariths")
+	if !reflect.DeepEqual(plans[0].Passes, skel) {
+		t.Errorf("plan 0 = %v, want bare skeleton %v", plans[0].Passes, skel)
+	}
+}
+
+func TestSamplePlansDistinct(t *testing.T) {
+	plans := mustSamplePlans(t, "ariths", 64, 3)
+	seen := make(map[uint64]bool)
+	for _, p := range plans {
+		fp := p.Fingerprint()
+		if seen[fp] {
+			t.Fatalf("duplicate plan %v in sampled set", p.Passes)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestPlanTreeNodesBound(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		plans := mustSamplePlans(t, "ariths", 16, seed)
+		sum := 0
+		for _, p := range plans {
+			sum += len(p.Passes)
+		}
+		nodes := compiler.PlanTreeNodes(plans)
+		if nodes > sum {
+			t.Fatalf("seed %d: tree nodes %d > sum of plan lengths %d", seed, nodes, sum)
+		}
+		if nodes < len(plans[0].Passes) {
+			t.Fatalf("seed %d: tree nodes %d below a single plan's length", seed, nodes)
+		}
+	}
+}
+
+// TestSamplePlansDistribution is the coverage smoke test: every
+// optional pass must show up somewhere within 10k sampled plans
+// (drawn as campaign-sized sets across seeds, the way campaigns
+// actually sample).
+func TestSamplePlansDistribution(t *testing.T) {
+	seen := make(map[string]bool)
+	for seed := int64(0); seed < 100; seed++ {
+		for _, p := range mustSamplePlans(t, "ariths", 100, seed) {
+			for _, name := range p.Passes {
+				seen[name] = true
+			}
+		}
+	}
+	for _, name := range compiler.OptionalPasses("ariths") {
+		if !seen[name] {
+			t.Errorf("optional pass %q never sampled in 10k plans", name)
+		}
+	}
+}
+
+func TestSamplePlansConcurrent(t *testing.T) {
+	// The sampler must be callable from concurrent campaign workers;
+	// run it under -race from several goroutines.
+	var wg sync.WaitGroup
+	out := make([][]compiler.Plan, 8)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = mustSamplePlans(t, "ariths", 16, 42)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(out); i++ {
+		if !reflect.DeepEqual(out[0], out[i]) {
+			t.Fatalf("concurrent sampling diverged at goroutine %d", i)
+		}
+	}
+}
+
+func TestValidatePlanRejectsIllegal(t *testing.T) {
+	skel, _ := compiler.PlanSkeleton("ariths")
+	legal := compiler.Plan{Preset: "ariths", Passes: skel}
+	if err := compiler.ValidatePlan(legal); err != nil {
+		t.Fatalf("skeleton plan rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		plan   compiler.Plan
+		substr string
+	}{
+		{"unknown pass", compiler.Plan{Preset: "ariths",
+			Passes: append([]string{"mem2reg"}, skel...)}, "unknown pass"},
+		{"unknown preset", compiler.Plan{Preset: "nope", Passes: skel}, "unknown preset"},
+		{"missing stage", compiler.Plan{Preset: "ariths", Passes: skel[:3]}, "missing"},
+		{"misordered stages", compiler.Plan{Preset: "ariths",
+			Passes: []string{"convert-arith-to-llvm", "convert-scf-to-cf", "convert-vector-to-llvm", "convert-func-to-llvm"}},
+			"requires"},
+		{"duplicate stage", compiler.Plan{Preset: "ariths",
+			Passes: append(append([]string(nil), skel...), "convert-func-to-llvm")}, "more than once"},
+		{"expand after lowering", compiler.Plan{Preset: "ariths",
+			Passes: []string{"convert-scf-to-cf", "convert-arith-to-llvm", "arith-expand", "convert-vector-to-llvm", "convert-func-to-llvm"}},
+			"illegal after"},
+		{"over max occurrence", compiler.Plan{Preset: "ariths",
+			Passes: append([]string{"cse", "cse", "cse"}, skel...)}, "more than"},
+		{"tensor stage in scalar preset", compiler.Plan{Preset: "ariths",
+			Passes: append([]string{"one-shot-bufferize", "convert-linalg-to-loops"}, skel...)},
+			"not part of"},
+		{"split fused pair", compiler.Plan{Preset: "linalggeneric",
+			Passes: []string{"one-shot-bufferize", "canonicalize", "convert-linalg-to-loops", "convert-scf-to-cf", "convert-arith-to-llvm", "convert-vector-to-llvm", "convert-func-to-llvm"}},
+			"immediately followed"},
+		{"expand before linalg lowering", compiler.Plan{Preset: "linalggeneric",
+			Passes: []string{"arith-expand", "one-shot-bufferize", "convert-linalg-to-loops", "convert-scf-to-cf", "convert-arith-to-llvm", "convert-vector-to-llvm", "convert-func-to-llvm"}},
+			"requires"},
+	}
+	for _, tc := range cases {
+		err := compiler.ValidatePlan(tc.plan)
+		if err == nil {
+			t.Errorf("%s: illegal plan accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+// TestValidatePlanRejectsMutations mutates sampled legal plans along
+// each constraint axis and asserts the lint always fires.
+func TestValidatePlanRejectsMutations(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, p := range mustSamplePlans(t, "linalggeneric", 8, seed) {
+			// Drop a mandatory stage.
+			for i, name := range p.Passes {
+				meta, _ := compiler.PassMetadata(name)
+				if !meta.Mandatory {
+					continue
+				}
+				mut := compiler.Plan{Preset: p.Preset}
+				mut.Passes = append(mut.Passes, p.Passes[:i]...)
+				mut.Passes = append(mut.Passes, p.Passes[i+1:]...)
+				if compiler.ValidatePlan(mut) == nil {
+					t.Fatalf("dropping mandatory %q from %v accepted", name, p.Passes)
+				}
+			}
+			// Swap adjacent mandatory stages.
+			for i := 0; i+1 < len(p.Passes); i++ {
+				ma, _ := compiler.PassMetadata(p.Passes[i])
+				mb, _ := compiler.PassMetadata(p.Passes[i+1])
+				if !ma.Mandatory || !mb.Mandatory {
+					continue
+				}
+				mut := compiler.Plan{Preset: p.Preset, Passes: append([]string(nil), p.Passes...)}
+				mut.Passes[i], mut.Passes[i+1] = mut.Passes[i+1], mut.Passes[i]
+				if compiler.ValidatePlan(mut) == nil {
+					t.Fatalf("swapping %q and %q in %v accepted", p.Passes[i], p.Passes[i+1], p.Passes)
+				}
+			}
+		}
+	}
+}
+
+// TestCompilePlansMatchesSequential pins the prefix-tree sharing core:
+// compiling a module under N sampled plans at once must produce the
+// byte-identical lowered module each plan produces when run alone.
+func TestCompilePlansMatchesSequential(t *testing.T) {
+	for _, preset := range []string{"ariths", "linalggeneric"} {
+		prog, err := gen.Generate(gen.Config{Preset: preset, Size: 20, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans := mustSamplePlans(t, preset, 12, 5)
+		shared := compiler.CompilePlans(prog.Module, plans, bugs.None())
+		for i, p := range plans {
+			pipe, err := compiler.NewPipeline(p.Passes...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alone := prog.Module.Clone()
+			if err := pipe.Run(alone, &compiler.Options{}); err != nil {
+				t.Fatalf("%s plan %d (%s): solo compile: %v", preset, i, p, err)
+			}
+			if shared[i].Err != nil {
+				t.Fatalf("%s plan %d (%s): shared compile: %v", preset, i, p, shared[i].Err)
+			}
+			if got, want := ir.Print(shared[i].Module), ir.Print(alone); got != want {
+				t.Fatalf("%s plan %d (%s): shared and solo lowering differ", preset, i, p)
+			}
+		}
+	}
+}
+
+func TestShrinkPlan(t *testing.T) {
+	skel, _ := compiler.PlanSkeleton("ariths")
+	p := compiler.Plan{Preset: "ariths", Passes: []string{
+		"canonicalize", "canonicalize", "cse",
+		"arith-expand", "convert-scf-to-cf", "cse", "convert-arith-to-llvm",
+		"convert-vector-to-llvm", "remove-dead-values", "convert-func-to-llvm",
+	}}
+	if err := compiler.ValidatePlan(p); err != nil {
+		t.Fatalf("test fixture plan illegal: %v", err)
+	}
+	// Property: the plan still contains arith-expand. Everything else
+	// must shrink away.
+	keep := func(c compiler.Plan) bool {
+		for _, n := range c.Passes {
+			if n == "arith-expand" {
+				return true
+			}
+		}
+		return false
+	}
+	min := compiler.ShrinkPlan(p, keep)
+	if err := compiler.ValidatePlan(min); err != nil {
+		t.Fatalf("shrunk plan illegal: %v", err)
+	}
+	want := append([]string{"arith-expand"}, skel...)
+	if !reflect.DeepEqual(min.Passes, want) {
+		t.Errorf("shrunk to %v, want %v", min.Passes, want)
+	}
+	// A property nothing optional satisfies shrinks to the skeleton.
+	bare := compiler.ShrinkPlan(p, func(compiler.Plan) bool { return true })
+	if !reflect.DeepEqual(bare.Passes, skel) {
+		t.Errorf("unconstrained shrink %v, want skeleton %v", bare.Passes, skel)
+	}
+}
+
+func TestPlanKeyDistinguishesSameName(t *testing.T) {
+	skel, _ := compiler.PlanSkeleton("ariths")
+	a := compiler.Plan{Preset: "ariths", Passes: append([]string{"cse"}, skel...)}
+	b := compiler.Plan{Preset: "ariths", Passes: append([]string{"canonicalize"}, skel...)}
+	if a.Name() != b.Name() {
+		t.Fatalf("fixture plans should share a display name: %s vs %s", a.Name(), b.Name())
+	}
+	if a.Key() == b.Key() {
+		t.Errorf("distinct plans share key %s", a.Key())
+	}
+}

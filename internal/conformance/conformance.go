@@ -30,6 +30,10 @@ type Failure struct {
 	// Fired is the differential-testing oracle that fired, for
 	// difftest-backed properties (empty otherwise).
 	Fired string
+	// Plan is the pass list of the offending compilation plan, for
+	// plan-fuzzing properties (nil otherwise). Oracles report it
+	// already minimized — the smallest legal plan that still fails.
+	Plan []string
 }
 
 // Oracle is one conformance property over modules.
@@ -58,6 +62,7 @@ type Counterexample struct {
 	Seed   int64      // trial seed that produced it
 	Detail string     // Failure.Detail (from the minimized module)
 	Fired  string     // Failure.Fired (from the minimized module)
+	Plan   []string   // Failure.Plan (from the minimized module)
 	Module *ir.Module // minimized failing module; nil for module-free oracles
 
 	OrigOps     int    // op count before shrinking
@@ -118,6 +123,7 @@ func Run(o Oracle, cfg Config) (*Result, error) {
 			Seed:   seed,
 			Detail: f.Detail,
 			Fired:  f.Fired,
+			Plan:   f.Plan,
 			Module: m,
 		}
 		if m != nil {
@@ -174,6 +180,6 @@ func shrink(o Oracle, ce *Counterexample) {
 	ce.MinOps = min.NumOps()
 	ce.ShrinkSteps = steps
 	if f := o.Check(min, ce.Seed); f != nil {
-		ce.Detail, ce.Fired = f.Detail, f.Fired
+		ce.Detail, ce.Fired, ce.Plan = f.Detail, f.Fired, f.Plan
 	}
 }

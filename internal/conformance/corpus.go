@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"ratte/internal/bugs"
+	"ratte/internal/compiler"
 	"ratte/internal/difftest"
 	"ratte/internal/ir"
 )
@@ -24,6 +25,8 @@ import (
 //	// seed: 42
 //	// bugs: 5            (optional: the injected defects it depends on)
 //	// fires: DT-R        (optional: the oracle those defects trip)
+//	// plan: a,b,c        (optional: the compilation plan, for
+//	//                     plan-fuzzing reproducers)
 //	// detail: ...        (optional, informational)
 //	"builtin.module"() ({ ... }) : () -> ()
 type Regression struct {
@@ -31,6 +34,7 @@ type Regression struct {
 	Seed   int64
 	Bugs   []bugs.ID
 	Fires  string
+	Plan   []string // pass list of the offending plan (nil if plan-free)
 	Detail string
 	Module *ir.Module
 	File   string // path it was read from or written to
@@ -45,6 +49,7 @@ func regressionOf(o Oracle, ce *Counterexample) *Regression {
 		Oracle: ce.Oracle,
 		Seed:   ce.Seed,
 		Fires:  ce.Fired,
+		Plan:   ce.Plan,
 		Detail: ce.Detail,
 		Module: ce.Module,
 	}
@@ -95,6 +100,9 @@ func WriteRegression(dir string, r *Regression) (string, error) {
 	if r.Fires != "" {
 		fmt.Fprintf(&b, "// fires: %s\n", r.Fires)
 	}
+	if len(r.Plan) > 0 {
+		fmt.Fprintf(&b, "// plan: %s\n", planHeader(r.Plan))
+	}
 	if r.Detail != "" {
 		fmt.Fprintf(&b, "// detail: %s\n", strings.ReplaceAll(r.Detail, "\n", " "))
 	}
@@ -144,6 +152,12 @@ func ReadRegression(path string) (*Regression, error) {
 			}
 		case "fires":
 			r.Fires = val
+		case "plan":
+			for _, part := range strings.Split(val, ",") {
+				if part = strings.TrimSpace(part); part != "" {
+					r.Plan = append(r.Plan, part)
+				}
+			}
 		case "detail":
 			r.Detail = val
 		}
@@ -208,8 +222,21 @@ func Replay(r *Regression) error {
 	if !ok {
 		return fmt.Errorf("%s: stored module is no longer valid and UB-free", r.File)
 	}
-	rep := difftest.TestModule(r.Module, ref, preset, bugs.Only(r.Bugs...))
-	fired := rep.Detected()
+	var fired difftest.Oracle
+	if len(r.Plan) > 0 {
+		// Plan-fuzzing reproducer: the stored module must still trip
+		// the oracle under the stored plan — not merely under some
+		// fixed build configuration.
+		plan, err := planOf(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.File, err)
+		}
+		rep := difftest.TestModulePlans(r.Module, ref, []compiler.Plan{plan}, bugs.Only(r.Bugs...))
+		fired, _ = rep.Detected()
+	} else {
+		rep := difftest.TestModule(r.Module, ref, preset, bugs.Only(r.Bugs...))
+		fired = rep.Detected()
+	}
 	if fired == difftest.OracleNone {
 		return fmt.Errorf("%s: reproducer went stale: bugs %v no longer detected", r.File, r.Bugs)
 	}

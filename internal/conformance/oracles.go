@@ -348,8 +348,9 @@ func describeLevels(rep *difftest.Report) []string {
 
 // StandardOracles returns the full built-in oracle battery: for every
 // generator preset the round-trip, verifier, mutation, difftest
-// (correct build) and campaign-agreement properties, plus
-// prefix-equivalence across every optimisation level.
+// (correct build), campaign-agreement, plan-legality and
+// plan-equivalence properties, plus prefix-equivalence across every
+// optimisation level.
 func StandardOracles() []Oracle {
 	var os []Oracle
 	for _, preset := range gen.AllPresets() {
@@ -366,6 +367,8 @@ func StandardOracles() []Oracle {
 			NewDifftest(preset, bugs.None()),
 			NewCampaignAgreement(preset),
 			NewFaultTolerance(preset),
+			NewPlanLegality(preset),
+			NewPlanEquivalence(preset, bugs.None()),
 		)
 	}
 	return os
@@ -408,6 +411,10 @@ func Lookup(name string) (Oracle, error) {
 		return NewEngineAgreement(preset), nil
 	case FamilyDifftest:
 		return NewDifftest(preset, bugs.None()), nil
+	case FamilyPlanLegality:
+		return NewPlanLegality(preset), nil
+	case FamilyPlanEquiv:
+		return NewPlanEquivalence(preset, bugs.None()), nil
 	case FamilyPrefixEquiv:
 		if len(parts) != 3 {
 			return nil, fmt.Errorf("conformance: oracle %q: want %s/<preset>/O<level>[-noexpand]", name, FamilyPrefixEquiv)

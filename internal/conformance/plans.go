@@ -1,0 +1,226 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/difftest"
+	"ratte/internal/ir"
+)
+
+// The plan-fuzzing oracle families (see internal/compiler/planfuzz.go).
+const (
+	FamilyPlanLegality = "plan-legality"
+	FamilyPlanEquiv    = "plan-equivalence"
+)
+
+// planEquivPlans is the plan-set size the plan-equivalence oracle
+// samples per trial — small enough that a Check stays comparable in
+// cost to the difftest oracle, large enough that the optional passes
+// actually show up.
+const planEquivPlans = 6
+
+// ---------------------------------------------------------------------
+// plan-legality/<preset>: the sampler only emits legal plans, and the
+// validator is not vacuous — every sampled plan passes ValidatePlan,
+// and a deliberately broken mutation of a legal plan (mandatory stage
+// dropped or reordered, occurrence cap exceeded, fused pair split,
+// pass placed after its invalidator, unknown pass) is always rejected.
+// Module-free: the plan space itself is the input, indexed by seed.
+
+type planLegality struct{ preset string }
+
+// NewPlanLegality returns the plan sampler/validator agreement oracle.
+func NewPlanLegality(preset string) Oracle { return planLegality{preset} }
+
+func (o planLegality) Name() string { return FamilyPlanLegality + "/" + o.preset }
+
+func (o planLegality) Generate(int64) (*ir.Module, error) { return nil, nil }
+
+func (o planLegality) Check(_ *ir.Module, seed int64) *Failure {
+	plans, err := compiler.SamplePlans(o.preset, 16, seed)
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("sampler failed: %v", err)}
+	}
+	for _, p := range plans {
+		if err := compiler.ValidatePlan(p); err != nil {
+			return &Failure{
+				Detail: fmt.Sprintf("sampled plan %v is illegal: %v", p.Passes, err),
+				Plan:   append([]string(nil), p.Passes...),
+			}
+		}
+		for _, mut := range illegalMutations(p) {
+			if err := compiler.ValidatePlan(mut.plan); err == nil {
+				return &Failure{
+					Detail: fmt.Sprintf("validator accepted %s of legal plan %v: %v",
+						mut.desc, p.Passes, mut.plan.Passes),
+					Plan: append([]string(nil), mut.plan.Passes...),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// planMutation is one deliberately illegal rewrite of a legal plan.
+type planMutation struct {
+	desc string
+	plan compiler.Plan
+}
+
+// illegalMutations derives plans that must be rejected from a legal
+// one. Each rewrite breaks exactly one rule the validator enforces;
+// none of them can accidentally produce a different legal plan.
+func illegalMutations(p compiler.Plan) []planMutation {
+	var muts []planMutation
+	add := func(desc string, passes []string) {
+		muts = append(muts, planMutation{desc, compiler.Plan{Preset: p.Preset, Passes: passes}})
+	}
+	clone := func() []string { return append([]string(nil), p.Passes...) }
+
+	// Mandatory-stage positions, in plan order.
+	var mand []int
+	for i, name := range p.Passes {
+		if meta, ok := compiler.PassMetadata(name); ok && meta.Mandatory {
+			mand = append(mand, i)
+		}
+	}
+	// Drop each mandatory lowering stage: incomplete skeleton.
+	for _, i := range mand {
+		c := clone()
+		add(fmt.Sprintf("drop of mandatory %s", p.Passes[i]), append(c[:i:i], c[i+1:]...))
+	}
+	// Swap each consecutive pair of mandatory stages: ordering violated.
+	for k := 0; k+1 < len(mand); k++ {
+		i, j := mand[k], mand[k+1]
+		c := clone()
+		c[i], c[j] = c[j], c[i]
+		add(fmt.Sprintf("swap of mandatory %s and %s", p.Passes[i], p.Passes[j]), c)
+	}
+	// Repeat a mandatory stage: exactly-once violated.
+	if len(mand) > 0 {
+		add(fmt.Sprintf("repeat of mandatory %s", p.Passes[mand[0]]),
+			append(clone(), p.Passes[mand[0]]))
+	}
+	// Exceed an occurrence cap: canonicalize past its MaxOccur.
+	if meta, ok := compiler.PassMetadata("canonicalize"); ok {
+		have := 0
+		for _, name := range p.Passes {
+			if name == "canonicalize" {
+				have++
+			}
+		}
+		extra := make([]string, meta.MaxOccur+1-have)
+		for i := range extra {
+			extra[i] = "canonicalize"
+		}
+		add("occurrence overflow of canonicalize", append(extra, clone()...))
+	}
+	// Place arith-expand after its invalidator (convert-arith-to-llvm
+	// is in every skeleton, so appending it at the very end is illegal
+	// in every preset).
+	add("placement of arith-expand after convert-arith-to-llvm",
+		append(clone(), "arith-expand"))
+	// Split the fused bufferize/lower pair, where the preset has one.
+	for i, name := range p.Passes {
+		meta, ok := compiler.PassMetadata(name)
+		if !ok || meta.FuseWith == "" {
+			continue
+		}
+		c := clone()
+		c = append(c[:i+1:i+1], append([]string{"cse"}, c[i+1:]...)...)
+		add(fmt.Sprintf("split of fused pair %s+%s", name, meta.FuseWith), c)
+	}
+	// An unknown pass anywhere.
+	add("insertion of unknown pass", append([]string{"no-such-pass"}, clone()...))
+	return muts
+}
+
+// ---------------------------------------------------------------------
+// plan-equivalence/<preset>: phase ordering is semantics-preserving —
+// a UB-free module compiled under any sampled legal plan agrees with
+// the Ratte reference semantics (and hence any two legal plans agree
+// with each other; DT-P is subsumed by DT-R because the reference is
+// always defined). With no injected bugs this asserts the pass
+// implementations commute where the plan space says they may; with a
+// bug set it is the plan-mode campaign's oracle in QuickCheck harness
+// form. A counterexample is a (program, plan) pair: the engine shrinks
+// the module axis, and Check itself reduces the offending plan to a
+// minimal still-failing one, so the persisted regression is small on
+// both axes.
+
+type planEquiv struct {
+	preset string
+	bugSet bugs.Set
+}
+
+// NewPlanEquivalence returns the cross-plan semantic-equivalence
+// oracle against a (possibly bug-injected) compiler build.
+func NewPlanEquivalence(preset string, bugSet bugs.Set) Oracle {
+	return planEquiv{preset, bugSet}
+}
+
+func (o planEquiv) Name() string { return FamilyPlanEquiv + "/" + o.preset }
+
+// InjectedBugs exposes the build's defects for regression persistence.
+func (o planEquiv) InjectedBugs() bugs.Set { return o.bugSet }
+
+func (o planEquiv) Generate(seed int64) (*ir.Module, error) {
+	return generate(o.preset, 25, seed)
+}
+
+func (o planEquiv) Check(m *ir.Module, seed int64) *Failure {
+	ref, ok := reference(m)
+	if !ok {
+		return nil
+	}
+	plans, err := compiler.SamplePlans(o.preset, planEquivPlans, seed)
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("sampler failed: %v", err)}
+	}
+	rep := difftest.TestModulePlans(m, ref, plans, o.bugSet)
+	fired, key := rep.Detected()
+	if fired == difftest.OracleNone {
+		return nil
+	}
+	bad, found := plans[0], false
+	for _, p := range plans {
+		if p.Key() == key {
+			bad, found = p, true
+			break
+		}
+	}
+	if !found {
+		return &Failure{
+			Detail: fmt.Sprintf("%s fired but attributed to unknown plan %s", fired, key),
+			Fired:  string(fired),
+		}
+	}
+	// Shrink the plan axis: the smallest legal plan under which this
+	// module still trips the oracle.
+	min := compiler.ShrinkPlan(bad, func(cand compiler.Plan) bool {
+		r := difftest.TestModulePlans(m, ref, []compiler.Plan{cand}, o.bugSet)
+		f, _ := r.Detected()
+		return f == fired
+	})
+	return &Failure{
+		Detail: fmt.Sprintf("%s fired under plan %v", fired, min.Passes),
+		Fired:  string(fired),
+		Plan:   append([]string(nil), min.Passes...),
+	}
+}
+
+// planOf reconstructs a regression's compilation plan from its stored
+// pass list, using the preset spelled in the oracle name.
+func planOf(r *Regression) (compiler.Plan, error) {
+	plan := compiler.Plan{Preset: presetOf(r.Oracle), Passes: r.Plan}
+	if err := compiler.ValidatePlan(plan); err != nil {
+		return compiler.Plan{}, fmt.Errorf("stored plan %v is no longer legal: %w", r.Plan, err)
+	}
+	return plan, nil
+}
+
+// planHeader renders a pass list for the corpus header ("" when none).
+func planHeader(passes []string) string { return strings.Join(passes, ",") }

@@ -1,0 +1,218 @@
+package conformance_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/conformance"
+	"ratte/internal/difftest"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+)
+
+// TestPlanLegalityAcrossPresets: the sampler/validator agreement
+// property over many seeds and every preset — broader than the
+// three-trial smoke the standard battery gives it.
+func TestPlanLegalityAcrossPresets(t *testing.T) {
+	for _, preset := range gen.AllPresets() {
+		o := conformance.NewPlanLegality(preset)
+		res, err := conformance.Run(o, conformance.Config{Trials: 10, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ce := range res.Failures {
+			t.Errorf("%s seed %d: %s", preset, ce.Seed, ce.Detail)
+		}
+	}
+}
+
+// TestPlanEquivalenceCatchesShrinksPersists is the plan-fuzzing
+// acceptance property: against a build with bug 6 injected (the direct
+// ceildivsi conversion, live exactly when arith-expand is absent) the
+// plan-equivalence oracle catches the miscompilation, the engine
+// shrinks the module, Check shrinks the plan to the bare skeleton, and
+// the persisted (program, plan) regression replays green.
+func TestPlanEquivalenceCatchesShrinksPersists(t *testing.T) {
+	dir := t.TempDir()
+	o := conformance.NewPlanEquivalence("ariths", bugs.Only(bugs.CeilDivSiConvert))
+	res, err := conformance.Run(o, conformance.Config{
+		Trials:      12,
+		Seed:        30, // seed 38 is a known trigger; the schedule reaches it
+		CorpusDir:   dir,
+		StopAtFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("want 1 counterexample, got %d", len(res.Failures))
+	}
+	ce := res.Failures[0]
+	if ce.Fired != "DT-R" {
+		t.Errorf("bug 6 should fire DT-R, fired %q", ce.Fired)
+	}
+	skel, err := compiler.PlanSkeleton("ariths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ce.Plan, skel) {
+		t.Errorf("plan axis not minimized: %v, want bare skeleton %v", ce.Plan, skel)
+	}
+	if ce.MinOps >= ce.OrigOps {
+		t.Errorf("module axis not minimized: %d -> %d ops", ce.OrigOps, ce.MinOps)
+	}
+	if !strings.Contains(ir.Print(ce.Module), "arith.ceildivsi") {
+		t.Errorf("minimized module lost the trigger op:\n%s", ir.Print(ce.Module))
+	}
+	if ce.File == "" {
+		t.Fatal("counterexample was not persisted")
+	}
+
+	// The corpus file carries the plan header and replays green.
+	data, err := os.ReadFile(ce.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "// plan: "+strings.Join(skel, ",")) {
+		t.Errorf("regression file missing plan header:\n%s", data)
+	}
+	rs, errs := conformance.ReplayCorpus(dir)
+	if len(errs) > 0 {
+		t.Fatalf("replay violations: %v", errs)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("want 1 corpus entry, got %d", len(rs))
+	}
+	r := rs[0]
+	if r.Oracle != "plan-equivalence/ariths" || !reflect.DeepEqual(r.Plan, skel) {
+		t.Errorf("metadata round-trip: %+v", r)
+	}
+	if len(r.Bugs) != 1 || r.Bugs[0] != bugs.CeilDivSiConvert {
+		t.Errorf("injected bugs not recorded: %v", r.Bugs)
+	}
+}
+
+// TestSeededPlanRegressionMatchesBugTable pins the committed
+// (program, plan) reproducer: bug 6's reduced test case from
+// testdata/bugs/, re-checked and re-shrunk against the plan-equivalence
+// oracle, must match the committed corpus entry byte for byte. Run with
+// -update-corpus to regenerate after an intentional change.
+func TestSeededPlanRegressionMatchesBugTable(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/bugs/6.mlir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := conformance.NewPlanEquivalence("ariths", bugs.Only(bugs.CeilDivSiConvert))
+	f := o.Check(m, 0)
+	if f == nil {
+		t.Fatal("bug 6 reproducer does not fail the plan-equivalence oracle")
+	}
+	min, _ := conformance.Minimize(o, m, 0)
+	if fm := o.Check(min, 0); fm != nil {
+		f = fm
+	}
+	skel, _ := compiler.PlanSkeleton("ariths")
+	if !reflect.DeepEqual(f.Plan, skel) {
+		t.Fatalf("bug 6 plan axis: %v, want bare skeleton %v", f.Plan, skel)
+	}
+	r := &conformance.Regression{
+		Oracle: "plan-equivalence/ariths",
+		Seed:   0,
+		Bugs:   []bugs.ID{bugs.CeilDivSiConvert},
+		Fires:  f.Fired,
+		Plan:   f.Plan,
+		Detail: f.Detail,
+		Module: min,
+	}
+	if *updateCorpus {
+		path, err := conformance.WriteRegression(corpusDir, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	tmp := t.TempDir()
+	path, err := conformance.WriteRegression(tmp, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(corpusDir, r.FileName()))
+	if err != nil {
+		t.Fatalf("committed corpus entry missing (run `go test ./internal/conformance -run SeededPlan -update-corpus`): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("committed %s is stale (run with -update-corpus):\n--- committed ---\n%s--- regenerated ---\n%s",
+			r.FileName(), got, want)
+	}
+}
+
+// findSkeletonTrigger scans for a module bug 6 miscompiles under the
+// bare-skeleton plan.
+func findSkeletonTrigger(t *testing.T) (*ir.Module, compiler.Plan) {
+	t.Helper()
+	skel, err := compiler.PlanSkeleton("ariths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := compiler.Plan{Preset: "ariths", Passes: skel}
+	for seed := int64(0); seed < 200; seed++ {
+		p, err := gen.Generate(gen.Config{Preset: "ariths", Size: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := difftest.TestModulePlans(p.Module, p.Expected, []compiler.Plan{plan}, bugs.Only(bugs.CeilDivSiConvert))
+		if fired, _ := rep.Detected(); fired != difftest.OracleNone {
+			return p.Module, plan
+		}
+	}
+	t.Fatal("no skeleton-plan trigger for bug 6 in 200 seeds")
+	return nil, compiler.Plan{}
+}
+
+// TestReplayUsesStoredPlan: a plan-bearing regression is replayed
+// under its stored plan, not some fixed build configuration — the same
+// module recorded with a plan the bug cannot fire under must be
+// reported stale, and an illegal stored plan must be an error.
+func TestReplayUsesStoredPlan(t *testing.T) {
+	m, plan := findSkeletonTrigger(t)
+	base := conformance.Regression{
+		Oracle: "plan-equivalence/ariths",
+		Seed:   0,
+		Bugs:   []bugs.ID{bugs.CeilDivSiConvert},
+		Fires:  "DT-R",
+		Plan:   plan.Passes,
+		Module: m,
+	}
+	good := base
+	if err := conformance.Replay(&good); err != nil {
+		t.Errorf("skeleton-plan reproducer should replay green: %v", err)
+	}
+
+	// arith-expand rewrites ceildivsi before the buggy conversion sees
+	// it, so under this plan the reproducer cannot fire.
+	masked := base
+	masked.Plan = append([]string{"arith-expand"}, plan.Passes...)
+	if err := conformance.Replay(&masked); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Errorf("masked plan should be reported stale, got %v", err)
+	}
+
+	illegal := base
+	illegal.Plan = plan.Passes[1:]
+	if err := conformance.Replay(&illegal); err == nil || !strings.Contains(err.Error(), "no longer legal") {
+		t.Errorf("illegal stored plan should be an error, got %v", err)
+	}
+}

@@ -32,16 +32,27 @@ func DiffResults(a, b *CampaignResult) string {
 		if da.Expected != db.Expected {
 			return fmt.Sprintf("detection %d: expected output differs", i)
 		}
+		if da.Plan != db.Plan {
+			return fmt.Sprintf("detection %d: plan %s vs %s", i, da.Plan, db.Plan)
+		}
 		if ir.Print(da.Program) != ir.Print(db.Program) {
 			return fmt.Sprintf("detection %d: program text differs", i)
 		}
-		for _, bc := range BuildConfigs {
-			la, lb := da.Report.Levels[bc], db.Report.Levels[bc]
-			if la.Output != lb.Output ||
-				(la.CompileErr == nil) != (lb.CompileErr == nil) ||
-				(la.RunErr == nil) != (lb.RunErr == nil) {
-				return fmt.Sprintf("detection %d: report for %s differs", i, bc)
+		if da.Report != nil || db.Report != nil {
+			if (da.Report == nil) != (db.Report == nil) {
+				return fmt.Sprintf("detection %d: report presence differs", i)
 			}
+			for _, bc := range BuildConfigs {
+				la, lb := da.Report.Levels[bc], db.Report.Levels[bc]
+				if la.Output != lb.Output ||
+					(la.CompileErr == nil) != (lb.CompileErr == nil) ||
+					(la.RunErr == nil) != (lb.RunErr == nil) {
+					return fmt.Sprintf("detection %d: report for %s differs", i, bc)
+				}
+			}
+		}
+		if d := diffPlanReports(i, da.PlanReport, db.PlanReport); d != "" {
+			return d
 		}
 	}
 	if len(a.ByOracle) != len(b.ByOracle) {
@@ -52,7 +63,42 @@ func DiffResults(a, b *CampaignResult) string {
 			return fmt.Sprintf("oracle %s: %d vs %d detections", o, n, b.ByOracle[o])
 		}
 	}
+	if a.Plans != b.Plans || a.PlanSet != b.PlanSet {
+		return fmt.Sprintf("plan set: %d plans %016x vs %d plans %016x", a.Plans, a.PlanSet, b.Plans, b.PlanSet)
+	}
+	if a.DistinctDetections != b.DistinctDetections {
+		return fmt.Sprintf("distinct detections: %d vs %d", a.DistinctDetections, b.DistinctDetections)
+	}
 	return DiffVerdicts(a.Verdicts, b.Verdicts)
+}
+
+// diffPlanReports compares two detections' per-plan records. Results
+// are keyed by Plan.Key — the (name | plan fingerprint) identity — so
+// two sampled plans sharing a display name can never silently merge
+// into one comparison slot.
+func diffPlanReports(i int, ra, rb *PlanReport) string {
+	if (ra == nil) != (rb == nil) {
+		return fmt.Sprintf("detection %d: plan report presence differs", i)
+	}
+	if ra == nil {
+		return ""
+	}
+	if len(ra.Plans) != len(rb.Plans) {
+		return fmt.Sprintf("detection %d: plan count %d vs %d", i, len(ra.Plans), len(rb.Plans))
+	}
+	for j := range ra.Plans {
+		ka, kb := ra.Plans[j].Key(), rb.Plans[j].Key()
+		if ka != kb {
+			return fmt.Sprintf("detection %d: plan %d is %s vs %s", i, j, ka, kb)
+		}
+		la, lb := ra.Results[ka], rb.Results[kb]
+		if la.Output != lb.Output ||
+			(la.CompileErr == nil) != (lb.CompileErr == nil) ||
+			(la.RunErr == nil) != (lb.RunErr == nil) {
+			return fmt.Sprintf("detection %d: plan report for %s differs", i, ka)
+		}
+	}
+	return ""
 }
 
 // DiffVerdicts compares two verdict sequences field by field and
@@ -85,6 +131,12 @@ func DiffVerdicts(a, b []Verdict) string {
 		}
 		if va.Quarantined != vb.Quarantined {
 			return fmt.Sprintf("verdict %d (seed %d): quarantined %v vs %v", i, va.Seed, va.Quarantined, vb.Quarantined)
+		}
+		if va.Plan != vb.Plan {
+			return fmt.Sprintf("verdict %d (seed %d): plan %s vs %s", i, va.Seed, va.Plan, vb.Plan)
+		}
+		if va.Program != vb.Program {
+			return fmt.Sprintf("verdict %d (seed %d): program fingerprint %016x vs %016x", i, va.Seed, va.Program, vb.Program)
 		}
 		fa, fb := va.Failure, vb.Failure
 		if (fa == nil) != (fb == nil) {

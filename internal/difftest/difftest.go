@@ -227,15 +227,28 @@ type CampaignConfig struct {
 	// nil Telemetry keeps every instrumentation point at a bare nil
 	// check.
 	Telemetry *CampaignTelemetry
+	// Plans, when non-empty, switches the campaign to plan mode (the
+	// -fuzz-pipelines flag): every program is tested under these
+	// sampled legal compilation plans instead of the fixed build
+	// configurations, with DT-P joining the oracle set. Plans must all
+	// share cfg.Preset and pass compiler.ValidatePlan. Plan mode and
+	// family mode are mutually exclusive; with Plans set, FamilySize
+	// is ignored.
+	Plans []compiler.Plan
 }
 
-// Detection records one detected difference.
+// Detection records one detected difference. Exactly one of Report
+// (classic mode) and PlanReport (plan mode) is non-nil.
 type Detection struct {
 	Seed     int64
 	Oracle   Oracle
 	Program  *ir.Module
 	Expected string
 	Report   *Report
+	// Plan is the Key of the compilation plan the detection is
+	// attributed to; PlanReport holds the full per-plan record.
+	Plan       string
+	PlanReport *PlanReport
 }
 
 // CampaignResult summarises a campaign.
@@ -255,10 +268,31 @@ type CampaignResult struct {
 	// Quarantined lists the seeds that never produced a testable
 	// attempt, in seed order.
 	Quarantined []int64
+
+	// Plans and PlanSet describe the sampled plan set of a plan-mode
+	// campaign (zero otherwise): the set size and its fingerprint.
+	Plans   int
+	PlanSet uint64
+	// DistinctDetections counts the unique (program fingerprint, plan)
+	// pairs among plan-mode detections — the dedup the paper's triage
+	// needs when many seeds regenerate the same failing program.
+	DistinctDetections int
+
+	planSeen map[string]bool // (program|plan) dedup set behind DistinctDetections
 }
 
 func newCampaignResult() *CampaignResult {
 	return &CampaignResult{ByOracle: make(map[Oracle]int)}
+}
+
+// notePlans stamps the plan-set identity onto the result (no-op
+// outside plan mode). Both engines call it before recording verdicts.
+func (res *CampaignResult) notePlans(cfg *CampaignConfig) {
+	if len(cfg.Plans) == 0 {
+		return
+	}
+	res.Plans = len(cfg.Plans)
+	res.PlanSet = compiler.PlanSetFingerprint(cfg.Plans)
 }
 
 // record folds one verdict (and its detection, if any) into the
@@ -286,6 +320,16 @@ func (res *CampaignResult) record(v Verdict, det *Detection) bool {
 	}
 	res.Detections = append(res.Detections, *det)
 	res.ByOracle[v.Oracle]++
+	if v.Plan != "" {
+		key := fmt.Sprintf("%016x|%s", v.Program, v.Plan)
+		if res.planSeen == nil {
+			res.planSeen = make(map[string]bool)
+		}
+		if !res.planSeen[key] {
+			res.planSeen[key] = true
+			res.DistinctDetections++
+		}
+	}
 	return true
 }
 
@@ -303,10 +347,12 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	cfg.Telemetry.begin(cfg.Programs)
 	cfg.Telemetry.attachJournal(cfg.Journal)
+	cfg.Telemetry.attachPlans(cfg.Plans)
 	if familyActive(&cfg) {
 		return runCampaignFamilies(ctx, cfg)
 	}
 	res := newCampaignResult()
+	res.notePlans(&cfg)
 	for i := 0; i < cfg.Programs; i++ {
 		if err := ctx.Err(); err != nil {
 			return res, err

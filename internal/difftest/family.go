@@ -45,9 +45,12 @@ const familyMaxSteps = 2_000_000
 // Family mode requires fault-free, unbounded attempts — the shared
 // stages of a batch cannot be attributed to one member's injector or
 // deadline — so with Faults or a Timeout configured the classic
-// per-seed campaign runs instead.
+// per-seed campaign runs instead. Plan mode also disables it: a family
+// varies the program under fixed configurations, plan mode varies the
+// configuration under fixed programs, and the engines refuse to guess
+// which axis wins.
 func familyActive(cfg *CampaignConfig) bool {
-	return cfg.FamilySize > 1 && cfg.Faults == nil && cfg.Timeout == 0
+	return cfg.FamilySize > 1 && cfg.Faults == nil && cfg.Timeout == 0 && len(cfg.Plans) == 0
 }
 
 // famParam is one hoisted constant: its integer width and original

@@ -14,6 +14,8 @@ import (
 	"os"
 	"sort"
 	"sync/atomic"
+
+	"ratte/internal/compiler"
 )
 
 // journalVersion guards the on-disk format.
@@ -38,6 +40,12 @@ type journalHeader struct {
 	// resumed under another. The Batched flag is deliberately absent —
 	// it never changes verdicts.
 	Family int `json:"family,omitempty"`
+	// PlanCount and PlanSet identify a plan-mode campaign's sampled
+	// plan set (zero outside plan mode): verdicts recorded under one
+	// plan set mean nothing under another, so a resume with different
+	// plans — even the same count — is rejected by fingerprint.
+	PlanCount int    `json:"plans,omitempty"`
+	PlanSet   uint64 `json:"plan_set,omitempty"`
 }
 
 func headerFor(cfg *CampaignConfig) journalHeader {
@@ -60,13 +68,18 @@ func headerFor(cfg *CampaignConfig) journalHeader {
 	if familyActive(cfg) {
 		h.Family = cfg.FamilySize
 	}
+	if len(cfg.Plans) > 0 {
+		h.PlanCount = len(cfg.Plans)
+		h.PlanSet = compiler.PlanSetFingerprint(cfg.Plans)
+	}
 	return h
 }
 
 func headerMatches(a, b journalHeader) bool {
 	if a.Version != b.Version || a.Preset != b.Preset || a.Size != b.Size ||
 		a.Seed != b.Seed || a.FaultSeed != b.FaultSeed || a.FaultRate != b.FaultRate ||
-		a.Family != b.Family || len(a.Bugs) != len(b.Bugs) {
+		a.Family != b.Family || a.PlanCount != b.PlanCount || a.PlanSet != b.PlanSet ||
+		len(a.Bugs) != len(b.Bugs) {
 		return false
 	}
 	for i := range a.Bugs {
@@ -139,7 +152,7 @@ func OpenJournalForResume(path string, cfg CampaignConfig) (*Journal, map[int64]
 	}
 	want := headerFor(&cfg)
 	if !headerMatches(hdr, want) {
-		return nil, nil, fmt.Errorf("journal: %s was recorded under a different campaign config (preset/size/seed/bugs/faults must match)", path)
+		return nil, nil, fmt.Errorf("journal: %s was recorded under a different campaign config (preset/size/seed/bugs/faults/plans must match)", path)
 	}
 
 	resumed := make(map[int64]Verdict, len(lines)-1)

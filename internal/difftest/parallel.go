@@ -40,10 +40,13 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 		return RunCampaignCtx(parent, cfg)
 	}
 	if cfg.Programs <= 0 {
-		return newCampaignResult(), nil
+		res := newCampaignResult()
+		res.notePlans(&cfg)
+		return res, nil
 	}
 	cfg.Telemetry.begin(cfg.Programs)
 	cfg.Telemetry.attachJournal(cfg.Journal)
+	cfg.Telemetry.attachPlans(cfg.Plans)
 
 	type generated struct {
 		idx  int
@@ -211,6 +214,7 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 	// serial loop over them — including journaling, which therefore
 	// happens strictly in seed order here too.
 	res := newCampaignResult()
+	res.notePlans(&cfg)
 	pending := make(map[int]seedOutcome)
 	next := 0
 	var firstErr error   // first in-seed-order generation failure

@@ -1,0 +1,304 @@
+// Plan-mode differential testing: the phase-ordering axis. A classic
+// campaign tests every program under the four fixed build
+// configurations; a plan-mode campaign (CampaignConfig.Plans non-empty,
+// the -fuzz-pipelines flag) tests it under N sampled legal pass plans
+// instead, compiled through the same prefix tree. The oracles carry
+// over — NC and DT-R mean exactly what they always mean — plus DT-P,
+// the cross-plan analogue of DT-O: two legal plans over the same
+// program must agree.
+//
+// Everything is keyed by Plan.Key (name|fingerprint), never by the
+// deliberately non-unique display name: two sampled plans of the same
+// length must not silently merge in reports, journals or comparisons.
+package difftest
+
+import (
+	"context"
+	"errors"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/faultinject"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+	"ratte/internal/verify"
+)
+
+// OracleDTP is differential testing across compilation plans: two
+// legal plans compiled and ran, and their outputs differ. Like DT-O it
+// is structurally shadowed in attribution — the reference output is
+// always defined, so a cross-plan divergence implies at least one plan
+// diverged from the reference and DT-R fires first — but it is the
+// honest name for what a phase-ordering campaign is hunting, and
+// PlanReport.DTP keeps it observable on its own.
+const OracleDTP Oracle = "DT-P"
+
+// PlanReport is the differential-testing record of one program across
+// a plan set — the plan-mode analogue of Report. Results are keyed by
+// Plan.Key.
+type PlanReport struct {
+	Preset    string
+	Reference string // expected output per the Ratte semantics
+	Plans     []compiler.Plan
+	Results   map[string]LevelResult
+}
+
+// TestModulePlans compiles and runs a UB-free module under every plan
+// of the given (possibly bug-injected) compiler build and records the
+// outcomes, sharing the plans' common pipeline prefixes. reference is
+// the expected output from the Ratte semantics.
+func TestModulePlans(m *ir.Module, reference string, plans []compiler.Plan, bugSet bugs.Set) *PlanReport {
+	rep := newPlanReport(reference, plans)
+	outs := compiler.CompilePlans(m, plans, bugSet)
+	for i, p := range plans {
+		var lr LevelResult
+		if outs[i].Err != nil {
+			lr.CompileErr = outs[i].Err
+		} else {
+			res, err := dialects.NewExecutor().Run(outs[i].Module, "main")
+			if err != nil {
+				lr.RunErr = err
+			} else {
+				lr.Output = res.Output
+			}
+		}
+		rep.Results[p.Key()] = lr
+	}
+	return rep
+}
+
+func newPlanReport(reference string, plans []compiler.Plan) *PlanReport {
+	preset := ""
+	if len(plans) > 0 {
+		preset = plans[0].Preset
+	}
+	return &PlanReport{
+		Preset:    preset,
+		Reference: reference,
+		Plans:     plans,
+		Results:   make(map[string]LevelResult, len(plans)),
+	}
+}
+
+// NC reports whether the non-crash oracle fires under any plan, and
+// returns the first offending plan's key in plan-set order.
+func (r *PlanReport) NC() (string, bool) {
+	for _, p := range r.Plans {
+		lr := r.Results[p.Key()]
+		if lr.CompileErr != nil || lr.RunErr != nil {
+			return p.Key(), true
+		}
+	}
+	return "", false
+}
+
+// DTR reports whether any successful plan's output differs from the
+// reference semantics, and returns the first offending plan's key.
+func (r *PlanReport) DTR() (string, bool) {
+	for _, p := range r.Plans {
+		lr := r.Results[p.Key()]
+		if lr.CompileErr == nil && lr.RunErr == nil && lr.Output != r.Reference {
+			return p.Key(), true
+		}
+	}
+	return "", false
+}
+
+// DTP reports whether two plans that both compiled and ran disagree,
+// and returns the key of the first plan differing from the first
+// successful one.
+func (r *PlanReport) DTP() (string, bool) {
+	var first *string
+	for _, p := range r.Plans {
+		lr := r.Results[p.Key()]
+		if lr.CompileErr != nil || lr.RunErr != nil {
+			continue
+		}
+		out := lr.Output
+		if first == nil {
+			first = &out
+		} else if *first != out {
+			return p.Key(), true
+		}
+	}
+	return "", false
+}
+
+// Detected returns the strongest-attribution oracle that fired and the
+// plan the detection is attributed to, with the same reporting
+// convention as Report.Detected: crash or rejection is NC; a mismatch
+// against the reference is DT-R; a pure cross-plan difference is DT-P.
+func (r *PlanReport) Detected() (Oracle, string) {
+	if key, ok := r.NC(); ok {
+		return OracleNC, key
+	}
+	if key, ok := r.DTR(); ok {
+		return OracleDTR, key
+	}
+	if key, ok := r.DTP(); ok {
+		return OracleDTP, key
+	}
+	return OracleNone, ""
+}
+
+// planTestOnce is the plan-mode body of one guarded, deadline-bounded
+// attempt: testOnce with the plan set in place of the fixed build
+// configurations. The stage structure, panic containment, fault
+// classification and abort semantics are identical — only the compile
+// fan-out and the compare stage differ.
+func planTestOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program, inj *faultinject.Injector) attemptResult {
+	hitsBefore := inj.Hits()
+	pctx := ctx
+	cancel := func() {}
+	if cfg.Timeout > 0 {
+		pctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+	}
+	defer cancel()
+
+	m := prog.Module
+	fail := func(sf *StageFailure) attemptResult {
+		if ctx.Err() != nil && !sf.Injected {
+			return attemptResult{aborted: true}
+		}
+		return attemptResult{
+			verdict:   Verdict{Seed: seed, Kind: VerdictStageFailure, Failure: sf},
+			transient: sf.Injected,
+		}
+	}
+
+	// Verify stage: a verification error is the wrong-rejection half of
+	// the NC oracle, recorded per plan exactly as CompilePlans reports it.
+	var verr error
+	t0 := cfg.Telemetry.stageStart()
+	if sf := guard(StageVerify, seed, m, func() {
+		verr = verify.Module(m, dialects.SourceSpecs())
+	}); sf != nil {
+		cfg.Telemetry.stageDone(seed, StageVerify, t0, spanOutcome(sf, nil))
+		return fail(sf)
+	}
+	cfg.Telemetry.stageDone(seed, StageVerify, t0, spanOutcome(nil, verr))
+
+	rep := newPlanReport(prog.Expected, cfg.Plans)
+	rep.Preset = cfg.Preset
+	if verr != nil {
+		for _, p := range cfg.Plans {
+			rep.Results[p.Key()] = LevelResult{CompileErr: verr}
+		}
+	} else {
+		// Compile stage: the shared prefix-tree compilation of
+		// TestModulePlans, minus the verification already done above.
+		opts := &compiler.Options{Bugs: cfg.Bugs, Ctx: pctx, Faults: inj, SkipVerify: true}
+		var outs []compiler.ConfigResult
+		tc := cfg.Telemetry.stageStart()
+		if sf := guard(StageCompile, seed, m, func() {
+			outs = compiler.CompilePlansOpts(m, opts, cfg.Plans)
+		}); sf != nil {
+			cfg.Telemetry.stageDone(seed, StageCompile, tc, spanOutcome(sf, nil))
+			return fail(sf)
+		}
+		cfg.Telemetry.stageDone(seed, StageCompile, tc, "ok")
+		// Interpret stage: run each successfully compiled plan.
+		ti := cfg.Telemetry.stageStart()
+		if sf := guard(StageInterpret, seed, m, func() {
+			for i, p := range cfg.Plans {
+				var lr LevelResult
+				if outs[i].Err != nil {
+					lr.CompileErr = outs[i].Err
+				} else {
+					ex := dialects.NewExecutor()
+					ex.Ctx = pctx
+					ex.Faults = inj
+					ex.Metrics = cfg.Telemetry.interpMetrics()
+					res, err := ex.Run(outs[i].Module, "main")
+					if err != nil {
+						lr.RunErr = err
+					} else {
+						lr.Output = res.Output
+					}
+				}
+				rep.Results[p.Key()] = lr
+			}
+		}); sf != nil {
+			cfg.Telemetry.stageDone(seed, StageInterpret, ti, spanOutcome(sf, nil))
+			return fail(sf)
+		}
+		cfg.Telemetry.stageDone(seed, StageInterpret, ti, "ok")
+	}
+
+	// Classification sweep: injected errors and expired budgets landed
+	// in the per-plan results as CompileErr/RunErr; they must become
+	// stage-failure/timeout verdicts, not masquerade as NC detections.
+	var injectedErr error
+	var injectedStage Stage
+	timedOut := false
+	for _, p := range cfg.Plans {
+		lr := rep.Results[p.Key()]
+		if e := lr.CompileErr; e != nil {
+			if faultinject.IsInjected(e) && injectedErr == nil {
+				injectedErr, injectedStage = e, StageCompile
+			}
+			if errors.Is(e, context.DeadlineExceeded) || errors.Is(e, context.Canceled) {
+				timedOut = true
+			}
+		}
+		if e := lr.RunErr; e != nil {
+			if faultinject.IsInjected(e) && injectedErr == nil {
+				injectedErr, injectedStage = e, StageInterpret
+			}
+			if errors.Is(e, context.DeadlineExceeded) || errors.Is(e, context.Canceled) {
+				timedOut = true
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return attemptResult{aborted: true}
+	}
+	if injectedErr != nil {
+		return attemptResult{
+			verdict: Verdict{Seed: seed, Kind: VerdictStageFailure, Failure: &StageFailure{
+				Stage:    injectedStage,
+				Seed:     seed,
+				Reason:   injectedErr.Error(),
+				Module:   safePrint(m),
+				Injected: true,
+			}},
+			transient: true,
+		}
+	}
+	if timedOut {
+		return attemptResult{
+			verdict:   Verdict{Seed: seed, Kind: VerdictTimeout},
+			transient: inj.Hits() > hitsBefore,
+		}
+	}
+
+	// Compare stage.
+	var oracle Oracle
+	var planKey string
+	tcmp := cfg.Telemetry.stageStart()
+	if sf := guard(StageCompare, seed, m, func() {
+		oracle, planKey = rep.Detected()
+	}); sf != nil {
+		cfg.Telemetry.stageDone(seed, StageCompare, tcmp, spanOutcome(sf, nil))
+		return fail(sf)
+	}
+	cfg.Telemetry.stageDone(seed, StageCompare, tcmp, "ok")
+	if oracle == OracleNone {
+		return attemptResult{verdict: Verdict{Seed: seed, Kind: VerdictOK}}
+	}
+	return attemptResult{
+		verdict: Verdict{
+			Seed: seed, Kind: VerdictDetection, Oracle: oracle,
+			Plan: planKey, Program: ir.Fingerprint(m),
+		},
+		detection: &Detection{
+			Seed:       seed,
+			Oracle:     oracle,
+			Plan:       planKey,
+			Program:    m,
+			Expected:   prog.Expected,
+			PlanReport: rep,
+		},
+	}
+}

@@ -14,6 +14,9 @@ import (
 func ReportText(res *CampaignResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "programs tested: %d\n", res.Programs)
+	if res.Plans > 0 {
+		fmt.Fprintf(&b, "plans per program: %d (set %016x)\n", res.Plans, res.PlanSet)
+	}
 	fmt.Fprintf(&b, "detections: %d\n", len(res.Detections))
 	oracles := make([]string, 0, len(res.ByOracle))
 	for o := range res.ByOracle {
@@ -35,9 +38,16 @@ func ReportText(res *CampaignResult) string {
 	if len(res.Quarantined) > 0 {
 		fmt.Fprintf(&b, "quarantined seeds: %d\n", len(res.Quarantined))
 	}
+	if res.Plans > 0 && len(res.Detections) > 0 {
+		fmt.Fprintf(&b, "distinct program-plan detections: %d\n", res.DistinctDetections)
+	}
 	if len(res.Detections) > 0 {
 		d := res.Detections[0]
-		fmt.Fprintf(&b, "first detection: seed %d via %s\n", d.Seed, d.Oracle)
+		if d.Plan != "" {
+			fmt.Fprintf(&b, "first detection: seed %d via %s (plan %s)\n", d.Seed, d.Oracle, d.Plan)
+		} else {
+			fmt.Fprintf(&b, "first detection: seed %d via %s\n", d.Seed, d.Oracle)
+		}
 	}
 	return b.String()
 }

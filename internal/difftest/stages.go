@@ -112,7 +112,12 @@ func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 		backoff = DefaultRetryBackoff
 	}
 	for attempt := 1; ; attempt++ {
-		out := testOnce(ctx, cfg, seed, prog, inj)
+		var out attemptResult
+		if len(cfg.Plans) > 0 {
+			out = planTestOnce(ctx, cfg, seed, prog, inj)
+		} else {
+			out = testOnce(ctx, cfg, seed, prog, inj)
+		}
 		if out.aborted {
 			return seedOutcome{aborted: true}
 		}
@@ -298,5 +303,5 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 // journaled — they are regenerable from the seed — so only the fields
 // the final report uses are populated.
 func resumedDetection(v Verdict) *Detection {
-	return &Detection{Seed: v.Seed, Oracle: v.Oracle}
+	return &Detection{Seed: v.Seed, Oracle: v.Oracle, Plan: v.Plan}
 }

@@ -71,6 +71,8 @@ type CampaignTelemetry struct {
 	total       atomic.Int64
 	startNano   atomic.Int64
 	journalOnce sync.Once
+	planOnce    sync.Once
+	planPos     *telemetry.CounterVec
 }
 
 // NewCampaignTelemetry builds the campaign instrument bundle on the
@@ -97,6 +99,8 @@ func NewCampaignTelemetry(reg *telemetry.Registry) *CampaignTelemetry {
 			"seeds that never produced a testable attempt"),
 		faults: reg.CounterVec("ratte_campaign_faults_total", "site",
 			"injected faults fired, by site"),
+		planPos: reg.CounterVec("ratte_plan_pass_position_total", "pass",
+			"sampled plan-set coverage: occurrences of each pass at each pipeline position (pass@pos)"),
 		stageLat: make(map[Stage]*telemetry.Histogram),
 	}
 	t.vOK = t.verdicts.With(string(VerdictOK))
@@ -212,6 +216,27 @@ func (t *CampaignTelemetry) attachJournal(j *Journal) {
 			func() int64 { l, _ := j.Written(); return l })
 		t.Registry.GaugeFunc("ratte_journal_bytes", "bytes appended to the campaign journal",
 			func() int64 { _, b := j.Written(); return b })
+	})
+}
+
+// attachPlans exposes a plan-mode campaign's plan-space coverage: the
+// plan-set size as a gauge and, for every plan, each pass occurrence
+// counted at its pipeline position ("name@pos"). The counts describe
+// the sampled set itself — which phase orders this campaign exercises
+// — and are registered once per telemetry instance.
+func (t *CampaignTelemetry) attachPlans(plans []compiler.Plan) {
+	if t == nil || len(plans) == 0 {
+		return
+	}
+	t.planOnce.Do(func() {
+		n := int64(len(plans))
+		t.Registry.GaugeFunc("ratte_plan_set_size", "sampled compilation plans per program",
+			func() int64 { return n })
+		for _, p := range plans {
+			for pos, name := range p.Passes {
+				t.planPos.Inc(fmt.Sprintf("%s@%d", name, pos))
+			}
+		}
 	})
 }
 

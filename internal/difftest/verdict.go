@@ -87,6 +87,15 @@ type Verdict struct {
 	// or timeout after exhausting retries); they are listed in
 	// CampaignResult.Quarantined for offline triage.
 	Quarantined bool `json:"quarantined,omitempty"`
+	// Plan is the Key (name|fingerprint) of the compilation plan a
+	// plan-mode detection is attributed to. Empty outside plan mode
+	// and for non-detection verdicts, so classic journals are
+	// unchanged byte for byte.
+	Plan string `json:"plan,omitempty"`
+	// Program is the detected program's ir.Fingerprint — the program
+	// half of the (program, plan) dedup key plan-mode reports count
+	// distinct detections by. Zero outside plan-mode detections.
+	Program uint64 `json:"program,omitempty"`
 }
 
 // guard runs one stage with panic containment: a panic becomes a

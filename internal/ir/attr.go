@@ -201,34 +201,51 @@ func (AffineMapAttr) isAttribute() {}
 
 // Attrs is an ordered attribute dictionary. Order is preserved so that
 // printing is deterministic and round-trips through the parser.
+//
+// The representation is a pair of parallel slices, not a map: real
+// operations carry a handful of attributes at most, linear scans beat
+// map hashing at that size, and — decisively for the compile hot path,
+// where module cloning is the dominant allocator — Clone becomes two
+// slice copies instead of a map allocation per operation.
 type Attrs struct {
 	keys []string
-	vals map[string]Attribute
+	vals []Attribute
 }
 
 // NewAttrs builds an attribute dictionary from alternating key/value
 // pairs supplied via Set.
 func NewAttrs() *Attrs {
-	return &Attrs{vals: make(map[string]Attribute)}
+	return &Attrs{}
+}
+
+func (a *Attrs) index(key string) int {
+	for i, k := range a.keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
 }
 
 // Set inserts or replaces the attribute named key.
 func (a *Attrs) Set(key string, val Attribute) {
-	if a.vals == nil {
-		a.vals = make(map[string]Attribute)
+	if i := a.index(key); i >= 0 {
+		a.vals[i] = val
+		return
 	}
-	if _, ok := a.vals[key]; !ok {
-		a.keys = append(a.keys, key)
-	}
-	a.vals[key] = val
+	a.keys = append(a.keys, key)
+	a.vals = append(a.vals, val)
 }
 
 // Get returns the attribute named key, or nil if absent.
 func (a *Attrs) Get(key string) Attribute {
-	if a == nil || a.vals == nil {
+	if a == nil {
 		return nil
 	}
-	return a.vals[key]
+	if i := a.index(key); i >= 0 {
+		return a.vals[i]
+	}
+	return nil
 }
 
 // Has reports whether the dictionary contains key.
@@ -236,16 +253,13 @@ func (a *Attrs) Has(key string) bool { return a.Get(key) != nil }
 
 // Delete removes the attribute named key if present.
 func (a *Attrs) Delete(key string) {
-	if a == nil || a.vals == nil {
+	if a == nil {
 		return
 	}
-	if _, ok := a.vals[key]; !ok {
-		return
-	}
-	delete(a.vals, key)
 	for i, k := range a.keys {
 		if k == key {
 			a.keys = append(a.keys[:i], a.keys[i+1:]...)
+			a.vals = append(a.vals[:i], a.vals[i+1:]...)
 			break
 		}
 	}
@@ -266,8 +280,8 @@ func (a *Attrs) Each(f func(key string, val Attribute)) {
 	if a == nil {
 		return
 	}
-	for _, k := range a.keys {
-		f(k, a.vals[k])
+	for i, k := range a.keys {
+		f(k, a.vals[i])
 	}
 }
 
@@ -280,16 +294,18 @@ func (a *Attrs) Keys() []string {
 }
 
 // Clone returns a deep copy of the dictionary (attribute values are
-// immutable and shared).
+// immutable and shared): two exact-size slice copies, nothing more.
+// Clone dominates the compile hot path — every branch of a shared
+// prefix tree starts from a cloned module — which is the reason Attrs
+// is slice-backed in the first place.
 func (a *Attrs) Clone() *Attrs {
-	c := NewAttrs()
-	if a == nil {
-		return c
+	if a == nil || len(a.keys) == 0 {
+		return NewAttrs()
 	}
-	for _, k := range a.keys {
-		c.Set(k, a.vals[k])
+	return &Attrs{
+		keys: append(make([]string, 0, len(a.keys)), a.keys...),
+		vals: append(make([]Attribute, 0, len(a.vals)), a.vals...),
 	}
-	return c
 }
 
 func (a *Attrs) String() string {
@@ -303,11 +319,11 @@ func (a *Attrs) String() string {
 			b.WriteString(", ")
 		}
 		b.WriteString(k)
-		if _, isUnit := a.vals[k].(UnitAttr); isUnit {
+		if _, isUnit := a.vals[i].(UnitAttr); isUnit {
 			continue
 		}
 		b.WriteString(" = ")
-		b.WriteString(a.vals[k].String())
+		b.WriteString(a.vals[i].String())
 	}
 	b.WriteByte('}')
 	return b.String()

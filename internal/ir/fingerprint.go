@@ -66,9 +66,9 @@ func hashOp(h uint64, op *Operation) uint64 {
 		h = hashUint64(h, uint64(op.Attrs.Len()))
 		// Direct field iteration: an Each-style closure would make h
 		// escape and cost one allocation per op.
-		for _, k := range op.Attrs.keys {
+		for i, k := range op.Attrs.keys {
 			h = hashString(h, k)
-			h = hashAttr(h, op.Attrs.vals[k])
+			h = hashAttr(h, op.Attrs.vals[i])
 		}
 	}
 	h = hashUint64(h, uint64(len(op.Successors)))

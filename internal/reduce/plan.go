@@ -1,0 +1,43 @@
+// Two-axis reduction for plan-mode findings: a phase-ordering
+// counterexample is a (program, plan) pair, and a useful reproducer is
+// minimal on both axes. The plan axis shrinks first — dropping
+// optional passes is cheap (each candidate is one recompile of one
+// module) and every pass dropped shrinks the search space the module
+// axis then works in — then the module shrinks under the already
+// minimized plan.
+package reduce
+
+import (
+	"ratte/internal/compiler"
+	"ratte/internal/ir"
+)
+
+// PlanPredicate reports whether a candidate (program, plan) pair is
+// still interesting (e.g. the plan-equivalence oracle still fires).
+// It must be deterministic.
+type PlanPredicate func(m *ir.Module, p compiler.Plan) bool
+
+// ProgramPlan minimizes a failing (program, plan) pair while pred
+// keeps holding: first the plan (adjacent idempotent duplicates
+// collapsed, then optional passes greedily dropped — mandatory
+// lowering stages are never touched, so every candidate plan is legal
+// by construction), then the module under the minimized plan, then one
+// more plan pass in case the smaller module freed further plan
+// reductions. The inputs are not modified; pred(m, p) must be true on
+// entry, otherwise the pair is returned unchanged.
+func ProgramPlan(m *ir.Module, p compiler.Plan, pred PlanPredicate) (*ir.Module, compiler.Plan) {
+	if !pred(m, p) {
+		return m, p
+	}
+	cur := m
+	plan := compiler.ShrinkPlan(p, func(cand compiler.Plan) bool {
+		return pred(cur, cand)
+	})
+	cur = Module(cur, func(cand *ir.Module) bool {
+		return pred(cand, plan)
+	})
+	plan = compiler.ShrinkPlan(plan, func(cand compiler.Plan) bool {
+		return pred(cur, cand)
+	})
+	return cur, plan
+}

@@ -1,0 +1,108 @@
+package reduce_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/dialects"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
+	"ratte/internal/reduce"
+)
+
+// planFires reports whether the (program, plan) pair still diverges
+// from the reference under the given bug set — the interestingness
+// predicate a plan-mode campaign hands the reducer.
+func planFires(bugSet bugs.Set) reduce.PlanPredicate {
+	return func(m *ir.Module, p compiler.Plan) bool {
+		ref, err := dialects.NewReferenceInterpreter().Run(m, "main")
+		if err != nil {
+			return false
+		}
+		outs := compiler.CompilePlans(m, []compiler.Plan{p}, bugSet)
+		if outs[0].Err != nil {
+			return true // wrong rejection still fires NC
+		}
+		res, err := dialects.NewExecutor().Run(outs[0].Module, "main")
+		if err != nil {
+			return true
+		}
+		return res.Output != ref.Output
+	}
+}
+
+// findPlanDivergence scans seeds for a program the bare-skeleton plan
+// miscompiles under bug 6 (the direct ceildivsi conversion).
+func findPlanDivergence(t *testing.T) (*ir.Module, compiler.Plan) {
+	t.Helper()
+	skel, err := compiler.PlanSkeleton("ariths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately fat plan: the optional passes are noise the
+	// reducer must strip.
+	plan := compiler.Plan{Preset: "ariths", Passes: append([]string{
+		"canonicalize", "canonicalize", "cse",
+	}, skel...)}
+	plan.Passes = append(plan.Passes, "remove-dead-values")
+	if err := compiler.ValidatePlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	fires := planFires(bugs.Only(bugs.CeilDivSiConvert))
+	for seed := int64(0); seed < 300; seed++ {
+		prog, err := gen.Generate(gen.Config{Preset: "ariths", Size: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fires(prog.Module, plan) {
+			return prog.Module, plan
+		}
+	}
+	t.Fatal("no divergent (program, plan) pair in 300 seeds")
+	return nil, compiler.Plan{}
+}
+
+func TestProgramPlanShrinksBothAxes(t *testing.T) {
+	m, plan := findPlanDivergence(t)
+	pred := planFires(bugs.Only(bugs.CeilDivSiConvert))
+	minM, minP := reduce.ProgramPlan(m, plan, pred)
+
+	if !pred(minM, minP) {
+		t.Fatal("reduced pair no longer fires")
+	}
+	if err := compiler.ValidatePlan(minP); err != nil {
+		t.Fatalf("reduced plan illegal: %v", err)
+	}
+	// Plan axis: bug 6 fires precisely without arith-expand, and no
+	// optional pass is needed to trigger it — the minimal plan is the
+	// bare skeleton.
+	skel, _ := compiler.PlanSkeleton("ariths")
+	if !reflect.DeepEqual(minP.Passes, skel) {
+		t.Errorf("plan reduced to %v, want bare skeleton %v", minP.Passes, skel)
+	}
+	// Module axis: strictly fewer ops than the original.
+	if got, was := countOps(minM), countOps(m); got >= was {
+		t.Errorf("module not reduced: %d ops, was %d", got, was)
+	}
+}
+
+func TestProgramPlanUninterestingPairUnchanged(t *testing.T) {
+	prog, err := gen.Generate(gen.Config{Preset: "ariths", Size: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skel, _ := compiler.PlanSkeleton("ariths")
+	plan := compiler.Plan{Preset: "ariths", Passes: append([]string{"cse"}, skel...)}
+	m2, p2 := reduce.ProgramPlan(prog.Module, plan, func(*ir.Module, compiler.Plan) bool { return false })
+	if m2 != prog.Module || !reflect.DeepEqual(p2, plan) {
+		t.Error("uninteresting pair was modified")
+	}
+}
+
+func countOps(m *ir.Module) int {
+	n := 0
+	m.Walk(func(*ir.Operation) bool { n++; return true })
+	return n
+}

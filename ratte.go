@@ -212,6 +212,62 @@ func Mutate(m *Module, seed int64, n int) (*Module, []string) {
 	return mutate.Mutate(m, seed, n)
 }
 
+// Plan fuzzing: the phase-ordering axis. A Plan is one legal pass
+// pipeline; SamplePlans draws seeded random legal plans around the
+// preset's mandatory lowering skeleton, and a campaign with
+// CampaignConfig.Plans set (the -fuzz-pipelines flag) tests every
+// program under each of them through a shared prefix tree.
+type (
+	// Plan is one compilation pass plan (preset + ordered pass list).
+	Plan = compiler.Plan
+	// PassMeta is one pass's plan constraints (mandatory stage,
+	// requires/invalidated-by, occurrence cap, idempotence).
+	PassMeta = compiler.PassMeta
+	// PlanReport is one program's differential record across a plan set.
+	PlanReport = difftest.PlanReport
+)
+
+// OracleDTP is the cross-plan differential oracle (two legal plans
+// over the same program disagree).
+const OracleDTP = difftest.OracleDTP
+
+// PassMetadata returns a pass's plan constraints; ok is false for
+// unknown passes.
+func PassMetadata(name string) (PassMeta, bool) { return compiler.PassMetadata(name) }
+
+// PlanSkeleton returns a preset's mandatory lowering stages in order —
+// the minimal legal plan.
+func PlanSkeleton(preset string) ([]string, error) { return compiler.PlanSkeleton(preset) }
+
+// SamplePlans draws n distinct legal plans for a preset from a seeded
+// sampler; plan 0 is always the bare skeleton.
+func SamplePlans(preset string, n int, seed int64) ([]Plan, error) {
+	return compiler.SamplePlans(preset, n, seed)
+}
+
+// ValidatePlan checks a plan against the pass-metadata registry
+// (skeleton completeness and order, occurrence caps, requires/
+// invalidated-by constraints, fused pairs). It is the lint behind the
+// sampler's legality guarantee.
+func ValidatePlan(p Plan) error { return compiler.ValidatePlan(p) }
+
+// ShrinkPlan greedily minimizes a plan while pred keeps holding;
+// mandatory stages are never dropped, so every candidate is legal.
+func ShrinkPlan(p Plan, pred func(Plan) bool) Plan { return compiler.ShrinkPlan(p, pred) }
+
+// TestPlans differentially tests one UB-free module under every plan
+// of a (possibly bug-injected) compiler build, sharing common pipeline
+// prefixes.
+func TestPlans(m *Module, expected string, plans []Plan, bugSet BugSet) *PlanReport {
+	return difftest.TestModulePlans(m, expected, plans, bugSet)
+}
+
+// ReduceProgramPlan minimizes a failing (program, plan) pair on both
+// axes while pred keeps holding.
+func ReduceProgramPlan(m *Module, p Plan, pred func(*Module, Plan) bool) (*Module, Plan) {
+	return reduce.ProgramPlan(m, p, pred)
+}
+
 // Conformance: the property-testing harness that keeps the substrate's
 // own oracles trustworthy (find → minimize → regress).
 type (
@@ -234,8 +290,9 @@ type (
 // ConformanceOracles returns the standard oracle battery: print/parse
 // round-trip, verifier idempotence, per-pass-prefix semantic
 // equivalence (every preset × optimisation level), metamorphic mutation
-// equivalence, correct-build differential testing and serial-vs-
-// parallel campaign agreement.
+// equivalence, correct-build differential testing, serial-vs-parallel
+// campaign agreement, and the plan-legality and plan-equivalence
+// properties of the plan fuzzer.
 func ConformanceOracles() []ConformanceOracle { return conformance.StandardOracles() }
 
 // ConformanceOracleNames lists the standard oracles' names, sorted.

@@ -1,0 +1,23 @@
+// ratte-regression v1
+// oracle: plan-equivalence/ariths
+// seed: 0
+// bugs: 6
+// fires: DT-R
+// plan: convert-scf-to-cf,convert-arith-to-llvm,convert-vector-to-llvm,convert-func-to-llvm
+// detail: DT-R fired under plan [convert-scf-to-cf convert-arith-to-llvm convert-vector-to-llvm convert-func-to-llvm]
+"builtin.module"() ({
+  ^bb0:
+    "func.func"() ({
+      ^bb0:
+        %a, %b = "func.call"() {callee = @c} : () -> (i64, i64)
+        %q = "arith.ceildivsi"(%a, %b) : (i64, i64) -> (i64)
+        "vector.print"(%q) : (i64) -> ()
+        "func.return"() : () -> ()
+    }) {sym_name = "main", function_type = () -> ()} : () -> ()
+    "func.func"() ({
+      ^bb0:
+        %a = "arith.constant"() {value = -6 : i64} : () -> (i64)
+        %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+        "func.return"(%a, %b) : (i64, i64) -> ()
+    }) {sym_name = "c", function_type = () -> (i64, i64)} : () -> ()
+}) : () -> ()
