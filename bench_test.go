@@ -9,9 +9,12 @@
 package ratte_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,6 +22,7 @@ import (
 	"ratte/internal/bugs"
 	"ratte/internal/compiler"
 	"ratte/internal/difftest"
+	"ratte/internal/fleet"
 	"ratte/internal/gen"
 	"ratte/internal/mlirsmith"
 )
@@ -461,7 +465,29 @@ func TestEmitCampaignBench(t *testing.T) {
 		return float64(elapsed.Nanoseconds()) / programs, programs / elapsed.Seconds()
 	}
 	run(1, false) // warm the memoized registries and pipelines
-	serialNs, serialPS := run(1, false)
+	// Telemetry overhead is estimated from PAIRED runs: each rep times
+	// an uninstrumented and an instrumented serial campaign back to
+	// back, and the recorded overhead is the median of the per-rep
+	// deltas. A single ~400ms wall-clock shot swings by tens of percent
+	// with ambient load (one early record pinned a bogus 28% "overhead"
+	// that profiling could not find anywhere), and unpaired minima
+	// drift with load phases; pairing cancels the drift.
+	const telReps = 7
+	var serialNs, serialPS, telNs, telPS float64
+	deltas := make([]float64, 0, telReps)
+	for rep := 0; rep < telReps; rep++ {
+		offNs, offPS := run(1, false)
+		onNs, onPS := run(1, true)
+		if rep == 0 || offNs < serialNs {
+			serialNs, serialPS = offNs, offPS
+		}
+		if rep == 0 || onNs < telNs {
+			telNs, telPS = onNs, onPS
+		}
+		deltas = append(deltas, (onNs-offNs)/offNs*100)
+	}
+	sort.Float64s(deltas)
+	overheadPct := deltas[len(deltas)/2]
 	// Worker sweep: on a multi-core host programs/sec scales with
 	// workers until cores are saturated; recorded per-count so a
 	// single-core container's honest (flat) curve is distinguishable
@@ -478,15 +504,70 @@ func TestEmitCampaignBench(t *testing.T) {
 			"speedup_vs_serial": ps / serialPS,
 		})
 	}
-	// Telemetry overhead: same serial workload, fully instrumented.
-	// The observability contract caps this at ~2% — spans are
-	// per-stage, counters per-verdict, both single atomic updates.
-	telNs, telPS := run(1, true)
-	overheadPct := (telNs - serialNs) / serialNs * 100
+	// overheadPct was computed above from the paired reps: spans per
+	// stage, counters per verdict, single atomic updates each — the
+	// observability contract caps it at ~5%.
 	unbNs, unbPS := runFamily(1, false)
 	batNs, batPS := runFamily(1, true)
 	sharedNs, naiveNs := runPlans(16)
 	planNs, planPS := runPlanCampaign(1)
+	// Fleet throughput: a real coordinator on localhost HTTP with N
+	// worker loops leasing shards — the full wire protocol (gzip JSONL
+	// uploads, heartbeats, seed-order merge) on the serial workload. On
+	// a multi-core host aggregate programs/sec scales with workers; on
+	// one CPU the curve is flat and the serial ratio is pure protocol
+	// overhead (read cpus to tell which this record is).
+	runFleet := func(nWorkers int) (nsPerProgram, programsPerSec float64) {
+		cfg := difftest.CampaignConfig{
+			Preset:   "ariths",
+			Programs: programs,
+			Size:     30,
+			Seed:     1,
+			Bugs:     bugs.None(),
+		}
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{Campaign: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < nWorkers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+					Coordinator: "http://" + coord.Addr(),
+					Campaign:    cfg,
+					Workers:     1,
+				}); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		res, err := coord.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		coord.DrainWorkers(5 * time.Second)
+		wg.Wait()
+		coord.Close()
+		if res.Programs != programs {
+			t.Fatalf("fleet campaign tested %d programs, want %d", res.Programs, programs)
+		}
+		return float64(elapsed.Nanoseconds()) / programs, programs / elapsed.Seconds()
+	}
+	fleetSweep := []map[string]any{}
+	for _, nWorkers := range []int{1, 2, 4} {
+		ns, ps := runFleet(nWorkers)
+		fleetSweep = append(fleetSweep, map[string]any{
+			"workers": nWorkers, "ns_per_program": ns, "programs_per_sec": ps,
+			"speedup_vs_serial": ps / serialPS,
+		})
+	}
 	record := map[string]any{
 		"benchmark": "campaign",
 		"preset":    "ariths",
@@ -519,6 +600,10 @@ func TestEmitCampaignBench(t *testing.T) {
 			"campaign": map[string]any{
 				"workers": 1, "ns_per_program": planNs, "programs_per_sec": planPS,
 			},
+		},
+		"fleet": map[string]any{
+			"transport":     "localhost http, gzip jsonl shard uploads",
+			"workers_sweep": fleetSweep,
 		},
 	}
 	data, err := json.MarshalIndent(record, "", "  ")

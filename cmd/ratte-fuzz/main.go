@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -59,7 +60,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	bugList := flag.String("bugs", "", "comma-separated injected bug ids")
 	reduceFlag := flag.Bool("reduce", false, "reduce the first detection's test case")
-	workers := flag.Int("workers", 1, "parallel workers (all modes)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (all modes); defaults to GOMAXPROCS")
 	journal := flag.String("journal", "", "append campaign verdicts to this JSONL file (ad-hoc campaigns)")
 	resume := flag.Bool("resume", false, "resume the campaign recorded in -journal, skipping verdicted seeds")
 	family := flag.Int("family", 0, "mutation-family size: test each generated program plus N-1 constant-mutated variants (ad-hoc campaigns)")
@@ -77,7 +78,18 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (ad-hoc campaigns)")
 	metricsDump := flag.String("metrics-dump", "", "write the final Prometheus metrics payload to this file (ad-hoc campaigns)")
 	progress := flag.Duration("progress", 0, "print a one-line campaign status to stderr at this interval (ad-hoc campaigns)")
+	serve := flag.String("serve", "", "fleet coordinator mode: serve the campaign's shards on this address (host:port)")
+	workerOf := flag.String("worker", "", "fleet worker mode: lease shards from this coordinator URL (http://host:port)")
+	shardSize := flag.Int("shard-size", 0, "seeds per fleet shard (0 = auto, with -serve)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fleet shard lease expiry before re-issue (0 = 15s, with -serve)")
 	flag.Parse()
+
+	if *workers > runtime.NumCPU() {
+		// Once, to stderr: the pipelined engines cannot beat the CPU count,
+		// they only add scheduling overhead past it.
+		fmt.Fprintf(os.Stderr, "ratte-fuzz: warning: -workers=%d exceeds %d CPUs; extra workers add overhead without speedup\n",
+			*workers, runtime.NumCPU())
+	}
 
 	stopProfiling, err := profiling.StartProfiles(profiling.Options{
 		CPUPath: *cpuprofile, MemPath: *memprofile,
@@ -100,7 +112,7 @@ func main() {
 	case "dol":
 		dol(*programs, *size, *seed, *workers)
 	case "":
-		adhoc(adhocOptions{
+		o := adhocOptions{
 			preset: *preset, programs: *programs, size: *size, seed: *seed,
 			bugList: *bugList, doReduce: *reduceFlag, workers: *workers,
 			journal: *journal, resume: *resume, timeout: *timeout,
@@ -108,7 +120,19 @@ func main() {
 			fuzzPipelines: *fuzzPipelines, planSeed: *planSeed,
 			faultRate: *faultRate, faultSeed: *faultSeed, retries: *retries,
 			metricsAddr: *metricsAddr, metricsDump: *metricsDump, progress: *progress,
-		})
+			serve: *serve, workerOf: *workerOf, shardSize: *shardSize, leaseTTL: *leaseTTL,
+		}
+		switch {
+		case o.serve != "" && o.workerOf != "":
+			fmt.Fprintln(os.Stderr, "ratte-fuzz: -serve and -worker are mutually exclusive")
+			os.Exit(1)
+		case o.serve != "":
+			fleetServe(o)
+		case o.workerOf != "":
+			fleetWork(o)
+		default:
+			adhoc(o)
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "ratte-fuzz: unknown experiment", *experiment)
 		os.Exit(1)
@@ -381,15 +405,18 @@ type adhocOptions struct {
 	metricsAddr string
 	metricsDump string
 	progress    time.Duration
+
+	serve     string
+	workerOf  string
+	shardSize int
+	leaseTTL  time.Duration
 }
 
-// adhoc runs a plain campaign: fault-isolated, optionally journaled and
-// resumable, interruptible by SIGINT/SIGTERM with a graceful drain.
-func adhoc(o adhocOptions) {
-	fatal := func(err error) {
-		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
-		os.Exit(1)
-	}
+// buildCampaign assembles the campaign configuration shared by the
+// single-process, fleet-coordinator and fleet-worker modes. The bug
+// set is returned separately because the reduction path re-tests
+// against it.
+func buildCampaign(o adhocOptions) (difftest.CampaignConfig, bugs.Set, error) {
 	bugSet := bugs.None()
 	for _, part := range strings.Split(o.bugList, ",") {
 		if part = strings.TrimSpace(part); part == "" {
@@ -397,7 +424,7 @@ func adhoc(o adhocOptions) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil {
-			fatal(fmt.Errorf("bad bug id %q", part))
+			return difftest.CampaignConfig{}, nil, fmt.Errorf("bad bug id %q", part)
 		}
 		bugSet[bugs.ID(n)] = true
 	}
@@ -415,11 +442,11 @@ func adhoc(o adhocOptions) {
 	}
 	if o.fuzzPipelines > 0 {
 		if o.family > 0 {
-			fatal(errors.New("-fuzz-pipelines and -family are mutually exclusive"))
+			return difftest.CampaignConfig{}, nil, errors.New("-fuzz-pipelines and -family are mutually exclusive")
 		}
 		plans, err := compiler.SamplePlans(o.preset, o.fuzzPipelines, o.planSeed)
 		if err != nil {
-			fatal(err)
+			return difftest.CampaignConfig{}, nil, err
 		}
 		cfg.Plans = plans
 	}
@@ -431,6 +458,20 @@ func adhoc(o adhocOptions) {
 				faultinject.KindError, faultinject.KindPanic, faultinject.KindDelay,
 			},
 		}
+	}
+	return cfg, bugSet, nil
+}
+
+// adhoc runs a plain campaign: fault-isolated, optionally journaled and
+// resumable, interruptible by SIGINT/SIGTERM with a graceful drain.
+func adhoc(o adhocOptions) {
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "ratte-fuzz:", err)
+		os.Exit(1)
+	}
+	cfg, bugSet, err := buildCampaign(o)
+	if err != nil {
+		fatal(err)
 	}
 
 	var journal *difftest.Journal

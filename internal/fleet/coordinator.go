@@ -1,0 +1,642 @@
+// The fleet coordinator: shard partitioning, HTTP lease service,
+// crash-tolerant re-issue, and the deterministic seed-order merge.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ratte/internal/difftest"
+	"ratte/internal/telemetry"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultLeaseTTL is how long a worker may hold a shard without
+	// completing it or heartbeating before the shard is re-issued.
+	DefaultLeaseTTL = 15 * time.Second
+	// defaultRetryMillis is the wait hint handed to workers when every
+	// pending shard is leased out.
+	defaultRetryMillis = 250
+	// maxShardSize bounds auto-sized shards: big enough to amortize one
+	// POST per shard, small enough that losing a worker forfeits little.
+	maxShardSize = 256
+)
+
+// CoordinatorConfig configures a fleet coordinator.
+type CoordinatorConfig struct {
+	// Campaign is the full campaign to distribute. Its Journal (if any)
+	// receives the merged verdict stream in seed order; its Resumed map
+	// (if any) splices previously journaled verdicts in at their seeds,
+	// exactly as the single-process engines do. StopAtFirst is not
+	// supported (a fleet campaign always runs its full seed space).
+	Campaign difftest.CampaignConfig
+	// ShardSize is the seed-index range leased per request (0 = auto:
+	// Programs/16 clamped to [1, 256], rounded up to a mutation-family
+	// multiple in family mode).
+	ShardSize int
+	// LeaseTTL is the shard lease budget (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Registry receives the fleet gauges and is served at the
+	// coordinator's /metrics (a fresh private registry when nil).
+	Registry *telemetry.Registry
+}
+
+// shardState is a shard's lifecycle position.
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// shard is one partition of the campaign's seed-index space.
+type shard struct {
+	id    int
+	first int
+	count int
+
+	state   shardState
+	epoch   int64
+	holder  string
+	expires time.Time
+	// verdicts is the completed shard's verdict stream, in seed order;
+	// shards fully covered by the resume map are born done with their
+	// recorded verdicts. Cleared once spliced into the merge.
+	verdicts []difftest.Verdict
+	// resumed marks a born-done shard: its verdicts are already in the
+	// journal, so the merge must not append them again.
+	resumed bool
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id       string
+	host     string
+	lastSeen time.Time
+	toldDone bool
+}
+
+// Coordinator runs the fleet's control plane. Create with
+// NewCoordinator, bind with Start, block on Wait.
+type Coordinator struct {
+	camp        difftest.CampaignConfig
+	shardSize   int
+	leaseTTL    time.Duration
+	fingerprint string
+	reg         *telemetry.Registry
+
+	srv *http.Server
+	ln  net.Listener
+
+	mu         sync.Mutex
+	shards     []*shard
+	pending    []int // shard ids awaiting (re-)issue, lowest first
+	nextSplice int   // shards[:nextSplice] are merged
+	merged     []difftest.Verdict
+	workers    map[string]*workerState
+	nextWorker int
+	nextEpoch  int64
+	draining   bool
+	journalErr error
+	start      time.Time
+
+	doneOnce sync.Once
+	done     chan struct{}
+
+	verdictsTotal *telemetry.Counter
+	reissued      *telemetry.Counter
+	duplicates    *telemetry.Counter
+	rejected      *telemetry.Counter
+}
+
+// NewCoordinator partitions the campaign into shards and prepares the
+// control plane. The campaign's verdict-relevant configuration is
+// fingerprinted once; workers registering with a different fingerprint
+// are rejected.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	camp := cfg.Campaign
+	if camp.Programs <= 0 {
+		return nil, errors.New("fleet: campaign has no programs")
+	}
+	if camp.StopAtFirst {
+		return nil, errors.New("fleet: StopAtFirst is not supported in fleet mode")
+	}
+	// Stage telemetry is a worker-side concern: the coordinator never
+	// runs pipeline stages, and the merge feeds no span recorder.
+	camp.Telemetry = nil
+	fp, err := difftest.CampaignFingerprint(camp)
+	if err != nil {
+		return nil, err
+	}
+
+	size := cfg.ShardSize
+	if size <= 0 {
+		size = camp.Programs / 16
+		if size < 1 {
+			size = 1
+		}
+		if size > maxShardSize {
+			size = maxShardSize
+		}
+	}
+	if camp.FamilySize > 1 {
+		// Align shards to mutation-family boundaries: a family's base
+		// program is generated from its first seed, so a family split
+		// across shards would change which program its members test.
+		if rem := size % camp.FamilySize; rem != 0 {
+			size += camp.FamilySize - rem
+		}
+	}
+
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
+	c := &Coordinator{
+		camp:        camp,
+		shardSize:   size,
+		leaseTTL:    ttl,
+		fingerprint: string(fp),
+		reg:         reg,
+		workers:     make(map[string]*workerState),
+		done:        make(chan struct{}),
+		start:       time.Now(),
+	}
+	for first := 0; first < camp.Programs; first += size {
+		count := size
+		if first+count > camp.Programs {
+			count = camp.Programs - first
+		}
+		s := &shard{id: len(c.shards), first: first, count: count}
+		if vs, ok := resumedShard(&camp, first, count); ok {
+			s.state, s.verdicts, s.resumed = shardDone, vs, true
+		} else {
+			c.pending = append(c.pending, s.id)
+		}
+		c.shards = append(c.shards, s)
+	}
+	c.registerMetrics()
+	c.mu.Lock()
+	c.splice()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// resumedShard returns the shard's verdicts from the campaign's resume
+// map when every seed of the range is already verdicted. A partially
+// resumed shard re-runs whole: verdicts depend only on (config, seed),
+// so the re-run reproduces the journaled prefix exactly.
+func resumedShard(camp *difftest.CampaignConfig, first, count int) ([]difftest.Verdict, bool) {
+	if len(camp.Resumed) < count {
+		return nil, false
+	}
+	vs := make([]difftest.Verdict, 0, count)
+	for i := 0; i < count; i++ {
+		v, ok := camp.Resumed[camp.Seed+int64(first+i)]
+		if !ok {
+			return nil, false
+		}
+		vs = append(vs, v)
+	}
+	return vs, true
+}
+
+// registerMetrics exposes the fleet gauges on the coordinator's
+// registry: live workers, shard queue states, merged-verdict count and
+// the aggregate campaign throughput.
+func (c *Coordinator) registerMetrics() {
+	c.verdictsTotal = c.reg.Counter("ratte_fleet_verdicts_total",
+		"verdicts received from accepted shard results")
+	c.reissued = c.reg.Counter("ratte_fleet_shards_reissued_total",
+		"shard leases that expired and were re-issued")
+	c.duplicates = c.reg.Counter("ratte_fleet_results_duplicate_total",
+		"shard results discarded because the shard was already complete")
+	c.rejected = c.reg.Counter("ratte_fleet_registrations_rejected_total",
+		"worker registrations rejected for a mismatched campaign fingerprint")
+	counts := func(st shardState) int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		var n int64
+		for _, s := range c.shards {
+			if s.state == st {
+				n++
+			}
+		}
+		return n
+	}
+	c.reg.GaugeFunc("ratte_fleet_shards_pending", "shards awaiting a lease",
+		func() int64 { return counts(shardPending) })
+	c.reg.GaugeFunc("ratte_fleet_shards_leased", "shards currently leased to workers",
+		func() int64 { return counts(shardLeased) })
+	c.reg.GaugeFunc("ratte_fleet_shards_done", "shards completed (merged or awaiting merge)",
+		func() int64 { return counts(shardDone) })
+	c.reg.GaugeFunc("ratte_fleet_workers_live", "workers seen within two lease TTLs",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			cutoff := time.Now().Add(-2 * c.leaseTTL)
+			var n int64
+			for _, w := range c.workers {
+				if w.lastSeen.After(cutoff) {
+					n++
+				}
+			}
+			return n
+		})
+	c.reg.GaugeFunc("ratte_fleet_workers_registered", "workers ever registered",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return int64(len(c.workers))
+		})
+	c.reg.GaugeFunc("ratte_fleet_programs_total", "campaign seed-space size",
+		func() int64 { return int64(c.camp.Programs) })
+	c.reg.GaugeFunc("ratte_fleet_programs_per_sec", "aggregate merged throughput since start",
+		func() int64 {
+			elapsed := time.Since(c.start).Seconds()
+			if elapsed <= 0 {
+				return 0
+			}
+			return int64(float64(c.verdictsTotal.Value()) / elapsed)
+		})
+}
+
+// Start binds the coordinator's HTTP service to addr (host:port; port
+// 0 picks a free port). The mux serves the fleet protocol plus the
+// fleet dashboard: Prometheus /metrics and JSON /debug/vars over the
+// coordinator's registry.
+func (c *Coordinator) Start(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc(pathRegister, c.handleRegister)
+	mux.HandleFunc(pathLease, c.handleLease)
+	mux.HandleFunc(pathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(pathResult, c.handleResult)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		c.reg.WriteJSON(w) //nolint:errcheck // best-effort scrape
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	c.ln = ln
+	c.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go c.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Registry returns the coordinator's metrics registry (the one behind
+// its /metrics endpoint).
+func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
+
+// Wait blocks until every shard is merged or ctx is cancelled, and
+// returns the campaign result assembled from the merged verdict
+// stream. On cancellation the coordinator freezes: it stops leasing
+// shards and discards late results, so the returned partial result
+// covers exactly the contiguous merged prefix — every verdict of which
+// is already in the journal — and the run is resumable. A completed
+// merge renders (via difftest.ReportText) byte-identical to a
+// single-process serial run of the same campaign.
+func (c *Coordinator) Wait(ctx context.Context) (*difftest.CampaignResult, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+	}
+	c.mu.Lock()
+	c.draining = true
+	complete := c.nextSplice == len(c.shards)
+	merged := c.merged
+	jerr := c.journalErr
+	c.mu.Unlock()
+
+	res := difftest.AssembleResult(c.camp, merged)
+	switch {
+	case jerr != nil:
+		return res, fmt.Errorf("fleet: journal: %w", jerr)
+	case !complete:
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// DrainWorkers waits (up to timeout) until every registered worker has
+// been told the campaign is done — workers poll the lease endpoint
+// while idle, so after a completed campaign this converges within one
+// retry interval. It lets a caller keep the control plane up just long
+// enough for a clean fleet-wide shutdown before Close.
+func (c *Coordinator) DrainWorkers(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		drained := true
+		for _, w := range c.workers {
+			if !w.toldDone {
+				drained = false
+				break
+			}
+		}
+		c.mu.Unlock()
+		if drained {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close shuts the control plane down.
+func (c *Coordinator) Close() error {
+	if c.srv == nil {
+		return nil
+	}
+	return c.srv.Close()
+}
+
+// ProgressLine renders a one-line fleet status for the -progress
+// ticker: merged seeds, shard queue states, live workers, throughput.
+func (c *Coordinator) ProgressLine() string {
+	c.mu.Lock()
+	var pending, leased, doneShards int
+	for _, s := range c.shards {
+		switch s.state {
+		case shardPending:
+			pending++
+		case shardLeased:
+			leased++
+		case shardDone:
+			doneShards++
+		}
+	}
+	mergedSeeds := len(c.merged)
+	cutoff := time.Now().Add(-2 * c.leaseTTL)
+	var live int
+	for _, w := range c.workers {
+		if w.lastSeen.After(cutoff) {
+			live++
+		}
+	}
+	c.mu.Unlock()
+	elapsed := time.Since(c.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(mergedSeeds) / elapsed
+	}
+	return fmt.Sprintf("fleet: %d/%d merged | shards %d done %d leased %d pending | %d workers | %.1f/sec",
+		mergedSeeds, c.camp.Programs, doneShards, leased, pending, live, rate)
+}
+
+// handleRegister admits a worker — or rejects it with 409 when its
+// campaign fingerprint differs from the coordinator's, the same check
+// a journal resume applies to a mismatched config.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if string(req.Fingerprint) != c.fingerprint {
+		c.rejected.Inc()
+		http.Error(w, fmt.Sprintf("fleet: campaign config mismatch: worker %s, coordinator %s",
+			req.Fingerprint, c.fingerprint), http.StatusConflict)
+		return
+	}
+	c.mu.Lock()
+	c.nextWorker++
+	id := "w" + strconv.Itoa(c.nextWorker)
+	host := req.Host
+	if host == "" {
+		host = r.RemoteAddr
+	}
+	c.workers[id] = &workerState{id: id, host: host, lastSeen: time.Now()}
+	shards := len(c.shards)
+	c.mu.Unlock()
+	writeJSON(w, registerResponse{
+		WorkerID:       id,
+		Programs:       c.camp.Programs,
+		Shards:         shards,
+		LeaseTTLMillis: c.leaseTTL.Milliseconds(),
+	})
+}
+
+// handleLease issues the lowest pending shard, re-queueing expired
+// leases first. With nothing pending but shards still leased out it
+// hands back a retry hint; once the campaign is merged (or the
+// coordinator is draining) it reports done.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		http.Error(w, "fleet: unknown worker (register first)", http.StatusForbidden)
+		return
+	}
+	ws.lastSeen = time.Now()
+	if c.draining || c.nextSplice == len(c.shards) {
+		ws.toldDone = true
+		writeJSON(w, leaseResponse{Done: true})
+		return
+	}
+	c.sweepExpired()
+	if len(c.pending) == 0 {
+		writeJSON(w, leaseResponse{RetryMillis: defaultRetryMillis})
+		return
+	}
+	id := c.pending[0]
+	c.pending = c.pending[1:]
+	s := c.shards[id]
+	c.nextEpoch++
+	s.state, s.epoch, s.holder = shardLeased, c.nextEpoch, req.WorkerID
+	s.expires = time.Now().Add(c.leaseTTL)
+	writeJSON(w, leaseResponse{Shard: &ShardLease{
+		ID: s.id, First: s.first, Count: s.count, Epoch: s.epoch,
+	}})
+}
+
+// sweepExpired re-queues every leased shard whose lease has expired.
+// Called under c.mu from the lease path — idle workers poll leases at
+// the retry interval, so expiry is detected promptly without a
+// dedicated timer goroutine.
+func (c *Coordinator) sweepExpired() {
+	now := time.Now()
+	for _, s := range c.shards {
+		if s.state == shardLeased && now.After(s.expires) {
+			s.state, s.holder = shardPending, ""
+			c.pending = append(c.pending, s.id)
+			c.reissued.Inc()
+		}
+	}
+	// Lowest shard first keeps the merge frontier moving.
+	for i := 1; i < len(c.pending); i++ {
+		for j := i; j > 0 && c.pending[j] < c.pending[j-1]; j-- {
+			c.pending[j], c.pending[j-1] = c.pending[j-1], c.pending[j]
+		}
+	}
+}
+
+// handleHeartbeat renews a running shard's lease.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws := c.workers[req.WorkerID]; ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	if req.ShardID < 0 || req.ShardID >= len(c.shards) {
+		writeJSON(w, heartbeatResponse{Lost: true})
+		return
+	}
+	s := c.shards[req.ShardID]
+	if s.state != shardLeased || s.epoch != req.Epoch || s.holder != req.WorkerID {
+		writeJSON(w, heartbeatResponse{Lost: true})
+		return
+	}
+	s.expires = time.Now().Add(c.leaseTTL)
+	writeJSON(w, heartbeatResponse{})
+}
+
+// handleResult ingests one completed shard: a gzip'd JSONL verdict
+// stream, validated against the shard's exact seed range, then merged.
+// Duplicates (a late worker returning a shard a re-issue already
+// completed) are discarded — verdicts depend only on (config, seed),
+// so whichever upload arrives first is byte-identical to any other.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	shardID, err := strconv.Atoi(q.Get("shard"))
+	workerID := q.Get("worker")
+	if err != nil || workerID == "" {
+		http.Error(w, "fleet: result needs shard and worker query params", http.StatusBadRequest)
+		return
+	}
+	vs, err := decodeVerdicts(io.LimitReader(r.Body, 1<<30))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws := c.workers[workerID]; ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	if c.draining {
+		// The campaign was cancelled: the merge is frozen and the
+		// journal may already be closed. Tell the worker to stop.
+		writeJSON(w, resultResponse{Accepted: false, Done: true})
+		return
+	}
+	if shardID < 0 || shardID >= len(c.shards) {
+		http.Error(w, "fleet: unknown shard", http.StatusBadRequest)
+		return
+	}
+	s := c.shards[shardID]
+	if s.state == shardDone {
+		c.duplicates.Inc()
+		writeJSON(w, resultResponse{Accepted: false, Done: c.nextSplice == len(c.shards)})
+		return
+	}
+	if len(vs) != s.count {
+		http.Error(w, fmt.Sprintf("fleet: shard %d result has %d verdicts, want %d",
+			shardID, len(vs), s.count), http.StatusBadRequest)
+		return
+	}
+	for i := range vs {
+		if want := c.camp.Seed + int64(s.first+i); vs[i].Seed != want {
+			http.Error(w, fmt.Sprintf("fleet: shard %d verdict %d has seed %d, want %d",
+				shardID, i, vs[i].Seed, want), http.StatusBadRequest)
+			return
+		}
+	}
+	s.state, s.verdicts, s.holder = shardDone, vs, ""
+	c.verdictsTotal.Add(uint64(len(vs)))
+	c.splice()
+	done := c.nextSplice == len(c.shards)
+	if c.journalErr != nil {
+		// Unblock Wait so the caller sees the journal failure; the
+		// partial merge up to the failed append remains valid.
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	if ws := c.workers[workerID]; ws != nil && done {
+		ws.toldDone = true
+	}
+	writeJSON(w, resultResponse{Accepted: true, Done: done})
+}
+
+// splice advances the merge frontier: completed shards are appended to
+// the merged verdict stream — and the journal — strictly in shard
+// (hence seed) order. Verdicts already present from a resumed journal
+// are merged but not re-appended, mirroring the single-process resume
+// path. Called under c.mu.
+func (c *Coordinator) splice() {
+	for c.nextSplice < len(c.shards) {
+		s := c.shards[c.nextSplice]
+		if s.state != shardDone {
+			return
+		}
+		c.merged = append(c.merged, s.verdicts...)
+		if c.camp.Journal != nil && !s.resumed && c.journalErr == nil {
+			for _, v := range s.verdicts {
+				if _, ok := c.camp.Resumed[v.Seed]; ok {
+					continue
+				}
+				if err := c.camp.Journal.Append(v); err != nil {
+					c.journalErr = err
+					break
+				}
+			}
+		}
+		s.verdicts = nil
+		c.nextSplice++
+	}
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// readJSON decodes a small JSON request body.
+func readJSON(r *http.Request, into any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("fleet: bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON encodes a response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
+}

@@ -1,0 +1,198 @@
+// End-to-end fleet tests: a real coordinator and real workers over
+// localhost HTTP, with the merged report compared byte for byte
+// against the single-process serial engine — in classic, plan-fuzzing
+// and batched family modes, and under injected worker loss.
+package fleet_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ratte/internal/bugs"
+	"ratte/internal/compiler"
+	"ratte/internal/difftest"
+	"ratte/internal/fleet"
+)
+
+// runFleet drives camp through a coordinator and n workers and returns
+// the merged result.
+func runFleet(t *testing.T, camp difftest.CampaignConfig, n int, cc fleet.CoordinatorConfig) *difftest.CampaignResult {
+	t.Helper()
+	cc.Campaign = camp
+	coord, err := fleet.NewCoordinator(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+				Coordinator: "http://" + coord.Addr(),
+				Campaign:    camp,
+				Workers:     1,
+			})
+		}(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.DrainWorkers(5 * time.Second)
+	wg.Wait()
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	return res
+}
+
+// TestFleetMatchesSerial is the tentpole contract: for the same
+// configuration, the fleet's merged report is byte-identical to the
+// single-process serial run — across classic campaigns, plan fuzzing
+// (-fuzz-pipelines) and batched mutation families (-batched).
+func TestFleetMatchesSerial(t *testing.T) {
+	plans, err := compiler.SamplePlans("ariths", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  difftest.CampaignConfig
+	}{
+		{"classic", difftest.CampaignConfig{
+			Preset: "ariths", Programs: 30, Size: 14, Seed: 97,
+			Bugs: bugs.Only(bugs.RemoveDeadValuesCall),
+		}},
+		{"plans", difftest.CampaignConfig{
+			Preset: "ariths", Programs: 12, Size: 14, Seed: 200,
+			Bugs: bugs.Only(bugs.RemoveDeadValuesCall), Plans: plans,
+		}},
+		{"batched-family", difftest.CampaignConfig{
+			Preset: "ariths", Programs: 16, Size: 14, Seed: 97,
+			FamilySize: 4, Batched: true,
+			Bugs: bugs.Only(bugs.RemoveDeadValuesCall),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := difftest.RunCampaign(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runFleet(t, tc.cfg, 2, fleet.CoordinatorConfig{ShardSize: 5})
+			if d := difftest.DiffVerdicts(want.Verdicts, got.Verdicts); d != "" {
+				t.Fatalf("fleet verdicts differ from serial: %s", d)
+			}
+			if a, b := difftest.ReportText(want), difftest.ReportText(got); a != b {
+				t.Fatalf("fleet report differs from serial:\n--- serial\n%s--- fleet\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestFleetSurvivesWorkerLoss: a worker that dies mid-campaign (its
+// context cancelled between shards) leaves the fleet's output
+// untouched — the expired shard is re-issued and the merged report
+// still matches the serial run byte for byte.
+func TestFleetSurvivesWorkerLoss(t *testing.T) {
+	cfg := difftest.CampaignConfig{
+		Preset: "ariths", Programs: 24, Size: 14, Seed: 97,
+		Bugs: bugs.Only(bugs.RemoveDeadValuesCall),
+	}
+	want, err := difftest.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Campaign: cfg, ShardSize: 4, LeaseTTL: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	url := "http://" + coord.Addr()
+
+	// The doomed worker is killed shortly after it starts taking work.
+	doomedCtx, kill := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fleet.RunWorker(doomedCtx, fleet.WorkerConfig{ //nolint:errcheck // killed deliberately
+			Coordinator: url, Campaign: cfg, Workers: 1,
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	kill()
+
+	// The survivor finishes everything, including the re-issued shard.
+	wg.Add(1)
+	var survivorErr error
+	go func() {
+		defer wg.Done()
+		_, survivorErr = fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+			Coordinator: url, Campaign: cfg, Workers: 1,
+		})
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.DrainWorkers(5 * time.Second)
+	wg.Wait()
+	if survivorErr != nil {
+		t.Fatalf("survivor worker: %v", survivorErr)
+	}
+	if d := difftest.DiffVerdicts(want.Verdicts, res.Verdicts); d != "" {
+		t.Fatalf("post-loss fleet verdicts differ from serial: %s", d)
+	}
+	if a, b := difftest.ReportText(want), difftest.ReportText(res); a != b {
+		t.Fatalf("post-loss fleet report differs from serial:\n--- serial\n%s--- fleet\n%s", a, b)
+	}
+}
+
+// TestFleetRejectsMismatchedWorker: a worker whose campaign flags
+// differ in any verdict-relevant way is refused at registration.
+func TestFleetRejectsMismatchedWorker(t *testing.T) {
+	cfg := difftest.CampaignConfig{Preset: "ariths", Programs: 8, Size: 14, Seed: 97}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{Campaign: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	bad := cfg
+	bad.Size = 20
+	_, err = fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+		Coordinator: "http://" + coord.Addr(),
+		Campaign:    bad,
+		Workers:     1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("mismatched worker got %v, want registration rejection", err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package fleet turns the single-process campaign engines into a
+// coordinator/worker fleet: one coordinator partitions a campaign's
+// seed-index space into contiguous shards and leases them over HTTP to
+// any number of worker processes, each of which runs its shard through
+// difftest.RunCampaignRange and posts the resulting verdict stream
+// back in one gzip'd JSONL body. The coordinator splices completed
+// shards back into seed order, so the merged report (and journal) is
+// byte-identical to a single-process serial run of the same
+// configuration — the fleet changes wall-clock time, never results.
+//
+// The protocol reuses the substrate the journal already defined:
+//
+//   - Registration sends the campaign's config fingerprint — the exact
+//     JSON header a journal stores on line 1 (difftest.CampaignFingerprint).
+//     A worker whose preset, size, seed, bug set, fault schedule,
+//     family size or plan-set fingerprint differs is rejected with 409
+//     before it can contribute a single verdict.
+//   - Shard results are the journal's line format: one JSON Verdict
+//     per line, gzip'd. A shard upload is literally a journal fragment.
+//
+// Crash tolerance is lease-based: a shard lease expires unless the
+// worker completes it or heartbeats, and an expired shard returns to
+// the pending queue under a new epoch for re-issue. Verdicts depend
+// only on (config, seed), so a late duplicate result from a presumed-
+// dead worker is byte-identical to the re-issued one and is discarded
+// without affecting the merge.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ratte/internal/difftest"
+)
+
+// Wire paths of the fleet protocol.
+const (
+	pathRegister  = "/fleet/register"
+	pathLease     = "/fleet/lease"
+	pathHeartbeat = "/fleet/heartbeat"
+	pathResult    = "/fleet/result"
+)
+
+// registerRequest is a worker's hello: its campaign fingerprint (the
+// journal header JSON) and a free-form host tag for dashboards.
+type registerRequest struct {
+	Fingerprint json.RawMessage `json:"fingerprint"`
+	Host        string          `json:"host,omitempty"`
+}
+
+// registerResponse assigns the worker its identity and tells it the
+// campaign dimensions its flags could not know (the program count is
+// deliberately outside the fingerprint, exactly as it is outside the
+// journal header).
+type registerResponse struct {
+	WorkerID string `json:"worker_id"`
+	Programs int    `json:"programs"`
+	Shards   int    `json:"shards"`
+	// LeaseTTLMillis is the lease expiry budget; workers heartbeat at a
+	// fraction of it while a shard runs.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// leaseRequest asks for a shard.
+type leaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// ShardLease is one leased unit of work: the half-open seed-index
+// range [First, First+Count) of the campaign. Epoch identifies the
+// issue: a re-issued shard carries a higher epoch, and heartbeats from
+// the stale holder report the lease lost.
+type ShardLease struct {
+	ID    int   `json:"id"`
+	First int   `json:"first"`
+	Count int   `json:"count"`
+	Epoch int64 `json:"epoch"`
+}
+
+// leaseResponse carries a shard, a wait hint (everything is leased but
+// the campaign is unfinished), or the campaign-done signal.
+type leaseResponse struct {
+	Done        bool        `json:"done,omitempty"`
+	RetryMillis int64       `json:"retry_ms,omitempty"`
+	Shard       *ShardLease `json:"shard,omitempty"`
+}
+
+// heartbeatRequest renews a shard lease mid-run.
+type heartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	ShardID  int    `json:"shard_id"`
+	Epoch    int64  `json:"epoch"`
+}
+
+// heartbeatResponse tells the worker whether it still holds the lease;
+// a lost lease means the shard was re-issued and the worker should
+// abandon it (its result would be discarded as a duplicate anyway).
+type heartbeatResponse struct {
+	Lost bool `json:"lost,omitempty"`
+}
+
+// resultResponse acknowledges a shard upload. Accepted is false for
+// duplicates (the shard was already completed, typically by a re-issue
+// racing a slow worker); Done tells the worker the whole campaign is
+// finished so it can exit without another lease round.
+type resultResponse struct {
+	Accepted bool `json:"accepted"`
+	Done     bool `json:"done,omitempty"`
+}
+
+// encodeVerdicts renders verdicts as gzip'd JSONL — one journal line
+// per verdict, the campaign journal's exact line format.
+func encodeVerdicts(vs []difftest.Verdict) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	for _, v := range vs {
+		line, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encode verdict: %w", err)
+		}
+		zw.Write(line)
+		zw.Write([]byte{'\n'})
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("fleet: encode verdicts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeVerdicts reads a gzip'd JSONL verdict stream.
+func decodeVerdicts(r io.Reader) ([]difftest.Verdict, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: decode verdicts: %w", err)
+	}
+	defer zr.Close()
+	var out []difftest.Verdict
+	sc := bufio.NewScanner(zr)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var v difftest.Verdict
+		if err := json.Unmarshal(line, &v); err != nil {
+			return nil, fmt.Errorf("fleet: decode verdict line: %w", err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: decode verdicts: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,307 @@
+// The fleet worker: register, lease, run, heartbeat, upload, repeat.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"ratte/internal/difftest"
+)
+
+// WorkerConfig configures one fleet worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://127.0.0.1:7777".
+	Coordinator string
+	// Campaign is the worker's local campaign configuration; its
+	// fingerprint must match the coordinator's or registration is
+	// rejected. Programs is overwritten by the coordinator's value at
+	// registration (it is outside the fingerprint, like the journal).
+	Campaign difftest.CampaignConfig
+	// Workers is the in-process pipeline parallelism each shard runs
+	// with (<=1 = serial).
+	Workers int
+	// Host is a free-form tag reported at registration (defaults to the
+	// process hostname).
+	Host string
+	// Logf, when set, receives worker progress lines.
+	Logf func(format string, args ...any)
+	// Client is the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+
+	// RegisterRetries bounds the initial-registration retry loop
+	// covering the coordinator-still-starting race (default 20 attempts
+	// at 250ms). A 409 config mismatch fails immediately regardless.
+	RegisterRetries int
+}
+
+// WorkerStats summarizes one worker's run for logs and tests.
+type WorkerStats struct {
+	WorkerID       string
+	Shards         int // shards completed and accepted
+	Verdicts       int // verdicts uploaded in accepted shards
+	LostLeases     int // shards abandoned after a heartbeat reported the lease lost
+	DuplicateDrops int // completed shards the coordinator discarded as duplicates
+}
+
+// RunWorker runs the worker loop until the coordinator reports the
+// campaign done, ctx is cancelled, or a non-retryable error occurs.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	w := &worker{cfg: cfg}
+	if w.cfg.Client == nil {
+		w.cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if w.cfg.Logf == nil {
+		w.cfg.Logf = func(string, ...any) {}
+	}
+	if w.cfg.Host == "" {
+		w.cfg.Host, _ = os.Hostname()
+	}
+	if w.cfg.RegisterRetries <= 0 {
+		w.cfg.RegisterRetries = 20
+	}
+	return w.run(ctx)
+}
+
+type worker struct {
+	cfg   WorkerConfig
+	stats WorkerStats
+	ttl   time.Duration
+}
+
+func (w *worker) run(ctx context.Context) (WorkerStats, error) {
+	reg, err := w.register(ctx)
+	if err != nil {
+		return w.stats, err
+	}
+	w.stats.WorkerID = reg.WorkerID
+	w.ttl = time.Duration(reg.LeaseTTLMillis) * time.Millisecond
+	if w.ttl <= 0 {
+		w.ttl = DefaultLeaseTTL
+	}
+	// The program count lives outside the fingerprint; adopt the
+	// coordinator's so shard-range validation sees the real bounds.
+	w.cfg.Campaign.Programs = reg.Programs
+	w.cfg.Logf("fleet worker %s: registered (%d programs, %d shards, lease %v)",
+		reg.WorkerID, reg.Programs, reg.Shards, w.ttl)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return w.stats, err
+		}
+		lease, err := w.lease(ctx)
+		if err != nil {
+			return w.stats, err
+		}
+		switch {
+		case lease.Done:
+			w.cfg.Logf("fleet worker %s: campaign done (%d shards, %d verdicts)",
+				w.stats.WorkerID, w.stats.Shards, w.stats.Verdicts)
+			return w.stats, nil
+		case lease.Shard == nil:
+			wait := time.Duration(lease.RetryMillis) * time.Millisecond
+			if wait <= 0 {
+				wait = defaultRetryMillis * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return w.stats, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		done, err := w.runShard(ctx, *lease.Shard)
+		if err != nil {
+			return w.stats, err
+		}
+		if done {
+			w.cfg.Logf("fleet worker %s: campaign done (%d shards, %d verdicts)",
+				w.stats.WorkerID, w.stats.Shards, w.stats.Verdicts)
+			return w.stats, nil
+		}
+	}
+}
+
+// register announces the worker, retrying connection errors to cover
+// the worker-before-coordinator startup race. A rejection (HTTP 409,
+// mismatched campaign fingerprint) fails immediately.
+func (w *worker) register(ctx context.Context) (*registerResponse, error) {
+	fp, err := difftest.CampaignFingerprint(w.cfg.Campaign)
+	if err != nil {
+		return nil, err
+	}
+	req := registerRequest{Fingerprint: fp, Host: w.cfg.Host}
+	var lastErr error
+	for attempt := 0; attempt < w.cfg.RegisterRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+		var resp registerResponse
+		status, err := w.postJSON(ctx, pathRegister, req, &resp)
+		switch {
+		case err == nil && status == http.StatusOK:
+			return &resp, nil
+		case status == http.StatusConflict:
+			return nil, fmt.Errorf("fleet: registration rejected: %w", err)
+		default:
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("fleet: register: coordinator unreachable: %w", lastErr)
+}
+
+// lease asks for the next shard.
+func (w *worker) lease(ctx context.Context) (*leaseResponse, error) {
+	var resp leaseResponse
+	status, err := w.postJSON(ctx, pathLease, leaseRequest{WorkerID: w.stats.WorkerID}, &resp)
+	if err != nil || status != http.StatusOK {
+		return nil, fmt.Errorf("fleet: lease: %w", err)
+	}
+	return &resp, nil
+}
+
+// runShard executes one leased shard with a heartbeat goroutine
+// renewing the lease at a third of the TTL. A heartbeat that reports
+// the lease lost cancels the shard's context: the coordinator has
+// re-issued the shard, so finishing it would only produce a duplicate.
+// The returned bool is the coordinator's campaign-done signal from the
+// upload acknowledgement, which saves the final lease round trip.
+func (w *worker) runShard(ctx context.Context, lease ShardLease) (bool, error) {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	lost := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(w.ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-tick.C:
+			}
+			var resp heartbeatResponse
+			status, err := w.postJSON(shardCtx, pathHeartbeat, heartbeatRequest{
+				WorkerID: w.stats.WorkerID, ShardID: lease.ID, Epoch: lease.Epoch,
+			}, &resp)
+			if err == nil && status == http.StatusOK && resp.Lost {
+				close(lost)
+				cancel()
+				return
+			}
+			// Transient heartbeat errors are ignored: the lease has a
+			// whole TTL of slack and the result upload is authoritative.
+		}
+	}()
+
+	vs, runErr := difftest.RunCampaignRange(shardCtx, w.cfg.Campaign, lease.First, lease.Count, w.cfg.Workers)
+	cancel()
+	<-hbDone
+	select {
+	case <-lost:
+		w.stats.LostLeases++
+		w.cfg.Logf("fleet worker %s: shard %d lease lost, abandoning", w.stats.WorkerID, lease.ID)
+		return false, nil
+	default:
+	}
+	if runErr != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return false, fmt.Errorf("fleet: shard %d: %w", lease.ID, runErr)
+	}
+	return w.upload(ctx, lease, vs)
+}
+
+// upload posts the shard's verdict stream — one gzip'd JSONL body —
+// retrying transient failures while the lease epoch still stands. The
+// returned bool relays the coordinator's campaign-done signal.
+func (w *worker) upload(ctx context.Context, lease ShardLease, vs []difftest.Verdict) (bool, error) {
+	body, err := encodeVerdicts(vs)
+	if err != nil {
+		return false, err
+	}
+	url := fmt.Sprintf("%s%s?shard=%d&worker=%s", w.cfg.Coordinator, pathResult, lease.ID, w.stats.WorkerID)
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return false, ctx.Err()
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		req.Header.Set("Content-Encoding", "gzip")
+		httpResp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+		httpResp.Body.Close()
+		if httpResp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("fleet: shard %d upload rejected: %s: %s",
+				lease.ID, httpResp.Status, bytes.TrimSpace(data))
+		}
+		var resp resultResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return false, fmt.Errorf("fleet: shard %d upload response: %w", lease.ID, err)
+		}
+		if resp.Accepted {
+			w.stats.Shards++
+			w.stats.Verdicts += len(vs)
+			w.cfg.Logf("fleet worker %s: shard %d done (%d verdicts)", w.stats.WorkerID, lease.ID, len(vs))
+		} else {
+			w.stats.DuplicateDrops++
+			w.cfg.Logf("fleet worker %s: shard %d already complete, discarded", w.stats.WorkerID, lease.ID)
+		}
+		return resp.Done, nil
+	}
+	return false, fmt.Errorf("fleet: shard %d upload: %w", lease.ID, lastErr)
+}
+
+// postJSON posts a JSON body and decodes a JSON response. The returned
+// status is 0 on transport errors; on non-200 statuses err carries the
+// response body.
+func (w *worker) postJSON(ctx context.Context, path string, body, into any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: decode %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

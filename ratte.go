@@ -38,6 +38,7 @@ import (
 	"ratte/internal/conformance"
 	"ratte/internal/dialects"
 	"ratte/internal/difftest"
+	"ratte/internal/fleet"
 	"ratte/internal/faultinject"
 	"ratte/internal/gen"
 	"ratte/internal/interp"
@@ -359,3 +360,44 @@ func BugTable() []bugs.Info { return bugs.Table() }
 // SupportedOps returns the source-dialect operation inventory (the
 // paper's 43 operations across core dialects).
 func SupportedOps() []string { return dialects.SupportedSourceOps() }
+
+// Fleet: the distributed campaign layer (internal/fleet). A
+// coordinator partitions a campaign's seed space into shards and
+// leases them over HTTP to worker processes; the merged report is
+// byte-identical to a single-process run of the same configuration.
+type (
+	// FleetCoordinatorConfig configures a campaign coordinator.
+	FleetCoordinatorConfig = fleet.CoordinatorConfig
+	// FleetCoordinator serves shard leases and merges verdict streams.
+	FleetCoordinator = fleet.Coordinator
+	// FleetWorkerConfig configures one shard worker.
+	FleetWorkerConfig = fleet.WorkerConfig
+	// FleetWorkerStats summarises one worker's run.
+	FleetWorkerStats = fleet.WorkerStats
+)
+
+// NewFleetCoordinator partitions a campaign into shards and prepares
+// the fleet control plane; Start it on an address, then Wait for the
+// merged result.
+func NewFleetCoordinator(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) {
+	return fleet.NewCoordinator(cfg)
+}
+
+// RunFleetWorker leases and runs shards from a coordinator until the
+// campaign completes or ctx is cancelled.
+func RunFleetWorker(ctx context.Context, cfg FleetWorkerConfig) (FleetWorkerStats, error) {
+	return fleet.RunWorker(ctx, cfg)
+}
+
+// RunCampaignRange runs the seed-index window [first, first+count) of
+// a campaign and returns its verdicts in seed order — the worker half
+// of a distributed campaign.
+func RunCampaignRange(ctx context.Context, cfg CampaignConfig, first, count, workers int) ([]Verdict, error) {
+	return difftest.RunCampaignRange(ctx, cfg, first, count, workers)
+}
+
+// CampaignFingerprint renders the configuration fingerprint a journal
+// stores on line 1 and a fleet registration validates against.
+func CampaignFingerprint(cfg CampaignConfig) ([]byte, error) {
+	return difftest.CampaignFingerprint(cfg)
+}
