@@ -14,12 +14,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"ratte/internal/difftest"
+	"ratte/internal/faultinject"
 	"ratte/internal/fleet"
 )
 
@@ -60,10 +62,19 @@ func fleetServe(o adhocOptions) {
 		cfg.Journal = journal
 	}
 
+	// The shard ledger rides alongside the journal by default: the pair
+	// is what makes a SIGKILL'd coordinator resumable with -resume.
+	ledger := o.fleetLedger
+	if ledger == "" && o.journal != "" {
+		ledger = o.journal + ".ledger"
+	}
 	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
-		Campaign:  cfg,
-		ShardSize: o.shardSize,
-		LeaseTTL:  o.leaseTTL,
+		Campaign:     cfg,
+		ShardSize:    o.shardSize,
+		LeaseTTL:     o.leaseTTL,
+		Token:        o.fleetToken,
+		LedgerPath:   ledger,
+		ResumeLedger: o.resume,
 	})
 	if err != nil {
 		fatal(err)
@@ -154,10 +165,29 @@ func fleetWork(o adhocOptions) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -net-fault-rate puts the worker's whole wire behind the seeded
+	// fault transport: refused connections, delays, injected 5xx, torn
+	// bodies, duplicated deliveries. Results must not change — only the
+	// retry counters do.
+	var client *http.Client
+	if o.netFaultRate > 0 {
+		tr := faultinject.NewTransport(faultinject.NetSpec{
+			Seed:  o.netFaultSeed,
+			Rate:  o.netFaultRate,
+			Delay: 5 * time.Millisecond,
+		}, nil)
+		client = &http.Client{Timeout: 60 * time.Second, Transport: tr}
+		fmt.Fprintf(os.Stderr, "fleet worker: injecting network faults (rate %.2f, seed %d)\n", o.netFaultRate, o.netFaultSeed)
+	}
+
 	stats, err := fleet.RunWorker(ctx, fleet.WorkerConfig{
-		Coordinator: o.workerOf,
-		Campaign:    cfg,
-		Workers:     o.workers,
+		Coordinator:   o.workerOf,
+		Campaign:      cfg,
+		Workers:       o.workers,
+		Token:         o.fleetToken,
+		UploadRetries: o.uploadRetries,
+		SpoolPath:     o.spoolPath,
+		Client:        client,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -169,4 +199,6 @@ func fleetWork(o adhocOptions) {
 		}
 		fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "fleet worker %s: %d shards, %d verdicts (%d registrations, %d upload retries, %d spool replays)\n",
+		stats.WorkerID, stats.Shards, stats.Verdicts, stats.Registrations, stats.UploadRetried, stats.SpoolReplayed)
 }

@@ -82,6 +82,12 @@ func main() {
 	workerOf := flag.String("worker", "", "fleet worker mode: lease shards from this coordinator URL (http://host:port)")
 	shardSize := flag.Int("shard-size", 0, "seeds per fleet shard (0 = auto, with -serve)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "fleet shard lease expiry before re-issue (0 = 15s, with -serve)")
+	fleetToken := flag.String("fleet-token", "", "shared fleet secret; every request must carry it (both -serve and -worker)")
+	fleetLedger := flag.String("fleet-ledger", "", "coordinator shard ledger path (with -serve; defaults to <journal>.ledger when -journal is set)")
+	uploadRetries := flag.Int("upload-retries", 0, "max retries per worker upload before giving up (0 = default 5, with -worker)")
+	spoolPath := flag.String("spool", "", "worker upload spool path: shard results persist locally until acknowledged (with -worker)")
+	netFaultRate := flag.Float64("net-fault-rate", 0, "deterministic network fault-injection rate in [0,1] on the worker's wire (with -worker)")
+	netFaultSeed := flag.Int64("net-fault-seed", 1, "seed of the injected network-fault schedule (with -net-fault-rate)")
 	flag.Parse()
 
 	if *workers > runtime.NumCPU() {
@@ -121,6 +127,9 @@ func main() {
 			faultRate: *faultRate, faultSeed: *faultSeed, retries: *retries,
 			metricsAddr: *metricsAddr, metricsDump: *metricsDump, progress: *progress,
 			serve: *serve, workerOf: *workerOf, shardSize: *shardSize, leaseTTL: *leaseTTL,
+			fleetToken: *fleetToken, fleetLedger: *fleetLedger,
+			uploadRetries: *uploadRetries, spoolPath: *spoolPath,
+			netFaultRate: *netFaultRate, netFaultSeed: *netFaultSeed,
 		}
 		switch {
 		case o.serve != "" && o.workerOf != "":
@@ -410,6 +419,13 @@ type adhocOptions struct {
 	workerOf  string
 	shardSize int
 	leaseTTL  time.Duration
+
+	fleetToken    string
+	fleetLedger   string
+	uploadRetries int
+	spoolPath     string
+	netFaultRate  float64
+	netFaultSeed  int64
 }
 
 // buildCampaign assembles the campaign configuration shared by the

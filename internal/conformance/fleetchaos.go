@@ -1,0 +1,177 @@
+// fleet-chaos/<preset>: the fleet's determinism-under-failure
+// contract, checked end to end against a real localhost fleet. A
+// coordinator and two workers run a campaign with every wire path
+// behind seeded fault-injecting transports (refused connections,
+// delays, injected 5xx, torn request and response bodies, duplicated
+// deliveries) — and the coordinator itself is killed mid-campaign and
+// restarted over its journal and shard ledger on the same address. The
+// merged report must still be byte-identical to the single-process
+// serial run: the fleet, its faults, and its crashes change wall-clock
+// time, never results.
+//
+// Module-free, like campaign-agreement: the campaign seed schedule and
+// the fault spec are the input, so there is nothing to shrink.
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ratte/internal/bugs"
+	"ratte/internal/difftest"
+	"ratte/internal/faultinject"
+	"ratte/internal/fleet"
+	"ratte/internal/ir"
+)
+
+// FamilyFleetChaos names the fleet chaos-determinism oracle family.
+const FamilyFleetChaos = "fleet-chaos"
+
+type fleetChaos struct{ preset string }
+
+// NewFleetChaos returns the chaos-hardened fleet determinism oracle
+// for one preset.
+func NewFleetChaos(preset string) Oracle { return fleetChaos{preset} }
+
+func (o fleetChaos) Name() string { return FamilyFleetChaos + "/" + o.preset }
+
+func (o fleetChaos) Generate(int64) (*ir.Module, error) { return nil, nil }
+
+func (o fleetChaos) Check(_ *ir.Module, seed int64) *Failure {
+	base := difftest.CampaignConfig{
+		Preset:   o.preset,
+		Programs: 10,
+		Size:     13,
+		Seed:     seed,
+		Bugs:     bugs.All(),
+	}
+	want, err := difftest.RunCampaign(base)
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("serial baseline failed: %v", err)}
+	}
+
+	dir, err := os.MkdirTemp("", "ratte-fleet-chaos-")
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("tempdir: %v", err)}
+	}
+	defer os.RemoveAll(dir)
+	jpath := filepath.Join(dir, "fleet.jsonl")
+	lpath := jpath + ".ledger"
+	const token = "chaos"
+
+	jcfg := base
+	j, err := difftest.CreateJournal(jpath, jcfg)
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("journal: %v", err)}
+	}
+	jcfg.Journal = j
+	cc := fleet.CoordinatorConfig{
+		Campaign: jcfg, ShardSize: 3, LeaseTTL: 500 * time.Millisecond,
+		LedgerPath: lpath, Token: token,
+	}
+	coord, err := fleet.NewCoordinator(cc)
+	if err != nil {
+		j.Close()
+		return &Failure{Detail: fmt.Sprintf("coordinator: %v", err)}
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		j.Close()
+		return &Failure{Detail: fmt.Sprintf("coordinator start: %v", err)}
+	}
+	addr := coord.Addr()
+
+	// Two workers, each behind its own seeded fault transport with a
+	// spool; MaxFaults bounds the schedule so the fleet always
+	// eventually makes progress.
+	const workers = 2
+	var wg sync.WaitGroup
+	workerErrs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		tr := faultinject.NewTransport(faultinject.NetSpec{
+			Seed:      seed*int64(workers) + int64(i),
+			Rate:      0.15,
+			MaxFaults: 10,
+			Delay:     time.Millisecond,
+		}, nil)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, workerErrs[i] = fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+				Coordinator:   "http://" + addr,
+				Campaign:      base,
+				Workers:       1,
+				Token:         token,
+				UploadRetries: 12,
+				LeaseRetries:  60,
+				SpoolPath:     filepath.Join(dir, fmt.Sprintf("worker%d.spool", i)),
+				Client:        &http.Client{Timeout: 30 * time.Second, Transport: tr},
+			})
+		}(i)
+	}
+
+	// Kill the coordinator once the merge has made real progress.
+	deadline := time.Now().Add(time.Minute)
+	for coord.Merged() == 0 {
+		if time.Now().After(deadline) {
+			coord.Close()
+			j.Close()
+			return &Failure{Detail: "fleet made no progress before the kill"}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	coord.Kill() //nolint:errcheck // simulated crash
+	if err := j.Close(); err != nil {
+		return &Failure{Detail: fmt.Sprintf("journal close after kill: %v", err)}
+	}
+
+	// Restart on the same address over the same journal and ledger.
+	j2, resumed, err := difftest.OpenJournalForResume(jpath, base)
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("journal resume after kill: %v", err)}
+	}
+	defer j2.Close()
+	rcfg := base
+	rcfg.Journal = j2
+	rcfg.Resumed = resumed
+	cc.Campaign = rcfg
+	cc.ResumeLedger = true
+	coord2, err := fleet.NewCoordinator(cc)
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("restarted coordinator: %v", err)}
+	}
+	defer coord2.Close()
+	startErr := coord2.Start(addr)
+	for i := 0; i < 100 && startErr != nil; i++ {
+		time.Sleep(20 * time.Millisecond)
+		startErr = coord2.Start(addr)
+	}
+	if startErr != nil {
+		return &Failure{Detail: fmt.Sprintf("restart on %s: %v", addr, startErr)}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := coord2.Wait(ctx)
+	if err != nil {
+		return &Failure{Detail: fmt.Sprintf("restarted campaign did not complete: %v", err)}
+	}
+	coord2.DrainWorkers(10 * time.Second)
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return &Failure{Detail: fmt.Sprintf("worker %d died under chaos: %v", i, werr)}
+		}
+	}
+	if d := difftest.DiffVerdicts(want.Verdicts, res.Verdicts); d != "" {
+		return &Failure{Detail: fmt.Sprintf("post-restart fleet verdicts differ from serial: %s", d)}
+	}
+	if a, b := difftest.ReportText(want), difftest.ReportText(res); a != b {
+		return &Failure{Detail: fmt.Sprintf("post-restart fleet report not byte-identical to serial:\n--- serial\n%s--- fleet\n%s", a, b)}
+	}
+	return nil
+}

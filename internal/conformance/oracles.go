@@ -367,6 +367,7 @@ func StandardOracles() []Oracle {
 			NewDifftest(preset, bugs.None()),
 			NewCampaignAgreement(preset),
 			NewFaultTolerance(preset),
+			NewFleetChaos(preset),
 			NewPlanLegality(preset),
 			NewPlanEquivalence(preset, bugs.None()),
 		)
@@ -407,6 +408,8 @@ func Lookup(name string) (Oracle, error) {
 		return NewCampaignAgreement(preset), nil
 	case FamilyFaultTolerance:
 		return NewFaultTolerance(preset), nil
+	case FamilyFleetChaos:
+		return NewFleetChaos(preset), nil
 	case FamilyEngineAgree:
 		return NewEngineAgreement(preset), nil
 	case FamilyDifftest:

@@ -1,0 +1,323 @@
+// The network half of the fault-injection layer: a seeded
+// http.RoundTripper that manufactures the failures a fleet campaign
+// must absorb on the wire — refused connections, response delays,
+// injected 5xx, bodies truncated mid-stream (requests and responses)
+// and duplicated deliveries. Like the in-process Injector, every
+// decision is a pure function of (spec seed, request path, per-path
+// occurrence number): no wall clock, no global randomness, so a chaos
+// run is reproducible from its spec.
+//
+// The Transport wraps a real transport and is safe for concurrent use
+// (a fleet worker's heartbeat goroutine shares the client with its
+// lease/upload loop). Note the occurrence numbering is per path, so
+// concurrent requests to the same path race for occurrence slots: the
+// fault *schedule* interleaving may vary run to run, but the fleet's
+// output may not — that is exactly the property the fleet-chaos
+// conformance oracle pins.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NetKind classifies one injected network fault.
+type NetKind int
+
+// The network fault kinds.
+const (
+	// NetRefuse fails the request without sending it — a refused or
+	// reset connection.
+	NetRefuse NetKind = iota
+	// NetDelay sleeps Spec.Delay before forwarding the request.
+	NetDelay
+	// Net5xx synthesizes a 503 response without reaching the server.
+	Net5xx
+	// NetTruncateRequest cuts the request body mid-stream: the server
+	// sees a torn (e.g. half-gzip'd) body, the client sees a transport
+	// error.
+	NetTruncateRequest
+	// NetTruncateResponse delivers only a prefix of the response body.
+	NetTruncateResponse
+	// NetDuplicate delivers the request twice; the caller sees only the
+	// second response (the first is drained and discarded).
+	NetDuplicate
+)
+
+func (k NetKind) String() string {
+	switch k {
+	case NetRefuse:
+		return "refuse"
+	case NetDelay:
+		return "delay"
+	case Net5xx:
+		return "5xx"
+	case NetTruncateRequest:
+		return "truncate-request"
+	case NetTruncateResponse:
+		return "truncate-response"
+	case NetDuplicate:
+		return "duplicate"
+	}
+	return fmt.Sprintf("NetKind(%d)", int(k))
+}
+
+// NetSpec configures a fault-injecting Transport. The zero NetSpec
+// injects nothing.
+type NetSpec struct {
+	// Seed keys every decision; the same NetSpec injects the same
+	// faults at the same (path, occurrence) points.
+	Seed int64
+	// Rate is the per-request fault probability in [0, 1].
+	Rate float64
+	// Kinds restricts the injected fault kinds (empty = all six).
+	Kinds []NetKind
+	// Paths restricts injection to request paths with one of these
+	// prefixes (empty = every path).
+	Paths []string
+	// Delay is the sleep for NetDelay faults (0 = DefaultDelay).
+	Delay time.Duration
+	// MaxFaults bounds the total faults one Transport fires (0 =
+	// unbounded). Chaos oracles use it to guarantee the fleet
+	// eventually makes progress.
+	MaxFaults int
+}
+
+// NetFault records one network fault that fired.
+type NetFault struct {
+	Path string
+	N    int64 // the path's occurrence number that fired
+	Kind NetKind
+}
+
+// NetError is the error NetRefuse and NetTruncateRequest surface to
+// the HTTP client.
+type NetError struct {
+	Path string
+	N    int64
+	Kind NetKind
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("faultinject: injected network %s at %s#%d", e.Kind, e.Path, e.N)
+}
+
+// IsInjectedNet reports whether err stems from an injected network
+// fault (at any wrapping depth). net/http wraps transport errors in
+// *url.Error, so the string check covers that layer too.
+func IsInjectedNet(err error) bool {
+	if err == nil {
+		return false
+	}
+	return strings.Contains(err.Error(), "faultinject: injected network")
+}
+
+// Transport is a fault-injecting http.RoundTripper. Create with
+// NewTransport; safe for concurrent use.
+type Transport struct {
+	spec  NetSpec
+	delay time.Duration
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	counts map[string]int64
+	hits   int
+	fired  []NetFault
+}
+
+// NewTransport wraps inner (nil = http.DefaultTransport) with the
+// seeded network fault layer.
+func NewTransport(spec NetSpec, inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	d := spec.Delay
+	if d == 0 {
+		d = DefaultDelay
+	}
+	return &Transport{spec: spec, delay: d, inner: inner, counts: make(map[string]int64)}
+}
+
+// Hits returns how many network faults have fired so far.
+func (t *Transport) Hits() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits
+}
+
+// Fired returns the network faults that fired, in firing order.
+func (t *Transport) Fired() []NetFault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]NetFault(nil), t.fired...)
+}
+
+// decide draws the fault decision for one request, under t.mu.
+func (t *Transport) decide(path string) (NetFault, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.counts[path]
+	t.counts[path] = n + 1
+	if t.spec.Rate <= 0 {
+		return NetFault{}, false
+	}
+	if t.spec.MaxFaults > 0 && t.hits >= t.spec.MaxFaults {
+		return NetFault{}, false
+	}
+	if !t.pathEnabled(path) {
+		return NetFault{}, false
+	}
+	h := mix(mix(uint64(t.spec.Seed), hashString(path)), uint64(n))
+	if float64(h>>11)/(1<<53) >= t.spec.Rate {
+		return NetFault{}, false
+	}
+	kinds := t.spec.Kinds
+	if len(kinds) == 0 {
+		kinds = []NetKind{NetRefuse, NetDelay, Net5xx, NetTruncateRequest, NetTruncateResponse, NetDuplicate}
+	}
+	f := NetFault{Path: path, N: n, Kind: kinds[(h>>53)%uint64(len(kinds))]}
+	t.hits++
+	t.fired = append(t.fired, f)
+	return f, true
+}
+
+func (t *Transport) pathEnabled(path string) bool {
+	if len(t.spec.Paths) == 0 {
+		return true
+	}
+	for _, p := range t.spec.Paths {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// RoundTrip applies at most one fault per request, then (unless the
+// fault consumed the request) forwards it to the inner transport.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, fire := t.decide(req.URL.Path)
+	if !fire {
+		return t.inner.RoundTrip(req)
+	}
+	switch f.Kind {
+	case NetRefuse:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &NetError{Path: f.Path, N: f.N, Kind: f.Kind}
+	case NetDelay:
+		time.Sleep(t.delay)
+		return t.inner.RoundTrip(req)
+	case Net5xx:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body) //nolint:errcheck // drain before closing
+			req.Body.Close()
+		}
+		body := fmt.Sprintf("faultinject: injected 503 at %s#%d", f.Path, f.N)
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case NetTruncateRequest:
+		return t.truncateRequest(req, f)
+	case NetTruncateResponse:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		return truncateResponse(resp), nil
+	case NetDuplicate:
+		return t.duplicate(req)
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// truncateRequest forwards only a prefix of the request body, then
+// fails the body read — the wire picture of a connection dropped
+// mid-upload: the server sees a torn body, the client an error.
+func (t *Transport) truncateRequest(req *http.Request, f NetFault) (*http.Response, error) {
+	if req.Body == nil || req.ContentLength <= 1 {
+		// Nothing to tear; degrade to a refused connection.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &NetError{Path: f.Path, N: f.N, Kind: NetRefuse}
+	}
+	inner := req.Body
+	req.Body = &tornReader{r: io.LimitReader(inner, req.ContentLength/2), c: inner,
+		err: &NetError{Path: f.Path, N: f.N, Kind: f.Kind}}
+	req.GetBody = nil // the torn body must not be silently replayed
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// The server managed to answer the torn request (typically 400);
+	// the real network would have torn the connection under the
+	// client, so surface the injected error instead.
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+	resp.Body.Close()
+	return nil, &NetError{Path: f.Path, N: f.N, Kind: f.Kind}
+}
+
+// tornReader yields a prefix then fails with the injected error.
+type tornReader struct {
+	r   io.Reader
+	c   io.Closer
+	err error
+}
+
+func (t *tornReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		return n, t.err
+	}
+	return n, err
+}
+
+func (t *tornReader) Close() error { return t.c.Close() }
+
+// truncateResponse swaps the response body for its first half; the
+// declared Content-Length is left alone, so decoders see a stream cut
+// off mid-value, exactly like a dropped connection.
+func truncateResponse(resp *http.Response) *http.Response {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	resp.Body = io.NopCloser(bytes.NewReader(data[:len(data)/2]))
+	return resp
+}
+
+// duplicate delivers the request twice and returns the second
+// response. Requires a replayable body (GetBody); without one the
+// request degrades to a single delivery.
+func (t *Transport) duplicate(req *http.Request) (*http.Response, error) {
+	if req.Body != nil && req.GetBody == nil {
+		return t.inner.RoundTrip(req)
+	}
+	first, err := t.inner.RoundTrip(req)
+	if err == nil {
+		io.Copy(io.Discard, first.Body) //nolint:errcheck // drain for reuse
+		first.Body.Close()
+	}
+	second := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, berr := req.GetBody()
+		if berr != nil {
+			return nil, berr
+		}
+		second.Body = body
+	}
+	return t.inner.RoundTrip(second)
+}

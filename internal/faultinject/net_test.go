@@ -1,0 +1,239 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers every POST with the request body it managed to
+// read (or a 400 if the body was torn), tagged with a serial number so
+// duplicate deliveries are observable.
+func echoServer(t *testing.T) (*httptest.Server, *int) {
+	t.Helper()
+	hits := new(int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*hits++
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "torn body", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "echo %d: %s", *hits, data)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, hits
+}
+
+func post(t *testing.T, client *http.Client, url, body string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		return resp, string(data), rerr
+	}
+	return resp, string(data), nil
+}
+
+// TestNetDecideDeterministic: the fault schedule is a pure function of
+// (seed, path, occurrence) — two transports with the same spec fire
+// identically, a different seed fires differently.
+func TestNetDecideDeterministic(t *testing.T) {
+	spec := NetSpec{Seed: 7, Rate: 0.3}
+	a, b := NewTransport(spec, nil), NewTransport(spec, nil)
+	var fa, fb []NetFault
+	for i := 0; i < 200; i++ {
+		if f, ok := a.decide("/fleet/result"); ok {
+			fa = append(fa, f)
+		}
+		if f, ok := b.decide("/fleet/result"); ok {
+			fb = append(fb, f)
+		}
+	}
+	if len(fa) == 0 {
+		t.Fatal("rate 0.3 over 200 draws fired nothing")
+	}
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("same spec, different schedules:\n%v\n%v", fa, fb)
+	}
+	c := NewTransport(NetSpec{Seed: 8, Rate: 0.3}, nil)
+	var fc []NetFault
+	for i := 0; i < 200; i++ {
+		if f, ok := c.decide("/fleet/result"); ok {
+			fc = append(fc, f)
+		}
+	}
+	if reflect.DeepEqual(fa, fc) {
+		t.Fatal("different seeds produced the identical fault schedule")
+	}
+}
+
+// TestNetMaxFaultsBound: MaxFaults caps the total fired, so a chaos
+// run always eventually runs fault-free.
+func TestNetMaxFaultsBound(t *testing.T) {
+	tr := NewTransport(NetSpec{Seed: 1, Rate: 1, MaxFaults: 3}, nil)
+	for i := 0; i < 50; i++ {
+		tr.decide("/x")
+	}
+	if got := tr.Hits(); got != 3 {
+		t.Fatalf("MaxFaults 3: %d faults fired", got)
+	}
+}
+
+// TestNetPathFilter: Paths restricts injection to matching prefixes.
+func TestNetPathFilter(t *testing.T) {
+	tr := NewTransport(NetSpec{Seed: 1, Rate: 1, Paths: []string{"/fleet/result"}}, nil)
+	if _, ok := tr.decide("/fleet/lease"); ok {
+		t.Fatal("fault fired on a filtered-out path")
+	}
+	if _, ok := tr.decide("/fleet/result"); !ok {
+		t.Fatal("fault did not fire on an enabled path")
+	}
+}
+
+// TestNetRefuse: the request never reaches the server and the client
+// sees an identifiable injected error.
+func TestNetRefuse(t *testing.T) {
+	srv, hits := echoServer(t)
+	client := &http.Client{Transport: NewTransport(NetSpec{
+		Seed: 1, Rate: 1, MaxFaults: 1, Kinds: []NetKind{NetRefuse},
+	}, nil)}
+	_, _, err := post(t, client, srv.URL+"/a", "ping")
+	if err == nil || !IsInjectedNet(err) {
+		t.Fatalf("refused request returned %v, want injected net error", err)
+	}
+	if *hits != 0 {
+		t.Fatalf("refused request reached the server %d times", *hits)
+	}
+	// Past MaxFaults the wire is clean again.
+	if _, body, err := post(t, client, srv.URL+"/a", "ping"); err != nil || !strings.Contains(body, "ping") {
+		t.Fatalf("post-fault request: %v %q", err, body)
+	}
+}
+
+// TestNet5xx: the synthesized 503 never reaches the server and names
+// its injection point.
+func TestNet5xx(t *testing.T) {
+	srv, hits := echoServer(t)
+	client := &http.Client{Transport: NewTransport(NetSpec{
+		Seed: 1, Rate: 1, MaxFaults: 1, Kinds: []NetKind{Net5xx},
+	}, nil)}
+	resp, body, err := post(t, client, srv.URL+"/b", "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(body, "injected 503") {
+		t.Fatalf("503 body %q does not name the injection", body)
+	}
+	if *hits != 0 {
+		t.Fatalf("injected 503 reached the server %d times", *hits)
+	}
+}
+
+// TestNetTruncateRequest: the server sees a torn body (and answers
+// 400), but the client sees the injected transport error — never the
+// server's reply, exactly like a connection dropped mid-upload.
+func TestNetTruncateRequest(t *testing.T) {
+	srv, _ := echoServer(t)
+	client := &http.Client{Transport: NewTransport(NetSpec{
+		Seed: 1, Rate: 1, MaxFaults: 1, Kinds: []NetKind{NetTruncateRequest},
+	}, nil)}
+	_, _, err := post(t, client, srv.URL+"/c", strings.Repeat("x", 4096))
+	if err == nil || !IsInjectedNet(err) {
+		t.Fatalf("torn request returned %v, want injected net error", err)
+	}
+}
+
+// TestNetTruncateResponse: the client reads only a prefix of the
+// declared Content-Length — the decoder, not this layer, reports the
+// tear.
+func TestNetTruncateResponse(t *testing.T) {
+	srv, _ := echoServer(t)
+	client := &http.Client{Transport: NewTransport(NetSpec{
+		Seed: 1, Rate: 1, MaxFaults: 1, Kinds: []NetKind{NetTruncateResponse},
+	}, nil)}
+	resp, err := client.Post(srv.URL+"/d", "text/plain", strings.NewReader(strings.Repeat("y", 1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, readErr := io.ReadAll(resp.Body)
+	if readErr == nil && int64(len(data)) == resp.ContentLength {
+		t.Fatalf("response not truncated: read %d of %d declared bytes cleanly", len(data), resp.ContentLength)
+	}
+}
+
+// TestNetDuplicate: the request is delivered twice; the caller sees
+// the second response.
+func TestNetDuplicate(t *testing.T) {
+	srv, hits := echoServer(t)
+	client := &http.Client{Transport: NewTransport(NetSpec{
+		Seed: 1, Rate: 1, MaxFaults: 1, Kinds: []NetKind{NetDuplicate},
+	}, nil)}
+	_, body, err := post(t, client, srv.URL+"/e", "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *hits != 2 {
+		t.Fatalf("duplicated request delivered %d times, want 2", *hits)
+	}
+	if !strings.Contains(body, "echo 2") {
+		t.Fatalf("caller saw %q, want the second delivery", body)
+	}
+}
+
+// TestNetDelayForwards: a delayed request still reaches the server
+// intact after the injected sleep.
+func TestNetDelayForwards(t *testing.T) {
+	srv, hits := echoServer(t)
+	client := &http.Client{Transport: NewTransport(NetSpec{
+		Seed: 1, Rate: 1, MaxFaults: 1, Kinds: []NetKind{NetDelay}, Delay: time.Millisecond,
+	}, nil)}
+	start := time.Now()
+	_, body, err := post(t, client, srv.URL+"/f", "ping")
+	if err != nil || !strings.Contains(body, "ping") {
+		t.Fatalf("delayed request: %v %q", err, body)
+	}
+	if *hits != 1 {
+		t.Fatalf("delayed request delivered %d times, want 1", *hits)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("no delay observed")
+	}
+}
+
+// TestNetErrorWrapping: IsInjectedNet sees the error through
+// net/http's *url.Error wrapping.
+func TestNetErrorWrapping(t *testing.T) {
+	err := &NetError{Path: "/x", N: 3, Kind: NetRefuse}
+	if !IsInjectedNet(err) {
+		t.Fatal("bare NetError not recognised")
+	}
+	if !IsInjectedNet(fmt.Errorf("Post \"http://x/y\": %w", err)) {
+		t.Fatal("wrapped NetError not recognised")
+	}
+	if IsInjectedNet(fmt.Errorf("connection refused")) {
+		t.Fatal("ordinary error misclassified as injected")
+	}
+	if IsInjectedNet(nil) {
+		t.Fatal("nil error classified as injected")
+	}
+	var buf bytes.Buffer
+	fmt.Fprint(&buf, err)
+	if !strings.Contains(buf.String(), "refuse") {
+		t.Fatalf("NetError text %q does not name its kind", buf.String())
+	}
+}

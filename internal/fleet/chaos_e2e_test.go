@@ -1,0 +1,234 @@
+// End-to-end chaos tests: a real localhost fleet under seeded network
+// faults and a coordinator kill + restart mid-campaign, with the
+// merged report compared byte for byte against the serial engine —
+// the determinism-under-failure contract the fleet-chaos conformance
+// oracle pins continuously.
+package fleet_test
+
+import (
+	"context"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ratte/internal/bugs"
+	"ratte/internal/difftest"
+	"ratte/internal/faultinject"
+	"ratte/internal/fleet"
+)
+
+// TestFleetCoordinatorRestart kills the coordinator mid-campaign and
+// restarts it on the same address over the same journal and ledger.
+// The workers ride out the outage (upload/lease retries, 403-triggered
+// re-registration), the restarted coordinator re-admits them, and the
+// merged report is byte-identical to the uninterrupted serial run.
+func TestFleetCoordinatorRestart(t *testing.T) {
+	cfg := difftest.CampaignConfig{
+		Preset: "ariths", Programs: 30, Size: 14, Seed: 97,
+		Bugs: bugs.Only(bugs.RemoveDeadValuesCall),
+	}
+	want, err := difftest.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "fleet.jsonl")
+	lpath := jpath + ".ledger"
+	jcfg := cfg
+	j, err := difftest.CreateJournal(jpath, jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jcfg.Journal = j
+	const token = "chaos-secret"
+	cc := fleet.CoordinatorConfig{
+		Campaign: jcfg, ShardSize: 3, LeaseTTL: 500 * time.Millisecond,
+		LedgerPath: lpath, Token: token,
+	}
+	coord, err := fleet.NewCoordinator(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := coord.Addr()
+
+	var wg sync.WaitGroup
+	const workers = 2
+	stats := make([]fleet.WorkerStats, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+				Coordinator:   "http://" + addr,
+				Campaign:      cfg,
+				Workers:       1,
+				Token:         token,
+				UploadRetries: 10,
+				LeaseRetries:  60,
+				SpoolPath:     filepath.Join(dir, "worker"+string(rune('a'+i))+".spool"),
+				Logf:          t.Logf,
+			})
+		}(i)
+	}
+
+	// Let the fleet make real progress, then pull the plug.
+	deadline := time.Now().Add(time.Minute)
+	for coord.Merged() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fleet made no progress before the kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := coord.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same journal, same ledger, same address.
+	j2, resumed, err := difftest.OpenJournalForResume(jpath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Journal = j2
+	rcfg.Resumed = resumed
+	cc.Campaign = rcfg
+	cc.ResumeLedger = true
+	coord2, err := fleet.NewCoordinator(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var startErr error
+	for i := 0; i < 100; i++ {
+		if startErr = coord2.Start(addr); startErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if startErr != nil {
+		t.Fatalf("restart on %s: %v", addr, startErr)
+	}
+	defer coord2.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := coord2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2.DrainWorkers(10 * time.Second)
+	wg.Wait()
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v (stats %+v)", i, werr, stats[i])
+		}
+	}
+	if d := difftest.DiffVerdicts(want.Verdicts, res.Verdicts); d != "" {
+		t.Fatalf("post-restart fleet verdicts differ from serial: %s", d)
+	}
+	if a, b := difftest.ReportText(want), difftest.ReportText(res); a != b {
+		t.Fatalf("post-restart fleet report differs from serial:\n--- serial\n%s--- fleet\n%s", a, b)
+	}
+
+	// The journal on disk is the uninterrupted run's too.
+	j3, all, err := difftest.OpenJournalForResume(jpath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if len(all) != cfg.Programs {
+		t.Fatalf("journal holds %d verdicts after restart run, want %d", len(all), cfg.Programs)
+	}
+}
+
+// TestFleetChaosNetworkFaults runs the fleet with every wire path
+// behind seeded fault-injecting transports — refused connections,
+// delays, 5xx, torn request and response bodies, duplicated
+// deliveries — and still requires the serial run's exact report.
+func TestFleetChaosNetworkFaults(t *testing.T) {
+	cfg := difftest.CampaignConfig{
+		Preset: "ariths", Programs: 24, Size: 14, Seed: 97,
+		Bugs: bugs.Only(bugs.RemoveDeadValuesCall),
+	}
+	want, err := difftest.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Campaign: cfg, ShardSize: 4, LeaseTTL: time.Second, Token: "chaos",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	const workers = 2
+	transports := make([]*faultinject.Transport, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		transports[i] = faultinject.NewTransport(faultinject.NetSpec{
+			Seed:      int64(1000 + i),
+			Rate:      0.2,
+			MaxFaults: 25,
+			Delay:     time.Millisecond,
+		}, nil)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+				Coordinator:   "http://" + coord.Addr(),
+				Campaign:      cfg,
+				Workers:       1,
+				Token:         "chaos",
+				UploadRetries: 12,
+				LeaseRetries:  60,
+				Client:        &http.Client{Timeout: 30 * time.Second, Transport: transports[i]},
+				Logf:          t.Logf,
+			})
+		}(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.DrainWorkers(10 * time.Second)
+	wg.Wait()
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d under faults: %v (fired %v)", i, werr, transports[i].Fired())
+		}
+	}
+	var fired int
+	for _, tr := range transports {
+		fired += tr.Hits()
+	}
+	if fired == 0 {
+		t.Fatal("no network faults fired; the chaos run exercised nothing")
+	}
+	t.Logf("network faults fired: %d", fired)
+	if d := difftest.DiffVerdicts(want.Verdicts, res.Verdicts); d != "" {
+		t.Fatalf("chaos fleet verdicts differ from serial: %s", d)
+	}
+	if a, b := difftest.ReportText(want), difftest.ReportText(res); a != b {
+		t.Fatalf("chaos fleet report differs from serial:\n--- serial\n%s--- fleet\n%s", a, b)
+	}
+}

@@ -4,17 +4,20 @@ package fleet
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"time"
 
 	"ratte/internal/difftest"
+	"ratte/internal/gen"
+	"ratte/internal/ir"
 	"ratte/internal/telemetry"
 )
 
@@ -29,6 +32,16 @@ const (
 	// maxShardSize bounds auto-sized shards: big enough to amortize one
 	// POST per shard, small enough that losing a worker forfeits little.
 	maxShardSize = 256
+	// defaultMaxUploadBytes caps one shard result body; anything larger
+	// is a protocol violation (or an attack), not a campaign.
+	defaultMaxUploadBytes = 1 << 30
+	// maxControlBytes caps the small JSON control bodies (register,
+	// lease, heartbeat).
+	maxControlBytes = 1 << 20
+	// serverReadTimeout bounds how long one request may take to arrive
+	// in full — a stalled or byte-dripping client cannot pin a handler
+	// past it.
+	serverReadTimeout = 2 * time.Minute
 )
 
 // CoordinatorConfig configures a fleet coordinator.
@@ -48,6 +61,23 @@ type CoordinatorConfig struct {
 	// Registry receives the fleet gauges and is served at the
 	// coordinator's /metrics (a fresh private registry when nil).
 	Registry *telemetry.Registry
+	// Token, when non-empty, is the fleet's shared secret: every
+	// protocol request must carry it (workers send it automatically)
+	// or is rejected with 401. The dashboard endpoints stay open.
+	Token string
+	// LedgerPath, when non-empty, persists the control plane's state
+	// transitions (admissions, grants, completions, splices) to an
+	// append-only shard ledger — the coordinator half of crash
+	// recovery, alongside the campaign journal.
+	LedgerPath string
+	// ResumeLedger recovers coordinator state from an existing ledger
+	// at LedgerPath: the shard partitioning is pinned to the recorded
+	// one and the epoch/worker-id counters resume above every value
+	// the pre-crash coordinator issued. A missing ledger file falls
+	// back to a fresh one (recovery then rests on the journal alone).
+	ResumeLedger bool
+	// MaxUploadBytes caps one shard result body (0 = 1 GiB).
+	MaxUploadBytes int64
 }
 
 // shardState is a shard's lifecycle position.
@@ -94,6 +124,8 @@ type Coordinator struct {
 	leaseTTL    time.Duration
 	fingerprint string
 	reg         *telemetry.Registry
+	token       string
+	maxUpload   int64
 
 	srv *http.Server
 	ln  net.Listener
@@ -109,6 +141,12 @@ type Coordinator struct {
 	draining   bool
 	journalErr error
 	start      time.Time
+	led        *ledger
+	ledBroken  bool
+	// seenDet / dupDet back the detection-dedup gauges: detections
+	// keyed by (oracle, program fingerprint) across all merged shards.
+	seenDet map[string]struct{}
+	dupDet  int64
 
 	doneOnce sync.Once
 	done     chan struct{}
@@ -117,6 +155,10 @@ type Coordinator struct {
 	reissued      *telemetry.Counter
 	duplicates    *telemetry.Counter
 	rejected      *telemetry.Counter
+	authRejected  *telemetry.Counter
+	oversize      *telemetry.Counter
+	tornUploads   *telemetry.Counter
+	ledgerErrs    *telemetry.Counter
 }
 
 // NewCoordinator partitions the campaign into shards and prepares the
@@ -139,22 +181,41 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 
-	size := cfg.ShardSize
-	if size <= 0 {
-		size = camp.Programs / 16
-		if size < 1 {
-			size = 1
-		}
-		if size > maxShardSize {
-			size = maxShardSize
+	// Recover the control plane from the shard ledger before sizing
+	// anything: a restarted coordinator must partition exactly as its
+	// predecessor did for shard ids (and in-flight worker leases) to
+	// keep their meaning.
+	var led *ledger
+	var lst *ledgerState
+	if cfg.LedgerPath != "" && cfg.ResumeLedger {
+		if _, statErr := os.Stat(cfg.LedgerPath); statErr == nil {
+			led, lst, err = openLedgerForResume(cfg.LedgerPath, fp)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
-	if camp.FamilySize > 1 {
-		// Align shards to mutation-family boundaries: a family's base
-		// program is generated from its first seed, so a family split
-		// across shards would change which program its members test.
-		if rem := size % camp.FamilySize; rem != 0 {
-			size += camp.FamilySize - rem
+
+	size := cfg.ShardSize
+	if lst != nil {
+		size = lst.shardSize
+	} else {
+		if size <= 0 {
+			size = camp.Programs / 16
+			if size < 1 {
+				size = 1
+			}
+			if size > maxShardSize {
+				size = maxShardSize
+			}
+		}
+		if camp.FamilySize > 1 {
+			// Align shards to mutation-family boundaries: a family's base
+			// program is generated from its first seed, so a family split
+			// across shards would change which program its members test.
+			if rem := size % camp.FamilySize; rem != 0 {
+				size += camp.FamilySize - rem
+			}
 		}
 	}
 
@@ -166,6 +227,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	maxUpload := cfg.MaxUploadBytes
+	if maxUpload <= 0 {
+		maxUpload = defaultMaxUploadBytes
+	}
 
 	c := &Coordinator{
 		camp:        camp,
@@ -173,9 +238,18 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		leaseTTL:    ttl,
 		fingerprint: string(fp),
 		reg:         reg,
+		token:       cfg.Token,
+		maxUpload:   maxUpload,
 		workers:     make(map[string]*workerState),
+		seenDet:     make(map[string]struct{}),
 		done:        make(chan struct{}),
 		start:       time.Now(),
+	}
+	if lst != nil {
+		// Epoch and worker-id counters resume strictly above every value
+		// the pre-crash coordinator issued, so a stale pre-crash lease
+		// can never alias a post-restart one.
+		c.nextEpoch, c.nextWorker = lst.nextEpoch, lst.nextWorker
 	}
 	for first := 0; first < camp.Programs; first += size {
 		count := size
@@ -190,11 +264,74 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 		c.shards = append(c.shards, s)
 	}
+	if cfg.LedgerPath != "" && led == nil {
+		led, err = createLedger(cfg.LedgerPath, fp, size, camp.Programs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.led = led
 	c.registerMetrics()
+	// Resumed detections re-enter the dedup gauges, so a restarted
+	// coordinator reports the same unique/duplicate split an
+	// uninterrupted one would.
+	for _, s := range c.shards {
+		if !s.resumed {
+			continue
+		}
+		for _, v := range s.verdicts {
+			if v.Kind == difftest.VerdictDetection {
+				c.countDetection(detectionKey(&c.camp, v))
+			}
+		}
+	}
 	c.mu.Lock()
 	c.splice()
 	c.mu.Unlock()
 	return c, nil
+}
+
+// detectionKey is the cross-shard dedup key of one detection verdict:
+// the oracle joined with the detected program's ir.Fingerprint. Plan
+// mode records the fingerprint in the verdict; elsewhere the program
+// is regenerated from its seed (cheap, and detections are rare). In
+// family mode the seed regenerates the family's unmutated program —
+// a deliberate approximation: the gauges are telemetry, the merged
+// report is untouched either way.
+func detectionKey(camp *difftest.CampaignConfig, v difftest.Verdict) string {
+	fpr := v.Program
+	if fpr == 0 {
+		if p, err := gen.Generate(gen.Config{Preset: camp.Preset, Size: camp.Size, Seed: v.Seed}); err == nil {
+			fpr = ir.Fingerprint(p.Module)
+		} else {
+			fpr = uint64(v.Seed)
+		}
+	}
+	return fmt.Sprintf("%s/%016x", v.Oracle, fpr)
+}
+
+// countDetection folds one detection key into the dedup gauges.
+// Callers outside NewCoordinator hold c.mu.
+func (c *Coordinator) countDetection(key string) {
+	if _, seen := c.seenDet[key]; seen {
+		c.dupDet++
+		return
+	}
+	c.seenDet[key] = struct{}{}
+}
+
+// ledgerAppend records one control-plane event, degrading (once, with
+// a counter) instead of failing the campaign when the ledger cannot be
+// written: the journal, not the ledger, is authoritative for results.
+// Called under c.mu.
+func (c *Coordinator) ledgerAppend(e ledgerEntry) {
+	if c.led == nil || c.ledBroken {
+		return
+	}
+	if err := c.led.append(e); err != nil {
+		c.ledBroken = true
+		c.ledgerErrs.Inc()
+	}
 }
 
 // resumedShard returns the shard's verdicts from the campaign's resume
@@ -228,6 +365,28 @@ func (c *Coordinator) registerMetrics() {
 		"shard results discarded because the shard was already complete")
 	c.rejected = c.reg.Counter("ratte_fleet_registrations_rejected_total",
 		"worker registrations rejected for a mismatched campaign fingerprint")
+	c.authRejected = c.reg.Counter("ratte_fleet_auth_rejected_total",
+		"requests rejected for a missing or mismatched fleet token")
+	c.oversize = c.reg.Counter("ratte_fleet_requests_oversize_total",
+		"requests rejected for exceeding the body-size cap")
+	c.tornUploads = c.reg.Counter("ratte_fleet_uploads_torn_total",
+		"shard uploads rejected as undecodable (torn gzip or corrupt JSONL)")
+	c.ledgerErrs = c.reg.Counter("ratte_fleet_ledger_errors_total",
+		"shard-ledger append failures (the ledger degrades, the campaign continues)")
+	c.reg.GaugeFunc("ratte_fleet_detections_unique",
+		"distinct merged detections, keyed by (oracle, program ir.Fingerprint) across shards",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return int64(len(c.seenDet))
+		})
+	c.reg.GaugeFunc("ratte_fleet_detections_duplicate",
+		"merged detections whose (oracle, program ir.Fingerprint) was already seen in another shard",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.dupDet
+		})
 	counts := func(st shardState) int64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -282,10 +441,10 @@ func (c *Coordinator) registerMetrics() {
 // coordinator's registry.
 func (c *Coordinator) Start(addr string) error {
 	mux := http.NewServeMux()
-	mux.HandleFunc(pathRegister, c.handleRegister)
-	mux.HandleFunc(pathLease, c.handleLease)
-	mux.HandleFunc(pathHeartbeat, c.handleHeartbeat)
-	mux.HandleFunc(pathResult, c.handleResult)
+	mux.HandleFunc(pathRegister, c.requireToken(c.handleRegister))
+	mux.HandleFunc(pathLease, c.requireToken(c.handleLease))
+	mux.HandleFunc(pathHeartbeat, c.requireToken(c.handleHeartbeat))
+	mux.HandleFunc(pathResult, c.requireToken(c.handleResult))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		c.reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape
@@ -299,9 +458,31 @@ func (c *Coordinator) Start(addr string) error {
 		return fmt.Errorf("fleet: listen %s: %w", addr, err)
 	}
 	c.ln = ln
-	c.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	c.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       serverReadTimeout,
+	}
 	go c.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return nil
+}
+
+// requireToken gates a fleet protocol handler behind the shared fleet
+// secret when one is configured. The dashboard endpoints (/metrics,
+// /debug/vars) are deliberately not gated.
+func (c *Coordinator) requireToken(h http.HandlerFunc) http.HandlerFunc {
+	if c.token == "" {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := r.Header.Get(fleetTokenHeader)
+		if subtle.ConstantTimeCompare([]byte(got), []byte(c.token)) != 1 {
+			c.authRejected.Inc()
+			http.Error(w, "fleet: missing or invalid fleet token", http.StatusUnauthorized)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -370,12 +551,50 @@ func (c *Coordinator) DrainWorkers(timeout time.Duration) {
 	}
 }
 
+// Merged reports how many seeds are spliced into the merge so far.
+func (c *Coordinator) Merged() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.merged)
+}
+
 // Close shuts the control plane down.
 func (c *Coordinator) Close() error {
+	c.closeLedger()
 	if c.srv == nil {
 		return nil
 	}
 	return c.srv.Close()
+}
+
+// Kill simulates a coordinator crash for chaos tests: the control
+// plane stops without draining — no done signals are sent, late
+// results are not refused, the merge is simply abandoned wherever it
+// stands. In-flight handlers get a short grace period to finish their
+// journal/ledger appends (a handler that completed its splice before
+// the crash is exactly a crash that happened a moment later), then
+// the listener and every connection are torn down. The campaign is
+// recovered by a new coordinator over the same journal and ledger.
+func (c *Coordinator) Kill() error {
+	defer c.closeLedger()
+	if c.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	c.srv.Shutdown(ctx) //nolint:errcheck // best-effort grace, Close is authoritative
+	return c.srv.Close()
+}
+
+// closeLedger closes the shard ledger exactly once, under c.mu so it
+// cannot race an in-flight handler's append.
+func (c *Coordinator) closeLedger() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.led != nil {
+		c.led.Close() //nolint:errcheck // shutdown; the ledger is advisory
+		c.led = nil
+	}
 }
 
 // ProgressLine renders a one-line fleet status for the -progress
@@ -416,7 +635,7 @@ func (c *Coordinator) ProgressLine() string {
 // a journal resume applies to a mismatched config.
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if err := readJSON(r, &req); err != nil {
+	if err := c.readJSON(w, r, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -434,6 +653,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		host = r.RemoteAddr
 	}
 	c.workers[id] = &workerState{id: id, host: host, lastSeen: time.Now()}
+	c.ledgerAppend(ledgerEntry{Worker: &ledgerWorker{ID: id, Host: host}})
 	shards := len(c.shards)
 	c.mu.Unlock()
 	writeJSON(w, registerResponse{
@@ -450,7 +670,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 // coordinator is draining) it reports done.
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
-	if err := readJSON(r, &req); err != nil {
+	if err := c.readJSON(w, r, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -468,16 +688,25 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.sweepExpired()
-	if len(c.pending) == 0 {
+	// Skip queue entries completed out of band (a spool replay can
+	// finish a shard that was never leased by this coordinator).
+	var s *shard
+	for len(c.pending) > 0 {
+		id := c.pending[0]
+		c.pending = c.pending[1:]
+		if c.shards[id].state == shardPending {
+			s = c.shards[id]
+			break
+		}
+	}
+	if s == nil {
 		writeJSON(w, leaseResponse{RetryMillis: defaultRetryMillis})
 		return
 	}
-	id := c.pending[0]
-	c.pending = c.pending[1:]
-	s := c.shards[id]
 	c.nextEpoch++
 	s.state, s.epoch, s.holder = shardLeased, c.nextEpoch, req.WorkerID
 	s.expires = time.Now().Add(c.leaseTTL)
+	c.ledgerAppend(ledgerEntry{Grant: &ledgerGrant{Shard: s.id, Epoch: s.epoch, Worker: req.WorkerID}})
 	writeJSON(w, leaseResponse{Shard: &ShardLease{
 		ID: s.id, First: s.first, Count: s.count, Epoch: s.epoch,
 	}})
@@ -507,7 +736,7 @@ func (c *Coordinator) sweepExpired() {
 // handleHeartbeat renews a running shard's lease.
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
-	if err := readJSON(r, &req); err != nil {
+	if err := c.readJSON(w, r, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -542,10 +771,33 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "fleet: result needs shard and worker query params", http.StatusBadRequest)
 		return
 	}
-	vs, err := decodeVerdicts(io.LimitReader(r.Body, 1<<30))
+	// epoch is advisory (spool replays may carry a superseded one); the
+	// shard's done-state, not the epoch, is what makes uploads idempotent.
+	epoch, _ := strconv.ParseInt(q.Get("epoch"), 10, 64) //nolint:errcheck // optional param
+	body := http.MaxBytesReader(w, r.Body, c.maxUpload)
+	defer body.Close()
+	vs, err := decodeVerdicts(body)
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			c.oversize.Inc()
+			http.Error(w, "fleet: shard result exceeds the upload size cap", http.StatusRequestEntityTooLarge)
+			return
+		}
+		// A torn upload (connection dropped mid-gzip, corrupt JSONL)
+		// leaves the lease exactly as it was: the shard re-arrives whole
+		// or the lease expires and is re-issued.
+		c.tornUploads.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	// Detection dedup keys may regenerate the detected program from its
+	// seed; compute them before taking the coordinator lock.
+	var detKeys []string
+	for _, v := range vs {
+		if v.Kind == difftest.VerdictDetection {
+			detKeys = append(detKeys, detectionKey(&c.camp, v))
+		}
 	}
 
 	c.mu.Lock()
@@ -554,8 +806,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		ws.lastSeen = time.Now()
 	}
 	if c.draining {
-		// The campaign was cancelled: the merge is frozen and the
-		// journal may already be closed. Tell the worker to stop.
+		// The campaign completed or was cancelled: the merge is frozen
+		// and the journal may already be closed. Tell the worker to stop
+		// — and record it, since the worker exits on this flag without
+		// another lease round.
+		if ws := c.workers[workerID]; ws != nil {
+			ws.toldDone = true
+		}
 		writeJSON(w, resultResponse{Accepted: false, Done: true})
 		return
 	}
@@ -566,7 +823,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	s := c.shards[shardID]
 	if s.state == shardDone {
 		c.duplicates.Inc()
-		writeJSON(w, resultResponse{Accepted: false, Done: c.nextSplice == len(c.shards)})
+		dupDone := c.nextSplice == len(c.shards)
+		if ws := c.workers[workerID]; ws != nil && dupDone {
+			// The worker exits on this Done flag without another lease
+			// round; record that so DrainWorkers converges.
+			ws.toldDone = true
+		}
+		writeJSON(w, resultResponse{Accepted: false, Done: dupDone})
 		return
 	}
 	if len(vs) != s.count {
@@ -583,6 +846,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	s.state, s.verdicts, s.holder = shardDone, vs, ""
 	c.verdictsTotal.Add(uint64(len(vs)))
+	for _, k := range detKeys {
+		c.countDetection(k)
+	}
+	if epoch == 0 {
+		epoch = s.epoch
+	}
+	c.ledgerAppend(ledgerEntry{Done: &ledgerDone{Shard: shardID, Epoch: epoch, Verdicts: len(vs)}})
 	c.splice()
 	done := c.nextSplice == len(c.shards)
 	if c.journalErr != nil {
@@ -621,15 +891,22 @@ func (c *Coordinator) splice() {
 		}
 		s.verdicts = nil
 		c.nextSplice++
+		c.ledgerAppend(ledgerEntry{Splice: &ledgerSplice{Shard: s.id, Seeds: len(c.merged)}})
 	}
 	c.doneOnce.Do(func() { close(c.done) })
 }
 
-// readJSON decodes a small JSON request body.
-func readJSON(r *http.Request, into any) error {
-	defer r.Body.Close()
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+// readJSON decodes a small JSON control body (register, lease,
+// heartbeat), capped at maxControlBytes.
+func (c *Coordinator) readJSON(w http.ResponseWriter, r *http.Request, into any) error {
+	body := http.MaxBytesReader(w, r.Body, maxControlBytes)
+	defer body.Close()
+	dec := json.NewDecoder(body)
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			c.oversize.Inc()
+		}
 		return fmt.Errorf("fleet: bad request body: %w", err)
 	}
 	return nil

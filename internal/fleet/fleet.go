@@ -45,6 +45,10 @@ const (
 	pathResult    = "/fleet/result"
 )
 
+// fleetTokenHeader carries the fleet's shared secret on every protocol
+// request when the coordinator is started with a -fleet-token.
+const fleetTokenHeader = "X-Ratte-Fleet-Token"
+
 // registerRequest is a worker's hello: its campaign fingerprint (the
 // journal header JSON) and a free-form host tag for dashboards.
 type registerRequest struct {

@@ -1,0 +1,222 @@
+// The coordinator's shard ledger: an append-only JSONL record of the
+// fleet control plane's state transitions — worker admissions, lease
+// grants, shard completions and splice offsets — kept alongside the
+// campaign journal. The journal makes the campaign's *data* durable
+// (the verdicts); the ledger makes the *control plane* durable: a
+// coordinator restarted with -serve -resume rebuilds its shard queue
+// under the recorded partitioning and resumes its epoch and worker-id
+// counters strictly above every value it ever issued, so leases
+// granted before the crash can never be confused with post-restart
+// ones.
+//
+// The ledger is advisory where the journal is authoritative: shard
+// done-ness on recovery comes from the journal's verdicts (the ledger
+// stores none), and a missing or torn ledger only costs re-derived
+// state, never correctness. Like the journal, a torn final line — the
+// crash the ledger exists to survive — is recovered by truncating to
+// the last intact line.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ledgerVersion guards the on-disk format.
+const ledgerVersion = 1
+
+// ledgerHeader is line 1: the campaign fingerprint (the same JSON the
+// registration handshake checks) plus the shard partitioning, which
+// must be stable across restarts for shard ids to keep their meaning.
+type ledgerHeader struct {
+	Version     int             `json:"ratte_fleet_ledger"`
+	Fingerprint json.RawMessage `json:"fingerprint"`
+	ShardSize   int             `json:"shard_size"`
+	Programs    int             `json:"programs"`
+}
+
+// ledgerEntry is one event line; exactly one field is set.
+type ledgerEntry struct {
+	Worker *ledgerWorker `json:"worker,omitempty"`
+	Grant  *ledgerGrant  `json:"grant,omitempty"`
+	Done   *ledgerDone   `json:"done,omitempty"`
+	Splice *ledgerSplice `json:"splice,omitempty"`
+}
+
+// ledgerWorker records one worker admission.
+type ledgerWorker struct {
+	ID   string `json:"id"`
+	Host string `json:"host,omitempty"`
+}
+
+// ledgerGrant records one lease issue (or re-issue, at a higher epoch).
+type ledgerGrant struct {
+	Shard  int    `json:"shard"`
+	Epoch  int64  `json:"epoch"`
+	Worker string `json:"worker"`
+}
+
+// ledgerDone records one accepted shard result.
+type ledgerDone struct {
+	Shard    int   `json:"shard"`
+	Epoch    int64 `json:"epoch"`
+	Verdicts int   `json:"verdicts"`
+}
+
+// ledgerSplice records the merge frontier advancing past a shard;
+// Seeds is the cumulative merged seed count afterwards — the journal
+// offset a recovery can cross-check against the journal's own line
+// count.
+type ledgerSplice struct {
+	Shard int `json:"shard"`
+	Seeds int `json:"seeds"`
+}
+
+// ledgerState is what a recovery derives from replaying a ledger.
+type ledgerState struct {
+	shardSize  int
+	programs   int
+	nextEpoch  int64 // max epoch ever granted
+	nextWorker int   // max worker number ever admitted
+	// done maps shard id -> true for shards the ledger saw spliced;
+	// advisory (the journal is authoritative), used for cross-checks.
+	done map[int]bool
+}
+
+// ledger is an open shard ledger accepting event appends. Not safe for
+// concurrent use; the coordinator appends under its own mutex.
+type ledger struct {
+	f    *os.File
+	path string
+}
+
+// createLedger starts a fresh ledger at path, truncating any existing
+// file, and writes the partitioning header.
+func createLedger(path string, fingerprint []byte, shardSize, programs int) (*ledger, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	l := &ledger{f: f, path: path}
+	hdr := ledgerHeader{
+		Version:     ledgerVersion,
+		Fingerprint: json.RawMessage(fingerprint),
+		ShardSize:   shardSize,
+		Programs:    programs,
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	if err := l.writeLine(line); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// openLedgerForResume replays the ledger at path, validates its
+// fingerprint against the campaign's, truncates any torn tail, and
+// returns the ledger reopened for appending together with the
+// recovered control-plane state.
+func openLedgerForResume(path string, fingerprint []byte) (*ledger, *ledgerState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if n := len(lines); n > 0 && len(lines[n-1]) == 0 {
+		lines = lines[:n-1]
+	}
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("fleet: ledger: %s is empty", path)
+	}
+
+	var hdr ledgerHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, nil, fmt.Errorf("fleet: ledger: %s: bad header: %w", path, err)
+	}
+	if hdr.Version != ledgerVersion {
+		return nil, nil, fmt.Errorf("fleet: ledger: %s has version %d, want %d", path, hdr.Version, ledgerVersion)
+	}
+	if string(hdr.Fingerprint) != string(fingerprint) {
+		return nil, nil, fmt.Errorf("fleet: ledger: %s was recorded under a different campaign config", path)
+	}
+
+	st := &ledgerState{
+		shardSize: hdr.ShardSize,
+		programs:  hdr.Programs,
+		done:      make(map[int]bool),
+	}
+	goodBytes := len(lines[0]) + 1
+	for _, line := range lines[1:] {
+		var e ledgerEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn tail: everything before it stands; truncate below so
+			// post-recovery appends land on an intact line boundary.
+			break
+		}
+		switch {
+		case e.Worker != nil:
+			if n, err := strconv.Atoi(strings.TrimPrefix(e.Worker.ID, "w")); err == nil && n > st.nextWorker {
+				st.nextWorker = n
+			}
+		case e.Grant != nil:
+			if e.Grant.Epoch > st.nextEpoch {
+				st.nextEpoch = e.Grant.Epoch
+			}
+		case e.Splice != nil:
+			st.done[e.Splice.Shard] = true
+		}
+		goodBytes += len(line) + 1
+	}
+	if goodBytes < len(data) {
+		if err := os.Truncate(path, int64(goodBytes)); err != nil {
+			return nil, nil, fmt.Errorf("fleet: ledger: recover: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return &ledger{f: f, path: path}, st, nil
+}
+
+// append records one event. Like the journal, the line is handed to
+// the kernel in a single Write call, so a crash can tear at most the
+// final line.
+func (l *ledger) append(e ledgerEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return l.writeLine(line)
+}
+
+func (l *ledger) writeLine(line []byte) error {
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the ledger file.
+func (l *ledger) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// The worker's upload spool: an append-only JSONL file that makes a
+// completed shard durable on the worker before — and while — its
+// upload is in flight. A shard that ran for minutes must not be lost
+// to a coordinator restart, a flaky link, or the worker's own crash:
+// the verdict stream is spooled first, the upload retries against the
+// spool entry, and a restarted worker (same -spool path) re-uploads
+// every un-acknowledged entry before leasing new work. Uploads are
+// idempotent — the coordinator discards a shard it already holds — so
+// replaying the spool after a mid-body disconnect can only ever be a
+// no-op or the delivery that was lost.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// spoolVersion guards the on-disk format.
+const spoolVersion = 1
+
+// spoolHeader is line 1: the campaign fingerprint, so a spool recorded
+// under one campaign is never replayed into another.
+type spoolHeader struct {
+	Version     int             `json:"ratte_fleet_spool"`
+	Fingerprint json.RawMessage `json:"fingerprint"`
+}
+
+// spoolRecord is one line after the header; exactly one field is set.
+type spoolRecord struct {
+	Entry    *spoolEntry `json:"entry,omitempty"`
+	Uploaded *spoolMark  `json:"uploaded,omitempty"`
+}
+
+// spoolEntry is one completed shard awaiting acknowledgement: the
+// lease identity plus the exact gzip'd JSONL body the upload sends
+// (JSON base64-encodes Body).
+type spoolEntry struct {
+	Shard int    `json:"shard"`
+	Epoch int64  `json:"epoch"`
+	First int    `json:"first"`
+	Count int    `json:"count"`
+	Body  []byte `json:"body"`
+}
+
+// spoolMark acknowledges an entry: the coordinator accepted the shard
+// (or discarded it as a duplicate — equally final).
+type spoolMark struct {
+	Shard int   `json:"shard"`
+	Epoch int64 `json:"epoch"`
+}
+
+// spool is an open upload spool. Not safe for concurrent use; the
+// worker appends from its single shard loop.
+type spool struct {
+	f    *os.File
+	path string
+}
+
+// openSpool opens (or creates) the spool at path for the campaign
+// identified by fingerprint and returns the entries still awaiting
+// acknowledgement, oldest first. A torn final line — the worker
+// crashed mid-append — is truncated away; the shard it described is
+// simply re-leased and re-run, which is always safe. A spool recorded
+// under a different campaign fingerprint is refused.
+func openSpool(path string, fingerprint []byte) (*spool, []spoolEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) || (err == nil && len(data) == 0) {
+		f, cerr := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("fleet: spool: %w", cerr)
+		}
+		s := &spool{f: f, path: path}
+		line, merr := json.Marshal(spoolHeader{Version: spoolVersion, Fingerprint: json.RawMessage(fingerprint)})
+		if merr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("fleet: spool: %w", merr)
+		}
+		if werr := s.writeLine(line); werr != nil {
+			f.Close()
+			return nil, nil, werr
+		}
+		return s, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: spool: %w", err)
+	}
+
+	lines := bytes.Split(data, []byte("\n"))
+	if n := len(lines); n > 0 && len(lines[n-1]) == 0 {
+		lines = lines[:n-1]
+	}
+	var hdr spoolHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, nil, fmt.Errorf("fleet: spool: %s: bad header: %w", path, err)
+	}
+	if hdr.Version != spoolVersion {
+		return nil, nil, fmt.Errorf("fleet: spool: %s has version %d, want %d", path, hdr.Version, spoolVersion)
+	}
+	if string(hdr.Fingerprint) != string(fingerprint) {
+		return nil, nil, fmt.Errorf("fleet: spool: %s was recorded under a different campaign config", path)
+	}
+
+	type key struct {
+		shard int
+		epoch int64
+	}
+	var order []key
+	entries := make(map[key]spoolEntry)
+	goodBytes := len(lines[0]) + 1
+	for _, line := range lines[1:] {
+		var r spoolRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			break // torn tail; truncate below
+		}
+		switch {
+		case r.Entry != nil:
+			k := key{r.Entry.Shard, r.Entry.Epoch}
+			if _, seen := entries[k]; !seen {
+				order = append(order, k)
+			}
+			entries[k] = *r.Entry
+		case r.Uploaded != nil:
+			delete(entries, key{r.Uploaded.Shard, r.Uploaded.Epoch})
+		}
+		goodBytes += len(line) + 1
+	}
+	if goodBytes < len(data) {
+		if err := os.Truncate(path, int64(goodBytes)); err != nil {
+			return nil, nil, fmt.Errorf("fleet: spool: recover: %w", err)
+		}
+	}
+
+	var pending []spoolEntry
+	for _, k := range order {
+		if e, ok := entries[k]; ok {
+			pending = append(pending, e)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: spool: %w", err)
+	}
+	return &spool{f: f, path: path}, pending, nil
+}
+
+// add spools one completed shard before its upload is attempted.
+func (s *spool) add(e spoolEntry) error {
+	line, err := json.Marshal(spoolRecord{Entry: &e})
+	if err != nil {
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	return s.writeLine(line)
+}
+
+// markUploaded acknowledges an entry after the coordinator accepted
+// (or duplicate-discarded) it, so a later replay skips it.
+func (s *spool) markUploaded(shard int, epoch int64) error {
+	line, err := json.Marshal(spoolRecord{Uploaded: &spoolMark{Shard: shard, Epoch: epoch}})
+	if err != nil {
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	return s.writeLine(line)
+}
+
+func (s *spool) writeLine(line []byte) error {
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the spool file.
+func (s *spool) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("fleet: spool: %w", err)
+	}
+	return nil
+}

@@ -1,17 +1,41 @@
-// The fleet worker: register, lease, run, heartbeat, upload, repeat.
+// The fleet worker: register, lease, run, heartbeat, upload, repeat —
+// with every wire interaction hardened for a lossy network and a
+// killable coordinator. Uploads and leases retry transport errors and
+// 5xx responses under bounded exponential backoff with deterministic
+// jitter; a lease rejected 403 (the coordinator restarted and forgot
+// this worker) triggers re-registration through the normal fingerprint
+// handshake; and with a spool configured, every completed shard is
+// durable on local disk before its upload is attempted, so neither a
+// dropped connection nor the worker's own death loses work.
 package fleet
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"os"
 	"time"
 
 	"ratte/internal/difftest"
+)
+
+// Worker retry defaults.
+const (
+	// defaultUploadRetries bounds the shard-upload retry loop.
+	defaultUploadRetries = 5
+	// defaultLeaseRetries bounds consecutive failed lease attempts; with
+	// backoff this rides out roughly twenty seconds of coordinator
+	// downtime, comfortably covering a kill + restart.
+	defaultLeaseRetries = 12
+	// retryBase / retryCap bound the exponential backoff between
+	// retried requests.
+	retryBase = 100 * time.Millisecond
+	retryCap  = 2 * time.Second
 )
 
 // WorkerConfig configures one fleet worker process.
@@ -34,11 +58,28 @@ type WorkerConfig struct {
 	Logf func(format string, args ...any)
 	// Client is the HTTP client (default: 30s-timeout client).
 	Client *http.Client
+	// Token is the fleet's shared secret, sent on every request when
+	// non-empty; must match the coordinator's -fleet-token.
+	Token string
 
 	// RegisterRetries bounds the initial-registration retry loop
 	// covering the coordinator-still-starting race (default 20 attempts
-	// at 250ms). A 409 config mismatch fails immediately regardless.
+	// at 250ms). A 409 config mismatch (or 401 bad token) fails
+	// immediately regardless.
 	RegisterRetries int
+	// UploadRetries bounds one shard upload's attempts (default 5).
+	// Transport errors and 5xx responses are retried under backoff;
+	// other non-200 statuses are permanent.
+	UploadRetries int
+	// LeaseRetries bounds consecutive failed lease attempts before the
+	// worker gives up (default 12). A 403 does not count: it means the
+	// coordinator restarted, and the worker re-registers instead.
+	LeaseRetries int
+	// SpoolPath, when non-empty, spools every completed shard to an
+	// append-only JSONL file before its upload is attempted, and
+	// re-uploads unacknowledged entries (idempotently) at startup
+	// before leasing new work.
+	SpoolPath string
 }
 
 // WorkerStats summarizes one worker's run for logs and tests.
@@ -48,6 +89,9 @@ type WorkerStats struct {
 	Verdicts       int // verdicts uploaded in accepted shards
 	LostLeases     int // shards abandoned after a heartbeat reported the lease lost
 	DuplicateDrops int // completed shards the coordinator discarded as duplicates
+	Registrations  int // registrations performed (>1 = re-admitted after a coordinator restart)
+	UploadRetried  int // upload attempts retried after a transient failure
+	SpoolReplayed  int // spool entries re-uploaded before leasing began
 }
 
 // RunWorker runs the worker loop until the coordinator reports the
@@ -66,39 +110,80 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	if w.cfg.RegisterRetries <= 0 {
 		w.cfg.RegisterRetries = 20
 	}
+	if w.cfg.UploadRetries <= 0 {
+		w.cfg.UploadRetries = defaultUploadRetries
+	}
+	if w.cfg.LeaseRetries <= 0 {
+		w.cfg.LeaseRetries = defaultLeaseRetries
+	}
 	return w.run(ctx)
 }
 
 type worker struct {
-	cfg   WorkerConfig
-	stats WorkerStats
-	ttl   time.Duration
+	cfg     WorkerConfig
+	stats   WorkerStats
+	ttl     time.Duration
+	fp      []byte
+	spool   *spool
+	pending []spoolEntry
 }
 
+// errPermanentUpload marks an upload rejection no retry can cure.
+var errPermanentUpload = errors.New("fleet: upload permanently rejected")
+
 func (w *worker) run(ctx context.Context) (WorkerStats, error) {
-	reg, err := w.register(ctx)
+	fp, err := difftest.CampaignFingerprint(w.cfg.Campaign)
 	if err != nil {
 		return w.stats, err
 	}
-	w.stats.WorkerID = reg.WorkerID
-	w.ttl = time.Duration(reg.LeaseTTLMillis) * time.Millisecond
-	if w.ttl <= 0 {
-		w.ttl = DefaultLeaseTTL
+	w.fp = fp
+	if w.cfg.SpoolPath != "" {
+		sp, pending, err := openSpool(w.cfg.SpoolPath, fp)
+		if err != nil {
+			return w.stats, err
+		}
+		w.spool, w.pending = sp, pending
+		defer sp.Close() //nolint:errcheck // shutdown
 	}
-	// The program count lives outside the fingerprint; adopt the
-	// coordinator's so shard-range validation sees the real bounds.
-	w.cfg.Campaign.Programs = reg.Programs
-	w.cfg.Logf("fleet worker %s: registered (%d programs, %d shards, lease %v)",
-		reg.WorkerID, reg.Programs, reg.Shards, w.ttl)
+	if err := w.register(ctx); err != nil {
+		return w.stats, err
+	}
+	if err := w.replaySpool(ctx); err != nil {
+		return w.stats, err
+	}
 
+	leaseFails := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return w.stats, err
 		}
-		lease, err := w.lease(ctx)
+		lease, status, err := w.lease(ctx)
 		if err != nil {
-			return w.stats, err
+			if status == http.StatusForbidden {
+				// The coordinator restarted and no longer knows this
+				// worker; re-admit through the normal handshake under a
+				// fresh worker id.
+				w.cfg.Logf("fleet worker %s: lease rejected (coordinator restarted?), re-registering",
+					w.stats.WorkerID)
+				if err := w.register(ctx); err != nil {
+					return w.stats, err
+				}
+				continue
+			}
+			leaseFails++
+			if leaseFails >= w.cfg.LeaseRetries {
+				return w.stats, err
+			}
+			w.cfg.Logf("fleet worker %s: lease attempt %d failed, retrying: %v",
+				w.stats.WorkerID, leaseFails, err)
+			select {
+			case <-ctx.Done():
+				return w.stats, ctx.Err()
+			case <-time.After(retryDelay("lease", leaseFails)):
+			}
+			continue
 		}
+		leaseFails = 0
 		switch {
 		case lease.Done:
 			w.cfg.Logf("fleet worker %s: campaign done (%d shards, %d verdicts)",
@@ -129,20 +214,18 @@ func (w *worker) run(ctx context.Context) (WorkerStats, error) {
 }
 
 // register announces the worker, retrying connection errors to cover
-// the worker-before-coordinator startup race. A rejection (HTTP 409,
-// mismatched campaign fingerprint) fails immediately.
-func (w *worker) register(ctx context.Context) (*registerResponse, error) {
-	fp, err := difftest.CampaignFingerprint(w.cfg.Campaign)
-	if err != nil {
-		return nil, err
-	}
-	req := registerRequest{Fingerprint: fp, Host: w.cfg.Host}
+// the worker-before-coordinator startup race (and, on re-registration,
+// a coordinator restart still in progress). A rejection — HTTP 409
+// mismatched campaign fingerprint, or 401 bad fleet token — fails
+// immediately.
+func (w *worker) register(ctx context.Context) error {
+	req := registerRequest{Fingerprint: w.fp, Host: w.cfg.Host}
 	var lastErr error
 	for attempt := 0; attempt < w.cfg.RegisterRetries; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			case <-time.After(250 * time.Millisecond):
 			}
 		}
@@ -150,24 +233,73 @@ func (w *worker) register(ctx context.Context) (*registerResponse, error) {
 		status, err := w.postJSON(ctx, pathRegister, req, &resp)
 		switch {
 		case err == nil && status == http.StatusOK:
-			return &resp, nil
-		case status == http.StatusConflict:
-			return nil, fmt.Errorf("fleet: registration rejected: %w", err)
+			w.stats.WorkerID = resp.WorkerID
+			w.stats.Registrations++
+			w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+			if w.ttl <= 0 {
+				w.ttl = DefaultLeaseTTL
+			}
+			// The program count lives outside the fingerprint; adopt the
+			// coordinator's so shard-range validation sees the real bounds.
+			w.cfg.Campaign.Programs = resp.Programs
+			w.cfg.Logf("fleet worker %s: registered (%d programs, %d shards, lease %v)",
+				resp.WorkerID, resp.Programs, resp.Shards, w.ttl)
+			return nil
+		case status == http.StatusConflict || status == http.StatusUnauthorized:
+			return fmt.Errorf("fleet: registration rejected: %w", err)
 		default:
 			lastErr = err
 		}
 	}
-	return nil, fmt.Errorf("fleet: register: coordinator unreachable: %w", lastErr)
+	return fmt.Errorf("fleet: register: coordinator unreachable: %w", lastErr)
 }
 
-// lease asks for the next shard.
-func (w *worker) lease(ctx context.Context) (*leaseResponse, error) {
+// replaySpool re-uploads every unacknowledged spool entry before any
+// new work is leased. Uploads are idempotent (the coordinator discards
+// shards it already holds), so a replay is a no-op or the delivery
+// that was lost. A permanently rejected entry is dropped with a log —
+// its shard simply re-runs under a fresh lease.
+func (w *worker) replaySpool(ctx context.Context) error {
+	for _, e := range w.pending {
+		accepted, _, err := w.uploadBody(ctx, e.Shard, e.Epoch, e.Body)
+		if err != nil {
+			if errors.Is(err, errPermanentUpload) {
+				w.cfg.Logf("fleet worker %s: spooled shard %d rejected, dropping: %v",
+					w.stats.WorkerID, e.Shard, err)
+				w.spool.markUploaded(e.Shard, e.Epoch) //nolint:errcheck // advisory mark
+				continue
+			}
+			return fmt.Errorf("fleet: spool replay: %w", err)
+		}
+		w.stats.SpoolReplayed++
+		if accepted {
+			w.stats.Shards++
+			w.stats.Verdicts += e.Count
+			w.cfg.Logf("fleet worker %s: spooled shard %d re-uploaded (%d verdicts)",
+				w.stats.WorkerID, e.Shard, e.Count)
+		} else {
+			w.stats.DuplicateDrops++
+			w.cfg.Logf("fleet worker %s: spooled shard %d already complete, discarded",
+				w.stats.WorkerID, e.Shard)
+		}
+		if err := w.spool.markUploaded(e.Shard, e.Epoch); err != nil {
+			return err
+		}
+	}
+	w.pending = nil
+	return nil
+}
+
+// lease asks for the next shard. The returned status lets the caller
+// distinguish a 403 (unknown worker — re-register) from transient
+// failures (retry under backoff).
+func (w *worker) lease(ctx context.Context) (*leaseResponse, int, error) {
 	var resp leaseResponse
 	status, err := w.postJSON(ctx, pathLease, leaseRequest{WorkerID: w.stats.WorkerID}, &resp)
 	if err != nil || status != http.StatusOK {
-		return nil, fmt.Errorf("fleet: lease: %w", err)
+		return nil, status, fmt.Errorf("fleet: lease: %w", err)
 	}
-	return &resp, nil
+	return &resp, status, nil
 }
 
 // runShard executes one leased shard with a heartbeat goroutine
@@ -224,56 +356,120 @@ func (w *worker) runShard(ctx context.Context, lease ShardLease) (bool, error) {
 	return w.upload(ctx, lease, vs)
 }
 
-// upload posts the shard's verdict stream — one gzip'd JSONL body —
-// retrying transient failures while the lease epoch still stands. The
+// upload spools (when configured) and posts the shard's verdict stream
+// — one gzip'd JSONL body. The spool append happens before the first
+// attempt, so the completed shard survives the worker's own death from
+// this point on; the acknowledgement mark lands only after the
+// coordinator accepted (or duplicate-discarded) the shard. The
 // returned bool relays the coordinator's campaign-done signal.
 func (w *worker) upload(ctx context.Context, lease ShardLease, vs []difftest.Verdict) (bool, error) {
 	body, err := encodeVerdicts(vs)
 	if err != nil {
 		return false, err
 	}
-	url := fmt.Sprintf("%s%s?shard=%d&worker=%s", w.cfg.Coordinator, pathResult, lease.ID, w.stats.WorkerID)
+	if w.spool != nil {
+		e := spoolEntry{Shard: lease.ID, Epoch: lease.Epoch, First: lease.First, Count: lease.Count, Body: body}
+		if err := w.spool.add(e); err != nil {
+			return false, err
+		}
+	}
+	accepted, done, err := w.uploadBody(ctx, lease.ID, lease.Epoch, body)
+	if err != nil {
+		// The spool entry (if any) stays unacknowledged: a restarted
+		// worker replays it before leasing new work.
+		return false, err
+	}
+	if w.spool != nil {
+		if err := w.spool.markUploaded(lease.ID, lease.Epoch); err != nil {
+			return false, err
+		}
+	}
+	if accepted {
+		w.stats.Shards++
+		w.stats.Verdicts += len(vs)
+		w.cfg.Logf("fleet worker %s: shard %d done (%d verdicts)", w.stats.WorkerID, lease.ID, len(vs))
+	} else {
+		w.stats.DuplicateDrops++
+		w.cfg.Logf("fleet worker %s: shard %d already complete, discarded", w.stats.WorkerID, lease.ID)
+	}
+	return done, nil
+}
+
+// uploadBody posts one encoded shard body under bounded exponential
+// backoff with deterministic jitter. Transport errors, 5xx responses
+// and torn response bodies are retried (re-sends are idempotent: the
+// coordinator keys acceptance on the shard's done-state); any other
+// non-200 status is errPermanentUpload. Every retry is logged with the
+// shard id and its cause.
+func (w *worker) uploadBody(ctx context.Context, shardID int, epoch int64, body []byte) (accepted, done bool, err error) {
+	url := fmt.Sprintf("%s%s?shard=%d&worker=%s&epoch=%d",
+		w.cfg.Coordinator, pathResult, shardID, w.stats.WorkerID, epoch)
 	var lastErr error
-	for attempt := 0; attempt < 5; attempt++ {
+	for attempt := 0; attempt < w.cfg.UploadRetries; attempt++ {
 		if attempt > 0 {
+			w.stats.UploadRetried++
+			w.cfg.Logf("fleet worker %s: shard %d upload retry %d: %v",
+				w.stats.WorkerID, shardID, attempt, lastErr)
 			select {
 			case <-ctx.Done():
-				return false, ctx.Err()
-			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+				return false, false, ctx.Err()
+			case <-time.After(retryDelay(fmt.Sprintf("upload/%d/%d", shardID, epoch), attempt)):
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
-			return false, err
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if rerr != nil {
+			return false, false, rerr
 		}
 		req.Header.Set("Content-Type", "application/x-ndjson")
 		req.Header.Set("Content-Encoding", "gzip")
-		httpResp, err := w.cfg.Client.Do(req)
-		if err != nil {
-			lastErr = err
+		if w.cfg.Token != "" {
+			req.Header.Set(fleetTokenHeader, w.cfg.Token)
+		}
+		httpResp, derr := w.cfg.Client.Do(req)
+		if derr != nil {
+			lastErr = derr
 			continue
 		}
 		data, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
 		httpResp.Body.Close()
-		if httpResp.StatusCode != http.StatusOK {
-			return false, fmt.Errorf("fleet: shard %d upload rejected: %s: %s",
-				lease.ID, httpResp.Status, bytes.TrimSpace(data))
+		switch {
+		case httpResp.StatusCode == http.StatusOK:
+			var resp resultResponse
+			if jerr := json.Unmarshal(data, &resp); jerr != nil {
+				// Torn response body: the upload may or may not have
+				// landed; re-sending is safe either way.
+				lastErr = fmt.Errorf("fleet: shard %d upload response: %w", shardID, jerr)
+				continue
+			}
+			return resp.Accepted, resp.Done, nil
+		case httpResp.StatusCode >= 500:
+			lastErr = fmt.Errorf("fleet: shard %d upload: %s: %s",
+				shardID, httpResp.Status, bytes.TrimSpace(data))
+			continue
+		default:
+			return false, false, fmt.Errorf("%w: shard %d: %s: %s",
+				errPermanentUpload, shardID, httpResp.Status, bytes.TrimSpace(data))
 		}
-		var resp resultResponse
-		if err := json.Unmarshal(data, &resp); err != nil {
-			return false, fmt.Errorf("fleet: shard %d upload response: %w", lease.ID, err)
-		}
-		if resp.Accepted {
-			w.stats.Shards++
-			w.stats.Verdicts += len(vs)
-			w.cfg.Logf("fleet worker %s: shard %d done (%d verdicts)", w.stats.WorkerID, lease.ID, len(vs))
-		} else {
-			w.stats.DuplicateDrops++
-			w.cfg.Logf("fleet worker %s: shard %d already complete, discarded", w.stats.WorkerID, lease.ID)
-		}
-		return resp.Done, nil
 	}
-	return false, fmt.Errorf("fleet: shard %d upload: %w", lease.ID, lastErr)
+	return false, false, fmt.Errorf("fleet: shard %d upload: attempts exhausted: %w", shardID, lastErr)
+}
+
+// retryDelay is the backoff before retry number attempt (1-based):
+// retryBase doubling per attempt, capped at retryCap, plus a
+// deterministic jitter in [0, base/2] drawn by hashing (key, attempt)
+// — no global randomness, so a seeded chaos run reproduces its timing
+// decisions.
+func retryDelay(key string, attempt int) time.Duration {
+	base := retryBase
+	for i := 1; i < attempt && base < retryCap; i++ {
+		base *= 2
+	}
+	if base > retryCap {
+		base = retryCap
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", key, attempt)
+	return base + time.Duration(h.Sum64()%uint64(base/2+1))
 }
 
 // postJSON posts a JSON body and decodes a JSON response. The returned
@@ -289,6 +485,9 @@ func (w *worker) postJSON(ctx context.Context, path string, body, into any) (int
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.Token != "" {
+		req.Header.Set(fleetTokenHeader, w.cfg.Token)
+	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
 		return 0, err

@@ -32,6 +32,7 @@ package ratte
 
 import (
 	"context"
+	"net/http"
 
 	"ratte/internal/bugs"
 	"ratte/internal/compiler"
@@ -82,6 +83,11 @@ type (
 	Verdict = difftest.Verdict
 	// FaultSpec configures deterministic fault injection for a campaign.
 	FaultSpec = faultinject.Spec
+	// NetFaultSpec configures deterministic network fault injection
+	// for a fleet worker's HTTP transport.
+	NetFaultSpec = faultinject.NetSpec
+	// NetFaultTransport is a seeded fault-injecting http.RoundTripper.
+	NetFaultTransport = faultinject.Transport
 	// Journal is an append-only campaign verdict log (see CreateJournal).
 	Journal = difftest.Journal
 	// BugSet selects injected compiler defects.
@@ -387,6 +393,14 @@ func NewFleetCoordinator(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) 
 // campaign completes or ctx is cancelled.
 func RunFleetWorker(ctx context.Context, cfg FleetWorkerConfig) (FleetWorkerStats, error) {
 	return fleet.RunWorker(ctx, cfg)
+}
+
+// NewNetFaultTransport wraps an http.RoundTripper (nil = the default
+// transport) with seeded, deterministic network fault injection —
+// refused connections, delays, injected 5xx, torn bodies, duplicated
+// deliveries — for chaos-testing fleet workers.
+func NewNetFaultTransport(spec NetFaultSpec, inner http.RoundTripper) *NetFaultTransport {
+	return faultinject.NewTransport(spec, inner)
 }
 
 // RunCampaignRange runs the seed-index window [first, first+count) of
