@@ -338,7 +338,7 @@ func TestEmitCampaignBench(t *testing.T) {
 		t.Skip("set RATTE_BENCH_JSON=1 to regenerate BENCH_campaign.json")
 	}
 	const programs = 300
-	run := func(workers int, withTelemetry bool) (nsPerProgram float64, programsPerSec float64) {
+	run := func(workers int, withTelemetry, withCoverage bool) (nsPerProgram float64, programsPerSec float64) {
 		cfg := difftest.CampaignConfig{
 			Preset:   "ariths",
 			Programs: programs,
@@ -348,6 +348,9 @@ func TestEmitCampaignBench(t *testing.T) {
 		}
 		if withTelemetry {
 			cfg.Telemetry = difftest.NewCampaignTelemetry(nil)
+		}
+		if withCoverage {
+			cfg.Coverage = difftest.NewCampaignCoverage(nil)
 		}
 		start := time.Now()
 		res, err := difftest.RunCampaignParallel(cfg, workers)
@@ -366,11 +369,11 @@ func TestEmitCampaignBench(t *testing.T) {
 	// ratio is the compile-amortization payoff.
 	runFamily := func(workers int, batched bool) (nsPerProgram float64, programsPerSec float64) {
 		cfg := difftest.CampaignConfig{
-			Preset:   "ariths",
-			Programs: programs,
-			Size:     30,
-			Seed:     1,
-			Bugs:     bugs.None(),
+			Preset:     "ariths",
+			Programs:   programs,
+			Size:       30,
+			Seed:       1,
+			Bugs:       bugs.None(),
 			FamilySize: 4,
 			Batched:    batched,
 		}
@@ -464,30 +467,39 @@ func TestEmitCampaignBench(t *testing.T) {
 		elapsed := time.Since(start)
 		return float64(elapsed.Nanoseconds()) / programs, programs / elapsed.Seconds()
 	}
-	run(1, false) // warm the memoized registries and pipelines
-	// Telemetry overhead is estimated from PAIRED runs: each rep times
-	// an uninstrumented and an instrumented serial campaign back to
-	// back, and the recorded overhead is the median of the per-rep
-	// deltas. A single ~400ms wall-clock shot swings by tens of percent
-	// with ambient load (one early record pinned a bogus 28% "overhead"
-	// that profiling could not find anywhere), and unpaired minima
-	// drift with load phases; pairing cancels the drift.
+	run(1, false, false) // warm the memoized registries and pipelines
+	// Telemetry and coverage overheads are estimated from PAIRED runs:
+	// each rep times an uninstrumented serial campaign and the
+	// instrumented variants back to back, and the recorded overhead is
+	// the median of the per-rep deltas. A single ~400ms wall-clock shot
+	// swings by tens of percent with ambient load (one early record
+	// pinned a bogus 28% "overhead" that profiling could not find
+	// anywhere), and unpaired minima drift with load phases; pairing
+	// cancels the drift.
 	const telReps = 7
-	var serialNs, serialPS, telNs, telPS float64
+	var serialNs, serialPS, telNs, telPS, covNs, covPS float64
 	deltas := make([]float64, 0, telReps)
+	covDeltas := make([]float64, 0, telReps)
 	for rep := 0; rep < telReps; rep++ {
-		offNs, offPS := run(1, false)
-		onNs, onPS := run(1, true)
+		offNs, offPS := run(1, false, false)
+		onNs, onPS := run(1, true, false)
+		cNs, cPS := run(1, false, true)
 		if rep == 0 || offNs < serialNs {
 			serialNs, serialPS = offNs, offPS
 		}
 		if rep == 0 || onNs < telNs {
 			telNs, telPS = onNs, onPS
 		}
+		if rep == 0 || cNs < covNs {
+			covNs, covPS = cNs, cPS
+		}
 		deltas = append(deltas, (onNs-offNs)/offNs*100)
+		covDeltas = append(covDeltas, (cNs-offNs)/offNs*100)
 	}
 	sort.Float64s(deltas)
 	overheadPct := deltas[len(deltas)/2]
+	sort.Float64s(covDeltas)
+	covOverheadPct := covDeltas[len(covDeltas)/2]
 	// Worker sweep: on a multi-core host programs/sec scales with
 	// workers until cores are saturated; recorded per-count so a
 	// single-core container's honest (flat) curve is distinguishable
@@ -495,7 +507,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	sweep := []map[string]any{}
 	var parNs, parPS float64
 	for _, workers := range []int{2, 4, 8} {
-		ns, ps := run(workers, false)
+		ns, ps := run(workers, false, false)
 		if workers == 8 {
 			parNs, parPS = ns, ps
 		}
@@ -586,10 +598,14 @@ func TestEmitCampaignBench(t *testing.T) {
 			"workers": 1, "ns_per_program": telNs, "programs_per_sec": telPS,
 			"overhead_pct_vs_serial": overheadPct,
 		},
+		"coverage": map[string]any{
+			"workers": 1, "ns_per_program": covNs, "programs_per_sec": covPS,
+			"overhead_pct_vs_serial": covOverheadPct,
+		},
 		"family": map[string]any{
-			"family_size": 4,
-			"unbatched":   map[string]any{"ns_per_program": unbNs, "programs_per_sec": unbPS},
-			"batched":     map[string]any{"ns_per_program": batNs, "programs_per_sec": batPS},
+			"family_size":                  4,
+			"unbatched":                    map[string]any{"ns_per_program": unbNs, "programs_per_sec": unbPS},
+			"batched":                      map[string]any{"ns_per_program": batNs, "programs_per_sec": batPS},
 			"batched_speedup_vs_unbatched": batPS / unbPS,
 		},
 		"pipeline_fuzz": map[string]any{
@@ -613,8 +629,8 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := os.WriteFile("BENCH_campaign.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("serial: %.0f ns/program (%.1f programs/sec); parallel x8: %.0f ns/program (%.1f programs/sec); telemetry overhead: %.2f%%",
-		serialNs, serialPS, parNs, parPS, overheadPct)
+	t.Logf("serial: %.0f ns/program (%.1f programs/sec); parallel x8: %.0f ns/program (%.1f programs/sec); telemetry overhead: %.2f%%; coverage overhead: %.2f%%",
+		serialNs, serialPS, parNs, parPS, overheadPct, covOverheadPct)
 }
 
 // BenchmarkCompilePipeline measures full preset pipelines (the cost of

@@ -40,6 +40,12 @@ func fleetServe(o adhocOptions) {
 	if err != nil {
 		fatal(err)
 	}
+	if o.coverage {
+		// The coordinator folds merged verdict summaries into this
+		// accumulator and exports the fleet coverage gauges, per-site
+		// counters, and the /status growth curve from it.
+		cfg.Coverage = difftest.NewCampaignCoverage(nil)
+	}
 
 	var journal *difftest.Journal
 	if o.resume && o.journal == "" {
@@ -75,6 +81,7 @@ func fleetServe(o adhocOptions) {
 		Token:        o.fleetToken,
 		LedgerPath:   ledger,
 		ResumeLedger: o.resume,
+		EventLogPath: o.fleetEvents,
 	})
 	if err != nil {
 		fatal(err)
@@ -82,7 +89,7 @@ func fleetServe(o adhocOptions) {
 	if err := coord.Start(o.serve); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "fleet coordinator on http://%s (metrics at /metrics)\n", coord.Addr())
+	fmt.Fprintf(os.Stderr, "fleet coordinator on http://%s (dashboards at /metrics and /status)\n", coord.Addr())
 
 	if o.progress > 0 {
 		ticker := time.NewTicker(o.progress)
@@ -129,6 +136,14 @@ func fleetServe(o adhocOptions) {
 	}
 	fmt.Fprintf(os.Stderr, "elapsed: %s (%d programs merged, %.1f/sec aggregate)\n",
 		elapsed.Round(time.Millisecond), verdicted, rate)
+	if cov := coord.Coverage(); cov != nil {
+		fmt.Fprintf(os.Stderr, "coverage: %d sites, %d hits\n", cov.Sites(), cov.Total())
+		if o.coverageDump != "" {
+			if err := os.WriteFile(o.coverageDump, []byte(cov.Text()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	if o.metricsDump != "" {
 		if err := os.WriteFile(o.metricsDump, []byte(coord.Registry().PrometheusText()), 0o644); err != nil {
 			fatal(err)
@@ -161,6 +176,11 @@ func fleetWork(o adhocOptions) {
 	if err != nil {
 		fatal(err)
 	}
+	if o.coverage {
+		// A non-nil accumulator tells the worker to record coverage per
+		// shard and attach the union to each upload's snapshot line.
+		cfg.Coverage = difftest.NewCampaignCoverage(nil)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -187,6 +207,7 @@ func fleetWork(o adhocOptions) {
 		Token:         o.fleetToken,
 		UploadRetries: o.uploadRetries,
 		SpoolPath:     o.spoolPath,
+		EventLogPath:  o.fleetEvents,
 		Client:        client,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -77,6 +77,8 @@ func main() {
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on clean shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (ad-hoc campaigns)")
 	metricsDump := flag.String("metrics-dump", "", "write the final Prometheus metrics payload to this file (ad-hoc campaigns)")
+	coverage := flag.Bool("coverage", false, "record semantic coverage (generator choices, compiler rewrites, interpreted ops); observation-only, results are byte-identical")
+	coverageDump := flag.String("coverage-dump", "", "write the final coverage union (site hit-counts) to this file; implies -coverage")
 	progress := flag.Duration("progress", 0, "print a one-line campaign status to stderr at this interval (ad-hoc campaigns)")
 	serve := flag.String("serve", "", "fleet coordinator mode: serve the campaign's shards on this address (host:port)")
 	workerOf := flag.String("worker", "", "fleet worker mode: lease shards from this coordinator URL (http://host:port)")
@@ -88,7 +90,11 @@ func main() {
 	spoolPath := flag.String("spool", "", "worker upload spool path: shard results persist locally until acknowledged (with -worker)")
 	netFaultRate := flag.Float64("net-fault-rate", 0, "deterministic network fault-injection rate in [0,1] on the worker's wire (with -worker)")
 	netFaultSeed := flag.Int64("net-fault-seed", 1, "seed of the injected network-fault schedule (with -net-fault-rate)")
+	fleetEvents := flag.String("fleet-events", "", "append fleet lifecycle events (JSONL, keyed by campaign id) to this file (both -serve and -worker)")
 	flag.Parse()
+	if *coverageDump != "" {
+		*coverage = true
+	}
 
 	if *workers > runtime.NumCPU() {
 		// Once, to stderr: the pipelined engines cannot beat the CPU count,
@@ -126,10 +132,12 @@ func main() {
 			fuzzPipelines: *fuzzPipelines, planSeed: *planSeed,
 			faultRate: *faultRate, faultSeed: *faultSeed, retries: *retries,
 			metricsAddr: *metricsAddr, metricsDump: *metricsDump, progress: *progress,
+			coverage: *coverage, coverageDump: *coverageDump,
 			serve: *serve, workerOf: *workerOf, shardSize: *shardSize, leaseTTL: *leaseTTL,
 			fleetToken: *fleetToken, fleetLedger: *fleetLedger,
 			uploadRetries: *uploadRetries, spoolPath: *spoolPath,
 			netFaultRate: *netFaultRate, netFaultSeed: *netFaultSeed,
+			fleetEvents: *fleetEvents,
 		}
 		switch {
 		case o.serve != "" && o.workerOf != "":
@@ -415,6 +423,9 @@ type adhocOptions struct {
 	metricsDump string
 	progress    time.Duration
 
+	coverage     bool
+	coverageDump string
+
 	serve     string
 	workerOf  string
 	shardSize int
@@ -426,6 +437,7 @@ type adhocOptions struct {
 	spoolPath     string
 	netFaultRate  float64
 	netFaultSeed  int64
+	fleetEvents   string
 }
 
 // buildCampaign assembles the campaign configuration shared by the
@@ -455,6 +467,12 @@ func buildCampaign(o adhocOptions) (difftest.CampaignConfig, bugs.Set, error) {
 		MaxRetries: o.retries,
 		FamilySize: o.family,
 		Batched:    o.batched,
+	}
+	if o.coverage && o.family > 0 {
+		// Family mode shares one generated program across the family and
+		// runs its pipeline uncovered; a coverage flag there would record
+		// nothing and mislead.
+		return difftest.CampaignConfig{}, nil, errors.New("-coverage is not supported with -family campaigns")
 	}
 	if o.fuzzPipelines > 0 {
 		if o.family > 0 {
@@ -530,6 +548,18 @@ func adhoc(o adhocOptions) {
 		telemetry.RegisterProcessMetrics(tel.Registry)
 		cfg.Telemetry = tel
 	}
+	// Coverage rides the telemetry registry when one exists, so the
+	// per-site counters show up on -metrics-addr / -metrics-dump; with
+	// neither it accumulates privately for the -coverage-dump file.
+	var cov *difftest.CampaignCoverage
+	if o.coverage {
+		var reg *telemetry.Registry
+		if tel != nil {
+			reg = tel.Registry
+		}
+		cov = difftest.NewCampaignCoverage(reg)
+		cfg.Coverage = cov
+	}
 	var metricsSrv *telemetry.Server
 	if o.metricsAddr != "" {
 		// Live pprof contention endpoints need the samplers on.
@@ -590,6 +620,14 @@ func adhoc(o adhocOptions) {
 			elapsed.Round(time.Millisecond), verdicted, rate)
 		if tel != nil {
 			fmt.Fprint(os.Stderr, tel.ReportSection())
+		}
+		if cov != nil {
+			fmt.Fprintf(os.Stderr, "coverage: %d sites, %d hits\n", cov.Sites(), cov.Total())
+		}
+		if o.coverageDump != "" {
+			if err := os.WriteFile(o.coverageDump, []byte(cov.Text()), 0o644); err != nil {
+				fatal(err)
+			}
 		}
 		if o.metricsDump != "" {
 			if err := os.WriteFile(o.metricsDump, []byte(tel.Registry.PrometheusText()), 0o644); err != nil {

@@ -47,16 +47,20 @@ func (x *expander) block(b *ir.Block, consts constMap) {
 		switch op.Name {
 		case "arith.floordivsi", "arith.ceildivsi", "arith.ceildivui":
 			if folded, ok := x.tryFold(op, consts); ok {
+				x.opts.cover(covExpandFold, op.Name)
 				out = append(out, folded...)
 				continue
 			}
 		}
 		switch op.Name {
 		case "arith.floordivsi":
+			x.opts.cover(covExpandRewrite, op.Name)
 			out = append(out, expandFloorDivSI(x.nm, op, x.opts)...)
 		case "arith.ceildivsi":
+			x.opts.cover(covExpandRewrite, op.Name)
 			out = append(out, expandCeilDivSI(x.nm, op, x.opts)...)
 		case "arith.ceildivui":
+			x.opts.cover(covExpandRewrite, op.Name)
 			out = append(out, expandCeilDivUI(x.nm, op)...)
 		default:
 			out = append(out, op)
@@ -77,6 +81,9 @@ func (x *expander) tryFold(op *ir.Operation, consts constMap) ([]*ir.Operation, 
 	t := op.Results[0].Type
 	r, ok := foldBinary(op.Name, constVal(a, t), constVal(bAttr, t))
 	if !ok {
+		// Legality branch: a UB-carrying constant division stays
+		// unfolded so the trap remains observable at run time.
+		x.opts.cover(covExpandDecline, op.Name)
 		return nil, false
 	}
 	cst := ir.NewOp("arith.constant")

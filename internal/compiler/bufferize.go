@@ -47,7 +47,7 @@ func runBufferize(m *ir.Module, opts *Options) error {
 		err := forEachBlock(f, func(b *ir.Block) error {
 			var out []*ir.Operation
 			for _, op := range b.Ops {
-				ops, err := bufferizeOp(nm, op)
+				ops, err := bufferizeOp(nm, op, opts)
 				if err != nil {
 					return err
 				}
@@ -122,14 +122,14 @@ func (e *bufEmitter) dimsOf(src ir.Value) []ir.Value {
 	return extents
 }
 
-func bufferizeOp(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
+func bufferizeOp(nm *namer, op *ir.Operation, opts *Options) ([]*ir.Operation, error) {
 	// Recurse into regions first (scf.if/scf.for bodies and the linalg/
 	// tensor regions that survive to convert-linalg-to-loops).
 	for _, r := range op.Regions {
 		for _, b := range r.Blocks {
 			var out []*ir.Operation
 			for _, inner := range b.Ops {
-				ops, err := bufferizeOp(nm, inner)
+				ops, err := bufferizeOp(nm, inner, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -145,30 +145,36 @@ func bufferizeOp(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
 		if !ok {
 			return []*ir.Operation{op}, nil
 		}
+		opts.cover(covBufferize, op.Name)
 		return bufferizeDenseConstant(nm, op, dense)
 
 	case "tensor.empty":
+		opts.cover(covBufferize, op.Name)
 		e := &bufEmitter{nm: nm}
 		e.alloc(op.Results[0], op.Operands)
 		return e.ops, nil
 
 	case "tensor.extract":
+		opts.cover(covBufferize, op.Name)
 		c := op.Clone()
 		c.Name = "memref.load"
 		return []*ir.Operation{c}, nil
 
 	case "tensor.dim":
+		opts.cover(covBufferize, op.Name)
 		c := op.Clone()
 		c.Name = "memref.dim"
 		return []*ir.Operation{c}, nil
 
 	case "tensor.cast":
+		opts.cover(covBufferize, op.Name)
 		c := op.Clone()
 		c.Name = "memref.cast"
 		return []*ir.Operation{c}, nil
 
 	case "tensor.insert":
 		// %res = alloc(like dest); copy(dest, res); store(v, res, idx).
+		opts.cover(covBufferize, op.Name)
 		e := &bufEmitter{nm: nm}
 		dest := op.Operands[1]
 		e.alloc(op.Results[0], e.dimsOf(dest))
@@ -183,6 +189,7 @@ func bufferizeOp(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
 	case "tensor.generate":
 		// Handled by convert-linalg-to-loops (needs loop construction);
 		// here it becomes an alloc + a generate-into-buffer marker op.
+		opts.cover(covBufferize, op.Name)
 		e := &bufEmitter{nm: nm}
 		e.alloc(op.Results[0], op.Operands)
 		gen := ir.NewOp("ratte.generate_into")
@@ -192,6 +199,7 @@ func bufferizeOp(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
 		return e.ops, nil
 
 	case "linalg.fill":
+		opts.cover(covBufferize, op.Name)
 		e := &bufEmitter{nm: nm}
 		dest := op.Operands[1]
 		e.alloc(op.Results[0], e.dimsOf(dest))
@@ -202,6 +210,7 @@ func bufferizeOp(nm *namer, op *ir.Operation) ([]*ir.Operation, error) {
 		return e.ops, nil
 
 	case "linalg.generic":
+		opts.cover(covBufferize, op.Name)
 		nIns := 0
 		if arr, ok := op.Attrs.Get("operand_segment_sizes").(ir.ArrayAttr); ok && len(arr.Elems) == 2 {
 			if a, ok := arr.Elems[0].(ir.IntegerAttr); ok {

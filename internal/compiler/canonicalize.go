@@ -55,7 +55,9 @@ func (c *canonicalizer) block(b *ir.Block, consts constMap) {
 			}
 		}
 		replaced := c.visit(op, consts, &out)
-		if !replaced {
+		if replaced {
+			c.opts.cover(covCanonRewrite, op.Name)
+		} else {
 			out = append(out, op)
 			consts.record(op)
 		}
@@ -135,6 +137,9 @@ func (c *canonicalizer) visitBinary(op *ir.Operation, consts constMap, out *[]*i
 			c.replaceWithConst(op, r, out)
 			return true
 		}
+		// Legality branch: the fold declined a UB-carrying constant
+		// expression (division by zero, overflowing shift...).
+		c.opts.cover(covCanonDecline, op.Name)
 		return false
 	}
 
@@ -297,6 +302,7 @@ func (c *canonicalizer) visitCmpi(op *ir.Operation, consts constMap, out *[]*ir.
 		t := op.Operands[0].Type
 		r, err := constVal(a, t).Cmp(pred, constVal(bAttr, t))
 		if err != nil {
+			c.opts.cover(covCanonDecline, op.Name)
 			return false
 		}
 		c.replaceWithConst(op, r, out)
@@ -447,6 +453,7 @@ func (c *canonicalizer) dce(f *ir.Operation) {
 			var kept []*ir.Operation
 			for _, op := range b.Ops {
 				if isPure(op) && !anyResultUsed(op, uses) {
+					c.opts.cover(covCanonDCE, op.Name)
 					removed = true
 					c.changed = true
 					continue

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"ratte/internal/bugs"
+	"ratte/internal/coverage"
 	"ratte/internal/dialects"
 	"ratte/internal/faultinject"
 	"ratte/internal/ir"
@@ -49,6 +50,22 @@ type Options struct {
 	// for callers that have already verified the module (the campaign
 	// engine verifies in its own guarded stage).
 	SkipVerify bool
+	// Coverage, when non-nil, receives one hit per pass execution,
+	// per pass×op-kind rewrite application and per legality branch —
+	// the semantic-coverage channel (sites under "compiler/...").
+	// Observation only: the compiled output is byte-identical with it
+	// nil or set, and the nil path costs a single pointer check.
+	Coverage *coverage.Map
+}
+
+// cover records one coverage hit in the family f under key when
+// coverage is enabled. The nil check precedes the keyed lookup so the
+// disabled path performs no map access and no allocation (the
+// compiler alloc guard pins this).
+func (o *Options) cover(f *coverage.Keyed, key string) {
+	if o != nil && o.Coverage != nil {
+		o.Coverage.Hit(f.Site(key))
+	}
 }
 
 // Pass transforms a module in place.
@@ -160,6 +177,7 @@ func runPass(pass Pass, m *ir.Module, opts *Options) error {
 			return &PassError{Pass: pass.Name(), Err: err}
 		}
 	}
+	opts.cover(covPassRuns, pass.Name())
 	if err := pass.Run(m, opts); err != nil {
 		return &PassError{Pass: pass.Name(), Err: err}
 	}

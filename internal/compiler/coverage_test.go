@@ -1,0 +1,42 @@
+package compiler
+
+import (
+	"testing"
+
+	"ratte/internal/coverage"
+)
+
+// TestDisabledCoverAddsNoAllocs pins the hot-path cost of the coverage
+// hooks when coverage is off: the nil check in Options.cover must be
+// the whole story — no key composition, no site lookup, no counter
+// touch. Every hook in the pass files calls cover with a bare op-name
+// key for exactly this reason (see sites.go).
+func TestDisabledCoverAddsNoAllocs(t *testing.T) {
+	opts := &Options{}
+	if n := testing.AllocsPerRun(200, func() {
+		opts.cover(covCanonRewrite, "arith.addi")
+		opts.cover(covToLLVM, "arith.cmpi")
+	}); n != 0 {
+		t.Fatalf("disabled coverage hook allocated %.1f times per run, want 0", n)
+	}
+
+	var nilOpts *Options
+	if n := testing.AllocsPerRun(200, func() {
+		nilOpts.cover(covPassRuns, "canonicalize")
+	}); n != 0 {
+		t.Fatalf("nil-Options coverage hook allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestEnabledCoverHotPathAddsNoAllocs pins the enabled steady state:
+// once a site's slot exists, further hits are a map lookup and a
+// counter bump.
+func TestEnabledCoverHotPathAddsNoAllocs(t *testing.T) {
+	opts := &Options{Coverage: coverage.NewMap()}
+	opts.cover(covCanonRewrite, "arith.muli") // warm the slot
+	if n := testing.AllocsPerRun(200, func() {
+		opts.cover(covCanonRewrite, "arith.muli")
+	}); n != 0 {
+		t.Fatalf("enabled coverage hot path allocated %.1f times per run, want 0", n)
+	}
+}

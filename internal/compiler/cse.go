@@ -10,7 +10,7 @@ import (
 // later copies' results re-wired to the first instance.
 func runCSE(m *ir.Module, opts *Options) error {
 	for _, f := range funcsOf(m) {
-		e := &cser{f: f}
+		e := &cser{f: f, opts: opts}
 		for _, r := range f.Regions {
 			for _, b := range r.Blocks {
 				e.block(b, map[string][]ir.Value{})
@@ -21,7 +21,8 @@ func runCSE(m *ir.Module, opts *Options) error {
 }
 
 type cser struct {
-	f *ir.Operation
+	f    *ir.Operation
+	opts *Options
 }
 
 func (e *cser) block(b *ir.Block, seen map[string][]ir.Value) {
@@ -33,6 +34,7 @@ func (e *cser) block(b *ir.Block, seen map[string][]ir.Value) {
 				for i, r := range op.Results {
 					e.replaceAllUses(r.ID, prev[i])
 				}
+				e.opts.cover(covCSEDedup, op.Name)
 				continue // drop the duplicate
 			}
 			seen[key] = op.Results

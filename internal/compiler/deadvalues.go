@@ -49,6 +49,7 @@ func runRemoveDeadValues(m *ir.Module, opts *Options) error {
 				var kept []*ir.Operation
 				for _, op := range b.Ops {
 					if isPure(op) && !anyResultUsed(op, uses) {
+						opts.cover(covDeadRemove, op.Name)
 						removed = true
 						continue
 					}
@@ -78,6 +79,7 @@ func runRemoveDeadValues(m *ir.Module, opts *Options) error {
 	for _, op := range m.Body().Ops {
 		if op.Name == "func.func" || op.Name == "llvm.func" {
 			if !called[ir.FuncSymbol(op)] {
+				opts.cover(covDeadRemove, op.Name)
 				continue
 			}
 		}

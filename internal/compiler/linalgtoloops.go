@@ -21,18 +21,21 @@ func runLinalgToLoops(m *ir.Module, opts *Options) error {
 			for _, op := range b.Ops {
 				switch op.Name {
 				case "linalg.generic":
+					opts.cover(covLinalgLoops, op.Name)
 					ops, err := lowerGenericToLoops(nm, op)
 					if err != nil {
 						return err
 					}
 					out = append(out, ops...)
 				case "linalg.fill":
+					opts.cover(covLinalgLoops, op.Name)
 					ops, err := lowerFillToLoops(nm, op)
 					if err != nil {
 						return err
 					}
 					out = append(out, ops...)
 				case "ratte.generate_into":
+					opts.cover(covLinalgLoops, op.Name)
 					ops, err := lowerGenerateToLoops(nm, op)
 					if err != nil {
 						return err

@@ -21,7 +21,7 @@ func runSCFToCF(m *ir.Module, opts *Options) error {
 		nm := newNamer(f)
 		bn := newBlockNamer(f)
 		for {
-			changed, err := lowerOneSCF(f, nm, bn)
+			changed, err := lowerOneSCF(f, nm, bn, opts)
 			if err != nil {
 				return err
 			}
@@ -50,14 +50,16 @@ func runSCFToCF(m *ir.Module, opts *Options) error {
 // nested inside an scf region surface as top-level block ops once
 // their parent is lowered, so repeating until fixpoint lowers
 // arbitrarily nested structured control flow, outermost first.
-func lowerOneSCF(f *ir.Operation, nm *namer, bn *blockNamer) (bool, error) {
+func lowerOneSCF(f *ir.Operation, nm *namer, bn *blockNamer, opts *Options) (bool, error) {
 	region := f.Regions[0]
 	for bi, b := range region.Blocks {
 		for oi, op := range b.Ops {
 			switch op.Name {
 			case "scf.if":
+				opts.cover(covSCFToCF, op.Name)
 				return true, lowerIf(region, bi, oi, nm, bn)
 			case "scf.for":
+				opts.cover(covSCFToCF, op.Name)
 				return true, lowerFor(region, bi, oi, nm, bn)
 			}
 		}

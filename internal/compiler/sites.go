@@ -1,0 +1,54 @@
+// Coverage site families of the compiler: one Keyed family per
+// pass×event kind, keyed by the op name (or branch label) the event
+// applies to. Families are package-level so site registration happens
+// once per process; per-compilation cost is one nil check per site
+// when coverage is off and one map lookup + counter bump when on.
+//
+// Naming convention (see docs/EXTENDING.md §9):
+//
+//	compiler/pass/<pass>               one hit per pass execution
+//	compiler/<pass>/rewrite/<op>       a rewrite pattern fired on <op>
+//	compiler/<pass>/decline/<op>       a legality branch declined <op>
+//	compiler/<pass>/fail/<op>          a legalization failure on <op>
+package compiler
+
+import "ratte/internal/coverage"
+
+var (
+	// covPassRuns counts pass executions by pass name.
+	covPassRuns = coverage.NewKeyed("compiler/pass")
+
+	// canonicalize: constant folds / pattern rewrites by root op, plus
+	// the UB legality branch that declines a fold (divide by zero,
+	// overflow) and the DCE sweep's removals.
+	covCanonRewrite = coverage.NewKeyed("compiler/canonicalize/rewrite")
+	covCanonDecline = coverage.NewKeyed("compiler/canonicalize/decline")
+	covCanonDCE     = coverage.NewKeyed("compiler/canonicalize/dce")
+
+	// cse: deduplicated ops by op name.
+	covCSEDedup = coverage.NewKeyed("compiler/cse/rewrite")
+
+	// remove-dead-values: dead ops removed, dead functions dropped.
+	covDeadRemove = coverage.NewKeyed("compiler/remove-dead-values/rewrite")
+
+	// arith-expand: rewrites by op, constant folds by op (a separate
+	// family so the key stays the bare op name — composing keys with
+	// string concatenation would allocate even when coverage is off),
+	// plus the UB legality branch that declines folding a constant
+	// division.
+	covExpandRewrite = coverage.NewKeyed("compiler/arith-expand/rewrite")
+	covExpandFold    = coverage.NewKeyed("compiler/arith-expand/fold")
+	covExpandDecline = coverage.NewKeyed("compiler/arith-expand/decline")
+
+	// one-shot-bufferize / convert-linalg-to-loops: conversions by op.
+	covBufferize   = coverage.NewKeyed("compiler/one-shot-bufferize/rewrite")
+	covLinalgLoops = coverage.NewKeyed("compiler/convert-linalg-to-loops/rewrite")
+
+	// convert-scf-to-cf: structured-control-flow lowerings by op.
+	covSCFToCF = coverage.NewKeyed("compiler/convert-scf-to-cf/rewrite")
+
+	// convert-*-to-llvm: conversions by op, plus legalization failures
+	// (the target-legality branch; bug 4 widens it).
+	covToLLVM     = coverage.NewKeyed("compiler/convert-to-llvm/rewrite")
+	covToLLVMFail = coverage.NewKeyed("compiler/convert-to-llvm/fail")
+)

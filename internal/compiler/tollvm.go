@@ -65,6 +65,7 @@ func runArithToLLVM(m *ir.Module, opts *Options) error {
 
 func convertArithOp(nm *namer, op *ir.Operation, opts *Options) ([]*ir.Operation, error) {
 	if target, ok := arithToLLVM[op.Name]; ok {
+		opts.cover(covToLLVM, op.Name)
 		c := op.Clone()
 		c.Name = target
 		c.Attrs.Delete("ratte.canonicalized")
@@ -75,31 +76,40 @@ func convertArithOp(nm *namer, op *ir.Operation, opts *Options) ([]*ir.Operation
 		if _, ok := op.Attrs.Get("value").(ir.IntegerAttr); !ok {
 			return nil, fmt.Errorf("non-scalar constant survived to convert-arith-to-llvm")
 		}
+		opts.cover(covToLLVM, op.Name)
 		c := op.Clone()
 		c.Name = "llvm.mlir.constant"
 		return []*ir.Operation{c}, nil
 
 	case "arith.maxsi", "arith.maxui", "arith.minsi", "arith.minui":
+		opts.cover(covToLLVM, op.Name)
 		return convertMinMax(nm, op), nil
 
 	case "arith.addui_extended":
 		if opts.Bugs.Enabled(bugs.AdduiExtendedLegalize) && ir.TypeEqual(op.Results[0].Type, ir.I1) {
 			// Bug 4: no conversion pattern accepts the i1 case and the
 			// pass signals a legalization failure.
+			opts.cover(covToLLVMFail, op.Name)
 			return nil, fmt.Errorf("failed to legalize operation 'arith.addui_extended'")
 		}
+		opts.cover(covToLLVM, op.Name)
 		return convertAdduiExtended(nm, op), nil
 
 	case "arith.mulsi_extended":
+		opts.cover(covToLLVM, op.Name)
 		return convertMulExtended(nm, op, "llvm.smulh"), nil
 	case "arith.mului_extended":
+		opts.cover(covToLLVM, op.Name)
 		return convertMulExtended(nm, op, "llvm.umulh"), nil
 
 	case "arith.ceildivsi":
+		opts.cover(covToLLVM, op.Name)
 		return convertCeilDivSi(nm, op, opts), nil
 	case "arith.floordivsi":
+		opts.cover(covToLLVM, op.Name)
 		return convertFloorDivSi(nm, op), nil
 	case "arith.ceildivui":
+		opts.cover(covToLLVM, op.Name)
 		return convertCeilDivUi(nm, op), nil
 	}
 	if op.Dialect() == "arith" {
@@ -277,6 +287,7 @@ func runFuncToLLVM(m *ir.Module, opts *Options) error {
 	}
 	m.Walk(func(op *ir.Operation) bool {
 		if to, ok := rename[op.Name]; ok {
+			opts.cover(covToLLVM, op.Name)
 			op.Name = to
 		}
 		return true
@@ -292,9 +303,11 @@ func runVectorToLLVM(m *ir.Module, opts *Options) error {
 			return true
 		}
 		if !ir.IsIntegerOrIndex(op.Operands[0].Type) {
+			opts.cover(covToLLVMFail, op.Name)
 			err = fmt.Errorf("vector.print of non-scalar type %s cannot be lowered", op.Operands[0].Type)
 			return false
 		}
+		opts.cover(covToLLVM, op.Name)
 		op.Name = "llvm.print"
 		return true
 	})

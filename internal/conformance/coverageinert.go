@@ -1,0 +1,74 @@
+// coverage-inert/<preset>: semantic-coverage instrumentation is purely
+// observational. Compiling and executing a module with a coverage map
+// attached must produce exactly the modules, outputs and errors of a
+// run without one — and, when the module is testable at all, must
+// actually record sites (a silently dead instrument is as much a bug as
+// a perturbing one).
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"ratte/internal/compiler"
+	"ratte/internal/coverage"
+	"ratte/internal/dialects"
+	"ratte/internal/difftest"
+	"ratte/internal/ir"
+)
+
+// FamilyCoverageInert names the coverage-inertness oracle family.
+const FamilyCoverageInert = "coverage-inert"
+
+type coverageInert struct{ preset string }
+
+// NewCoverageInert returns the coverage-inertness oracle.
+func NewCoverageInert(preset string) Oracle { return coverageInert{preset} }
+
+func (o coverageInert) Name() string { return FamilyCoverageInert + "/" + o.preset }
+
+func (o coverageInert) Generate(seed int64) (*ir.Module, error) {
+	return generate(o.preset, 25, seed)
+}
+
+func (o coverageInert) Check(m *ir.Module, _ int64) *Failure {
+	// One transcript per run: the compiled module text, output or error
+	// of every build configuration, in order. Byte-equal transcripts
+	// mean coverage observed without perturbing.
+	transcript := func(cov *coverage.Map) string {
+		var b strings.Builder
+		opts := &compiler.Options{Coverage: cov}
+		outs := compiler.CompileConfigsOpts(m, o.preset, opts, difftest.BuildConfigs)
+		for i, bc := range difftest.BuildConfigs {
+			fmt.Fprintf(&b, "== %s ==\n", bc)
+			if outs[i].Err != nil {
+				fmt.Fprintf(&b, "compile error: %v\n", outs[i].Err)
+				continue
+			}
+			b.WriteString(ir.Print(outs[i].Module))
+			ex := dialects.NewExecutor()
+			ex.Coverage = cov
+			res, err := ex.Run(outs[i].Module, "main")
+			if err != nil {
+				fmt.Fprintf(&b, "run error: %v\n", err)
+			} else {
+				fmt.Fprintf(&b, "output: %q\n", res.Output)
+			}
+		}
+		return b.String()
+	}
+
+	base := transcript(nil)
+	cov := coverage.NewMap()
+	with := transcript(cov)
+	if base != with {
+		return &Failure{Detail: fmt.Sprintf("coverage perturbed the run\n--- without ---\n%s\n--- with ---\n%s", base, with)}
+	}
+	// Compilation alone runs passes, so any module that got this far —
+	// even a rejected one ran the verifier, and an accepted one ran the
+	// pipeline — must have recorded sites if anything compiled.
+	if strings.Contains(base, "output:") && cov.Sites() == 0 {
+		return &Failure{Detail: "module compiled and ran but coverage recorded no sites"}
+	}
+	return nil
+}

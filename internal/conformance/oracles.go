@@ -363,6 +363,7 @@ func StandardOracles() []Oracle {
 		}
 		os = append(os,
 			NewMutationEquivalence(preset),
+			NewCoverageInert(preset),
 			NewEngineAgreement(preset),
 			NewDifftest(preset, bugs.None()),
 			NewCampaignAgreement(preset),
@@ -404,6 +405,8 @@ func Lookup(name string) (Oracle, error) {
 		return NewVerifierIdempotent(preset), nil
 	case FamilyMutationEquiv:
 		return NewMutationEquivalence(preset), nil
+	case FamilyCoverageInert:
+		return NewCoverageInert(preset), nil
 	case FamilyCampaignAgree:
 		return NewCampaignAgreement(preset), nil
 	case FamilyFaultTolerance:

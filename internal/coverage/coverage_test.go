@@ -1,0 +1,142 @@
+package coverage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegisterIdempotent(t *testing.T) {
+	a := Register("test/idempotent/a")
+	b := Register("test/idempotent/a")
+	if a != b {
+		t.Fatalf("Register returned %d then %d for the same name", a, b)
+	}
+	if SiteName(a) != "test/idempotent/a" {
+		t.Fatalf("SiteName(%d) = %q", a, SiteName(a))
+	}
+	if Register("test/idempotent/b") == a {
+		t.Fatal("distinct names share a slot")
+	}
+}
+
+func TestKeyedFamily(t *testing.T) {
+	k := NewKeyed("test/keyed")
+	s1 := k.Site("arith.addi")
+	s2 := k.Site("arith.muli")
+	if s1 == s2 {
+		t.Fatal("distinct keys share a slot")
+	}
+	if k.Site("arith.addi") != s1 {
+		t.Fatal("keyed lookup not stable")
+	}
+	if SiteName(s1) != "test/keyed/arith.addi" {
+		t.Fatalf("full name = %q", SiteName(s1))
+	}
+}
+
+func TestKeyedConcurrent(t *testing.T) {
+	k := NewKeyed("test/keyed-conc")
+	var wg sync.WaitGroup
+	got := make([]Site, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = k.Site(fmt.Sprintf("op%d", i%4))
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] != k.Site(fmt.Sprintf("op%d", i%4)) {
+			t.Fatalf("slot %d unstable under concurrency", i)
+		}
+	}
+}
+
+func TestMapHitSummaryMerge(t *testing.T) {
+	a := Register("test/map/a")
+	b := Register("test/map/b")
+	m := NewMap()
+	m.Hit(a)
+	m.Hit(a)
+	m.Hit(b)
+	if m.Count(a) != 2 || m.Count(b) != 1 {
+		t.Fatalf("counts = %d,%d", m.Count(a), m.Count(b))
+	}
+	if m.Sites() != 2 || m.Total() != 3 {
+		t.Fatalf("Sites=%d Total=%d", m.Sites(), m.Total())
+	}
+	sum := m.Summary()
+	if sum["test/map/a"] != 2 || sum["test/map/b"] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+
+	other := NewMap()
+	other.Hit(b)
+	m.Merge(other)
+	if m.Count(b) != 2 {
+		t.Fatalf("merged b = %d", m.Count(b))
+	}
+
+	folded := NewMap()
+	folded.AddSummary(sum)
+	if folded.Count(a) != 2 || folded.Count(b) != 1 {
+		t.Fatal("AddSummary did not reconstruct the map")
+	}
+}
+
+func TestNilMapIsInert(t *testing.T) {
+	var m *Map
+	s := Register("test/nil/a")
+	m.Hit(s)
+	m.Add(s, 5)
+	m.Merge(NewMap())
+	m.AddSummary(map[string]uint64{"x": 1})
+	if m.Summary() != nil || m.Sites() != 0 || m.Total() != 0 || m.Count(s) != 0 {
+		t.Fatal("nil map is not inert")
+	}
+	if m.Text() != "" {
+		t.Fatal("nil map rendered text")
+	}
+}
+
+func TestEmptySummaryIsNil(t *testing.T) {
+	if NewMap().Summary() != nil {
+		t.Fatal("empty map summary not nil (breaks json omitempty)")
+	}
+}
+
+func TestTextDeterministic(t *testing.T) {
+	m := NewMap()
+	m.Add(Register("test/text/zz"), 3)
+	m.Add(Register("test/text/aa"), 12)
+	want := "test/text/aa 12\ntest/text/zz 3\n"
+	if got := m.Text(); got != want {
+		t.Fatalf("Text() = %q, want %q", got, want)
+	}
+}
+
+// TestDisabledHitAddsNoAllocs pins the off switch at the package
+// level: nil-map hits and keyed lookups on the hot path allocate
+// nothing.
+func TestDisabledHitAddsNoAllocs(t *testing.T) {
+	k := NewKeyed("test/alloc")
+	k.Site("warm") // pre-register so the measured path is the lookup
+	var m *Map
+	if n := testing.AllocsPerRun(100, func() {
+		if m != nil {
+			m.Hit(k.Site("warm"))
+		}
+	}); n != 0 {
+		t.Fatalf("disabled coverage path allocates %.1f per op", n)
+	}
+	// The enabled path is allocation-free too once the map has grown.
+	en := NewMap()
+	en.Hit(k.Site("warm"))
+	if n := testing.AllocsPerRun(100, func() {
+		en.Hit(k.Site("warm"))
+	}); n != 0 {
+		t.Fatalf("enabled coverage hot path allocates %.1f per op", n)
+	}
+}

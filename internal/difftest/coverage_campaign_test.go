@@ -1,0 +1,183 @@
+package difftest_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ratte/internal/difftest"
+	"ratte/internal/telemetry"
+)
+
+// TestCoverageDoesNotPerturbDeterminism is the coverage layer's core
+// guarantee, at the same bar as telemetry: attaching coverage changes
+// nothing about a campaign's results. Coverage on vs off, serial vs
+// parallel — every combination must produce byte-identical canonical
+// reports.
+func TestCoverageDoesNotPerturbDeterminism(t *testing.T) {
+	run := func(withCov bool, workers int) string {
+		cfg := telemetryTestConfig()
+		if withCov {
+			cfg.Coverage = difftest.NewCampaignCoverage(nil)
+		}
+		res, err := difftest.RunCampaignParallel(cfg, workers)
+		if err != nil {
+			t.Fatalf("coverage=%v workers=%d: %v", withCov, workers, err)
+		}
+		if withCov && cfg.Coverage.Sites() == 0 {
+			t.Fatalf("coverage=%v workers=%d: campaign hit no coverage sites", withCov, workers)
+		}
+		return difftest.ReportText(res)
+	}
+
+	baseline := run(false, 1)
+	for _, c := range []struct {
+		withCov bool
+		workers int
+	}{{true, 1}, {true, 4}} {
+		got := run(c.withCov, c.workers)
+		if got != baseline {
+			t.Errorf("coverage=%v workers=%d: report diverges from baseline\n--- baseline ---\n%s\n--- got ---\n%s",
+				c.withCov, c.workers, baseline, got)
+		}
+	}
+}
+
+// TestCampaignCoverageUnionDeterminism pins the union itself: serial
+// and parallel runs of the same campaign fold the identical
+// site-by-site union, and it reaches every instrumented layer.
+func TestCampaignCoverageUnionDeterminism(t *testing.T) {
+	run := func(workers int) map[string]uint64 {
+		cfg := telemetryTestConfig()
+		cfg.Coverage = difftest.NewCampaignCoverage(nil)
+		if _, err := difftest.RunCampaignParallel(cfg, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return cfg.Coverage.Summary()
+	}
+
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("serial and parallel unions differ\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+	// Every instrumented layer contributed: generation, compilation
+	// (pass runs at minimum) and interpretation.
+	for _, prefix := range []string{"gen/pick/", "gen/op/", "compiler/pass/", "interp/op/"} {
+		found := false
+		for site := range serial {
+			if strings.HasPrefix(site, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no site with prefix %q in campaign union", prefix)
+		}
+	}
+}
+
+// TestCoverageResumeReconstructsUnion checks the journal path: verdict
+// summaries ride journal lines, so a resumed campaign folds the exact
+// union of the original run without re-executing a single seed.
+func TestCoverageResumeReconstructsUnion(t *testing.T) {
+	cfg := telemetryTestConfig()
+	cfg.Coverage = difftest.NewCampaignCoverage(nil)
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, err := difftest.CreateJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = j
+	if _, err := difftest.RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Coverage.Summary()
+	if len(want) == 0 {
+		t.Fatal("original campaign produced an empty union")
+	}
+
+	// Resume with every seed replayed from the journal: the union must
+	// be rebuilt from the journaled summaries alone.
+	rcfg := telemetryTestConfig()
+	rcfg.Coverage = difftest.NewCampaignCoverage(nil)
+	rj, resumed, err := difftest.OpenJournalForResume(path, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rj.Close()
+	if len(resumed) != rcfg.Programs {
+		t.Fatalf("resumed %d verdicts, want %d", len(resumed), rcfg.Programs)
+	}
+	rcfg.Journal = rj
+	rcfg.Resumed = resumed
+	if _, err := difftest.RunCampaign(rcfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := rcfg.Coverage.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed union differs from original\noriginal: %v\nresumed:  %v", want, got)
+	}
+}
+
+// TestCoverageOffJournalUnchanged pins the omitempty contract: a
+// coverage-off campaign's journal is byte-identical to one written
+// before the coverage field existed — no "cov" key appears anywhere.
+func TestCoverageOffJournalUnchanged(t *testing.T) {
+	cfg := telemetryTestConfig()
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, err := difftest.CreateJournal(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = j
+	if _, err := difftest.RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"cov"`) {
+		t.Error(`coverage-off journal contains a "cov" field`)
+	}
+}
+
+// TestCampaignCoverageTelemetryExport checks the CounterVec mirror: with
+// a registry attached, the exported ratte_coverage_hits_total series
+// agree site for site with the campaign union.
+func TestCampaignCoverageTelemetryExport(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := telemetryTestConfig()
+	cfg.Coverage = difftest.NewCampaignCoverage(reg)
+	if _, err := difftest.RunCampaignParallel(cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	sum := cfg.Coverage.Summary()
+	if len(sum) == 0 {
+		t.Fatal("empty union")
+	}
+	counters := reg.Counters()
+	for site, n := range sum {
+		series := `ratte_coverage_hits_total{site="` + site + `"}`
+		if got := counters[series]; got != n {
+			t.Errorf("%s = %d, want %d", series, got, n)
+		}
+	}
+	var exported int
+	for series := range counters {
+		if strings.HasPrefix(series, "ratte_coverage_hits_total{") {
+			exported++
+		}
+	}
+	if exported != len(sum) {
+		t.Errorf("exported %d coverage series, union has %d sites", exported, len(sum))
+	}
+}

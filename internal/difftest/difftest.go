@@ -227,6 +227,14 @@ type CampaignConfig struct {
 	// nil Telemetry keeps every instrumentation point at a bare nil
 	// check.
 	Telemetry *CampaignTelemetry
+	// Coverage, when non-nil, enables semantic-coverage collection:
+	// every seed runs with a fresh coverage.Map threaded through the
+	// generator, compiler and interpreter, its summary rides the
+	// seed's Verdict (and journal line), and the sequenced summaries
+	// fold into a campaign-wide union (see NewCampaignCoverage).
+	// Observation-only, exactly like Telemetry; family mode ignores it
+	// (see coverage.go).
+	Coverage *CampaignCoverage
 	// Plans, when non-empty, switches the campaign to plan mode (the
 	// -fuzz-pipelines flag): every program is tested under these
 	// sampled legal compilation plans instead of the fixed build
@@ -361,6 +369,7 @@ func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, e
 		if v, ok := cfg.Resumed[seed]; ok {
 			isDetection := res.record(v, nil)
 			cfg.Telemetry.onVerdict(v)
+			cfg.Coverage.onVerdict(v)
 			if isDetection && cfg.StopAtFirst {
 				return res, nil
 			}
@@ -375,6 +384,7 @@ func RunCampaignCtx(ctx context.Context, cfg CampaignConfig) (*CampaignResult, e
 		}
 		isDetection := res.record(out.verdict, out.detection)
 		cfg.Telemetry.onVerdict(out.verdict)
+		cfg.Coverage.onVerdict(out.verdict)
 		if cfg.Journal != nil {
 			t0 := cfg.Telemetry.stageStart()
 			err := cfg.Journal.Append(out.verdict)

@@ -493,7 +493,7 @@ func runCampaignFamilies(ctx context.Context, cfg CampaignConfig) (*CampaignResu
 		var outs []seedOutcome
 		if !allResumed {
 			baseSeed := cfg.Seed + int64(base)
-			prog, sf, err := generateStage(&cfg, baseSeed)
+			prog, sf, err := generateStage(&cfg, baseSeed, nil) // family mode runs uncovered
 			if err != nil {
 				return nil, fmt.Errorf("difftest: generation failed: %w", err)
 			}

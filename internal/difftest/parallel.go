@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ratte/internal/coverage"
 	"ratte/internal/gen"
 )
 
@@ -53,6 +54,10 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 		prog *gen.Program
 		sf   *StageFailure
 		err  error
+		// cov is the seed's coverage map, created by the generation
+		// stage and carried to the testing stage so one map spans the
+		// whole per-seed pipeline (nil when coverage is off).
+		cov *coverage.Map
 	}
 	type outcome struct {
 		idx int
@@ -137,9 +142,13 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 		go func() {
 			defer genWG.Done()
 			for i := range seeds {
-				p, sf, err := generateStage(&cfg, cfg.Seed+int64(i))
+				var cov *coverage.Map // family mode runs uncovered
+				if !fam {
+					cov = cfg.Coverage.newSeedMap()
+				}
+				p, sf, err := generateStage(&cfg, cfg.Seed+int64(i), cov)
 				select {
-				case programs <- generated{idx: i, prog: p, sf: sf, err: err}:
+				case programs <- generated{idx: i, prog: p, sf: sf, err: err, cov: cov}:
 				case <-ctx.Done():
 					return
 				}
@@ -193,9 +202,10 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 					out = seedOutcome{verdict: Verdict{
 						Seed: seed, Kind: VerdictStageFailure, Failure: g.sf,
 						Attempts: 1, Quarantined: true,
+						Coverage: g.cov.Summary(),
 					}}
 				default:
-					out = testSeed(ctx, &cfg, seed, g.prog)
+					out = testSeed(ctx, &cfg, seed, g.prog, g.cov)
 				}
 				select {
 				case outcomes <- outcome{idx: g.idx, out: out}:
@@ -229,6 +239,7 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 				next++
 				isDetection := res.record(v, nil)
 				cfg.Telemetry.onVerdict(v)
+				cfg.Coverage.onVerdict(v)
 				if isDetection && cfg.StopAtFirst {
 					done, complete = true, true
 				}
@@ -251,6 +262,7 @@ func RunCampaignParallelCtx(parent context.Context, cfg CampaignConfig, workers 
 			}
 			isDetection := res.record(cur.verdict, cur.detection)
 			cfg.Telemetry.onVerdict(cur.verdict)
+			cfg.Coverage.onVerdict(cur.verdict)
 			if cfg.Journal != nil {
 				t0 := cfg.Telemetry.stageStart()
 				err := cfg.Journal.Append(cur.verdict)

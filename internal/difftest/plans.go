@@ -18,6 +18,7 @@ import (
 
 	"ratte/internal/bugs"
 	"ratte/internal/compiler"
+	"ratte/internal/coverage"
 	"ratte/internal/dialects"
 	"ratte/internal/faultinject"
 	"ratte/internal/gen"
@@ -147,7 +148,7 @@ func (r *PlanReport) Detected() (Oracle, string) {
 // configurations. The stage structure, panic containment, fault
 // classification and abort semantics are identical — only the compile
 // fan-out and the compare stage differ.
-func planTestOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program, inj *faultinject.Injector) attemptResult {
+func planTestOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program, inj *faultinject.Injector, cov *coverage.Map) attemptResult {
 	hitsBefore := inj.Hits()
 	pctx := ctx
 	cancel := func() {}
@@ -188,7 +189,7 @@ func planTestOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *ge
 	} else {
 		// Compile stage: the shared prefix-tree compilation of
 		// TestModulePlans, minus the verification already done above.
-		opts := &compiler.Options{Bugs: cfg.Bugs, Ctx: pctx, Faults: inj, SkipVerify: true}
+		opts := &compiler.Options{Bugs: cfg.Bugs, Ctx: pctx, Faults: inj, SkipVerify: true, Coverage: cov}
 		var outs []compiler.ConfigResult
 		tc := cfg.Telemetry.stageStart()
 		if sf := guard(StageCompile, seed, m, func() {
@@ -210,6 +211,7 @@ func planTestOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *ge
 					ex.Ctx = pctx
 					ex.Faults = inj
 					ex.Metrics = cfg.Telemetry.interpMetrics()
+					ex.Coverage = cov
 					res, err := ex.Run(outs[i].Module, "main")
 					if err != nil {
 						lr.RunErr = err

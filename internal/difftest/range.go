@@ -90,6 +90,7 @@ func AssembleResult(cfg CampaignConfig, verdicts []Verdict) *CampaignResult {
 	for _, v := range verdicts {
 		res.record(v, nil)
 		cfg.Telemetry.onVerdict(v)
+		cfg.Coverage.onVerdict(v)
 	}
 	return res
 }

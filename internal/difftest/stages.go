@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ratte/internal/compiler"
+	"ratte/internal/coverage"
 	"ratte/internal/dialects"
 	"ratte/internal/faultinject"
 	"ratte/internal/gen"
@@ -39,7 +40,8 @@ type seedOutcome struct {
 // runSeed executes the full per-seed pipeline. It is the one entry
 // point both engines share.
 func runSeed(ctx context.Context, cfg *CampaignConfig, seed int64) seedOutcome {
-	prog, sf, err := generateStage(cfg, seed)
+	cov := cfg.Coverage.newSeedMap()
+	prog, sf, err := generateStage(cfg, seed, cov)
 	if err != nil {
 		return seedOutcome{genErr: err}
 	}
@@ -47,21 +49,24 @@ func runSeed(ctx context.Context, cfg *CampaignConfig, seed int64) seedOutcome {
 		return seedOutcome{verdict: Verdict{
 			Seed: seed, Kind: VerdictStageFailure, Failure: sf,
 			Attempts: 1, Quarantined: true,
+			Coverage: cov.Summary(),
 		}}
 	}
-	return testSeed(ctx, cfg, seed, prog)
+	return testSeed(ctx, cfg, seed, prog, cov)
 }
 
 // generateStage produces the seed's program with panic containment.
 // Generation runs outside the per-program budget and the fault
 // injector: the generator is our own deterministic code, and a
 // contained panic here is a generator bug worth a verdict of its own.
-func generateStage(cfg *CampaignConfig, seed int64) (p *gen.Program, sf *StageFailure, err error) {
+// cov is the seed's coverage map (nil when coverage is off).
+func generateStage(cfg *CampaignConfig, seed int64, cov *coverage.Map) (p *gen.Program, sf *StageFailure, err error) {
 	t0 := cfg.Telemetry.stageStart()
 	sf = guard(StageGenerate, seed, nil, func() {
 		p, err = gen.Generate(gen.Config{
 			Preset: cfg.Preset, Size: cfg.Size, Seed: seed,
-			Metrics: cfg.Telemetry.genMetrics(),
+			Metrics:  cfg.Telemetry.genMetrics(),
+			Coverage: cov,
 		})
 	})
 	if sf != nil {
@@ -99,7 +104,7 @@ type attemptResult struct {
 // quarantining seeds that never produce a clean attempt. One injector
 // serves all attempts, so retries see fresh fault decisions (site
 // occurrence counters advance) — the model of a transient failure.
-func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program) seedOutcome {
+func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program, cov *coverage.Map) seedOutcome {
 	var inj *faultinject.Injector
 	if cfg.Faults != nil {
 		inj = faultinject.New(cfg.Faults.ForSeed(seed))
@@ -114,9 +119,9 @@ func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 	for attempt := 1; ; attempt++ {
 		var out attemptResult
 		if len(cfg.Plans) > 0 {
-			out = planTestOnce(ctx, cfg, seed, prog, inj)
+			out = planTestOnce(ctx, cfg, seed, prog, inj, cov)
 		} else {
-			out = testOnce(ctx, cfg, seed, prog, inj)
+			out = testOnce(ctx, cfg, seed, prog, inj, cov)
 		}
 		if out.aborted {
 			return seedOutcome{aborted: true}
@@ -128,6 +133,10 @@ func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 			if v.Kind == VerdictStageFailure || v.Kind == VerdictTimeout {
 				v.Quarantined = true
 			}
+			// The summary spans every attempt (retries are themselves
+			// deterministic per seed), so the verdict's coverage is a
+			// pure function of (config, seed).
+			v.Coverage = cov.Summary()
 			return seedOutcome{verdict: v, detection: out.detection}
 		}
 		time.Sleep(backoff << (attempt - 1))
@@ -138,7 +147,7 @@ func testSeed(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 // compile, interpret and compare stages of TestModule, each under
 // panic containment, with the per-program context threaded through the
 // compiler's pass pipeline and both execution engines.
-func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program, inj *faultinject.Injector) attemptResult {
+func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Program, inj *faultinject.Injector, cov *coverage.Map) attemptResult {
 	hitsBefore := inj.Hits()
 	pctx := ctx
 	cancel := func() {}
@@ -183,7 +192,7 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 	} else {
 		// Compile stage: the shared-prefix compilation of TestModule,
 		// minus the verification already done above.
-		opts := &compiler.Options{Bugs: cfg.Bugs, Ctx: pctx, Faults: inj, SkipVerify: true}
+		opts := &compiler.Options{Bugs: cfg.Bugs, Ctx: pctx, Faults: inj, SkipVerify: true, Coverage: cov}
 		var outs []compiler.ConfigResult
 		tc := cfg.Telemetry.stageStart()
 		if sf := guard(StageCompile, seed, m, func() {
@@ -205,6 +214,7 @@ func testOnce(ctx context.Context, cfg *CampaignConfig, seed int64, prog *gen.Pr
 					ex.Ctx = pctx
 					ex.Faults = inj
 					ex.Metrics = cfg.Telemetry.interpMetrics()
+					ex.Coverage = cov
 					res, err := ex.Run(outs[i].Module, "main")
 					if err != nil {
 						lr.RunErr = err

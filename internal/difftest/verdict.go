@@ -73,9 +73,9 @@ const (
 
 // Verdict is one seed's final, journaled outcome.
 type Verdict struct {
-	Seed   int64         `json:"seed"`
-	Kind   VerdictKind   `json:"kind"`
-	Oracle Oracle        `json:"oracle,omitempty"`
+	Seed    int64         `json:"seed"`
+	Kind    VerdictKind   `json:"kind"`
+	Oracle  Oracle        `json:"oracle,omitempty"`
 	Failure *StageFailure `json:"failure,omitempty"`
 	// Attempts is 1 plus the transient-failure retries taken.
 	Attempts int `json:"attempts"`
@@ -96,6 +96,13 @@ type Verdict struct {
 	// half of the (program, plan) dedup key plan-mode reports count
 	// distinct detections by. Zero outside plan-mode detections.
 	Program uint64 `json:"program,omitempty"`
+	// Coverage is the seed's semantic-coverage summary (site name →
+	// hit count) when the campaign runs with coverage attached; nil
+	// otherwise, so coverage-off journals are unchanged byte for byte.
+	// Riding the verdict is what lets a journal resume — and a fleet
+	// coordinator merging shard uploads — reconstruct the campaign
+	// union exactly.
+	Coverage map[string]uint64 `json:"cov,omitempty"`
 }
 
 // guard runs one stage with panic containment: a panic becomes a

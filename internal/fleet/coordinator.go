@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,6 +79,11 @@ type CoordinatorConfig struct {
 	ResumeLedger bool
 	// MaxUploadBytes caps one shard result body (0 = 1 GiB).
 	MaxUploadBytes int64
+	// EventLogPath, when non-empty, appends the coordinator's lifecycle
+	// events (start, register, grant, reissue, result, splice, done) as
+	// JSONL records keyed by the fleet-wide campaign id — the file a
+	// worker's event log correlates with.
+	EventLogPath string
 }
 
 // shardState is a shard's lifecycle position.
@@ -99,6 +105,11 @@ type shard struct {
 	epoch   int64
 	holder  string
 	expires time.Time
+	// granted is when the shard's current lease was issued; zero for
+	// shards never leased by this coordinator (resumed, or completed
+	// by a spool replay). The lease→splice latency histogram observes
+	// only shards with a grant.
+	granted time.Time
 	// verdicts is the completed shard's verdict stream, in seed order;
 	// shards fully covered by the resume map are born done with their
 	// recorded verdicts. Cleared once spliced into the merge.
@@ -110,10 +121,16 @@ type shard struct {
 
 // workerState tracks one registered worker.
 type workerState struct {
-	id       string
-	host     string
-	lastSeen time.Time
-	toldDone bool
+	id        string
+	host      string
+	firstSeen time.Time
+	lastSeen  time.Time
+	toldDone  bool
+	// shards/verdicts count this worker's accepted uploads; spoolDepth
+	// is the worker's last snapshot-reported unacknowledged spool size.
+	shards     int
+	verdicts   int
+	spoolDepth int
 }
 
 // Coordinator runs the fleet's control plane. Create with
@@ -151,6 +168,22 @@ type Coordinator struct {
 	doneOnce sync.Once
 	done     chan struct{}
 
+	// cov is the campaign coverage accumulator handed in via
+	// CampaignConfig.Coverage, folded from verdict summaries at splice
+	// time (nil when the campaign runs without coverage). It is moved
+	// off the config copy so Wait's AssembleResult does not fold the
+	// same summaries a second time.
+	cov *difftest.CampaignCoverage
+	// covCurve is the coverage growth curve: one point per splice,
+	// rendered by /status.
+	covCurve []CoveragePoint
+	// covVec is the fleet-wide per-site hit counter, fed from accepted
+	// shard snapshots (workers report coverage off-registry, so their
+	// snapshot Counters never include these series themselves).
+	covVec  *telemetry.CounterVec
+	events  *eventLog
+	ledPath string
+
 	verdictsTotal *telemetry.Counter
 	reissued      *telemetry.Counter
 	duplicates    *telemetry.Counter
@@ -159,6 +192,7 @@ type Coordinator struct {
 	oversize      *telemetry.Counter
 	tornUploads   *telemetry.Counter
 	ledgerErrs    *telemetry.Counter
+	shardLatency  *telemetry.Histogram
 }
 
 // NewCoordinator partitions the campaign into shards and prepares the
@@ -176,6 +210,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	// Stage telemetry is a worker-side concern: the coordinator never
 	// runs pipeline stages, and the merge feeds no span recorder.
 	camp.Telemetry = nil
+	// Coverage moves off the config copy: the coordinator folds verdict
+	// summaries into it at splice time, so leaving it on the config
+	// would make Wait's AssembleResult double-count the union.
+	cov := camp.Coverage
+	camp.Coverage = nil
 	fp, err := difftest.CampaignFingerprint(camp)
 	if err != nil {
 		return nil, err
@@ -240,10 +279,19 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		reg:         reg,
 		token:       cfg.Token,
 		maxUpload:   maxUpload,
+		cov:         cov,
+		ledPath:     cfg.LedgerPath,
 		workers:     make(map[string]*workerState),
 		seenDet:     make(map[string]struct{}),
 		done:        make(chan struct{}),
 		start:       time.Now(),
+	}
+	if cfg.EventLogPath != "" {
+		ev, everr := openEventLog(cfg.EventLogPath, "coordinator", fp)
+		if everr != nil {
+			return nil, everr
+		}
+		c.events = ev
 	}
 	if lst != nil {
 		// Epoch and worker-id counters resume strictly above every value
@@ -285,10 +333,67 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			}
 		}
 	}
+	c.events.emit("start", "", -1, 0,
+		fmt.Sprintf("%d programs, %d shards of %d", camp.Programs, len(c.shards), size))
 	c.mu.Lock()
 	c.splice()
 	c.mu.Unlock()
 	return c, nil
+}
+
+// CoveragePoint is one sample of the campaign's coverage growth curve:
+// after Seeds merged seeds, the union held Sites distinct sites. The
+// coordinator records one point per spliced shard; /status renders the
+// curve.
+type CoveragePoint struct {
+	Seeds int `json:"seeds"`
+	Sites int `json:"sites"`
+}
+
+// Coverage returns the campaign coverage accumulator the coordinator
+// folds merged verdict summaries into (nil when the campaign runs
+// without coverage).
+func (c *Coordinator) Coverage() *difftest.CampaignCoverage { return c.cov }
+
+// splitSeries splits a Prometheus series key (`name` or
+// `name{labels}`) back into its name and pre-rendered label string —
+// the inverse of the rendering telemetry.Registry.Counters uses.
+func splitSeries(s string) (name, labels string) {
+	i := strings.IndexByte(s, '{')
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSuffix(s[i+1:], "}")
+}
+
+// applySnapshot merges one accepted shard's observability sidecar into
+// the coordinator: the worker's per-shard telemetry delta is added
+// series-by-series to the coordinator registry, the shard's coverage
+// union feeds the fleet-wide per-site counter vec, and the worker's
+// spool depth is recorded. Called under c.mu, and only from the upload
+// that transitions the shard pending→done — so a spool-replayed
+// duplicate body can never double-count.
+func (c *Coordinator) applySnapshot(snap *shardSnapshot, ws *workerState) {
+	if snap == nil {
+		return
+	}
+	if ws != nil {
+		ws.spoolDepth = snap.SpoolDepth
+	}
+	for key, n := range snap.Counters {
+		if n == 0 {
+			continue
+		}
+		name, labels := splitSeries(key)
+		c.reg.CounterWith(name, labels,
+			"merged from accepted worker shard snapshots").Add(n)
+	}
+	for site, n := range snap.Coverage {
+		if n == 0 {
+			continue
+		}
+		c.covVec.Add(site, n)
+	}
 }
 
 // detectionKey is the cross-shard dedup key of one detection verdict:
@@ -373,6 +478,41 @@ func (c *Coordinator) registerMetrics() {
 		"shard uploads rejected as undecodable (torn gzip or corrupt JSONL)")
 	c.ledgerErrs = c.reg.Counter("ratte_fleet_ledger_errors_total",
 		"shard-ledger append failures (the ledger degrades, the campaign continues)")
+	c.shardLatency = c.reg.Histogram("ratte_fleet_shard_latency_ns",
+		"end-to-end shard latency from lease grant to merge splice")
+	c.reg.GaugeFunc("ratte_fleet_spool_depth",
+		"unacknowledged worker spool entries, summed over last-reported snapshots",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			var n int64
+			for _, w := range c.workers {
+				n += int64(w.spoolDepth)
+			}
+			return n
+		})
+	c.reg.GaugeFunc("ratte_fleet_ledger_bytes",
+		"size of the shard ledger file on disk (0 without a ledger)",
+		func() int64 {
+			if c.ledPath == "" {
+				return 0
+			}
+			st, err := os.Stat(c.ledPath)
+			if err != nil {
+				return 0
+			}
+			return st.Size()
+		})
+	c.covVec = c.reg.CounterVec("ratte_coverage_hits_total", "site",
+		"semantic-coverage hits per site, merged from accepted worker shard snapshots")
+	if c.cov != nil {
+		c.reg.GaugeFunc("ratte_fleet_coverage_sites",
+			"distinct semantic-coverage sites in the merged campaign union",
+			func() int64 { return int64(c.cov.Sites()) })
+		c.reg.GaugeFunc("ratte_fleet_coverage_hits",
+			"total semantic-coverage hits in the merged campaign union",
+			func() int64 { return int64(c.cov.Total()) })
+	}
 	c.reg.GaugeFunc("ratte_fleet_detections_unique",
 		"distinct merged detections, keyed by (oracle, program ir.Fingerprint) across shards",
 		func() int64 {
@@ -453,6 +593,7 @@ func (c *Coordinator) Start(addr string) error {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		c.reg.WriteJSON(w) //nolint:errcheck // best-effort scrape
 	})
+	mux.HandleFunc("/status", c.handleStatus)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("fleet: listen %s: %w", addr, err)
@@ -561,6 +702,7 @@ func (c *Coordinator) Merged() int {
 // Close shuts the control plane down.
 func (c *Coordinator) Close() error {
 	c.closeLedger()
+	c.events.Close() //nolint:errcheck // advisory log
 	if c.srv == nil {
 		return nil
 	}
@@ -577,6 +719,7 @@ func (c *Coordinator) Close() error {
 // recovered by a new coordinator over the same journal and ledger.
 func (c *Coordinator) Kill() error {
 	defer c.closeLedger()
+	defer c.events.Close() //nolint:errcheck // advisory log
 	if c.srv == nil {
 		return nil
 	}
@@ -652,10 +795,12 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if host == "" {
 		host = r.RemoteAddr
 	}
-	c.workers[id] = &workerState{id: id, host: host, lastSeen: time.Now()}
+	now := time.Now()
+	c.workers[id] = &workerState{id: id, host: host, firstSeen: now, lastSeen: now}
 	c.ledgerAppend(ledgerEntry{Worker: &ledgerWorker{ID: id, Host: host}})
 	shards := len(c.shards)
 	c.mu.Unlock()
+	c.events.emit("register", id, -1, 0, host)
 	writeJSON(w, registerResponse{
 		WorkerID:       id,
 		Programs:       c.camp.Programs,
@@ -705,8 +850,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.nextEpoch++
 	s.state, s.epoch, s.holder = shardLeased, c.nextEpoch, req.WorkerID
-	s.expires = time.Now().Add(c.leaseTTL)
+	s.granted = time.Now()
+	s.expires = s.granted.Add(c.leaseTTL)
 	c.ledgerAppend(ledgerEntry{Grant: &ledgerGrant{Shard: s.id, Epoch: s.epoch, Worker: req.WorkerID}})
+	c.events.emit("grant", req.WorkerID, s.id, s.epoch,
+		fmt.Sprintf("seeds [%d,%d)", s.first, s.first+s.count))
 	writeJSON(w, leaseResponse{Shard: &ShardLease{
 		ID: s.id, First: s.first, Count: s.count, Epoch: s.epoch,
 	}})
@@ -720,6 +868,7 @@ func (c *Coordinator) sweepExpired() {
 	now := time.Now()
 	for _, s := range c.shards {
 		if s.state == shardLeased && now.After(s.expires) {
+			c.events.emit("reissue", s.holder, s.id, s.epoch, "lease expired")
 			s.state, s.holder = shardPending, ""
 			c.pending = append(c.pending, s.id)
 			c.reissued.Inc()
@@ -776,7 +925,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	epoch, _ := strconv.ParseInt(q.Get("epoch"), 10, 64) //nolint:errcheck // optional param
 	body := http.MaxBytesReader(w, r.Body, c.maxUpload)
 	defer body.Close()
-	vs, err := decodeVerdicts(body)
+	vs, snap, err := decodeShard(body)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -823,6 +972,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	s := c.shards[shardID]
 	if s.state == shardDone {
 		c.duplicates.Inc()
+		c.events.emit("duplicate", workerID, shardID, epoch, "shard already complete")
 		dupDone := c.nextSplice == len(c.shards)
 		if ws := c.workers[workerID]; ws != nil && dupDone {
 			// The worker exits on this Done flag without another lease
@@ -846,12 +996,22 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	s.state, s.verdicts, s.holder = shardDone, vs, ""
 	c.verdictsTotal.Add(uint64(len(vs)))
+	ws := c.workers[workerID]
+	if ws != nil {
+		ws.shards++
+		ws.verdicts += len(vs)
+	}
+	// The snapshot merges exactly here — on the pending→done transition
+	// — so replayed duplicate uploads (rejected above) never re-count.
+	c.applySnapshot(snap, ws)
 	for _, k := range detKeys {
 		c.countDetection(k)
 	}
 	if epoch == 0 {
 		epoch = s.epoch
 	}
+	c.events.emit("result", workerID, shardID, epoch,
+		fmt.Sprintf("%d verdicts", len(vs)))
 	c.ledgerAppend(ledgerEntry{Done: &ledgerDone{Shard: shardID, Epoch: epoch, Verdicts: len(vs)}})
 	c.splice()
 	done := c.nextSplice == len(c.shards)
@@ -878,6 +1038,13 @@ func (c *Coordinator) splice() {
 			return
 		}
 		c.merged = append(c.merged, s.verdicts...)
+		// The union folds from sequenced verdict summaries — the same
+		// source the single-process engines fold from — so resumed shards
+		// (whose verdicts carry their journaled summaries) reconstruct it
+		// exactly, snapshots or not.
+		for _, v := range s.verdicts {
+			c.cov.AddSummary(v.Coverage)
+		}
 		if c.camp.Journal != nil && !s.resumed && c.journalErr == nil {
 			for _, v := range s.verdicts {
 				if _, ok := c.camp.Resumed[v.Seed]; ok {
@@ -891,9 +1058,21 @@ func (c *Coordinator) splice() {
 		}
 		s.verdicts = nil
 		c.nextSplice++
+		if !s.granted.IsZero() {
+			c.shardLatency.ObserveDuration(time.Since(s.granted))
+		}
+		if c.cov != nil {
+			c.covCurve = append(c.covCurve, CoveragePoint{Seeds: len(c.merged), Sites: c.cov.Sites()})
+		}
 		c.ledgerAppend(ledgerEntry{Splice: &ledgerSplice{Shard: s.id, Seeds: len(c.merged)}})
+		c.events.emit("splice", "", s.id, s.epoch,
+			fmt.Sprintf("%d/%d seeds merged", len(c.merged), c.camp.Programs))
 	}
-	c.doneOnce.Do(func() { close(c.done) })
+	c.doneOnce.Do(func() {
+		c.events.emit("done", "", -1, 0,
+			fmt.Sprintf("%d seeds merged", len(c.merged)))
+		close(c.done)
+	})
 }
 
 // readJSON decodes a small JSON control body (register, lease,

@@ -1,0 +1,115 @@
+// The fleet event log: an append-only JSONL stream of control-plane
+// lifecycle events, written by the coordinator and workers alike. Every
+// record carries the campaign id (a short hash of the campaign
+// fingerprint) plus whatever of worker/shard/epoch the event concerns,
+// so one grep correlates a shard's grant on the coordinator with its
+// run and upload on the worker — across process restarts, since a
+// recovered coordinator (or a re-registered worker) appends to the same
+// file under the same campaign id.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+	"time"
+)
+
+// fleetEvent is one JSONL record of the event log.
+type fleetEvent struct {
+	// Time is the wall-clock timestamp, RFC3339Nano. Events are
+	// observability, not state: replays never read this file.
+	Time string `json:"ts"`
+	// Campaign is the campaign id: a 16-hex-digit FNV-1a hash of the
+	// campaign fingerprint, identical on every process of the fleet.
+	Campaign string `json:"campaign"`
+	// Role is "coordinator" or "worker".
+	Role string `json:"role"`
+	// Event names the lifecycle transition (start, register, grant,
+	// reissue, result, duplicate, splice, done, lease, shard-start,
+	// upload, lost-lease, spool-replay, ...).
+	Event string `json:"event"`
+	// Worker is the worker id the event concerns, when any.
+	Worker string `json:"worker,omitempty"`
+	// Shard and Epoch identify the lease the event concerns; Shard is
+	// a pointer because shard 0 is a real shard.
+	Shard *int  `json:"shard,omitempty"`
+	Epoch int64 `json:"epoch,omitempty"`
+	// Detail is free-form context (counts, errors, addresses).
+	Detail string `json:"detail,omitempty"`
+}
+
+// campaignID derives the fleet-wide campaign id from the campaign
+// fingerprint (the journal header JSON).
+func campaignID(fingerprint []byte) string {
+	h := fnv.New64a()
+	h.Write(fingerprint)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// eventLog is an open fleet event log. Safe for concurrent emitters;
+// a nil *eventLog discards everything.
+type eventLog struct {
+	mu       sync.Mutex
+	f        *os.File
+	campaign string
+	role     string
+}
+
+// openEventLog opens (creating or appending) the event log at path for
+// the given role and campaign fingerprint.
+func openEventLog(path, role string, fingerprint []byte) (*eventLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: event log: %w", err)
+	}
+	return &eventLog{f: f, campaign: campaignID(fingerprint), role: role}, nil
+}
+
+// emit appends one event. shard < 0 means the event concerns no shard.
+// Write errors are swallowed: the event log is observability, never a
+// reason to fail a campaign.
+func (l *eventLog) emit(event, worker string, shard int, epoch int64, detail string) {
+	if l == nil {
+		return
+	}
+	e := fleetEvent{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		Campaign: l.campaign,
+		Role:     l.role,
+		Event:    event,
+		Worker:   worker,
+		Epoch:    epoch,
+		Detail:   detail,
+	}
+	if shard >= 0 {
+		e.Shard = &shard
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return
+	}
+	l.f.Write(append(line, '\n')) //nolint:errcheck // advisory log
+}
+
+// Close closes the log; subsequent emits are discarded.
+func (l *eventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -116,11 +116,50 @@ type resultResponse struct {
 	Done     bool `json:"done,omitempty"`
 }
 
+// shardSnapshot is the observability sidecar of one shard upload: the
+// worker's per-shard telemetry counters and semantic-coverage union,
+// plus its current spool depth. It rides as an optional first line of
+// the gzip'd upload body, identified by the marker field — a body
+// without one decodes exactly as before, so old spools replay clean.
+// The coordinator merges a snapshot only when it accepts the upload
+// (the shard's pending→done transition), which is what makes the merge
+// idempotent under spool-replayed duplicates: exactly one snapshot per
+// shard is ever counted.
+type shardSnapshot struct {
+	Marker int    `json:"ratte_shard_snapshot"`
+	Shard  int    `json:"shard"`
+	Epoch  int64  `json:"epoch"`
+	Worker string `json:"worker,omitempty"`
+	// Counters is the shard's telemetry delta keyed by Prometheus
+	// series (`name` or `name{labels}`) — the output of
+	// telemetry.Registry.Counters on the shard's private registry.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Coverage is the shard's semantic-coverage union (site → hits).
+	Coverage map[string]uint64 `json:"coverage,omitempty"`
+	// SpoolDepth is the worker's unacknowledged spool entry count at
+	// upload time (including this shard's own entry when spooled).
+	SpoolDepth int `json:"spool_depth"`
+}
+
 // encodeVerdicts renders verdicts as gzip'd JSONL — one journal line
 // per verdict, the campaign journal's exact line format.
 func encodeVerdicts(vs []difftest.Verdict) ([]byte, error) {
+	return encodeShard(vs, nil)
+}
+
+// encodeShard renders one shard upload body: the optional snapshot
+// line followed by one journal line per verdict, gzip'd.
+func encodeShard(vs []difftest.Verdict, snap *shardSnapshot) ([]byte, error) {
 	var buf bytes.Buffer
 	zw := gzip.NewWriter(&buf)
+	if snap != nil {
+		line, err := json.Marshal(snap)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encode snapshot: %w", err)
+		}
+		zw.Write(line)
+		zw.Write([]byte{'\n'})
+	}
 	for _, v := range vs {
 		line, err := json.Marshal(v)
 		if err != nil {
@@ -135,14 +174,26 @@ func encodeVerdicts(vs []difftest.Verdict) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decodeVerdicts reads a gzip'd JSONL verdict stream.
+// decodeVerdicts reads a gzip'd JSONL verdict stream, discarding any
+// snapshot line.
 func decodeVerdicts(r io.Reader) ([]difftest.Verdict, error) {
+	vs, _, err := decodeShard(r)
+	return vs, err
+}
+
+// decodeShard reads one shard upload body: verdicts plus the snapshot,
+// when the first line carries the snapshot marker (nil otherwise — a
+// verdict line's "seed"/"kind" fields never set the marker, so
+// pre-snapshot bodies decode unchanged).
+func decodeShard(r io.Reader) ([]difftest.Verdict, *shardSnapshot, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: decode verdicts: %w", err)
+		return nil, nil, fmt.Errorf("fleet: decode verdicts: %w", err)
 	}
 	defer zr.Close()
 	var out []difftest.Verdict
+	var snap *shardSnapshot
+	first := true
 	sc := bufio.NewScanner(zr)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
@@ -150,14 +201,22 @@ func decodeVerdicts(r io.Reader) ([]difftest.Verdict, error) {
 		if len(line) == 0 {
 			continue
 		}
+		if first {
+			first = false
+			var probe shardSnapshot
+			if err := json.Unmarshal(line, &probe); err == nil && probe.Marker != 0 {
+				snap = &probe
+				continue
+			}
+		}
 		var v difftest.Verdict
 		if err := json.Unmarshal(line, &v); err != nil {
-			return nil, fmt.Errorf("fleet: decode verdict line: %w", err)
+			return nil, nil, fmt.Errorf("fleet: decode verdict line: %w", err)
 		}
 		out = append(out, v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fleet: decode verdicts: %w", err)
+		return nil, nil, fmt.Errorf("fleet: decode verdicts: %w", err)
 	}
-	return out, nil
+	return out, snap, nil
 }

@@ -1,0 +1,165 @@
+// White-box tests of the fleet observability plane: the shard-snapshot
+// codec (including pre-snapshot back-compat), the dedup-by-accept
+// snapshot merge, and the series-key parser.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"ratte/internal/difftest"
+)
+
+// uploadShardSnap posts the shard's real verdicts with an attached
+// snapshot, returning the coordinator's response and HTTP status.
+func uploadShardSnap(t *testing.T, c *Coordinator, workerID string, s ShardLease, snap *shardSnapshot) (resultResponse, int) {
+	t.Helper()
+	vs, err := difftest.RunCampaignRange(context.Background(), c.camp, s.First, s.Count, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := encodeShard(vs, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", pathResult+"?shard="+jsonInt(s.ID)+"&worker="+workerID, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	c.handleResult(w, req)
+	var resp resultResponse
+	if w.Code == 200 {
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, w.Code
+}
+
+// TestShardSnapshotCodecRoundTrip: a body led by a snapshot line
+// decodes into verdicts plus the snapshot; a body without one (the
+// pre-snapshot wire format, and every old spool entry) decodes into
+// verdicts and a nil snapshot.
+func TestShardSnapshotCodecRoundTrip(t *testing.T) {
+	cfg := testCampaign(8)
+	want, err := difftest.RunCampaignRange(context.Background(), cfg, 0, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &shardSnapshot{
+		Marker: 1, Shard: 3, Epoch: 7, Worker: "w2",
+		Counters:   map[string]uint64{"a_total": 4, `b_total{k="v"}`: 2},
+		Coverage:   map[string]uint64{"gen/op/add": 9, "interp/op/mul": 1},
+		SpoolDepth: 5,
+	}
+	body, err := encodeShard(want, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSnap, err := decodeShard(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSnap == nil || !reflect.DeepEqual(gotSnap, snap) {
+		t.Fatalf("snapshot round trip: got %+v, want %+v", gotSnap, snap)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("verdict count: got %d, want %d", len(got), len(want))
+	}
+
+	// Back-compat: a snapshot-free body (old workers, old spools).
+	plain, err := encodeVerdicts(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSnap, err = decodeShard(bytes.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSnap != nil {
+		t.Fatalf("snapshot-free body decoded a snapshot: %+v", gotSnap)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("verdict count: got %d, want %d", len(got), len(want))
+	}
+}
+
+// TestSplitSeries: the inverse of the registry's series rendering.
+func TestSplitSeries(t *testing.T) {
+	cases := []struct{ in, name, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x_total{k="v"}`, "x_total", `k="v"`},
+		// A '{' inside a label value splits at the first brace (the
+		// registry never renders one before the label block) and only the
+		// final '}' is trimmed.
+		{`x_total{k="v",q="{w}"}`, "x_total", `k="v",q="{w}"`},
+	}
+	for _, tc := range cases {
+		name, labels := splitSeries(tc.in)
+		if name != tc.name || labels != tc.labels {
+			t.Errorf("splitSeries(%q) = (%q, %q), want (%q, %q)", tc.in, name, labels, tc.name, tc.labels)
+		}
+	}
+}
+
+// TestSnapshotMergeIdempotent: a duplicate shard upload — the spool-
+// replay case — must not re-count its snapshot. The merged counters and
+// coverage after a replayed duplicate are byte-for-byte the counters
+// after single delivery.
+func TestSnapshotMergeIdempotent(t *testing.T) {
+	c, err := NewCoordinator(CoordinatorConfig{Campaign: testCampaign(10), ShardSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := register(t, c)
+	l1 := lease(t, c, w1)
+	snap := &shardSnapshot{
+		Marker: 1, Shard: l1.Shard.ID, Epoch: l1.Shard.Epoch, Worker: w1,
+		Counters:   map[string]uint64{"ratte_campaign_verdicts_total": 5, `ratte_detections_total{oracle="NC"}`: 1},
+		Coverage:   map[string]uint64{"gen/op/add": 7, "compiler/pass/cse": 3},
+		SpoolDepth: 2,
+	}
+	if resp, code := uploadShardSnap(t, c, w1, *l1.Shard, snap); code != 200 || !resp.Accepted {
+		t.Fatalf("first upload: code %d accepted %v", code, resp.Accepted)
+	}
+	once := c.reg.Counters()
+	if once["ratte_campaign_verdicts_total"] != 5 {
+		t.Fatalf("merged counter = %d, want 5", once["ratte_campaign_verdicts_total"])
+	}
+	if once[`ratte_coverage_hits_total{site="gen/op/add"}`] != 7 {
+		t.Fatalf("merged coverage counter = %d, want 7", once[`ratte_coverage_hits_total{site="gen/op/add"}`])
+	}
+	c.mu.Lock()
+	ws := c.workers[w1]
+	shards, verdicts, depth := ws.shards, ws.verdicts, ws.spoolDepth
+	c.mu.Unlock()
+	if shards != 1 || verdicts != 5 || depth != 2 {
+		t.Fatalf("worker accounting after accept: shards %d verdicts %d spool %d", shards, verdicts, depth)
+	}
+
+	// Replay the exact same body (what a restarted worker's spool does).
+	if resp, code := uploadShardSnap(t, c, w1, *l1.Shard, snap); code != 200 || resp.Accepted {
+		t.Fatalf("duplicate upload: code %d accepted %v, want rejected", code, resp.Accepted)
+	}
+	twice := c.reg.Counters()
+	// The coordinator's own duplicate tally moves — that is the point —
+	// but every snapshot-merged series must be untouched.
+	skip := "ratte_fleet_results_duplicate_total"
+	delete(once, skip)
+	delete(twice, skip)
+	if !reflect.DeepEqual(once, twice) {
+		t.Fatalf("duplicate upload changed merged counters:\nonce:  %v\ntwice: %v", once, twice)
+	}
+	c.mu.Lock()
+	ws = c.workers[w1]
+	shards, verdicts = ws.shards, ws.verdicts
+	c.mu.Unlock()
+	if shards != 1 || verdicts != 5 {
+		t.Fatalf("duplicate upload changed worker accounting: shards %d verdicts %d", shards, verdicts)
+	}
+	if c.duplicates.Value() != 1 {
+		t.Fatalf("duplicates counter = %d, want 1", c.duplicates.Value())
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ratte/internal/difftest"
+	"ratte/internal/telemetry"
 )
 
 // Worker retry defaults.
@@ -80,6 +81,11 @@ type WorkerConfig struct {
 	// re-uploads unacknowledged entries (idempotently) at startup
 	// before leasing new work.
 	SpoolPath string
+	// EventLogPath, when non-empty, appends the worker's lifecycle
+	// events (register, lease, upload, lost-lease, ...) as JSONL
+	// records keyed by the fleet-wide campaign id, correlating this
+	// worker's log with the coordinator's.
+	EventLogPath string
 }
 
 // WorkerStats summarizes one worker's run for logs and tests.
@@ -126,6 +132,10 @@ type worker struct {
 	fp      []byte
 	spool   *spool
 	pending []spoolEntry
+	// depth tracks the unacknowledged spool entry count, reported in
+	// every shard snapshot.
+	depth  int
+	events *eventLog
 }
 
 // errPermanentUpload marks an upload rejection no retry can cure.
@@ -137,12 +147,21 @@ func (w *worker) run(ctx context.Context) (WorkerStats, error) {
 		return w.stats, err
 	}
 	w.fp = fp
+	if w.cfg.EventLogPath != "" {
+		ev, err := openEventLog(w.cfg.EventLogPath, "worker", fp)
+		if err != nil {
+			return w.stats, err
+		}
+		w.events = ev
+		defer ev.Close() //nolint:errcheck // shutdown
+	}
 	if w.cfg.SpoolPath != "" {
 		sp, pending, err := openSpool(w.cfg.SpoolPath, fp)
 		if err != nil {
 			return w.stats, err
 		}
 		w.spool, w.pending = sp, pending
+		w.depth = len(pending)
 		defer sp.Close() //nolint:errcheck // shutdown
 	}
 	if err := w.register(ctx); err != nil {
@@ -188,6 +207,8 @@ func (w *worker) run(ctx context.Context) (WorkerStats, error) {
 		case lease.Done:
 			w.cfg.Logf("fleet worker %s: campaign done (%d shards, %d verdicts)",
 				w.stats.WorkerID, w.stats.Shards, w.stats.Verdicts)
+			w.events.emit("done", w.stats.WorkerID, -1, 0,
+				fmt.Sprintf("%d shards, %d verdicts", w.stats.Shards, w.stats.Verdicts))
 			return w.stats, nil
 		case lease.Shard == nil:
 			wait := time.Duration(lease.RetryMillis) * time.Millisecond
@@ -208,6 +229,8 @@ func (w *worker) run(ctx context.Context) (WorkerStats, error) {
 		if done {
 			w.cfg.Logf("fleet worker %s: campaign done (%d shards, %d verdicts)",
 				w.stats.WorkerID, w.stats.Shards, w.stats.Verdicts)
+			w.events.emit("done", w.stats.WorkerID, -1, 0,
+				fmt.Sprintf("%d shards, %d verdicts", w.stats.Shards, w.stats.Verdicts))
 			return w.stats, nil
 		}
 	}
@@ -244,6 +267,8 @@ func (w *worker) register(ctx context.Context) error {
 			w.cfg.Campaign.Programs = resp.Programs
 			w.cfg.Logf("fleet worker %s: registered (%d programs, %d shards, lease %v)",
 				resp.WorkerID, resp.Programs, resp.Shards, w.ttl)
+			w.events.emit("register", resp.WorkerID, -1, 0,
+				fmt.Sprintf("%d programs, %d shards", resp.Programs, resp.Shards))
 			return nil
 		case status == http.StatusConflict || status == http.StatusUnauthorized:
 			return fmt.Errorf("fleet: registration rejected: %w", err)
@@ -267,6 +292,7 @@ func (w *worker) replaySpool(ctx context.Context) error {
 				w.cfg.Logf("fleet worker %s: spooled shard %d rejected, dropping: %v",
 					w.stats.WorkerID, e.Shard, err)
 				w.spool.markUploaded(e.Shard, e.Epoch) //nolint:errcheck // advisory mark
+				w.depth--
 				continue
 			}
 			return fmt.Errorf("fleet: spool replay: %w", err)
@@ -277,14 +303,18 @@ func (w *worker) replaySpool(ctx context.Context) error {
 			w.stats.Verdicts += e.Count
 			w.cfg.Logf("fleet worker %s: spooled shard %d re-uploaded (%d verdicts)",
 				w.stats.WorkerID, e.Shard, e.Count)
+			w.events.emit("spool-replay", w.stats.WorkerID, e.Shard, e.Epoch,
+				fmt.Sprintf("%d verdicts re-uploaded", e.Count))
 		} else {
 			w.stats.DuplicateDrops++
 			w.cfg.Logf("fleet worker %s: spooled shard %d already complete, discarded",
 				w.stats.WorkerID, e.Shard)
+			w.events.emit("spool-replay-duplicate", w.stats.WorkerID, e.Shard, e.Epoch, "")
 		}
 		if err := w.spool.markUploaded(e.Shard, e.Epoch); err != nil {
 			return err
 		}
+		w.depth--
 	}
 	w.pending = nil
 	return nil
@@ -308,6 +338,12 @@ func (w *worker) lease(ctx context.Context) (*leaseResponse, int, error) {
 // re-issued the shard, so finishing it would only produce a duplicate.
 // The returned bool is the coordinator's campaign-done signal from the
 // upload acknowledgement, which saves the final lease round trip.
+//
+// Each shard runs under a fresh private telemetry registry (and, when
+// the campaign carries coverage, a fresh coverage accumulator), so the
+// counters and coverage union at the end of the run are exactly the
+// shard's delta — the snapshot the upload attaches for the coordinator
+// to merge fleet-wide.
 func (w *worker) runShard(ctx context.Context, lease ShardLease) (bool, error) {
 	shardCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -337,13 +373,24 @@ func (w *worker) runShard(ctx context.Context, lease ShardLease) (bool, error) {
 		}
 	}()
 
-	vs, runErr := difftest.RunCampaignRange(shardCtx, w.cfg.Campaign, lease.First, lease.Count, w.cfg.Workers)
+	w.events.emit("shard-start", w.stats.WorkerID, lease.ID, lease.Epoch,
+		fmt.Sprintf("seeds [%d,%d)", lease.First, lease.First+lease.Count))
+	camp := w.cfg.Campaign
+	reg := telemetry.NewRegistry()
+	camp.Telemetry = difftest.NewCampaignTelemetry(reg)
+	var cov *difftest.CampaignCoverage
+	if w.cfg.Campaign.Coverage != nil {
+		cov = difftest.NewCampaignCoverage(nil)
+	}
+	camp.Coverage = cov
+	vs, runErr := difftest.RunCampaignRange(shardCtx, camp, lease.First, lease.Count, w.cfg.Workers)
 	cancel()
 	<-hbDone
 	select {
 	case <-lost:
 		w.stats.LostLeases++
 		w.cfg.Logf("fleet worker %s: shard %d lease lost, abandoning", w.stats.WorkerID, lease.ID)
+		w.events.emit("lost-lease", w.stats.WorkerID, lease.ID, lease.Epoch, "")
 		return false, nil
 	default:
 	}
@@ -353,17 +400,33 @@ func (w *worker) runShard(ctx context.Context, lease ShardLease) (bool, error) {
 		}
 		return false, fmt.Errorf("fleet: shard %d: %w", lease.ID, runErr)
 	}
-	return w.upload(ctx, lease, vs)
+	return w.upload(ctx, lease, vs, reg, cov)
 }
 
 // upload spools (when configured) and posts the shard's verdict stream
-// — one gzip'd JSONL body. The spool append happens before the first
-// attempt, so the completed shard survives the worker's own death from
-// this point on; the acknowledgement mark lands only after the
-// coordinator accepted (or duplicate-discarded) the shard. The
-// returned bool relays the coordinator's campaign-done signal.
-func (w *worker) upload(ctx context.Context, lease ShardLease, vs []difftest.Verdict) (bool, error) {
-	body, err := encodeVerdicts(vs)
+// — one gzip'd JSONL body, led by the shard's telemetry+coverage
+// snapshot line. The spool append happens before the first attempt, so
+// the completed shard survives the worker's own death from this point
+// on — snapshot included, since the spool stores the exact body; the
+// acknowledgement mark lands only after the coordinator accepted (or
+// duplicate-discarded) the shard. The returned bool relays the
+// coordinator's campaign-done signal.
+func (w *worker) upload(ctx context.Context, lease ShardLease, vs []difftest.Verdict,
+	reg *telemetry.Registry, cov *difftest.CampaignCoverage) (bool, error) {
+	depth := w.depth
+	if w.spool != nil {
+		depth++ // this shard's own entry is about to join the spool
+	}
+	snap := &shardSnapshot{
+		Marker:     1,
+		Shard:      lease.ID,
+		Epoch:      lease.Epoch,
+		Worker:     w.stats.WorkerID,
+		Counters:   reg.Counters(),
+		Coverage:   cov.Summary(),
+		SpoolDepth: depth,
+	}
+	body, err := encodeShard(vs, snap)
 	if err != nil {
 		return false, err
 	}
@@ -372,6 +435,7 @@ func (w *worker) upload(ctx context.Context, lease ShardLease, vs []difftest.Ver
 		if err := w.spool.add(e); err != nil {
 			return false, err
 		}
+		w.depth++
 	}
 	accepted, done, err := w.uploadBody(ctx, lease.ID, lease.Epoch, body)
 	if err != nil {
@@ -383,14 +447,18 @@ func (w *worker) upload(ctx context.Context, lease ShardLease, vs []difftest.Ver
 		if err := w.spool.markUploaded(lease.ID, lease.Epoch); err != nil {
 			return false, err
 		}
+		w.depth--
 	}
 	if accepted {
 		w.stats.Shards++
 		w.stats.Verdicts += len(vs)
 		w.cfg.Logf("fleet worker %s: shard %d done (%d verdicts)", w.stats.WorkerID, lease.ID, len(vs))
+		w.events.emit("upload", w.stats.WorkerID, lease.ID, lease.Epoch,
+			fmt.Sprintf("%d verdicts accepted", len(vs)))
 	} else {
 		w.stats.DuplicateDrops++
 		w.cfg.Logf("fleet worker %s: shard %d already complete, discarded", w.stats.WorkerID, lease.ID)
+		w.events.emit("upload-duplicate", w.stats.WorkerID, lease.ID, lease.Epoch, "")
 	}
 	return done, nil
 }

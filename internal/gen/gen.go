@@ -23,12 +23,23 @@ import (
 	"math/rand"
 	"strings"
 
+	"ratte/internal/coverage"
 	"ratte/internal/dialects"
 	"ratte/internal/ir"
 	"ratte/internal/rtval"
 	"ratte/internal/scoped"
 	"ratte/internal/semantics"
 	"ratte/internal/telemetry"
+)
+
+// Coverage site families of the generator: what the fuzzer *chose*
+// (one hit per weighted generator draw) and what it *emitted* (one hit
+// per operation appended to the program). Together with the compiler
+// and interpreter families they make up the semantic-coverage universe
+// (docs/EXTENDING.md §9).
+var (
+	covGenPick = coverage.NewKeyed("gen/pick")
+	covGenOp   = coverage.NewKeyed("gen/op")
 )
 
 // Config parameterises one program generation.
@@ -48,6 +59,18 @@ type Config struct {
 	// coverage distribution the paper's evaluation reports. Counting
 	// never influences generation; nil disables it entirely.
 	Metrics *Metrics
+	// Coverage, when non-nil, receives semantic-coverage hits: one per
+	// weighted generator draw (gen/pick/<generator>) and one per
+	// emitted operation (gen/op/<name>). Observation-only, like
+	// Metrics; nil disables it with no residual cost.
+	Coverage *coverage.Map
+}
+
+// cover records a coverage hit when coverage is enabled.
+func (c *Config) cover(f *coverage.Keyed, key string) {
+	if c != nil && c.Coverage != nil {
+		c.Coverage.Hit(f.Site(key))
+	}
 }
 
 // Metrics is the generator's telemetry bundle. Any field may be nil.
@@ -159,6 +182,7 @@ func (g *generator) run() (*Program, error) {
 	total := 0
 	for i := 0; i < g.cfg.Size; i++ {
 		og := g.pickOpGen()
+		g.cfg.cover(covGenPick, og.name)
 		if err := og.gen(g); err != nil {
 			return nil, fmt.Errorf("gen: %s: %w", og.name, err)
 		}
@@ -202,6 +226,7 @@ func (g *generator) emit(op *ir.Operation) error {
 	}
 	g.block.Append(op)
 	g.cfg.Metrics.noteOp(op.Name)
+	g.cfg.cover(covGenOp, op.Name)
 	return nil
 }
 

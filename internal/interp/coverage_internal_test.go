@@ -1,0 +1,34 @@
+package interp
+
+import (
+	"testing"
+
+	"ratte/internal/coverage"
+)
+
+// TestDisabledCoverOpAddsNoAllocs pins the dispatch-loop cost of the
+// coverage hook when coverage is off: one nil check, no key lookup, no
+// allocation. This is the same bar the telemetry hooks meet
+// (TestDisabledMetricsAddNoAllocs).
+func TestDisabledCoverOpAddsNoAllocs(t *testing.T) {
+	ctx := NewContext(&Interpreter{})
+	if n := testing.AllocsPerRun(200, func() {
+		ctx.coverOp("arith.addi")
+	}); n != 0 {
+		t.Fatalf("disabled coverage hook allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestEnabledCoverOpHotPathAddsNoAllocs pins the enabled steady state:
+// once a site's slot exists, a hit is a lock-free map lookup plus a
+// counter bump.
+func TestEnabledCoverOpHotPathAddsNoAllocs(t *testing.T) {
+	in := &Interpreter{Coverage: coverage.NewMap()}
+	ctx := NewContext(in)
+	ctx.coverOp("arith.addi") // warm the slot
+	if n := testing.AllocsPerRun(200, func() {
+		ctx.coverOp("arith.addi")
+	}); n != 0 {
+		t.Fatalf("enabled coverage hot path allocated %.1f times per run, want 0", n)
+	}
+}

@@ -171,6 +171,7 @@ blocks:
 					return nil, err
 				}
 			}
+			ctx.coverOp(cop.op.Name)
 			if ctx.faults != nil {
 				if err := ctx.faults.Point(faultinject.SiteInterpDispatch); err != nil {
 					return nil, &EvalError{OpName: cop.op.Name, Err: err}

@@ -896,6 +896,7 @@ func (ctx *Context) fusedTick(op *ir.Operation) error {
 			return err
 		}
 	}
+	ctx.coverOp(op.Name)
 	if ctx.faults != nil {
 		if err := ctx.faults.Point(faultinject.SiteInterpDispatch); err != nil {
 			return &EvalError{OpName: op.Name, Err: err}

@@ -24,11 +24,17 @@ import (
 	"errors"
 	"fmt"
 
+	"ratte/internal/coverage"
 	"ratte/internal/faultinject"
 	"ratte/internal/ir"
 	"ratte/internal/rtval"
 	"ratte/internal/scoped"
 )
+
+// covInterpOp is the interpreter's coverage site family: one site per
+// executed op kind, shared by the tree walker, the compiled engine and
+// every fused path (see docs/EXTENDING.md §9).
+var covInterpOp = coverage.NewKeyed("interp/op")
 
 // Kernel evaluates one non-terminator operation: reading operands from
 // the context, computing, and defining result bindings.
@@ -209,6 +215,13 @@ type Interpreter struct {
 	// never per operation — so it is off the dispatch hot path; nil
 	// costs one check per Run.
 	Metrics *Metrics
+
+	// Coverage, when non-nil, receives one semantic-coverage hit per
+	// executed operation, keyed by op name (interp/op/<name>). Both
+	// engines and every fused path report through the same family, so
+	// counts are engine-independent. Observation-only; nil costs one
+	// check per dispatched op.
+	Coverage *coverage.Map
 }
 
 // cancelCheckInterval is how many evaluated operations pass between
@@ -333,11 +346,12 @@ type Context struct {
 	maxCallDepth int
 	callDepth    int
 
-	// Watchdog and fault-injection state, resolved from the
+	// Watchdog, fault-injection and coverage state, resolved from the
 	// Interpreter at context construction.
 	cancel          context.Context
 	cancelCheckLeft int
 	faults          *faultinject.Injector
+	cover           *coverage.Map
 
 	// Compiled-mode state (see compile.go / exec.go). prog non-nil
 	// means this context executes a CompiledProgram: Get/Define resolve
@@ -393,7 +407,17 @@ func (ctx *Context) initLimits(in *Interpreter) {
 	ctx.cancel = in.Ctx
 	ctx.cancelCheckLeft = 1 // check on the first step: expired budgets fail fast
 	ctx.faults = in.Faults
+	ctx.cover = in.Coverage
 	ctx.fusedSteps = 0
+}
+
+// coverOp records one executed-op coverage hit when coverage is on.
+// Both engines call it at the same point — after the step charge, at
+// the start of the op's dispatch — so counts are engine-independent.
+func (ctx *Context) coverOp(name string) {
+	if ctx.cover != nil {
+		ctx.cover.Hit(covInterpOp.Site(name))
+	}
 }
 
 // checkCancel is the cooperative cancellation look: cheap countdown,
@@ -671,6 +695,7 @@ func (ctx *Context) runBlockOps(block *ir.Block) (exit *Exit, next string, nextA
 		if err := ctx.step(); err != nil {
 			return nil, "", nil, err
 		}
+		ctx.coverOp(op.Name)
 		if ctx.faults != nil {
 			if err := ctx.faults.Point(faultinject.SiteInterpDispatch); err != nil {
 				return nil, "", nil, &EvalError{OpName: op.Name, Err: err}
@@ -734,6 +759,7 @@ func (ctx *Context) Eval(op *ir.Operation) error {
 	if err := ctx.step(); err != nil {
 		return err
 	}
+	ctx.coverOp(op.Name)
 	k, ok := ctx.in.registry.kernels[op.Name]
 	if !ok {
 		return fmt.Errorf("interp: no semantics registered for %s", op.Name)

@@ -22,7 +22,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if m.name != lastName {
 			lastName = m.name
 			if m.help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
 					return err
 				}
 			}
@@ -35,6 +35,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// escapeHelp escapes a HELP line per the 0.0.4 exposition rules:
+// backslash and newline (the only characters the format escapes in
+// help text — double quotes stay literal here, unlike label values).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 func promType(k metricKind) string {

@@ -245,6 +245,26 @@ func (r *Registry) snapshot() []*metric {
 	return ms
 }
 
+// Counters returns every registered counter's current value keyed by
+// its series name (`name` or `name{labels}`) — the process-portable
+// form a fleet worker attaches to shard uploads so the coordinator
+// can merge deltas by series. Gauges, gauge funcs and histograms are
+// excluded: they describe the process that recorded them, not the
+// campaign's work, and do not sum meaningfully across workers. A nil
+// registry returns nil.
+func (r *Registry) Counters() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]uint64)
+	for _, m := range r.snapshot() {
+		if m.kind == kindCounter {
+			out[series(m.name, m.labels, "")] = m.c.Value()
+		}
+	}
+	return out
+}
+
 // CounterVec is a family of counters sharing one metric name and
 // distinguished by a single label — e.g. generated operations by op
 // name, verdicts by kind. The per-label counter is resolved through a
